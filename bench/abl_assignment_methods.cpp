@@ -1,0 +1,71 @@
+// Ablation: cluster-assignment methods. The paper (§II) considered
+// "simply finding the closest mean" and "K nearest neighbors" before
+// preferring OC-SVMs for generalization and fast prediction. This bench
+// turns that design decision into numbers: routing accuracy on the united
+// test set and per-session prediction latency for all three methods.
+#include <iostream>
+
+#include "cluster/baselines.hpp"
+#include "core/experiment.hpp"
+#include "util/timer.hpp"
+
+using namespace misuse;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto config = core::ExperimentConfig::from_cli(args);
+  core::Experiment experiment = core::Experiment::prepare(config);
+  const auto& detector = experiment.detector;
+  const auto& store = experiment.store;
+
+  // Train the baselines on the same per-cluster training sessions the
+  // OC-SVMs saw.
+  std::vector<std::vector<std::span<const int>>> cluster_sessions(detector.cluster_count());
+  for (std::size_t c = 0; c < detector.cluster_count(); ++c) {
+    for (std::size_t i : detector.cluster(c).train) {
+      cluster_sessions[c].push_back(store.at(i).view());
+    }
+  }
+  const ocsvm::FeaturizerConfig features{.vocab = store.vocab().size(),
+                                         .normalize = false,
+                                         .length_feature_weight = 0.0};
+  const auto centroid = cluster::NearestCentroidAssigner::train(cluster_sessions, features);
+  const auto knn = cluster::KnnAssigner::train(cluster_sessions, features,
+                                               static_cast<std::size_t>(args.integer("knn", 9)));
+
+  const auto united = experiment.united_test_set();
+  struct MethodResult {
+    const char* name;
+    std::size_t correct = 0;
+    double seconds = 0.0;
+  };
+  MethodResult results[3] = {{"oc-svm (paper)"}, {"nearest-centroid"}, {"k-nn"}};
+
+  for (const auto& [i, true_cluster] : united) {
+    const auto view = store.at(i).view();
+    Timer t0;
+    if (detector.route(view) == true_cluster) ++results[0].correct;
+    results[0].seconds += t0.seconds();
+    Timer t1;
+    if (centroid.assign(view) == true_cluster) ++results[1].correct;
+    results[1].seconds += t1.seconds();
+    Timer t2;
+    if (knn.assign(view) == true_cluster) ++results[2].correct;
+    results[2].seconds += t2.seconds();
+  }
+
+  std::cout << "=== Ablation: cluster-assignment methods (" << united.size()
+            << " united test sessions) ===\n";
+  Table table({"method", "routing_accuracy", "avg_prediction_us"});
+  for (const auto& r : results) {
+    table.add_row({r.name,
+                   Table::num(static_cast<double>(r.correct) / static_cast<double>(united.size())),
+                   Table::num(r.seconds / static_cast<double>(united.size()) * 1e6, 1)});
+  }
+  core::emit_table(table, config.results_dir, "abl_assignment_methods");
+
+  std::cout << "\n(\"true cluster\" = the expert clustering that produced the test splits;\n"
+               " k-nn uses k=" << knn.k() << " over " << knn.training_points()
+            << " training sessions)\n";
+  return 0;
+}

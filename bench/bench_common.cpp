@@ -1,0 +1,50 @@
+#include "bench_common.hpp"
+
+#include "util/logging.hpp"
+
+namespace misuse::bench {
+
+std::vector<BaselineRow> compute_baseline_rows(core::Experiment& experiment) {
+  auto& detector = experiment.detector;
+  const auto& store = experiment.store;
+  const std::size_t vocab = store.vocab().size();
+  const auto global_pool = union_train_indices(detector);
+
+  log_info() << "training global baseline on " << global_pool.size() << " sessions";
+  auto global_model =
+      core::train_baseline_model(store, global_pool, experiment.config.detector.lm, vocab,
+                                 experiment.config.detector.seed + 501);
+
+  Rng rng(experiment.config.detector.seed + 777);
+  std::vector<BaselineRow> rows;
+  for (std::size_t c = 0; c < detector.cluster_count(); ++c) {
+    const auto& info = detector.cluster(c);
+    BaselineRow row;
+    row.cluster = c;
+    row.label = info.label;
+    row.size = info.size();
+
+    const auto cluster_eval = core::evaluate_model_on(detector.model(c), store, info.test);
+    row.acc_cluster = cluster_eval.accuracy;
+    row.loss_cluster = cluster_eval.loss;
+
+    const auto global_eval = core::evaluate_model_on(global_model, store, info.test);
+    row.acc_global = global_eval.accuracy;
+    row.loss_global = global_eval.loss;
+
+    const auto subset = random_subset(global_pool, info.train.size(), rng);
+    log_info() << "training global-subset baseline for cluster " << c << " (" << subset.size()
+               << " sessions)";
+    auto subset_model = core::train_baseline_model(
+        store, subset, experiment.config.detector.lm, vocab,
+        experiment.config.detector.seed + 900 + c);
+    const auto subset_eval = core::evaluate_model_on(subset_model, store, info.test);
+    row.acc_subset = subset_eval.accuracy;
+    row.loss_subset = subset_eval.loss;
+
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace misuse::bench

@@ -1,0 +1,47 @@
+// Shared computations for the figure benches: the global and
+// global-subset baseline models of Figs. 5/10/11/12 and small helpers.
+#pragma once
+
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/experiment.hpp"
+
+namespace misuse::bench {
+
+/// Union of every cluster's train split (the paper's strong "global
+/// model" baseline is trained on the whole dataset).
+inline std::vector<std::size_t> union_train_indices(const core::MisuseDetector& detector) {
+  std::vector<std::size_t> out;
+  for (std::size_t c = 0; c < detector.cluster_count(); ++c) {
+    const auto& train = detector.cluster(c).train;
+    out.insert(out.end(), train.begin(), train.end());
+  }
+  return out;
+}
+
+/// Random subset of the global training pool with exactly `size` entries
+/// (the paper's second baseline: "global model trained on an arbitrary
+/// subset of the data of the same size as the cluster dataset").
+inline std::vector<std::size_t> random_subset(const std::vector<std::size_t>& pool,
+                                              std::size_t size, Rng& rng) {
+  std::vector<std::size_t> shuffled = pool;
+  rng.shuffle(shuffled);
+  shuffled.resize(std::min(size, shuffled.size()));
+  return shuffled;
+}
+
+/// Per-cluster rows of the Fig. 5 / Fig. 10 experiment.
+struct BaselineRow {
+  std::size_t cluster = 0;
+  std::string label;
+  std::size_t size = 0;  // number of member sessions
+  double acc_cluster = 0.0, acc_global = 0.0, acc_subset = 0.0;
+  double loss_cluster = 0.0, loss_global = 0.0, loss_subset = 0.0;
+};
+
+/// Trains the global baseline once and the per-cluster subset baselines,
+/// then evaluates all three model families on each cluster's test split.
+std::vector<BaselineRow> compute_baseline_rows(core::Experiment& experiment);
+
+}  // namespace misuse::bench

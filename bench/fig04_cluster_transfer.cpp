@@ -1,0 +1,54 @@
+// Fig. 4 — "Comparison of the test accuracy of cluster models calculated
+// on the corresponding testing set against the average accuracy of the
+// same model on all the other testing sets." Clusters ascend by size.
+//
+// The paper's two observations this bench must reproduce:
+//   1. larger clusters produce stronger models, but even the smallest
+//      cluster learns the prediction task;
+//   2. each model performs clearly better on its own testing set than on
+//      the other clusters' (the models are diverse/specific).
+#include <iostream>
+
+#include "core/evaluation.hpp"
+#include "core/experiment.hpp"
+
+using namespace misuse;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto config = core::ExperimentConfig::from_cli(args);
+  core::Experiment experiment = core::Experiment::prepare(config);
+  auto& detector = experiment.detector;
+
+  std::cout << "=== Fig. 4: cluster-model accuracy, own vs other test sets ===\n";
+  Table table({"cluster", "label", "size", "acc_own_test", "acc_other_tests_avg"});
+  double min_own = 1.0;
+  std::size_t diverse = 0;
+  for (std::size_t c = 0; c < detector.cluster_count(); ++c) {
+    const auto own = core::evaluate_model_on(detector.model(c), experiment.store,
+                                             detector.cluster(c).test);
+    double others_sum = 0.0;
+    std::size_t others = 0;
+    for (std::size_t other = 0; other < detector.cluster_count(); ++other) {
+      if (other == c) continue;
+      const auto stats = core::evaluate_model_on(detector.model(c), experiment.store,
+                                                 detector.cluster(other).test);
+      others_sum += stats.accuracy;
+      ++others;
+    }
+    const double others_avg = others > 0 ? others_sum / static_cast<double>(others) : 0.0;
+    min_own = std::min(min_own, own.accuracy);
+    if (own.accuracy > others_avg) ++diverse;
+    table.add_row({std::to_string(c), detector.cluster(c).label,
+                   std::to_string(detector.cluster(c).size()), Table::num(own.accuracy),
+                   Table::num(others_avg)});
+  }
+  core::emit_table(table, config.results_dir, "fig04_cluster_transfer");
+
+  std::cout << "\nshape checks vs paper:\n";
+  std::cout << "  even the smallest cluster learns the task (min own-test accuracy "
+            << Table::num(min_own) << ")\n";
+  std::cout << "  models better on own test set than on others: " << diverse << "/"
+            << detector.cluster_count() << " clusters\n";
+  return 0;
+}

@@ -1,0 +1,226 @@
+// Microbenchmarks (google-benchmark) of the hot kernels under every
+// experiment: GEMM, LSTM training/inference, LDA Gibbs sweeps, OC-SVM
+// scoring, featurization, t-SNE iterations, and corpus generation. Not a
+// paper figure — this is the performance baseline for regressions.
+#include <benchmark/benchmark.h>
+
+#include "core/drift.hpp"
+#include "lm/batching.hpp"
+#include "lm/markov.hpp"
+#include "nn/next_action_model.hpp"
+#include "ocsvm/features.hpp"
+#include "ocsvm/ocsvm.hpp"
+#include "synth/portal.hpp"
+#include "tensor/ops.hpp"
+#include "topics/lda.hpp"
+#include "tsne/tsne.hpp"
+
+namespace misuse {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a(n, n), b(n, n), c(n, n);
+  a.init_gaussian(rng, 1.0f);
+  b.init_gaussian(rng, 1.0f);
+  for (auto _ : state) {
+    gemm(1.0f, a, b, 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n * 2);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_LstmStreamingStep(benchmark::State& state) {
+  const auto hidden = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  nn::ModelConfig config{.vocab = 300, .hidden = hidden, .dropout = 0.0f};
+  nn::NextActionModel model(config, rng);
+  auto lstm_state = model.make_state();
+  int action = 0;
+  for (auto _ : state) {
+    const auto probs = model.step(lstm_state, action);
+    action = static_cast<int>(argmax(probs));
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LstmStreamingStep)->Arg(48)->Arg(128)->Arg(256);
+
+void BM_GruStreamingStep(benchmark::State& state) {
+  const auto hidden = static_cast<std::size_t>(state.range(0));
+  Rng rng(12);
+  nn::ModelConfig config{.vocab = 300, .hidden = hidden, .cell = nn::CellKind::kGru,
+                         .dropout = 0.0f};
+  nn::NextActionModel model(config, rng);
+  auto model_state = model.make_state();
+  int action = 0;
+  for (auto _ : state) {
+    const auto probs = model.step(model_state, action);
+    action = static_cast<int>(argmax(probs));
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GruStreamingStep)->Arg(48)->Arg(256);
+
+void BM_MarkovScoreSession(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<std::vector<int>> train(200);
+  for (auto& s : train) {
+    s.resize(15);
+    for (auto& a : s) a = static_cast<int>(rng.uniform_index(300));
+  }
+  lm::MarkovChainModel markov({.vocab = 300, .smoothing = 0.1});
+  markov.fit(std::vector<std::span<const int>>(train.begin(), train.end()));
+  std::vector<int> probe(30);
+  for (auto& a : probe) a = static_cast<int>(rng.uniform_index(300));
+  for (auto _ : state) {
+    const auto score = markov.score_session(probe);
+    benchmark::DoNotOptimize(score.likelihoods.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 29);
+}
+BENCHMARK(BM_MarkovScoreSession);
+
+void BM_DriftObserve(benchmark::State& state) {
+  Rng rng(14);
+  ActionVocab vocab;
+  for (int i = 0; i < 300; ++i) vocab.intern("A" + std::to_string(i));
+  SessionStore store(std::move(vocab));
+  for (int i = 0; i < 100; ++i) {
+    Session s;
+    s.id = static_cast<std::uint64_t>(i);
+    for (int j = 0; j < 15; ++j) {
+      s.actions.push_back(static_cast<int>(rng.uniform_index(300)));
+    }
+    store.add(std::move(s));
+  }
+  core::DriftMonitor monitor(store, {});
+  std::vector<int> session(15);
+  for (auto& a : session) a = static_cast<int>(rng.uniform_index(300));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.observe(session));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DriftObserve);
+
+void BM_LstmTrainBatch(benchmark::State& state) {
+  const auto hidden = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  nn::ModelConfig config{.vocab = 100, .hidden = hidden, .dropout = 0.4f};
+  nn::NextActionModel model(config, rng);
+  nn::Adam adam(1e-3f);
+  nn::SequenceBatch batch;
+  const std::size_t t_steps = 16, batch_size = 8;
+  batch.tokens.assign(t_steps, std::vector<int>(batch_size));
+  batch.targets.assign(t_steps, std::vector<int>(batch_size));
+  for (auto& row : batch.tokens) {
+    for (auto& v : row) v = static_cast<int>(rng.uniform_index(100));
+  }
+  for (auto& row : batch.targets) {
+    for (auto& v : row) v = static_cast<int>(rng.uniform_index(100));
+  }
+  for (auto _ : state) {
+    const auto stats = model.train_batch(batch, adam, rng);
+    benchmark::DoNotOptimize(stats.loss);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * t_steps * batch_size);
+}
+BENCHMARK(BM_LstmTrainBatch)->Arg(48)->Arg(128);
+
+void BM_LdaGibbsSweep(benchmark::State& state) {
+  const auto topics_count = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<std::vector<int>> docs(300);
+  for (auto& d : docs) {
+    d.resize(15);
+    for (auto& w : d) w = static_cast<int>(rng.uniform_index(100));
+  }
+  for (auto _ : state) {
+    topics::LdaConfig config;
+    config.topics = topics_count;
+    config.iterations = 1;
+    const auto model = topics::fit_lda(docs, 100, config);
+    benchmark::DoNotOptimize(model.topic_action.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 300 * 15);
+}
+BENCHMARK(BM_LdaGibbsSweep)->Arg(13)->Arg(20);
+
+void BM_OcSvmScore(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::vector<float>> train(200, std::vector<float>(101));
+  for (auto& x : train) {
+    for (auto& v : x) v = static_cast<float>(rng.normal(0.0, 0.3));
+  }
+  ocsvm::OcSvmConfig config;
+  config.nu = 0.1;
+  const auto svm = ocsvm::OneClassSvm::train(train, config);
+  std::vector<float> probe(101);
+  for (auto& v : probe) v = static_cast<float>(rng.normal(0.0, 0.3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svm.score(probe));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OcSvmScore);
+
+void BM_SessionFeaturize(benchmark::State& state) {
+  Rng rng(6);
+  ocsvm::SessionFeaturizer featurizer({.vocab = 300, .length_feature_weight = 0.1});
+  std::vector<int> session(50);
+  for (auto& a : session) a = static_cast<int>(rng.uniform_index(300));
+  for (auto _ : state) {
+    const auto f = featurizer.featurize(session);
+    benchmark::DoNotOptimize(f.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SessionFeaturize);
+
+void BM_TsneIteration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  Matrix points(n, 32);
+  points.init_gaussian(rng, 1.0f);
+  for (auto _ : state) {
+    tsne::TsneConfig config;
+    config.iterations = 1;
+    const auto result = tsne::run_tsne(points, config);
+    benchmark::DoNotOptimize(result.embedding.data());
+  }
+}
+BENCHMARK(BM_TsneIteration)->Arg(60)->Arg(120);
+
+void BM_PortalGeneration(benchmark::State& state) {
+  synth::PortalConfig config;
+  config.sessions = static_cast<std::size_t>(state.range(0));
+  config.seed = 8;
+  const synth::Portal portal(config);
+  for (auto _ : state) {
+    const auto store = portal.generate();
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_PortalGeneration)->Arg(1000)->Arg(15000);
+
+void BM_WindowedBatching(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<int> session(90);
+  for (auto& a : session) a = static_cast<int>(rng.uniform_index(300));
+  for (auto _ : state) {
+    const auto examples = lm::make_window_examples(session, 100);
+    benchmark::DoNotOptimize(examples.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 89);
+}
+BENCHMARK(BM_WindowedBatching);
+
+}  // namespace
+}  // namespace misuse
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// The informed-clustering workflow (the paper's §II/III expert loop):
+//
+//   1. fit an LDA ensemble over the session corpus,
+//   2. compute everything the interactive visual interface shows the
+//      security experts — the t-SNE topic projection, the topic-action
+//      matrix, the chord diagram — and render/export it,
+//   3. run the headless ExpertPolicy over the same artifacts to obtain
+//      behavior clusters, and
+//   4. describe each cluster with frequent-pattern mining (§IV-B).
+//
+// The JSON export (expert_interface.json) contains the full data an
+// external UI needs to render the interface of the paper's Fig. 1.
+//
+// Build & run:  ./build/examples/expert_clustering
+#include <fstream>
+#include <iostream>
+
+#include "cluster/expert_policy.hpp"
+#include "patterns/mining.hpp"
+#include "synth/portal.hpp"
+#include "viz/interface.hpp"
+
+using namespace misuse;
+
+int main() {
+  synth::PortalConfig portal_config;
+  portal_config.sessions = 1200;
+  portal_config.action_count = 100;
+  portal_config.seed = 5;
+  const synth::Portal portal(portal_config);
+  const SessionStore history = portal.generate();
+
+  // 1. LDA ensemble (multiple topic counts, as the paper's interface).
+  std::vector<std::vector<int>> documents;
+  std::vector<std::size_t> eligible;  // document index -> store index
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (history.at(i).length() >= 2) {
+      documents.push_back(history.at(i).actions);
+      eligible.push_back(i);
+    }
+  }
+  topics::EnsembleConfig ensemble_config;
+  ensemble_config.topic_counts = {10, 13, 16};
+  ensemble_config.iterations = 80;
+  std::cout << "fitting LDA ensemble on " << documents.size() << " sessions...\n";
+  const auto ensemble =
+      topics::LdaEnsemble::fit(documents, history.vocab().size(), ensemble_config);
+  std::cout << "pooled topics: " << ensemble.topic_count() << "\n\n";
+
+  // 2. The three views of the visual interface.
+  tsne::TsneConfig tsne_config;
+  tsne_config.iterations = 300;
+  tsne_config.perplexity = 8.0;
+  const auto projection = viz::build_projection_view(ensemble, tsne_config);
+  const auto matrix = viz::build_matrix_view(ensemble, 0.05f);
+  std::vector<std::size_t> selection;
+  for (std::size_t t = 0; t < std::min<std::size_t>(10, ensemble.topic_count()); ++t) {
+    selection.push_back(t);
+  }
+  const auto chord = viz::build_chord_view(ensemble, selection, 8);
+
+  std::cout << "topic projection view (what the expert brushes):\n"
+            << viz::render_projection_ascii(projection, 70, 18) << "\n";
+  std::cout << "topic-action matrix view (first topics):\n"
+            << viz::render_matrix_ascii(matrix, history.vocab(), ensemble, 6, 4) << "\n";
+  std::cout << "chord diagram view (shared top actions):\n" << viz::render_chord_ascii(chord);
+
+  std::ofstream json("expert_interface.json");
+  viz::export_interface_json(projection, matrix, chord, history.vocab(), json);
+  std::cout << "\n(full interface data exported to expert_interface.json)\n";
+
+  // 3. Headless expert -> clusters.
+  cluster::ExpertPolicyConfig expert_config;
+  expert_config.target_clusters = 10;
+  expert_config.min_cluster_sessions = 15;
+  const auto clustering = cluster::ExpertPolicy(expert_config).run(ensemble);
+  std::cout << "\nexpert policy selected " << clustering.cluster_count() << " clusters\n";
+
+  // 4. Frequent-pattern descriptions.
+  for (std::size_t c = 0; c < clustering.cluster_count(); ++c) {
+    std::vector<const Session*> members;
+    for (std::size_t doc : clustering.clusters[c]) {
+      members.push_back(&history.at(eligible[doc]));
+    }
+    patterns::MiningConfig mining;
+    mining.min_support = 0.5;
+    mining.max_pattern = 2;
+    const auto itemsets = patterns::mine_frequent_itemsets(members, mining);
+    std::cout << "  cluster " << c << " (" << members.size() << " sessions): "
+              << patterns::describe_itemsets(itemsets, history.vocab(), members.size(), 2) << "\n";
+  }
+  return 0;
+}

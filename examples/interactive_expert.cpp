@@ -1,0 +1,186 @@
+// The actual expert-in-the-loop (§II/III), interactive. Everywhere else
+// this repository replays the expert's documented procedure headlessly;
+// here a human security expert can genuinely perform it in a terminal:
+// inspect the LDA-ensemble views, choose how many clusters to keep, merge
+// or drop groups, and inspect medoid sessions — then the tool trains the
+// per-cluster models on the approved clustering and reports their quality.
+//
+//   interactive_expert [--auto] [--sessions N] [--clusters K]
+//
+// --auto answers every prompt with the headless ExpertPolicy's choice, so
+// the binary is scriptable/CI-safe; without it, prompts read from stdin.
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cluster/expert_policy.hpp"
+#include "core/evaluation.hpp"
+#include "lm/language_model.hpp"
+#include "patterns/mining.hpp"
+#include "synth/portal.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "viz/interface.hpp"
+
+using namespace misuse;
+
+namespace {
+
+// Reads a line; in --auto mode returns the fallback.
+std::string ask(const std::string& prompt, const std::string& fallback, bool automatic) {
+  std::cout << prompt << " [" << fallback << "]: " << std::flush;
+  if (automatic) {
+    std::cout << fallback << " (auto)\n";
+    return fallback;
+  }
+  std::string line;
+  if (!std::getline(std::cin, line) || line.empty()) return fallback;
+  return line;
+}
+
+void show_medoid(const topics::LdaEnsemble& ensemble, std::size_t topic,
+                 const std::vector<std::size_t>& eligible, const SessionStore& store) {
+  const std::size_t doc = ensemble.medoid_document(topic);
+  const Session& s = store.at(eligible[doc]);
+  std::cout << "    medoid session #" << s.id << ": ";
+  for (std::size_t i = 0; i < std::min<std::size_t>(s.actions.size(), 6); ++i) {
+    if (i > 0) std::cout << ", ";
+    std::cout << store.vocab().name(s.actions[i]);
+  }
+  if (s.actions.size() > 6) std::cout << ", ...";
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool automatic = args.flag("auto");
+
+  synth::PortalConfig portal_config;
+  portal_config.sessions = static_cast<std::size_t>(args.integer("sessions", 1200));
+  portal_config.action_count = 100;
+  portal_config.seed = static_cast<std::uint64_t>(args.integer("seed", 5));
+  const synth::Portal portal(portal_config);
+  const SessionStore history = portal.generate();
+
+  // Corpus for topic modeling (document index -> store index map).
+  std::vector<std::vector<int>> documents;
+  std::vector<std::size_t> eligible;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (history.at(i).length() >= 2) {
+      documents.push_back(history.at(i).actions);
+      eligible.push_back(i);
+    }
+  }
+
+  topics::EnsembleConfig ensemble_config;
+  ensemble_config.topic_counts = {10, 13};
+  ensemble_config.iterations = 60;
+  std::cout << "fitting LDA ensemble on " << documents.size() << " sessions...\n";
+  const auto ensemble =
+      topics::LdaEnsemble::fit(documents, history.vocab().size(), ensemble_config);
+
+  // Step 1: show the projection view the expert would brush.
+  tsne::TsneConfig tsne_config;
+  tsne_config.iterations = 200;
+  tsne_config.perplexity = 6.0;
+  const auto projection = viz::build_projection_view(ensemble, tsne_config);
+  std::cout << "\ntopic projection (letters = LDA runs; similar topics cluster together):\n"
+            << viz::render_projection_ascii(projection, 70, 16) << "\n";
+
+  // Step 2: the expert chooses the granularity.
+  const std::size_t k = static_cast<std::size_t>(std::stoul(
+      ask("how many behavior clusters do you see?",
+          std::to_string(args.integer("clusters", 10)), automatic)));
+
+  cluster::ExpertPolicyConfig policy_config;
+  policy_config.target_clusters = k;
+  policy_config.min_cluster_sessions = 1;  // the human decides below
+  auto clustering = cluster::ExpertPolicy(policy_config).run(ensemble);
+
+  // Step 3: inspect each cluster (medoid + patterns) and keep/merge.
+  std::cout << "\nproposed clusters (inspect medoids, then keep or merge):\n";
+  std::vector<bool> keep(clustering.cluster_count(), true);
+  for (std::size_t c = 0; c < clustering.cluster_count(); ++c) {
+    std::vector<const Session*> members;
+    for (std::size_t doc : clustering.clusters[c]) members.push_back(&history.at(eligible[doc]));
+    patterns::MiningConfig mining;
+    mining.min_support = 0.5;
+    mining.max_pattern = 2;
+    const auto itemsets = patterns::mine_frequent_itemsets(members, mining);
+    std::cout << "  cluster " << c << " (" << members.size() << " sessions): "
+              << patterns::describe_itemsets(itemsets, history.vocab(), members.size(), 2)
+              << "\n";
+    show_medoid(ensemble, clustering.representative_topics[c], eligible, history);
+    const std::string verdict =
+        ask("    representative? (y = keep / n = merge into nearest)",
+            members.size() >= 15 ? "y" : "n", automatic);
+    keep[c] = !verdict.empty() && (verdict[0] == 'y' || verdict[0] == 'Y');
+  }
+
+  // Merge dropped clusters into the nearest kept one (by representative
+  // topic similarity), mirroring ExpertPolicy's coverage rule.
+  const Matrix similarity = ensemble.pairwise_similarity();
+  std::vector<std::size_t> remap(clustering.cluster_count());
+  std::vector<std::size_t> kept_ids;
+  for (std::size_t c = 0; c < clustering.cluster_count(); ++c) {
+    if (keep[c]) {
+      remap[c] = kept_ids.size();
+      kept_ids.push_back(c);
+    }
+  }
+  if (kept_ids.empty()) {
+    std::cout << "\nno clusters kept; nothing to train.\n";
+    return 1;
+  }
+  for (std::size_t c = 0; c < clustering.cluster_count(); ++c) {
+    if (keep[c]) continue;
+    double best = -1.0;
+    std::size_t target = kept_ids[0];
+    for (std::size_t kc : kept_ids) {
+      const double s = similarity(clustering.representative_topics[c],
+                                  clustering.representative_topics[kc]);
+      if (s > best) {
+        best = s;
+        target = kc;
+      }
+    }
+    remap[c] = remap[target];
+  }
+
+  // Step 4: train one model per approved cluster and report.
+  std::cout << "\ntraining one LSTM per approved cluster...\n";
+  std::vector<std::vector<std::span<const int>>> cluster_sessions(kept_ids.size());
+  for (std::size_t doc = 0; doc < clustering.session_cluster.size(); ++doc) {
+    cluster_sessions[remap[clustering.session_cluster[doc]]].push_back(
+        history.at(eligible[doc]).view());
+  }
+  Table table({"cluster", "sessions", "next-action accuracy", "loss"});
+  for (std::size_t c = 0; c < cluster_sessions.size(); ++c) {
+    lm::LmConfig lm_config;
+    lm_config.vocab = history.vocab().size();
+    lm_config.hidden = 24;
+    lm_config.learning_rate = 0.01f;
+    lm_config.epochs = 15;
+    lm_config.patience = 0;
+    lm_config.batching.batch_size = 8;
+    lm_config.seed = 7 + c;
+    lm::ActionLanguageModel model(lm_config);
+    const std::size_t n_train = cluster_sessions[c].size() * 8 / 10;
+    const std::vector<std::span<const int>> train(
+        cluster_sessions[c].begin(),
+        cluster_sessions[c].begin() + static_cast<std::ptrdiff_t>(n_train));
+    const std::vector<std::span<const int>> test(
+        cluster_sessions[c].begin() + static_cast<std::ptrdiff_t>(n_train),
+        cluster_sessions[c].end());
+    model.fit(train, {});
+    const auto eval = model.evaluate(std::span<const std::span<const int>>(test));
+    table.add_row({std::to_string(c), std::to_string(cluster_sessions[c].size()),
+                   Table::num(eval.accuracy), Table::num(eval.loss)});
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\n(your clustering is now the informed prior of the paper's pipeline)\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "cluster/baselines.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace misuse::cluster {
+
+namespace {
+double squared_distance(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+}  // namespace
+
+NearestCentroidAssigner NearestCentroidAssigner::train(
+    const std::vector<std::vector<std::span<const int>>>& cluster_sessions,
+    const ocsvm::FeaturizerConfig& features) {
+  assert(!cluster_sessions.empty());
+  NearestCentroidAssigner assigner(features);
+  for (const auto& sessions : cluster_sessions) {
+    assert(!sessions.empty());
+    std::vector<float> centroid(assigner.featurizer_.dim(), 0.0f);
+    for (const auto& actions : sessions) {
+      const auto f = assigner.featurizer_.featurize(actions);
+      for (std::size_t i = 0; i < centroid.size(); ++i) centroid[i] += f[i];
+    }
+    const float inv = 1.0f / static_cast<float>(sessions.size());
+    for (auto& v : centroid) v *= inv;
+    assigner.centroids_.push_back(std::move(centroid));
+  }
+  return assigner;
+}
+
+std::vector<double> NearestCentroidAssigner::scores(std::span<const int> actions) const {
+  const auto f = featurizer_.featurize(actions);
+  std::vector<double> out(centroids_.size());
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    out[c] = -squared_distance(f, centroids_[c]);
+  }
+  return out;
+}
+
+std::size_t NearestCentroidAssigner::assign(std::span<const int> actions) const {
+  const auto s = scores(actions);
+  return static_cast<std::size_t>(std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+KnnAssigner KnnAssigner::train(
+    const std::vector<std::vector<std::span<const int>>>& cluster_sessions,
+    const ocsvm::FeaturizerConfig& features, std::size_t k) {
+  assert(!cluster_sessions.empty());
+  assert(k > 0);
+  KnnAssigner assigner(features, k);
+  assigner.clusters_ = cluster_sessions.size();
+  for (std::size_t c = 0; c < cluster_sessions.size(); ++c) {
+    for (const auto& actions : cluster_sessions[c]) {
+      assigner.points_.push_back(assigner.featurizer_.featurize(actions));
+      assigner.labels_.push_back(c);
+    }
+  }
+  assert(!assigner.points_.empty());
+  return assigner;
+}
+
+std::vector<double> KnnAssigner::scores(std::span<const int> actions) const {
+  const auto f = featurizer_.featurize(actions);
+  // Partial sort of (distance, label) pairs for the k nearest.
+  std::vector<std::pair<double, std::size_t>> distances;
+  distances.reserve(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    distances.emplace_back(squared_distance(f, points_[i]), labels_[i]);
+  }
+  const std::size_t take = std::min(k_, distances.size());
+  std::partial_sort(distances.begin(), distances.begin() + static_cast<std::ptrdiff_t>(take),
+                    distances.end());
+  std::vector<double> votes(clusters_, 0.0);
+  for (std::size_t i = 0; i < take; ++i) votes[distances[i].second] += 1.0;
+  for (auto& v : votes) v /= static_cast<double>(take);
+  return votes;
+}
+
+std::size_t KnnAssigner::assign(std::span<const int> actions) const {
+  const auto s = scores(actions);
+  return static_cast<std::size_t>(std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+}  // namespace misuse::cluster

@@ -1,0 +1,66 @@
+// Cluster-assignment baselines the paper explicitly considered before
+// choosing OC-SVMs (§II): "There are various approaches for performing
+// this, e.g., simply finding the closest mean to a new sequence or K
+// nearest neighbors. We preferred an approach that allows generalization
+// and comparatively fast prediction — one class support vector machine."
+//
+// Implemented so the choice is an *ablation* instead of an assertion
+// (bench/abl_assignment_methods): nearest-centroid and k-NN over the same
+// session features as the OC-SVM assigner.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ocsvm/features.hpp"
+
+namespace misuse::cluster {
+
+/// Closest-mean assignment: one centroid per cluster in feature space.
+class NearestCentroidAssigner {
+ public:
+  /// cluster_sessions[c] holds the training action sequences of cluster c.
+  static NearestCentroidAssigner train(
+      const std::vector<std::vector<std::span<const int>>>& cluster_sessions,
+      const ocsvm::FeaturizerConfig& features);
+
+  std::size_t cluster_count() const { return centroids_.size(); }
+
+  /// Negated squared Euclidean distances to each centroid (so that, like
+  /// the OC-SVM scores, higher = better match).
+  std::vector<double> scores(std::span<const int> actions) const;
+  std::size_t assign(std::span<const int> actions) const;
+
+ private:
+  explicit NearestCentroidAssigner(const ocsvm::FeaturizerConfig& features)
+      : featurizer_(features) {}
+  ocsvm::SessionFeaturizer featurizer_;
+  std::vector<std::vector<float>> centroids_;
+};
+
+/// k-nearest-neighbor assignment over the training feature vectors.
+class KnnAssigner {
+ public:
+  static KnnAssigner train(
+      const std::vector<std::vector<std::span<const int>>>& cluster_sessions,
+      const ocsvm::FeaturizerConfig& features, std::size_t k);
+
+  std::size_t cluster_count() const { return clusters_; }
+  std::size_t k() const { return k_; }
+  std::size_t training_points() const { return points_.size(); }
+
+  /// Per-cluster vote fractions among the k nearest training sessions.
+  std::vector<double> scores(std::span<const int> actions) const;
+  std::size_t assign(std::span<const int> actions) const;
+
+ private:
+  KnnAssigner(const ocsvm::FeaturizerConfig& features, std::size_t k)
+      : featurizer_(features), k_(k) {}
+  ocsvm::SessionFeaturizer featurizer_;
+  std::size_t k_ = 5;
+  std::size_t clusters_ = 0;
+  std::vector<std::vector<float>> points_;
+  std::vector<std::size_t> labels_;
+};
+
+}  // namespace misuse::cluster

@@ -1,0 +1,134 @@
+#include "cluster/expert_policy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace misuse::cluster {
+
+std::vector<std::size_t> agglomerate_by_similarity(const Matrix& similarity,
+                                                   std::size_t target_groups) {
+  const std::size_t n = similarity.rows();
+  assert(similarity.cols() == n);
+  assert(target_groups >= 1);
+
+  // Each item starts as its own group; repeatedly merge the pair of
+  // groups with the highest average inter-group similarity.
+  std::vector<std::vector<std::size_t>> groups(n);
+  for (std::size_t i = 0; i < n; ++i) groups[i] = {i};
+
+  const auto average_link = [&](const std::vector<std::size_t>& a,
+                                const std::vector<std::size_t>& b) {
+    double sum = 0.0;
+    for (std::size_t i : a) {
+      for (std::size_t j : b) sum += similarity(i, j);
+    }
+    return sum / (static_cast<double>(a.size()) * static_cast<double>(b.size()));
+  };
+
+  while (groups.size() > target_groups) {
+    std::size_t best_a = 0, best_b = 1;
+    double best_sim = -std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < groups.size(); ++a) {
+      for (std::size_t b = a + 1; b < groups.size(); ++b) {
+        const double s = average_link(groups[a], groups[b]);
+        if (s > best_sim) {
+          best_sim = s;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    groups[best_a].insert(groups[best_a].end(), groups[best_b].begin(), groups[best_b].end());
+    groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(best_b));
+  }
+
+  std::vector<std::size_t> assignment(n, 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (std::size_t i : groups[g]) assignment[i] = g;
+  }
+  return assignment;
+}
+
+ClusteringResult ExpertPolicy::run(const topics::LdaEnsemble& ensemble) const {
+  const std::size_t n_topics = ensemble.topic_count();
+  assert(n_topics > 0);
+  const std::size_t k = std::min(config_.target_clusters, n_topics);
+
+  // Step 1: brush groups of similar topics.
+  const Matrix similarity = ensemble.pairwise_similarity();
+  const std::vector<std::size_t> topic_group = agglomerate_by_similarity(similarity, k);
+
+  // Step 2: per group, pick the medoid topic (max average similarity to
+  // the rest of its group).
+  std::vector<std::size_t> representative(k, 0);
+  {
+    std::vector<std::vector<std::size_t>> members(k);
+    for (std::size_t t = 0; t < n_topics; ++t) members[topic_group[t]].push_back(t);
+    for (std::size_t g = 0; g < k; ++g) {
+      assert(!members[g].empty());
+      double best_score = -std::numeric_limits<double>::infinity();
+      for (std::size_t candidate : members[g]) {
+        double score = 0.0;
+        for (std::size_t other : members[g]) score += similarity(candidate, other);
+        if (score > best_score) {
+          best_score = score;
+          representative[g] = candidate;
+        }
+      }
+    }
+  }
+
+  // Step 3: induce session clusters from the selected topics.
+  std::vector<std::size_t> session_cluster = ensemble.assign_documents(representative);
+
+  // Step 4: representativeness check — merge undersized clusters into the
+  // most similar surviving representative, then compact indices.
+  std::vector<std::size_t> sizes(k, 0);
+  for (std::size_t c : session_cluster) ++sizes[c];
+  std::vector<bool> alive(k, true);
+  for (std::size_t c = 0; c < k; ++c) {
+    if (sizes[c] >= config_.min_cluster_sessions) continue;
+    // Keep at least one cluster alive.
+    if (std::count(alive.begin(), alive.end(), true) <= 1) break;
+    alive[c] = false;
+    // Route this cluster's sessions to the most similar live cluster.
+    std::size_t target = k;
+    double best_sim = -std::numeric_limits<double>::infinity();
+    for (std::size_t other = 0; other < k; ++other) {
+      if (other == c || !alive[other]) continue;
+      const double s = similarity(representative[c], representative[other]);
+      if (s > best_sim) {
+        best_sim = s;
+        target = other;
+      }
+    }
+    assert(target < k);
+    for (auto& sc : session_cluster) {
+      if (sc == c) sc = target;
+    }
+    sizes[target] += sizes[c];
+    sizes[c] = 0;
+  }
+
+  // Compact cluster ids to 0..k'-1.
+  std::vector<std::size_t> remap(k, 0);
+  ClusteringResult result;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (alive[c]) {
+      remap[c] = result.clusters.size();
+      result.clusters.emplace_back();
+      result.representative_topics.push_back(representative[c]);
+    }
+  }
+  result.session_cluster.resize(session_cluster.size());
+  for (std::size_t d = 0; d < session_cluster.size(); ++d) {
+    const std::size_t c = remap[session_cluster[d]];
+    result.session_cluster[d] = c;
+    result.clusters[c].push_back(d);
+  }
+  return result;
+}
+
+}  // namespace misuse::cluster

@@ -1,0 +1,69 @@
+// Headless expert: replays the documented procedure the security experts
+// perform in the interactive visual interface (§II-III) to turn an LDA
+// ensemble into k semantically meaningful behavior clusters.
+//
+// The interface shows (1) a t-SNE projection of topics where experts
+// brush groups of similar topics, (2) the topic-action matrix where they
+// judge representativeness, and (3) a chord diagram of shared actions
+// used to merge near-duplicate topics. The policy automates exactly those
+// judgments:
+//
+//   1. group pooled topics by agglomerative (average-linkage) clustering
+//      on topic-action cosine distance — the algorithmic analogue of
+//      brushing nearby points in the projection view;
+//   2. pick each group's medoid topic as its representative — the topic
+//      the interface highlights for inspection;
+//   3. induce session clusters by routing every session to the selected
+//      topic with the highest document weight;
+//   4. enforce coverage: clusters smaller than a minimum session count
+//      are judged non-representative and merged into the most similar
+//      surviving cluster (experts "add or remove topics based on their
+//      judgment on whether they are representative or not").
+//
+// The output contract matches the interface's: a partition of the
+// historical sessions H into k clusters (union = H, §III).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topics/ensemble.hpp"
+
+namespace misuse::cluster {
+
+struct ExpertPolicyConfig {
+  /// Number of clusters the expert aims for (the paper's dataset: 13).
+  std::size_t target_clusters = 13;
+  /// Clusters owning fewer sessions than this are merged away.
+  std::size_t min_cluster_sessions = 20;
+};
+
+struct ClusteringResult {
+  /// clusters[c] = indices of the sessions assigned to cluster c.
+  std::vector<std::vector<std::size_t>> clusters;
+  /// session_cluster[d] = cluster index of session d.
+  std::vector<std::size_t> session_cluster;
+  /// Pooled-topic index selected as each cluster's representative.
+  std::vector<std::size_t> representative_topics;
+
+  std::size_t cluster_count() const { return clusters.size(); }
+};
+
+/// Agglomerative average-linkage clustering of items given a symmetric
+/// similarity matrix; returns item -> group (groups numbered from 0).
+/// Exposed for reuse and direct testing.
+std::vector<std::size_t> agglomerate_by_similarity(const Matrix& similarity,
+                                                   std::size_t target_groups);
+
+class ExpertPolicy {
+ public:
+  explicit ExpertPolicy(const ExpertPolicyConfig& config) : config_(config) {}
+
+  /// Runs the full procedure on a fitted ensemble.
+  ClusteringResult run(const topics::LdaEnsemble& ensemble) const;
+
+ private:
+  ExpertPolicyConfig config_;
+};
+
+}  // namespace misuse::cluster

@@ -1,0 +1,54 @@
+#include "core/calibration.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace misuse::core {
+
+CalibrationResult calibrate_alarm_threshold(const MisuseDetector& detector,
+                                            const SessionStore& store,
+                                            std::span<const std::size_t> normal_sessions,
+                                            double session_fpr_budget) {
+  assert(session_fpr_budget >= 0.0 && session_fpr_budget < 1.0);
+  // A session alarms iff its minimum per-action likelihood is below the
+  // threshold, so the session-level statistic to collect is that minimum.
+  std::vector<double> min_likelihoods;
+  for (std::size_t i : normal_sessions) {
+    const auto prediction = detector.predict(store.at(i).view());
+    if (prediction.score.likelihoods.empty()) continue;
+    min_likelihoods.push_back(*std::min_element(prediction.score.likelihoods.begin(),
+                                                prediction.score.likelihoods.end()));
+  }
+
+  CalibrationResult result;
+  result.calibration_sessions = min_likelihoods.size();
+  if (min_likelihoods.empty()) return result;
+
+  std::sort(min_likelihoods.begin(), min_likelihoods.end());
+  // Allow the budgeted number of sessions to fall below the threshold.
+  const auto allowed = static_cast<std::size_t>(
+      session_fpr_budget * static_cast<double>(min_likelihoods.size()));
+  // Threshold just below the (allowed+1)-th smallest minimum: exactly
+  // `allowed` sessions would alarm.
+  result.alarm_likelihood = std::max(min_likelihoods[allowed] * (1.0 - 1e-9), 0.0);
+  std::size_t alarming = 0;
+  for (double m : min_likelihoods) {
+    if (m < result.alarm_likelihood) ++alarming;
+  }
+  result.session_false_alarm_rate =
+      static_cast<double>(alarming) / static_cast<double>(min_likelihoods.size());
+  return result;
+}
+
+CalibrationResult calibrate_on_validation_splits(const MisuseDetector& detector,
+                                                 const SessionStore& store,
+                                                 double session_fpr_budget) {
+  std::vector<std::size_t> valid;
+  for (std::size_t c = 0; c < detector.cluster_count(); ++c) {
+    const auto& v = detector.cluster(c).valid;
+    valid.insert(valid.end(), v.begin(), v.end());
+  }
+  return calibrate_alarm_threshold(detector, store, valid, session_fpr_budget);
+}
+
+}  // namespace misuse::core

@@ -1,0 +1,44 @@
+// Alarm-threshold calibration. The paper leaves the operating point
+// implicit ("as soon as predictions start to vary a lot or drop down
+// considerably that is the alarm", §IV-C); operationally the threshold
+// must be chosen against a false-alarm budget — Sommer & Paxson's central
+// critique of anomaly detection is exactly the cost of false positives.
+//
+// calibrate_alarm_threshold scores held-out *normal* sessions (the
+// validation splits) through the deployed prediction path and returns the
+// per-action likelihood threshold whose expected per-session false-alarm
+// rate matches the budget.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/detector.hpp"
+
+namespace misuse::core {
+
+struct CalibrationResult {
+  /// Per-action likelihood threshold for MonitorConfig::alarm_likelihood.
+  double alarm_likelihood = 0.0;
+  /// Fraction of calibration sessions that would raise >= 1 alarm at the
+  /// chosen threshold (the realized session-level false-alarm rate).
+  double session_false_alarm_rate = 0.0;
+  std::size_t calibration_sessions = 0;
+};
+
+/// Chooses the largest threshold such that at most `session_fpr_budget`
+/// of the given normal sessions would alarm (an alarming session = one
+/// whose *minimum* per-action likelihood falls below the threshold).
+/// Sessions shorter than 2 actions are skipped.
+CalibrationResult calibrate_alarm_threshold(const MisuseDetector& detector,
+                                            const SessionStore& store,
+                                            std::span<const std::size_t> normal_sessions,
+                                            double session_fpr_budget);
+
+/// Convenience: calibrates on the union of the detector's validation
+/// splits (held out from model training but in-distribution).
+CalibrationResult calibrate_on_validation_splits(const MisuseDetector& detector,
+                                                 const SessionStore& store,
+                                                 double session_fpr_budget);
+
+}  // namespace misuse::core

@@ -1,0 +1,175 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "patterns/mining.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace misuse::core {
+
+namespace {
+constexpr std::uint32_t kDetectorMagic = 0x54444d53u;  // "SMDT"
+constexpr std::uint32_t kDetectorVersion = 1;
+
+std::vector<std::span<const int>> gather_sessions(const SessionStore& store,
+                                                  const std::vector<std::size_t>& indices) {
+  std::vector<std::span<const int>> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.push_back(store.at(i).view());
+  return out;
+}
+}  // namespace
+
+std::string label_cluster(const SessionStore& store, const std::vector<std::size_t>& members) {
+  std::vector<const Session*> cluster_sessions;
+  cluster_sessions.reserve(members.size());
+  for (std::size_t i : members) cluster_sessions.push_back(&store.at(i));
+  std::vector<const Session*> corpus;
+  corpus.reserve(store.size());
+  for (const auto& s : store.all()) corpus.push_back(&s);
+
+  const auto chars = patterns::characteristic_actions(cluster_sessions, corpus, 2);
+  if (chars.empty()) return "(empty)";
+  std::string label = store.vocab().name(chars[0].action);
+  if (chars.size() > 1) label += "+" + store.vocab().name(chars[1].action);
+  return label;
+}
+
+MisuseDetector MisuseDetector::train(const SessionStore& store, const DetectorConfig& config) {
+  assert(!store.empty());
+  Timer timer;
+  MisuseDetector detector;
+  detector.config_ = config;
+  detector.vocab_ = store.vocab();
+  const std::size_t vocab = store.vocab().size();
+  Rng rng(config.seed);
+
+  // Eligible sessions: the paper drops sessions with fewer than 2 actions
+  // (no observed/predicted pair to learn from).
+  std::vector<std::size_t> eligible;
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    if (store.at(i).length() >= config.min_session_actions) eligible.push_back(i);
+  }
+  assert(!eligible.empty());
+
+  // Step 1: LDA ensemble over the eligible sessions.
+  std::vector<std::vector<int>> documents;
+  documents.reserve(eligible.size());
+  for (std::size_t i : eligible) documents.push_back(store.at(i).actions);
+  const topics::LdaEnsemble ensemble = topics::LdaEnsemble::fit(documents, vocab, config.ensemble);
+  log_info() << "LDA ensemble fitted: " << ensemble.topic_count() << " pooled topics in "
+             << Table::num(timer.seconds(), 1) << "s";
+
+  // Step 2: headless expert -> behavior clusters.
+  const cluster::ExpertPolicy expert(config.expert);
+  const cluster::ClusteringResult clustering = expert.run(ensemble);
+
+  // Step 3: per-cluster 70/15/15 splits (indices back into the store).
+  for (std::size_t c = 0; c < clustering.cluster_count(); ++c) {
+    ClusterInfo info;
+    for (std::size_t doc : clustering.clusters[c]) info.members.push_back(eligible[doc]);
+    const Split split = store.split(rng, config.train_frac, config.valid_frac, info.members);
+    info.train = split.train;
+    info.valid = split.valid;
+    info.test = split.test;
+    info.label = label_cluster(store, info.members);
+    detector.clusters_.push_back(std::move(info));
+  }
+  // Order clusters by ascending size, matching the paper's presentation
+  // (Figs. 4/5/10 sort clusters by size).
+  std::stable_sort(detector.clusters_.begin(), detector.clusters_.end(),
+                   [](const ClusterInfo& a, const ClusterInfo& b) { return a.size() < b.size(); });
+  log_info() << "expert policy selected " << detector.clusters_.size() << " clusters";
+
+  // Step 4: one OC-SVM per cluster on its training sessions.
+  {
+    std::vector<std::vector<std::span<const int>>> per_cluster;
+    per_cluster.reserve(detector.clusters_.size());
+    for (const auto& info : detector.clusters_) {
+      per_cluster.push_back(gather_sessions(store, info.train));
+    }
+    cluster::AssignerConfig assigner_config = config.assigner;
+    assigner_config.features.vocab = vocab;
+    detector.assigner_ = std::make_unique<cluster::ClusterAssigner>(
+        cluster::ClusterAssigner::train(per_cluster, assigner_config));
+  }
+  log_info() << "OC-SVMs trained (" << Table::num(timer.seconds(), 1) << "s elapsed)";
+
+  // Step 5: one LSTM language model per cluster.
+  for (std::size_t c = 0; c < detector.clusters_.size(); ++c) {
+    const auto& info = detector.clusters_[c];
+    lm::LmConfig lm_config = config.lm;
+    lm_config.vocab = vocab;
+    lm_config.seed = config.seed + 1000 + c;
+    auto model = std::make_unique<lm::ActionLanguageModel>(lm_config);
+    const auto train_sessions = gather_sessions(store, info.train);
+    const auto valid_sessions = gather_sessions(store, info.valid);
+    ClusterTrainReport report;
+    report.epochs = model->fit(train_sessions, valid_sessions);
+    detector.reports_.push_back(std::move(report));
+    detector.models_.push_back(std::move(model));
+    log_info() << "cluster " << c << " '" << info.label << "' model trained on " << info.train.size()
+               << " sessions (" << Table::num(timer.seconds(), 1) << "s elapsed)";
+  }
+  return detector;
+}
+
+std::size_t MisuseDetector::route(std::span<const int> actions) const {
+  return assigner_->assign(actions);
+}
+
+MisuseDetector::Prediction MisuseDetector::predict(std::span<const int> actions) const {
+  Prediction p;
+  p.cluster = route(actions);
+  p.score = models_[p.cluster]->score_session(actions);
+  return p;
+}
+
+nn::NextActionModel::SessionScore MisuseDetector::score_with_cluster(
+    std::size_t c, std::span<const int> actions) const {
+  return models_.at(c)->score_session(actions);
+}
+
+void MisuseDetector::save(BinaryWriter& w) const {
+  w.write_magic(kDetectorMagic, kDetectorVersion);
+  vocab_.save(w);
+  w.write<std::uint64_t>(clusters_.size());
+  for (const auto& info : clusters_) {
+    w.write_string(info.label);
+    w.write_vector(std::span<const std::size_t>(info.members));
+    w.write_vector(std::span<const std::size_t>(info.train));
+    w.write_vector(std::span<const std::size_t>(info.valid));
+    w.write_vector(std::span<const std::size_t>(info.test));
+  }
+  assigner_->save(w);
+  for (const auto& model : models_) model->save(w);
+}
+
+MisuseDetector MisuseDetector::load(BinaryReader& r) {
+  r.read_magic(kDetectorMagic);
+  MisuseDetector detector;
+  detector.vocab_ = ActionVocab::load(r);
+  const auto n = static_cast<std::size_t>(r.read<std::uint64_t>());
+  for (std::size_t c = 0; c < n; ++c) {
+    ClusterInfo info;
+    info.label = r.read_string();
+    info.members = r.read_vector<std::size_t>();
+    info.train = r.read_vector<std::size_t>();
+    info.valid = r.read_vector<std::size_t>();
+    info.test = r.read_vector<std::size_t>();
+    detector.clusters_.push_back(std::move(info));
+  }
+  detector.assigner_ =
+      std::make_unique<cluster::ClusterAssigner>(cluster::ClusterAssigner::load(r));
+  for (std::size_t c = 0; c < n; ++c) {
+    detector.models_.push_back(
+        std::make_unique<lm::ActionLanguageModel>(lm::ActionLanguageModel::load(r)));
+  }
+  detector.reports_.resize(n);  // training history is not persisted
+  return detector;
+}
+
+}  // namespace misuse::core

@@ -1,0 +1,114 @@
+// MisuseDetector: the paper's full pipeline (Fig. 2).
+//
+// Training phase:
+//   1. fit an LDA ensemble on the historical sessions H (topic modeling),
+//   2. run the (headless) expert policy over the ensemble's artifacts to
+//      obtain k semantically meaningful behavior clusters G_1..G_k,
+//   3. split each cluster 70/15/15 into train/valid/test,
+//   4. train one OC-SVM per cluster on its training sessions (cluster
+//      routing), and
+//   5. train one LSTM language model per cluster (behavior modeling).
+//
+// Prediction phase: a new session is routed to the cluster G_max with the
+// maximal OC-SVM score and scored by that cluster's language model; the
+// average per-action likelihood (or loss) is its normality estimate.
+//
+// The training phase "can be repeated at any moment if security experts
+// notice sufficient drift" — retraining is just calling train() again on
+// the refreshed store.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/assigner.hpp"
+#include "cluster/expert_policy.hpp"
+#include "lm/language_model.hpp"
+#include "sessions/store.hpp"
+#include "topics/ensemble.hpp"
+
+namespace misuse::core {
+
+struct DetectorConfig {
+  topics::EnsembleConfig ensemble;
+  cluster::ExpertPolicyConfig expert;
+  cluster::AssignerConfig assigner;  // features.vocab is filled at train time
+  lm::LmConfig lm;                   // vocab is filled at train time
+  double train_frac = 0.70;          // paper proportions
+  double valid_frac = 0.15;
+  std::size_t min_session_actions = 2;  // §IV-A filter
+  std::uint64_t seed = 123;
+};
+
+/// Per-cluster bookkeeping: the expert-derived membership, its
+/// train/valid/test split (indices into the training store), and a
+/// human-readable label mined from the cluster's characteristic actions.
+struct ClusterInfo {
+  std::string label;
+  std::vector<std::size_t> members;
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> valid;
+  std::vector<std::size_t> test;
+
+  std::size_t size() const { return members.size(); }
+};
+
+/// Per-epoch training history of one cluster model (for reporting).
+struct ClusterTrainReport {
+  std::vector<lm::EpochStats> epochs;
+};
+
+class MisuseDetector {
+ public:
+  /// Trains the full pipeline on a session store. The store must outlive
+  /// nothing — all needed data is copied in.
+  static MisuseDetector train(const SessionStore& store, const DetectorConfig& config);
+
+  std::size_t cluster_count() const { return clusters_.size(); }
+  const ClusterInfo& cluster(std::size_t c) const { return clusters_.at(c); }
+  const std::vector<ClusterInfo>& clusters() const { return clusters_; }
+  const ClusterTrainReport& train_report(std::size_t c) const { return reports_.at(c); }
+
+  /// Cluster language model (non-const: evaluation reuses internal
+  /// forward buffers).
+  lm::ActionLanguageModel& model(std::size_t c) { return *models_.at(c); }
+  const lm::ActionLanguageModel& model(std::size_t c) const { return *models_.at(c); }
+
+  const cluster::ClusterAssigner& assigner() const { return *assigner_; }
+  const ActionVocab& vocab() const { return vocab_; }
+  const DetectorConfig& config() const { return config_; }
+
+  /// OC-SVM routing of a full session (argmax score — §III).
+  std::size_t route(std::span<const int> actions) const;
+
+  struct Prediction {
+    std::size_t cluster = 0;
+    nn::NextActionModel::SessionScore score;
+  };
+  /// Route + score: the paper's batch prediction path.
+  Prediction predict(std::span<const int> actions) const;
+
+  /// Scores a session under a *known* cluster's model (the oracle used by
+  /// the Fig. 4/5 experiments where the true cluster is assumed known).
+  nn::NextActionModel::SessionScore score_with_cluster(std::size_t c,
+                                                       std::span<const int> actions) const;
+
+  void save(BinaryWriter& w) const;
+  static MisuseDetector load(BinaryReader& r);
+
+ private:
+  MisuseDetector() = default;
+
+  DetectorConfig config_;
+  ActionVocab vocab_;
+  std::vector<ClusterInfo> clusters_;
+  std::vector<ClusterTrainReport> reports_;
+  std::vector<std::unique_ptr<lm::ActionLanguageModel>> models_;
+  std::unique_ptr<cluster::ClusterAssigner> assigner_;
+};
+
+/// Builds the label of a cluster from its most characteristic actions.
+std::string label_cluster(const SessionStore& store, const std::vector<std::size_t>& members);
+
+}  // namespace misuse::core

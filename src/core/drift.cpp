@@ -1,0 +1,63 @@
+#include "core/drift.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace misuse::core {
+
+double jensen_shannon(std::span<const double> a, std::span<const double> b, double smoothing) {
+  assert(a.size() == b.size());
+  assert(!a.empty());
+  const std::size_t d = a.size();
+  double total_a = 0.0, total_b = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    total_a += a[i] + smoothing;
+    total_b += b[i] + smoothing;
+  }
+  double js = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    const double p = (a[i] + smoothing) / total_a;
+    const double q = (b[i] + smoothing) / total_b;
+    const double m = 0.5 * (p + q);
+    if (p > 0.0) js += 0.5 * p * std::log(p / m);
+    if (q > 0.0) js += 0.5 * q * std::log(q / m);
+  }
+  return js;
+}
+
+DriftMonitor::DriftMonitor(const SessionStore& training_corpus, const DriftConfig& config)
+    : config_(config),
+      reference_counts_(training_corpus.vocab().size(), 0.0),
+      window_counts_(training_corpus.vocab().size(), 0.0) {
+  assert(!training_corpus.vocab().empty());
+  for (const auto& session : training_corpus.all()) {
+    for (int a : session.actions) {
+      reference_counts_[static_cast<std::size_t>(a)] += 1.0;
+    }
+  }
+}
+
+double DriftMonitor::observe(std::span<const int> actions) {
+  window_.emplace_back(actions.begin(), actions.end());
+  for (int a : actions) {
+    assert(a >= 0 && static_cast<std::size_t>(a) < window_counts_.size());
+    window_counts_[static_cast<std::size_t>(a)] += 1.0;
+  }
+  while (window_.size() > config_.window_sessions) {
+    for (int a : window_.front()) window_counts_[static_cast<std::size_t>(a)] -= 1.0;
+    window_.pop_front();
+  }
+  recompute();
+  return divergence_;
+}
+
+void DriftMonitor::recompute() {
+  // Too few sessions to judge: stay quiet rather than alarm on noise.
+  if (window_.size() < std::max<std::size_t>(config_.window_sessions / 4, 1)) {
+    divergence_ = 0.0;
+    return;
+  }
+  divergence_ = jensen_shannon(reference_counts_, window_counts_, config_.smoothing);
+}
+
+}  // namespace misuse::core

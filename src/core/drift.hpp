@@ -1,0 +1,58 @@
+// Behavior-drift monitoring. The paper's pipeline diagram (Fig. 2) notes
+// that "the training phase can be repeated at any moment if security
+// experts notice sufficient drift in behavior in the system" — this
+// module notices it for them.
+//
+// The monitor keeps the action distribution of the training corpus as a
+// reference and compares it against a sliding window of recent sessions
+// using Jensen-Shannon divergence (bounded in [0, ln 2], symmetric, and
+// defined for disjoint supports — new actions appearing in production are
+// exactly the drift we must flag).
+#pragma once
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "sessions/store.hpp"
+
+namespace misuse::core {
+
+struct DriftConfig {
+  /// Number of recent sessions forming the comparison window.
+  std::size_t window_sessions = 200;
+  /// JS divergence (nats) above which drift is reported.
+  double threshold = 0.05;
+  /// Smoothing mass added to both distributions before comparison.
+  double smoothing = 0.5;
+};
+
+/// Jensen-Shannon divergence between two unnormalized count vectors of
+/// equal length (after additive smoothing). Exposed for tests.
+double jensen_shannon(std::span<const double> a, std::span<const double> b, double smoothing);
+
+class DriftMonitor {
+ public:
+  /// Builds the reference distribution from the training sessions.
+  DriftMonitor(const SessionStore& training_corpus, const DriftConfig& config);
+
+  /// Feeds one production session. Returns the divergence after the
+  /// update (0 until the window has at least window_sessions/4 sessions).
+  double observe(std::span<const int> actions);
+
+  double current_divergence() const { return divergence_; }
+  bool drift_detected() const { return divergence_ > config_.threshold; }
+  std::size_t window_fill() const { return window_.size(); }
+  const DriftConfig& config() const { return config_; }
+
+ private:
+  void recompute();
+
+  DriftConfig config_;
+  std::vector<double> reference_counts_;
+  std::vector<double> window_counts_;
+  std::deque<std::vector<int>> window_;
+  double divergence_ = 0.0;
+};
+
+}  // namespace misuse::core

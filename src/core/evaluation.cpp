@@ -1,0 +1,144 @@
+#include "core/evaluation.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace misuse::core {
+
+PositionCurve::PositionCurve(std::size_t max_positions)
+    : sums_(max_positions, 0.0), sq_sums_(max_positions, 0.0), counts_(max_positions, 0) {
+  assert(max_positions > 0);
+}
+
+void PositionCurve::add(std::size_t position, double value) {
+  if (position >= sums_.size()) return;  // beyond the plotted range
+  sums_[position] += value;
+  sq_sums_[position] += value * value;
+  ++counts_[position];
+}
+
+double PositionCurve::mean(std::size_t position) const {
+  const std::size_t n = counts_.at(position);
+  return n == 0 ? 0.0 : sums_[position] / static_cast<double>(n);
+}
+
+double PositionCurve::stddev(std::size_t position) const {
+  const std::size_t n = counts_.at(position);
+  if (n < 2) return 0.0;
+  const double m = mean(position);
+  const double var =
+      (sq_sums_[position] - static_cast<double>(n) * m * m) / static_cast<double>(n - 1);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+std::size_t PositionCurve::usable_length(std::size_t min_count) const {
+  std::size_t length = 0;
+  for (std::size_t p = 0; p < counts_.size(); ++p) {
+    if (counts_[p] >= min_count) length = p + 1;
+  }
+  return length;
+}
+
+lm::ActionLanguageModel train_baseline_model(const SessionStore& store,
+                                             std::span<const std::size_t> indices,
+                                             const lm::LmConfig& config_template,
+                                             std::size_t vocab, std::uint64_t seed) {
+  lm::LmConfig config = config_template;
+  config.vocab = vocab;
+  config.seed = seed;
+  lm::ActionLanguageModel model(config);
+  std::vector<std::span<const int>> sessions;
+  sessions.reserve(indices.size());
+  for (std::size_t i : indices) sessions.push_back(store.at(i).view());
+  model.fit(sessions, {});
+  return model;
+}
+
+lm::EvalStats evaluate_model_on(lm::ActionLanguageModel& model, const SessionStore& store,
+                                std::span<const std::size_t> indices) {
+  std::vector<std::span<const int>> sessions;
+  sessions.reserve(indices.size());
+  for (std::size_t i : indices) sessions.push_back(store.at(i).view());
+  return model.evaluate(sessions);
+}
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> out(n);
+  std::iota(out.begin(), out.end(), std::size_t{0});
+  return out;
+}
+
+double anomaly_auc(std::span<const double> normal_scores,
+                   std::span<const double> anomalous_scores) {
+  if (normal_scores.empty() || anomalous_scores.empty()) return 0.5;
+  double wins = 0.0;
+  for (double a : anomalous_scores) {
+    for (double n : normal_scores) {
+      if (a < n) wins += 1.0;
+      else if (a == n) wins += 0.5;
+    }
+  }
+  return wins / (static_cast<double>(normal_scores.size()) *
+                 static_cast<double>(anomalous_scores.size()));
+}
+
+std::vector<double> cluster_archetype_purity(const SessionStore& store,
+                                             const MisuseDetector& detector) {
+  std::vector<double> purity;
+  purity.reserve(detector.cluster_count());
+  for (std::size_t c = 0; c < detector.cluster_count(); ++c) {
+    std::map<int, std::size_t> counts;
+    for (std::size_t i : detector.cluster(c).members) {
+      ++counts[store.at(i).archetype];
+    }
+    std::size_t total = 0, peak = 0;
+    for (const auto& [arch, n] : counts) {
+      total += n;
+      peak = std::max(peak, n);
+    }
+    purity.push_back(total == 0 ? 0.0 : static_cast<double>(peak) / static_cast<double>(total));
+  }
+  return purity;
+}
+
+double clustering_nmi(const SessionStore& store, const MisuseDetector& detector) {
+  // Joint counts over (cluster, archetype) for all clustered sessions.
+  std::map<std::pair<std::size_t, int>, double> joint;
+  std::map<std::size_t, double> cluster_marginal;
+  std::map<int, double> archetype_marginal;
+  double total = 0.0;
+  for (std::size_t c = 0; c < detector.cluster_count(); ++c) {
+    for (std::size_t i : detector.cluster(c).members) {
+      const int a = store.at(i).archetype;
+      joint[{c, a}] += 1.0;
+      cluster_marginal[c] += 1.0;
+      archetype_marginal[a] += 1.0;
+      total += 1.0;
+    }
+  }
+  if (total <= 0.0) return 0.0;
+
+  double mutual = 0.0;
+  for (const auto& [key, n] : joint) {
+    const double p_xy = n / total;
+    const double p_x = cluster_marginal.at(key.first) / total;
+    const double p_y = archetype_marginal.at(key.second) / total;
+    mutual += p_xy * std::log(p_xy / (p_x * p_y));
+  }
+  const auto entropy = [total](const auto& marginal) {
+    double h = 0.0;
+    for (const auto& [key, n] : marginal) {
+      const double p = n / total;
+      h -= p * std::log(p);
+    }
+    return h;
+  };
+  const double h_c = entropy(cluster_marginal);
+  const double h_a = entropy(archetype_marginal);
+  if (h_c <= 0.0 || h_a <= 0.0) return 0.0;
+  return mutual / std::sqrt(h_c * h_a);
+}
+
+}  // namespace misuse::core

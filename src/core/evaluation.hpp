@@ -1,0 +1,105 @@
+// Evaluation helpers shared by the figure benches and the integration
+// tests: per-position curve averaging (Figs. 6/7), baseline model
+// training (Figs. 5/10), normality summaries (Figs. 8/9/11/12), and the
+// ground-truth oracles made possible by the synthetic corpus.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "lm/language_model.hpp"
+#include "sessions/store.hpp"
+
+namespace misuse::core {
+
+/// Accumulates values indexed by position (action number within a
+/// session) across many sessions and reports per-position means — the
+/// construction behind the paper's "scores averaged over all testing
+/// sessions, per action" plots.
+class PositionCurve {
+ public:
+  explicit PositionCurve(std::size_t max_positions);
+
+  void add(std::size_t position, double value);
+
+  std::size_t max_positions() const { return sums_.size(); }
+  std::size_t count(std::size_t position) const { return counts_.at(position); }
+  double mean(std::size_t position) const;
+  /// Sample standard deviation at a position (0 when < 2 samples).
+  double stddev(std::size_t position) const;
+  /// Highest position with at least `min_count` samples, plus one (i.e. a
+  /// usable curve length).
+  std::size_t usable_length(std::size_t min_count) const;
+
+ private:
+  std::vector<double> sums_;
+  std::vector<double> sq_sums_;
+  std::vector<std::size_t> counts_;
+};
+
+/// Trains a model with the given config on arbitrary store indices (the
+/// paper's global and global-subset baselines).
+lm::ActionLanguageModel train_baseline_model(const SessionStore& store,
+                                             std::span<const std::size_t> indices,
+                                             const lm::LmConfig& config_template,
+                                             std::size_t vocab, std::uint64_t seed);
+
+/// Next-action loss/accuracy of a model over the given store indices.
+lm::EvalStats evaluate_model_on(lm::ActionLanguageModel& model, const SessionStore& store,
+                                std::span<const std::size_t> indices);
+
+/// Average likelihood / loss of a set of sessions under per-session
+/// scoring (the paper's normality estimation).
+struct NormalitySummary {
+  double avg_likelihood = 0.0;
+  double avg_loss = 0.0;
+  double likelihood_stddev = 0.0;
+  double loss_stddev = 0.0;
+  std::size_t sessions = 0;
+};
+
+/// Scores each session with `score` (any callable: session actions ->
+/// SessionScore) and summarizes.
+template <typename ScoreFn>
+NormalitySummary summarize_normality(const SessionStore& store,
+                                     std::span<const std::size_t> indices, ScoreFn&& score) {
+  std::vector<double> likes, losses;
+  for (std::size_t i : indices) {
+    const auto s = score(store.at(i).view());
+    if (s.likelihoods.empty()) continue;
+    likes.push_back(s.avg_likelihood());
+    losses.push_back(s.avg_loss());
+  }
+  NormalitySummary out;
+  out.sessions = likes.size();
+  if (!likes.empty()) {
+    out.avg_likelihood = mean(likes);
+    out.avg_loss = mean(losses);
+    out.likelihood_stddev = stddev(likes);
+    out.loss_stddev = stddev(losses);
+  }
+  return out;
+}
+
+/// All indices 0..n-1 (convenience for whole-store evaluations).
+std::vector<std::size_t> all_indices(std::size_t n);
+
+/// Area under the ROC curve for an anomaly score where *lower* values
+/// mean "more anomalous": the probability that a random positive
+/// (anomalous) item scores below a random negative (normal) one. Ties
+/// count 1/2. Returns 0.5 when either class is empty.
+double anomaly_auc(std::span<const double> normal_scores,
+                   std::span<const double> anomalous_scores);
+
+/// Ground-truth oracle: purity of each detector cluster with respect to
+/// the synthetic archetype labels (fraction of the dominant archetype).
+std::vector<double> cluster_archetype_purity(const SessionStore& store,
+                                             const MisuseDetector& detector);
+
+/// Normalized mutual information between the detector's clustering and
+/// the ground-truth archetypes over the clustered sessions (1 = perfect
+/// recovery of the generative structure, 0 = independence).
+double clustering_nmi(const SessionStore& store, const MisuseDetector& detector);
+
+}  // namespace misuse::core

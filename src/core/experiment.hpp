@@ -1,0 +1,58 @@
+// Shared experiment scaffolding for the bench binaries that regenerate
+// the paper's figures. Centralizes:
+//
+//   * the default (CPU-friendly) and --paper-scale parameterizations,
+//   * CLI parsing, so every bench accepts the same flags,
+//   * deterministic corpus generation via the portal simulator, and
+//   * a trained-pipeline cache: training the detector once and reusing it
+//     across the figure benches (the corpus is regenerated bit-identically
+//     from its seed, so cached cluster indices remain valid).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/detector.hpp"
+#include "synth/portal.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace misuse::core {
+
+struct ExperimentConfig {
+  synth::PortalConfig portal;
+  DetectorConfig detector;
+  std::size_t random_test_sessions = 400;  // size of the §IV-D artificial set
+  bool use_cache = true;
+  std::string results_dir = "results";
+
+  /// Reads flags: --sessions --users --actions --hidden --epochs --window
+  /// --batch --clusters --lda-iters --seed --mode --misuse-fraction
+  /// --paper-scale --no-cache --results-dir --log-level.
+  static ExperimentConfig from_cli(const CliArgs& args);
+
+  /// Stable hash of every field that influences training; names the cache
+  /// entry.
+  std::uint64_t fingerprint() const;
+};
+
+/// A fully prepared experiment: the synthetic corpus plus the trained
+/// pipeline (from cache when available).
+struct Experiment {
+  ExperimentConfig config;
+  synth::Portal portal;
+  SessionStore store;
+  MisuseDetector detector;
+
+  /// Generates the corpus and trains or loads the detector.
+  static Experiment prepare(const ExperimentConfig& config);
+
+  /// Union of the per-cluster test splits with their cluster ids — the
+  /// paper's "united testing dataset" (§IV-C).
+  std::vector<std::pair<std::size_t, std::size_t>> united_test_set() const;  // (session, cluster)
+};
+
+/// Prints the table to stdout and writes `<results_dir>/<name>.csv`.
+void emit_table(const Table& table, const std::string& results_dir, const std::string& name);
+
+}  // namespace misuse::core

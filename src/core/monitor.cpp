@@ -1,0 +1,97 @@
+#include "core/monitor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace misuse::core {
+
+bool TrendDetector::push(double value) {
+  history_.push_back(value);
+  if (history_.size() < 2 * window_) return false;
+  const auto end = history_.end();
+  const double recent =
+      std::accumulate(end - static_cast<std::ptrdiff_t>(window_), end, 0.0) /
+      static_cast<double>(window_);
+  const double previous = std::accumulate(end - static_cast<std::ptrdiff_t>(2 * window_),
+                                          end - static_cast<std::ptrdiff_t>(window_), 0.0) /
+                          static_cast<double>(window_);
+  return previous > 0.0 && recent < previous * (1.0 - drop_);
+}
+
+OnlineMonitor::OnlineMonitor(const MisuseDetector& detector, const MonitorConfig& config)
+    : detector_(detector),
+      config_(config),
+      assignment_(detector.assigner().start_online()),
+      trend_(config.trend_window, config.trend_drop) {
+  states_.reserve(detector.cluster_count());
+  next_distributions_.resize(detector.cluster_count());
+  for (std::size_t c = 0; c < detector.cluster_count(); ++c) {
+    states_.push_back(detector.model(c).make_state());
+  }
+}
+
+void OnlineMonitor::reset() {
+  assignment_.reset();
+  for (std::size_t c = 0; c < states_.size(); ++c) {
+    states_[c].reset();
+    next_distributions_[c].clear();
+  }
+  trend_.reset();
+  step_ = 0;
+}
+
+OnlineMonitor::StepResult OnlineMonitor::observe(int action) {
+  assert(action >= 0 && static_cast<std::size_t>(action) < detector_.vocab().size());
+  StepResult result;
+  result.step = ++step_;
+
+  // Cluster routing on the prefix including this action.
+  result.ocsvm_scores = assignment_.push(action);
+  result.cluster_argmax = assignment_.current_argmax();
+  result.cluster_voted = assignment_.voted_cluster();
+
+  // Likelihood of this action under each strategy's model, using the
+  // distributions predicted at the previous step.
+  if (step_ > 1) {
+    const auto likelihood_of = [&](std::size_t c) {
+      const auto& dist = next_distributions_[c];
+      assert(!dist.empty());
+      return static_cast<double>(dist[static_cast<std::size_t>(action)]);
+    };
+    result.likelihood_argmax = likelihood_of(result.cluster_argmax);
+    result.likelihood_voted = likelihood_of(result.cluster_voted);
+
+    // Alarm policy on the voted strategy (the deployable one).
+    const double voted = *result.likelihood_voted;
+    if (voted < config_.alarm_likelihood) result.alarm = true;
+    if (trend_.push(voted)) {
+      result.trend_alarm = true;
+      result.alarm = true;
+    }
+
+    // Explain alarms: what the voted model expected instead.
+    if (result.alarm && config_.explain_top_k > 0) {
+      const auto& dist = next_distributions_[result.cluster_voted];
+      std::vector<std::size_t> order(dist.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      const std::size_t k = std::min(config_.explain_top_k, order.size());
+      std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                        order.end(),
+                        [&dist](std::size_t a, std::size_t b) { return dist[a] > dist[b]; });
+      for (std::size_t i = 0; i < k; ++i) {
+        result.expected.push_back(
+            {static_cast<int>(order[i]), static_cast<double>(dist[order[i]])});
+      }
+    }
+  }
+
+  // Advance every cluster model with the observed action so next step's
+  // predictions are available under either strategy.
+  for (std::size_t c = 0; c < states_.size(); ++c) {
+    next_distributions_[c] = detector_.model(c).step(states_[c], action);
+  }
+  return result;
+}
+
+}  // namespace misuse::core

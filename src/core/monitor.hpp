@@ -1,0 +1,104 @@
+// OnlineMonitor: the paper's realtime use case (§IV-C). A session is
+// analyzed action by action "in order to give an alarm for security
+// operators as soon as some suspicious behavior is observed".
+//
+// Two cluster-selection strategies are tracked simultaneously, matching
+// the two baselines of Fig. 7:
+//   * argmax: the model of the cluster with the maximal OC-SVM score at
+//     the current step, re-predicted every step;
+//   * voted: the cluster frozen after a majority vote over the first 15
+//     actions (the dataset's average session length), the paper's fix for
+//     OC-SVM scores collapsing on long sessions (Fig. 6).
+//
+// Alarm policy: a step alarms when the voted-model likelihood of the
+// observed action falls below `alarm_likelihood`, or when the moving
+// average over `trend_window` steps drops by more than `trend_drop`
+// relative to the previous window (the trend detection the paper proposes
+// in §V as an improvement over reacting to every low score).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/detector.hpp"
+
+namespace misuse::core {
+
+struct MonitorConfig {
+  double alarm_likelihood = 0.02;  // immediate alarm threshold
+  std::size_t trend_window = 8;    // moving-average window (actions)
+  double trend_drop = 0.5;         // alarm when the average halves
+  std::size_t explain_top_k = 3;   // expected actions reported on alarms
+};
+
+/// Detects a sustained drop in a likelihood stream: fires when the mean
+/// of the last `window` values falls below (1 - drop) times the mean of
+/// the `window` values before them. Extracted from the monitor so the
+/// §V trend-alarm proposal is testable in isolation.
+class TrendDetector {
+ public:
+  TrendDetector(std::size_t window, double drop) : window_(window), drop_(drop) {}
+
+  /// Feeds one value; returns true when the drop condition holds.
+  bool push(double value);
+  void reset() { history_.clear(); }
+  std::size_t window() const { return window_; }
+
+ private:
+  std::size_t window_;
+  double drop_;
+  std::vector<double> history_;
+};
+
+class OnlineMonitor {
+ public:
+  OnlineMonitor(const MisuseDetector& detector, const MonitorConfig& config);
+
+  /// One of the actions the voted model expected at this step — surfaced
+  /// on alarms so the operator sees *what normal would have looked like*
+  /// (addressing the semantic-gap complaint of Sommer & Paxson that the
+  /// paper cites in SS I).
+  struct ExpectedAction {
+    int action = 0;
+    double probability = 0.0;
+  };
+
+  struct StepResult {
+    std::size_t step = 0;  // 1-based index of the observed action
+    /// OC-SVM scores of every cluster on the current prefix.
+    std::vector<double> ocsvm_scores;
+    std::size_t cluster_argmax = 0;
+    std::size_t cluster_voted = 0;
+    /// Likelihood the respective strategy's model assigned to this action
+    /// *before* observing it; absent for the first action.
+    std::optional<double> likelihood_argmax;
+    std::optional<double> likelihood_voted;
+    bool alarm = false;
+    bool trend_alarm = false;
+    /// On alarm: the top expected actions under the voted model at this
+    /// step (empty otherwise).
+    std::vector<ExpectedAction> expected;
+  };
+
+  /// Feeds one observed action.
+  StepResult observe(int action);
+
+  /// Starts a new session.
+  void reset();
+
+  std::size_t steps() const { return step_; }
+
+ private:
+  const MisuseDetector& detector_;
+  MonitorConfig config_;
+  cluster::ClusterAssigner::OnlineAssignment assignment_;
+  /// One recurrent state and one next-action distribution per cluster
+  /// model, advanced in lockstep so either strategy can read its
+  /// prediction at any step.
+  std::vector<nn::ModelState> states_;
+  std::vector<std::vector<float>> next_distributions_;
+  TrendDetector trend_;
+  std::size_t step_ = 0;
+};
+
+}  // namespace misuse::core

@@ -1,0 +1,65 @@
+#include "core/scoring.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace misuse::core {
+
+std::vector<double> softmax_weights(std::span<const double> scores, double beta) {
+  assert(!scores.empty());
+  const double mx = *std::max_element(scores.begin(), scores.end());
+  std::vector<double> out(scores.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    out[i] = std::exp(beta * (scores[i] - mx));
+    sum += out[i];
+  }
+  for (auto& w : out) w /= sum;
+  return out;
+}
+
+WeightedEnsembleScorer::WeightedEnsembleScorer(const MisuseDetector& detector,
+                                               const WeightedScoringConfig& config)
+    : detector_(detector), config_(config) {}
+
+std::vector<double> WeightedEnsembleScorer::mixture_weights(std::span<const int> actions) const {
+  return softmax_weights(detector_.assigner().scores(actions), config_.beta);
+}
+
+nn::NextActionModel::SessionScore WeightedEnsembleScorer::score_session(
+    std::span<const int> actions) const {
+  nn::NextActionModel::SessionScore score;
+  if (actions.size() < 2) return score;
+  const std::vector<double> weights = mixture_weights(actions);
+  const std::size_t k = detector_.cluster_count();
+
+  // Advance every cluster model in lockstep; the mixture prediction at
+  // each step blends their next-action distributions.
+  std::vector<nn::ModelState> states;
+  states.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) states.push_back(detector_.model(c).make_state());
+
+  std::size_t correct = 0;
+  std::vector<float> mixture;
+  for (std::size_t i = 0; i + 1 < actions.size(); ++i) {
+    mixture.assign(detector_.vocab().size(), 0.0f);
+    for (std::size_t c = 0; c < k; ++c) {
+      const auto dist = detector_.model(c).step(states[c], actions[i]);
+      const auto w = static_cast<float>(weights[c]);
+      for (std::size_t a = 0; a < mixture.size(); ++a) mixture[a] += w * dist[a];
+    }
+    const auto next = static_cast<std::size_t>(actions[i + 1]);
+    const double p = std::max(static_cast<double>(mixture[next]), 1e-12);
+    score.likelihoods.push_back(p);
+    score.losses.push_back(-std::log(p));
+    if (static_cast<std::size_t>(
+            std::max_element(mixture.begin(), mixture.end()) - mixture.begin()) == next) {
+      ++correct;
+    }
+  }
+  score.accuracy = static_cast<double>(correct) / static_cast<double>(score.likelihoods.size());
+  return score;
+}
+
+}  // namespace misuse::core

@@ -1,0 +1,50 @@
+// Weighted ensemble scoring — the paper's first future-work direction
+// (§V): "weighted combination of multiple scores from cluster models
+// might give more objective score, taking into account possible
+// imprecision of cluster identification."
+//
+// Instead of committing to the single argmax-scored cluster, the scorer
+// turns the OC-SVM scores into softmax weights and scores every action
+// under the weight-blended mixture of all cluster models:
+//
+//   w_c  = softmax(beta * ocsvm_score_c(session))
+//   p(a_i | prefix) = sum_c w_c * p_c(a_i | prefix)
+//
+// beta controls how sharply the mixture concentrates on the best-matching
+// cluster; beta -> infinity recovers the paper's argmax routing.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/detector.hpp"
+
+namespace misuse::core {
+
+struct WeightedScoringConfig {
+  /// Softmax temperature over OC-SVM scores. OC-SVM decision values live
+  /// on a small scale (|f| ~ 1e-2 on typical data), so beta is large.
+  double beta = 200.0;
+};
+
+class WeightedEnsembleScorer {
+ public:
+  WeightedEnsembleScorer(const MisuseDetector& detector, const WeightedScoringConfig& config);
+
+  /// Mixture weights for a session (softmax of its OC-SVM scores).
+  std::vector<double> mixture_weights(std::span<const int> actions) const;
+
+  /// Per-action likelihoods/losses under the weighted mixture of all
+  /// cluster models; same contract as NextActionModel::score_session.
+  nn::NextActionModel::SessionScore score_session(std::span<const int> actions) const;
+
+ private:
+  const MisuseDetector& detector_;
+  WeightedScoringConfig config_;
+};
+
+/// Softmax of arbitrary real scores with temperature beta; exposed for
+/// tests.
+std::vector<double> softmax_weights(std::span<const double> scores, double beta);
+
+}  // namespace misuse::core

@@ -1,0 +1,112 @@
+#include "lm/batching.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace misuse::lm {
+
+std::vector<WindowExample> make_window_examples(std::span<const int> actions, std::size_t window) {
+  assert(window >= 2);
+  std::vector<WindowExample> out;
+  if (actions.size() < 2) return out;  // nothing to predict (§IV-A filter)
+  const std::size_t input_len = window - 1;
+  // Example i (1-based over predictable positions): inputs are actions
+  // [0, i), left-padded/cropped to input_len; target is actions[i].
+  for (std::size_t i = 1; i < actions.size(); ++i) {
+    WindowExample ex;
+    ex.inputs.assign(input_len, nn::kPadToken);
+    const std::size_t observed = std::min(i, input_len);
+    for (std::size_t j = 0; j < observed; ++j) {
+      ex.inputs[input_len - observed + j] = actions[i - observed + j];
+    }
+    ex.target = actions[i];
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+std::vector<nn::SequenceBatch> pack_window_batches(std::span<const WindowExample> examples,
+                                                   std::size_t batch_size) {
+  assert(batch_size > 0);
+  std::vector<nn::SequenceBatch> batches;
+  for (std::size_t start = 0; start < examples.size(); start += batch_size) {
+    const std::size_t b = std::min(batch_size, examples.size() - start);
+    const std::size_t t_steps = examples[start].inputs.size();
+    nn::SequenceBatch batch;
+    batch.tokens.assign(t_steps, std::vector<int>(b, nn::kPadToken));
+    batch.targets.assign(t_steps, std::vector<int>(b, nn::kIgnoreTarget));
+    for (std::size_t i = 0; i < b; ++i) {
+      const WindowExample& ex = examples[start + i];
+      assert(ex.inputs.size() == t_steps);
+      for (std::size_t t = 0; t < t_steps; ++t) batch.tokens[t][i] = ex.inputs[t];
+      batch.targets[t_steps - 1][i] = ex.target;
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+std::vector<nn::SequenceBatch> pack_full_sequence_batches(
+    std::span<const std::span<const int>> sessions, std::size_t window, std::size_t batch_size) {
+  assert(window >= 2 && batch_size > 0);
+  // Sort indices by cropped length so batches waste little padding.
+  std::vector<std::size_t> order(sessions.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const auto cropped_len = [&](std::size_t i) { return std::min(sessions[i].size(), window); };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return cropped_len(a) < cropped_len(b); });
+
+  std::vector<nn::SequenceBatch> batches;
+  for (std::size_t start = 0; start < order.size(); start += batch_size) {
+    const std::size_t b = std::min(batch_size, order.size() - start);
+    std::size_t t_steps = 0;
+    for (std::size_t i = 0; i < b; ++i) {
+      const auto len = cropped_len(order[start + i]);
+      if (len >= 2) t_steps = std::max(t_steps, len - 1);
+    }
+    if (t_steps == 0) continue;  // every session in this slice too short
+
+    nn::SequenceBatch batch;
+    batch.tokens.assign(t_steps, std::vector<int>(b, nn::kPadToken));
+    batch.targets.assign(t_steps, std::vector<int>(b, nn::kIgnoreTarget));
+    for (std::size_t i = 0; i < b; ++i) {
+      const auto& s = sessions[order[start + i]];
+      const std::size_t len = std::min(s.size(), window);
+      if (len < 2) continue;
+      for (std::size_t t = 0; t + 1 < len; ++t) {
+        batch.tokens[t][i] = s[t];
+        batch.targets[t][i] = s[t + 1];
+      }
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+std::vector<nn::SequenceBatch> make_epoch_batches(std::span<const std::span<const int>> sessions,
+                                                  const BatchingConfig& config, Rng& rng) {
+  switch (config.mode) {
+    case BatchingMode::kWindowed: {
+      std::vector<WindowExample> examples;
+      for (const auto& s : sessions) {
+        auto ex = make_window_examples(s, config.window);
+        examples.insert(examples.end(), std::make_move_iterator(ex.begin()),
+                        std::make_move_iterator(ex.end()));
+      }
+      rng.shuffle(examples);
+      return pack_window_batches(examples, config.batch_size);
+    }
+    case BatchingMode::kFullSequence: {
+      // Shuffle before the stable length sort so equal-length sessions
+      // appear in different batches across epochs.
+      std::vector<std::span<const int>> shuffled(sessions.begin(), sessions.end());
+      rng.shuffle(shuffled);
+      return pack_full_sequence_batches(shuffled, config.window, config.batch_size);
+    }
+  }
+  assert(false);
+  return {};
+}
+
+}  // namespace misuse::lm

@@ -1,0 +1,61 @@
+// Batching policies that turn variable-length sessions into the
+// time-major SequenceBatch minibatches the network trains on.
+//
+// Windowed mode is the paper's exact scheme (§IV-A): each session is
+// presented as a moving window of length W = 100; the first example is
+// zero-padded up to the session's first action, the last holds the final
+// W-1 actions; the input is a (W-1)-action sequence and the target is the
+// next action. One example per predictable position.
+//
+// Full-sequence mode is the efficient equivalent used by default on this
+// repository's single-core reference hardware: one example per session,
+// with a next-action target at *every* position (the same training signal
+// as all the windows of the session combined, at 1/W of the cost);
+// sessions are cropped to the window length just as the paper crops long
+// sessions.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/next_action_model.hpp"
+#include "util/rng.hpp"
+
+namespace misuse::lm {
+
+enum class BatchingMode : int { kWindowed = 0, kFullSequence = 1 };
+
+struct BatchingConfig {
+  BatchingMode mode = BatchingMode::kFullSequence;
+  std::size_t window = 100;     // paper value
+  std::size_t batch_size = 32;  // paper value
+};
+
+/// One windowed training example: `inputs` is exactly window-1 tokens
+/// (kPadToken-padded on the left), `target` the action to predict.
+struct WindowExample {
+  std::vector<int> inputs;
+  int target = 0;
+};
+
+/// Expands one session into its moving-window examples. Sessions shorter
+/// than 2 actions yield nothing (the paper's filter).
+std::vector<WindowExample> make_window_examples(std::span<const int> actions, std::size_t window);
+
+/// Packs windowed examples into time-major batches of `batch_size` (the
+/// last batch may be smaller). The loss fires only at the final timestep.
+std::vector<nn::SequenceBatch> pack_window_batches(std::span<const WindowExample> examples,
+                                                   std::size_t batch_size);
+
+/// Builds full-sequence batches: sessions are sorted by length (so
+/// same-batch sessions are similar and padding is minimal), cropped to
+/// `window` actions, right-padded with kPadToken/kIgnoreTarget.
+std::vector<nn::SequenceBatch> pack_full_sequence_batches(
+    std::span<const std::span<const int>> sessions, std::size_t window, std::size_t batch_size);
+
+/// Top-level: shuffles sessions and produces this epoch's batches under
+/// the configured mode.
+std::vector<nn::SequenceBatch> make_epoch_batches(std::span<const std::span<const int>> sessions,
+                                                  const BatchingConfig& config, Rng& rng);
+
+}  // namespace misuse::lm

@@ -1,0 +1,158 @@
+#include "lm/language_model.hpp"
+
+#include <cassert>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace misuse::lm {
+
+namespace {
+constexpr std::uint32_t kLmMagic = 0x4d4c5541u;  // "ALM"
+constexpr std::uint32_t kLmVersion = 4;  // v2: layers; v3: embedding; v4: cell
+
+nn::ModelConfig to_model_config(const LmConfig& config) {
+  nn::ModelConfig mc;
+  mc.vocab = config.vocab;
+  mc.hidden = config.hidden;
+  mc.layers = config.layers;
+  mc.embedding_dim = config.embedding_dim;
+  mc.cell = config.cell;
+  mc.dropout = config.dropout;
+  return mc;
+}
+}  // namespace
+
+ActionLanguageModel::ActionLanguageModel(const LmConfig& config)
+    : config_(config), rng_(config.seed) {
+  assert(config.vocab > 0);
+  model_ = std::make_unique<nn::NextActionModel>(to_model_config(config), rng_);
+}
+
+ActionLanguageModel::ActionLanguageModel(const LmConfig& config, nn::NextActionModel model)
+    : config_(config),
+      model_(std::make_unique<nn::NextActionModel>(std::move(model))),
+      rng_(config.seed) {}
+
+std::vector<EpochStats> ActionLanguageModel::fit(std::span<const std::span<const int>> train,
+                                                 std::span<const std::span<const int>> valid) {
+  auto optimizer = nn::make_optimizer(config_.optimizer, config_.learning_rate);
+  std::vector<EpochStats> history;
+  double best_valid = std::numeric_limits<double>::infinity();
+  std::size_t epochs_since_best = 0;
+  std::vector<Matrix> best_weights;  // snapshot of the best validation epoch
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const auto batches = make_epoch_batches(train, config_.batching, rng_);
+    double loss_sum = 0.0;
+    double acc_sum = 0.0;
+    std::size_t targets = 0;
+    for (const auto& batch : batches) {
+      const auto stats = model_->train_batch(batch, *optimizer, rng_, config_.clip_norm);
+      loss_sum += stats.loss * static_cast<double>(stats.targets);
+      acc_sum += stats.accuracy * static_cast<double>(stats.targets);
+      targets += stats.targets;
+    }
+
+    EpochStats es;
+    es.epoch = epoch;
+    es.train_loss = targets > 0 ? loss_sum / static_cast<double>(targets) : 0.0;
+    es.train_accuracy = targets > 0 ? acc_sum / static_cast<double>(targets) : 0.0;
+    if (!valid.empty()) {
+      const EvalStats vs = evaluate(valid);
+      es.valid_loss = vs.loss;
+      es.valid_accuracy = vs.accuracy;
+    }
+    history.push_back(es);
+    log_debug() << "epoch " << epoch << " train loss " << es.train_loss << " acc "
+                << es.train_accuracy << " valid loss " << es.valid_loss;
+
+    if (!valid.empty()) {
+      if (es.valid_loss < best_valid - 1e-5) {
+        best_valid = es.valid_loss;
+        epochs_since_best = 0;
+        if (config_.restore_best) {
+          best_weights.clear();
+          for (auto* p : model_->params()) best_weights.push_back(p->value);
+        }
+      } else if (config_.patience > 0 && ++epochs_since_best >= config_.patience) {
+        break;  // early stop
+      }
+    }
+  }
+  if (config_.restore_best && !best_weights.empty()) {
+    const auto params = model_->params();
+    assert(params.size() == best_weights.size());
+    for (std::size_t i = 0; i < params.size(); ++i) params[i]->value = best_weights[i];
+  }
+  return history;
+}
+
+EvalStats ActionLanguageModel::evaluate(std::span<const std::span<const int>> sessions) {
+  const auto batches =
+      pack_full_sequence_batches(sessions, config_.batching.window, config_.batching.batch_size);
+  EvalStats out;
+  double loss_sum = 0.0;
+  std::size_t correct = 0;
+  for (const auto& batch : batches) {
+    const nn::XentResult res = model_->evaluate(batch);
+    loss_sum += res.total_loss;
+    correct += res.correct;
+    out.predictions += res.rows;
+  }
+  if (out.predictions > 0) {
+    out.loss = loss_sum / static_cast<double>(out.predictions);
+    out.accuracy = static_cast<double>(correct) / static_cast<double>(out.predictions);
+  }
+  return out;
+}
+
+nn::NextActionModel::SessionScore ActionLanguageModel::score_session(
+    std::span<const int> actions) const {
+  return model_->score_session(actions);
+}
+
+void ActionLanguageModel::save(BinaryWriter& w) const {
+  w.write_magic(kLmMagic, kLmVersion);
+  w.write<std::uint64_t>(config_.vocab);
+  w.write<std::uint64_t>(config_.hidden);
+  w.write<std::uint64_t>(config_.layers);
+  w.write<std::uint64_t>(config_.embedding_dim);
+  w.write<std::int32_t>(static_cast<std::int32_t>(config_.cell));
+  w.write<float>(config_.dropout);
+  w.write<float>(config_.learning_rate);
+  w.write<std::int32_t>(static_cast<std::int32_t>(config_.optimizer));
+  w.write<float>(config_.clip_norm);
+  w.write<std::uint64_t>(config_.epochs);
+  w.write<std::uint64_t>(config_.patience);
+  w.write<std::int32_t>(static_cast<std::int32_t>(config_.batching.mode));
+  w.write<std::uint64_t>(config_.batching.window);
+  w.write<std::uint64_t>(config_.batching.batch_size);
+  w.write<std::uint64_t>(config_.seed);
+  model_->save(w);
+}
+
+ActionLanguageModel ActionLanguageModel::load(BinaryReader& r) {
+  const std::uint32_t version = r.read_magic(kLmMagic);
+  LmConfig config;
+  config.vocab = static_cast<std::size_t>(r.read<std::uint64_t>());
+  config.hidden = static_cast<std::size_t>(r.read<std::uint64_t>());
+  config.layers = version >= 2 ? static_cast<std::size_t>(r.read<std::uint64_t>()) : 1;
+  config.embedding_dim = version >= 3 ? static_cast<std::size_t>(r.read<std::uint64_t>()) : 0;
+  config.cell = version >= 4 ? static_cast<nn::CellKind>(r.read<std::int32_t>())
+                             : nn::CellKind::kLstm;
+  config.dropout = r.read<float>();
+  config.learning_rate = r.read<float>();
+  config.optimizer = static_cast<nn::OptimizerKind>(r.read<std::int32_t>());
+  config.clip_norm = r.read<float>();
+  config.epochs = static_cast<std::size_t>(r.read<std::uint64_t>());
+  config.patience = static_cast<std::size_t>(r.read<std::uint64_t>());
+  config.batching.mode = static_cast<BatchingMode>(r.read<std::int32_t>());
+  config.batching.window = static_cast<std::size_t>(r.read<std::uint64_t>());
+  config.batching.batch_size = static_cast<std::size_t>(r.read<std::uint64_t>());
+  config.seed = static_cast<std::uint64_t>(r.read<std::uint64_t>());
+  nn::NextActionModel model = nn::NextActionModel::load(r);
+  return ActionLanguageModel(config, std::move(model));
+}
+
+}  // namespace misuse::lm

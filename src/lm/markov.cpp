@@ -1,0 +1,115 @@
+#include "lm/markov.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace misuse::lm {
+
+namespace {
+constexpr std::uint32_t kMarkovMagic = 0x564b524du;  // "MRKV"
+constexpr std::uint32_t kMarkovVersion = 1;
+}  // namespace
+
+MarkovChainModel::MarkovChainModel(const MarkovConfig& config)
+    : config_(config),
+      counts_((config.vocab + 1) * config.vocab, 0.0),
+      row_totals_(config.vocab + 1, 0.0) {
+  assert(config.vocab > 0);
+  assert(config.smoothing > 0.0);
+}
+
+void MarkovChainModel::fit(std::span<const std::span<const int>> sessions) {
+  const std::size_t d = config_.vocab;
+  for (const auto& session : sessions) {
+    if (session.empty()) continue;
+    // Initial distribution row.
+    assert(session[0] >= 0 && static_cast<std::size_t>(session[0]) < d);
+    counts_[d * d + static_cast<std::size_t>(session[0])] += 1.0;
+    row_totals_[d] += 1.0;
+    for (std::size_t i = 0; i + 1 < session.size(); ++i) {
+      const auto cur = static_cast<std::size_t>(session[i]);
+      const auto next = static_cast<std::size_t>(session[i + 1]);
+      assert(cur < d && next < d);
+      counts_[cur * d + next] += 1.0;
+      row_totals_[cur] += 1.0;
+    }
+  }
+}
+
+double MarkovChainModel::transition_probability(int current, int next) const {
+  const std::size_t d = config_.vocab;
+  assert(next >= 0 && static_cast<std::size_t>(next) < d);
+  const std::size_t row = current < 0 ? d : static_cast<std::size_t>(current);
+  assert(row <= d);
+  const double numer = counts_[row * d + static_cast<std::size_t>(next)] + config_.smoothing;
+  const double denom = row_totals_[row] + config_.smoothing * static_cast<double>(d);
+  return numer / denom;
+}
+
+int MarkovChainModel::most_likely_next(int current) const {
+  const std::size_t d = config_.vocab;
+  const std::size_t row = current < 0 ? d : static_cast<std::size_t>(current);
+  const auto begin = counts_.begin() + static_cast<std::ptrdiff_t>(row * d);
+  return static_cast<int>(std::max_element(begin, begin + static_cast<std::ptrdiff_t>(d)) - begin);
+}
+
+nn::NextActionModel::SessionScore MarkovChainModel::score_session(
+    std::span<const int> actions) const {
+  nn::NextActionModel::SessionScore score;
+  if (actions.size() < 2) return score;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i + 1 < actions.size(); ++i) {
+    const double p = transition_probability(actions[i], actions[i + 1]);
+    score.likelihoods.push_back(p);
+    score.losses.push_back(-std::log(std::max(p, 1e-12)));
+    if (most_likely_next(actions[i]) == actions[i + 1]) ++correct;
+  }
+  score.accuracy =
+      static_cast<double>(correct) / static_cast<double>(score.likelihoods.size());
+  return score;
+}
+
+MarkovChainModel::EvalStats MarkovChainModel::evaluate(
+    std::span<const std::span<const int>> sessions) const {
+  EvalStats stats;
+  double loss_sum = 0.0;
+  std::size_t correct = 0;
+  for (const auto& session : sessions) {
+    const auto score = score_session(session);
+    for (double l : score.losses) loss_sum += l;
+    correct += static_cast<std::size_t>(
+        std::llround(score.accuracy * static_cast<double>(score.losses.size())));
+    stats.predictions += score.losses.size();
+  }
+  if (stats.predictions > 0) {
+    stats.loss = loss_sum / static_cast<double>(stats.predictions);
+    stats.accuracy = static_cast<double>(correct) / static_cast<double>(stats.predictions);
+  }
+  return stats;
+}
+
+void MarkovChainModel::save(BinaryWriter& w) const {
+  w.write_magic(kMarkovMagic, kMarkovVersion);
+  w.write<std::uint64_t>(config_.vocab);
+  w.write<double>(config_.smoothing);
+  w.write_vector(std::span<const double>(counts_));
+  w.write_vector(std::span<const double>(row_totals_));
+}
+
+MarkovChainModel MarkovChainModel::load(BinaryReader& r) {
+  r.read_magic(kMarkovMagic);
+  MarkovConfig config;
+  config.vocab = static_cast<std::size_t>(r.read<std::uint64_t>());
+  config.smoothing = r.read<double>();
+  MarkovChainModel model(config);
+  model.counts_ = r.read_vector<double>();
+  model.row_totals_ = r.read_vector<double>();
+  if (model.counts_.size() != (config.vocab + 1) * config.vocab ||
+      model.row_totals_.size() != config.vocab + 1) {
+    throw SerializeError("markov archive shape mismatch");
+  }
+  return model;
+}
+
+}  // namespace misuse::lm

@@ -1,0 +1,61 @@
+// First-order Markov-chain action model with additive smoothing — the
+// classical sequence-modeling baseline the paper's related work contrasts
+// against recurrent networks (Yeung & Ding's dynamic behavioral models,
+// ref. [12]). Exposes the same scoring surface as the LSTM
+// ActionLanguageModel so the two slot into identical experiments
+// (bench/abl_markov_baseline).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/next_action_model.hpp"
+#include "util/serialize.hpp"
+
+namespace misuse::lm {
+
+struct MarkovConfig {
+  std::size_t vocab = 0;
+  /// Additive (Laplace) smoothing mass per successor.
+  double smoothing = 0.1;
+};
+
+class MarkovChainModel {
+ public:
+  explicit MarkovChainModel(const MarkovConfig& config);
+
+  const MarkovConfig& config() const { return config_; }
+
+  /// Accumulates transition counts from the sessions (start-of-session is
+  /// modeled by a dedicated initial distribution).
+  void fit(std::span<const std::span<const int>> sessions);
+
+  /// P(next | current); current == -1 queries the initial distribution.
+  double transition_probability(int current, int next) const;
+
+  /// argmax successor of `current`.
+  int most_likely_next(int current) const;
+
+  /// Same per-action scoring as the LSTM model: element i is
+  /// p(a_{i+1} | a_i) for i >= 1 (sessions shorter than 2 score empty).
+  nn::NextActionModel::SessionScore score_session(std::span<const int> actions) const;
+
+  /// Next-action accuracy/loss over all predictable positions.
+  struct EvalStats {
+    double loss = 0.0;
+    double accuracy = 0.0;
+    std::size_t predictions = 0;
+  };
+  EvalStats evaluate(std::span<const std::span<const int>> sessions) const;
+
+  void save(BinaryWriter& w) const;
+  static MarkovChainModel load(BinaryReader& r);
+
+ private:
+  MarkovConfig config_;
+  /// counts_[current * vocab + next]; row `vocab` holds initial counts.
+  std::vector<double> counts_;
+  std::vector<double> row_totals_;
+};
+
+}  // namespace misuse::lm

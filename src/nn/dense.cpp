@@ -1,0 +1,59 @@
+#include "nn/dense.hpp"
+
+#include <cassert>
+
+#include "tensor/ops.hpp"
+
+namespace misuse::nn {
+
+Dense::Dense(std::size_t in_dim, std::size_t out_dim, Rng& rng) : Dense(in_dim, out_dim) {
+  w_.value.init_xavier(rng);
+}
+
+Dense::Dense(std::size_t in_dim, std::size_t out_dim)
+    : w_("dense.w", in_dim, out_dim), b_("dense.b", 1, out_dim) {
+  assert(in_dim > 0 && out_dim > 0);
+}
+
+ParameterList Dense::params() { return {&w_, &b_}; }
+
+void Dense::forward(const Matrix& x, Matrix& y) {
+  last_input_ = x;
+  infer(x, y);
+}
+
+void Dense::infer(const Matrix& x, Matrix& y) const {
+  assert(x.cols() == w_.value.rows());
+  y.resize(x.rows(), w_.value.cols());
+  gemm(1.0f, x, w_.value, 0.0f, y);
+  add_row_broadcast(y, b_.value.row(0));
+}
+
+void Dense::backward(const Matrix& d_y, Matrix& d_x) {
+  assert(d_y.rows() == last_input_.rows());
+  assert(d_y.cols() == w_.value.cols());
+  // dW += x^T * dY; db += column sums; dX = dY * W^T.
+  gemm_at_b(1.0f, last_input_, d_y, 1.0f, w_.grad);
+  Matrix col_sums(1, d_y.cols());
+  sum_rows(d_y, col_sums.row(0));
+  axpy(1.0f, col_sums.flat(), b_.grad.flat());
+  d_x.resize(d_y.rows(), w_.value.rows());
+  gemm_a_bt(1.0f, d_y, w_.value, 0.0f, d_x);
+}
+
+void Dense::save(BinaryWriter& w) const {
+  w_.value.save(w);
+  b_.value.save(w);
+}
+
+Dense Dense::load(BinaryReader& r) {
+  Matrix w = Matrix::load(r);
+  Matrix b = Matrix::load(r);
+  Dense d(w.rows(), w.cols());
+  if (b.rows() != 1 || b.cols() != w.cols()) throw SerializeError("dense archive shape mismatch");
+  d.w_.value = std::move(w);
+  d.b_.value = std::move(b);
+  return d;
+}
+
+}  // namespace misuse::nn

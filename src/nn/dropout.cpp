@@ -1,0 +1,28 @@
+#include "nn/dropout.hpp"
+
+#include <cassert>
+
+namespace misuse::nn {
+
+Dropout::Dropout(float rate) : rate_(rate), keep_(1.0f - rate) {
+  assert(rate >= 0.0f && rate < 1.0f);
+}
+
+void Dropout::forward_train(Matrix& x, Rng& rng) {
+  if (rate_ == 0.0f) return;
+  mask_.resize(x.rows(), x.cols());
+  const float inv_keep = 1.0f / keep_;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float m = rng.bernoulli(keep_) ? inv_keep : 0.0f;
+    mask_.flat()[i] = m;
+    x.flat()[i] *= m;
+  }
+}
+
+void Dropout::backward(Matrix& d_x) const {
+  if (rate_ == 0.0f) return;
+  assert(d_x.same_shape(mask_));
+  for (std::size_t i = 0; i < d_x.size(); ++i) d_x.flat()[i] *= mask_.flat()[i];
+}
+
+}  // namespace misuse::nn

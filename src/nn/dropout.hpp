@@ -1,0 +1,31 @@
+// Inverted dropout (Srivastava et al. 2014). The paper places a dropout
+// layer with rate 0.4 between the LSTM output and the dense softmax head.
+// Inverted scaling (kept activations divided by the keep probability)
+// makes inference a no-op, so train/infer paths share the dense head.
+#pragma once
+
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace misuse::nn {
+
+class Dropout {
+ public:
+  /// rate = probability of zeroing an activation; 0 disables the layer.
+  explicit Dropout(float rate);
+
+  float rate() const { return rate_; }
+
+  /// Applies a fresh mask to x in place (training mode).
+  void forward_train(Matrix& x, Rng& rng);
+
+  /// Backward through the same mask.
+  void backward(Matrix& d_x) const;
+
+ private:
+  float rate_;
+  float keep_;
+  Matrix mask_;
+};
+
+}  // namespace misuse::nn

@@ -1,0 +1,56 @@
+#include "nn/embedding.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace misuse::nn {
+
+Embedding::Embedding(std::size_t vocab, std::size_t dim, Rng& rng) : Embedding(vocab, dim) {
+  table_.value.init_gaussian(rng, 0.1f);
+}
+
+Embedding::Embedding(std::size_t vocab, std::size_t dim) : table_("embedding", vocab, dim) {
+  assert(vocab > 0 && dim > 0);
+}
+
+void Embedding::lookup(const std::vector<int>& tokens, Matrix& out) const {
+  out.resize(tokens.size(), dim());
+  for (std::size_t r = 0; r < tokens.size(); ++r) {
+    const int tok = tokens[r];
+    if (tok < 0) continue;  // padding -> zero row
+    assert(static_cast<std::size_t>(tok) < vocab());
+    const auto row = table_.value.row(static_cast<std::size_t>(tok));
+    std::copy(row.begin(), row.end(), out.row(r).begin());
+  }
+}
+
+void Embedding::backward(const std::vector<int>& tokens, const Matrix& d_out) {
+  assert(d_out.rows() == tokens.size());
+  assert(d_out.cols() == dim());
+  for (std::size_t r = 0; r < tokens.size(); ++r) {
+    const int tok = tokens[r];
+    if (tok < 0) continue;
+    auto grad_row = table_.grad.row(static_cast<std::size_t>(tok));
+    const auto src = d_out.row(r);
+    for (std::size_t j = 0; j < grad_row.size(); ++j) grad_row[j] += src[j];
+  }
+}
+
+void Embedding::lookup_row(int token, Matrix& out) const {
+  out.resize(1, dim());
+  if (token < 0) return;
+  assert(static_cast<std::size_t>(token) < vocab());
+  const auto row = table_.value.row(static_cast<std::size_t>(token));
+  std::copy(row.begin(), row.end(), out.row(0).begin());
+}
+
+void Embedding::save(BinaryWriter& w) const { table_.value.save(w); }
+
+Embedding Embedding::load(BinaryReader& r) {
+  Matrix table = Matrix::load(r);
+  Embedding e(table.rows(), table.cols());
+  e.table_.value = std::move(table);
+  return e;
+}
+
+}  // namespace misuse::nn

@@ -1,0 +1,46 @@
+// Learned action embedding. The paper feeds one-hot vectors straight into
+// the LSTM (equivalent to an identity embedding of dimension d); with
+// ~300 actions and 256 units that input projection is the largest weight
+// block in the model. An explicit embedding of dimension e << d factors
+// it — standard practice in the neural language models the paper builds
+// on (Bengio et al. 2003, ref. [18]) — and is exposed through
+// ModelConfig::embedding_dim as an optional architecture axis.
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace misuse::nn {
+
+class Embedding {
+ public:
+  Embedding(std::size_t vocab, std::size_t dim, Rng& rng);
+  Embedding(std::size_t vocab, std::size_t dim);
+
+  std::size_t vocab() const { return table_.value.rows(); }
+  std::size_t dim() const { return table_.value.cols(); }
+
+  ParameterList params() { return {&table_}; }
+
+  /// Looks up one timestep of token ids into a (B x dim) matrix; padding
+  /// tokens (< 0) map to the zero vector.
+  void lookup(const std::vector<int>& tokens, Matrix& out) const;
+
+  /// Accumulates dL/dtable from one timestep's gradient (B x dim).
+  void backward(const std::vector<int>& tokens, const Matrix& d_out);
+
+  /// Single-row lookup for streaming inference.
+  void lookup_row(int token, Matrix& out) const;
+
+  void save(BinaryWriter& w) const;
+  static Embedding load(BinaryReader& r);
+
+ private:
+  Parameter table_;  // vocab x dim
+};
+
+}  // namespace misuse::nn

@@ -1,0 +1,50 @@
+#include "nn/grad_check.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace misuse::nn {
+
+GradCheckReport check_gradients(const ParameterList& params,
+                                const std::function<double()>& loss, Rng& rng,
+                                const GradCheckOptions& options) {
+  GradCheckReport report;
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Parameter& p = *params[pi];
+    const std::size_t n = p.value.size();
+    const std::size_t samples = std::min(options.samples_per_param, n);
+    for (std::size_t s = 0; s < samples; ++s) {
+      const std::size_t idx =
+          samples == n ? s : rng.uniform_index(n);  // exhaustive when small
+      const float original = p.value.flat()[idx];
+      const double analytic = p.grad.flat()[idx];
+
+      p.value.flat()[idx] = original + static_cast<float>(options.epsilon);
+      const double loss_plus = loss();
+      p.value.flat()[idx] = original - static_cast<float>(options.epsilon);
+      const double loss_minus = loss();
+      p.value.flat()[idx] = original;
+
+      const double numeric = (loss_plus - loss_minus) / (2.0 * options.epsilon);
+      ++report.checked;
+
+      const double denom = std::max(std::abs(analytic) + std::abs(numeric), 1e-12);
+      const double rel = std::abs(analytic - numeric) / denom;
+      const bool both_tiny = std::abs(analytic) < options.abs_tolerance &&
+                             std::abs(numeric) < options.abs_tolerance;
+      if (!both_tiny && rel > options.rel_tolerance) {
+        ++report.failures;
+        if (rel > report.worst_rel_error) {
+          std::ostringstream name;
+          name << p.name << "[" << idx / p.value.cols() << "," << idx % p.value.cols()
+               << "] analytic=" << analytic << " numeric=" << numeric;
+          report.worst_coordinate = name.str();
+        }
+      }
+      if (!both_tiny) report.worst_rel_error = std::max(report.worst_rel_error, rel);
+    }
+  }
+  return report;
+}
+
+}  // namespace misuse::nn

@@ -1,0 +1,39 @@
+// Finite-difference gradient verification. Used by the test suite to
+// certify the hand-derived LSTM/dense backward passes: for a sample of
+// parameter coordinates, compares the analytic gradient against the
+// central difference (L(w+e) - L(w-e)) / 2e.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "nn/parameter.hpp"
+#include "util/rng.hpp"
+
+namespace misuse::nn {
+
+struct GradCheckReport {
+  std::size_t checked = 0;
+  std::size_t failures = 0;
+  double worst_rel_error = 0.0;
+  std::string worst_coordinate;  // "param[i,j]" of the worst mismatch
+
+  bool ok() const { return failures == 0; }
+};
+
+struct GradCheckOptions {
+  double epsilon = 1e-2;     // float32 models need a fairly large step
+  double rel_tolerance = 8e-2;
+  double abs_tolerance = 1e-4;  // below this both grads count as zero
+  std::size_t samples_per_param = 24;
+};
+
+/// `loss` must recompute the scalar training loss for the current
+/// parameter values *without* side effects on the gradients under test;
+/// `grads` must already hold the analytic gradient of that same loss.
+GradCheckReport check_gradients(const ParameterList& params,
+                                const std::function<double()>& loss, Rng& rng,
+                                const GradCheckOptions& options = {});
+
+}  // namespace misuse::nn

@@ -1,0 +1,84 @@
+// Gated Recurrent Unit (Cho et al. 2014) with hand-derived BPTT — the
+// main alternative recurrent cell to the paper's LSTM choice, exposed
+// through the shared RecurrentLayer interface so the whole pipeline can
+// run on either (bench/abl_cell_kind).
+//
+//   z = sigmoid(x Wxz + h Whz + bz)           update gate
+//   r = sigmoid(x Wxr + h Whr + br)           reset gate
+//   n = tanh(x Wxn + (r * h) Whn + bn)        candidate
+//   h' = (1 - z) * n + z * h
+//
+// z and r are fused into one 2H block; the candidate path stays separate
+// because its recurrent product uses the reset-gated state. Streaming
+// reuses LstmState with the cell vector `c` unused.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/lstm.hpp"  // LstmState, kPadToken
+#include "nn/parameter.hpp"
+#include "nn/recurrent.hpp"
+#include "util/rng.hpp"
+
+namespace misuse::nn {
+
+class Gru final : public RecurrentLayer {
+ public:
+  Gru(std::size_t vocab, std::size_t hidden, Rng& rng);
+  Gru(std::size_t vocab, std::size_t hidden);
+
+  std::size_t vocab() const { return vocab_; }
+  std::size_t input_dim() const override { return vocab_; }
+  std::size_t hidden() const override { return hidden_; }
+
+  ParameterList params() override;
+
+  void forward(const std::vector<std::vector<int>>& tokens) override;
+  void forward_dense(const std::vector<Matrix>& inputs) override;
+
+  const Matrix& hidden_at(std::size_t t) const override { return steps_.at(t).h; }
+  std::size_t steps() const override { return steps_.size(); }
+  std::size_t batch() const override { return batch_; }
+
+  void backward(const std::vector<Matrix>& d_hidden,
+                std::vector<Matrix>* d_inputs = nullptr) override;
+
+  void step(const std::vector<int>& tokens_b, LstmState& state) const override;
+  void step_dense(const Matrix& input, LstmState& state) const override;
+
+  void save(BinaryWriter& w) const override;
+  static Gru load(BinaryReader& r);
+
+ private:
+  struct StepRecord {
+    std::vector<int> tokens;  // token mode
+    Matrix dense_input;       // dense mode
+    Matrix zr;                // B x 2H, post-sigmoid [z | r]
+    Matrix n;                 // B x H, post-tanh candidate
+    Matrix rh;                // B x H, r * h_prev (needed for dWhn)
+    Matrix h;                 // B x H
+  };
+
+  /// zr pre-activations = bias + x Wx_zr + h_prev Wh_zr.
+  void compute_zr(const StepRecord& rec, const Matrix& h_prev, Matrix& zr) const;
+  /// n pre-activations = bias + x Wx_n + rh Wh_n.
+  void compute_n(const StepRecord& rec, const Matrix& rh, Matrix& n) const;
+  void add_token_rows(const std::vector<int>& tokens, const Parameter& weights,
+                      Matrix& out) const;
+  void run_forward();
+
+  std::size_t vocab_;
+  std::size_t hidden_;
+  Parameter wx_zr_;  // vocab x 2H
+  Parameter wh_zr_;  // H x 2H
+  Parameter b_zr_;   // 1 x 2H
+  Parameter wx_n_;   // vocab x H
+  Parameter wh_n_;   // H x H
+  Parameter b_n_;    // 1 x H
+  std::vector<StepRecord> steps_;
+  std::size_t batch_ = 0;
+  bool dense_mode_ = false;
+};
+
+}  // namespace misuse::nn

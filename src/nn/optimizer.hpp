@@ -1,0 +1,71 @@
+// First-order optimizers over a ParameterList. The paper trains with
+// learning rate 0.001 (the Keras Adam default), so Adam is the primary
+// optimizer; SGD-with-momentum and RMSProp are provided for ablations.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/parameter.hpp"
+
+namespace misuse::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored in `params`.
+  /// State is keyed by position, so the same list (same order) must be
+  /// passed on every call.
+  virtual void step(const ParameterList& params) = 0;
+
+  virtual float learning_rate() const = 0;
+  virtual void set_learning_rate(float lr) = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f);
+  void step(const ParameterList& params) override;
+  float learning_rate() const override { return lr_; }
+  void set_learning_rate(float lr) override { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-7f);
+  void step(const ParameterList& params) override;
+  float learning_rate() const override { return lr_; }
+  void set_learning_rate(float lr) override { lr_ = lr; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  long long t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+class RmsProp final : public Optimizer {
+ public:
+  explicit RmsProp(float lr = 1e-3f, float decay = 0.9f, float eps = 1e-7f);
+  void step(const ParameterList& params) override;
+  float learning_rate() const override { return lr_; }
+  void set_learning_rate(float lr) override { lr_ = lr; }
+
+ private:
+  float lr_, decay_, eps_;
+  std::vector<Matrix> cache_;
+};
+
+enum class OptimizerKind { kSgd, kAdam, kRmsProp };
+
+/// Factory used by experiment configs ("adam", "sgd", "rmsprop").
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind, float lr);
+OptimizerKind parse_optimizer(const std::string& name);
+
+}  // namespace misuse::nn

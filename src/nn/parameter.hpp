@@ -1,0 +1,37 @@
+// A trainable tensor: value + gradient accumulator. Layers expose their
+// parameters as a flat list so optimizers and the gradient checker can
+// treat any model uniformly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace misuse::nn {
+
+struct Parameter {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  Parameter() = default;
+  Parameter(std::string n, std::size_t rows, std::size_t cols)
+      : name(std::move(n)), value(rows, cols), grad(rows, cols) {}
+
+  void zero_grad() { grad.zero(); }
+};
+
+using ParameterList = std::vector<Parameter*>;
+
+/// Total number of scalar parameters.
+std::size_t parameter_count(const ParameterList& params);
+
+/// Zeroes every gradient.
+void zero_grads(const ParameterList& params);
+
+/// Global-norm gradient clipping (as used to stabilize LSTM training);
+/// returns the pre-clip norm.
+float clip_grad_norm(const ParameterList& params, float max_norm);
+
+}  // namespace misuse::nn

@@ -1,0 +1,13 @@
+#include "nn/recurrent.hpp"
+
+namespace misuse::nn {
+
+const char* cell_kind_name(CellKind kind) {
+  switch (kind) {
+    case CellKind::kLstm: return "lstm";
+    case CellKind::kGru: return "gru";
+  }
+  return "?";
+}
+
+}  // namespace misuse::nn

@@ -1,0 +1,51 @@
+// Abstract recurrent layer. The paper commits to LSTMs following the
+// intrusion-detection literature (§II); making the cell pluggable turns
+// that commitment into a measurable choice (bench/abl_cell_kind compares
+// LSTM against GRU under the identical pipeline).
+//
+// Both cell types share LstmState as their streaming state; cells without
+// a separate memory vector (GRU) simply leave `c` unused.
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.hpp"
+#include "tensor/matrix.hpp"
+#include "util/serialize.hpp"
+
+namespace misuse::nn {
+
+// Defined in lstm.hpp; shared by every cell type.
+struct LstmState;
+
+class RecurrentLayer {
+ public:
+  virtual ~RecurrentLayer() = default;
+
+  virtual std::size_t input_dim() const = 0;
+  virtual std::size_t hidden() const = 0;
+  virtual ParameterList params() = 0;
+
+  /// Token-id forward (one-hot inputs; kPadToken = zero vector).
+  virtual void forward(const std::vector<std::vector<int>>& tokens) = 0;
+  /// Dense forward for stacked layers / embeddings.
+  virtual void forward_dense(const std::vector<Matrix>& inputs) = 0;
+
+  virtual const Matrix& hidden_at(std::size_t t) const = 0;
+  virtual std::size_t steps() const = 0;
+  virtual std::size_t batch() const = 0;
+
+  /// BPTT; fills d_inputs (dense mode only) when non-null.
+  virtual void backward(const std::vector<Matrix>& d_hidden, std::vector<Matrix>* d_inputs) = 0;
+
+  virtual void step(const std::vector<int>& tokens, LstmState& state) const = 0;
+  virtual void step_dense(const Matrix& input, LstmState& state) const = 0;
+
+  virtual void save(BinaryWriter& w) const = 0;
+};
+
+enum class CellKind : int { kLstm = 0, kGru = 1 };
+
+const char* cell_kind_name(CellKind kind);
+
+}  // namespace misuse::nn

@@ -1,0 +1,38 @@
+// Fused softmax + categorical cross-entropy head. The paper trains the
+// dense softmax output with cross-entropy against the one-hot next
+// action; fusing the two gives the numerically clean gradient
+// dlogits = softmax(logits) - onehot(target).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace misuse::nn {
+
+struct XentResult {
+  double total_loss = 0.0;  // summed over rows (natural log)
+  std::size_t correct = 0;  // argmax == target count
+  std::size_t rows = 0;
+
+  double mean_loss() const { return rows == 0 ? 0.0 : total_loss / static_cast<double>(rows); }
+  double accuracy() const {
+    return rows == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(rows);
+  }
+};
+
+/// Computes probabilities, loss and accuracy for logits (N x d) against
+/// integer targets (length N, all in [0, d)), and writes dL/dlogits for
+/// the *mean* loss over rows into d_logits.
+XentResult softmax_xent_backward(const Matrix& logits, std::span<const int> targets,
+                                 Matrix& d_logits);
+
+/// Loss/accuracy only (no gradient); used for evaluation.
+XentResult softmax_xent_eval(const Matrix& logits, std::span<const int> targets);
+
+/// Probability of each target under softmax(logits), one per row. This is
+/// the paper's per-action likelihood p_{a_i}.
+std::vector<double> target_probabilities(const Matrix& logits, std::span<const int> targets);
+
+}  // namespace misuse::nn

@@ -1,0 +1,61 @@
+#include "ocsvm/features.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace misuse::ocsvm {
+
+SessionFeaturizer::SessionFeaturizer(const FeaturizerConfig& config) : config_(config) {
+  assert(config.vocab > 0);
+}
+
+std::size_t SessionFeaturizer::dim() const {
+  return config_.vocab + (config_.length_feature_weight > 0.0 ? 1 : 0);
+}
+
+std::vector<float> SessionFeaturizer::from_counts(std::span<const std::size_t> counts,
+                                                  std::size_t length) const {
+  std::vector<float> out(dim(), 0.0f);
+  double scale = 1.0;
+  if (config_.normalize) {
+    double norm_sq = 0.0;
+    for (std::size_t a = 0; a < config_.vocab; ++a) {
+      norm_sq += static_cast<double>(counts[a]) * static_cast<double>(counts[a]);
+    }
+    scale = norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0;
+  }
+  for (std::size_t a = 0; a < config_.vocab; ++a) {
+    out[a] = static_cast<float>(static_cast<double>(counts[a]) * scale);
+  }
+  if (config_.length_feature_weight > 0.0) {
+    out[config_.vocab] =
+        static_cast<float>(config_.length_feature_weight * std::log1p(static_cast<double>(length)));
+  }
+  return out;
+}
+
+std::vector<float> SessionFeaturizer::featurize(std::span<const int> actions) const {
+  std::vector<std::size_t> counts(config_.vocab, 0);
+  for (int a : actions) {
+    assert(a >= 0 && static_cast<std::size_t>(a) < config_.vocab);
+    ++counts[static_cast<std::size_t>(a)];
+  }
+  return from_counts(counts, actions.size());
+}
+
+SessionFeaturizer::Incremental::Incremental(const SessionFeaturizer& parent)
+    : parent_(parent), counts_(parent.config_.vocab, 0) {}
+
+std::vector<float> SessionFeaturizer::Incremental::push(int action) {
+  assert(action >= 0 && static_cast<std::size_t>(action) < counts_.size());
+  ++counts_[static_cast<std::size_t>(action)];
+  ++length_;
+  return parent_.from_counts(counts_, length_);
+}
+
+void SessionFeaturizer::Incremental::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  length_ = 0;
+}
+
+}  // namespace misuse::ocsvm

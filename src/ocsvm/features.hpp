@@ -1,0 +1,61 @@
+// Session featurization for the one-class SVMs that route new sessions to
+// behavior clusters (§II-III). A session (or a growing prefix of one, in
+// the online regime of §IV-C) is embedded as its L2-normalized action
+// histogram plus a coarse length feature — permutation-insensitive, cheap
+// to update incrementally one action at a time.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace misuse::ocsvm {
+
+struct FeaturizerConfig {
+  std::size_t vocab = 0;
+  /// L2-normalize the action histogram. The default (false) keeps raw
+  /// counts, which reproduces the OC-SVM behaviour the paper observed in
+  /// Fig. 6: prefixes longer than the typical training session drift away
+  /// from every support vector, so "all the sessions longer than the
+  /// average length are considered to be outliers by all the OC-SVMs" —
+  /// the very pathology the first-15-actions vote (§IV-C) works around.
+  /// Set true for length-invariant routing instead.
+  bool normalize = false;
+  /// Weight of an appended log1p(length) feature; 0 disables it.
+  double length_feature_weight = 0.0;
+};
+
+class SessionFeaturizer {
+ public:
+  explicit SessionFeaturizer(const FeaturizerConfig& config);
+
+  /// Feature dimensionality (vocab + 1 when the length feature is on).
+  std::size_t dim() const;
+
+  /// Featurizes a complete action sequence.
+  std::vector<float> featurize(std::span<const int> actions) const;
+
+  /// Incremental featurization for the online monitor: call on a prefix
+  /// that grew by one action. Recomputes from counts held by the caller.
+  class Incremental {
+   public:
+    explicit Incremental(const SessionFeaturizer& parent);
+    /// Observes the next action and returns the features of the prefix.
+    std::vector<float> push(int action);
+    std::size_t length() const { return length_; }
+    void reset();
+
+   private:
+    const SessionFeaturizer& parent_;
+    std::vector<std::size_t> counts_;
+    std::size_t length_ = 0;
+  };
+
+  const FeaturizerConfig& config() const { return config_; }
+
+ private:
+  std::vector<float> from_counts(std::span<const std::size_t> counts, std::size_t length) const;
+
+  FeaturizerConfig config_;
+};
+
+}  // namespace misuse::ocsvm

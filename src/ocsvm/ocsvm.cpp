@@ -1,0 +1,218 @@
+#include "ocsvm/ocsvm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace misuse::ocsvm {
+
+double kernel_value(KernelKind kind, double gamma, std::span<const float> a,
+                    std::span<const float> b) {
+  assert(a.size() == b.size());
+  switch (kind) {
+    case KernelKind::kLinear: {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) dot += static_cast<double>(a[i]) * b[i];
+      return dot;
+    }
+    case KernelKind::kRbf: {
+      double sq = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        sq += d * d;
+      }
+      return std::exp(-gamma * sq);
+    }
+  }
+  assert(false);
+  return 0.0;
+}
+
+OneClassSvm OneClassSvm::train(const std::vector<std::vector<float>>& points,
+                               const OcSvmConfig& config) {
+  assert(!points.empty());
+  assert(config.nu > 0.0 && config.nu <= 1.0);
+  OneClassSvm svm;
+  svm.config_ = config;
+  svm.dim_ = points.front().size();
+  svm.gamma_ = config.gamma > 0.0 ? config.gamma : 1.0 / static_cast<double>(svm.dim_);
+
+  // Subsample oversized training sets so the dense kernel matrix stays
+  // tractable; points are drawn without replacement.
+  std::vector<std::size_t> chosen(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) chosen[i] = i;
+  if (config.max_training_points > 0 && points.size() > config.max_training_points) {
+    Rng rng(config.seed);
+    rng.shuffle(chosen);
+    chosen.resize(config.max_training_points);
+  }
+  const std::size_t m = chosen.size();
+  std::vector<std::span<const float>> x(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    assert(points[chosen[i]].size() == svm.dim_);
+    x[i] = points[chosen[i]];
+  }
+
+  // Dense kernel matrix (float to halve memory; the SMO arithmetic below
+  // is double).
+  std::vector<float> kernel(m * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i; j < m; ++j) {
+      const auto v = static_cast<float>(kernel_value(config.kernel, svm.gamma_, x[i], x[j]));
+      kernel[i * m + j] = v;
+      kernel[j * m + i] = v;
+    }
+  }
+  const auto k_at = [&](std::size_t i, std::size_t j) {
+    return static_cast<double>(kernel[i * m + j]);
+  };
+
+  // Feasible start: alpha uniform on the first ceil(nu*m) points, as in
+  // libsvm's one-class initialization.
+  const double upper = 1.0 / (config.nu * static_cast<double>(m));
+  std::vector<double> alpha(m, 0.0);
+  {
+    double remaining = 1.0;
+    for (std::size_t i = 0; i < m && remaining > 0.0; ++i) {
+      const double take = std::min(upper, remaining);
+      alpha[i] = take;
+      remaining -= take;
+    }
+  }
+
+  // Gradient of 1/2 a^T K a is g = K a.
+  std::vector<double> grad(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (alpha[j] > 0.0) acc += alpha[j] * k_at(i, j);
+    }
+    grad[i] = acc;
+  }
+
+  // SMO with maximal-violating-pair selection: move weight from the
+  // highest-gradient index that can decrease (alpha > 0) to the
+  // lowest-gradient index that can increase (alpha < upper).
+  const double eps_box = upper * 1e-12;
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    std::size_t i_up = m, i_down = m;
+    double g_min = std::numeric_limits<double>::infinity();
+    double g_max = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (alpha[i] < upper - eps_box && grad[i] < g_min) {
+        g_min = grad[i];
+        i_up = i;
+      }
+      if (alpha[i] > eps_box && grad[i] > g_max) {
+        g_max = grad[i];
+        i_down = i;
+      }
+    }
+    if (i_up == m || i_down == m || g_max - g_min < config.tolerance) break;
+
+    // Optimal unconstrained step along e_up - e_down.
+    const double curvature =
+        std::max(k_at(i_up, i_up) + k_at(i_down, i_down) - 2.0 * k_at(i_up, i_down), 1e-12);
+    double delta = (g_max - g_min) / curvature;
+    delta = std::min(delta, upper - alpha[i_up]);
+    delta = std::min(delta, alpha[i_down]);
+    if (delta <= 0.0) break;
+
+    alpha[i_up] += delta;
+    alpha[i_down] -= delta;
+    for (std::size_t j = 0; j < m; ++j) {
+      grad[j] += delta * (k_at(i_up, j) - k_at(i_down, j));
+    }
+  }
+
+  // rho = decision threshold: average gradient over free support vectors
+  // (0 < alpha < upper); fall back to the mean over all support vectors.
+  double rho_sum = 0.0;
+  std::size_t rho_count = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (alpha[i] > eps_box && alpha[i] < upper - eps_box) {
+      rho_sum += grad[i];
+      ++rho_count;
+    }
+  }
+  if (rho_count == 0) {
+    for (std::size_t i = 0; i < m; ++i) {
+      if (alpha[i] > eps_box) {
+        rho_sum += grad[i];
+        ++rho_count;
+      }
+    }
+  }
+  svm.rho_ = rho_count > 0 ? rho_sum / static_cast<double>(rho_count) : 0.0;
+
+  // Keep only support vectors.
+  for (std::size_t i = 0; i < m; ++i) {
+    if (alpha[i] > eps_box) {
+      svm.support_vectors_.emplace_back(x[i].begin(), x[i].end());
+      svm.alphas_.push_back(alpha[i]);
+    }
+  }
+
+  // Count decision values below zero by more than the solver tolerance;
+  // points within tolerance of the boundary are margin noise, not
+  // outliers (the nu-property is stated at the exact optimum).
+  std::size_t outliers = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (grad[i] - svm.rho_ < -config.tolerance) ++outliers;
+  }
+  svm.training_outlier_fraction_ = static_cast<double>(outliers) / static_cast<double>(m);
+  return svm;
+}
+
+double OneClassSvm::score(std::span<const float> x) const {
+  assert(x.size() == dim_);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < support_vectors_.size(); ++i) {
+    acc += alphas_[i] * kernel_value(config_.kernel, gamma_, support_vectors_[i], x);
+  }
+  return acc - rho_;
+}
+
+namespace {
+constexpr std::uint32_t kSvmMagic = 0x4d56534fu;  // "OSVM"
+constexpr std::uint32_t kSvmVersion = 1;
+}  // namespace
+
+void OneClassSvm::save(BinaryWriter& w) const {
+  w.write_magic(kSvmMagic, kSvmVersion);
+  w.write<std::int32_t>(static_cast<std::int32_t>(config_.kernel));
+  w.write<double>(config_.nu);
+  w.write<double>(gamma_);
+  w.write<double>(rho_);
+  w.write<double>(training_outlier_fraction_);
+  w.write<std::uint64_t>(dim_);
+  w.write<std::uint64_t>(support_vectors_.size());
+  for (const auto& sv : support_vectors_) w.write_vector(std::span<const float>(sv));
+  w.write_vector(std::span<const double>(alphas_));
+}
+
+OneClassSvm OneClassSvm::load(BinaryReader& r) {
+  r.read_magic(kSvmMagic);
+  OneClassSvm svm;
+  svm.config_.kernel = static_cast<KernelKind>(r.read<std::int32_t>());
+  svm.config_.nu = r.read<double>();
+  svm.gamma_ = r.read<double>();
+  svm.rho_ = r.read<double>();
+  svm.training_outlier_fraction_ = r.read<double>();
+  svm.dim_ = static_cast<std::size_t>(r.read<std::uint64_t>());
+  const auto n_sv = static_cast<std::size_t>(r.read<std::uint64_t>());
+  svm.support_vectors_.reserve(n_sv);
+  for (std::size_t i = 0; i < n_sv; ++i) {
+    auto sv = r.read_vector<float>();
+    if (sv.size() != svm.dim_) throw SerializeError("support vector dim mismatch");
+    svm.support_vectors_.push_back(std::move(sv));
+  }
+  svm.alphas_ = r.read_vector<double>();
+  if (svm.alphas_.size() != svm.support_vectors_.size()) {
+    throw SerializeError("alpha/support-vector count mismatch");
+  }
+  return svm;
+}
+
+}  // namespace misuse::ocsvm

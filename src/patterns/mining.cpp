@@ -1,0 +1,177 @@
+#include "patterns/mining.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace misuse::patterns {
+
+namespace {
+/// Transaction id lists per action (the vertical representation Eclat
+/// intersects).
+using TidList = std::vector<std::size_t>;
+
+TidList intersect(const TidList& a, const TidList& b) {
+  TidList out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+void eclat_extend(const std::vector<std::pair<int, TidList>>& frontier, std::size_t min_count,
+                  std::size_t max_pattern, std::vector<int>& prefix,
+                  std::vector<ItemsetPattern>& out) {
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const auto& [action, tids] = frontier[i];
+    prefix.push_back(action);
+    out.push_back({prefix, tids.size()});
+    if (prefix.size() < max_pattern) {
+      std::vector<std::pair<int, TidList>> next;
+      for (std::size_t j = i + 1; j < frontier.size(); ++j) {
+        TidList joint = intersect(tids, frontier[j].second);
+        if (joint.size() >= min_count) next.emplace_back(frontier[j].first, std::move(joint));
+      }
+      if (!next.empty()) eclat_extend(next, min_count, max_pattern, prefix, out);
+    }
+    prefix.pop_back();
+  }
+}
+}  // namespace
+
+std::vector<ItemsetPattern> mine_frequent_itemsets(std::span<const Session* const> sessions,
+                                                   const MiningConfig& config) {
+  assert(config.min_support > 0.0 && config.min_support <= 1.0);
+  const std::size_t n = sessions.size();
+  const auto min_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(config.min_support * static_cast<double>(n))));
+
+  // Vertical tid-lists of single actions.
+  std::map<int, TidList> tid_lists;
+  for (std::size_t t = 0; t < n; ++t) {
+    std::set<int> distinct(sessions[t]->actions.begin(), sessions[t]->actions.end());
+    for (int a : distinct) tid_lists[a].push_back(t);
+  }
+
+  std::vector<std::pair<int, TidList>> frontier;
+  for (auto& [action, tids] : tid_lists) {
+    if (tids.size() >= min_count) frontier.emplace_back(action, std::move(tids));
+  }
+
+  std::vector<ItemsetPattern> out;
+  std::vector<int> prefix;
+  eclat_extend(frontier, min_count, config.max_pattern, prefix, out);
+
+  std::stable_sort(out.begin(), out.end(), [](const ItemsetPattern& a, const ItemsetPattern& b) {
+    if (a.support != b.support) return a.support > b.support;
+    return a.actions.size() > b.actions.size();
+  });
+  if (out.size() > config.max_results) out.resize(config.max_results);
+  return out;
+}
+
+std::vector<SequencePattern> mine_frequent_subsequences(std::span<const Session* const> sessions,
+                                                        const MiningConfig& config) {
+  const std::size_t n = sessions.size();
+  const auto min_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(config.min_support * static_cast<double>(n))));
+
+  // Level-wise: count n-grams of increasing length; a (k+1)-gram can only
+  // be frequent if its k-prefix is (apriori property over contiguity).
+  std::vector<SequencePattern> out;
+  std::set<std::vector<int>> previous_level;  // frequent grams of length k
+
+  for (std::size_t k = 2; k <= config.max_pattern; ++k) {
+    std::map<std::vector<int>, std::set<std::size_t>> counts;
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto& acts = sessions[t]->actions;
+      if (acts.size() < k) continue;
+      for (std::size_t i = 0; i + k <= acts.size(); ++i) {
+        std::vector<int> gram(acts.begin() + static_cast<std::ptrdiff_t>(i),
+                              acts.begin() + static_cast<std::ptrdiff_t>(i + k));
+        if (k > 2) {
+          std::vector<int> head(gram.begin(), gram.end() - 1);
+          if (!previous_level.count(head)) continue;
+        }
+        counts[std::move(gram)].insert(t);
+      }
+    }
+    std::set<std::vector<int>> this_level;
+    for (auto& [gram, tids] : counts) {
+      if (tids.size() >= min_count) {
+        out.push_back({gram, tids.size()});
+        this_level.insert(gram);
+      }
+    }
+    if (this_level.empty()) break;
+    previous_level = std::move(this_level);
+  }
+
+  std::stable_sort(out.begin(), out.end(), [](const SequencePattern& a, const SequencePattern& b) {
+    if (a.support != b.support) return a.support > b.support;
+    return a.actions.size() > b.actions.size();
+  });
+  if (out.size() > config.max_results) out.resize(config.max_results);
+  return out;
+}
+
+std::vector<CharacteristicAction> characteristic_actions(
+    std::span<const Session* const> cluster, std::span<const Session* const> corpus,
+    std::size_t top_n) {
+  const auto frequency = [](std::span<const Session* const> sessions) {
+    std::unordered_map<int, std::size_t> counts;
+    for (const Session* s : sessions) {
+      std::set<int> distinct(s->actions.begin(), s->actions.end());
+      for (int a : distinct) ++counts[a];
+    }
+    return counts;
+  };
+  const auto cluster_counts = frequency(cluster);
+  const auto corpus_counts = frequency(corpus);
+
+  std::vector<CharacteristicAction> out;
+  for (const auto& [action, count] : cluster_counts) {
+    CharacteristicAction c;
+    c.action = action;
+    c.cluster_frequency = static_cast<double>(count) / static_cast<double>(cluster.size());
+    const auto it = corpus_counts.find(action);
+    c.global_frequency = it == corpus_counts.end()
+                             ? 0.0
+                             : static_cast<double>(it->second) / static_cast<double>(corpus.size());
+    c.lift = c.global_frequency > 0.0 ? c.cluster_frequency / c.global_frequency : 0.0;
+    out.push_back(c);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    // Rank by lift, but only among actions that actually dominate the
+    // cluster; rare one-off actions with infinite-ish lift are noise.
+    const double score_a = a.lift * a.cluster_frequency;
+    const double score_b = b.lift * b.cluster_frequency;
+    return score_a > score_b;
+  });
+  if (out.size() > top_n) out.resize(top_n);
+  return out;
+}
+
+std::string describe_itemsets(const std::vector<ItemsetPattern>& patterns,
+                              const ActionVocab& vocab, std::size_t total_sessions,
+                              std::size_t max_items) {
+  std::ostringstream out;
+  std::size_t emitted = 0;
+  for (const auto& p : patterns) {
+    if (emitted >= max_items) break;
+    if (emitted > 0) out << "; ";
+    out << "{";
+    for (std::size_t i = 0; i < p.actions.size(); ++i) {
+      if (i > 0) out << ",";
+      out << vocab.name(p.actions[i]);
+    }
+    out << "} " << static_cast<int>(100.0 * p.support_fraction(total_sessions) + 0.5) << "%";
+    ++emitted;
+  }
+  return out.str();
+}
+
+}  // namespace misuse::patterns

@@ -1,0 +1,69 @@
+// Frequent-pattern mining over session clusters. The paper validates
+// that the expert-selected clusters carry semantic meaning by mining
+// frequent patterns per cluster ("one of them includes all the sessions
+// with actions to unlock user's access..., another includes all
+// modifications of roles", §IV-B). Two miners are provided:
+//
+//   * frequent action-sets (Eclat-style vertical mining, order-agnostic),
+//   * frequent contiguous subsequences (the workflow n-grams that make
+//     cluster grammars visible).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sessions/session.hpp"
+#include "sessions/vocab.hpp"
+
+namespace misuse::patterns {
+
+struct ItemsetPattern {
+  std::vector<int> actions;  // sorted action ids
+  std::size_t support = 0;   // number of sessions containing all of them
+
+  double support_fraction(std::size_t total) const {
+    return total == 0 ? 0.0 : static_cast<double>(support) / static_cast<double>(total);
+  }
+};
+
+struct SequencePattern {
+  std::vector<int> actions;  // contiguous subsequence
+  std::size_t support = 0;   // number of sessions containing it
+};
+
+struct MiningConfig {
+  double min_support = 0.3;      // fraction of sessions
+  std::size_t max_pattern = 4;   // maximum pattern length
+  std::size_t max_results = 64;  // cap, highest-support first
+};
+
+/// Frequent action-sets across the given sessions (each session counted
+/// once per pattern regardless of repetitions).
+std::vector<ItemsetPattern> mine_frequent_itemsets(std::span<const Session* const> sessions,
+                                                   const MiningConfig& config);
+
+/// Frequent contiguous subsequences (n-grams over actions, n >= 2).
+std::vector<SequencePattern> mine_frequent_subsequences(std::span<const Session* const> sessions,
+                                                        const MiningConfig& config);
+
+/// Characteristic actions of a cluster: actions whose within-cluster
+/// session frequency exceeds their overall frequency the most (lift).
+/// Used to produce the human-readable cluster descriptions of §IV-B.
+struct CharacteristicAction {
+  int action = 0;
+  double cluster_frequency = 0.0;  // fraction of cluster sessions containing it
+  double global_frequency = 0.0;   // fraction of all sessions containing it
+  double lift = 0.0;
+};
+
+std::vector<CharacteristicAction> characteristic_actions(
+    std::span<const Session* const> cluster, std::span<const Session* const> corpus,
+    std::size_t top_n);
+
+/// Renders "name(support%)" summaries for reports.
+std::string describe_itemsets(const std::vector<ItemsetPattern>& patterns,
+                              const ActionVocab& vocab, std::size_t total_sessions,
+                              std::size_t max_items = 5);
+
+}  // namespace misuse::patterns

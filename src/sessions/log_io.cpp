@@ -1,0 +1,84 @@
+#include "sessions/log_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace misuse {
+
+namespace {
+constexpr std::string_view kHeader = "# misusedet session log v1";
+
+template <typename T>
+T parse_number(std::string_view s, std::size_t line_no, const char* what) {
+  T value{};
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw LogParseError("line " + std::to_string(line_no) + ": bad " + what + " '" +
+                        std::string(s) + "'");
+  }
+  return value;
+}
+}  // namespace
+
+void write_session_log(const SessionStore& store, std::ostream& out) {
+  out << kHeader << '\n';
+  for (const auto& s : store.all()) {
+    out << s.id << '\t' << s.user << '\t' << s.start_minute << '\t';
+    for (std::size_t i = 0; i < s.actions.size(); ++i) {
+      if (i > 0) out << ',';
+      out << store.vocab().name(s.actions[i]);
+    }
+    out << '\n';
+  }
+}
+
+void write_session_log_file(const SessionStore& store, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw LogParseError("cannot open for writing: " + path);
+  write_session_log(store, out);
+}
+
+void read_session_log(std::istream& in, SessionStore& store) {
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (trim(line).empty() || trim(line).front() == '#') continue;
+    // Strip only the line terminator: a trailing tab is significant (it
+    // carries an empty actions field).
+    std::string_view body = line;
+    while (!body.empty() && (body.back() == '\n' || body.back() == '\r')) body.remove_suffix(1);
+    const auto fields = split(body, '\t');
+    if (fields.size() != 4) {
+      throw LogParseError("line " + std::to_string(line_no) + ": expected 4 tab-separated fields, got " +
+                          std::to_string(fields.size()));
+    }
+    Session s;
+    s.id = parse_number<std::uint64_t>(fields[0], line_no, "session id");
+    s.user = parse_number<std::uint32_t>(fields[1], line_no, "user");
+    s.start_minute = parse_number<std::uint64_t>(fields[2], line_no, "start minute");
+    if (!trim(fields[3]).empty()) {
+      for (const auto& name : split(fields[3], ',')) {
+        const auto action = trim(name);
+        if (action.empty()) {
+          throw LogParseError("line " + std::to_string(line_no) + ": empty action name");
+        }
+        s.actions.push_back(store.vocab().intern(action));
+      }
+    }
+    store.add(std::move(s));
+  }
+}
+
+SessionStore read_session_log_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw LogParseError("cannot open for reading: " + path);
+  SessionStore store;
+  read_session_log(in, store);
+  return store;
+}
+
+}  // namespace misuse

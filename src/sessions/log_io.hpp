@@ -1,0 +1,34 @@
+// Text log reader/writer. The portal's audit log is modeled as one line
+// per session:
+//
+//   <session_id> TAB <user> TAB <start_minute> TAB act1,act2,act3,...
+//
+// with '#'-prefixed comment lines. This mirrors how the DiSIEM use case
+// exports "sessions containing sequences of actions" and lets users feed
+// their own logs into the pipeline without recompiling.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "sessions/store.hpp"
+
+namespace misuse {
+
+class LogParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes every session in the store (action names resolved through the
+/// store's vocabulary).
+void write_session_log(const SessionStore& store, std::ostream& out);
+void write_session_log_file(const SessionStore& store, const std::string& path);
+
+/// Parses a log, interning unseen action names into `store`'s vocabulary.
+/// Malformed lines raise LogParseError with the line number.
+void read_session_log(std::istream& in, SessionStore& store);
+SessionStore read_session_log_file(const std::string& path);
+
+}  // namespace misuse

@@ -1,0 +1,31 @@
+// A session is the paper's unit of analysis: the ordered tuple of actions
+// a user performed between log-in and log-out of the administrative
+// portal, plus the metadata the log records (user, start time).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace misuse {
+
+struct Session {
+  std::uint64_t id = 0;
+  std::uint32_t user = 0;          // anonymized user index
+  std::uint64_t start_minute = 0;  // minutes since start of recording
+  std::vector<int> actions;        // action ids into an ActionVocab
+
+  /// Ground-truth archetype from the synthetic generator (-1 when
+  /// unknown, e.g. parsed from a real log). Never shown to the pipeline;
+  /// used only for evaluation oracles.
+  int archetype = -1;
+  /// True when the generator injected this session as a misuse (only
+  /// meaningful for synthetic data; the paper's dataset had no labels).
+  bool injected_misuse = false;
+
+  std::size_t length() const { return actions.size(); }
+  std::span<const int> view() const { return actions; }
+};
+
+}  // namespace misuse

@@ -1,0 +1,63 @@
+#include "sessions/sessionizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace misuse {
+
+SessionStore sessionize(std::vector<Event> events, const ActionVocab& vocab,
+                        const SessionizerConfig& config) {
+  SessionStore store(vocab);
+  if (events.empty()) return store;
+
+  std::stable_sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.user != b.user) return a.user < b.user;
+    return a.minute < b.minute;
+  });
+
+  std::uint64_t next_id = 1;
+  Session current;
+  bool open = false;
+  std::uint64_t last_minute = 0;
+
+  const auto close_session = [&]() {
+    if (open && !current.actions.empty()) {
+      store.add(std::move(current));
+    }
+    current = Session{};
+    open = false;
+  };
+  const auto open_session = [&](const Event& e) {
+    current = Session{};
+    current.id = next_id++;
+    current.user = e.user;
+    current.start_minute = e.minute;
+    open = true;
+  };
+
+  for (const Event& e : events) {
+    assert(e.action >= 0 && static_cast<std::size_t>(e.action) < vocab.size());
+    const bool user_changed = open && current.user != e.user;
+    const bool gap_exceeded = open && config.idle_gap_minutes > 0 &&
+                              e.minute > last_minute + config.idle_gap_minutes;
+    const bool is_login = config.login_action >= 0 && e.action == config.login_action;
+
+    if (user_changed || gap_exceeded || (is_login && open)) close_session();
+    if (!open) {
+      open_session(e);
+      if (is_login && !config.keep_markers) {
+        last_minute = e.minute;
+        continue;  // marker consumed, session stays open
+      }
+    }
+
+    const bool is_logout = config.logout_action >= 0 && e.action == config.logout_action;
+    if (!is_logout || config.keep_markers) current.actions.push_back(e.action);
+    last_minute = e.minute;
+    if (is_logout) close_session();
+  }
+  close_session();
+  return store;
+}
+
+}  // namespace misuse

@@ -1,0 +1,44 @@
+// Sessionization of a raw event stream. The paper assumes "interactions
+// can be separated into sessions (e.g., all actions between a log-in and
+// a log-out of the system are a session)"; real audit logs, however,
+// arrive as flat (user, timestamp, action) events. This substrate turns
+// such a stream into the SessionStore the pipeline consumes, splitting
+// per user on explicit login/logout markers and/or inactivity gaps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sessions/store.hpp"
+
+namespace misuse {
+
+/// One raw audit event.
+struct Event {
+  std::uint32_t user = 0;
+  std::uint64_t minute = 0;  // absolute timestamp in minutes
+  int action = 0;            // action id in the target vocabulary
+};
+
+struct SessionizerConfig {
+  /// Inactivity gap (minutes) that closes the current session; 0 disables
+  /// gap-based splitting.
+  std::uint64_t idle_gap_minutes = 30;
+  /// Action id that opens a session (e.g. "ActionLogin"); -1 disables
+  /// marker-based splitting.
+  int login_action = -1;
+  /// Action id that closes a session (e.g. "ActionLogout"); -1 disables.
+  int logout_action = -1;
+  /// Include the login/logout markers in the produced sessions.
+  bool keep_markers = true;
+};
+
+/// Splits events into sessions. Events may arrive in any order; they are
+/// sorted by (user, minute) with a stable sort so same-minute events keep
+/// stream order. Session ids are assigned sequentially from 1; the given
+/// vocabulary provides the store's action names.
+SessionStore sessionize(std::vector<Event> events, const ActionVocab& vocab,
+                        const SessionizerConfig& config);
+
+}  // namespace misuse

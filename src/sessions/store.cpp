@@ -1,0 +1,67 @@
+#include "sessions/store.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_set>
+
+namespace misuse {
+
+void SessionStore::add(Session session) {
+#ifndef NDEBUG
+  for (int a : session.actions) {
+    assert(a >= 0 && static_cast<std::size_t>(a) < vocab_.size());
+  }
+#endif
+  sessions_.push_back(std::move(session));
+}
+
+std::size_t SessionStore::distinct_users() const {
+  std::unordered_set<std::uint32_t> users;
+  for (const auto& s : sessions_) users.insert(s.user);
+  return users.size();
+}
+
+std::vector<double> SessionStore::lengths() const {
+  std::vector<double> out;
+  out.reserve(sessions_.size());
+  for (const auto& s : sessions_) out.push_back(static_cast<double>(s.length()));
+  return out;
+}
+
+Summary SessionStore::length_summary() const {
+  const auto ls = lengths();
+  return summarize(ls);
+}
+
+std::size_t SessionStore::filter_short_sessions(std::size_t min_actions) {
+  const std::size_t before = sessions_.size();
+  std::erase_if(sessions_, [min_actions](const Session& s) { return s.length() < min_actions; });
+  return before - sessions_.size();
+}
+
+Split SessionStore::split_70_15_15(Rng& rng, std::vector<std::size_t> indices) const {
+  return split(rng, 0.70, 0.15, std::move(indices));
+}
+
+Split SessionStore::split(Rng& rng, double train_frac, double valid_frac,
+                          std::vector<std::size_t> indices) const {
+  assert(train_frac > 0.0 && valid_frac >= 0.0 && train_frac + valid_frac <= 1.0);
+  if (indices.empty()) {
+    indices.resize(sessions_.size());
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+  }
+  rng.shuffle(indices);
+  const auto n = indices.size();
+  const auto n_train = static_cast<std::size_t>(static_cast<double>(n) * train_frac);
+  const auto n_valid = static_cast<std::size_t>(static_cast<double>(n) * valid_frac);
+  Split split;
+  split.train.assign(indices.begin(), indices.begin() + static_cast<std::ptrdiff_t>(n_train));
+  split.valid.assign(indices.begin() + static_cast<std::ptrdiff_t>(n_train),
+                     indices.begin() + static_cast<std::ptrdiff_t>(n_train + n_valid));
+  split.test.assign(indices.begin() + static_cast<std::ptrdiff_t>(n_train + n_valid),
+                    indices.end());
+  return split;
+}
+
+}  // namespace misuse

@@ -1,0 +1,63 @@
+// SessionStore: the historical dataset H = {s_1, ..., s_m} plus the
+// shared action vocabulary; provides the paper's preprocessing steps
+// (minimum-length filter, 70/15/15 splits) and dataset statistics
+// (Fig. 3).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sessions/session.hpp"
+#include "sessions/vocab.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace misuse {
+
+/// Index-based split of a dataset into train/valid/test.
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> valid;
+  std::vector<std::size_t> test;
+
+  std::size_t total() const { return train.size() + valid.size() + test.size(); }
+};
+
+class SessionStore {
+ public:
+  SessionStore() = default;
+  explicit SessionStore(ActionVocab vocab) : vocab_(std::move(vocab)) {}
+
+  ActionVocab& vocab() { return vocab_; }
+  const ActionVocab& vocab() const { return vocab_; }
+
+  void add(Session session);
+  std::size_t size() const { return sessions_.size(); }
+  bool empty() const { return sessions_.empty(); }
+  const Session& at(std::size_t i) const { return sessions_.at(i); }
+  const std::vector<Session>& all() const { return sessions_; }
+
+  /// Number of distinct users appearing in the store.
+  std::size_t distinct_users() const;
+
+  /// Session lengths as doubles (for stats/histograms).
+  std::vector<double> lengths() const;
+  Summary length_summary() const;
+
+  /// Drops sessions with fewer than `min_actions` actions (the paper
+  /// removes sessions of length < 2, §IV-A). Returns number removed.
+  std::size_t filter_short_sessions(std::size_t min_actions);
+
+  /// Random 70/15/15 split (paper proportions) over the given indices;
+  /// `indices` defaults to the whole store when empty.
+  Split split_70_15_15(Rng& rng, std::vector<std::size_t> indices = {}) const;
+  Split split(Rng& rng, double train_frac, double valid_frac,
+              std::vector<std::size_t> indices = {}) const;
+
+ private:
+  ActionVocab vocab_;
+  std::vector<Session> sessions_;
+};
+
+}  // namespace misuse

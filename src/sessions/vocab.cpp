@@ -1,0 +1,39 @@
+#include "sessions/vocab.hpp"
+
+#include <cassert>
+
+namespace misuse {
+
+int ActionVocab::intern(std::string_view name) {
+  const auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<int> ActionVocab::find(std::string_view name) const {
+  const auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& ActionVocab::name(int id) const {
+  assert(id >= 0 && static_cast<std::size_t>(id) < names_.size());
+  return names_[static_cast<std::size_t>(id)];
+}
+
+void ActionVocab::save(BinaryWriter& w) const { w.write_string_vector(names_); }
+
+ActionVocab ActionVocab::load(BinaryReader& r) {
+  ActionVocab v;
+  v.names_ = r.read_string_vector();
+  v.ids_.reserve(v.names_.size());
+  for (std::size_t i = 0; i < v.names_.size(); ++i) {
+    v.ids_.emplace(v.names_[i], static_cast<int>(i));
+  }
+  return v;
+}
+
+}  // namespace misuse

@@ -1,0 +1,43 @@
+// Action vocabulary: bidirectional mapping between action names
+// ("ActionSearchUser", "ActionDeleteUser", ...) and dense integer ids.
+// The id space is the dimension d of the one-hot encoding fed to the
+// LSTM and of the OC-SVM histogram features.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/serialize.hpp"
+
+namespace misuse {
+
+class ActionVocab {
+ public:
+  ActionVocab() = default;
+
+  /// Returns the id of `name`, interning it if new.
+  int intern(std::string_view name);
+
+  /// Id lookup without interning.
+  std::optional<int> find(std::string_view name) const;
+
+  /// Name of an id; requires 0 <= id < size().
+  const std::string& name(int id) const;
+
+  std::size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+  void save(BinaryWriter& w) const;
+  static ActionVocab load(BinaryReader& r);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace misuse

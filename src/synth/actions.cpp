@@ -1,0 +1,136 @@
+#include "synth/actions.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace misuse::synth {
+
+const char* area_name(Area area) {
+  switch (area) {
+    case Area::kCommon: return "common";
+    case Area::kUserAccess: return "user-access";
+    case Area::kUserLifecycle: return "user-lifecycle";
+    case Area::kRole: return "role";
+    case Area::kOffice: return "office";
+    case Area::kSecurityRule: return "security-rule";
+    case Area::kReporting: return "reporting";
+    case Area::kProfile: return "profile";
+    case Area::kGroupPerm: return "group-permission";
+    case Area::kMarket: return "market";
+    case Area::kQueue: return "queue";
+    case Area::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+struct AreaSpec {
+  Area area;
+  std::vector<const char*> verbs;
+  std::vector<const char*> nouns;
+  // Hand-written names that must exist verbatim (quoted in the paper).
+  std::vector<const char*> fixed;
+};
+
+const std::vector<AreaSpec>& area_specs() {
+  static const std::vector<AreaSpec> specs = {
+      {Area::kCommon,
+       {"Search", "Display", "List", "Filter", "Sort", "Open", "Close", "Refresh"},
+       {"Usr", "User", "Home", "Menu", "Result", "Page", "Help", "Dashboard"},
+       {"ActionLogin", "ActionLogout", "ActionSearchUsr", "ActionSearchUser",
+        "ActionDisplayUser", "ActionSearchOffice"}},
+      {Area::kUserAccess,
+       {"Lock", "Unlock", "Reset", "Display", "Verify", "Warning", "Confirm"},
+       {"User", "LockedUser", "Pwd", "PwdUnlock", "AccessRight", "Credential", "LoginHistory"},
+       {"ActionUnLockUser", "ActionUnLockDisplayedUser", "ActionResetPwdUnlock",
+        "ActionDisplayLockedUsers"}},
+      {Area::kUserLifecycle,
+       {"Create", "Delete", "Warning", "Confirm", "Copy", "Validate", "Review", "Approve"},
+       {"User", "NewUser", "UserDraft", "UserTemplate", "Onboarding", "Offboarding"},
+       {"ActionCreateUser", "ActionDeleteUser", "ActionWarningDeleteUser"}},
+      {Area::kRole,
+       {"Assign", "Revoke", "Display", "Modify", "List", "Copy", "Compare", "Audit"},
+       {"Role", "RoleSet", "RoleTemplate", "RoleMapping", "Entitlement", "Delegation"},
+       {"ActionModifyUserRole", "ActionDisplayRoles"}},
+      {Area::kOffice,
+       {"Create", "Modify", "Delete", "Display", "Merge", "Move", "List", "Validate"},
+       {"Office", "OneOffice", "OfficeGroup", "OfficeProfile", "OfficeAgreement", "Corporate"},
+       {"ActionDisplayOneOffice", "ActionEditOffice"}},
+      {Area::kSecurityRule,
+       {"Display", "Create", "Modify", "Delete", "Enable", "Disable", "Test"},
+       {"TFARule", "DirectTFARule", "PwdRule", "SecurityPolicy", "IPRange", "SessionPolicy"},
+       {"ActionDisplayDirectTFARule"}},
+      {Area::kReporting,
+       {"Open", "Run", "Export", "Schedule", "Display", "Download", "Archive"},
+       {"Report", "AuditLog", "ActivityLog", "UsageStats", "ComplianceReport", "AccessReport"},
+       {}},
+      {Area::kProfile,
+       {"Display", "Modify", "Verify", "Compare", "Annotate", "Review"},
+       {"Profile", "ProfileHistory", "ContactInfo", "Preferences", "Signature"},
+       {}},
+      {Area::kGroupPerm,
+       {"Create", "Delete", "Assign", "Revoke", "Display", "List", "Sync"},
+       {"Group", "GroupMember", "Permission", "PermissionSet", "AccessList"},
+       {}},
+      {Area::kMarket,
+       {"Display", "Modify", "Create", "Approve", "Suspend", "List"},
+       {"Market", "Agreement", "Contract", "Provider", "Carrier", "Partnership"},
+       {}},
+      {Area::kQueue,
+       {"Open", "Process", "Assign", "Close", "Display", "Purge", "Requeue", "Count"},
+       {"Queue", "QueueItem", "Partition", "WorkBasket", "Batch", "Task"},
+       {}},
+  };
+  return specs;
+}
+}  // namespace
+
+std::vector<ActionDef> build_action_catalogue(std::size_t target_count) {
+  const auto& specs = area_specs();
+  std::vector<ActionDef> out;
+  out.reserve(target_count + 32);
+
+  // Fixed (paper-quoted) names first so they always exist.
+  for (const auto& spec : specs) {
+    for (const char* name : spec.fixed) out.push_back({name, spec.area});
+  }
+
+  // Then verb x noun products, round-robin over areas until the target is
+  // reached, skipping duplicates of fixed names.
+  auto exists = [&out](const std::string& name) {
+    for (const auto& a : out) {
+      if (a.name == name) return true;
+    }
+    return false;
+  };
+  std::size_t pair_index = 0;
+  while (out.size() < target_count) {
+    bool added_any = false;
+    for (const auto& spec : specs) {
+      if (out.size() >= target_count) break;
+      const std::size_t vi = pair_index % spec.verbs.size();
+      const std::size_t ni = (pair_index / spec.verbs.size()) % spec.nouns.size();
+      if (pair_index >= spec.verbs.size() * spec.nouns.size()) continue;
+      std::string name = std::string("Action") + spec.verbs[vi] + spec.nouns[ni];
+      if (!exists(name)) {
+        out.push_back({std::move(name), spec.area});
+        added_any = true;
+      }
+    }
+    ++pair_index;
+    if (!added_any && pair_index > 512) break;  // all products exhausted
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> intern_catalogue(const std::vector<ActionDef>& catalogue,
+                                               ActionVocab& vocab) {
+  std::vector<std::vector<int>> by_area(kAreaCount);
+  for (const auto& def : catalogue) {
+    const int id = vocab.intern(def.name);
+    by_area[static_cast<std::size_t>(def.area)].push_back(id);
+  }
+  return by_area;
+}
+
+}  // namespace misuse::synth

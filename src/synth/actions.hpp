@@ -1,0 +1,54 @@
+// Synthetic action vocabulary for the administrative portal simulator.
+//
+// The paper's system logs ~300 distinct actions with names like
+// 'ActionSearchUser', 'ActionDeleteUser', 'ActionResetPwdUnlock',
+// 'ActionDisplayOneOffice', 'ActionDisplayDirectTFARule' (§I, §IV-D). We
+// reproduce that shape: verb x entity combinations grouped into
+// functional areas, so behavior archetypes can draw from coherent pools.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sessions/vocab.hpp"
+
+namespace misuse::synth {
+
+/// Functional areas of the simulated portal. Archetypes own one or two
+/// home areas; kCommon holds navigation/search actions shared by all.
+enum class Area : int {
+  kCommon = 0,
+  kUserAccess,    // lock/unlock/reset flows
+  kUserLifecycle, // create/delete/onboard flows
+  kRole,
+  kOffice,
+  kSecurityRule,  // TFA / password rules
+  kReporting,
+  kProfile,
+  kGroupPerm,
+  kMarket,
+  kQueue,
+  kCount
+};
+
+constexpr std::size_t kAreaCount = static_cast<std::size_t>(Area::kCount);
+
+const char* area_name(Area area);
+
+/// One generated action with its area tag.
+struct ActionDef {
+  std::string name;
+  Area area;
+};
+
+/// Builds a deterministic catalogue of approximately `target_count`
+/// actions (exact count returned may differ by a few) covering all areas.
+/// Includes the concrete action names quoted in the paper.
+std::vector<ActionDef> build_action_catalogue(std::size_t target_count);
+
+/// Interns a catalogue into a vocabulary; returns per-area id lists
+/// (indexed by Area) aligned with the vocab ids.
+std::vector<std::vector<int>> intern_catalogue(const std::vector<ActionDef>& catalogue,
+                                               ActionVocab& vocab);
+
+}  // namespace misuse::synth

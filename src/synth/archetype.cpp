@@ -1,0 +1,66 @@
+#include "synth/archetype.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace misuse::synth {
+
+BehaviorArchetype::BehaviorArchetype(ArchetypeConfig config) : config_(std::move(config)) {
+  assert(!config_.pool.empty());
+  assert(config_.workflow_size > 0 && config_.workflow_size <= config_.pool.size());
+  const double total = config_.advance_prob + config_.repeat_prob + config_.restart_prob +
+                       config_.common_prob;
+  assert(std::abs(total - 1.0) < 1e-6);
+  (void)total;
+}
+
+std::size_t BehaviorArchetype::sample_length(Rng& rng) const {
+  const double raw = rng.lognormal(config_.log_len_mu, config_.log_len_sigma);
+  const auto len = static_cast<std::size_t>(std::llround(raw));
+  return std::max<std::size_t>(len, 2);
+}
+
+std::vector<int> BehaviorArchetype::generate(Rng& rng, std::size_t length) const {
+  assert(length >= 1);
+  const std::size_t w = config_.workflow_size;
+  const std::size_t commons = config_.pool.size() - w;
+  std::vector<int> out;
+  out.reserve(length);
+
+  // Sessions start near the beginning of the workflow (search/lookup
+  // phase), occasionally mid-way (resumed work).
+  std::size_t pos = rng.bernoulli(0.8) ? rng.uniform_index(std::max<std::size_t>(w / 4, 1))
+                                       : rng.uniform_index(w);
+  bool in_common_detour = false;
+  std::size_t saved_pos = pos;
+
+  for (std::size_t i = 0; i < length; ++i) {
+    if (in_common_detour) {
+      // Common detours last one action, then return to the workflow.
+      out.push_back(config_.pool[w + rng.uniform_index(std::max<std::size_t>(commons, 1))]);
+      pos = saved_pos;
+      in_common_detour = false;
+      continue;
+    }
+    out.push_back(config_.pool[pos]);
+    const double u = rng.uniform();
+    if (u < config_.advance_prob) {
+      pos = (pos + 1) % w;  // workflow progresses; wraps into a fresh pass
+    } else if (u < config_.advance_prob + config_.repeat_prob) {
+      // repeat current action (e.g. paging through results)
+    } else if (u < config_.advance_prob + config_.repeat_prob + config_.restart_prob) {
+      pos = rng.uniform_index(std::max<std::size_t>(w / 4, 1));  // restart the task
+    } else if (commons > 0) {
+      saved_pos = pos;
+      in_common_detour = true;
+    }
+  }
+  return out;
+}
+
+std::vector<int> BehaviorArchetype::generate(Rng& rng) const {
+  return generate(rng, sample_length(rng));
+}
+
+}  // namespace misuse::synth

@@ -1,0 +1,57 @@
+// Behavior archetypes: the ground-truth "semantically meaningful clusters
+// of interactions" that the paper's experts discovered through the visual
+// interface (13 of them on the DiSIEM dataset, e.g. user-unlock flows,
+// role modifications, office edition — §IV-B).
+//
+// Each archetype is a first-order task grammar over a pool of actions
+// from its home functional area(s) plus the common navigation actions:
+// workflows progress forward through the pool with occasional repeats,
+// backtracking and detours through common actions. Session lengths follow
+// a per-archetype log-normal law calibrated so the global corpus matches
+// the paper's statistics (mean ~15, p98 < 91, max > 800 — Fig. 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace misuse::synth {
+
+struct ArchetypeConfig {
+  std::string name;
+  std::vector<int> pool;     // action ids, workflow order; commons appended
+  std::size_t workflow_size = 0;  // first `workflow_size` entries of pool are the ordered workflow
+  double log_len_mu = 2.3;   // log-normal length parameters
+  double log_len_sigma = 0.9;
+  double advance_prob = 0.55;  // move to next workflow step
+  double repeat_prob = 0.15;   // repeat current action
+  double restart_prob = 0.12;  // jump back to a workflow start
+  double common_prob = 0.18;   // detour through a common action
+};
+
+/// Generates sessions from a fixed archetype grammar.
+class BehaviorArchetype {
+ public:
+  explicit BehaviorArchetype(ArchetypeConfig config);
+
+  const std::string& name() const { return config_.name; }
+  const ArchetypeConfig& config() const { return config_; }
+
+  /// Draws a session length (>= 2) from the archetype's length law.
+  std::size_t sample_length(Rng& rng) const;
+
+  /// Generates a full action sequence of the given length.
+  std::vector<int> generate(Rng& rng, std::size_t length) const;
+
+  /// Convenience: sample length, then generate.
+  std::vector<int> generate(Rng& rng) const;
+
+  /// The action ids this archetype can emit (workflow + commons).
+  const std::vector<int>& pool() const { return config_.pool; }
+
+ private:
+  ArchetypeConfig config_;
+};
+
+}  // namespace misuse::synth

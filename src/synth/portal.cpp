@@ -1,0 +1,237 @@
+#include "synth/portal.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "synth/actions.hpp"
+
+namespace misuse::synth {
+
+const char* misuse_kind_name(MisuseKind kind) {
+  switch (kind) {
+    case MisuseKind::kMassProfileModification: return "mass-profile-modification";
+    case MisuseKind::kRandomActivity: return "random-activity";
+    case MisuseKind::kAreaHopping: return "area-hopping";
+    case MisuseKind::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+struct ArchetypeSpec {
+  const char* name;
+  Area home;
+  double weight;
+  double log_len_mu;
+  double log_len_sigma;
+  // Which half of the home area's actions to use, so two archetypes can
+  // share an area with only partial overlap: 0 = first 60%, 1 = last 60%,
+  // 2 = all.
+  int pool_slice;
+};
+
+// Thirteen archetypes, matching the paper's 13 expert-identified clusters
+// (k = 13) with strongly unequal prevalence. Length laws are calibrated
+// so the mixed corpus reproduces Fig. 3's statistics.
+const ArchetypeSpec kSpecs[] = {
+    {"user-offboarding", Area::kUserLifecycle, 0.012, 2.20, 0.80, 1},
+    {"market-agreement-config", Area::kMarket, 0.018, 2.10, 0.85, 2},
+    {"cross-area-administration", Area::kGroupPerm, 0.024, 2.40, 0.90, 1},
+    {"tfa-security-administration", Area::kSecurityRule, 0.033, 2.20, 0.85, 2},
+    {"group-permission-management", Area::kGroupPerm, 0.042, 2.30, 0.85, 0},
+    {"queue-bulk-processing", Area::kQueue, 0.055, 3.22, 1.25, 2},
+    {"user-onboarding", Area::kUserLifecycle, 0.065, 2.40, 0.85, 0},
+    {"office-edition", Area::kOffice, 0.075, 2.30, 0.85, 2},
+    {"role-modification", Area::kRole, 0.090, 2.25, 0.85, 2},
+    {"user-unlock", Area::kUserAccess, 0.105, 2.10, 0.80, 0},
+    {"password-reset", Area::kUserAccess, 0.130, 2.15, 0.80, 1},
+    {"audit-review", Area::kReporting, 0.151, 2.45, 0.90, 2},
+    {"profile-lookup", Area::kProfile, 0.200, 2.20, 0.85, 2},
+};
+
+std::vector<int> slice_pool(const std::vector<int>& area_actions, int slice) {
+  const std::size_t n = area_actions.size();
+  if (n == 0) return {};
+  const auto cut = [&](double frac) { return static_cast<std::size_t>(frac * static_cast<double>(n)); };
+  switch (slice) {
+    case 0: return {area_actions.begin(), area_actions.begin() + static_cast<std::ptrdiff_t>(std::max<std::size_t>(cut(0.6), 1))};
+    case 1: return {area_actions.begin() + static_cast<std::ptrdiff_t>(cut(0.4)), area_actions.end()};
+    default: return area_actions;
+  }
+}
+
+}  // namespace
+
+Portal::Portal(const PortalConfig& config) : config_(config) {
+  assert(config.sessions > 0 && config.users > 0 && config.action_count >= 32);
+  const auto catalogue = build_action_catalogue(config.action_count);
+  actions_by_area_ = intern_catalogue(catalogue, vocab_);
+
+  Rng rng(config.seed);
+  weights_.clear();
+  archetypes_.clear();
+  double weight_sum = 0.0;
+  for (const auto& spec : kSpecs) {
+    ArchetypeConfig ac;
+    ac.name = spec.name;
+    std::vector<int> workflow = slice_pool(actions_by_area_[static_cast<std::size_t>(spec.home)],
+                                           spec.pool_slice);
+    // The cross-area archetype mixes three areas (it models senior admins
+    // touching many subsystems in one session).
+    if (std::string_view(spec.name) == "cross-area-administration") {
+      const auto& offices = actions_by_area_[static_cast<std::size_t>(Area::kOffice)];
+      const auto& roles = actions_by_area_[static_cast<std::size_t>(Area::kRole)];
+      workflow.insert(workflow.end(), offices.begin(),
+                      offices.begin() + static_cast<std::ptrdiff_t>(offices.size() / 3));
+      workflow.insert(workflow.end(), roles.begin(),
+                      roles.begin() + static_cast<std::ptrdiff_t>(roles.size() / 3));
+    }
+    rng.shuffle(workflow);
+    // Keep workflows compact so each archetype has a recognizable,
+    // learnable grammar.
+    if (workflow.size() > 20) workflow.resize(20);
+    ac.workflow_size = workflow.size();
+    // Append a sample of common actions as detour targets.
+    const auto& commons = actions_by_area_[static_cast<std::size_t>(Area::kCommon)];
+    std::vector<int> common_sample = commons;
+    rng.shuffle(common_sample);
+    const std::size_t n_common = std::min<std::size_t>(6, common_sample.size());
+    workflow.insert(workflow.end(), common_sample.begin(),
+                    common_sample.begin() + static_cast<std::ptrdiff_t>(n_common));
+    ac.pool = std::move(workflow);
+    ac.log_len_mu = spec.log_len_mu;
+    ac.log_len_sigma = spec.log_len_sigma;
+    archetypes_.emplace_back(std::move(ac));
+    weights_.push_back(spec.weight);
+    weight_sum += spec.weight;
+  }
+  assert(std::abs(weight_sum - 1.0) < 1e-9);
+  (void)weight_sum;
+}
+
+std::vector<int> Portal::area_pool(Area area) const {
+  return actions_by_area_[static_cast<std::size_t>(area)];
+}
+
+SessionStore Portal::generate() const {
+  Rng rng(config_.seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+  SessionStore store(vocab_);
+
+  // Users are creatures of habit: each has a primary archetype drawn from
+  // the global prevalence.
+  std::vector<std::size_t> user_primary(config_.users);
+  for (auto& p : user_primary) p = rng.categorical(weights_);
+
+  std::vector<Session> sessions;
+  sessions.reserve(config_.sessions);
+  for (std::size_t i = 0; i < config_.sessions; ++i) {
+    Session s;
+    s.id = i + 1;
+    s.user = static_cast<std::uint32_t>(rng.uniform_index(config_.users));
+    const std::size_t day = rng.uniform_index(config_.days);
+    // Working-hours diurnal pattern centered at 13:00.
+    const double minute_of_day = std::clamp(rng.normal(13.0 * 60.0, 3.0 * 60.0), 0.0, 1439.0);
+    s.start_minute = day * 1440 + static_cast<std::uint64_t>(minute_of_day);
+
+    if (config_.misuse_fraction > 0.0 && rng.bernoulli(config_.misuse_fraction)) {
+      const auto kind = static_cast<MisuseKind>(
+          rng.uniform_index(static_cast<std::size_t>(MisuseKind::kCount)));
+      Session misuse = make_misuse(kind, rng);
+      misuse.id = s.id;
+      misuse.user = s.user;
+      misuse.start_minute = s.start_minute;
+      sessions.push_back(std::move(misuse));
+      continue;
+    }
+
+    const std::size_t archetype = rng.bernoulli(config_.habit_strength)
+                                      ? user_primary[s.user]
+                                      : rng.categorical(weights_);
+    s.archetype = static_cast<int>(archetype);
+    s.actions = archetypes_[archetype].generate(rng);
+    sessions.push_back(std::move(s));
+  }
+
+  std::sort(sessions.begin(), sessions.end(),
+            [](const Session& a, const Session& b) { return a.start_minute < b.start_minute; });
+  for (auto& s : sessions) store.add(std::move(s));
+  return store;
+}
+
+Session Portal::make_misuse(MisuseKind kind, Rng& rng) const {
+  Session s;
+  s.archetype = -1;
+  s.injected_misuse = true;
+  switch (kind) {
+    case MisuseKind::kMassProfileModification: {
+      // The paper's §IV-D example: bursts of create/delete/unlock/reset
+      // over many user profiles, interleaved with searches.
+      static const char* kSensitive[] = {
+          "ActionDeleteUser", "ActionWarningDeleteUser", "ActionCreateUser",
+          "ActionUnLockUser", "ActionResetPwdUnlock", "ActionUnLockDisplayedUser"};
+      std::vector<int> pool;
+      for (const char* name : kSensitive) {
+        if (const auto id = vocab_.find(name)) pool.push_back(*id);
+      }
+      const auto search = vocab_.find("ActionSearchUsr");
+      const std::size_t length = 10 + rng.uniform_index(31);
+      for (std::size_t i = 0; i < length; ++i) {
+        if (search && rng.bernoulli(0.25)) {
+          s.actions.push_back(*search);
+        } else {
+          const int action = pool[rng.uniform_index(pool.size())];
+          // Mass modification: the same sensitive action repeats in runs.
+          const std::size_t run = 1 + rng.uniform_index(4);
+          for (std::size_t r = 0; r < run && s.actions.size() < length; ++r) {
+            s.actions.push_back(action);
+          }
+        }
+      }
+      break;
+    }
+    case MisuseKind::kRandomActivity: {
+      const std::size_t length = 5 + rng.uniform_index(21);  // [5, 25]
+      for (std::size_t i = 0; i < length; ++i) {
+        s.actions.push_back(static_cast<int>(rng.uniform_index(vocab_.size())));
+      }
+      break;
+    }
+    case MisuseKind::kAreaHopping: {
+      const std::size_t hops = 4 + rng.uniform_index(8);
+      for (std::size_t h = 0; h < hops; ++h) {
+        const auto& archetype = archetypes_[rng.uniform_index(archetypes_.size())];
+        const std::size_t burst = 1 + rng.uniform_index(3);
+        const auto& pool = archetype.pool();
+        for (std::size_t b = 0; b < burst; ++b) {
+          s.actions.push_back(pool[rng.uniform_index(archetype.config().workflow_size)]);
+        }
+      }
+      break;
+    }
+    case MisuseKind::kCount: assert(false);
+  }
+  if (s.actions.size() < 2) s.actions.push_back(s.actions.empty() ? 0 : s.actions.front());
+  return s;
+}
+
+SessionStore Portal::generate_random_sessions(std::size_t count, std::uint64_t seed) const {
+  Rng rng(seed);
+  SessionStore store(vocab_);
+  for (std::size_t i = 0; i < count; ++i) {
+    Session s;
+    s.id = i + 1;
+    s.user = static_cast<std::uint32_t>(rng.uniform_index(config_.users));
+    s.archetype = -1;
+    const std::size_t length = 5 + rng.uniform_index(21);  // [5, 25] as in §IV-D
+    s.actions.reserve(length);
+    for (std::size_t j = 0; j < length; ++j) {
+      s.actions.push_back(static_cast<int>(rng.uniform_index(vocab_.size())));
+    }
+    store.add(std::move(s));
+  }
+  return store;
+}
+
+}  // namespace misuse::synth

@@ -1,0 +1,196 @@
+#include "synth/syscalls.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace misuse::synth {
+
+const char* syscall_attack_name(SyscallAttack attack) {
+  switch (attack) {
+    case SyscallAttack::kBruteForceLogin: return "brute-force-login";
+    case SyscallAttack::kWebShell: return "web-shell";
+    case SyscallAttack::kPrivilegeEscalation: return "privilege-escalation";
+    case SyscallAttack::kExfiltration: return "exfiltration";
+    case SyscallAttack::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+// A realistic subset of the Linux syscall table; order defines the ids.
+const char* const kSyscalls[] = {
+    "read",        "write",      "open",       "close",      "stat",       "fstat",
+    "lstat",       "poll",       "lseek",      "mmap",       "mprotect",   "munmap",
+    "brk",         "rt_sigaction", "rt_sigprocmask", "ioctl", "pread64",   "pwrite64",
+    "readv",       "writev",     "access",     "pipe",       "select",     "sched_yield",
+    "mremap",      "msync",      "madvise",    "dup",        "dup2",       "pause",
+    "nanosleep",   "getitimer",  "alarm",      "setitimer",  "getpid",     "sendfile",
+    "socket",      "connect",    "accept",     "sendto",     "recvfrom",   "sendmsg",
+    "recvmsg",     "shutdown",   "bind",       "listen",     "getsockname","getpeername",
+    "socketpair",  "setsockopt", "getsockopt", "clone",      "fork",       "vfork",
+    "execve",      "exit",       "wait4",      "kill",       "uname",      "fcntl",
+    "flock",       "fsync",      "fdatasync",  "truncate",   "ftruncate",  "getdents",
+    "getcwd",      "chdir",      "fchdir",     "rename",     "mkdir",      "rmdir",
+    "creat",       "link",       "unlink",     "symlink",    "readlink",   "chmod",
+    "fchmod",      "chown",      "fchown",     "umask",      "gettimeofday","getrlimit",
+    "getrusage",   "sysinfo",    "times",      "ptrace",     "getuid",     "syslog",
+    "getgid",      "setuid",     "setgid",     "geteuid",    "getegid",    "setpgid",
+    "getppid",     "getpgrp",    "setsid",     "setreuid",   "setregid",   "getgroups",
+    "setgroups",   "capget",     "capset",     "sigaltstack","utime",      "mknod",
+    "statfs",      "fstatfs",    "getpriority","setpriority","prctl",      "arch_prctl",
+    "sync",        "mount",      "umount2",    "sethostname","openat",     "mkdirat",
+    "fstatat",     "unlinkat",   "renameat",   "faccessat",  "epoll_create","epoll_wait",
+    "epoll_ctl",   "inotify_init","inotify_add_watch", "futex", "getrandom", "clock_gettime",
+};
+
+struct ProgramSpec {
+  const char* name;
+  double weight;
+  double log_len_mu;
+  double log_len_sigma;
+  std::initializer_list<const char*> workflow;
+};
+
+// Normal program archetypes: each workflow is a plausible syscall loop.
+const ProgramSpec kPrograms[] = {
+    {"web-server", 0.25, 3.0, 0.8,
+     {"accept", "getpeername", "recvfrom", "stat", "openat", "fstat", "read", "sendto",
+      "close", "epoll_wait", "clock_gettime", "write"}},
+    {"interactive-shell", 0.20, 2.4, 0.9,
+     {"read", "ioctl", "rt_sigaction", "fork", "execve", "wait4", "write", "getcwd",
+      "chdir", "getdents", "stat", "dup2"}},
+    {"compiler-job", 0.15, 3.2, 0.9,
+     {"openat", "fstat", "mmap", "read", "brk", "mprotect", "write", "close", "unlink",
+      "rename", "access", "getrandom"}},
+    {"backup-daemon", 0.12, 3.4, 1.0,
+     {"getdents", "stat", "openat", "read", "write", "fsync", "close", "utime", "chmod",
+      "link", "statfs", "nanosleep"}},
+    {"database-worker", 0.18, 2.8, 0.8,
+     {"pread64", "pwrite64", "fdatasync", "futex", "mmap", "madvise", "lseek", "fcntl",
+      "flock", "clock_gettime", "write", "read"}},
+    {"media-player", 0.10, 2.6, 0.8,
+     {"openat", "read", "mmap", "ioctl", "poll", "writev", "nanosleep", "clock_gettime",
+      "munmap", "close", "lseek", "select"}},
+};
+}  // namespace
+
+std::vector<int> SyscallWorkload::ids(std::initializer_list<const char*> names) const {
+  std::vector<int> out;
+  out.reserve(names.size());
+  for (const char* n : names) {
+    const auto id = vocab_.find(n);
+    assert(id.has_value());
+    out.push_back(*id);
+  }
+  return out;
+}
+
+SyscallWorkload::SyscallWorkload(const SyscallWorkloadConfig& config) : config_(config) {
+  for (const char* name : kSyscalls) vocab_.intern(name);
+
+  Rng rng(config.seed);
+  double weight_sum = 0.0;
+  for (const auto& spec : kPrograms) {
+    ArchetypeConfig ac;
+    ac.name = spec.name;
+    ac.pool = ids(spec.workflow);
+    ac.workflow_size = ac.pool.size();
+    // Shared "common" syscalls every program sprinkles in.
+    for (const int common : ids({"brk", "rt_sigprocmask", "getpid", "uname"})) {
+      ac.pool.push_back(common);
+    }
+    ac.log_len_mu = spec.log_len_mu;
+    ac.log_len_sigma = spec.log_len_sigma;
+    // Syscall loops are tighter than portal click-streams.
+    ac.advance_prob = 0.62;
+    ac.repeat_prob = 0.18;
+    ac.restart_prob = 0.10;
+    ac.common_prob = 0.10;
+    programs_.emplace_back(std::move(ac));
+    weights_.push_back(spec.weight);
+    weight_sum += spec.weight;
+  }
+  assert(std::abs(weight_sum - 1.0) < 1e-9);
+  (void)weight_sum;
+}
+
+SessionStore SyscallWorkload::generate() const {
+  Rng rng(config_.seed ^ 0x5ca1ab1e5ca1ab1eULL);
+  SessionStore store(vocab_);
+  for (std::size_t i = 0; i < config_.normal_traces; ++i) {
+    if (config_.attack_fraction > 0.0 && rng.bernoulli(config_.attack_fraction)) {
+      Session s = make_attack(
+          static_cast<SyscallAttack>(
+              rng.uniform_index(static_cast<std::size_t>(SyscallAttack::kCount))),
+          rng);
+      s.id = i + 1;
+      s.user = static_cast<std::uint32_t>(rng.uniform_index(config_.hosts));
+      store.add(std::move(s));
+      continue;
+    }
+    Session s;
+    s.id = i + 1;
+    s.user = static_cast<std::uint32_t>(rng.uniform_index(config_.hosts));
+    s.start_minute = rng.uniform_index(31 * 1440);
+    const std::size_t program = rng.categorical(weights_);
+    s.archetype = static_cast<int>(program);
+    s.actions = programs_[program].generate(rng);
+    store.add(std::move(s));
+  }
+  return store;
+}
+
+Session SyscallWorkload::make_attack(SyscallAttack attack, Rng& rng) const {
+  Session s;
+  s.archetype = -1;
+  s.injected_misuse = true;
+  const auto emit_loop = [&](const std::vector<int>& pattern, std::size_t repeats,
+                             double dropout) {
+    for (std::size_t r = 0; r < repeats; ++r) {
+      for (int a : pattern) {
+        if (!rng.bernoulli(dropout)) s.actions.push_back(a);
+      }
+    }
+  };
+  switch (attack) {
+    case SyscallAttack::kBruteForceLogin:
+      // Hydra-style loop: open the auth database, read, fail a setuid,
+      // repeat far more times than any normal login flow.
+      emit_loop(ids({"openat", "read", "close", "setuid", "rt_sigaction", "nanosleep"}),
+                4 + rng.uniform_index(8), 0.1);
+      break;
+    case SyscallAttack::kWebShell:
+      // A listener that forks a shell per request.
+      emit_loop(ids({"accept", "recvfrom", "fork", "execve", "wait4", "sendto", "close"}),
+                3 + rng.uniform_index(6), 0.1);
+      break;
+    case SyscallAttack::kPrivilegeEscalation:
+      emit_loop(ids({"ptrace", "mmap", "mprotect", "capset", "setuid", "setgid", "execve"}),
+                2 + rng.uniform_index(4), 0.15);
+      break;
+    case SyscallAttack::kExfiltration:
+      emit_loop(ids({"getdents", "openat", "read", "sendto", "close"}),
+                5 + rng.uniform_index(10), 0.05);
+      break;
+    case SyscallAttack::kCount: assert(false);
+  }
+  if (s.actions.size() < 2) s.actions = ids({"openat", "read"});
+  return s;
+}
+
+std::vector<Session> SyscallWorkload::make_attack_set(std::size_t count,
+                                                      std::uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<Session> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto kind =
+        static_cast<SyscallAttack>(i % static_cast<std::size_t>(SyscallAttack::kCount));
+    Session s = make_attack(kind, rng);
+    s.id = i + 1;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace misuse::synth

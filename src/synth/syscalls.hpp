@@ -1,0 +1,67 @@
+// ADFA-style host-intrusion workload. The paper's future work (§V) plans
+// evaluation on "one of the publicly available datasets (such as ADFA)"
+// — system-call traces from a Linux host with normal program activity and
+// labeled attacks (Creech & Hu 2013, the paper's reference [29]). The
+// real dataset is not redistributable here, so this generator produces a
+// corpus with the same structure: traces over a genuine Linux syscall
+// vocabulary, drawn from normal program archetypes (server loops, shells,
+// compilers, backup jobs) plus labeled attack traces whose syscall
+// patterns mimic the ADFA attack classes (password brute force, web
+// shell, privilege escalation, data exfiltration).
+//
+// The pipeline consumes these exactly like portal sessions — a trace is a
+// "session" whose actions are syscalls — which is the point: the paper's
+// method is supposed to transfer to this domain unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "sessions/store.hpp"
+#include "synth/archetype.hpp"
+
+namespace misuse::synth {
+
+enum class SyscallAttack : int {
+  kBruteForceLogin = 0,  // repeated auth file reads + failed setuid
+  kWebShell,             // accept -> fork -> execve loops
+  kPrivilegeEscalation,  // mmap/mprotect/ptrace + setuid chains
+  kExfiltration,         // open/read/sendto sweeps
+  kCount
+};
+
+const char* syscall_attack_name(SyscallAttack attack);
+
+struct SyscallWorkloadConfig {
+  std::size_t normal_traces = 3000;
+  std::size_t hosts = 50;             // plays the "user" role
+  std::uint64_t seed = 4242;
+  double attack_fraction = 0.0;       // attacks mixed into generate()
+};
+
+class SyscallWorkload {
+ public:
+  explicit SyscallWorkload(const SyscallWorkloadConfig& config);
+
+  const SyscallWorkloadConfig& config() const { return config_; }
+  const ActionVocab& vocab() const { return vocab_; }
+  const std::vector<BehaviorArchetype>& programs() const { return programs_; }
+
+  /// Normal traces (plus attacks when attack_fraction > 0).
+  SessionStore generate() const;
+
+  /// One labeled attack trace.
+  Session make_attack(SyscallAttack attack, Rng& rng) const;
+
+  /// A batch of attack traces cycling over all attack kinds.
+  std::vector<Session> make_attack_set(std::size_t count, std::uint64_t seed) const;
+
+ private:
+  std::vector<int> ids(std::initializer_list<const char*> names) const;
+
+  SyscallWorkloadConfig config_;
+  ActionVocab vocab_;
+  std::vector<BehaviorArchetype> programs_;
+  std::vector<double> weights_;
+};
+
+}  // namespace misuse::synth

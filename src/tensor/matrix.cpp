@@ -1,0 +1,51 @@
+#include "tensor/matrix.hpp"
+
+#include <cmath>
+
+namespace misuse {
+
+void Matrix::init_uniform(Rng& rng, float scale) {
+  for (auto& v : data_) v = static_cast<float>(rng.uniform(-scale, scale));
+}
+
+void Matrix::init_xavier(Rng& rng) {
+  assert(rows_ > 0 && cols_ > 0);
+  const float scale = std::sqrt(6.0f / static_cast<float>(rows_ + cols_));
+  init_uniform(rng, scale);
+}
+
+void Matrix::init_gaussian(Rng& rng, float stddev) {
+  for (auto& v : data_) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+void Matrix::save(BinaryWriter& w) const {
+  w.write<std::uint64_t>(rows_);
+  w.write<std::uint64_t>(cols_);
+  w.write_vector(std::span<const float>(data_));
+}
+
+Matrix Matrix::load(BinaryReader& r) {
+  const auto rows = static_cast<std::size_t>(r.read<std::uint64_t>());
+  const auto cols = static_cast<std::size_t>(r.read<std::uint64_t>());
+  auto data = r.read_vector<float>();
+  if (data.size() != rows * cols) throw SerializeError("matrix shape/data mismatch");
+  return Matrix::from_rows(rows, cols, std::move(data));
+}
+
+bool operator==(const Matrix& a, const Matrix& b) {
+  if (!a.same_shape(b)) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.flat()[i] != b.flat()[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace misuse

@@ -1,0 +1,95 @@
+// Dense row-major float32 matrix — the numeric workhorse under the neural
+// network, OC-SVM, LDA ensemble matrices, and t-SNE. Single precision
+// matches the paper's Keras training; the finite-difference gradient
+// checker in tests/ upcasts to double where it must.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace misuse {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix from_rows(std::size_t rows, std::size_t cols, std::vector<float> data) {
+    assert(data.size() == rows * cols);
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = std::move(data);
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  std::span<float> row(std::size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void zero() { fill(0.0f); }
+
+  /// Resizes, discarding contents (all elements reset to `fill`).
+  void resize(std::size_t rows, std::size_t cols, float fill = 0.0f) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Uniform init in [-scale, scale].
+  void init_uniform(Rng& rng, float scale);
+  /// Xavier/Glorot uniform init for a (fan_in x fan_out)-shaped weight.
+  void init_xavier(Rng& rng);
+  /// Gaussian init with the given stddev.
+  void init_gaussian(Rng& rng, float stddev);
+
+  Matrix transposed() const;
+
+  void save(BinaryWriter& w) const;
+  static Matrix load(BinaryReader& r);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+bool operator==(const Matrix& a, const Matrix& b);
+
+}  // namespace misuse

@@ -1,0 +1,150 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace misuse {
+
+void gemm(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c) {
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  assert(b.rows() == k);
+  assert(c.rows() == m && c.cols() == n);
+  // i-k-j loop order: the inner j loop streams both B's row k and C's row
+  // i sequentially, which vectorizes well and keeps B in cache.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* ci = c.data() + i * n;
+    if (beta == 0.0f) {
+      std::fill(ci, ci + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::size_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+    const float* ai = a.data() + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = alpha * ai[p];
+      if (aip == 0.0f) continue;
+      const float* bp = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+void gemm_at_b(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c) {
+  // C(m x n) = alpha * A^T * B + beta * C with A stored (k x m).
+  const std::size_t k = a.rows();
+  const std::size_t m = a.cols();
+  const std::size_t n = b.cols();
+  assert(b.rows() == k);
+  assert(c.rows() == m && c.cols() == n);
+  if (beta == 0.0f) {
+    c.zero();
+  } else if (beta != 1.0f) {
+    scale(c.flat(), beta);
+  }
+  // Walk A and B row-by-row (both sequential); scatter into C rows.
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* ap = a.data() + p * m;
+    const float* bp = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float v = alpha * ap[i];
+      if (v == 0.0f) continue;
+      float* ci = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += v * bp[j];
+    }
+  }
+}
+
+void gemm_a_bt(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c) {
+  // C(m x n) = alpha * A(m x k) * B(n x k)^T + beta * C.
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.rows();
+  assert(b.cols() == k);
+  assert(c.rows() == m && c.cols() == n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* ai = a.data() + i * k;
+    float* ci = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* bj = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * ci[j]);
+    }
+  }
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<float> x, float alpha) {
+  for (auto& v : x) v *= alpha;
+}
+
+void add_row_broadcast(Matrix& m, std::span<const float> bias) {
+  assert(bias.size() == m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.data() + r * m.cols();
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += bias[c];
+  }
+}
+
+void sum_rows(const Matrix& m, std::span<float> out) {
+  assert(out.size() == m.cols());
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.data() + r * m.cols();
+    for (std::size_t c = 0; c < m.cols(); ++c) out[c] += row[c];
+  }
+}
+
+void softmax_rows(Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.row(r);
+    const float mx = *std::max_element(row.begin(), row.end());
+    float sum = 0.0f;
+    for (auto& v : row) {
+      v = std::exp(v - mx);
+      sum += v;
+    }
+    const float inv = 1.0f / sum;
+    for (auto& v : row) v *= inv;
+  }
+}
+
+void log_softmax(std::span<const float> logits, std::span<float> out) {
+  assert(logits.size() == out.size());
+  assert(!logits.empty());
+  const float mx = *std::max_element(logits.begin(), logits.end());
+  float sum = 0.0f;
+  for (float v : logits) sum += std::exp(v - mx);
+  const float log_z = mx + std::log(sum);
+  for (std::size_t i = 0; i < logits.size(); ++i) out[i] = logits[i] - log_z;
+}
+
+std::size_t argmax(std::span<const float> xs) {
+  assert(!xs.empty());
+  return static_cast<std::size_t>(std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float squared_norm(std::span<const float> xs) { return dot(xs, xs); }
+
+void tanh_inplace(std::span<float> xs) {
+  for (auto& v : xs) v = std::tanh(v);
+}
+
+void sigmoid_inplace(std::span<float> xs) {
+  for (auto& v : xs) v = 1.0f / (1.0f + std::exp(-v));
+}
+
+}  // namespace misuse

@@ -1,0 +1,51 @@
+// Matrix/vector kernels. GEMM dominates LSTM training time, so it is
+// register-blocked over the K loop with the B operand walked row-wise for
+// cache-friendly access; everything else is straightforward.
+#pragma once
+
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace misuse {
+
+/// C = alpha * A(m x k) * B(k x n) + beta * C(m x n).
+void gemm(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c);
+
+/// C = alpha * A^T(m x k; stored k x m... ) — explicit variants so callers
+/// never materialize transposes on the hot path:
+/// C(m x n) += alpha * A(k x m)^T * B(k x n) + beta * C  (used for weight grads)
+void gemm_at_b(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c);
+/// C(m x n) = alpha * A(m x k) * B(n x k)^T + beta * C   (used for input grads)
+void gemm_a_bt(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c);
+
+/// y = alpha * x + y over equal-length spans.
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// Elementwise in-place scale.
+void scale(std::span<float> x, float alpha);
+
+/// Adds a row vector (bias) to every row of m.
+void add_row_broadcast(Matrix& m, std::span<const float> bias);
+
+/// Sums the rows of m into out (length m.cols()); used for bias grads.
+void sum_rows(const Matrix& m, std::span<float> out);
+
+/// Numerically stable in-place softmax over each row.
+void softmax_rows(Matrix& m);
+
+/// Stable log-softmax of a single row into out.
+void log_softmax(std::span<const float> logits, std::span<float> out);
+
+std::size_t argmax(std::span<const float> xs);
+
+float dot(std::span<const float> a, std::span<const float> b);
+
+/// Squared L2 norm.
+float squared_norm(std::span<const float> xs);
+
+/// Elementwise tanh / sigmoid, in place.
+void tanh_inplace(std::span<float> xs);
+void sigmoid_inplace(std::span<float> xs);
+
+}  // namespace misuse

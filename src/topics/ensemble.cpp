@@ -1,0 +1,82 @@
+#include "topics/ensemble.hpp"
+
+#include <cassert>
+
+namespace misuse::topics {
+
+LdaEnsemble LdaEnsemble::fit(const std::vector<std::vector<int>>& documents, std::size_t vocab,
+                             const EnsembleConfig& config) {
+  assert(!config.topic_counts.empty());
+  assert(config.runs_per_count > 0);
+  LdaEnsemble ensemble;
+  ensemble.vocab_ = vocab;
+  ensemble.documents_ = documents.size();
+
+  Rng seeder(config.seed);
+  for (const std::size_t k : config.topic_counts) {
+    for (std::size_t r = 0; r < config.runs_per_count; ++r) {
+      LdaConfig lda;
+      lda.topics = k;
+      lda.alpha = config.alpha;
+      lda.beta = config.beta;
+      lda.iterations = config.iterations;
+      lda.seed = seeder.next_u64();
+      const std::size_t run_index = ensemble.runs_.size();
+      ensemble.runs_.push_back(fit_lda(documents, vocab, lda));
+      for (std::size_t t = 0; t < k; ++t) {
+        ensemble.refs_.push_back({run_index, t});
+      }
+    }
+  }
+  return ensemble;
+}
+
+std::span<const float> LdaEnsemble::topic_distribution(std::size_t pooled) const {
+  const TopicRef& r = refs_.at(pooled);
+  return runs_[r.run].topic_action.row(r.topic_in_run);
+}
+
+float LdaEnsemble::document_weight(std::size_t pooled, std::size_t d) const {
+  const TopicRef& r = refs_.at(pooled);
+  return runs_[r.run].doc_topic(d, r.topic_in_run);
+}
+
+Matrix LdaEnsemble::pairwise_similarity() const {
+  const std::size_t n = topic_count();
+  Matrix sim(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sim(i, i) = 1.0f;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const auto s = static_cast<float>(topic_cosine(topic_distribution(i), topic_distribution(j)));
+      sim(i, j) = s;
+      sim(j, i) = s;
+    }
+  }
+  return sim;
+}
+
+std::size_t LdaEnsemble::medoid_document(std::size_t pooled) const {
+  const TopicRef& r = refs_.at(pooled);
+  return runs_[r.run].medoid_document(r.topic_in_run);
+}
+
+std::vector<std::size_t> LdaEnsemble::assign_documents(
+    const std::vector<std::size_t>& selected) const {
+  assert(!selected.empty());
+  std::vector<std::size_t> assignment(documents_, 0);
+  for (std::size_t d = 0; d < documents_; ++d) {
+    std::size_t best = 0;
+    float best_weight = -1.0f;
+    for (std::size_t si = 0; si < selected.size(); ++si) {
+      const float w = document_weight(selected[si], d);
+      if (w > best_weight) {
+        best_weight = w;
+        best = si;
+      }
+    }
+    assignment[d] = best;
+  }
+  return assignment;
+}
+
+}  // namespace misuse::topics

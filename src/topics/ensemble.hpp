@@ -1,0 +1,72 @@
+// LDA ensemble (Chen et al., "LDA ensembles for interactive exploration
+// and categorization of behaviors", TVCG 2019 — the paper's reference
+// [24]): multiple LDA runs with different topic counts and seeds; the
+// pooled topics plus the topic-action and document-topic matrices are the
+// inputs of the visual interface the security experts work with.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topics/lda.hpp"
+
+namespace misuse::topics {
+
+struct EnsembleConfig {
+  /// Topic counts of the individual runs (the paper: "we run LDA with
+  /// different parameters, e.g. number of topics, multiple times").
+  std::vector<std::size_t> topic_counts = {10, 13, 16, 20};
+  std::size_t runs_per_count = 1;
+  std::size_t iterations = 120;
+  double alpha = 0.5;
+  double beta = 0.05;
+  std::uint64_t seed = 7;
+};
+
+/// Identity of a pooled topic: which run produced it and its index there.
+struct TopicRef {
+  std::size_t run = 0;
+  std::size_t topic_in_run = 0;
+};
+
+class LdaEnsemble {
+ public:
+  /// Fits all runs on the corpus.
+  static LdaEnsemble fit(const std::vector<std::vector<int>>& documents, std::size_t vocab,
+                         const EnsembleConfig& config);
+
+  std::size_t vocab() const { return vocab_; }
+  std::size_t documents() const { return documents_; }
+  const std::vector<LdaModel>& runs() const { return runs_; }
+
+  /// Total number of pooled topics across every run.
+  std::size_t topic_count() const { return refs_.size(); }
+  const TopicRef& ref(std::size_t pooled) const { return refs_.at(pooled); }
+
+  /// Action distribution of pooled topic i (row of the owning run's phi).
+  std::span<const float> topic_distribution(std::size_t pooled) const;
+
+  /// Weight of pooled topic i in document d (theta of the owning run).
+  float document_weight(std::size_t pooled, std::size_t d) const;
+
+  /// Pairwise cosine-similarity matrix of all pooled topics — the
+  /// distance structure that the t-SNE projection view visualizes.
+  Matrix pairwise_similarity() const;
+
+  /// The medoid document of a pooled topic.
+  std::size_t medoid_document(std::size_t pooled) const;
+
+  /// Assigns each document to its best pooled topic among `selected`
+  /// (argmax document weight); the basis for cluster induction once the
+  /// expert has picked representative topics.
+  std::vector<std::size_t> assign_documents(const std::vector<std::size_t>& selected) const;
+
+ private:
+  std::size_t vocab_ = 0;
+  std::size_t documents_ = 0;
+  std::vector<LdaModel> runs_;
+  std::vector<TopicRef> refs_;
+};
+
+}  // namespace misuse::topics

@@ -1,0 +1,158 @@
+#include "topics/lda.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace misuse::topics {
+
+std::size_t LdaModel::dominant_topic(std::size_t d) const {
+  assert(d < doc_topic.rows());
+  const auto row = doc_topic.row(d);
+  return static_cast<std::size_t>(std::max_element(row.begin(), row.end()) - row.begin());
+}
+
+std::vector<std::size_t> LdaModel::top_actions(std::size_t k, std::size_t n) const {
+  assert(k < topics);
+  const auto row = topic_action.row(k);
+  std::vector<std::size_t> order(vocab);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(std::min(n, vocab)),
+                    order.end(),
+                    [&row](std::size_t a, std::size_t b) { return row[a] > row[b]; });
+  order.resize(std::min(n, vocab));
+  return order;
+}
+
+std::size_t LdaModel::medoid_document(std::size_t k) const {
+  assert(k < topics);
+  std::size_t best = 0;
+  float best_weight = -1.0f;
+  for (std::size_t d = 0; d < doc_topic.rows(); ++d) {
+    const float w = doc_topic(d, k);
+    if (w > best_weight) {
+      best_weight = w;
+      best = d;
+    }
+  }
+  return best;
+}
+
+LdaModel fit_lda(const std::vector<std::vector<int>>& documents, std::size_t vocab,
+                 const LdaConfig& config) {
+  assert(vocab > 0);
+  assert(config.topics > 0);
+  const std::size_t k = config.topics;
+  const std::size_t m = documents.size();
+  Rng rng(config.seed);
+
+  // Count matrices for the collapsed sampler.
+  std::vector<std::vector<std::size_t>> n_dk(m, std::vector<std::size_t>(k, 0));
+  std::vector<std::vector<std::size_t>> n_kw(k, std::vector<std::size_t>(vocab, 0));
+  std::vector<std::size_t> n_k(k, 0);
+  std::vector<std::vector<std::size_t>> z(m);  // topic assignment per token
+
+  // Random initialization.
+  for (std::size_t d = 0; d < m; ++d) {
+    z[d].resize(documents[d].size());
+    for (std::size_t i = 0; i < documents[d].size(); ++i) {
+      const int w = documents[d][i];
+      assert(w >= 0 && static_cast<std::size_t>(w) < vocab);
+      const std::size_t topic = rng.uniform_index(k);
+      z[d][i] = topic;
+      ++n_dk[d][topic];
+      ++n_kw[topic][static_cast<std::size_t>(w)];
+      ++n_k[topic];
+    }
+  }
+
+  const double v_beta = static_cast<double>(vocab) * config.beta;
+  std::vector<double> weights(k);
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    for (std::size_t d = 0; d < m; ++d) {
+      for (std::size_t i = 0; i < documents[d].size(); ++i) {
+        const auto w = static_cast<std::size_t>(documents[d][i]);
+        const std::size_t old_topic = z[d][i];
+        --n_dk[d][old_topic];
+        --n_kw[old_topic][w];
+        --n_k[old_topic];
+
+        for (std::size_t t = 0; t < k; ++t) {
+          weights[t] = (static_cast<double>(n_dk[d][t]) + config.alpha) *
+                       (static_cast<double>(n_kw[t][w]) + config.beta) /
+                       (static_cast<double>(n_k[t]) + v_beta);
+        }
+        const std::size_t new_topic = rng.categorical(weights);
+        z[d][i] = new_topic;
+        ++n_dk[d][new_topic];
+        ++n_kw[new_topic][w];
+        ++n_k[new_topic];
+      }
+    }
+  }
+
+  LdaModel model;
+  model.topics = k;
+  model.vocab = vocab;
+  model.topic_action.resize(k, vocab);
+  model.doc_topic.resize(m, k);
+  for (std::size_t t = 0; t < k; ++t) {
+    const double denom = static_cast<double>(n_k[t]) + v_beta;
+    for (std::size_t w = 0; w < vocab; ++w) {
+      model.topic_action(t, w) =
+          static_cast<float>((static_cast<double>(n_kw[t][w]) + config.beta) / denom);
+    }
+  }
+  for (std::size_t d = 0; d < m; ++d) {
+    const double denom =
+        static_cast<double>(documents[d].size()) + static_cast<double>(k) * config.alpha;
+    for (std::size_t t = 0; t < k; ++t) {
+      model.doc_topic(d, t) =
+          static_cast<float>((static_cast<double>(n_dk[d][t]) + config.alpha) / denom);
+    }
+  }
+  return model;
+}
+
+double topic_cosine(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+std::size_t shared_top_actions(const LdaModel& m, std::size_t k1, std::size_t k2, std::size_t n) {
+  const auto a = m.top_actions(k1, n);
+  const auto b = m.top_actions(k2, n);
+  std::size_t shared = 0;
+  for (std::size_t x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) ++shared;
+  }
+  return shared;
+}
+
+double corpus_log_likelihood(const LdaModel& model,
+                             const std::vector<std::vector<int>>& documents) {
+  assert(model.doc_topic.rows() == documents.size());
+  double total = 0.0;
+  for (std::size_t d = 0; d < documents.size(); ++d) {
+    for (const int w : documents[d]) {
+      double p = 0.0;
+      for (std::size_t t = 0; t < model.topics; ++t) {
+        p += static_cast<double>(model.doc_topic(d, t)) *
+             model.topic_action(t, static_cast<std::size_t>(w));
+      }
+      total += std::log(std::max(p, 1e-300));
+    }
+  }
+  return total;
+}
+
+}  // namespace misuse::topics

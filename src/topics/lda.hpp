@@ -1,0 +1,60 @@
+// Latent Dirichlet Allocation (Blei, Ng & Jordan 2003) via collapsed
+// Gibbs sampling. The paper treats each session as a document whose
+// "words" are actions and runs LDA multiple times with different
+// parameters, feeding the resulting topic-action and document-topic
+// matrices into the interactive visual interface (§II).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace misuse::topics {
+
+struct LdaConfig {
+  std::size_t topics = 13;
+  double alpha = 0.5;       // document-topic Dirichlet prior
+  double beta = 0.05;       // topic-word Dirichlet prior
+  std::size_t iterations = 150;
+  std::uint64_t seed = 1;
+};
+
+/// A fitted LDA model over a fixed corpus.
+struct LdaModel {
+  std::size_t topics = 0;
+  std::size_t vocab = 0;
+  /// phi: topics x vocab; rows are probability distributions over actions
+  /// (the paper's topic-action matrix view).
+  Matrix topic_action;
+  /// theta: documents x topics; rows are probability distributions (the
+  /// paper's document-topic matrix).
+  Matrix doc_topic;
+
+  /// Dominant topic of document d.
+  std::size_t dominant_topic(std::size_t d) const;
+  /// Indices of the `n` highest-probability actions in topic k.
+  std::vector<std::size_t> top_actions(std::size_t k, std::size_t n) const;
+  /// The "medoid" document of topic k: the document with the highest
+  /// share of k (what the visual interface highlights for inspection).
+  std::size_t medoid_document(std::size_t k) const;
+};
+
+/// Fits LDA on a corpus of documents (each a sequence of action ids in
+/// [0, vocab)). Empty documents are allowed and receive a uniform theta.
+LdaModel fit_lda(const std::vector<std::vector<int>>& documents, std::size_t vocab,
+                 const LdaConfig& config);
+
+/// Cosine similarity between two distributions (rows of phi).
+double topic_cosine(std::span<const float> a, std::span<const float> b);
+
+/// Number of actions two topics share among their top-n actions (the
+/// quantity encoded by link thickness in the chord diagram view).
+std::size_t shared_top_actions(const LdaModel& m, std::size_t k1, std::size_t k2, std::size_t n);
+
+/// Corpus log-likelihood of held-in data under the fitted model; used in
+/// tests to verify Gibbs sampling actually improves the fit.
+double corpus_log_likelihood(const LdaModel& model, const std::vector<std::vector<int>>& documents);
+
+}  // namespace misuse::topics

@@ -1,0 +1,190 @@
+#include "tsne/tsne.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace misuse::tsne {
+
+namespace {
+constexpr double kTinyProb = 1e-12;
+
+/// Unnormalized Student-t similarities q_ij = 1 / (1 + ||y_i - y_j||^2)
+/// and their sum; diagonal is zero.
+double student_t_affinities(const Matrix& y, Matrix& q_num) {
+  const std::size_t n = y.rows();
+  q_num.resize(n, n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = static_cast<double>(y(i, 0)) - y(j, 0);
+      const double dy = static_cast<double>(y(i, 1)) - y(j, 1);
+      const double q = 1.0 / (1.0 + dx * dx + dy * dy);
+      q_num(i, j) = static_cast<float>(q);
+      q_num(j, i) = static_cast<float>(q);
+      total += 2.0 * q;
+    }
+  }
+  return std::max(total, kTinyProb);
+}
+}  // namespace
+
+Matrix pairwise_squared_distances(const Matrix& points) {
+  const std::size_t n = points.rows();
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < points.cols(); ++c) {
+        const double diff = static_cast<double>(points(i, c)) - points(j, c);
+        acc += diff * diff;
+      }
+      d(i, j) = static_cast<float>(acc);
+      d(j, i) = static_cast<float>(acc);
+    }
+  }
+  return d;
+}
+
+Matrix calibrated_joint_affinities(const Matrix& squared_distances, double perplexity) {
+  const std::size_t n = squared_distances.rows();
+  assert(squared_distances.cols() == n);
+  assert(perplexity > 0.0);
+  // Perplexity cannot exceed the number of neighbours.
+  const double target_entropy = std::log(std::min(perplexity, static_cast<double>(n - 1)));
+
+  Matrix p_cond(n, n);
+  std::vector<double> row(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Binary search the precision (1 / 2sigma^2) for this row.
+    double beta = 1.0, beta_lo = 0.0, beta_hi = std::numeric_limits<double>::infinity();
+    for (int iter = 0; iter < 64; ++iter) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        row[j] = (j == i) ? 0.0 : std::exp(-beta * static_cast<double>(squared_distances(i, j)));
+        sum += row[j];
+      }
+      sum = std::max(sum, kTinyProb);
+      // Shannon entropy of the conditional distribution.
+      double entropy = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (row[j] > 0.0) {
+          const double p = row[j] / sum;
+          entropy -= p * std::log(std::max(p, kTinyProb));
+        }
+      }
+      const double diff = entropy - target_entropy;
+      if (std::abs(diff) < 1e-5) break;
+      if (diff > 0.0) {
+        beta_lo = beta;
+        beta = std::isinf(beta_hi) ? beta * 2.0 : 0.5 * (beta + beta_hi);
+      } else {
+        beta_hi = beta;
+        beta = beta_lo == 0.0 ? beta / 2.0 : 0.5 * (beta + beta_lo);
+      }
+    }
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      row[j] = (j == i) ? 0.0 : std::exp(-beta * static_cast<double>(squared_distances(i, j)));
+      sum += row[j];
+    }
+    sum = std::max(sum, kTinyProb);
+    for (std::size_t j = 0; j < n; ++j) {
+      p_cond(i, j) = static_cast<float>(row[j] / sum);
+    }
+  }
+
+  // Symmetrize into the joint distribution P = (P_cond + P_cond^T) / 2n.
+  Matrix joint(n, n);
+  const auto inv_2n = static_cast<float>(1.0 / (2.0 * static_cast<double>(n)));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      joint(i, j) = (p_cond(i, j) + p_cond(j, i)) * inv_2n;
+    }
+  }
+  return joint;
+}
+
+double kl_divergence(const Matrix& joint_p, const Matrix& embedding) {
+  Matrix q_num;
+  const double q_total = student_t_affinities(embedding, q_num);
+  double kl = 0.0;
+  const std::size_t n = joint_p.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double p = std::max(static_cast<double>(joint_p(i, j)), kTinyProb);
+      const double q = std::max(static_cast<double>(q_num(i, j)) / q_total, kTinyProb);
+      kl += p * std::log(p / q);
+    }
+  }
+  return kl;
+}
+
+TsneResult run_tsne(const Matrix& points, const TsneConfig& config) {
+  const std::size_t n = points.rows();
+  assert(n >= 2);
+  const Matrix sq = pairwise_squared_distances(points);
+  const Matrix joint = calibrated_joint_affinities(sq, config.perplexity);
+
+  Rng rng(config.seed);
+  Matrix y(n, 2);
+  y.init_gaussian(rng, 1e-2f);
+  Matrix velocity(n, 2);
+  Matrix gains(n, 2, 1.0f);
+  Matrix grad(n, 2);
+  Matrix q_num;
+
+  TsneResult result;
+  result.kl_history.reserve(config.iterations);
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < config.exaggeration_iterations ? config.early_exaggeration : 1.0;
+    const double q_total = student_t_affinities(y, q_num);
+
+    grad.zero();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double p = exaggeration * static_cast<double>(joint(i, j));
+        const double qn = static_cast<double>(q_num(i, j));
+        const double q = qn / q_total;
+        const double mult = 4.0 * (p - q) * qn;
+        grad(i, 0) += static_cast<float>(mult * (static_cast<double>(y(i, 0)) - y(j, 0)));
+        grad(i, 1) += static_cast<float>(mult * (static_cast<double>(y(i, 1)) - y(j, 1)));
+      }
+    }
+
+    const double momentum =
+        iter < config.momentum_switch_iter ? config.momentum_initial : config.momentum_final;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < 2; ++c) {
+        // Jacobs-style adaptive gains (standard t-SNE trick).
+        const bool same_sign = (grad(i, c) > 0.0f) == (velocity(i, c) > 0.0f);
+        gains(i, c) = std::max(same_sign ? gains(i, c) * 0.8f : gains(i, c) + 0.2f, 0.01f);
+        velocity(i, c) = static_cast<float>(momentum * velocity(i, c) -
+                                            config.learning_rate * gains(i, c) * grad(i, c));
+        y(i, c) += velocity(i, c);
+      }
+    }
+
+    // Re-center to keep the embedding from drifting.
+    for (std::size_t c = 0; c < 2; ++c) {
+      double mean = 0.0;
+      for (std::size_t i = 0; i < n; ++i) mean += y(i, c);
+      mean /= static_cast<double>(n);
+      for (std::size_t i = 0; i < n; ++i) y(i, c) -= static_cast<float>(mean);
+    }
+
+    result.kl_history.push_back(kl_divergence(joint, y));
+  }
+
+  result.embedding = std::move(y);
+  return result;
+}
+
+}  // namespace misuse::tsne

@@ -1,0 +1,49 @@
+// t-SNE (van der Maaten & Hinton 2008), exact O(n^2) formulation. The
+// paper's visual interface projects LDA-ensemble topics to 2-D with t-SNE
+// so experts can see and brush clusters of similar topics (Fig. 1, top
+// left). Topic counts are small (tens to low hundreds), so the exact
+// gradient is the right tool — no Barnes-Hut approximation needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace misuse::tsne {
+
+struct TsneConfig {
+  double perplexity = 10.0;
+  std::size_t iterations = 400;
+  double learning_rate = 50.0;
+  double momentum_initial = 0.5;
+  double momentum_final = 0.8;
+  std::size_t momentum_switch_iter = 100;
+  double early_exaggeration = 4.0;
+  std::size_t exaggeration_iterations = 80;
+  std::uint64_t seed = 3;
+};
+
+struct TsneResult {
+  /// n x 2 embedding coordinates.
+  Matrix embedding;
+  /// KL(P || Q) after each iteration (without the exaggeration factor),
+  /// recorded so convergence is observable and testable.
+  std::vector<double> kl_history;
+};
+
+/// Pairwise squared Euclidean distances between rows of `points`.
+Matrix pairwise_squared_distances(const Matrix& points);
+
+/// Row-conditional Gaussian affinities with per-point bandwidths found by
+/// binary search so each row's perplexity matches `perplexity`; then
+/// symmetrized and normalized to a joint distribution P.
+Matrix calibrated_joint_affinities(const Matrix& squared_distances, double perplexity);
+
+/// Embeds the rows of `points` (n x d) into 2-D.
+TsneResult run_tsne(const Matrix& points, const TsneConfig& config);
+
+/// KL(P || Q) for an embedding; exposed for tests and diagnostics.
+double kl_divergence(const Matrix& joint_p, const Matrix& embedding);
+
+}  // namespace misuse::tsne

@@ -1,0 +1,119 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace misuse {
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;
+  if (stack_.back() == Frame::kArray) {
+    if (!first_.back()) out_ << ',';
+    first_.back() = false;
+  } else if (stack_.back() == Frame::kObjectAwaitValue) {
+    stack_.back() = Frame::kObjectAwaitKey;
+  } else {
+    assert(false && "value emitted where a key was expected");
+  }
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back(Frame::kObjectAwaitKey);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back() == Frame::kObjectAwaitKey);
+  stack_.pop_back();
+  first_.pop_back();
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back(Frame::kArray);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back() == Frame::kArray);
+  stack_.pop_back();
+  first_.pop_back();
+  out_ << ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  assert(!stack_.empty() && stack_.back() == Frame::kObjectAwaitKey);
+  if (!first_.back()) out_ << ',';
+  first_.back() = false;
+  write_escaped(name);
+  out_ << ':';
+  stack_.back() = Frame::kObjectAwaitValue;
+}
+
+void JsonWriter::value(std::string_view s) {
+  before_value();
+  write_escaped(s);
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    // JSON has no NaN/Inf; emit null so downstream tooling fails loudly
+    // instead of silently mis-parsing.
+    out_ << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out_ << buf;
+}
+
+void JsonWriter::value(long long v) {
+  before_value();
+  out_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  before_value();
+  out_ << "null";
+}
+
+void JsonWriter::number_array(std::string_view name, const std::vector<double>& xs) {
+  key(name);
+  begin_array();
+  for (double x : xs) value(x);
+  end_array();
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  out_ << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ << buf;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+}  // namespace misuse

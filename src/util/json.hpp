@@ -1,0 +1,62 @@
+// Minimal JSON *writer* used to export the visual-interface artifacts
+// (topic projection coordinates, topic-action matrix, chord weights) so an
+// external UI can render the interactive views the paper's experts used.
+// We only ever emit JSON, never parse it, so this is a streaming writer
+// with structural validation rather than a DOM.
+#pragma once
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace misuse {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+  ~JsonWriter() { assert(stack_.empty() && "unclosed JSON containers"); }
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Introduces "key": inside an object; must be followed by a value.
+  void key(std::string_view name);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(long long v);
+  void value(int v) { value(static_cast<long long>(v)); }
+  void value(std::size_t v) { value(static_cast<long long>(v)); }
+  void value(bool v);
+  void null();
+
+  /// key + value in one call.
+  template <typename T>
+  void member(std::string_view name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  /// Emits a numeric array in one call.
+  void number_array(std::string_view name, const std::vector<double>& xs);
+
+ private:
+  enum class Frame { kObjectAwaitKey, kObjectAwaitValue, kArray };
+
+  void before_value();
+  void write_escaped(std::string_view s);
+
+  std::ostream& out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_;
+};
+
+}  // namespace misuse

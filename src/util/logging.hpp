@@ -1,0 +1,60 @@
+// Minimal leveled logger for library and experiment diagnostics.
+// Experiments print their results through util/table.hpp; the logger is
+// for progress and warnings only, so it writes to stderr and stays out of
+// the way of machine-readable stdout.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace misuse {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded. Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive);
+/// returns kInfo on unknown input.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, bool enabled) : level_(level), enabled_(enabled) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (enabled_) emit(level_, stream_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() {
+  return {LogLevel::kDebug, log_level() <= LogLevel::kDebug};
+}
+inline detail::LogLine log_info() {
+  return {LogLevel::kInfo, log_level() <= LogLevel::kInfo};
+}
+inline detail::LogLine log_warn() {
+  return {LogLevel::kWarn, log_level() <= LogLevel::kWarn};
+}
+inline detail::LogLine log_error() {
+  return {LogLevel::kError, log_level() <= LogLevel::kError};
+}
+
+}  // namespace misuse

@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation for all stochastic
+// components (data synthesis, LDA Gibbs sampling, neural-net init,
+// dropout, t-SNE). Every experiment in the paper reproduction is seeded,
+// so runs are bit-reproducible on a given platform.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace misuse {
+
+/// xoshiro256++ generator (Blackman & Vigna). Small, fast, and good
+/// statistical quality; satisfies UniformRandomBitGenerator so it can be
+/// handed to <algorithm> shuffles as well.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from a single seed via splitmix64,
+  /// guaranteeing a non-zero state for any seed value.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t uniform_index(std::size_t n);
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p);
+  /// Samples an index from an unnormalized non-negative weight vector.
+  /// Requires at least one strictly positive weight.
+  std::size_t categorical(std::span<const double> weights);
+  /// Geometric-like draw: number of failures before the first success
+  /// with success probability p in (0, 1].
+  std::size_t geometric(double p);
+  /// Log-normal draw with the given underlying normal parameters.
+  double lognormal(double mu, double sigma);
+
+  /// Fisher-Yates shuffle of a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[uniform_index(i)]);
+    }
+  }
+
+  /// A derived generator with independent state; used to give each
+  /// component (per-cluster model, per-LDA-run) its own stream.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// splitmix64 step; exposed for seeding utilities and tests.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace misuse

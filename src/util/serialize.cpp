@@ -1,0 +1,46 @@
+#include "util/serialize.hpp"
+
+namespace misuse {
+
+void BinaryWriter::write_magic(std::uint32_t magic, std::uint32_t version) {
+  write<std::uint32_t>(magic);
+  write<std::uint32_t>(version);
+}
+
+void BinaryWriter::write_string(const std::string& s) {
+  write<std::uint64_t>(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::write_string_vector(const std::vector<std::string>& v) {
+  write<std::uint64_t>(v.size());
+  for (const auto& s : v) write_string(s);
+}
+
+std::uint32_t BinaryReader::read_magic(std::uint32_t expected_magic) {
+  const auto magic = read<std::uint32_t>();
+  if (magic != expected_magic) throw SerializeError("bad archive magic");
+  return read<std::uint32_t>();
+}
+
+std::string BinaryReader::read_string() {
+  const auto n = read<std::uint64_t>();
+  if (n > (1ULL << 30)) throw SerializeError("implausible string length");
+  std::string s(static_cast<std::size_t>(n), '\0');
+  if (n > 0) {
+    in_.read(s.data(), static_cast<std::streamsize>(n));
+    if (!in_) throw SerializeError("truncated archive while reading string");
+  }
+  return s;
+}
+
+std::vector<std::string> BinaryReader::read_string_vector() {
+  const auto n = read<std::uint64_t>();
+  if (n > (1ULL << 28)) throw SerializeError("implausible string-vector length");
+  std::vector<std::string> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(read_string());
+  return v;
+}
+
+}  // namespace misuse

@@ -1,0 +1,97 @@
+// Binary serialization for model persistence (trained pipelines can be
+// saved after the training phase and reloaded by the online monitor, as
+// the paper's deployment diagram in Fig. 2 implies). Little-endian,
+// length-prefixed, with a magic/version header per archive.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace misuse {
+
+/// Thrown on malformed/truncated archives and version mismatches.
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  void write_magic(std::uint32_t magic, std::uint32_t version);
+
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  void write(T value) {
+    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+
+  void write_string(const std::string& s);
+
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  void write_vector(std::span<const T> v) {
+    write<std::uint64_t>(v.size());
+    if (!v.empty()) {
+      out_.write(reinterpret_cast<const char*>(v.data()),
+                 static_cast<std::streamsize>(v.size() * sizeof(T)));
+    }
+  }
+
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  void write_vector(const std::vector<T>& v) {
+    write_vector(std::span<const T>(v));
+  }
+
+  void write_string_vector(const std::vector<std::string>& v);
+
+ private:
+  std::ostream& out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(in) {}
+
+  /// Checks magic and returns the archive version; throws on mismatch.
+  std::uint32_t read_magic(std::uint32_t expected_magic);
+
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  T read() {
+    T value{};
+    in_.read(reinterpret_cast<char*>(&value), sizeof(T));
+    if (!in_) throw SerializeError("truncated archive while reading scalar");
+    return value;
+  }
+
+  std::string read_string();
+
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  std::vector<T> read_vector() {
+    const auto n = read<std::uint64_t>();
+    if (n > (1ULL << 34) / sizeof(T)) throw SerializeError("implausible vector length");
+    std::vector<T> v(static_cast<std::size_t>(n));
+    if (n > 0) {
+      in_.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(T)));
+      if (!in_) throw SerializeError("truncated archive while reading vector");
+    }
+    return v;
+  }
+
+  std::vector<std::string> read_string_vector();
+
+ private:
+  std::istream& in_;
+};
+
+}  // namespace misuse

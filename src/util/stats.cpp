@@ -1,0 +1,130 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace misuse {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min_value(std::span<const double> xs) {
+  assert(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  assert(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  assert(!xs.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = min_value(xs);
+  s.p25 = percentile(xs, 25.0);
+  s.median = percentile(xs, 50.0);
+  s.p75 = percentile(xs, 75.0);
+  s.p98 = percentile(xs, 98.0);
+  s.max = max_value(xs);
+  return s;
+}
+
+std::size_t Histogram::total() const {
+  std::size_t t = 0;
+  for (std::size_t c : counts) t += c;
+  return t;
+}
+
+double Histogram::bin_width() const {
+  return counts.empty() ? 0.0 : (hi - lo) / static_cast<double>(counts.size());
+}
+
+std::size_t Histogram::bin_of(double x) const {
+  assert(!counts.empty());
+  if (x <= lo) return 0;
+  if (x >= hi) return counts.size() - 1;
+  const auto i = static_cast<std::size_t>((x - lo) / bin_width());
+  return std::min(i, counts.size() - 1);
+}
+
+double Histogram::bin_lo(std::size_t i) const { return lo + static_cast<double>(i) * bin_width(); }
+
+Histogram make_histogram(std::span<const double> xs, double lo, double hi, std::size_t bins) {
+  assert(hi > lo);
+  assert(bins > 0);
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  for (double x : xs) ++h.counts[h.bin_of(x)];
+  return h;
+}
+
+std::string render_histogram(const Histogram& h, std::size_t bar_width) {
+  std::ostringstream out;
+  std::size_t peak = 0;
+  for (std::size_t c : h.counts) peak = std::max(peak, c);
+  if (peak == 0) peak = 1;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const double b_lo = h.bin_lo(i);
+    const double b_hi = b_lo + h.bin_width();
+    const std::size_t len = h.counts[i] * bar_width / peak;
+    out << "[" << static_cast<long long>(b_lo) << ", " << static_cast<long long>(b_hi) << ")\t"
+        << h.counts[i] << "\t" << std::string(len, '#') << "\n";
+  }
+  return out.str();
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace misuse

@@ -1,0 +1,63 @@
+// Descriptive statistics used throughout the evaluation: the paper
+// characterizes its dataset via mean/percentile session lengths (Fig. 3)
+// and reports per-cluster averages with variance bands (Figs. 4-12).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace misuse {
+
+double mean(std::span<const double> xs);
+/// Unbiased sample variance; 0 for fewer than two samples.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+double median(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty xs.
+double percentile(std::span<const double> xs, double p);
+
+/// Summary of a sample, printable as one table row.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p98 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Fixed-width histogram over [lo, hi] with the given number of bins;
+/// values outside the range are clamped into the edge bins.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  std::size_t total() const;
+  /// Bin index for a value (clamped).
+  std::size_t bin_of(double x) const;
+  double bin_width() const;
+  /// Lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+};
+
+Histogram make_histogram(std::span<const double> xs, double lo, double hi, std::size_t bins);
+
+/// Renders the histogram as rows of "low..high | count | bar" suitable for
+/// terminal output (used by the Fig. 3 bench).
+std::string render_histogram(const Histogram& h, std::size_t bar_width = 50);
+
+/// Pearson correlation; 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace misuse

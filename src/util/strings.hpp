@@ -1,0 +1,27 @@
+// Small string helpers shared by the log parser, CLI, and viz exporters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace misuse {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+std::string to_lower(std::string_view s);
+
+/// "1234567" -> "1,234,567" for table readability.
+std::string with_thousands(long long v);
+
+}  // namespace misuse

@@ -1,0 +1,41 @@
+// Aligned text tables. Every bench binary prints the paper's figure/table
+// as rows through this class so the terminal output is readable and the
+// CSV export is trivially diffable against results/ archives.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace misuse {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 4);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+  const std::vector<std::string>& header() const { return headers_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Pretty-prints with column alignment and a separator rule.
+  void print(std::ostream& out) const;
+
+  /// Writes RFC-4180-ish CSV (cells containing comma/quote/newline are
+  /// quoted, quotes doubled).
+  void write_csv(std::ostream& out) const;
+  /// Writes CSV to a file path, creating parent directories if needed.
+  void write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace misuse

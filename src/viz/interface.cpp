@@ -1,0 +1,269 @@
+#include "viz/interface.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace misuse::viz {
+
+TopicProjectionView build_projection_view(const topics::LdaEnsemble& ensemble,
+                                          const tsne::TsneConfig& config) {
+  const std::size_t n = ensemble.topic_count();
+  assert(n >= 2);
+  Matrix points(n, ensemble.vocab());
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto dist = ensemble.topic_distribution(t);
+    std::copy(dist.begin(), dist.end(), points.row(t).begin());
+  }
+  const tsne::TsneResult result = tsne::run_tsne(points, config);
+
+  TopicProjectionView view;
+  view.coordinates = result.embedding;
+  view.final_kl = result.kl_history.empty() ? 0.0 : result.kl_history.back();
+  view.runs.resize(n);
+  for (std::size_t t = 0; t < n; ++t) view.runs[t] = ensemble.ref(t).run;
+  return view;
+}
+
+TopicActionMatrixView build_matrix_view(const topics::LdaEnsemble& ensemble, float threshold) {
+  TopicActionMatrixView view;
+  view.topics = ensemble.topic_count();
+  view.actions = ensemble.vocab();
+  view.threshold = threshold;
+  for (std::size_t t = 0; t < view.topics; ++t) {
+    const auto dist = ensemble.topic_distribution(t);
+    for (std::size_t a = 0; a < view.actions; ++a) {
+      if (dist[a] >= threshold) view.cells.push_back({t, a, dist[a]});
+    }
+  }
+  return view;
+}
+
+ChordDiagramView build_chord_view(const topics::LdaEnsemble& ensemble,
+                                  const std::vector<std::size_t>& selection, std::size_t top_n) {
+  ChordDiagramView view;
+  view.selection = selection;
+  view.top_n = top_n;
+
+  // Top-action sets of each selected topic.
+  std::vector<std::vector<std::size_t>> top_sets;
+  for (std::size_t pooled : selection) {
+    const auto& ref = ensemble.ref(pooled);
+    auto tops = ensemble.runs()[ref.run].top_actions(ref.topic_in_run, top_n);
+    std::sort(tops.begin(), tops.end());
+    view.fan_sizes.push_back(tops.size());
+    top_sets.push_back(std::move(tops));
+  }
+
+  for (std::size_t i = 0; i < selection.size(); ++i) {
+    for (std::size_t j = i + 1; j < selection.size(); ++j) {
+      std::vector<std::size_t> shared;
+      std::set_intersection(top_sets[i].begin(), top_sets[i].end(), top_sets[j].begin(),
+                            top_sets[j].end(), std::back_inserter(shared));
+      if (!shared.empty()) view.links.push_back({i, j, shared.size()});
+    }
+  }
+  return view;
+}
+
+SessionMapView build_session_map(const topics::LdaEnsemble& ensemble,
+                                 const std::vector<std::size_t>& session_cluster,
+                                 std::size_t max_sessions, const tsne::TsneConfig& config,
+                                 std::uint64_t seed) {
+  assert(session_cluster.size() == ensemble.documents());
+  SessionMapView view;
+  // Uniform sample of documents (t-SNE is O(n^2)).
+  Rng rng(seed);
+  std::vector<std::size_t> all(ensemble.documents());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  rng.shuffle(all);
+  all.resize(std::min(max_sessions, all.size()));
+  std::sort(all.begin(), all.end());
+  view.sessions = std::move(all);
+
+  // Feature of a session: its pooled document-topic weight vector.
+  const std::size_t n_topics = ensemble.topic_count();
+  Matrix points(view.sessions.size(), n_topics);
+  for (std::size_t i = 0; i < view.sessions.size(); ++i) {
+    for (std::size_t t = 0; t < n_topics; ++t) {
+      points(i, t) = ensemble.document_weight(t, view.sessions[i]);
+    }
+    view.clusters.push_back(session_cluster[view.sessions[i]]);
+  }
+  view.coordinates = tsne::run_tsne(points, config).embedding;
+  return view;
+}
+
+std::string render_session_map_ascii(const SessionMapView& view, std::size_t width,
+                                     std::size_t height) {
+  assert(width >= 2 && height >= 2);
+  if (view.sessions.empty()) return "(empty session map)\n";
+  float min_x = view.coordinates(0, 0), max_x = min_x;
+  float min_y = view.coordinates(0, 1), max_y = min_y;
+  for (std::size_t i = 0; i < view.coordinates.rows(); ++i) {
+    min_x = std::min(min_x, view.coordinates(i, 0));
+    max_x = std::max(max_x, view.coordinates(i, 0));
+    min_y = std::min(min_y, view.coordinates(i, 1));
+    max_y = std::max(max_y, view.coordinates(i, 1));
+  }
+  const float span_x = std::max(max_x - min_x, 1e-6f);
+  const float span_y = std::max(max_y - min_y, 1e-6f);
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t i = 0; i < view.sessions.size(); ++i) {
+    const auto cx = static_cast<std::size_t>((view.coordinates(i, 0) - min_x) / span_x *
+                                             static_cast<float>(width - 1));
+    const auto cy = static_cast<std::size_t>((view.coordinates(i, 1) - min_y) / span_y *
+                                             static_cast<float>(height - 1));
+    // Cluster id 0..9 as digits, then letters.
+    const std::size_t c = view.clusters[i];
+    grid[cy][cx] = c < 10 ? static_cast<char>('0' + c)
+                          : static_cast<char>('A' + static_cast<char>((c - 10) % 26));
+  }
+  std::ostringstream out;
+  out << "+" << std::string(width, '-') << "+\n";
+  for (const auto& row : grid) out << "|" << row << "|\n";
+  out << "+" << std::string(width, '-') << "+\n";
+  return out.str();
+}
+
+void export_interface_json(const TopicProjectionView& projection,
+                           const TopicActionMatrixView& matrix, const ChordDiagramView& chord,
+                           const ActionVocab& vocab, std::ostream& out) {
+  JsonWriter j(out);
+  j.begin_object();
+
+  j.key("projection");
+  j.begin_object();
+  j.member("final_kl", projection.final_kl);
+  j.key("topics");
+  j.begin_array();
+  for (std::size_t t = 0; t < projection.coordinates.rows(); ++t) {
+    j.begin_object();
+    j.member("id", t);
+    j.member("run", projection.runs[t]);
+    j.member("x", static_cast<double>(projection.coordinates(t, 0)));
+    j.member("y", static_cast<double>(projection.coordinates(t, 1)));
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+
+  j.key("topic_action_matrix");
+  j.begin_object();
+  j.member("topics", matrix.topics);
+  j.member("actions", matrix.actions);
+  j.member("threshold", static_cast<double>(matrix.threshold));
+  j.key("cells");
+  j.begin_array();
+  for (const auto& cell : matrix.cells) {
+    j.begin_object();
+    j.member("topic", cell.topic);
+    j.member("action", vocab.name(static_cast<int>(cell.action)));
+    j.member("p", static_cast<double>(cell.probability));
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+
+  j.key("chord");
+  j.begin_object();
+  j.member("top_n", chord.top_n);
+  j.key("fans");
+  j.begin_array();
+  for (std::size_t i = 0; i < chord.selection.size(); ++i) {
+    j.begin_object();
+    j.member("topic", chord.selection[i]);
+    j.member("size", chord.fan_sizes[i]);
+    j.end_object();
+  }
+  j.end_array();
+  j.key("links");
+  j.begin_array();
+  for (const auto& link : chord.links) {
+    j.begin_object();
+    j.member("a", chord.selection[link.a]);
+    j.member("b", chord.selection[link.b]);
+    j.member("shared", link.shared_actions);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+
+  j.end_object();
+}
+
+std::string render_projection_ascii(const TopicProjectionView& view, std::size_t width,
+                                    std::size_t height) {
+  const std::size_t n = view.coordinates.rows();
+  assert(width >= 2 && height >= 2);
+  float min_x = view.coordinates(0, 0), max_x = min_x;
+  float min_y = view.coordinates(0, 1), max_y = min_y;
+  for (std::size_t t = 0; t < n; ++t) {
+    min_x = std::min(min_x, view.coordinates(t, 0));
+    max_x = std::max(max_x, view.coordinates(t, 0));
+    min_y = std::min(min_y, view.coordinates(t, 1));
+    max_y = std::max(max_y, view.coordinates(t, 1));
+  }
+  const float span_x = std::max(max_x - min_x, 1e-6f);
+  const float span_y = std::max(max_y - min_y, 1e-6f);
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto cx = static_cast<std::size_t>((view.coordinates(t, 0) - min_x) / span_x *
+                                             static_cast<float>(width - 1));
+    const auto cy = static_cast<std::size_t>((view.coordinates(t, 1) - min_y) / span_y *
+                                             static_cast<float>(height - 1));
+    // Mark by owning run (a..z) so clusters of same-topic runs are visible.
+    grid[cy][cx] = static_cast<char>('a' + static_cast<char>(view.runs[t] % 26));
+  }
+  std::ostringstream out;
+  out << "+" << std::string(width, '-') << "+\n";
+  for (const auto& row : grid) out << "|" << row << "|\n";
+  out << "+" << std::string(width, '-') << "+\n";
+  return out.str();
+}
+
+std::string render_matrix_ascii(const TopicActionMatrixView& view, const ActionVocab& vocab,
+                                const topics::LdaEnsemble& ensemble, std::size_t max_topics,
+                                std::size_t top_actions) {
+  std::ostringstream out;
+  const std::size_t shown = std::min(view.topics, max_topics);
+  for (std::size_t t = 0; t < shown; ++t) {
+    const auto& ref = ensemble.ref(t);
+    const auto tops = ensemble.runs()[ref.run].top_actions(ref.topic_in_run, top_actions);
+    out << "topic " << t << " (run " << ref.run << "): ";
+    const auto dist = ensemble.topic_distribution(t);
+    for (std::size_t i = 0; i < tops.size(); ++i) {
+      if (i > 0) out << ", ";
+      const float p = dist[tops[i]];
+      // Opacity encoding: more '#' = higher probability.
+      const auto opacity = static_cast<std::size_t>(std::min(p * 10.0f, 4.0f)) + 1;
+      out << vocab.name(static_cast<int>(tops[i])) << " " << std::string(opacity, '#');
+    }
+    out << "\n";
+  }
+  if (view.topics > shown) out << "... (" << view.topics - shown << " more topics)\n";
+  return out.str();
+}
+
+std::string render_chord_ascii(const ChordDiagramView& view) {
+  std::ostringstream out;
+  out << "chord fans (topic: top-action count):\n";
+  for (std::size_t i = 0; i < view.selection.size(); ++i) {
+    out << "  topic " << view.selection[i] << ": " << std::string(view.fan_sizes[i], '=') << " "
+        << view.fan_sizes[i] << "\n";
+  }
+  out << "links (shared top actions):\n";
+  for (const auto& link : view.links) {
+    out << "  " << view.selection[link.a] << " <-> " << view.selection[link.b] << " "
+        << std::string(link.shared_actions, '~') << " " << link.shared_actions << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace misuse::viz

@@ -1,0 +1,104 @@
+// The visual-interface substrate. The paper's experts work in an
+// interactive tool with three coordinated views (Fig. 1): a t-SNE topic
+// projection (top left), a topic-action matrix (right), and a chord
+// diagram of topic relationships (bottom left). This module computes the
+// exact data each view renders and serializes it:
+//
+//   * as JSON, so any external UI can render the real interface, and
+//   * as ASCII, so every artifact is inspectable in a terminal and
+//     assertable in tests.
+//
+// The headless ExpertPolicy consumes the same artifacts, which is what
+// makes the expert-in-the-loop step reproducible without a human.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sessions/vocab.hpp"
+#include "tensor/matrix.hpp"
+#include "topics/ensemble.hpp"
+#include "tsne/tsne.hpp"
+
+namespace misuse::viz {
+
+/// Topic projection view: one 2-D point per pooled topic.
+struct TopicProjectionView {
+  Matrix coordinates;             // topics x 2
+  std::vector<std::size_t> runs;  // owning LDA run per topic
+  double final_kl = 0.0;          // t-SNE KL at the last iteration
+};
+
+TopicProjectionView build_projection_view(const topics::LdaEnsemble& ensemble,
+                                          const tsne::TsneConfig& config);
+
+/// Topic-action matrix view: per topic, the actions above an opacity
+/// threshold with their probabilities (x-axis actions, y-axis topics; the
+/// higher the probability the more opaque the block).
+struct TopicActionCell {
+  std::size_t topic = 0;
+  std::size_t action = 0;
+  float probability = 0.0f;
+};
+
+struct TopicActionMatrixView {
+  std::size_t topics = 0;
+  std::size_t actions = 0;
+  float threshold = 0.0f;
+  std::vector<TopicActionCell> cells;  // sparse, above-threshold only
+};
+
+TopicActionMatrixView build_matrix_view(const topics::LdaEnsemble& ensemble, float threshold);
+
+/// Chord diagram view over a topic selection: fan length = number of
+/// actions in the topic's top set; link weight = number of shared top
+/// actions between two topics.
+struct ChordLink {
+  std::size_t a = 0;  // indices into `selection`
+  std::size_t b = 0;
+  std::size_t shared_actions = 0;
+};
+
+struct ChordDiagramView {
+  std::vector<std::size_t> selection;  // pooled topic indices
+  std::vector<std::size_t> fan_sizes;  // per selected topic
+  std::vector<ChordLink> links;        // only links with shared > 0
+  std::size_t top_n = 0;
+};
+
+ChordDiagramView build_chord_view(const topics::LdaEnsemble& ensemble,
+                                  const std::vector<std::size_t>& selection, std::size_t top_n);
+
+/// Session-level behavior map: a sample of sessions embedded by t-SNE on
+/// their document-topic vectors and tagged with their behavior cluster —
+/// the "categorization of behaviors" picture that complements the
+/// topic-level projection.
+struct SessionMapView {
+  std::vector<std::size_t> sessions;  // document indices of the sample
+  Matrix coordinates;                 // sample x 2
+  std::vector<std::size_t> clusters;  // cluster id per sampled session
+};
+
+SessionMapView build_session_map(const topics::LdaEnsemble& ensemble,
+                                 const std::vector<std::size_t>& session_cluster,
+                                 std::size_t max_sessions, const tsne::TsneConfig& config,
+                                 std::uint64_t seed);
+
+std::string render_session_map_ascii(const SessionMapView& view, std::size_t width = 72,
+                                     std::size_t height = 24);
+
+/// Serializes all three views into one JSON document.
+void export_interface_json(const TopicProjectionView& projection,
+                           const TopicActionMatrixView& matrix, const ChordDiagramView& chord,
+                           const ActionVocab& vocab, std::ostream& out);
+
+/// ASCII renderings for terminal inspection.
+std::string render_projection_ascii(const TopicProjectionView& view, std::size_t width = 72,
+                                    std::size_t height = 24);
+std::string render_matrix_ascii(const TopicActionMatrixView& view, const ActionVocab& vocab,
+                                const topics::LdaEnsemble& ensemble, std::size_t max_topics = 20,
+                                std::size_t top_actions = 6);
+std::string render_chord_ascii(const ChordDiagramView& view);
+
+}  // namespace misuse::viz

@@ -1,0 +1,107 @@
+#include "cluster/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace misuse::cluster {
+namespace {
+
+// Two clusters with disjoint action pools (0-2 vs 5-7) over vocab 8.
+struct Fixture {
+  std::vector<std::vector<int>> a, b;
+  std::vector<std::vector<std::span<const int>>> clusters;
+
+  static Fixture make(std::uint64_t seed = 1) {
+    Fixture f;
+    Rng rng(seed);
+    for (int i = 0; i < 50; ++i) {
+      std::vector<int> sa, sb;
+      const std::size_t len = 4 + rng.uniform_index(10);
+      for (std::size_t j = 0; j < len; ++j) {
+        sa.push_back(static_cast<int>(rng.uniform_index(3)));
+        sb.push_back(static_cast<int>(5 + rng.uniform_index(3)));
+      }
+      f.a.push_back(std::move(sa));
+      f.b.push_back(std::move(sb));
+    }
+    f.clusters.resize(2);
+    for (const auto& s : f.a) f.clusters[0].push_back(s);
+    for (const auto& s : f.b) f.clusters[1].push_back(s);
+    return f;
+  }
+};
+
+ocsvm::FeaturizerConfig normalized_features() {
+  return {.vocab = 8, .normalize = true, .length_feature_weight = 0.0};
+}
+
+TEST(NearestCentroid, AssignsObviousSessions) {
+  auto f = Fixture::make();
+  const auto assigner = NearestCentroidAssigner::train(f.clusters, normalized_features());
+  EXPECT_EQ(assigner.cluster_count(), 2u);
+  EXPECT_EQ(assigner.assign(std::vector<int>{0, 1, 2, 0}), 0u);
+  EXPECT_EQ(assigner.assign(std::vector<int>{5, 6, 7, 5}), 1u);
+}
+
+TEST(NearestCentroid, ScoresAreNegatedDistances) {
+  auto f = Fixture::make();
+  const auto assigner = NearestCentroidAssigner::train(f.clusters, normalized_features());
+  const auto scores = assigner.scores(std::vector<int>{0, 1, 2});
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_LE(scores[0], 0.0);
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+TEST(NearestCentroid, MixedSessionGoesToDominantCluster) {
+  auto f = Fixture::make();
+  const auto assigner = NearestCentroidAssigner::train(f.clusters, normalized_features());
+  // 3 actions from cluster 0, 1 from cluster 1.
+  EXPECT_EQ(assigner.assign(std::vector<int>{0, 1, 2, 5}), 0u);
+  EXPECT_EQ(assigner.assign(std::vector<int>{5, 6, 7, 0}), 1u);
+}
+
+TEST(Knn, AssignsObviousSessions) {
+  auto f = Fixture::make(2);
+  const auto assigner = KnnAssigner::train(f.clusters, normalized_features(), 5);
+  EXPECT_EQ(assigner.cluster_count(), 2u);
+  EXPECT_EQ(assigner.training_points(), 100u);
+  EXPECT_EQ(assigner.assign(std::vector<int>{0, 0, 1}), 0u);
+  EXPECT_EQ(assigner.assign(std::vector<int>{7, 6, 6}), 1u);
+}
+
+TEST(Knn, ScoresAreVoteFractions) {
+  auto f = Fixture::make(3);
+  const auto assigner = KnnAssigner::train(f.clusters, normalized_features(), 5);
+  const auto votes = assigner.scores(std::vector<int>{1, 2, 0});
+  ASSERT_EQ(votes.size(), 2u);
+  double sum = 0.0;
+  for (double v : votes) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_EQ(votes[0], 1.0);  // all 5 neighbours come from cluster 0
+}
+
+TEST(Knn, KLargerThanTrainingSetStillWorks) {
+  std::vector<std::vector<int>> tiny_a = {{0, 1}, {1, 0}};
+  std::vector<std::vector<int>> tiny_b = {{5, 6}};
+  std::vector<std::vector<std::span<const int>>> clusters(2);
+  for (const auto& s : tiny_a) clusters[0].push_back(s);
+  for (const auto& s : tiny_b) clusters[1].push_back(s);
+  const auto assigner = KnnAssigner::train(clusters, normalized_features(), 50);
+  EXPECT_EQ(assigner.assign(std::vector<int>{0, 1}), 0u);  // majority of all 3 points
+}
+
+TEST(Knn, OddKBreaksTiesDeterministically) {
+  auto f = Fixture::make(4);
+  const auto assigner = KnnAssigner::train(f.clusters, normalized_features(), 7);
+  // Repeated queries give identical results (no hidden randomness).
+  const std::vector<int> probe = {0, 5, 1, 6};
+  EXPECT_EQ(assigner.assign(probe), assigner.assign(probe));
+}
+
+}  // namespace
+}  // namespace misuse::cluster

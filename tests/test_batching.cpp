@@ -1,0 +1,179 @@
+#include "lm/batching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace misuse::lm {
+namespace {
+
+TEST(Windowing, ShortSessionsYieldNothing) {
+  EXPECT_TRUE(make_window_examples(std::vector<int>{}, 10).empty());
+  EXPECT_TRUE(make_window_examples(std::vector<int>{3}, 10).empty());
+}
+
+TEST(Windowing, OneExamplePerPredictablePosition) {
+  const std::vector<int> session = {1, 2, 3, 4, 5};
+  const auto examples = make_window_examples(session, 10);
+  EXPECT_EQ(examples.size(), 4u);  // predicts positions 2..5
+}
+
+TEST(Windowing, FirstExampleIsZeroPaddedWithFirstActionLast) {
+  // The paper: "first element of batch is filled with zeros in the
+  // beginning and first action of the session in the end".
+  const std::vector<int> session = {7, 8, 9};
+  const auto examples = make_window_examples(session, 5);  // inputs length 4
+  ASSERT_EQ(examples.size(), 2u);
+  EXPECT_EQ(examples[0].inputs, (std::vector<int>{nn::kPadToken, nn::kPadToken, nn::kPadToken, 7}));
+  EXPECT_EQ(examples[0].target, 8);
+  EXPECT_EQ(examples[1].inputs, (std::vector<int>{nn::kPadToken, nn::kPadToken, 7, 8}));
+  EXPECT_EQ(examples[1].target, 9);
+}
+
+TEST(Windowing, LongSessionsCroppedToWindow) {
+  std::vector<int> session;
+  for (int i = 0; i < 20; ++i) session.push_back(i);
+  const auto examples = make_window_examples(session, 5);  // inputs length 4
+  // The last example must contain exactly the final 4 actions before the
+  // target.
+  const auto& last = examples.back();
+  EXPECT_EQ(last.inputs, (std::vector<int>{15, 16, 17, 18}));
+  EXPECT_EQ(last.target, 19);
+  for (const auto& ex : examples) EXPECT_EQ(ex.inputs.size(), 4u);
+}
+
+TEST(Windowing, ReconstructsSessionFromTargets) {
+  // Property: concatenating the first action with every target rebuilds
+  // the session.
+  const std::vector<int> session = {4, 9, 2, 7, 7, 1};
+  const auto examples = make_window_examples(session, 100);
+  std::vector<int> rebuilt = {session[0]};
+  for (const auto& ex : examples) rebuilt.push_back(ex.target);
+  EXPECT_EQ(rebuilt, session);
+}
+
+TEST(WindowPacking, BatchShapesAndLastTimestepTargets) {
+  const std::vector<int> session = {1, 2, 3, 4, 5, 6, 7};
+  const auto examples = make_window_examples(session, 4);  // 6 examples, T=3
+  const auto batches = pack_window_batches(examples, 4);
+  ASSERT_EQ(batches.size(), 2u);  // 4 + 2
+  EXPECT_EQ(batches[0].time_steps(), 3u);
+  EXPECT_EQ(batches[0].batch_size(), 4u);
+  EXPECT_EQ(batches[1].batch_size(), 2u);
+  for (const auto& batch : batches) {
+    for (std::size_t t = 0; t + 1 < batch.time_steps(); ++t) {
+      for (int target : batch.targets[t]) EXPECT_EQ(target, nn::kIgnoreTarget);
+    }
+    for (int target : batch.targets.back()) EXPECT_NE(target, nn::kIgnoreTarget);
+  }
+}
+
+TEST(FullSequencePacking, TargetsShiftInputsByOne) {
+  const std::vector<int> s1 = {1, 2, 3};
+  std::vector<std::span<const int>> sessions = {s1};
+  const auto batches = pack_full_sequence_batches(sessions, 100, 8);
+  ASSERT_EQ(batches.size(), 1u);
+  const auto& b = batches[0];
+  EXPECT_EQ(b.time_steps(), 2u);
+  EXPECT_EQ(b.tokens[0][0], 1);
+  EXPECT_EQ(b.targets[0][0], 2);
+  EXPECT_EQ(b.tokens[1][0], 2);
+  EXPECT_EQ(b.targets[1][0], 3);
+}
+
+TEST(FullSequencePacking, PadsTailsWithIgnore) {
+  const std::vector<int> short_s = {1, 2};
+  const std::vector<int> long_s = {3, 4, 5, 6};
+  std::vector<std::span<const int>> sessions = {short_s, long_s};
+  const auto batches = pack_full_sequence_batches(sessions, 100, 2);
+  ASSERT_EQ(batches.size(), 1u);
+  const auto& b = batches[0];
+  EXPECT_EQ(b.time_steps(), 3u);
+  // Column for the short session: valid at t=0, padded after.
+  std::size_t col_short = b.tokens[0][0] == 1 ? 0 : 1;
+  EXPECT_EQ(b.targets[1][col_short], nn::kIgnoreTarget);
+  EXPECT_EQ(b.tokens[2][col_short], nn::kPadToken);
+}
+
+TEST(FullSequencePacking, CropsAtWindow) {
+  std::vector<int> long_s;
+  for (int i = 0; i < 50; ++i) long_s.push_back(i % 7);
+  std::vector<std::span<const int>> sessions = {long_s};
+  const auto batches = pack_full_sequence_batches(sessions, 10, 4);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].time_steps(), 9u);  // window - 1
+}
+
+TEST(FullSequencePacking, TargetCountEqualsPredictablePositions) {
+  const std::vector<int> s1 = {1, 2, 3};        // 2 targets
+  const std::vector<int> s2 = {4, 5};           // 1 target
+  const std::vector<int> s3 = {6};              // too short: 0 targets
+  std::vector<std::span<const int>> sessions = {s1, s2, s3};
+  const auto batches = pack_full_sequence_batches(sessions, 100, 2);
+  std::size_t targets = 0;
+  for (const auto& b : batches) targets += b.target_count();
+  EXPECT_EQ(targets, 3u);
+}
+
+TEST(FullSequencePacking, LengthSortingGroupsSimilarLengths) {
+  std::vector<std::vector<int>> data;
+  for (int len : {2, 30, 2, 30, 2, 30}) {
+    std::vector<int> s;
+    for (int i = 0; i < len; ++i) s.push_back(i % 5);
+    data.push_back(std::move(s));
+  }
+  std::vector<std::span<const int>> sessions(data.begin(), data.end());
+  const auto batches = pack_full_sequence_batches(sessions, 100, 3);
+  ASSERT_EQ(batches.size(), 2u);
+  // First batch holds the three short sessions => 1 timestep.
+  EXPECT_EQ(batches[0].time_steps(), 1u);
+  EXPECT_EQ(batches[1].time_steps(), 29u);
+}
+
+TEST(EpochBatches, WindowedModeCountsAllExamples) {
+  const std::vector<int> s1 = {1, 2, 3, 4};
+  const std::vector<int> s2 = {5, 6};
+  std::vector<std::span<const int>> sessions = {s1, s2};
+  BatchingConfig config;
+  config.mode = BatchingMode::kWindowed;
+  config.window = 8;
+  config.batch_size = 3;
+  Rng rng(1);
+  const auto batches = make_epoch_batches(sessions, config, rng);
+  std::size_t targets = 0;
+  for (const auto& b : batches) targets += b.target_count();
+  EXPECT_EQ(targets, 4u);  // 3 + 1 predictable positions
+}
+
+TEST(EpochBatches, BothModesDeliverSameTargetMultiset) {
+  const std::vector<int> s1 = {1, 2, 3, 4, 1, 2};
+  const std::vector<int> s2 = {3, 3, 4};
+  std::vector<std::span<const int>> sessions = {s1, s2};
+  Rng rng(2);
+
+  std::map<int, int> windowed_targets, fullseq_targets;
+  BatchingConfig wc;
+  wc.mode = BatchingMode::kWindowed;
+  wc.window = 16;
+  for (const auto& b : make_epoch_batches(sessions, wc, rng)) {
+    for (const auto& row : b.targets) {
+      for (int t : row) {
+        if (t != nn::kIgnoreTarget) ++windowed_targets[t];
+      }
+    }
+  }
+  BatchingConfig fc;
+  fc.mode = BatchingMode::kFullSequence;
+  fc.window = 16;
+  for (const auto& b : make_epoch_batches(sessions, fc, rng)) {
+    for (const auto& row : b.targets) {
+      for (int t : row) {
+        if (t != nn::kIgnoreTarget) ++fullseq_targets[t];
+      }
+    }
+  }
+  EXPECT_EQ(windowed_targets, fullseq_targets);
+}
+
+}  // namespace
+}  // namespace misuse::lm

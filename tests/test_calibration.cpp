@@ -1,0 +1,117 @@
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/portal.hpp"
+
+namespace misuse::core {
+namespace {
+
+class CalibrationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::PortalConfig pc;
+    pc.sessions = 600;
+    pc.users = 60;
+    pc.action_count = 80;
+    pc.seed = 77;
+    portal_ = new synth::Portal(pc);
+    store_ = new SessionStore(portal_->generate());
+    DetectorConfig config;
+    config.ensemble.topic_counts = {6};
+    config.ensemble.iterations = 30;
+    config.expert.target_clusters = 5;
+    config.expert.min_cluster_sessions = 10;
+    config.lm.hidden = 16;
+    config.lm.learning_rate = 0.01f;
+    config.lm.epochs = 20;
+    config.lm.patience = 0;
+    config.lm.batching.batch_size = 8;
+    config.lm.batching.window = 32;
+    config.seed = 5;
+    detector_ = new MisuseDetector(MisuseDetector::train(*store_, config));
+  }
+  static void TearDownTestSuite() {
+    delete detector_;
+    delete store_;
+    delete portal_;
+  }
+  static synth::Portal* portal_;
+  static SessionStore* store_;
+  static MisuseDetector* detector_;
+};
+synth::Portal* CalibrationFixture::portal_ = nullptr;
+SessionStore* CalibrationFixture::store_ = nullptr;
+MisuseDetector* CalibrationFixture::detector_ = nullptr;
+
+TEST_F(CalibrationFixture, RealizedRateWithinBudget) {
+  for (const double budget : {0.0, 0.05, 0.2}) {
+    const auto result = calibrate_on_validation_splits(*detector_, *store_, budget);
+    EXPECT_GT(result.calibration_sessions, 0u);
+    EXPECT_LE(result.session_false_alarm_rate, budget + 1e-9) << "budget " << budget;
+    EXPECT_GE(result.alarm_likelihood, 0.0);
+  }
+}
+
+TEST_F(CalibrationFixture, LargerBudgetGivesHigherThreshold) {
+  const auto tight = calibrate_on_validation_splits(*detector_, *store_, 0.01);
+  const auto loose = calibrate_on_validation_splits(*detector_, *store_, 0.3);
+  EXPECT_LE(tight.alarm_likelihood, loose.alarm_likelihood);
+  EXPECT_LE(tight.session_false_alarm_rate, loose.session_false_alarm_rate);
+}
+
+TEST_F(CalibrationFixture, ZeroBudgetMeansNoCalibrationAlarms) {
+  const auto result = calibrate_on_validation_splits(*detector_, *store_, 0.0);
+  // The threshold sits below every calibration session's minimum.
+  EXPECT_DOUBLE_EQ(result.session_false_alarm_rate, 0.0);
+}
+
+TEST_F(CalibrationFixture, CalibratedThresholdStillCatchesRandomSessions) {
+  const auto result = calibrate_on_validation_splits(*detector_, *store_, 0.05);
+  const SessionStore random = portal_->generate_random_sessions(40, 99);
+  std::size_t caught = 0;
+  for (const auto& s : random.all()) {
+    const auto prediction = detector_->predict(s.view());
+    if (prediction.score.likelihoods.empty()) continue;
+    const double min_like = *std::min_element(prediction.score.likelihoods.begin(),
+                                              prediction.score.likelihoods.end());
+    if (min_like < result.alarm_likelihood) ++caught;
+  }
+  EXPECT_GT(caught, random.size() * 8 / 10);
+}
+
+TEST(Calibration, EmptyInputIsGraceful) {
+  // A detector is needed for predict(); use a store with no usable
+  // sessions by passing an empty index list against the fixture-free
+  // path: calibrate_alarm_threshold with no sessions.
+  ActionVocab vocab;
+  vocab.intern("A");
+  SessionStore store(std::move(vocab));
+  // No detector call happens when the index list is empty, so a null
+  // detector reference cannot be constructed here; instead verify via the
+  // fixture-free contract that zero sessions yield a zero result through
+  // the public API with an empty span. (Constructing a detector is
+  // expensive; reuse the smallest possible corpus.)
+  synth::PortalConfig pc;
+  pc.sessions = 120;
+  pc.users = 10;
+  pc.action_count = 60;
+  pc.seed = 3;
+  const synth::Portal portal(pc);
+  const SessionStore corpus = portal.generate();
+  DetectorConfig config;
+  config.ensemble.topic_counts = {4};
+  config.ensemble.iterations = 15;
+  config.expert.target_clusters = 3;
+  config.expert.min_cluster_sessions = 5;
+  config.lm.hidden = 8;
+  config.lm.epochs = 2;
+  config.lm.patience = 0;
+  const MisuseDetector detector = MisuseDetector::train(corpus, config);
+  const auto result = calibrate_alarm_threshold(detector, corpus, {}, 0.1);
+  EXPECT_EQ(result.calibration_sessions, 0u);
+  EXPECT_DOUBLE_EQ(result.alarm_likelihood, 0.0);
+}
+
+}  // namespace
+}  // namespace misuse::core

@@ -1,0 +1,97 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace misuse {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsSyntax) {
+  const auto args = make({"--sessions=500", "--lr=0.01", "--name=run1"});
+  EXPECT_EQ(args.integer("sessions", 0), 500);
+  EXPECT_DOUBLE_EQ(args.real("lr", 0.0), 0.01);
+  EXPECT_EQ(args.str("name"), "run1");
+}
+
+TEST(Cli, SpaceSyntax) {
+  const auto args = make({"--sessions", "500", "--name", "run2"});
+  EXPECT_EQ(args.integer("sessions", 0), 500);
+  EXPECT_EQ(args.str("name"), "run2");
+}
+
+TEST(Cli, BareBooleanFlag) {
+  const auto args = make({"--verbose", "--paper-scale"});
+  EXPECT_TRUE(args.flag("verbose"));
+  EXPECT_TRUE(args.flag("paper-scale"));
+  EXPECT_FALSE(args.flag("missing"));
+}
+
+TEST(Cli, NoPrefixDisablesFlag) {
+  const auto args = make({"--no-color"});
+  EXPECT_FALSE(args.flag("color", true));
+}
+
+TEST(Cli, ExplicitFalseValue) {
+  const auto args = make({"--color=false"});
+  EXPECT_FALSE(args.flag("color", true));
+}
+
+TEST(Cli, TruthyValues) {
+  EXPECT_TRUE(make({"--a=1"}).flag("a"));
+  EXPECT_TRUE(make({"--a=true"}).flag("a"));
+  EXPECT_TRUE(make({"--a=yes"}).flag("a"));
+  EXPECT_FALSE(make({"--a=0"}).flag("a"));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const auto args = make({});
+  EXPECT_EQ(args.integer("n", 42), 42);
+  EXPECT_DOUBLE_EQ(args.real("x", 2.5), 2.5);
+  EXPECT_EQ(args.str("s", "dflt"), "dflt");
+}
+
+TEST(Cli, PositionalArguments) {
+  const auto args = make({"input.log", "--mode=fast", "output.csv"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.log");
+  EXPECT_EQ(args.positional()[1], "output.csv");
+}
+
+TEST(Cli, BooleanFlagBeforeAnotherFlag) {
+  const auto args = make({"--verbose", "--n", "3"});
+  EXPECT_TRUE(args.flag("verbose"));
+  EXPECT_EQ(args.integer("n", 0), 3);
+}
+
+TEST(Cli, HasDetectsPresence) {
+  const auto args = make({"--x=1"});
+  EXPECT_TRUE(args.has("x"));
+  EXPECT_FALSE(args.has("y"));
+}
+
+TEST(Cli, KeysListsAllFlags) {
+  const auto args = make({"--b=2", "--a=1"});
+  const auto keys = args.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");  // std::map orders keys
+  EXPECT_EQ(keys[1], "b");
+}
+
+TEST(Cli, ProgramName) {
+  const auto args = make({});
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, NegativeNumbers) {
+  const auto args = make({"--offset=-5", "--scale=-1.5"});
+  EXPECT_EQ(args.integer("offset", 0), -5);
+  EXPECT_DOUBLE_EQ(args.real("scale", 0.0), -1.5);
+}
+
+}  // namespace
+}  // namespace misuse

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "cluster/assigner.hpp"
+#include "cluster/expert_policy.hpp"
+#include "util/rng.hpp"
+
+namespace misuse::cluster {
+namespace {
+
+// --- agglomerate_by_similarity ------------------------------------------
+
+Matrix block_similarity(std::size_t block_size, std::size_t blocks, float within, float between) {
+  const std::size_t n = block_size * blocks;
+  Matrix sim(n, n, between);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i / block_size == j / block_size) sim(i, j) = within;
+    }
+    sim(i, i) = 1.0f;
+  }
+  return sim;
+}
+
+TEST(Agglomerate, RecoversBlockStructure) {
+  const Matrix sim = block_similarity(4, 3, 0.9f, 0.1f);
+  const auto groups = agglomerate_by_similarity(sim, 3);
+  ASSERT_EQ(groups.size(), 12u);
+  // All members of a block share a group; different blocks differ.
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 1; i < 4; ++i) {
+      EXPECT_EQ(groups[b * 4], groups[b * 4 + i]);
+    }
+  }
+  EXPECT_NE(groups[0], groups[4]);
+  EXPECT_NE(groups[4], groups[8]);
+}
+
+TEST(Agglomerate, SingleGroupMergesEverything) {
+  const Matrix sim = block_similarity(3, 2, 0.9f, 0.2f);
+  const auto groups = agglomerate_by_similarity(sim, 1);
+  for (std::size_t g : groups) EXPECT_EQ(g, 0u);
+}
+
+TEST(Agglomerate, TargetEqualToItemsKeepsSingletons) {
+  const Matrix sim = block_similarity(2, 2, 0.9f, 0.1f);
+  const auto groups = agglomerate_by_similarity(sim, 4);
+  std::set<std::size_t> distinct(groups.begin(), groups.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+// --- ExpertPolicy over a synthetic ensemble ------------------------------
+
+std::vector<std::vector<int>> grouped_corpus(std::size_t groups, std::size_t per_group,
+                                             std::size_t actions_per_group, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int>> docs;
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t d = 0; d < per_group; ++d) {
+      std::vector<int> doc;
+      const std::size_t len = 6 + rng.uniform_index(8);
+      for (std::size_t i = 0; i < len; ++i) {
+        doc.push_back(static_cast<int>(g * actions_per_group +
+                                       rng.uniform_index(actions_per_group)));
+      }
+      docs.push_back(std::move(doc));
+    }
+  }
+  return docs;
+}
+
+TEST(ExpertPolicy, PartitionCoversAllSessions) {
+  const auto docs = grouped_corpus(3, 30, 4, 1);
+  topics::EnsembleConfig ec;
+  ec.topic_counts = {3, 5};
+  ec.iterations = 50;
+  const auto ensemble = topics::LdaEnsemble::fit(docs, 12, ec);
+
+  ExpertPolicyConfig pc;
+  pc.target_clusters = 3;
+  pc.min_cluster_sessions = 5;
+  const ClusteringResult result = ExpertPolicy(pc).run(ensemble);
+
+  ASSERT_EQ(result.session_cluster.size(), docs.size());
+  std::size_t total = 0;
+  for (const auto& c : result.clusters) total += c.size();
+  EXPECT_EQ(total, docs.size());  // union of clusters = H (§III)
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    const std::size_t c = result.session_cluster[d];
+    ASSERT_LT(c, result.clusters.size());
+    EXPECT_TRUE(std::find(result.clusters[c].begin(), result.clusters[c].end(), d) !=
+                result.clusters[c].end());
+  }
+}
+
+TEST(ExpertPolicy, RecoversPlantedGroups) {
+  const auto docs = grouped_corpus(3, 40, 4, 2);
+  topics::EnsembleConfig ec;
+  ec.topic_counts = {3, 6};
+  ec.iterations = 60;
+  const auto ensemble = topics::LdaEnsemble::fit(docs, 12, ec);
+
+  ExpertPolicyConfig pc;
+  pc.target_clusters = 3;
+  pc.min_cluster_sessions = 10;
+  const ClusteringResult result = ExpertPolicy(pc).run(ensemble);
+
+  // Cluster purity w.r.t. planted groups must be high.
+  double weighted_purity = 0.0;
+  for (const auto& members : result.clusters) {
+    std::map<std::size_t, std::size_t> counts;
+    for (std::size_t d : members) ++counts[d / 40];
+    std::size_t peak = 0;
+    for (const auto& [g, n] : counts) peak = std::max(peak, n);
+    weighted_purity += static_cast<double>(peak);
+  }
+  weighted_purity /= static_cast<double>(docs.size());
+  EXPECT_GT(weighted_purity, 0.9);
+}
+
+TEST(ExpertPolicy, MergesUndersizedClusters) {
+  const auto docs = grouped_corpus(2, 50, 5, 3);
+  topics::EnsembleConfig ec;
+  ec.topic_counts = {8};
+  ec.iterations = 40;
+  const auto ensemble = topics::LdaEnsemble::fit(docs, 10, ec);
+
+  ExpertPolicyConfig pc;
+  pc.target_clusters = 8;
+  pc.min_cluster_sessions = 20;  // forces merges
+  const ClusteringResult result = ExpertPolicy(pc).run(ensemble);
+  for (const auto& members : result.clusters) {
+    EXPECT_GE(members.size(), 20u);
+  }
+  EXPECT_EQ(result.representative_topics.size(), result.clusters.size());
+}
+
+// --- ClusterAssigner ------------------------------------------------------
+
+struct AssignerFixture {
+  std::vector<std::vector<int>> cluster_a;  // actions 0-2
+  std::vector<std::vector<int>> cluster_b;  // actions 5-7
+  ClusterAssigner assigner;
+
+  static AssignerFixture make() {
+    Rng rng(5);
+    std::vector<std::vector<int>> a, b;
+    for (int i = 0; i < 60; ++i) {
+      std::vector<int> sa, sb;
+      const std::size_t len = 5 + rng.uniform_index(10);
+      for (std::size_t j = 0; j < len; ++j) {
+        sa.push_back(static_cast<int>(rng.uniform_index(3)));
+        sb.push_back(static_cast<int>(5 + rng.uniform_index(3)));
+      }
+      a.push_back(std::move(sa));
+      b.push_back(std::move(sb));
+    }
+    AssignerConfig config;
+    config.features.vocab = 8;
+    config.svm.nu = 0.1;
+    std::vector<std::vector<std::span<const int>>> clusters(2);
+    for (const auto& s : a) clusters[0].push_back(s);
+    for (const auto& s : b) clusters[1].push_back(s);
+    return AssignerFixture{std::move(a), std::move(b),
+                           ClusterAssigner::train(clusters, config)};
+  }
+};
+
+TEST(Assigner, RoutesSessionsToTheirCluster) {
+  auto fixture = AssignerFixture::make();
+  EXPECT_EQ(fixture.assigner.cluster_count(), 2u);
+  const std::vector<int> like_a = {0, 1, 2, 0, 1};
+  const std::vector<int> like_b = {5, 6, 7, 5, 6};
+  EXPECT_EQ(fixture.assigner.assign(like_a), 0u);
+  EXPECT_EQ(fixture.assigner.assign(like_b), 1u);
+}
+
+TEST(Assigner, ScoresOrderedCorrectly) {
+  auto fixture = AssignerFixture::make();
+  const std::vector<int> like_a = {1, 2, 0, 1};
+  const auto scores = fixture.assigner.scores(like_a);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+TEST(Assigner, OnlineVotingFreezesEarlyCluster) {
+  auto fixture = AssignerFixture::make();
+  auto online = fixture.assigner.start_online();
+  // 15 actions of cluster A, then a long tail of cluster B actions: the
+  // vote must stay with A, while the per-step argmax flips to B.
+  for (int i = 0; i < 15; ++i) online.push(i % 3);
+  EXPECT_EQ(online.voted_cluster(), 0u);
+  for (int i = 0; i < 40; ++i) online.push(5 + i % 3);
+  EXPECT_EQ(online.voted_cluster(), 0u);       // frozen by the first-15 vote
+  EXPECT_EQ(online.current_argmax(), 1u);      // per-step view has flipped
+}
+
+TEST(Assigner, OnlineResetClearsVotes) {
+  auto fixture = AssignerFixture::make();
+  auto online = fixture.assigner.start_online();
+  for (int i = 0; i < 10; ++i) online.push(i % 3);
+  online.reset();
+  EXPECT_EQ(online.steps(), 0u);
+  for (int i = 0; i < 10; ++i) online.push(5 + i % 3);
+  EXPECT_EQ(online.voted_cluster(), 1u);
+}
+
+TEST(Assigner, SaveLoadRoundTripsScores) {
+  auto fixture = AssignerFixture::make();
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  fixture.assigner.save(w);
+  BinaryReader r(buf);
+  const ClusterAssigner loaded = ClusterAssigner::load(r);
+  const std::vector<int> probe = {0, 5, 1, 6, 2};
+  const auto a = fixture.assigner.scores(probe);
+  const auto b = loaded.scores(probe);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  EXPECT_EQ(loaded.config().vote_actions, fixture.assigner.config().vote_actions);
+}
+
+}  // namespace
+}  // namespace misuse::cluster

@@ -1,0 +1,80 @@
+#include "nn/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace misuse::nn {
+namespace {
+
+TEST(Embedding, LookupSelectsRows) {
+  Rng rng(1);
+  Embedding e(5, 3, rng);
+  Matrix out;
+  e.lookup({2, 0, 2}, out);
+  ASSERT_EQ(out.rows(), 3u);
+  ASSERT_EQ(out.cols(), 3u);
+  // Row 0 and row 2 are the same token's embedding.
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(out(0, j), out(2, j));
+  }
+  // Different tokens give (almost surely) different rows.
+  bool differs = false;
+  for (std::size_t j = 0; j < 3; ++j) differs |= (out(0, j) != out(1, j));
+  EXPECT_TRUE(differs);
+}
+
+TEST(Embedding, PaddingMapsToZero) {
+  Rng rng(2);
+  Embedding e(4, 3, rng);
+  Matrix out;
+  e.lookup({-1, 1}, out);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(out(0, j), 0.0f);
+}
+
+TEST(Embedding, LookupRowMatchesBatchLookup) {
+  Rng rng(3);
+  Embedding e(6, 4, rng);
+  Matrix batch, single;
+  e.lookup({3}, batch);
+  e.lookup_row(3, single);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(batch(0, j), single(0, j));
+}
+
+TEST(Embedding, BackwardAccumulatesIntoTokenRows) {
+  Rng rng(4);
+  Embedding e(4, 2, rng);
+  zero_grads(e.params());
+  Matrix d_out(3, 2);
+  d_out(0, 0) = 1.0f;
+  d_out(1, 0) = 10.0f;  // padding row: must be dropped
+  d_out(2, 1) = 2.0f;
+  e.backward({1, -1, 1}, d_out);
+  const Matrix& grad = e.params()[0]->grad;
+  EXPECT_EQ(grad(1, 0), 1.0f);
+  EXPECT_EQ(grad(1, 1), 2.0f);
+  for (std::size_t r = 0; r < 4; ++r) {
+    if (r == 1) continue;
+    EXPECT_EQ(grad(r, 0), 0.0f);
+    EXPECT_EQ(grad(r, 1), 0.0f);
+  }
+}
+
+TEST(Embedding, SaveLoadRoundTrip) {
+  Rng rng(5);
+  Embedding e(7, 3, rng);
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  e.save(w);
+  BinaryReader r(buf);
+  const Embedding loaded = Embedding::load(r);
+  EXPECT_EQ(loaded.vocab(), 7u);
+  EXPECT_EQ(loaded.dim(), 3u);
+  Matrix a, b;
+  e.lookup({4}, a);
+  loaded.lookup({4}, b);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace misuse::nn

@@ -1,0 +1,130 @@
+#include "topics/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace misuse::topics {
+namespace {
+
+std::vector<std::vector<int>> three_group_corpus(std::size_t per_group, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int>> docs;
+  for (std::size_t g = 0; g < 3; ++g) {
+    for (std::size_t d = 0; d < per_group; ++d) {
+      std::vector<int> doc;
+      const std::size_t len = 8 + rng.uniform_index(8);
+      for (std::size_t i = 0; i < len; ++i) {
+        doc.push_back(static_cast<int>(g * 4 + rng.uniform_index(4)));
+      }
+      docs.push_back(std::move(doc));
+    }
+  }
+  return docs;
+}
+
+EnsembleConfig small_config() {
+  EnsembleConfig config;
+  config.topic_counts = {3, 5};
+  config.runs_per_count = 2;
+  config.iterations = 40;
+  config.seed = 11;
+  return config;
+}
+
+TEST(Ensemble, PoolsTopicsAcrossRuns) {
+  const auto docs = three_group_corpus(20, 1);
+  const auto ensemble = LdaEnsemble::fit(docs, 12, small_config());
+  EXPECT_EQ(ensemble.runs().size(), 4u);           // 2 counts x 2 runs
+  EXPECT_EQ(ensemble.topic_count(), 3u + 3 + 5 + 5);
+  EXPECT_EQ(ensemble.vocab(), 12u);
+  EXPECT_EQ(ensemble.documents(), docs.size());
+}
+
+TEST(Ensemble, RefsPointIntoOwningRuns) {
+  const auto docs = three_group_corpus(15, 2);
+  const auto ensemble = LdaEnsemble::fit(docs, 12, small_config());
+  for (std::size_t t = 0; t < ensemble.topic_count(); ++t) {
+    const TopicRef& ref = ensemble.ref(t);
+    ASSERT_LT(ref.run, ensemble.runs().size());
+    ASSERT_LT(ref.topic_in_run, ensemble.runs()[ref.run].topics);
+    const auto dist = ensemble.topic_distribution(t);
+    ASSERT_EQ(dist.size(), 12u);
+    double sum = 0.0;
+    for (float p : dist) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(Ensemble, RunsDifferBySeed) {
+  const auto docs = three_group_corpus(15, 3);
+  EnsembleConfig config = small_config();
+  config.topic_counts = {3};
+  config.runs_per_count = 2;
+  const auto ensemble = LdaEnsemble::fit(docs, 12, config);
+  // Two runs with identical K but different seeds should not be
+  // bit-identical.
+  EXPECT_FALSE(ensemble.runs()[0].topic_action == ensemble.runs()[1].topic_action);
+}
+
+TEST(Ensemble, PairwiseSimilarityIsSymmetricWithUnitDiagonal) {
+  const auto docs = three_group_corpus(15, 4);
+  const auto ensemble = LdaEnsemble::fit(docs, 12, small_config());
+  const Matrix sim = ensemble.pairwise_similarity();
+  ASSERT_EQ(sim.rows(), ensemble.topic_count());
+  for (std::size_t i = 0; i < sim.rows(); ++i) {
+    EXPECT_FLOAT_EQ(sim(i, i), 1.0f);
+    for (std::size_t j = 0; j < sim.cols(); ++j) {
+      EXPECT_FLOAT_EQ(sim(i, j), sim(j, i));
+      EXPECT_GE(sim(i, j), 0.0f);
+      EXPECT_LE(sim(i, j), 1.0f + 1e-5f);
+    }
+  }
+}
+
+TEST(Ensemble, DocumentWeightsComeFromOwningRun) {
+  const auto docs = three_group_corpus(10, 5);
+  const auto ensemble = LdaEnsemble::fit(docs, 12, small_config());
+  for (std::size_t t = 0; t < ensemble.topic_count(); ++t) {
+    const TopicRef& ref = ensemble.ref(t);
+    for (std::size_t d = 0; d < docs.size(); ++d) {
+      EXPECT_FLOAT_EQ(ensemble.document_weight(t, d),
+                      ensemble.runs()[ref.run].doc_topic(d, ref.topic_in_run));
+    }
+  }
+}
+
+TEST(Ensemble, AssignDocumentsCoversSelection) {
+  const auto docs = three_group_corpus(20, 6);
+  const auto ensemble = LdaEnsemble::fit(docs, 12, small_config());
+  const std::vector<std::size_t> selection = {0, 3, 7};
+  const auto assignment = ensemble.assign_documents(selection);
+  ASSERT_EQ(assignment.size(), docs.size());
+  for (std::size_t a : assignment) EXPECT_LT(a, selection.size());
+}
+
+TEST(Ensemble, AssignmentPicksMaxWeightTopic) {
+  const auto docs = three_group_corpus(10, 7);
+  const auto ensemble = LdaEnsemble::fit(docs, 12, small_config());
+  const std::vector<std::size_t> selection = {1, 4, 9};
+  const auto assignment = ensemble.assign_documents(selection);
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    const float chosen = ensemble.document_weight(selection[assignment[d]], d);
+    for (std::size_t s : selection) {
+      EXPECT_LE(ensemble.document_weight(s, d), chosen + 1e-6f);
+    }
+  }
+}
+
+TEST(Ensemble, MedoidMatchesOwningRun) {
+  const auto docs = three_group_corpus(12, 8);
+  const auto ensemble = LdaEnsemble::fit(docs, 12, small_config());
+  for (std::size_t t = 0; t < ensemble.topic_count(); t += 3) {
+    const TopicRef& ref = ensemble.ref(t);
+    EXPECT_EQ(ensemble.medoid_document(t),
+              ensemble.runs()[ref.run].medoid_document(ref.topic_in_run));
+  }
+}
+
+}  // namespace
+}  // namespace misuse::topics

@@ -1,0 +1,204 @@
+#include "nn/gru.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/grad_check.hpp"
+#include "nn/next_action_model.hpp"
+
+namespace misuse::nn {
+namespace {
+
+std::vector<std::vector<int>> make_tokens(std::initializer_list<std::initializer_list<int>> rows) {
+  std::vector<std::vector<int>> out;
+  for (const auto& r : rows) out.emplace_back(r);
+  return out;
+}
+
+TEST(Gru, ForwardShapes) {
+  Rng rng(1);
+  Gru gru(5, 3, rng);
+  gru.forward(make_tokens({{0, 1}, {2, 3}, {4, 0}}));
+  EXPECT_EQ(gru.steps(), 3u);
+  EXPECT_EQ(gru.batch(), 2u);
+  EXPECT_EQ(gru.hidden_at(0).rows(), 2u);
+  EXPECT_EQ(gru.hidden_at(0).cols(), 3u);
+}
+
+TEST(Gru, HiddenOutputsBoundedByTanh) {
+  Rng rng(2);
+  Gru gru(8, 16, rng);
+  std::vector<std::vector<int>> tokens(60, std::vector<int>{3});
+  gru.forward(tokens);
+  // h is a convex combination of tanh candidates => |h| <= 1.
+  for (std::size_t t = 0; t < gru.steps(); ++t) {
+    for (float v : gru.hidden_at(t).flat()) {
+      ASSERT_LE(std::abs(v), 1.0f + 1e-6f);
+      ASSERT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(Gru, StreamingStepMatchesBatchedForward) {
+  Rng rng(3);
+  Gru gru(7, 9, rng);
+  const std::vector<int> sequence = {1, 4, 2, 6, 0, 3};
+  std::vector<std::vector<int>> tokens;
+  for (int a : sequence) tokens.push_back({a});
+  gru.forward(tokens);
+  LstmState state(1, 9);
+  for (std::size_t t = 0; t < sequence.size(); ++t) {
+    gru.step({sequence[t]}, state);
+    for (std::size_t j = 0; j < 9; ++j) {
+      ASSERT_NEAR(state.h(0, j), gru.hidden_at(t)(0, j), 1e-6f) << "t=" << t;
+    }
+  }
+}
+
+TEST(Gru, DenseForwardMatchesTokenForwardOnOneHot) {
+  // Feeding explicit one-hot rows through the dense path must equal the
+  // token path.
+  Rng rng(4);
+  Gru gru(4, 5, rng);
+  const std::vector<int> sequence = {2, 0, 3, 1};
+  std::vector<std::vector<int>> tokens;
+  std::vector<Matrix> onehot;
+  for (int a : sequence) {
+    tokens.push_back({a});
+    Matrix x(1, 4);
+    x(0, static_cast<std::size_t>(a)) = 1.0f;
+    onehot.push_back(std::move(x));
+  }
+  gru.forward(tokens);
+  std::vector<Matrix> h_token;
+  for (std::size_t t = 0; t < 4; ++t) h_token.push_back(gru.hidden_at(t));
+  gru.forward_dense(onehot);
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(h_token[t](0, j), gru.hidden_at(t)(0, j), 1e-6f);
+    }
+  }
+}
+
+TEST(Gru, BackwardProducesFiniteNonzeroGrads) {
+  Rng rng(5);
+  Gru gru(6, 5, rng);
+  gru.forward(make_tokens({{0, 1}, {2, 3}, {4, 5}}));
+  std::vector<Matrix> d_hidden(3, Matrix(2, 5, 0.1f));
+  zero_grads(gru.params());
+  gru.backward(d_hidden);
+  for (auto* p : gru.params()) {
+    float abs_sum = 0.0f;
+    for (float g : p->grad.flat()) {
+      ASSERT_TRUE(std::isfinite(g));
+      abs_sum += std::abs(g);
+    }
+    EXPECT_GT(abs_sum, 0.0f) << p->name;
+  }
+}
+
+TEST(Gru, SaveLoadPreservesBehavior) {
+  Rng rng(6);
+  Gru gru(6, 7, rng);
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  gru.save(w);
+  BinaryReader r(buf);
+  Gru loaded = Gru::load(r);
+  const auto tokens = make_tokens({{2}, {5}, {1}});
+  gru.forward(tokens);
+  loaded.forward(tokens);
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_TRUE(gru.hidden_at(t) == loaded.hidden_at(t));
+  }
+}
+
+// Full-model gradient checks with the GRU cell.
+GradCheckReport check_gru_model(std::size_t vocab, std::size_t hidden, std::size_t t_steps,
+                                std::size_t batch, std::size_t layers, std::uint64_t seed) {
+  Rng rng(seed);
+  ModelConfig config{.vocab = vocab,
+                     .hidden = hidden,
+                     .layers = layers,
+                     .cell = CellKind::kGru,
+                     .dropout = 0.0f};
+  NextActionModel model(config, rng);
+  SequenceBatch data;
+  data.tokens.resize(t_steps);
+  data.targets.resize(t_steps);
+  for (std::size_t t = 0; t < t_steps; ++t) {
+    data.tokens[t].resize(batch);
+    data.targets[t].resize(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      data.tokens[t][b] = static_cast<int>(rng.uniform_index(vocab));
+      data.targets[t][b] = static_cast<int>(rng.uniform_index(vocab));
+    }
+  }
+  Sgd noop(1e-12f);
+  Rng dropout_rng(1);
+  model.train_batch(data, noop, dropout_rng, 0.0f);
+  const auto loss = [&]() { return model.evaluate(data).mean_loss(); };
+  Rng check_rng(seed + 1);
+  GradCheckOptions options;
+  options.samples_per_param = 16;
+  return check_gradients(model.params(), loss, check_rng, options);
+}
+
+TEST(Gru, GradientCheckSingleLayer) {
+  const auto report = check_gru_model(5, 4, 6, 3, 1, 900);
+  EXPECT_TRUE(report.ok()) << report.worst_coordinate;
+}
+
+TEST(Gru, GradientCheckStacked) {
+  const auto report = check_gru_model(4, 3, 5, 2, 2, 901);
+  EXPECT_TRUE(report.ok()) << report.worst_coordinate;
+}
+
+TEST(Gru, ModelLearnsDeterministicCycle) {
+  Rng rng(7);
+  ModelConfig config{.vocab = 5, .hidden = 16, .cell = CellKind::kGru, .dropout = 0.0f};
+  NextActionModel model(config, rng);
+  Adam adam(0.01f);
+  SequenceBatch batch;
+  const std::size_t t_steps = 10, bsz = 5;
+  batch.tokens.resize(t_steps);
+  batch.targets.resize(t_steps);
+  for (std::size_t t = 0; t < t_steps; ++t) {
+    for (std::size_t i = 0; i < bsz; ++i) {
+      const int cur = static_cast<int>((t + i) % 5);
+      batch.tokens[t].push_back(cur);
+      batch.targets[t].push_back((cur + 1) % 5);
+    }
+  }
+  for (int epoch = 0; epoch < 200; ++epoch) model.train_batch(batch, adam, rng);
+  EXPECT_GT(model.evaluate(batch).accuracy(), 0.95);
+}
+
+TEST(Gru, ModelSaveLoadRoundTrip) {
+  Rng rng(8);
+  ModelConfig config{.vocab = 8, .hidden = 6, .cell = CellKind::kGru, .dropout = 0.2f};
+  NextActionModel model(config, rng);
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  model.save(w);
+  BinaryReader r(buf);
+  NextActionModel loaded = NextActionModel::load(r);
+  EXPECT_EQ(loaded.config().cell, CellKind::kGru);
+  const std::vector<int> session = {1, 7, 3, 0, 5};
+  const auto a = model.score_session(session);
+  const auto b = loaded.score_session(session);
+  ASSERT_EQ(a.likelihoods.size(), b.likelihoods.size());
+  for (std::size_t i = 0; i < a.likelihoods.size(); ++i) {
+    EXPECT_EQ(a.likelihoods[i], b.likelihoods[i]);
+  }
+}
+
+TEST(Gru, CellKindNames) {
+  EXPECT_STREQ(cell_kind_name(CellKind::kLstm), "lstm");
+  EXPECT_STREQ(cell_kind_name(CellKind::kGru), "gru");
+}
+
+}  // namespace
+}  // namespace misuse::nn

@@ -1,0 +1,121 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace misuse {
+namespace {
+
+TEST(Json, EmptyObject) {
+  std::ostringstream out;
+  {
+    JsonWriter j(out);
+    j.begin_object();
+    j.end_object();
+  }
+  EXPECT_EQ(out.str(), "{}");
+}
+
+TEST(Json, SimpleMembers) {
+  std::ostringstream out;
+  {
+    JsonWriter j(out);
+    j.begin_object();
+    j.member("name", "topic-1");
+    j.member("count", 42);
+    j.member("weight", 0.5);
+    j.member("active", true);
+    j.end_object();
+  }
+  EXPECT_EQ(out.str(), R"({"name":"topic-1","count":42,"weight":0.5,"active":true})");
+}
+
+TEST(Json, NestedArrays) {
+  std::ostringstream out;
+  {
+    JsonWriter j(out);
+    j.begin_array();
+    j.begin_array();
+    j.value(1);
+    j.value(2);
+    j.end_array();
+    j.begin_array();
+    j.end_array();
+    j.end_array();
+  }
+  EXPECT_EQ(out.str(), "[[1,2],[]]");
+}
+
+TEST(Json, ObjectInsideArray) {
+  std::ostringstream out;
+  {
+    JsonWriter j(out);
+    j.begin_array();
+    j.begin_object();
+    j.member("x", 1);
+    j.end_object();
+    j.begin_object();
+    j.member("x", 2);
+    j.end_object();
+    j.end_array();
+  }
+  EXPECT_EQ(out.str(), R"([{"x":1},{"x":2}])");
+}
+
+TEST(Json, StringEscaping) {
+  std::ostringstream out;
+  {
+    JsonWriter j(out);
+    j.value("a\"b\\c\nd\te");
+  }
+  EXPECT_EQ(out.str(), R"("a\"b\\c\nd\te")");
+}
+
+TEST(Json, ControlCharacterEscaping) {
+  std::ostringstream out;
+  {
+    JsonWriter j(out);
+    j.value(std::string_view("\x01", 1));
+  }
+  EXPECT_EQ(out.str(), "\"\\u0001\"");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  std::ostringstream out;
+  {
+    JsonWriter j(out);
+    j.begin_array();
+    j.value(std::nan(""));
+    j.value(1.5);
+    j.end_array();
+  }
+  EXPECT_EQ(out.str(), "[null,1.5]");
+}
+
+TEST(Json, NullValue) {
+  std::ostringstream out;
+  {
+    JsonWriter j(out);
+    j.begin_object();
+    j.key("missing");
+    j.null();
+    j.end_object();
+  }
+  EXPECT_EQ(out.str(), R"({"missing":null})");
+}
+
+TEST(Json, NumberArrayHelper) {
+  std::ostringstream out;
+  {
+    JsonWriter j(out);
+    j.begin_object();
+    j.number_array("xs", {1.0, 2.5, 3.0});
+    j.end_object();
+  }
+  EXPECT_EQ(out.str(), R"({"xs":[1,2.5,3]})");
+}
+
+}  // namespace
+}  // namespace misuse

@@ -1,0 +1,194 @@
+#include "lm/language_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "synth/archetype.hpp"
+
+namespace misuse::lm {
+namespace {
+
+// Sessions from a tight workflow grammar: learnable but not trivial.
+std::vector<std::vector<int>> grammar_sessions(std::size_t count, std::uint64_t seed) {
+  synth::ArchetypeConfig ac;
+  ac.name = "grammar";
+  ac.pool = {0, 1, 2, 3, 4, 5, 6, 7};
+  ac.workflow_size = 6;
+  ac.advance_prob = 0.7;
+  ac.repeat_prob = 0.1;
+  ac.restart_prob = 0.1;
+  ac.common_prob = 0.1;
+  ac.log_len_mu = 2.5;
+  ac.log_len_sigma = 0.5;
+  const synth::BehaviorArchetype arch(std::move(ac));
+  Rng rng(seed);
+  std::vector<std::vector<int>> out;
+  for (std::size_t i = 0; i < count; ++i) out.push_back(arch.generate(rng));
+  return out;
+}
+
+std::vector<std::span<const int>> views(const std::vector<std::vector<int>>& sessions) {
+  return {sessions.begin(), sessions.end()};
+}
+
+LmConfig quick_config() {
+  LmConfig config;
+  config.vocab = 8;
+  config.hidden = 16;
+  config.dropout = 0.1f;
+  config.learning_rate = 0.01f;
+  config.epochs = 10;
+  config.patience = 0;
+  config.batching.window = 32;
+  config.batching.batch_size = 8;
+  config.seed = 3;
+  return config;
+}
+
+TEST(LanguageModel, FitImprovesOverEpochs) {
+  const auto train = grammar_sessions(150, 1);
+  const auto valid = grammar_sessions(40, 2);
+  ActionLanguageModel model(quick_config());
+  const auto history = model.fit(views(train), views(valid));
+  ASSERT_GE(history.size(), 2u);
+  EXPECT_LT(history.back().train_loss, history.front().train_loss);
+  EXPECT_GT(history.back().valid_accuracy, 0.3);  // grammar is predictable
+  EXPECT_LT(history.back().valid_loss, std::log(8.0));
+}
+
+TEST(LanguageModel, EvaluateCountsEveryPredictablePosition) {
+  const auto sessions = grammar_sessions(30, 3);
+  ActionLanguageModel model(quick_config());
+  const auto stats = model.evaluate(views(sessions));
+  std::size_t expected = 0;
+  for (const auto& s : sessions) {
+    expected += std::min(s.size(), std::size_t{32}) - 1;
+  }
+  EXPECT_EQ(stats.predictions, expected);
+}
+
+TEST(LanguageModel, EarlyStoppingHaltsTraining) {
+  const auto train = grammar_sessions(60, 4);
+  const auto valid = grammar_sessions(20, 5);
+  LmConfig config = quick_config();
+  config.epochs = 60;
+  config.patience = 2;
+  ActionLanguageModel model(config);
+  const auto history = model.fit(views(train), views(valid));
+  EXPECT_LT(history.size(), 50u);  // must stop before the epoch cap
+}
+
+TEST(LanguageModel, RestoreBestKeepsBestValidationLoss) {
+  const auto train = grammar_sessions(60, 21);
+  const auto valid = grammar_sessions(20, 22);
+  LmConfig config = quick_config();
+  config.epochs = 25;
+  config.patience = 0;  // run to the end so overfitting can happen
+  config.restore_best = true;
+  ActionLanguageModel model(config);
+  const auto history = model.fit(views(train), views(valid));
+  double best = history.front().valid_loss;
+  for (const auto& e : history) best = std::min(best, e.valid_loss);
+  // Evaluation after fit must match the best epoch, not the last one.
+  const auto final_eval = model.evaluate(views(valid));
+  EXPECT_NEAR(final_eval.loss, best, 1e-6);
+}
+
+TEST(LanguageModel, StackedLayersTrainEndToEnd) {
+  const auto train = grammar_sessions(100, 23);
+  LmConfig config = quick_config();
+  config.layers = 2;
+  config.epochs = 8;
+  ActionLanguageModel model(config);
+  const double before = model.evaluate(views(train)).loss;
+  model.fit(views(train), {});
+  EXPECT_LT(model.evaluate(views(train)).loss, before);
+}
+
+TEST(LanguageModel, WindowedAndFullSequenceBothLearn) {
+  const auto train = grammar_sessions(80, 6);
+  for (const auto mode : {BatchingMode::kWindowed, BatchingMode::kFullSequence}) {
+    LmConfig config = quick_config();
+    config.batching.mode = mode;
+    config.batching.window = 12;
+    config.epochs = 4;
+    ActionLanguageModel model(config);
+    const auto before = model.evaluate(views(train)).loss;
+    model.fit(views(train), {});
+    const auto after = model.evaluate(views(train)).loss;
+    EXPECT_LT(after, before) << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(LanguageModel, ScoreSessionMatchesEvaluateLoss) {
+  const auto sessions = grammar_sessions(20, 7);
+  ActionLanguageModel model(quick_config());
+  // Average of per-session mean losses vs evaluate's per-position mean
+  // won't match exactly (different weighting), but the per-position sums
+  // must: compare on a single session.
+  const auto& s = sessions[0];
+  ASSERT_GE(s.size(), 2u);
+  const auto score = model.score_session(s);
+  std::vector<std::span<const int>> one = {std::span<const int>(s)};
+  const auto stats = model.evaluate(one);
+  const double score_total = score.avg_loss() * static_cast<double>(score.losses.size());
+  const double eval_total = stats.loss * static_cast<double>(stats.predictions);
+  if (s.size() <= 32) {
+    EXPECT_EQ(score.losses.size(), stats.predictions);
+    EXPECT_NEAR(score_total, eval_total, 1e-3 * eval_total + 1e-6);
+  }
+}
+
+TEST(LanguageModel, SaveLoadRoundTripsScores) {
+  const auto train = grammar_sessions(40, 8);
+  ActionLanguageModel model(quick_config());
+  model.fit(views(train), {});
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  model.save(w);
+  BinaryReader r(buf);
+  ActionLanguageModel loaded = ActionLanguageModel::load(r);
+
+  const std::vector<int> probe = {0, 1, 2, 3, 4, 5};
+  const auto a = model.score_session(probe);
+  const auto b = loaded.score_session(probe);
+  ASSERT_EQ(a.likelihoods.size(), b.likelihoods.size());
+  for (std::size_t i = 0; i < a.likelihoods.size(); ++i) {
+    EXPECT_EQ(a.likelihoods[i], b.likelihoods[i]);
+  }
+  EXPECT_EQ(loaded.config().hidden, model.config().hidden);
+  EXPECT_EQ(loaded.config().batching.window, model.config().batching.window);
+}
+
+TEST(LanguageModel, GrammarScoresAboveRandomSessions) {
+  const auto train = grammar_sessions(200, 9);
+  LmConfig config = quick_config();
+  config.epochs = 20;
+  ActionLanguageModel model(config);
+  model.fit(views(train), {});
+
+  Rng rng(10);
+  double grammar_like = 0.0, random_like = 0.0;
+  const auto probes = grammar_sessions(30, 11);
+  for (const auto& s : probes) grammar_like += model.score_session(s).avg_likelihood();
+  for (int i = 0; i < 30; ++i) {
+    std::vector<int> random_session;
+    for (int j = 0; j < 12; ++j) random_session.push_back(static_cast<int>(rng.uniform_index(8)));
+    random_like += model.score_session(random_session).avg_likelihood();
+  }
+  EXPECT_GT(grammar_like / 30.0, random_like / 30.0 * 1.5);
+}
+
+TEST(LanguageModel, StreamingStepSumsToOne) {
+  ActionLanguageModel model(quick_config());
+  auto state = model.make_state();
+  const auto probs = model.step(state, 3);
+  double sum = 0.0;
+  for (float p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace misuse::lm

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/softmax_xent.hpp"
+#include "tensor/ops.hpp"
+
+namespace misuse::nn {
+namespace {
+
+TEST(Dense, ForwardKnownValues) {
+  Dense d(2, 2);
+  auto params = d.params();
+  params[0]->value = Matrix::from_rows(2, 2, {1, 2, 3, 4});  // W
+  params[1]->value = Matrix::from_rows(1, 2, {10, 20});      // b
+  const auto x = Matrix::from_rows(1, 2, {1, 1});
+  Matrix y;
+  d.infer(x, y);
+  EXPECT_FLOAT_EQ(y(0, 0), 14.0f);  // 1*1 + 1*3 + 10
+  EXPECT_FLOAT_EQ(y(0, 1), 26.0f);  // 1*2 + 1*4 + 20
+}
+
+TEST(Dense, ForwardAndInferAgree) {
+  Rng rng(1);
+  Dense d(5, 3, rng);
+  Matrix x(4, 5);
+  x.init_gaussian(rng, 1.0f);
+  Matrix y1, y2;
+  d.forward(x, y1);
+  d.infer(x, y2);
+  EXPECT_TRUE(y1 == y2);
+}
+
+TEST(Dense, BackwardGradientShapes) {
+  Rng rng(2);
+  Dense d(4, 6, rng);
+  Matrix x(3, 4);
+  x.init_gaussian(rng, 1.0f);
+  Matrix y;
+  d.forward(x, y);
+  Matrix dy(3, 6, 1.0f);
+  Matrix dx;
+  zero_grads(d.params());
+  d.backward(dy, dx);
+  EXPECT_EQ(dx.rows(), 3u);
+  EXPECT_EQ(dx.cols(), 4u);
+  EXPECT_EQ(d.params()[0]->grad.rows(), 4u);
+  EXPECT_EQ(d.params()[0]->grad.cols(), 6u);
+}
+
+TEST(Dense, BackwardMatchesFiniteDifference) {
+  Rng rng(3);
+  Dense d(3, 2, rng);
+  Matrix x(2, 3);
+  x.init_gaussian(rng, 1.0f);
+
+  // Scalar loss = sum(Y).
+  const auto loss = [&]() {
+    Matrix y;
+    d.infer(x, y);
+    double sum = 0.0;
+    for (float v : y.flat()) sum += v;
+    return sum;
+  };
+
+  Matrix y;
+  d.forward(x, y);
+  Matrix dy(2, 2, 1.0f);
+  Matrix dx;
+  zero_grads(d.params());
+  d.backward(dy, dx);
+
+  for (auto* p : d.params()) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const float orig = p->value.flat()[i];
+      const double eps = 1e-2;
+      p->value.flat()[i] = orig + static_cast<float>(eps);
+      const double plus = loss();
+      p->value.flat()[i] = orig - static_cast<float>(eps);
+      const double minus = loss();
+      p->value.flat()[i] = orig;
+      const double numeric = (plus - minus) / (2 * eps);
+      ASSERT_NEAR(p->grad.flat()[i], numeric, 5e-2) << p->name << "[" << i << "]";
+    }
+  }
+}
+
+TEST(Dense, SaveLoadRoundTrip) {
+  Rng rng(4);
+  Dense d(3, 5, rng);
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  d.save(w);
+  BinaryReader r(buf);
+  Dense loaded = Dense::load(r);
+  Matrix x(2, 3);
+  x.init_gaussian(rng, 1.0f);
+  Matrix y1, y2;
+  d.infer(x, y1);
+  loaded.infer(x, y2);
+  EXPECT_TRUE(y1 == y2);
+}
+
+TEST(Dropout, ZeroRateIsIdentity) {
+  Rng rng(5);
+  Dropout drop(0.0f);
+  Matrix x(3, 3, 2.0f);
+  Matrix before = x;
+  drop.forward_train(x, rng);
+  EXPECT_TRUE(x == before);
+}
+
+TEST(Dropout, MaskZeroesApproximatelyRateFraction) {
+  Rng rng(6);
+  Dropout drop(0.4f);
+  Matrix x(100, 100, 1.0f);
+  drop.forward_train(x, rng);
+  std::size_t zeros = 0;
+  for (float v : x.flat()) {
+    if (v == 0.0f) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(x.size()), 0.4, 0.02);
+}
+
+TEST(Dropout, InvertedScalingPreservesExpectation) {
+  Rng rng(7);
+  Dropout drop(0.4f);
+  Matrix x(200, 200, 1.0f);
+  drop.forward_train(x, rng);
+  double sum = 0.0;
+  for (float v : x.flat()) sum += v;
+  EXPECT_NEAR(sum / static_cast<double>(x.size()), 1.0, 0.02);
+}
+
+TEST(Dropout, KeptValuesScaledByInverseKeep) {
+  Rng rng(8);
+  Dropout drop(0.5f);
+  Matrix x(10, 10, 3.0f);
+  drop.forward_train(x, rng);
+  for (float v : x.flat()) {
+    EXPECT_TRUE(v == 0.0f || std::abs(v - 6.0f) < 1e-5f);
+  }
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Rng rng(9);
+  Dropout drop(0.5f);
+  Matrix x(20, 20, 1.0f);
+  drop.forward_train(x, rng);
+  Matrix dx(20, 20, 1.0f);
+  drop.backward(dx);
+  // Gradient must be zero exactly where activation was zeroed.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(x.flat()[i] == 0.0f, dx.flat()[i] == 0.0f);
+  }
+}
+
+TEST(SoftmaxXent, LossOfUniformLogitsIsLogD) {
+  Matrix logits(1, 8, 0.0f);
+  const std::vector<int> targets = {3};
+  const XentResult res = softmax_xent_eval(logits, targets);
+  EXPECT_NEAR(res.mean_loss(), std::log(8.0), 1e-6);
+}
+
+TEST(SoftmaxXent, PerfectPredictionLowLoss) {
+  Matrix logits(1, 4, 0.0f);
+  logits(0, 2) = 100.0f;
+  const std::vector<int> targets = {2};
+  const XentResult res = softmax_xent_eval(logits, targets);
+  EXPECT_LT(res.mean_loss(), 1e-6);
+  EXPECT_EQ(res.correct, 1u);
+}
+
+TEST(SoftmaxXent, AccuracyCountsArgmaxHits) {
+  Matrix logits(3, 2, 0.0f);
+  logits(0, 0) = 1.0f;  // predicts 0
+  logits(1, 1) = 1.0f;  // predicts 1
+  logits(2, 0) = 1.0f;  // predicts 0
+  const std::vector<int> targets = {0, 1, 1};
+  const XentResult res = softmax_xent_eval(logits, targets);
+  EXPECT_EQ(res.correct, 2u);
+  EXPECT_NEAR(res.accuracy(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(SoftmaxXent, GradientIsProbMinusOnehotOverN) {
+  Matrix logits = Matrix::from_rows(2, 3, {1, 2, 3, 0, 0, 0});
+  const std::vector<int> targets = {2, 0};
+  Matrix d_logits;
+  softmax_xent_backward(logits, targets, d_logits);
+
+  Matrix probs = logits;
+  softmax_rows(probs);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const float expected =
+          (probs(r, j) - (static_cast<int>(j) == targets[r] ? 1.0f : 0.0f)) / 2.0f;
+      EXPECT_NEAR(d_logits(r, j), expected, 1e-6f);
+    }
+  }
+}
+
+TEST(SoftmaxXent, GradientRowsSumToZero) {
+  Rng rng(10);
+  Matrix logits(5, 7);
+  logits.init_gaussian(rng, 2.0f);
+  const std::vector<int> targets = {0, 1, 2, 3, 4};
+  Matrix d_logits;
+  softmax_xent_backward(logits, targets, d_logits);
+  for (std::size_t r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    for (float v : d_logits.row(r)) sum += v;
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxXent, BackwardAndEvalAgreeOnLoss) {
+  Rng rng(11);
+  Matrix logits(6, 9);
+  logits.init_gaussian(rng, 1.5f);
+  std::vector<int> targets;
+  for (int i = 0; i < 6; ++i) targets.push_back(static_cast<int>(rng.uniform_index(9)));
+  Matrix d_logits;
+  const XentResult a = softmax_xent_backward(logits, targets, d_logits);
+  const XentResult b = softmax_xent_eval(logits, targets);
+  EXPECT_NEAR(a.total_loss, b.total_loss, 1e-9);
+  EXPECT_EQ(a.correct, b.correct);
+}
+
+TEST(SoftmaxXent, TargetProbabilitiesMatchSoftmax) {
+  Matrix logits = Matrix::from_rows(1, 3, {0.0f, 1.0f, 2.0f});
+  const std::vector<int> targets = {1};
+  const auto probs = target_probabilities(logits, targets);
+  Matrix sm = logits;
+  softmax_rows(sm);
+  ASSERT_EQ(probs.size(), 1u);
+  EXPECT_NEAR(probs[0], sm(0, 1), 1e-6);
+}
+
+}  // namespace
+}  // namespace misuse::nn

@@ -1,0 +1,56 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace misuse {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Logging, SetAndGetLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST(Logging, ParseNamesCaseInsensitive) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+}
+
+TEST(Logging, UnknownNameDefaultsToInfo) {
+  EXPECT_EQ(parse_log_level("verbose"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kInfo);
+}
+
+TEST(Logging, SuppressedMessagesDoNotEvaluateSideEffectsLazily) {
+  // The stream forms are built regardless, but emission respects the
+  // level: this test just exercises the paths for coverage/sanity.
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  log_debug() << "invisible " << 1;
+  log_info() << "invisible " << 2;
+  log_warn() << "invisible " << 3;
+  log_error() << "invisible " << 4;
+  set_log_level(LogLevel::kError);
+  log_error() << "visible on stderr during tests is acceptable";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace misuse

@@ -1,0 +1,131 @@
+#include "lm/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace misuse::lm {
+namespace {
+
+std::vector<std::span<const int>> views(const std::vector<std::vector<int>>& sessions) {
+  return {sessions.begin(), sessions.end()};
+}
+
+TEST(Markov, UntrainedIsUniform) {
+  MarkovChainModel model({.vocab = 4, .smoothing = 1.0});
+  for (int cur = -1; cur < 4; ++cur) {
+    for (int next = 0; next < 4; ++next) {
+      EXPECT_NEAR(model.transition_probability(cur, next), 0.25, 1e-12);
+    }
+  }
+}
+
+TEST(Markov, LearnsDeterministicCycle) {
+  std::vector<std::vector<int>> sessions(10, {0, 1, 2, 3, 0, 1, 2, 3});
+  MarkovChainModel model({.vocab = 4, .smoothing = 0.01});
+  model.fit(views(sessions));
+  EXPECT_GT(model.transition_probability(0, 1), 0.99);
+  EXPECT_GT(model.transition_probability(3, 0), 0.99);
+  EXPECT_LT(model.transition_probability(0, 2), 0.01);
+  EXPECT_EQ(model.most_likely_next(0), 1);
+  EXPECT_EQ(model.most_likely_next(2), 3);
+}
+
+TEST(Markov, RowsSumToOne) {
+  Rng rng(1);
+  std::vector<std::vector<int>> sessions;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<int> s;
+    for (int j = 0; j < 10; ++j) s.push_back(static_cast<int>(rng.uniform_index(6)));
+    sessions.push_back(std::move(s));
+  }
+  MarkovChainModel model({.vocab = 6, .smoothing = 0.1});
+  model.fit(views(sessions));
+  for (int cur = -1; cur < 6; ++cur) {
+    double sum = 0.0;
+    for (int next = 0; next < 6; ++next) sum += model.transition_probability(cur, next);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "row " << cur;
+  }
+}
+
+TEST(Markov, InitialDistributionLearned) {
+  std::vector<std::vector<int>> sessions(8, {2, 0, 1});
+  MarkovChainModel model({.vocab = 3, .smoothing = 0.01});
+  model.fit(views(sessions));
+  EXPECT_GT(model.transition_probability(-1, 2), 0.99);
+  EXPECT_LT(model.transition_probability(-1, 0), 0.01);
+}
+
+TEST(Markov, ScoreSessionMatchesTransitions) {
+  std::vector<std::vector<int>> sessions(5, {0, 1, 0, 1});
+  MarkovChainModel model({.vocab = 2, .smoothing = 0.5});
+  model.fit(views(sessions));
+  const std::vector<int> probe = {0, 1, 0};
+  const auto score = model.score_session(probe);
+  ASSERT_EQ(score.likelihoods.size(), 2u);
+  EXPECT_NEAR(score.likelihoods[0], model.transition_probability(0, 1), 1e-12);
+  EXPECT_NEAR(score.likelihoods[1], model.transition_probability(1, 0), 1e-12);
+  EXPECT_NEAR(score.losses[0], -std::log(score.likelihoods[0]), 1e-12);
+  EXPECT_NEAR(score.accuracy, 1.0, 1e-12);
+}
+
+TEST(Markov, ShortSessionScoresEmpty) {
+  MarkovChainModel model({.vocab = 3, .smoothing = 0.1});
+  EXPECT_TRUE(model.score_session(std::vector<int>{1}).likelihoods.empty());
+  EXPECT_TRUE(model.score_session(std::vector<int>{}).likelihoods.empty());
+}
+
+TEST(Markov, EvaluateAggregates) {
+  std::vector<std::vector<int>> train(20, {0, 1, 2, 0, 1, 2});
+  MarkovChainModel model({.vocab = 3, .smoothing = 0.01});
+  model.fit(views(train));
+  std::vector<std::vector<int>> test = {{0, 1, 2}, {1, 2, 0}};
+  const auto stats = model.evaluate(views(test));
+  EXPECT_EQ(stats.predictions, 4u);
+  EXPECT_NEAR(stats.accuracy, 1.0, 1e-12);
+  EXPECT_LT(stats.loss, 0.1);
+}
+
+TEST(Markov, GrammarBeatsRandomSessions) {
+  Rng rng(2);
+  std::vector<std::vector<int>> train;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<int> s;
+    int cur = 0;
+    for (int j = 0; j < 12; ++j) {
+      s.push_back(cur);
+      cur = rng.bernoulli(0.8) ? (cur + 1) % 5 : static_cast<int>(rng.uniform_index(5));
+    }
+    train.push_back(std::move(s));
+  }
+  MarkovChainModel model({.vocab = 5, .smoothing = 0.1});
+  model.fit(views(train));
+  const std::vector<int> grammatical = {0, 1, 2, 3, 4, 0, 1};
+  std::vector<int> random_session;
+  for (int j = 0; j < 7; ++j) random_session.push_back(static_cast<int>(rng.uniform_index(5)));
+  EXPECT_GT(model.score_session(grammatical).avg_likelihood(),
+            model.score_session(random_session).avg_likelihood());
+}
+
+TEST(Markov, SaveLoadRoundTrip) {
+  std::vector<std::vector<int>> train(10, {0, 2, 1, 0, 2});
+  MarkovChainModel model({.vocab = 3, .smoothing = 0.2});
+  model.fit(views(train));
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  model.save(w);
+  BinaryReader r(buf);
+  const MarkovChainModel loaded = MarkovChainModel::load(r);
+  for (int cur = -1; cur < 3; ++cur) {
+    for (int next = 0; next < 3; ++next) {
+      EXPECT_DOUBLE_EQ(model.transition_probability(cur, next),
+                       loaded.transition_probability(cur, next));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace misuse::lm

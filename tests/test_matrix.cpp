@@ -1,0 +1,130 @@
+#include "tensor/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace misuse {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_EQ(m(1, 2), 1.5f);
+  m(0, 1) = 7.0f;
+  EXPECT_EQ(m(0, 1), 7.0f);
+}
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(Matrix, RowSpanViewsUnderlyingData) {
+  Matrix m(2, 2);
+  m(1, 0) = 3.0f;
+  auto row = m.row(1);
+  EXPECT_EQ(row[0], 3.0f);
+  row[1] = 4.0f;
+  EXPECT_EQ(m(1, 1), 4.0f);
+}
+
+TEST(Matrix, FromRowsChecksSize) {
+  const auto m = Matrix::from_rows(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m(0, 0), 1.0f);
+  EXPECT_EQ(m(1, 1), 4.0f);
+}
+
+TEST(Matrix, FillAndZero) {
+  Matrix m(3, 3, 2.0f);
+  m.zero();
+  for (float v : m.flat()) EXPECT_EQ(v, 0.0f);
+  m.fill(5.0f);
+  for (float v : m.flat()) EXPECT_EQ(v, 5.0f);
+}
+
+TEST(Matrix, ResizeDiscardsContents) {
+  Matrix m(2, 2, 9.0f);
+  m.resize(3, 1, 0.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 1u);
+  for (float v : m.flat()) EXPECT_EQ(v, 0.5f);
+}
+
+TEST(Matrix, TransposedSwapsIndices) {
+  auto m = Matrix::from_rows(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), t(c, r));
+  }
+}
+
+TEST(Matrix, InitUniformRespectsScale) {
+  Rng rng(1);
+  Matrix m(20, 20);
+  m.init_uniform(rng, 0.25f);
+  bool nonzero = false;
+  for (float v : m.flat()) {
+    EXPECT_LE(std::abs(v), 0.25f);
+    nonzero |= (v != 0.0f);
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(Matrix, InitXavierBoundsByFanInOut) {
+  Rng rng(2);
+  Matrix m(50, 50);
+  m.init_xavier(rng);
+  const float bound = std::sqrt(6.0f / 100.0f);
+  for (float v : m.flat()) EXPECT_LE(std::abs(v), bound);
+}
+
+TEST(Matrix, InitGaussianHasRoughlyRightSpread) {
+  Rng rng(3);
+  Matrix m(100, 100);
+  m.init_gaussian(rng, 2.0f);
+  double sum_sq = 0.0;
+  for (float v : m.flat()) sum_sq += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(sum_sq / static_cast<double>(m.size())), 2.0, 0.1);
+}
+
+TEST(Matrix, EqualityIsElementwise) {
+  auto a = Matrix::from_rows(1, 2, {1, 2});
+  auto b = Matrix::from_rows(1, 2, {1, 2});
+  auto c = Matrix::from_rows(2, 1, {1, 2});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  b(0, 1) = 9.0f;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Matrix, SaveLoadRoundTrip) {
+  Rng rng(4);
+  Matrix m(7, 5);
+  m.init_gaussian(rng, 1.0f);
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  m.save(w);
+  BinaryReader r(buf);
+  const Matrix loaded = Matrix::load(r);
+  EXPECT_TRUE(m == loaded);
+}
+
+TEST(Matrix, LoadRejectsCorruptShape) {
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  w.write<std::uint64_t>(2);
+  w.write<std::uint64_t>(2);
+  w.write_vector(std::vector<float>{1.0f});  // only 1 element for a 2x2
+  BinaryReader r(buf);
+  EXPECT_THROW(Matrix::load(r), SerializeError);
+}
+
+}  // namespace
+}  // namespace misuse

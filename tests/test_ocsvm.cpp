@@ -1,0 +1,237 @@
+#include "ocsvm/ocsvm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "ocsvm/features.hpp"
+#include "util/rng.hpp"
+
+namespace misuse::ocsvm {
+namespace {
+
+// Gaussian blob around a center in d dimensions.
+std::vector<std::vector<float>> blob(std::size_t n, std::size_t dim, double center, double spread,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> out(n, std::vector<float>(dim));
+  for (auto& x : out) {
+    for (auto& v : x) v = static_cast<float>(rng.normal(center, spread));
+  }
+  return out;
+}
+
+TEST(Kernel, LinearIsDotProduct) {
+  const std::vector<float> a = {1, 2, 3};
+  const std::vector<float> b = {4, 5, 6};
+  EXPECT_NEAR(kernel_value(KernelKind::kLinear, 0.0, a, b), 32.0, 1e-9);
+}
+
+TEST(Kernel, RbfIsOneAtZeroDistance) {
+  const std::vector<float> a = {1, 2};
+  EXPECT_NEAR(kernel_value(KernelKind::kRbf, 0.5, a, a), 1.0, 1e-12);
+}
+
+TEST(Kernel, RbfDecaysWithDistance) {
+  const std::vector<float> a = {0, 0};
+  const std::vector<float> near = {0.1f, 0.0f};
+  const std::vector<float> far = {3.0f, 3.0f};
+  const double k_near = kernel_value(KernelKind::kRbf, 1.0, a, near);
+  const double k_far = kernel_value(KernelKind::kRbf, 1.0, a, far);
+  EXPECT_GT(k_near, k_far);
+  EXPECT_GT(k_far, 0.0);
+}
+
+OcSvmConfig quick_config(double nu = 0.1) {
+  OcSvmConfig config;
+  config.nu = nu;
+  config.gamma = 1.0;
+  return config;
+}
+
+TEST(OcSvm, InliersScoreHigherThanOutliers) {
+  const auto train = blob(120, 4, 0.0, 0.3, 1);
+  const auto svm = OneClassSvm::train(train, quick_config());
+
+  const auto inliers = blob(40, 4, 0.0, 0.3, 2);
+  const auto outliers = blob(40, 4, 4.0, 0.3, 3);
+  double inlier_mean = 0.0, outlier_mean = 0.0;
+  for (const auto& x : inliers) inlier_mean += svm.score(x);
+  for (const auto& x : outliers) outlier_mean += svm.score(x);
+  inlier_mean /= 40.0;
+  outlier_mean /= 40.0;
+  EXPECT_GT(inlier_mean, outlier_mean);
+  EXPECT_GT(inlier_mean, 0.0);
+  EXPECT_LT(outlier_mean, 0.0);
+}
+
+TEST(OcSvm, NuPropertyBoundsTrainingOutliers) {
+  for (const double nu : {0.05, 0.1, 0.25, 0.5}) {
+    const auto train = blob(200, 3, 0.0, 0.5, 7);
+    const auto svm = OneClassSvm::train(train, quick_config(nu));
+    // The nu-property: the fraction of training outliers is at most ~nu
+    // (allow slack for finite samples and solver tolerance).
+    EXPECT_LE(svm.training_outlier_fraction(), nu + 0.08) << "nu=" << nu;
+  }
+}
+
+TEST(OcSvm, HigherNuMeansMoreTrainingOutliers) {
+  const auto train = blob(200, 3, 0.0, 0.5, 8);
+  const auto tight = OneClassSvm::train(train, quick_config(0.02));
+  const auto loose = OneClassSvm::train(train, quick_config(0.5));
+  EXPECT_LE(tight.training_outlier_fraction(), loose.training_outlier_fraction() + 1e-9);
+}
+
+TEST(OcSvm, SupportVectorCountBounded) {
+  const auto train = blob(150, 3, 0.0, 0.4, 9);
+  const auto svm = OneClassSvm::train(train, quick_config(0.2));
+  EXPECT_GT(svm.support_vector_count(), 0u);
+  EXPECT_LE(svm.support_vector_count(), 150u);
+}
+
+TEST(OcSvm, AutoGammaDefaultsToInverseDim) {
+  const auto train = blob(50, 8, 0.0, 0.5, 10);
+  OcSvmConfig config;
+  config.nu = 0.1;
+  config.gamma = 0.0;  // auto
+  const auto svm = OneClassSvm::train(train, config);
+  EXPECT_EQ(svm.dim(), 8u);
+  // No direct accessor for gamma; behaviorally: scoring must be finite.
+  EXPECT_TRUE(std::isfinite(svm.score(train[0])));
+}
+
+TEST(OcSvm, SubsamplingKeepsTrainingTractable) {
+  const auto train = blob(500, 3, 0.0, 0.4, 11);
+  OcSvmConfig config = quick_config();
+  config.max_training_points = 100;
+  const auto svm = OneClassSvm::train(train, config);
+  EXPECT_LE(svm.support_vector_count(), 100u);
+  // Still a sane decision function.
+  const auto far = blob(10, 3, 5.0, 0.1, 12);
+  for (const auto& x : far) EXPECT_LT(svm.score(x), 0.0);
+}
+
+TEST(OcSvm, DeterministicForFixedSeed) {
+  const auto train = blob(300, 3, 0.0, 0.4, 13);
+  OcSvmConfig config = quick_config();
+  config.max_training_points = 150;
+  config.seed = 77;
+  const auto a = OneClassSvm::train(train, config);
+  const auto b = OneClassSvm::train(train, config);
+  const auto probe = blob(5, 3, 1.0, 0.5, 14);
+  for (const auto& x : probe) EXPECT_DOUBLE_EQ(a.score(x), b.score(x));
+}
+
+TEST(OcSvm, LinearKernelWorks) {
+  auto train = blob(100, 2, 1.0, 0.2, 15);
+  OcSvmConfig config;
+  config.nu = 0.1;
+  config.kernel = KernelKind::kLinear;
+  const auto svm = OneClassSvm::train(train, config);
+  // In-distribution point scores above a far-away one.
+  const std::vector<float> in = {1.0f, 1.0f};
+  const std::vector<float> out = {-3.0f, -3.0f};
+  EXPECT_GT(svm.score(in), svm.score(out));
+}
+
+TEST(OcSvm, SaveLoadRoundTripsScores) {
+  const auto train = blob(80, 4, 0.0, 0.4, 16);
+  const auto svm = OneClassSvm::train(train, quick_config());
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  svm.save(w);
+  BinaryReader r(buf);
+  const auto loaded = OneClassSvm::load(r);
+  const auto probe = blob(10, 4, 0.5, 0.5, 17);
+  for (const auto& x : probe) EXPECT_DOUBLE_EQ(svm.score(x), loaded.score(x));
+}
+
+TEST(Featurizer, HistogramIsL2Normalized) {
+  SessionFeaturizer f({.vocab = 5, .normalize = true, .length_feature_weight = 0.0});
+  const std::vector<int> actions = {0, 0, 1, 2};
+  const auto x = f.featurize(actions);
+  ASSERT_EQ(x.size(), 5u);
+  double norm = 0.0;
+  for (float v : x) norm += static_cast<double>(v) * v;
+  EXPECT_NEAR(norm, 1.0, 1e-6);
+  EXPECT_GT(x[0], x[1]);  // action 0 appears twice
+  EXPECT_FLOAT_EQ(x[3], 0.0f);
+}
+
+TEST(Featurizer, RawCountsByDefault) {
+  SessionFeaturizer f({.vocab = 4});
+  const std::vector<int> actions = {0, 0, 2, 0};
+  const auto x = f.featurize(actions);
+  ASSERT_EQ(x.size(), 4u);
+  EXPECT_FLOAT_EQ(x[0], 3.0f);
+  EXPECT_FLOAT_EQ(x[1], 0.0f);
+  EXPECT_FLOAT_EQ(x[2], 1.0f);
+}
+
+TEST(Featurizer, RawCountsGrowWithPrefixLength) {
+  // The property behind the paper's Fig. 6: long prefixes drift away from
+  // typical (short) training sessions in raw-count space.
+  SessionFeaturizer f({.vocab = 3});
+  std::vector<int> prefix;
+  double prev_norm = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    prefix.push_back(i % 3);
+    const auto x = f.featurize(prefix);
+    double norm = 0.0;
+    for (float v : x) norm += static_cast<double>(v) * v;
+    EXPECT_GT(norm, prev_norm);
+    prev_norm = norm;
+  }
+}
+
+TEST(Featurizer, PermutationInvariant) {
+  SessionFeaturizer f({.vocab = 6, .length_feature_weight = 0.1});
+  const std::vector<int> a = {1, 2, 3, 1};
+  const std::vector<int> b = {1, 1, 3, 2};
+  EXPECT_EQ(f.featurize(a), f.featurize(b));
+}
+
+TEST(Featurizer, LengthFeatureAppendsDimension) {
+  SessionFeaturizer with({.vocab = 4, .length_feature_weight = 0.1});
+  SessionFeaturizer without({.vocab = 4, .length_feature_weight = 0.0});
+  EXPECT_EQ(with.dim(), 5u);
+  EXPECT_EQ(without.dim(), 4u);
+  const std::vector<int> actions = {0, 1};
+  EXPECT_NEAR(with.featurize(actions)[4], 0.1 * std::log1p(2.0), 1e-6);
+}
+
+TEST(Featurizer, EmptySessionIsZeroHistogram) {
+  SessionFeaturizer f({.vocab = 3, .length_feature_weight = 0.0});
+  const auto x = f.featurize(std::vector<int>{});
+  for (float v : x) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Featurizer, IncrementalMatchesBatch) {
+  SessionFeaturizer f({.vocab = 6, .length_feature_weight = 0.1});
+  const std::vector<int> actions = {2, 4, 2, 0, 5, 1, 1};
+  auto inc = SessionFeaturizer::Incremental(f);
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const auto streamed = inc.push(actions[i]);
+    const auto batch = f.featurize(std::span<const int>(actions.data(), i + 1));
+    ASSERT_EQ(streamed.size(), batch.size());
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+      EXPECT_NEAR(streamed[j], batch[j], 1e-6f) << "prefix " << i + 1 << " dim " << j;
+    }
+  }
+}
+
+TEST(Featurizer, IncrementalResetStartsOver) {
+  SessionFeaturizer f({.vocab = 3, .length_feature_weight = 0.0});
+  auto inc = SessionFeaturizer::Incremental(f);
+  inc.push(0);
+  inc.push(1);
+  inc.reset();
+  EXPECT_EQ(inc.length(), 0u);
+  const auto x = inc.push(2);
+  EXPECT_FLOAT_EQ(x[2], 1.0f);
+  EXPECT_FLOAT_EQ(x[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace misuse::ocsvm

@@ -1,0 +1,197 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace misuse {
+namespace {
+
+// Naive reference implementation for property checks.
+Matrix ref_gemm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < a.cols(); ++p) {
+        acc += static_cast<double>(a(i, p)) * b(p, j);
+      }
+      c(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  m.init_gaussian(rng, 1.0f);
+  return m;
+}
+
+void expect_near(const Matrix& a, const Matrix& b, float tol) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a.flat()[i], b.flat()[i], tol) << "at flat index " << i;
+  }
+}
+
+TEST(Ops, GemmSmallKnownValues) {
+  const auto a = Matrix::from_rows(2, 2, {1, 2, 3, 4});
+  const auto b = Matrix::from_rows(2, 2, {5, 6, 7, 8});
+  Matrix c(2, 2);
+  gemm(1.0f, a, b, 0.0f, c);
+  EXPECT_FLOAT_EQ(c(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(Ops, GemmBetaAccumulates) {
+  const auto a = Matrix::from_rows(1, 1, {2});
+  const auto b = Matrix::from_rows(1, 1, {3});
+  Matrix c(1, 1, 10.0f);
+  gemm(1.0f, a, b, 1.0f, c);
+  EXPECT_FLOAT_EQ(c(0, 0), 16.0f);
+  gemm(2.0f, a, b, 0.5f, c);
+  EXPECT_FLOAT_EQ(c(0, 0), 20.0f);
+}
+
+class GemmShapeSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(GemmShapeSweep, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 10007 + k * 101 + n);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  Matrix c(m, n);
+  gemm(1.0f, a, b, 0.0f, c);
+  expect_near(c, ref_gemm(a, b), 1e-3f);
+}
+
+TEST_P(GemmShapeSweep, TransposeVariantsAgreeWithExplicitTranspose) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 7 + k * 13 + n * 17);
+  // gemm_at_b: A stored (k x m), result = A^T * B.
+  const Matrix a_km = random_matrix(k, m, rng);
+  const Matrix b_kn = random_matrix(k, n, rng);
+  Matrix c1(m, n);
+  gemm_at_b(1.0f, a_km, b_kn, 0.0f, c1);
+  expect_near(c1, ref_gemm(a_km.transposed(), b_kn), 1e-3f);
+
+  // gemm_a_bt: B stored (n x k), result = A * B^T.
+  const Matrix a_mk = random_matrix(m, k, rng);
+  const Matrix b_nk = random_matrix(n, k, rng);
+  Matrix c2(m, n);
+  gemm_a_bt(1.0f, a_mk, b_nk, 0.0f, c2);
+  expect_near(c2, ref_gemm(a_mk, b_nk.transposed()), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapeSweep,
+                         ::testing::Values(std::make_tuple(1u, 1u, 1u),
+                                           std::make_tuple(2u, 3u, 4u),
+                                           std::make_tuple(5u, 1u, 7u),
+                                           std::make_tuple(8u, 8u, 8u),
+                                           std::make_tuple(13u, 7u, 3u),
+                                           std::make_tuple(32u, 16u, 24u)));
+
+TEST(Ops, AxpyAccumulates) {
+  std::vector<float> x = {1, 2, 3};
+  std::vector<float> y = {10, 20, 30};
+  axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[2], 36.0f);
+}
+
+TEST(Ops, ScaleMultiplies) {
+  std::vector<float> x = {2, -4};
+  scale(x, 0.5f);
+  EXPECT_FLOAT_EQ(x[0], 1.0f);
+  EXPECT_FLOAT_EQ(x[1], -2.0f);
+}
+
+TEST(Ops, AddRowBroadcast) {
+  Matrix m(2, 2, 1.0f);
+  const std::vector<float> bias = {10.0f, 20.0f};
+  add_row_broadcast(m, bias);
+  EXPECT_FLOAT_EQ(m(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(m(1, 1), 21.0f);
+}
+
+TEST(Ops, SumRows) {
+  const auto m = Matrix::from_rows(2, 3, {1, 2, 3, 4, 5, 6});
+  std::vector<float> out(3);
+  sum_rows(m, out);
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+  EXPECT_FLOAT_EQ(out[1], 7.0f);
+  EXPECT_FLOAT_EQ(out[2], 9.0f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(5);
+  Matrix m = random_matrix(6, 11, rng);
+  softmax_rows(m);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double sum = 0.0;
+    for (float v : m.row(r)) {
+      EXPECT_GT(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxIsShiftInvariant) {
+  auto a = Matrix::from_rows(1, 3, {1, 2, 3});
+  auto b = Matrix::from_rows(1, 3, {101, 102, 103});
+  softmax_rows(a);
+  softmax_rows(b);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(a(0, j), b(0, j), 1e-6f);
+}
+
+TEST(Ops, SoftmaxHandlesLargeLogitsWithoutOverflow) {
+  auto m = Matrix::from_rows(1, 2, {10000.0f, 9999.0f});
+  softmax_rows(m);
+  EXPECT_TRUE(std::isfinite(m(0, 0)));
+  EXPECT_GT(m(0, 0), m(0, 1));
+}
+
+TEST(Ops, LogSoftmaxMatchesSoftmaxLog) {
+  auto logits = Matrix::from_rows(1, 4, {0.5f, -1.0f, 2.0f, 0.0f});
+  std::vector<float> ls(4);
+  log_softmax(logits.row(0), ls);
+  Matrix sm = logits;
+  softmax_rows(sm);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(ls[j], std::log(sm(0, j)), 1e-5f);
+}
+
+TEST(Ops, ArgmaxFindsFirstMaximum) {
+  const std::vector<float> xs = {1.0f, 5.0f, 5.0f, 2.0f};
+  EXPECT_EQ(argmax(xs), 1u);
+}
+
+TEST(Ops, DotAndNorm) {
+  const std::vector<float> a = {1, 2, 3};
+  const std::vector<float> b = {4, 5, 6};
+  EXPECT_FLOAT_EQ(dot(a, b), 32.0f);
+  EXPECT_FLOAT_EQ(squared_norm(a), 14.0f);
+}
+
+TEST(Ops, ElementwiseNonlinearities) {
+  std::vector<float> t = {0.0f, 100.0f, -100.0f};
+  tanh_inplace(t);
+  EXPECT_FLOAT_EQ(t[0], 0.0f);
+  EXPECT_NEAR(t[1], 1.0f, 1e-6f);
+  EXPECT_NEAR(t[2], -1.0f, 1e-6f);
+
+  std::vector<float> s = {0.0f, 100.0f, -100.0f};
+  sigmoid_inplace(s);
+  EXPECT_FLOAT_EQ(s[0], 0.5f);
+  EXPECT_NEAR(s[1], 1.0f, 1e-6f);
+  EXPECT_NEAR(s[2], 0.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace misuse

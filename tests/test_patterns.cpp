@@ -1,0 +1,179 @@
+#include "patterns/mining.hpp"
+
+#include <gtest/gtest.h>
+
+namespace misuse::patterns {
+namespace {
+
+std::vector<Session> make_sessions(std::initializer_list<std::vector<int>> specs) {
+  std::vector<Session> out;
+  std::uint64_t id = 0;
+  for (const auto& actions : specs) {
+    Session s;
+    s.id = ++id;
+    s.actions = actions;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<const Session*> ptrs(const std::vector<Session>& sessions) {
+  std::vector<const Session*> out;
+  for (const auto& s : sessions) out.push_back(&s);
+  return out;
+}
+
+TEST(Itemsets, FindsFrequentSingletons) {
+  const auto sessions = make_sessions({{0, 1}, {0, 2}, {0, 3}, {4}});
+  const auto p = ptrs(sessions);
+  MiningConfig config;
+  config.min_support = 0.5;
+  const auto patterns = mine_frequent_itemsets(p, config);
+  ASSERT_FALSE(patterns.empty());
+  EXPECT_EQ(patterns[0].actions, std::vector<int>{0});
+  EXPECT_EQ(patterns[0].support, 3u);
+}
+
+TEST(Itemsets, FindsFrequentPairs) {
+  const auto sessions = make_sessions({{0, 1, 5}, {1, 0}, {0, 1, 2}, {3, 4}});
+  const auto p = ptrs(sessions);
+  MiningConfig config;
+  config.min_support = 0.5;
+  const auto patterns = mine_frequent_itemsets(p, config);
+  bool found_pair = false;
+  for (const auto& pattern : patterns) {
+    if (pattern.actions == std::vector<int>{0, 1}) {
+      found_pair = true;
+      EXPECT_EQ(pattern.support, 3u);
+    }
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST(Itemsets, RepetitionCountsOncePerSession) {
+  const auto sessions = make_sessions({{7, 7, 7, 7}, {7}, {1}});
+  const auto p = ptrs(sessions);
+  MiningConfig config;
+  config.min_support = 0.5;
+  const auto patterns = mine_frequent_itemsets(p, config);
+  ASSERT_FALSE(patterns.empty());
+  EXPECT_EQ(patterns[0].actions, std::vector<int>{7});
+  EXPECT_EQ(patterns[0].support, 2u);
+}
+
+TEST(Itemsets, RespectsMaxPatternLength) {
+  const auto sessions = make_sessions({{0, 1, 2, 3}, {0, 1, 2, 3}});
+  const auto p = ptrs(sessions);
+  MiningConfig config;
+  config.min_support = 0.9;
+  config.max_pattern = 2;
+  const auto patterns = mine_frequent_itemsets(p, config);
+  for (const auto& pattern : patterns) EXPECT_LE(pattern.actions.size(), 2u);
+}
+
+TEST(Itemsets, SupportFractionComputed) {
+  ItemsetPattern p;
+  p.support = 3;
+  EXPECT_DOUBLE_EQ(p.support_fraction(6), 0.5);
+  EXPECT_DOUBLE_EQ(p.support_fraction(0), 0.0);
+}
+
+TEST(Itemsets, ResultsSortedBySupport) {
+  const auto sessions = make_sessions({{0, 1}, {0, 1}, {0}, {1}, {0}});
+  const auto p = ptrs(sessions);
+  MiningConfig config;
+  config.min_support = 0.2;
+  const auto patterns = mine_frequent_itemsets(p, config);
+  for (std::size_t i = 1; i < patterns.size(); ++i) {
+    EXPECT_GE(patterns[i - 1].support, patterns[i].support);
+  }
+}
+
+TEST(Subsequences, FindsWorkflowBigrams) {
+  const auto sessions = make_sessions({{0, 1, 2}, {0, 1, 3}, {0, 1}, {5, 6}});
+  const auto p = ptrs(sessions);
+  MiningConfig config;
+  config.min_support = 0.5;
+  const auto patterns = mine_frequent_subsequences(p, config);
+  ASSERT_FALSE(patterns.empty());
+  EXPECT_EQ(patterns[0].actions, (std::vector<int>{0, 1}));
+  EXPECT_EQ(patterns[0].support, 3u);
+}
+
+TEST(Subsequences, ContiguityRequired) {
+  // 0...2 is never contiguous, so {0,2} must not appear.
+  const auto sessions = make_sessions({{0, 1, 2}, {0, 1, 2}, {0, 1, 2}});
+  const auto p = ptrs(sessions);
+  MiningConfig config;
+  config.min_support = 0.9;
+  const auto patterns = mine_frequent_subsequences(p, config);
+  for (const auto& pattern : patterns) {
+    EXPECT_NE(pattern.actions, (std::vector<int>{0, 2}));
+  }
+}
+
+TEST(Subsequences, ExtendsToTrigrams) {
+  const auto sessions = make_sessions({{4, 5, 6, 9}, {1, 4, 5, 6}, {4, 5, 6}});
+  const auto p = ptrs(sessions);
+  MiningConfig config;
+  config.min_support = 0.9;
+  config.max_pattern = 3;
+  const auto patterns = mine_frequent_subsequences(p, config);
+  bool found = false;
+  for (const auto& pattern : patterns) {
+    if (pattern.actions == (std::vector<int>{4, 5, 6})) {
+      found = true;
+      EXPECT_EQ(pattern.support, 3u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Subsequences, SupportCountsSessionsNotOccurrences) {
+  const auto sessions = make_sessions({{1, 2, 1, 2, 1, 2}, {3}});
+  const auto p = ptrs(sessions);
+  MiningConfig config;
+  config.min_support = 0.4;
+  const auto patterns = mine_frequent_subsequences(p, config);
+  for (const auto& pattern : patterns) {
+    if (pattern.actions == (std::vector<int>{1, 2})) {
+      EXPECT_EQ(pattern.support, 1u);
+    }
+  }
+}
+
+TEST(Characteristic, HighLiftForClusterSpecificActions) {
+  // Action 9 appears in every cluster session but rarely elsewhere.
+  const auto cluster_sessions = make_sessions({{9, 1}, {9, 2}, {9, 3}});
+  const auto other_sessions = make_sessions({{1, 2}, {2, 3}, {3, 1}, {1, 3}, {2, 1}, {3, 2}});
+  std::vector<const Session*> cluster = ptrs(cluster_sessions);
+  std::vector<const Session*> corpus = ptrs(other_sessions);
+  for (const auto* s : cluster) corpus.push_back(s);
+
+  const auto chars = characteristic_actions(cluster, corpus, 3);
+  ASSERT_FALSE(chars.empty());
+  EXPECT_EQ(chars[0].action, 9);
+  EXPECT_DOUBLE_EQ(chars[0].cluster_frequency, 1.0);
+  EXPECT_GT(chars[0].lift, 2.0);
+}
+
+TEST(Characteristic, TopNLimitsOutput) {
+  const auto sessions = make_sessions({{0, 1, 2, 3, 4, 5}});
+  const auto p = ptrs(sessions);
+  const auto chars = characteristic_actions(p, p, 3);
+  EXPECT_LE(chars.size(), 3u);
+}
+
+TEST(Describe, RendersNamesAndSupport) {
+  ActionVocab vocab;
+  vocab.intern("ActionUnLockUser");
+  vocab.intern("ActionSearchUsr");
+  std::vector<ItemsetPattern> patterns = {{{0, 1}, 8}, {{1}, 10}};
+  const std::string text = describe_itemsets(patterns, vocab, 10, 5);
+  EXPECT_NE(text.find("ActionUnLockUser"), std::string::npos);
+  EXPECT_NE(text.find("80%"), std::string::npos);
+  EXPECT_NE(text.find("100%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace misuse::patterns

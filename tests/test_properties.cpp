@@ -1,0 +1,238 @@
+// Cross-cutting property tests: invariants that must hold across
+// parameter sweeps and module boundaries (DESIGN.md's "invariants under
+// test" list).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "lm/batching.hpp"
+#include "nn/next_action_model.hpp"
+#include "ocsvm/ocsvm.hpp"
+#include "synth/portal.hpp"
+#include "topics/lda.hpp"
+
+namespace misuse {
+namespace {
+
+// --- LSTM numerical stability over long horizons ---------------------------
+
+class LongSequenceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LongSequenceSweep, LstmStableOver500Steps) {
+  Rng rng(GetParam());
+  nn::ModelConfig config{.vocab = 20, .hidden = 24, .dropout = 0.0f};
+  nn::NextActionModel model(config, rng);
+  auto state = model.make_state();
+  for (int i = 0; i < 500; ++i) {
+    const auto probs = model.step(state, static_cast<int>(rng.uniform_index(20)));
+    double sum = 0.0;
+    for (float p : probs) {
+      ASSERT_TRUE(std::isfinite(p));
+      ASSERT_GE(p, 0.0f);
+      sum += p;
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LongSequenceSweep, ::testing::Values(1u, 7u, 42u, 1000u));
+
+// --- Windowed vs full-sequence evaluation equivalence ----------------------
+
+class BatchingEquivalenceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchingEquivalenceSweep, WindowedAndFullSequenceEvaluationAgree) {
+  // For sessions no longer than the window, every prediction sees the
+  // same prefix under either batching, so total loss must match.
+  Rng rng(GetParam());
+  nn::ModelConfig config{.vocab = 12, .hidden = 10, .dropout = 0.0f};
+  nn::NextActionModel model(config, rng);
+
+  std::vector<std::vector<int>> sessions;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<int> s;
+    const std::size_t len = 2 + rng.uniform_index(14);  // <= 15 < window 16
+    for (std::size_t j = 0; j < len; ++j) s.push_back(static_cast<int>(rng.uniform_index(12)));
+    sessions.push_back(std::move(s));
+  }
+  std::vector<std::span<const int>> views(sessions.begin(), sessions.end());
+
+  double windowed_total = 0.0;
+  std::size_t windowed_preds = 0;
+  {
+    std::vector<lm::WindowExample> examples;
+    for (const auto& s : views) {
+      auto ex = lm::make_window_examples(s, 16);
+      examples.insert(examples.end(), ex.begin(), ex.end());
+    }
+    for (const auto& batch : lm::pack_window_batches(examples, 8)) {
+      const auto res = model.evaluate(batch);
+      windowed_total += res.total_loss;
+      windowed_preds += res.rows;
+    }
+  }
+  double fullseq_total = 0.0;
+  std::size_t fullseq_preds = 0;
+  for (const auto& batch : lm::pack_full_sequence_batches(views, 16, 8)) {
+    const auto res = model.evaluate(batch);
+    fullseq_total += res.total_loss;
+    fullseq_preds += res.rows;
+  }
+  ASSERT_EQ(windowed_preds, fullseq_preds);
+  EXPECT_NEAR(windowed_total, fullseq_total, 1e-2 * std::abs(fullseq_total) + 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchingEquivalenceSweep, ::testing::Range<std::uint64_t>(1, 7));
+
+// --- OC-SVM invariants across nu ------------------------------------------
+
+class OcSvmNuSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OcSvmNuSweep, ScoreIsDeterministicAndDuplicatesAreHarmless) {
+  Rng rng(5);
+  std::vector<std::vector<float>> train;
+  for (int i = 0; i < 60; ++i) {
+    std::vector<float> x(4);
+    for (auto& v : x) v = static_cast<float>(rng.normal(0.0, 0.5));
+    train.push_back(x);
+    train.push_back(x);  // exact duplicates must not break the solver
+  }
+  ocsvm::OcSvmConfig config;
+  config.nu = GetParam();
+  config.gamma = 1.0;
+  const auto svm = ocsvm::OneClassSvm::train(train, config);
+  const std::vector<float> probe = {0.1f, -0.2f, 0.3f, 0.0f};
+  const double s1 = svm.score(probe);
+  const double s2 = svm.score(probe);
+  EXPECT_EQ(s1, s2);
+  EXPECT_TRUE(std::isfinite(s1));
+  EXPECT_LE(svm.training_outlier_fraction(), GetParam() + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nus, OcSvmNuSweep, ::testing::Values(0.01, 0.05, 0.1, 0.3, 0.7));
+
+// --- LDA prior sweeps -------------------------------------------------------
+
+class LdaPriorSweep : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(LdaPriorSweep, DistributionsValidUnderAnyPriors) {
+  const auto [alpha, beta] = GetParam();
+  Rng rng(3);
+  std::vector<std::vector<int>> docs(25);
+  for (auto& d : docs) {
+    d.resize(10);
+    for (auto& w : d) w = static_cast<int>(rng.uniform_index(8));
+  }
+  topics::LdaConfig config;
+  config.topics = 3;
+  config.alpha = alpha;
+  config.beta = beta;
+  config.iterations = 25;
+  const auto model = topics::fit_lda(docs, 8, config);
+  for (std::size_t t = 0; t < 3; ++t) {
+    double sum = 0.0;
+    for (float p : model.topic_action.row(t)) {
+      ASSERT_GT(p, 0.0f);
+      sum += p;
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-4);
+  }
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    double sum = 0.0;
+    for (float p : model.doc_topic.row(d)) sum += p;
+    ASSERT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Priors, LdaPriorSweep,
+                         ::testing::Values(std::make_pair(0.01, 0.01),
+                                           std::make_pair(0.1, 0.05),
+                                           std::make_pair(1.0, 0.5),
+                                           std::make_pair(5.0, 1.0)));
+
+// --- Portal statistics are stable across seeds -----------------------------
+
+class PortalSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PortalSeedSweep, LengthLawHoldsAcrossSeeds) {
+  synth::PortalConfig config;
+  config.sessions = 4000;
+  config.seed = GetParam();
+  const synth::Portal portal(config);
+  const Summary s = portal.generate().length_summary();
+  EXPECT_GT(s.mean, 10.0);
+  EXPECT_LT(s.mean, 22.0);
+  EXPECT_LT(s.p98, 91.0);
+  EXPECT_GE(s.min, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PortalSeedSweep, ::testing::Values(1u, 42u, 777u, 31337u));
+
+// --- Serialization robustness: truncated archives always throw -------------
+
+TEST(SerializationRobustness, TruncatedModelArchivesThrowNotCrash) {
+  Rng rng(9);
+  nn::ModelConfig config{.vocab = 8, .hidden = 6, .dropout = 0.1f};
+  nn::NextActionModel model(config, rng);
+  std::stringstream full;
+  BinaryWriter w(full);
+  model.save(w);
+  const std::string bytes = full.str();
+
+  // Cut at a spread of offsets, including mid-header and mid-matrix.
+  for (const double frac : {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const auto cut = static_cast<std::size_t>(frac * static_cast<double>(bytes.size()));
+    std::stringstream truncated(bytes.substr(0, cut));
+    BinaryReader r(truncated);
+    EXPECT_THROW(nn::NextActionModel::load(r), SerializeError) << "cut at " << cut;
+  }
+}
+
+TEST(SerializationRobustness, BitFlippedHeaderRejected) {
+  Rng rng(10);
+  nn::ModelConfig config{.vocab = 5, .hidden = 4, .dropout = 0.0f};
+  nn::NextActionModel model(config, rng);
+  std::stringstream full;
+  BinaryWriter w(full);
+  model.save(w);
+  std::string bytes = full.str();
+  bytes[0] ^= 0x5a;  // corrupt the magic
+  std::stringstream corrupted(bytes);
+  BinaryReader r(corrupted);
+  EXPECT_THROW(nn::NextActionModel::load(r), SerializeError);
+}
+
+// --- Score invariances ------------------------------------------------------
+
+TEST(ScoreInvariance, SessionScoreIndependentOfTrailingContext) {
+  // Scoring a session must depend only on the session itself: scoring s
+  // twice in a row from fresh state is identical (no state leakage).
+  Rng rng(11);
+  nn::ModelConfig config{.vocab = 10, .hidden = 8, .dropout = 0.3f};
+  nn::NextActionModel model(config, rng);
+  const std::vector<int> session = {3, 1, 4, 1, 5, 9, 2, 6};
+  const auto a = model.score_session(session);
+  const auto b = model.score_session(session);
+  ASSERT_EQ(a.likelihoods.size(), b.likelihoods.size());
+  for (std::size_t i = 0; i < a.likelihoods.size(); ++i) {
+    EXPECT_EQ(a.likelihoods[i], b.likelihoods[i]);
+  }
+}
+
+TEST(ScoreInvariance, PrefixScoresAreAPrefixOfFullScores) {
+  Rng rng(12);
+  nn::ModelConfig config{.vocab = 10, .hidden = 8, .dropout = 0.0f};
+  nn::NextActionModel model(config, rng);
+  const std::vector<int> session = {3, 1, 4, 1, 5, 9, 2, 6};
+  const auto full = model.score_session(session);
+  const auto prefix =
+      model.score_session(std::span<const int>(session.data(), 5));
+  ASSERT_EQ(prefix.likelihoods.size(), 4u);
+  for (std::size_t i = 0; i < prefix.likelihoods.size(); ++i) {
+    EXPECT_NEAR(prefix.likelihoods[i], full.likelihoods[i], 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace misuse

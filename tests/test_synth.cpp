@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "synth/actions.hpp"
+#include "synth/archetype.hpp"
+#include "synth/portal.hpp"
+
+namespace misuse::synth {
+namespace {
+
+TEST(Actions, CatalogueHitsTargetSize) {
+  const auto catalogue = build_action_catalogue(300);
+  EXPECT_GE(catalogue.size(), 290u);
+  EXPECT_LE(catalogue.size(), 320u);
+}
+
+TEST(Actions, CatalogueContainsPaperQuotedActions) {
+  const auto catalogue = build_action_catalogue(300);
+  const auto has = [&](const char* name) {
+    return std::any_of(catalogue.begin(), catalogue.end(),
+                       [&](const ActionDef& a) { return a.name == name; });
+  };
+  EXPECT_TRUE(has("ActionSearchUsr"));
+  EXPECT_TRUE(has("ActionDeleteUser"));
+  EXPECT_TRUE(has("ActionCreateUser"));
+  EXPECT_TRUE(has("ActionWarningDeleteUser"));
+  EXPECT_TRUE(has("ActionResetPwdUnlock"));
+  EXPECT_TRUE(has("ActionUnLockDisplayedUser"));
+  EXPECT_TRUE(has("ActionDisplayOneOffice"));
+  EXPECT_TRUE(has("ActionDisplayDirectTFARule"));
+}
+
+TEST(Actions, CatalogueNamesAreUnique) {
+  const auto catalogue = build_action_catalogue(300);
+  std::set<std::string> names;
+  for (const auto& a : catalogue) names.insert(a.name);
+  EXPECT_EQ(names.size(), catalogue.size());
+}
+
+TEST(Actions, EveryAreaRepresented) {
+  const auto catalogue = build_action_catalogue(300);
+  ActionVocab vocab;
+  const auto by_area = intern_catalogue(catalogue, vocab);
+  ASSERT_EQ(by_area.size(), kAreaCount);
+  for (std::size_t a = 0; a < kAreaCount; ++a) {
+    EXPECT_FALSE(by_area[a].empty()) << "area " << area_name(static_cast<Area>(a));
+  }
+  EXPECT_EQ(vocab.size(), catalogue.size());
+}
+
+BehaviorArchetype make_archetype() {
+  ArchetypeConfig c;
+  c.name = "test";
+  c.pool = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  c.workflow_size = 7;  // last 3 are "commons"
+  c.log_len_mu = 2.3;
+  c.log_len_sigma = 0.8;
+  return BehaviorArchetype(std::move(c));
+}
+
+TEST(Archetype, GeneratesRequestedLength) {
+  const auto arch = make_archetype();
+  Rng rng(1);
+  for (std::size_t len : {1u, 2u, 10u, 100u}) {
+    EXPECT_EQ(arch.generate(rng, len).size(), len);
+  }
+}
+
+TEST(Archetype, EmitsOnlyPoolActions) {
+  const auto arch = make_archetype();
+  Rng rng(2);
+  const auto session = arch.generate(rng, 500);
+  for (int a : session) {
+    EXPECT_TRUE(std::find(arch.pool().begin(), arch.pool().end(), a) != arch.pool().end());
+  }
+}
+
+TEST(Archetype, SampledLengthsAtLeastTwo) {
+  const auto arch = make_archetype();
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) EXPECT_GE(arch.sample_length(rng), 2u);
+}
+
+TEST(Archetype, WorkflowProgressionDominates) {
+  // With advance_prob 0.55, consecutive pairs (i, i+1 mod w) should be the
+  // most common bigram type.
+  const auto arch = make_archetype();
+  Rng rng(4);
+  const auto session = arch.generate(rng, 5000);
+  std::size_t advance = 0, other = 0;
+  for (std::size_t i = 0; i + 1 < session.size(); ++i) {
+    if (session[i] < 7 && session[i + 1] == (session[i] + 1) % 7) ++advance;
+    else ++other;
+  }
+  EXPECT_GT(advance, session.size() / 3);
+}
+
+TEST(Portal, SmallCorpusShapesAndDeterminism) {
+  PortalConfig config;
+  config.sessions = 500;
+  config.users = 50;
+  config.action_count = 120;
+  config.seed = 9;
+  const Portal portal(config);
+  const SessionStore a = portal.generate();
+  const SessionStore b = portal.generate();
+  ASSERT_EQ(a.size(), 500u);
+  ASSERT_EQ(b.size(), 500u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.at(i).actions, b.at(i).actions);
+  }
+}
+
+TEST(Portal, ThirteenArchetypes) {
+  PortalConfig config;
+  config.sessions = 10;
+  const Portal portal(config);
+  EXPECT_EQ(portal.archetypes().size(), 13u);
+  EXPECT_EQ(portal.archetype_weights().size(), 13u);
+  double sum = 0.0;
+  for (double w : portal.archetype_weights()) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Portal, CorpusMatchesPaperLengthStatistics) {
+  // Fig. 3 of the paper: mean session length ~15, 98% of sessions below
+  // 91 actions, longest session above 800 (at the full 15k scale).
+  PortalConfig config;
+  config.sessions = 15000;
+  config.seed = 42;
+  const Portal portal(config);
+  const SessionStore store = portal.generate();
+  const Summary s = store.length_summary();
+  EXPECT_NEAR(s.mean, 15.0, 4.0);
+  EXPECT_LT(s.p98, 91.0);
+  EXPECT_GT(s.max, 300.0);
+  EXPECT_GE(s.min, 2.0);
+}
+
+TEST(Portal, SessionsSortedByStartTime) {
+  PortalConfig config;
+  config.sessions = 300;
+  const Portal portal(config);
+  const SessionStore store = portal.generate();
+  for (std::size_t i = 1; i < store.size(); ++i) {
+    EXPECT_LE(store.at(i - 1).start_minute, store.at(i).start_minute);
+  }
+}
+
+TEST(Portal, StartTimesWithinRecordingWindow) {
+  PortalConfig config;
+  config.sessions = 300;
+  config.days = 31;
+  const Portal portal(config);
+  const SessionStore store = portal.generate();
+  for (const auto& s : store.all()) {
+    EXPECT_LT(s.start_minute, 31u * 1440u);
+  }
+}
+
+TEST(Portal, ArchetypeLabelsCoverAllThirteen) {
+  PortalConfig config;
+  config.sessions = 5000;
+  const Portal portal(config);
+  const SessionStore store = portal.generate();
+  std::set<int> seen;
+  for (const auto& s : store.all()) {
+    ASSERT_GE(s.archetype, 0);
+    ASSERT_LT(s.archetype, 13);
+    seen.insert(s.archetype);
+  }
+  EXPECT_EQ(seen.size(), 13u);
+}
+
+TEST(Portal, ArchetypePrevalenceTracksWeights) {
+  PortalConfig config;
+  config.sessions = 15000;
+  config.habit_strength = 0.0;  // draw archetype directly from weights
+  const Portal portal(config);
+  const SessionStore store = portal.generate();
+  std::vector<double> counts(13, 0.0);
+  for (const auto& s : store.all()) counts[static_cast<std::size_t>(s.archetype)] += 1.0;
+  for (std::size_t k = 0; k < 13; ++k) {
+    EXPECT_NEAR(counts[k] / 15000.0, portal.archetype_weights()[k], 0.02);
+  }
+}
+
+TEST(Portal, NoMisuseByDefault) {
+  PortalConfig config;
+  config.sessions = 400;
+  const Portal portal(config);
+  const SessionStore store = portal.generate();
+  for (const auto& s : store.all()) EXPECT_FALSE(s.injected_misuse);
+}
+
+TEST(Portal, MisuseInjectionFraction) {
+  PortalConfig config;
+  config.sessions = 4000;
+  config.misuse_fraction = 0.1;
+  const Portal portal(config);
+  const SessionStore store = portal.generate();
+  std::size_t misuses = 0;
+  for (const auto& s : store.all()) misuses += s.injected_misuse ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(misuses) / 4000.0, 0.1, 0.02);
+}
+
+TEST(Portal, MassModificationMisuseUsesSensitiveActions) {
+  PortalConfig config;
+  config.sessions = 10;
+  const Portal portal(config);
+  Rng rng(5);
+  const Session s = portal.make_misuse(MisuseKind::kMassProfileModification, rng);
+  EXPECT_TRUE(s.injected_misuse);
+  EXPECT_GE(s.length(), 2u);
+  const std::set<std::string> sensitive = {
+      "ActionDeleteUser", "ActionWarningDeleteUser", "ActionCreateUser",
+      "ActionUnLockUser", "ActionResetPwdUnlock", "ActionUnLockDisplayedUser",
+      "ActionSearchUsr"};
+  for (int a : s.actions) {
+    EXPECT_TRUE(sensitive.count(portal.vocab().name(a))) << portal.vocab().name(a);
+  }
+}
+
+TEST(Portal, RandomSessionsMatchPaperSpec) {
+  PortalConfig config;
+  config.sessions = 10;
+  const Portal portal(config);
+  const SessionStore random = portal.generate_random_sessions(500, 7);
+  EXPECT_EQ(random.size(), 500u);
+  for (const auto& s : random.all()) {
+    EXPECT_GE(s.length(), 5u);
+    EXPECT_LE(s.length(), 25u);
+    for (int a : s.actions) {
+      EXPECT_GE(a, 0);
+      EXPECT_LT(static_cast<std::size_t>(a), portal.vocab().size());
+    }
+  }
+}
+
+TEST(Portal, RandomSessionsUseWholeVocabulary) {
+  PortalConfig config;
+  config.sessions = 10;
+  config.action_count = 64;
+  const Portal portal(config);
+  const SessionStore random = portal.generate_random_sessions(2000, 11);
+  std::set<int> seen;
+  for (const auto& s : random.all()) seen.insert(s.actions.begin(), s.actions.end());
+  // Uniform sampling over d actions with ~30k draws covers nearly all.
+  EXPECT_GT(seen.size(), portal.vocab().size() * 9 / 10);
+}
+
+TEST(Portal, MisuseKindNames) {
+  EXPECT_STREQ(misuse_kind_name(MisuseKind::kMassProfileModification),
+               "mass-profile-modification");
+  EXPECT_STREQ(misuse_kind_name(MisuseKind::kRandomActivity), "random-activity");
+  EXPECT_STREQ(misuse_kind_name(MisuseKind::kAreaHopping), "area-hopping");
+}
+
+}  // namespace
+}  // namespace misuse::synth

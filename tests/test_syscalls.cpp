@@ -1,0 +1,116 @@
+#include "synth/syscalls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace misuse::synth {
+namespace {
+
+SyscallWorkloadConfig small_config() {
+  SyscallWorkloadConfig config;
+  config.normal_traces = 400;
+  config.hosts = 10;
+  config.seed = 1;
+  return config;
+}
+
+TEST(Syscalls, VocabularyContainsRealSyscallNames) {
+  const SyscallWorkload workload(small_config());
+  for (const char* name : {"read", "write", "execve", "setuid", "ptrace", "accept", "mmap"}) {
+    EXPECT_TRUE(workload.vocab().find(name).has_value()) << name;
+  }
+  EXPECT_GT(workload.vocab().size(), 100u);
+}
+
+TEST(Syscalls, SixProgramArchetypes) {
+  const SyscallWorkload workload(small_config());
+  EXPECT_EQ(workload.programs().size(), 6u);
+}
+
+TEST(Syscalls, GenerateIsDeterministic) {
+  const SyscallWorkload workload(small_config());
+  const SessionStore a = workload.generate();
+  const SessionStore b = workload.generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.at(i).actions, b.at(i).actions);
+  }
+}
+
+TEST(Syscalls, NormalTracesHaveProgramLabels) {
+  const SyscallWorkload workload(small_config());
+  const SessionStore store = workload.generate();
+  EXPECT_EQ(store.size(), 400u);
+  std::set<int> programs;
+  for (const auto& s : store.all()) {
+    EXPECT_FALSE(s.injected_misuse);
+    ASSERT_GE(s.archetype, 0);
+    ASSERT_LT(s.archetype, 6);
+    programs.insert(s.archetype);
+    EXPECT_GE(s.length(), 2u);
+  }
+  EXPECT_EQ(programs.size(), 6u);
+}
+
+TEST(Syscalls, TracesUseOnlyKnownSyscalls) {
+  const SyscallWorkload workload(small_config());
+  const SessionStore store = workload.generate();
+  for (const auto& s : store.all()) {
+    for (int a : s.actions) {
+      ASSERT_GE(a, 0);
+      ASSERT_LT(static_cast<std::size_t>(a), workload.vocab().size());
+    }
+  }
+}
+
+TEST(Syscalls, AttackTracesAreLabeled) {
+  const SyscallWorkload workload(small_config());
+  Rng rng(2);
+  for (int k = 0; k < static_cast<int>(SyscallAttack::kCount); ++k) {
+    const Session s = workload.make_attack(static_cast<SyscallAttack>(k), rng);
+    EXPECT_TRUE(s.injected_misuse);
+    EXPECT_EQ(s.archetype, -1);
+    EXPECT_GE(s.length(), 2u);
+  }
+}
+
+TEST(Syscalls, BruteForceAttackLoopsOverAuthSyscalls) {
+  const SyscallWorkload workload(small_config());
+  Rng rng(3);
+  const Session s = workload.make_attack(SyscallAttack::kBruteForceLogin, rng);
+  const auto setuid = workload.vocab().find("setuid");
+  ASSERT_TRUE(setuid.has_value());
+  std::size_t setuid_count = 0;
+  for (int a : s.actions) {
+    if (a == *setuid) ++setuid_count;
+  }
+  EXPECT_GE(setuid_count, 3u);  // far more setuid attempts than any normal flow
+}
+
+TEST(Syscalls, AttackSetCyclesAllKinds) {
+  const SyscallWorkload workload(small_config());
+  const auto attacks = workload.make_attack_set(12, 7);
+  EXPECT_EQ(attacks.size(), 12u);
+  for (const auto& s : attacks) EXPECT_TRUE(s.injected_misuse);
+}
+
+TEST(Syscalls, AttackFractionMixesIntoGenerate) {
+  SyscallWorkloadConfig config = small_config();
+  config.attack_fraction = 0.2;
+  const SyscallWorkload workload(config);
+  const SessionStore store = workload.generate();
+  std::size_t attacks = 0;
+  for (const auto& s : store.all()) attacks += s.injected_misuse ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(attacks) / static_cast<double>(store.size()), 0.2, 0.06);
+}
+
+TEST(Syscalls, AttackNames) {
+  EXPECT_STREQ(syscall_attack_name(SyscallAttack::kBruteForceLogin), "brute-force-login");
+  EXPECT_STREQ(syscall_attack_name(SyscallAttack::kWebShell), "web-shell");
+  EXPECT_STREQ(syscall_attack_name(SyscallAttack::kPrivilegeEscalation), "privilege-escalation");
+  EXPECT_STREQ(syscall_attack_name(SyscallAttack::kExfiltration), "exfiltration");
+}
+
+}  // namespace
+}  // namespace misuse::synth

@@ -1,0 +1,166 @@
+#include "tsne/tsne.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace misuse::tsne {
+namespace {
+
+// Three well-separated Gaussian blobs in 10-D.
+Matrix blob_data(std::size_t per_blob, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix points(3 * per_blob, 10);
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      for (std::size_t c = 0; c < 10; ++c) {
+        const double center = (c == b) ? 10.0 : 0.0;
+        points(b * per_blob + i, c) = static_cast<float>(rng.normal(center, 0.3));
+      }
+    }
+  }
+  return points;
+}
+
+TEST(Tsne, PairwiseDistancesAreCorrect) {
+  auto points = Matrix::from_rows(3, 2, {0, 0, 3, 4, 0, 1});
+  const Matrix d = pairwise_squared_distances(points);
+  EXPECT_FLOAT_EQ(d(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(d(0, 1), 25.0f);
+  EXPECT_FLOAT_EQ(d(1, 0), 25.0f);
+  EXPECT_FLOAT_EQ(d(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(d(1, 2), 18.0f);
+}
+
+TEST(Tsne, AffinitiesFormJointDistribution) {
+  const Matrix points = blob_data(5, 1);
+  const Matrix p = calibrated_joint_affinities(pairwise_squared_distances(points), 5.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    EXPECT_FLOAT_EQ(p(i, i), 0.0f);
+    for (std::size_t j = 0; j < p.cols(); ++j) {
+      EXPECT_GE(p(i, j), 0.0f);
+      EXPECT_NEAR(p(i, j), p(j, i), 1e-7f);
+      sum += p(i, j);
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-4);
+}
+
+TEST(Tsne, PerplexityCalibrationHitsTarget) {
+  const Matrix points = blob_data(10, 2);
+  const Matrix sq = pairwise_squared_distances(points);
+  const double target = 7.0;
+  const Matrix p = calibrated_joint_affinities(sq, target);
+  // Reconstruct conditional entropy per row from the joint (approximate
+  // check: rows of the symmetrized joint should still have entropy near
+  // log(perplexity) up to symmetrization effects).
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < p.cols(); ++j) row_sum += p(i, j);
+    double entropy = 0.0;
+    for (std::size_t j = 0; j < p.cols(); ++j) {
+      if (p(i, j) > 0.0f) {
+        const double q = p(i, j) / row_sum;
+        entropy -= q * std::log(q);
+      }
+    }
+    EXPECT_NEAR(std::exp(entropy), target, target * 0.5) << "row " << i;
+  }
+}
+
+TEST(Tsne, EmbeddingIsFiniteAndCentered) {
+  const Matrix points = blob_data(8, 3);
+  TsneConfig config;
+  config.iterations = 150;
+  const TsneResult result = run_tsne(points, config);
+  ASSERT_EQ(result.embedding.rows(), points.rows());
+  ASSERT_EQ(result.embedding.cols(), 2u);
+  double mean_x = 0.0, mean_y = 0.0;
+  for (std::size_t i = 0; i < result.embedding.rows(); ++i) {
+    ASSERT_TRUE(std::isfinite(result.embedding(i, 0)));
+    ASSERT_TRUE(std::isfinite(result.embedding(i, 1)));
+    mean_x += result.embedding(i, 0);
+    mean_y += result.embedding(i, 1);
+  }
+  EXPECT_NEAR(mean_x / static_cast<double>(points.rows()), 0.0, 1e-3);
+  EXPECT_NEAR(mean_y / static_cast<double>(points.rows()), 0.0, 1e-3);
+}
+
+TEST(Tsne, KlDecreasesAfterExaggerationPhase) {
+  const Matrix points = blob_data(8, 4);
+  TsneConfig config;
+  config.iterations = 250;
+  config.exaggeration_iterations = 50;
+  const TsneResult result = run_tsne(points, config);
+  ASSERT_EQ(result.kl_history.size(), 250u);
+  // After the exaggeration phase the optimizer works on the true
+  // objective; final KL must improve on the KL right after the switch.
+  EXPECT_LT(result.kl_history.back(), result.kl_history[60]);
+  EXPECT_GE(result.kl_history.back(), 0.0);
+}
+
+TEST(Tsne, SeparatedBlobsStaySeparatedInEmbedding) {
+  const std::size_t per_blob = 8;
+  const Matrix points = blob_data(per_blob, 5);
+  TsneConfig config;
+  config.iterations = 300;
+  config.perplexity = 5.0;
+  const TsneResult result = run_tsne(points, config);
+
+  // Mean intra-blob distance must be well below mean inter-blob distance.
+  double intra = 0.0, inter = 0.0;
+  std::size_t n_intra = 0, n_inter = 0;
+  const std::size_t n = points.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = result.embedding(i, 0) - result.embedding(j, 0);
+      const double dy = result.embedding(i, 1) - result.embedding(j, 1);
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      if (i / per_blob == j / per_blob) {
+        intra += dist;
+        ++n_intra;
+      } else {
+        inter += dist;
+        ++n_inter;
+      }
+    }
+  }
+  intra /= static_cast<double>(n_intra);
+  inter /= static_cast<double>(n_inter);
+  EXPECT_GT(inter, intra * 2.0);
+}
+
+TEST(Tsne, IdenticalPointsDoNotProduceNan) {
+  Matrix points(6, 4, 1.0f);  // all identical
+  TsneConfig config;
+  config.iterations = 50;
+  const TsneResult result = run_tsne(points, config);
+  for (float v : result.embedding.flat()) EXPECT_TRUE(std::isfinite(v));
+  for (double kl : result.kl_history) EXPECT_TRUE(std::isfinite(kl));
+}
+
+TEST(Tsne, DeterministicUnderSeed) {
+  const Matrix points = blob_data(5, 6);
+  TsneConfig config;
+  config.iterations = 80;
+  config.seed = 123;
+  const TsneResult a = run_tsne(points, config);
+  const TsneResult b = run_tsne(points, config);
+  EXPECT_TRUE(a.embedding == b.embedding);
+}
+
+TEST(Tsne, TwoPointsMinimalCase) {
+  auto points = Matrix::from_rows(2, 3, {0, 0, 0, 1, 1, 1});
+  TsneConfig config;
+  config.iterations = 30;
+  config.perplexity = 1.5;
+  const TsneResult result = run_tsne(points, config);
+  EXPECT_EQ(result.embedding.rows(), 2u);
+  for (float v : result.embedding.flat()) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace misuse::tsne

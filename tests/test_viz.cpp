@@ -1,0 +1,170 @@
+#include "viz/interface.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace misuse::viz {
+namespace {
+
+struct VizFixture {
+  topics::LdaEnsemble ensemble;
+  ActionVocab vocab;
+
+  static VizFixture make(std::uint64_t seed = 1) {
+    Rng rng(seed);
+    std::vector<std::vector<int>> docs;
+    for (std::size_t g = 0; g < 3; ++g) {
+      for (std::size_t d = 0; d < 25; ++d) {
+        std::vector<int> doc;
+        const std::size_t len = 6 + rng.uniform_index(6);
+        for (std::size_t i = 0; i < len; ++i) {
+          doc.push_back(static_cast<int>(g * 4 + rng.uniform_index(4)));
+        }
+        docs.push_back(std::move(doc));
+      }
+    }
+    topics::EnsembleConfig ec;
+    ec.topic_counts = {3, 4};
+    ec.iterations = 40;
+    ActionVocab vocab;
+    for (int i = 0; i < 12; ++i) vocab.intern("Action" + std::to_string(i));
+    return VizFixture{topics::LdaEnsemble::fit(docs, 12, ec), std::move(vocab)};
+  }
+};
+
+tsne::TsneConfig quick_tsne() {
+  tsne::TsneConfig config;
+  config.iterations = 60;
+  config.perplexity = 3.0;
+  return config;
+}
+
+TEST(Viz, ProjectionHasOnePointPerTopic) {
+  auto fixture = VizFixture::make();
+  const auto view = build_projection_view(fixture.ensemble, quick_tsne());
+  EXPECT_EQ(view.coordinates.rows(), fixture.ensemble.topic_count());
+  EXPECT_EQ(view.coordinates.cols(), 2u);
+  EXPECT_EQ(view.runs.size(), fixture.ensemble.topic_count());
+  EXPECT_GE(view.final_kl, 0.0);
+}
+
+TEST(Viz, MatrixViewThresholdFiltersCells) {
+  auto fixture = VizFixture::make();
+  const auto all = build_matrix_view(fixture.ensemble, 0.0f);
+  const auto sparse = build_matrix_view(fixture.ensemble, 0.2f);
+  EXPECT_GT(all.cells.size(), sparse.cells.size());
+  for (const auto& cell : sparse.cells) {
+    EXPECT_GE(cell.probability, 0.2f);
+    EXPECT_LT(cell.topic, fixture.ensemble.topic_count());
+    EXPECT_LT(cell.action, fixture.ensemble.vocab());
+  }
+}
+
+TEST(Viz, MatrixViewCoversEveryTopicAtZeroThreshold) {
+  auto fixture = VizFixture::make();
+  const auto view = build_matrix_view(fixture.ensemble, 0.0f);
+  std::vector<bool> seen(fixture.ensemble.topic_count(), false);
+  for (const auto& cell : view.cells) seen[cell.topic] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Viz, ChordViewLinksShareActions) {
+  auto fixture = VizFixture::make();
+  const std::vector<std::size_t> selection = {0, 1, 2, 3};
+  const auto view = build_chord_view(fixture.ensemble, selection, 5);
+  EXPECT_EQ(view.fan_sizes.size(), 4u);
+  for (std::size_t fan : view.fan_sizes) EXPECT_LE(fan, 5u);
+  for (const auto& link : view.links) {
+    EXPECT_LT(link.a, selection.size());
+    EXPECT_LT(link.b, selection.size());
+    EXPECT_GT(link.shared_actions, 0u);
+    EXPECT_LE(link.shared_actions, 5u);
+  }
+}
+
+TEST(Viz, JsonExportIsWellFormedish) {
+  auto fixture = VizFixture::make();
+  const auto projection = build_projection_view(fixture.ensemble, quick_tsne());
+  const auto matrix = build_matrix_view(fixture.ensemble, 0.1f);
+  const auto chord = build_chord_view(fixture.ensemble, {0, 1, 2}, 5);
+  std::ostringstream out;
+  export_interface_json(projection, matrix, chord, fixture.vocab, out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"projection\""), std::string::npos);
+  EXPECT_NE(json.find("\"topic_action_matrix\""), std::string::npos);
+  EXPECT_NE(json.find("\"chord\""), std::string::npos);
+  EXPECT_NE(json.find("Action0"), std::string::npos);
+  // Balanced braces (writer asserts structure, this is a belt check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Viz, SessionMapSamplesAndTagsSessions) {
+  auto fixture = VizFixture::make();
+  std::vector<std::size_t> clusters(fixture.ensemble.documents());
+  for (std::size_t i = 0; i < clusters.size(); ++i) clusters[i] = i % 3;
+  const auto map = build_session_map(fixture.ensemble, clusters, 30, quick_tsne(), 7);
+  EXPECT_EQ(map.sessions.size(), 30u);
+  EXPECT_EQ(map.coordinates.rows(), 30u);
+  EXPECT_EQ(map.clusters.size(), 30u);
+  for (std::size_t i = 0; i < map.sessions.size(); ++i) {
+    EXPECT_EQ(map.clusters[i], map.sessions[i] % 3);
+    EXPECT_TRUE(std::isfinite(map.coordinates(i, 0)));
+    EXPECT_TRUE(std::isfinite(map.coordinates(i, 1)));
+  }
+}
+
+TEST(Viz, SessionMapSampleCappedByPopulation) {
+  auto fixture = VizFixture::make();
+  std::vector<std::size_t> clusters(fixture.ensemble.documents(), 0);
+  const auto map =
+      build_session_map(fixture.ensemble, clusters, 10000, quick_tsne(), 7);
+  EXPECT_EQ(map.sessions.size(), fixture.ensemble.documents());
+}
+
+TEST(Viz, SessionMapAsciiUsesClusterDigits) {
+  auto fixture = VizFixture::make();
+  std::vector<std::size_t> clusters(fixture.ensemble.documents());
+  for (std::size_t i = 0; i < clusters.size(); ++i) clusters[i] = i % 3;
+  const auto map = build_session_map(fixture.ensemble, clusters, 40, quick_tsne(), 8);
+  const std::string art = render_session_map_ascii(map, 40, 14);
+  EXPECT_NE(art.find('0'), std::string::npos);
+  EXPECT_NE(art.find('1'), std::string::npos);
+  EXPECT_NE(art.find('2'), std::string::npos);
+}
+
+TEST(Viz, AsciiProjectionHasFrameAndMarks) {
+  auto fixture = VizFixture::make();
+  const auto view = build_projection_view(fixture.ensemble, quick_tsne());
+  const std::string art = render_projection_ascii(view, 40, 12);
+  EXPECT_NE(art.find('+'), std::string::npos);
+  // At least one topic mark (letters a/b for runs 0/1).
+  EXPECT_TRUE(art.find('a') != std::string::npos || art.find('b') != std::string::npos);
+}
+
+TEST(Viz, AsciiMatrixNamesActions) {
+  auto fixture = VizFixture::make();
+  const auto view = build_matrix_view(fixture.ensemble, 0.05f);
+  const std::string art =
+      render_matrix_ascii(view, fixture.vocab, fixture.ensemble, 5, 3);
+  EXPECT_NE(art.find("topic 0"), std::string::npos);
+  EXPECT_NE(art.find("Action"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Viz, AsciiChordShowsLinks) {
+  auto fixture = VizFixture::make();
+  const auto view = build_chord_view(fixture.ensemble, {0, 1, 2, 3, 4}, 6);
+  const std::string art = render_chord_ascii(view);
+  EXPECT_NE(art.find("chord fans"), std::string::npos);
+  EXPECT_NE(art.find("links"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace misuse::viz
