@@ -6,14 +6,17 @@
 
 #include "core/drift.hpp"
 #include "lm/batching.hpp"
+#include "lm/language_model.hpp"
 #include "lm/markov.hpp"
 #include "nn/next_action_model.hpp"
 #include "ocsvm/features.hpp"
 #include "ocsvm/ocsvm.hpp"
 #include "synth/portal.hpp"
 #include "tensor/ops.hpp"
+#include "topics/ensemble.hpp"
 #include "topics/lda.hpp"
 #include "tsne/tsne.hpp"
+#include "util/thread_pool.hpp"
 
 namespace misuse {
 namespace {
@@ -219,6 +222,93 @@ void BM_WindowedBatching(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 89);
 }
 BENCHMARK(BM_WindowedBatching);
+
+// --- Parallel execution layer: serial vs thread pool -------------------
+// The Arg is the worker count of the global pool; Arg(1) is the exact
+// serial path (no threads created). Results are bit-identical across
+// args by the determinism contract, so these measure pure scheduling.
+
+void BM_GemmThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  set_global_threads(threads);
+  Rng rng(21);
+  const std::size_t n = 192;
+  Matrix a(n, n), b(n, n), c(n, n);
+  a.init_gaussian(rng, 1.0f);
+  b.init_gaussian(rng, 1.0f);
+  for (auto _ : state) {
+    gemm(1.0f, a, b, 0.0f, c, GemmPolicy::kParallel);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n * 2);
+  set_global_threads(1);
+}
+BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Synthetic per-cluster corpus shared by the fan-out benches below.
+std::vector<std::vector<std::vector<int>>> make_cluster_corpus(std::size_t clusters,
+                                                               std::size_t sessions_per_cluster,
+                                                               std::size_t vocab) {
+  std::vector<std::vector<std::vector<int>>> corpus(clusters);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    Rng rng = Rng::stream(31, c);
+    corpus[c].resize(sessions_per_cluster);
+    for (auto& s : corpus[c]) {
+      s.resize(15);
+      for (auto& a : s) a = static_cast<int>(rng.uniform_index(vocab));
+    }
+  }
+  return corpus;
+}
+
+void BM_PerClusterLstmTrainThreads(benchmark::State& state) {
+  // The dominant training cost of MisuseDetector::train: k = 13
+  // independent per-cluster LSTM fits (paper's cluster count), fanned
+  // out over the pool exactly as detector.cpp does.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  set_global_threads(threads);
+  constexpr std::size_t kClusters = 13;
+  const auto corpus = make_cluster_corpus(kClusters, 24, 50);
+  for (auto _ : state) {
+    global_pool().parallel_for(0, kClusters, [&](std::size_t c) {
+      lm::LmConfig config;
+      config.vocab = 50;
+      config.hidden = 16;
+      config.epochs = 2;
+      config.patience = 0;
+      config.seed = 100 + c;
+      lm::ActionLanguageModel model(config);
+      const std::vector<std::span<const int>> train(corpus[c].begin(), corpus[c].end());
+      const auto history = model.fit(train, {});
+      benchmark::DoNotOptimize(history.size());
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kClusters);
+  set_global_threads(1);
+}
+BENCHMARK(BM_PerClusterLstmTrainThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LdaEnsembleThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  set_global_threads(threads);
+  Rng rng(23);
+  std::vector<std::vector<int>> docs(200);
+  for (auto& d : docs) {
+    d.resize(15);
+    for (auto& w : d) w = static_cast<int>(rng.uniform_index(80));
+  }
+  topics::EnsembleConfig config;
+  config.topic_counts = {10, 13, 16, 20};
+  config.iterations = 15;
+  for (auto _ : state) {
+    const auto ensemble = topics::LdaEnsemble::fit(docs, 80, config);
+    benchmark::DoNotOptimize(ensemble.topic_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4);
+  set_global_threads(1);
+}
+BENCHMARK(BM_LdaEnsembleThreads)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace misuse

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
+
+#include "util/thread_pool.hpp"
 
 namespace misuse::cluster {
 
@@ -10,7 +13,11 @@ ClusterAssigner ClusterAssigner::train(
     const AssignerConfig& config) {
   assert(!cluster_sessions.empty());
   ClusterAssigner assigner(config);
-  for (std::size_t c = 0; c < cluster_sessions.size(); ++c) {
+  // Clusters are independent: each task featurizes and trains one OC-SVM
+  // with a seed derived from the cluster index, then lands in its slot —
+  // results match the serial loop bit for bit.
+  std::vector<std::optional<ocsvm::OneClassSvm>> trained(cluster_sessions.size());
+  global_pool().parallel_for(0, cluster_sessions.size(), [&](std::size_t c) {
     assert(!cluster_sessions[c].empty());
     std::vector<std::vector<float>> features;
     features.reserve(cluster_sessions[c].size());
@@ -19,8 +26,10 @@ ClusterAssigner ClusterAssigner::train(
     }
     ocsvm::OcSvmConfig svm_config = config.svm;
     svm_config.seed = config.svm.seed + c;  // independent subsampling per cluster
-    assigner.svms_.push_back(ocsvm::OneClassSvm::train(features, svm_config));
-  }
+    trained[c] = ocsvm::OneClassSvm::train(features, svm_config);
+  });
+  assigner.svms_.reserve(trained.size());
+  for (auto& svm : trained) assigner.svms_.push_back(std::move(*svm));
   return assigner;
 }
 

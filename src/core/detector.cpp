@@ -5,6 +5,7 @@
 
 #include "patterns/mining.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -98,8 +99,13 @@ MisuseDetector MisuseDetector::train(const SessionStore& store, const DetectorCo
   }
   log_info() << "OC-SVMs trained (" << Table::num(timer.seconds(), 1) << "s elapsed)";
 
-  // Step 5: one LSTM language model per cluster.
-  for (std::size_t c = 0; c < detector.clusters_.size(); ++c) {
+  // Step 5: one LSTM language model per cluster. Each model's RNG stream
+  // is derived from the task index (seed + 1000 + c) before the fan-out
+  // and lives inside the model, so concurrent training touches no shared
+  // mutable state and the weights are bit-identical to serial training.
+  detector.models_.resize(detector.clusters_.size());
+  detector.reports_.resize(detector.clusters_.size());
+  global_pool().parallel_for(0, detector.clusters_.size(), [&](std::size_t c) {
     const auto& info = detector.clusters_[c];
     lm::LmConfig lm_config = config.lm;
     lm_config.vocab = vocab;
@@ -107,12 +113,13 @@ MisuseDetector MisuseDetector::train(const SessionStore& store, const DetectorCo
     auto model = std::make_unique<lm::ActionLanguageModel>(lm_config);
     const auto train_sessions = gather_sessions(store, info.train);
     const auto valid_sessions = gather_sessions(store, info.valid);
-    ClusterTrainReport report;
-    report.epochs = model->fit(train_sessions, valid_sessions);
-    detector.reports_.push_back(std::move(report));
-    detector.models_.push_back(std::move(model));
-    log_info() << "cluster " << c << " '" << info.label << "' model trained on " << info.train.size()
-               << " sessions (" << Table::num(timer.seconds(), 1) << "s elapsed)";
+    detector.reports_[c].epochs = model->fit(train_sessions, valid_sessions);
+    detector.models_[c] = std::move(model);
+  });
+  for (std::size_t c = 0; c < detector.clusters_.size(); ++c) {
+    log_info() << "cluster " << c << " '" << detector.clusters_[c].label << "' model trained on "
+               << detector.clusters_[c].train.size() << " sessions ("
+               << Table::num(timer.seconds(), 1) << "s elapsed)";
   }
   return detector;
 }

@@ -1,11 +1,13 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 
 #include "util/logging.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace misuse::core {
@@ -20,6 +22,14 @@ void mix(std::uint64_t& h, std::uint64_t v) {
 ExperimentConfig ExperimentConfig::from_cli(const CliArgs& args) {
   ExperimentConfig config;
   set_log_level(parse_log_level(args.str("log-level", "info")));
+  // Execution width. Never part of the fingerprint: the determinism
+  // contract (see util/thread_pool.hpp) makes results identical at any
+  // thread count, so cached detectors stay valid across --threads.
+  if (args.has("threads")) {
+    // Negative values would wrap to a huge size_t; treat them as "auto".
+    const std::int64_t threads = std::max<std::int64_t>(0, args.integer("threads", 0));
+    set_global_threads(static_cast<std::size_t>(threads));
+  }
   const bool paper = args.flag("paper-scale");
 
   // Corpus scale.

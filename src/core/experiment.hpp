@@ -28,7 +28,9 @@ struct ExperimentConfig {
 
   /// Reads flags: --sessions --users --actions --hidden --epochs --window
   /// --batch --clusters --lda-iters --seed --mode --misuse-fraction
-  /// --paper-scale --no-cache --results-dir --log-level.
+  /// --paper-scale --no-cache --results-dir --log-level --threads
+  /// (--threads resizes the global pool; 1 = exact serial path; the
+  /// MISUSEDET_THREADS environment variable sets the default).
   static ExperimentConfig from_cli(const CliArgs& args);
 
   /// Stable hash of every field that influences training; names the cache

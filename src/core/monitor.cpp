@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "util/thread_pool.hpp"
+
 namespace misuse::core {
 
 bool TrendDetector::push(double value) {
@@ -92,6 +94,39 @@ OnlineMonitor::StepResult OnlineMonitor::observe(int action) {
     next_distributions_[c] = detector_.model(c).step(states_[c], action);
   }
   return result;
+}
+
+std::vector<SessionMonitorReport> monitor_sessions(
+    const MisuseDetector& detector, const MonitorConfig& config,
+    std::span<const std::span<const int>> sessions) {
+  std::vector<SessionMonitorReport> reports(sessions.size());
+  // Sessions are independent streams: each task replays one session
+  // through a private monitor (the shared detector is only read) and
+  // fills its own report slot.
+  global_pool().parallel_for(0, sessions.size(), [&](std::size_t s) {
+    OnlineMonitor monitor(detector, config);
+    SessionMonitorReport& report = reports[s];
+    double likelihood_sum = 0.0;
+    std::size_t scored_steps = 0;
+    for (const int action : sessions[s]) {
+      const auto step = monitor.observe(action);
+      report.steps = step.step;
+      if (step.alarm) {
+        ++report.alarms;
+        if (!report.first_alarm_step) report.first_alarm_step = step.step;
+      }
+      if (step.trend_alarm) ++report.trend_alarms;
+      if (step.likelihood_voted) {
+        likelihood_sum += *step.likelihood_voted;
+        ++scored_steps;
+      }
+      report.voted_cluster = step.cluster_voted;
+    }
+    if (scored_steps > 0) {
+      report.avg_likelihood_voted = likelihood_sum / static_cast<double>(scored_steps);
+    }
+  });
+  return reports;
 }
 
 }  // namespace misuse::core

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/detector.hpp"
@@ -100,5 +101,29 @@ class OnlineMonitor {
   TrendDetector trend_;
   std::size_t step_ = 0;
 };
+
+/// Whole-session summary of one monitored session in a batch evaluation.
+struct SessionMonitorReport {
+  std::size_t steps = 0;
+  std::size_t alarms = 0;        // steps whose StepResult alarmed
+  std::size_t trend_alarms = 0;  // steps where the trend detector fired
+  /// 1-based step of the first alarm, if any.
+  std::optional<std::size_t> first_alarm_step;
+  /// Voted cluster at the end of the session.
+  std::size_t voted_cluster = 0;
+  /// Mean voted-model likelihood over the scored steps (steps >= 2); the
+  /// session's normality estimate under the online regime.
+  double avg_likelihood_voted = 0.0;
+};
+
+/// Replays every session through its own OnlineMonitor, fanning the
+/// independent sessions out over the global thread pool (each task owns
+/// one monitor and one output slot, so reports are index-ordered and
+/// bit-identical to a serial replay). This is the batch-evaluation path:
+/// the figure benches and threat-hunting sweeps score thousands of
+/// recorded sessions at once.
+std::vector<SessionMonitorReport> monitor_sessions(
+    const MisuseDetector& detector, const MonitorConfig& config,
+    std::span<const std::span<const int>> sessions);
 
 }  // namespace misuse::core

@@ -4,17 +4,54 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace misuse {
 
-void gemm(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c) {
-  const std::size_t m = a.rows();
+namespace {
+
+// 2*m*n*k at which kAuto fans a GEMM out over the pool. Below this the
+// dispatch overhead beats the win; the LSTM training matmuls at paper
+// scale (batch x vocab x 4*hidden) sit comfortably above it.
+constexpr std::size_t kGemmParallelFlops = std::size_t{1} << 20;
+
+bool use_parallel(GemmPolicy policy, std::size_t m, std::size_t n, std::size_t k) {
+  switch (policy) {
+    case GemmPolicy::kSerial:
+      return false;
+    case GemmPolicy::kParallel:
+      return true;
+    case GemmPolicy::kAuto:
+      return m > 1 && 2 * m * n * k >= kGemmParallelFlops && global_thread_count() > 1;
+  }
+  return false;
+}
+
+// Partitions [0, m) into contiguous row blocks and runs `body(lo, hi)`
+// for each block on the pool. Blocks are disjoint, so the kernels below
+// write disjoint rows of C and stay race-free; each element keeps the
+// serial accumulation order, so results are bit-identical to the serial
+// path at any thread count.
+template <typename Body>
+void for_row_blocks(std::size_t m, const Body& body) {
+  ThreadPool& pool = global_pool();
+  const std::size_t blocks = std::max<std::size_t>(1, std::min(m, pool.size() * 4));
+  const std::size_t rows_per_block = (m + blocks - 1) / blocks;
+  pool.parallel_for(0, blocks, [&](std::size_t block) {
+    const std::size_t lo = block * rows_per_block;
+    const std::size_t hi = std::min(m, lo + rows_per_block);
+    if (lo < hi) body(lo, hi);
+  });
+}
+
+// C rows [row_begin, row_end) of C = alpha * A * B + beta * C.
+void gemm_rows(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c,
+               std::size_t row_begin, std::size_t row_end) {
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
-  assert(b.rows() == k);
-  assert(c.rows() == m && c.cols() == n);
   // i-k-j loop order: the inner j loop streams both B's row k and C's row
   // i sequentially, which vectorizes well and keeps B in cache.
-  for (std::size_t i = 0; i < m; ++i) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
     float* ci = c.data() + i * n;
     if (beta == 0.0f) {
       std::fill(ci, ci + n, 0.0f);
@@ -31,23 +68,27 @@ void gemm(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c) 
   }
 }
 
-void gemm_at_b(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c) {
-  // C(m x n) = alpha * A^T * B + beta * C with A stored (k x m).
+// C rows [row_begin, row_end) of C = alpha * A^T * B + beta * C with A
+// stored (k x m). The p loop stays outermost within the block, so every
+// C element sees the same p-ascending accumulation order as the serial
+// whole-matrix kernel.
+void gemm_at_b_rows(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c,
+                    std::size_t row_begin, std::size_t row_end) {
   const std::size_t k = a.rows();
   const std::size_t m = a.cols();
   const std::size_t n = b.cols();
-  assert(b.rows() == k);
-  assert(c.rows() == m && c.cols() == n);
-  if (beta == 0.0f) {
-    c.zero();
-  } else if (beta != 1.0f) {
-    scale(c.flat(), beta);
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    float* ci = c.data() + i * n;
+    if (beta == 0.0f) {
+      std::fill(ci, ci + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::size_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
   }
-  // Walk A and B row-by-row (both sequential); scatter into C rows.
   for (std::size_t p = 0; p < k; ++p) {
     const float* ap = a.data() + p * m;
     const float* bp = b.data() + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
       const float v = alpha * ap[i];
       if (v == 0.0f) continue;
       float* ci = c.data() + i * n;
@@ -56,14 +97,13 @@ void gemm_at_b(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix
   }
 }
 
-void gemm_a_bt(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c) {
-  // C(m x n) = alpha * A(m x k) * B(n x k)^T + beta * C.
-  const std::size_t m = a.rows();
+// C rows [row_begin, row_end) of C = alpha * A * B^T + beta * C with B
+// stored (n x k).
+void gemm_a_bt_rows(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c,
+                    std::size_t row_begin, std::size_t row_end) {
   const std::size_t k = a.cols();
   const std::size_t n = b.rows();
-  assert(b.cols() == k);
-  assert(c.rows() == m && c.cols() == n);
-  for (std::size_t i = 0; i < m; ++i) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
     const float* ai = a.data() + i * k;
     float* ci = c.data() + i * n;
     for (std::size_t j = 0; j < n; ++j) {
@@ -72,6 +112,60 @@ void gemm_a_bt(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix
       for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
       ci[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * ci[j]);
     }
+  }
+}
+
+}  // namespace
+
+std::size_t gemm_parallel_threshold() { return kGemmParallelFlops; }
+
+void gemm(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c,
+          GemmPolicy policy) {
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  assert(b.rows() == k);
+  assert(c.rows() == m && c.cols() == n);
+  if (use_parallel(policy, m, n, k)) {
+    for_row_blocks(m, [&](std::size_t lo, std::size_t hi) {
+      gemm_rows(alpha, a, b, beta, c, lo, hi);
+    });
+  } else {
+    gemm_rows(alpha, a, b, beta, c, 0, m);
+  }
+}
+
+void gemm_at_b(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c,
+               GemmPolicy policy) {
+  // C(m x n) = alpha * A^T * B + beta * C with A stored (k x m).
+  const std::size_t k = a.rows();
+  const std::size_t m = a.cols();
+  const std::size_t n = b.cols();
+  assert(b.rows() == k);
+  assert(c.rows() == m && c.cols() == n);
+  if (use_parallel(policy, m, n, k)) {
+    for_row_blocks(m, [&](std::size_t lo, std::size_t hi) {
+      gemm_at_b_rows(alpha, a, b, beta, c, lo, hi);
+    });
+  } else {
+    gemm_at_b_rows(alpha, a, b, beta, c, 0, m);
+  }
+}
+
+void gemm_a_bt(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c,
+               GemmPolicy policy) {
+  // C(m x n) = alpha * A(m x k) * B(n x k)^T + beta * C.
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.rows();
+  assert(b.cols() == k);
+  assert(c.rows() == m && c.cols() == n);
+  if (use_parallel(policy, m, n, k)) {
+    for_row_blocks(m, [&](std::size_t lo, std::size_t hi) {
+      gemm_a_bt_rows(alpha, a, b, beta, c, lo, hi);
+    });
+  } else {
+    gemm_a_bt_rows(alpha, a, b, beta, c, 0, m);
   }
 }
 

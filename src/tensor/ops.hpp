@@ -1,6 +1,12 @@
 // Matrix/vector kernels. GEMM dominates LSTM training time, so it is
 // register-blocked over the K loop with the B operand walked row-wise for
 // cache-friendly access; everything else is straightforward.
+//
+// Large GEMMs are additionally row-partitioned over the global thread
+// pool: each task owns a contiguous block of C's rows, and every element
+// of C is accumulated in exactly the serial loop order, so the parallel
+// kernels are bit-identical to the serial ones (0 ULP) at any thread
+// count.
 #pragma once
 
 #include <span>
@@ -9,15 +15,27 @@
 
 namespace misuse {
 
+/// Execution policy of the GEMM kernels. kAuto parallelizes across the
+/// global pool when the flop count clears gemm_parallel_threshold() and
+/// more than one lane is available; kSerial / kParallel force a path
+/// (used by tests and benchmarks to pin the comparison).
+enum class GemmPolicy { kAuto, kSerial, kParallel };
+
+/// 2*m*n*k flop count at or above which kAuto goes parallel.
+std::size_t gemm_parallel_threshold();
+
 /// C = alpha * A(m x k) * B(k x n) + beta * C(m x n).
-void gemm(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c);
+void gemm(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c,
+          GemmPolicy policy = GemmPolicy::kAuto);
 
 /// C = alpha * A^T(m x k; stored k x m... ) — explicit variants so callers
 /// never materialize transposes on the hot path:
 /// C(m x n) += alpha * A(k x m)^T * B(k x n) + beta * C  (used for weight grads)
-void gemm_at_b(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c);
+void gemm_at_b(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c,
+               GemmPolicy policy = GemmPolicy::kAuto);
 /// C(m x n) = alpha * A(m x k) * B(n x k)^T + beta * C   (used for input grads)
-void gemm_a_bt(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c);
+void gemm_a_bt(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c,
+               GemmPolicy policy = GemmPolicy::kAuto);
 
 /// y = alpha * x + y over equal-length spans.
 void axpy(float alpha, std::span<const float> x, std::span<float> y);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/thread_pool.hpp"
+
 namespace misuse::topics {
 
 LdaEnsemble LdaEnsemble::fit(const std::vector<std::vector<int>>& documents, std::size_t vocab,
@@ -12,7 +14,12 @@ LdaEnsemble LdaEnsemble::fit(const std::vector<std::vector<int>>& documents, std
   ensemble.vocab_ = vocab;
   ensemble.documents_ = documents.size();
 
+  // Draw every run's config (including its seed) serially first, so the
+  // per-run seeds do not depend on scheduling; the independent Gibbs
+  // fits then fan out over the pool and land in their run slot, keeping
+  // the ensemble bit-identical to the single-threaded fit.
   Rng seeder(config.seed);
+  std::vector<LdaConfig> run_configs;
   for (const std::size_t k : config.topic_counts) {
     for (std::size_t r = 0; r < config.runs_per_count; ++r) {
       LdaConfig lda;
@@ -21,11 +28,17 @@ LdaEnsemble LdaEnsemble::fit(const std::vector<std::vector<int>>& documents, std
       lda.beta = config.beta;
       lda.iterations = config.iterations;
       lda.seed = seeder.next_u64();
-      const std::size_t run_index = ensemble.runs_.size();
-      ensemble.runs_.push_back(fit_lda(documents, vocab, lda));
-      for (std::size_t t = 0; t < k; ++t) {
-        ensemble.refs_.push_back({run_index, t});
-      }
+      run_configs.push_back(lda);
+    }
+  }
+
+  ensemble.runs_.resize(run_configs.size());
+  global_pool().parallel_for(0, run_configs.size(), [&](std::size_t run) {
+    ensemble.runs_[run] = fit_lda(documents, vocab, run_configs[run]);
+  });
+  for (std::size_t run = 0; run < run_configs.size(); ++run) {
+    for (std::size_t t = 0; t < run_configs[run].topics; ++t) {
+      ensemble.refs_.push_back({run, t});
     }
   }
   return ensemble;

@@ -128,4 +128,15 @@ double Rng::lognormal(double mu, double sigma) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+Rng Rng::stream(std::uint64_t base_seed, std::uint64_t stream_id) {
+  // Mix both words through separate splitmix64 chains before combining:
+  // consecutive stream ids land in unrelated regions of the seed space,
+  // and (base, id) pairs cannot collide by simple addition.
+  std::uint64_t b = base_seed;
+  std::uint64_t s = stream_id ^ 0x5851f42d4c957f2dULL;
+  const std::uint64_t mixed_base = splitmix64(b);
+  const std::uint64_t mixed_stream = splitmix64(s);
+  return Rng(mixed_base ^ rotl(mixed_stream, 31));
+}
+
 }  // namespace misuse

@@ -2,6 +2,26 @@
 // components (data synthesis, LDA Gibbs sampling, neural-net init,
 // dropout, t-SNE). Every experiment in the paper reproduction is seeded,
 // so runs are bit-reproducible on a given platform.
+//
+// Seeding scheme under parallel execution
+// ---------------------------------------
+// An Rng instance is NOT thread-safe and must never be shared across the
+// thread pool: a draw order that depends on scheduling would break the
+// bit-for-bit determinism contract (util/thread_pool.hpp). Instead, every
+// parallel task derives its own independent stream from data that is
+// fixed *before* the fan-out:
+//   * Rng::stream(base_seed, stream_id) — the canonical derivation: both
+//     words pass through splitmix64, so adjacent ids yield uncorrelated
+//     states. Use the task index as stream_id.
+//   * additive offsets (base_seed + cluster_id) — the historical scheme
+//     kept by the per-cluster OC-SVM (assigner.cpp) and language-model
+//     (detector.cpp) training; safe because each offset seeds a private
+//     generator through splitmix64 inside the Rng constructor.
+//   * pre-drawn seeds — the LDA ensemble draws one seed per run from a
+//     serial seeder generator before the runs fan out (ensemble.cpp).
+// Audit note: split() advances this generator's state, so calling it
+// from inside parallel tasks is order-dependent — derive streams before
+// the fan-out, never inside it.
 #pragma once
 
 #include <cstdint>
@@ -61,8 +81,15 @@ class Rng {
   }
 
   /// A derived generator with independent state; used to give each
-  /// component (per-cluster model, per-LDA-run) its own stream.
+  /// component (per-cluster model, per-LDA-run) its own stream. Advances
+  /// this generator — call serially, never from parallel tasks.
   Rng split();
+
+  /// Independent, reproducible stream for worker/task `stream_id` under
+  /// `base_seed`. Pure function of its arguments (no shared state), so it
+  /// can be called from any thread; the canonical way to seed randomness
+  /// inside parallel_for bodies.
+  static Rng stream(std::uint64_t base_seed, std::uint64_t stream_id);
 
  private:
   std::uint64_t s_[4];

@@ -1,0 +1,164 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace misuse {
+
+namespace {
+// Worker threads mark themselves with their owning pool so nested
+// submit()/parallel_for() calls can detect an already-parallel context
+// and degrade to inline execution instead of deadlocking.
+thread_local const ThreadPool* t_owning_pool = nullptr;
+
+// Spawning more workers than this is never useful and a wrapped negative
+// or fat-fingered request would otherwise abort inside std::thread.
+constexpr std::size_t kMaxThreads = 512;
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested >= 1) return std::min(requested, kMaxThreads);
+  if (const char* env = std::getenv("MISUSEDET_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return std::min(static_cast<std::size_t>(v), kMaxThreads);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) : size_(resolve_thread_count(threads)) {
+  if (size_ == 1) return;  // inline mode: no threads at all
+  workers_.reserve(size_);
+  for (std::size_t w = 0; w < size_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+bool ThreadPool::on_worker_thread() const { return t_owning_pool == this; }
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop(std::size_t /*worker_id*/) {
+  t_owning_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  if (size_ == 1 || n == 1 || on_worker_thread()) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Static chunking: a few chunks per lane balances load without making
+  // the per-chunk dispatch overhead dominate tiny bodies.
+  const std::size_t grain = std::max<std::size_t>(1, n / (size_ * 4));
+  const std::size_t chunk_count = (n + grain - 1) / grain;
+
+  struct Shared {
+    std::atomic<std::size_t> next_chunk{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t chunks_done = 0;
+    std::size_t chunk_total = 0;
+    // Lowest-index failure wins so the rethrown exception does not depend
+    // on which worker happened to run first.
+    std::exception_ptr error;
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->chunk_total = chunk_count;
+
+  // fn is captured by pointer: every chunk is claimed-then-run, and the
+  // caller blocks below until all claimed chunks have completed, so the
+  // referent outlives every use. Helpers that wake after the last chunk
+  // was claimed touch only `shared`.
+  const auto* body = &fn;
+  auto run_chunks = [shared, body, begin, end, grain] {
+    for (;;) {
+      const std::size_t c = shared->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= shared->chunk_total) return;
+      const std::size_t lo = begin + c * grain;
+      const std::size_t hi = std::min(end, lo + grain);
+      for (std::size_t i = lo; i < hi; ++i) {
+        try {
+          (*body)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(shared->done_mutex);
+          if (i < shared->error_index) {
+            shared->error_index = i;
+            shared->error = std::current_exception();
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(shared->done_mutex);
+      if (++shared->chunks_done == shared->chunk_total) shared->done_cv.notify_all();
+    }
+  };
+
+  const std::size_t helpers = std::min(size_, chunk_count) - 1;
+  for (std::size_t h = 0; h < helpers; ++h) enqueue(run_chunks);
+  run_chunks();  // the caller works too; never blocks waiting on itself
+
+  std::unique_lock<std::mutex> lock(shared->done_mutex);
+  shared->done_cv.wait(lock, [&shared] { return shared->chunks_done == shared->chunk_total; });
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+namespace {
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+std::mutex g_global_pool_mutex;
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_global_pool_mutex);
+  auto& slot = global_pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void set_global_threads(std::size_t threads) {
+  const std::size_t resolved = resolve_thread_count(threads);
+  std::lock_guard<std::mutex> lock(g_global_pool_mutex);
+  auto& slot = global_pool_slot();
+  if (slot && slot->size() == resolved) return;
+  slot = std::make_unique<ThreadPool>(resolved);
+}
+
+std::size_t global_thread_count() { return global_pool().size(); }
+
+}  // namespace misuse

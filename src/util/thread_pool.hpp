@@ -1,0 +1,106 @@
+// Deterministic thread-pool execution layer. Every parallel stage of the
+// pipeline (LDA ensemble runs, per-cluster OC-SVM / LSTM training,
+// blocked GEMM, batch session scoring) fans out over this pool and merges
+// its results in index order, so the output of any computation is
+// bit-identical to the single-threaded run regardless of worker count.
+//
+// Determinism contract:
+//   * tasks never share mutable state — each task owns its slot of a
+//     pre-sized output vector, indexed by the task's position;
+//   * per-task randomness is seeded *before* the fan-out from the task
+//     index (see util/rng.hpp for the seeding scheme), never drawn from a
+//     generator shared across tasks;
+//   * floating-point reductions keep the serial association order: a
+//     parallel_for over matrix rows computes every row exactly as the
+//     serial loop would, and cross-task sums are accumulated by the
+//     caller in ascending index order.
+//
+// Worker count resolution (first match wins):
+//   1. set_global_threads(n) with n >= 1,
+//   2. the MISUSEDET_THREADS environment variable,
+//   3. std::thread::hardware_concurrency().
+// A count of 1 short-circuits every entry point to plain inline
+// execution — the exact serial code path, no threads created at all.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace misuse {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 resolves to hardware_concurrency().
+  /// A pool of size 1 spawns no threads and runs everything inline.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of execution lanes (>= 1; 1 means inline execution).
+  std::size_t size() const { return size_; }
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+  /// Schedules a callable and returns its future. Exceptions thrown by
+  /// the task surface from future::get(). Calls from inside a worker of
+  /// this pool execute inline (already-parallel context), which makes
+  /// nested submission deadlock-free by construction.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    if (size_ == 1 || on_worker_thread()) {
+      (*task)();
+      return result;
+    }
+    enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  /// Calls fn(i) for every i in [begin, end), distributing contiguous
+  /// index chunks over the workers; the calling thread participates, so
+  /// the pool is never idle-blocked on its own caller. Returns when every
+  /// index has run. If any invocation throws, the exception thrown at the
+  /// lowest index is rethrown (deterministically, independent of thread
+  /// timing). Nested calls from a worker thread run serially inline.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop(std::size_t worker_id);
+
+  std::size_t size_ = 1;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// The process-wide pool used by all pipeline stages. Built lazily on
+/// first use from MISUSEDET_THREADS / hardware_concurrency.
+ThreadPool& global_pool();
+
+/// Rebuilds the global pool with `threads` workers (0 = re-resolve from
+/// the environment). No-op when the pool already has that many workers.
+/// Not safe to call while parallel work is in flight.
+void set_global_threads(std::size_t threads);
+
+/// Worker count of the global pool (>= 1) without forcing construction
+/// order side effects beyond what global_pool() itself does.
+std::size_t global_thread_count();
+
+}  // namespace misuse

@@ -1,0 +1,142 @@
+// Golden regression for the determinism contract of the thread-pool
+// execution layer (util/thread_pool.hpp): the end-to-end pipeline —
+// corpus synthesis, LDA ensemble, expert clustering, per-cluster OC-SVM
+// and LSTM training, and batch session monitoring — must produce
+// bit-identical results at any thread count.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/monitor.hpp"
+#include "util/thread_pool.hpp"
+
+namespace misuse::core {
+namespace {
+
+ExperimentConfig small_config() {
+  const std::vector<const char*> argv = {
+      "test",        "--sessions=220",          "--actions=60", "--hidden=8",
+      "--epochs=2",  "--lda-iters=8",           "--clusters=4", "--min-cluster-sessions=5",
+      "--patience=0", "--log-level=warn",
+  };
+  const CliArgs args(static_cast<int>(argv.size()), argv.data());
+  ExperimentConfig config = ExperimentConfig::from_cli(args);
+  config.use_cache = false;  // always retrain: the comparison is the point
+  return config;
+}
+
+struct PipelineRun {
+  SessionStore store;
+  MisuseDetector detector;
+  std::vector<SessionMonitorReport> monitor_reports;
+};
+
+PipelineRun run_pipeline(std::size_t threads) {
+  set_global_threads(threads);
+  const ExperimentConfig config = small_config();
+  synth::Portal portal(config.portal);
+  SessionStore store = portal.generate();
+  MisuseDetector detector = MisuseDetector::train(store, config.detector);
+
+  // Batch-monitor a deterministic slice of sessions (first test session
+  // of every cluster).
+  std::vector<std::span<const int>> sessions;
+  for (std::size_t c = 0; c < detector.cluster_count(); ++c) {
+    if (!detector.cluster(c).test.empty()) {
+      sessions.push_back(store.at(detector.cluster(c).test.front()).view());
+    }
+  }
+  std::vector<SessionMonitorReport> reports =
+      monitor_sessions(detector, MonitorConfig{}, sessions);
+  return PipelineRun{std::move(store), std::move(detector), std::move(reports)};
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    serial_ = new PipelineRun(run_pipeline(1));
+    parallel_ = new PipelineRun(run_pipeline(4));
+  }
+  static void TearDownTestSuite() {
+    delete serial_;
+    delete parallel_;
+    serial_ = nullptr;
+    parallel_ = nullptr;
+    set_global_threads(1);
+  }
+
+  static PipelineRun* serial_;
+  static PipelineRun* parallel_;
+};
+
+PipelineRun* DeterminismTest::serial_ = nullptr;
+PipelineRun* DeterminismTest::parallel_ = nullptr;
+
+TEST_F(DeterminismTest, CorpusIsIdentical) {
+  ASSERT_EQ(serial_->store.size(), parallel_->store.size());
+  for (std::size_t i = 0; i < serial_->store.size(); ++i) {
+    ASSERT_EQ(serial_->store.at(i).actions, parallel_->store.at(i).actions) << "session " << i;
+  }
+}
+
+TEST_F(DeterminismTest, ClusterAssignmentsAreBitIdentical) {
+  ASSERT_EQ(serial_->detector.cluster_count(), parallel_->detector.cluster_count());
+  for (std::size_t c = 0; c < serial_->detector.cluster_count(); ++c) {
+    const ClusterInfo& a = serial_->detector.cluster(c);
+    const ClusterInfo& b = parallel_->detector.cluster(c);
+    EXPECT_EQ(a.label, b.label) << "cluster " << c;
+    EXPECT_EQ(a.members, b.members) << "cluster " << c;
+    EXPECT_EQ(a.train, b.train) << "cluster " << c;
+    EXPECT_EQ(a.valid, b.valid) << "cluster " << c;
+    EXPECT_EQ(a.test, b.test) << "cluster " << c;
+  }
+}
+
+TEST_F(DeterminismTest, ModelLossesAreBitIdentical) {
+  for (std::size_t c = 0; c < serial_->detector.cluster_count(); ++c) {
+    const auto& a = serial_->detector.train_report(c).epochs;
+    const auto& b = parallel_->detector.train_report(c).epochs;
+    ASSERT_EQ(a.size(), b.size()) << "cluster " << c;
+    for (std::size_t e = 0; e < a.size(); ++e) {
+      // Exact double equality: the parallel run must replay the very same
+      // floating-point operations in the very same order.
+      EXPECT_EQ(a[e].train_loss, b[e].train_loss) << "cluster " << c << " epoch " << e;
+      EXPECT_EQ(a[e].train_accuracy, b[e].train_accuracy) << "cluster " << c << " epoch " << e;
+      EXPECT_EQ(a[e].valid_loss, b[e].valid_loss) << "cluster " << c << " epoch " << e;
+    }
+  }
+}
+
+TEST_F(DeterminismTest, NormalityScoresAreBitIdentical) {
+  for (std::size_t c = 0; c < serial_->detector.cluster_count(); ++c) {
+    const auto& test_split = serial_->detector.cluster(c).test;
+    for (std::size_t i = 0; i < std::min<std::size_t>(test_split.size(), 3); ++i) {
+      const auto view = serial_->store.at(test_split[i]).view();
+      const auto a = serial_->detector.predict(view);
+      const auto b = parallel_->detector.predict(view);
+      EXPECT_EQ(a.cluster, b.cluster);
+      ASSERT_EQ(a.score.likelihoods.size(), b.score.likelihoods.size());
+      for (std::size_t j = 0; j < a.score.likelihoods.size(); ++j) {
+        EXPECT_EQ(a.score.likelihoods[j], b.score.likelihoods[j])
+            << "cluster " << c << " session " << i << " step " << j;
+      }
+    }
+  }
+}
+
+TEST_F(DeterminismTest, BatchMonitorReportsAreBitIdentical) {
+  ASSERT_EQ(serial_->monitor_reports.size(), parallel_->monitor_reports.size());
+  ASSERT_GT(serial_->monitor_reports.size(), 0u);
+  for (std::size_t s = 0; s < serial_->monitor_reports.size(); ++s) {
+    const SessionMonitorReport& a = serial_->monitor_reports[s];
+    const SessionMonitorReport& b = parallel_->monitor_reports[s];
+    EXPECT_EQ(a.steps, b.steps) << s;
+    EXPECT_EQ(a.alarms, b.alarms) << s;
+    EXPECT_EQ(a.trend_alarms, b.trend_alarms) << s;
+    EXPECT_EQ(a.first_alarm_step, b.first_alarm_step) << s;
+    EXPECT_EQ(a.voted_cluster, b.voted_cluster) << s;
+    EXPECT_EQ(a.avg_likelihood_voted, b.avg_likelihood_voted) << s;
+  }
+}
+
+}  // namespace
+}  // namespace misuse::core

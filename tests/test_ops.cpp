@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace misuse {
 namespace {
@@ -96,6 +98,94 @@ INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapeSweep,
                                            std::make_tuple(8u, 8u, 8u),
                                            std::make_tuple(13u, 7u, 3u),
                                            std::make_tuple(32u, 16u, 24u)));
+
+// Bit-exact comparison (0 ULP): the parallel kernels must replay the
+// serial accumulation order per element, not merely approximate it.
+void expect_bit_identical(const Matrix& a, const Matrix& b) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.flat()[i], b.flat()[i]) << "at flat index " << i;
+  }
+}
+
+class ParallelGemm : public ::testing::Test {
+ protected:
+  void SetUp() override { set_global_threads(4); }
+  void TearDown() override { set_global_threads(1); }
+};
+
+TEST_F(ParallelGemm, OddShapesMatchSerialToZeroUlp) {
+  // 1 x N, N x 1, and sizes that are not a multiple of any block size.
+  const std::tuple<std::size_t, std::size_t, std::size_t> shapes[] = {
+      {1, 64, 33}, {65, 1, 7}, {33, 7, 1}, {1, 1, 129},
+      {17, 31, 13}, {129, 65, 3}, {30, 100, 50},
+  };
+  for (const auto& [m, k, n] : shapes) {
+    Rng rng(m * 31 + k * 7 + n);
+    const Matrix a = random_matrix(m, k, rng);
+    const Matrix b = random_matrix(k, n, rng);
+    Matrix serial(m, n), parallel(m, n);
+    gemm(1.0f, a, b, 0.0f, serial, GemmPolicy::kSerial);
+    gemm(1.0f, a, b, 0.0f, parallel, GemmPolicy::kParallel);
+    expect_bit_identical(serial, parallel);
+  }
+}
+
+TEST_F(ParallelGemm, AlphaBetaAccumulationMatchesSerial) {
+  Rng rng(99);
+  const Matrix a = random_matrix(37, 19, rng);
+  const Matrix b = random_matrix(19, 23, rng);
+  for (const float alpha : {0.0f, 1.0f, -2.5f}) {
+    for (const float beta : {0.0f, 1.0f, 0.5f}) {
+      Matrix serial = random_matrix(37, 23, rng);
+      Matrix parallel = serial;  // same starting C so beta mixes identically
+      gemm(alpha, a, b, beta, serial, GemmPolicy::kSerial);
+      gemm(alpha, a, b, beta, parallel, GemmPolicy::kParallel);
+      expect_bit_identical(serial, parallel);
+    }
+  }
+}
+
+TEST_F(ParallelGemm, TransposeVariantsMatchSerialToZeroUlp) {
+  Rng rng(7);
+  const std::tuple<std::size_t, std::size_t, std::size_t> shapes[] = {
+      {1, 33, 9}, {41, 1, 6}, {27, 13, 1}, {50, 34, 29},
+  };
+  for (const auto& [m, k, n] : shapes) {
+    {
+      const Matrix a_km = random_matrix(k, m, rng);
+      const Matrix b_kn = random_matrix(k, n, rng);
+      Matrix serial = random_matrix(m, n, rng);
+      Matrix parallel = serial;
+      gemm_at_b(1.5f, a_km, b_kn, 0.5f, serial, GemmPolicy::kSerial);
+      gemm_at_b(1.5f, a_km, b_kn, 0.5f, parallel, GemmPolicy::kParallel);
+      expect_bit_identical(serial, parallel);
+    }
+    {
+      const Matrix a_mk = random_matrix(m, k, rng);
+      const Matrix b_nk = random_matrix(n, k, rng);
+      Matrix serial = random_matrix(m, n, rng);
+      Matrix parallel = serial;
+      gemm_a_bt(-0.5f, a_mk, b_nk, 1.0f, serial, GemmPolicy::kSerial);
+      gemm_a_bt(-0.5f, a_mk, b_nk, 1.0f, parallel, GemmPolicy::kParallel);
+      expect_bit_identical(serial, parallel);
+    }
+  }
+}
+
+TEST_F(ParallelGemm, AutoPolicyCrossesThresholdBitIdentically) {
+  // Large enough that kAuto takes the parallel path (2*m*n*k above the
+  // threshold): results must still match the forced-serial kernel.
+  const std::size_t m = 96, k = 80, n = 96;
+  ASSERT_GE(2 * m * n * k, gemm_parallel_threshold());
+  Rng rng(123);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  Matrix serial(m, n), auto_path(m, n);
+  gemm(1.0f, a, b, 0.0f, serial, GemmPolicy::kSerial);
+  gemm(1.0f, a, b, 0.0f, auto_path, GemmPolicy::kAuto);
+  expect_bit_identical(serial, auto_path);
+}
 
 TEST(Ops, AxpyAccumulates) {
   std::vector<float> x = {1, 2, 3};

@@ -1,0 +1,154 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace misuse {
+namespace {
+
+TEST(ThreadPool, ConstructionAndTeardown) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.size(), n);
+  }
+  // 0 resolves to some positive hardware-derived count.
+  ThreadPool defaulted(0);
+  EXPECT_GE(defaulted.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsTaskValue) {
+  ThreadPool pool(3);
+  auto f1 = pool.submit([] { return 41 + 1; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, SubmitRunsInlineOnSerialPool) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  auto f = pool.submit([caller] { return std::this_thread::get_id() == caller; });
+  EXPECT_TRUE(f.get());
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(
+      {
+        try {
+          f.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task failed");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{7}}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kN = 10013;  // prime: never a multiple of the grain
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallel_for(3, kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+    EXPECT_EQ(hits[0].load(), 0);
+    EXPECT_EQ(hits[2].load(), 0);
+    for (std::size_t i = 3; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyAndReversedRangesAreNoOps) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, [&](std::size_t) { calls.fetch_add(1); });
+  pool.parallel_for(9, 2, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  // Several indices throw; the rethrown message must deterministically be
+  // the lowest one's, independent of which worker ran first.
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    try {
+      pool.parallel_for(0, 2000, [&](std::size_t i) {
+        if (i == 117 || i == 1500 || i == 1999) {
+          throw std::runtime_error("boom@" + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom@117");
+    }
+  }
+}
+
+TEST(ThreadPool, NestedSubmitDoesNotDeadlock) {
+  ThreadPool pool(2);
+  // Saturate the pool with tasks that themselves submit and wait; inner
+  // submissions from worker threads run inline, so this cannot deadlock
+  // even with every worker busy.
+  std::vector<std::future<int>> outers;
+  for (int t = 0; t < 8; ++t) {
+    outers.push_back(pool.submit([&pool, t] {
+      auto inner = pool.submit([t] { return t * 10; });
+      auto innermost = pool.submit([&pool] { return pool.submit([] { return 1; }).get(); });
+      return inner.get() + innermost.get();
+    }));
+  }
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(outers[static_cast<std::size_t>(t)].get(), t * 10 + 1);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64 * 64);
+  pool.parallel_for(0, 64, [&](std::size_t i) {
+    pool.parallel_for(0, 64, [&](std::size_t j) { hits[i * 64 + j].fetch_add(1); });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, OnWorkerThreadDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+  EXPECT_TRUE(pool.submit([&pool] { return pool.on_worker_thread(); }).get());
+  ThreadPool other(2);
+  EXPECT_FALSE(other.submit([&pool] { return pool.on_worker_thread(); }).get());
+}
+
+TEST(ThreadPool, ParallelForSumMatchesSerial) {
+  // Index-ordered merge: accumulate per-index products into slots, then
+  // reduce serially — the contract every pipeline stage follows.
+  constexpr std::size_t kN = 5000;
+  std::vector<double> slots(kN);
+  ThreadPool pool(4);
+  pool.parallel_for(0, kN, [&](std::size_t i) {
+    slots[i] = static_cast<double>(i) * 0.5;
+  });
+  const double parallel_sum = std::accumulate(slots.begin(), slots.end(), 0.0);
+  double serial_sum = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) serial_sum += static_cast<double>(i) * 0.5;
+  EXPECT_EQ(parallel_sum, serial_sum);
+}
+
+TEST(GlobalPool, SetGlobalThreadsResizes) {
+  set_global_threads(3);
+  EXPECT_EQ(global_thread_count(), 3u);
+  ThreadPool* before = &global_pool();
+  set_global_threads(3);  // same size: must be a no-op, not a rebuild
+  EXPECT_EQ(&global_pool(), before);
+  set_global_threads(1);
+  EXPECT_EQ(global_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace misuse
