@@ -7,7 +7,7 @@
 
 #include "cluster/baselines.hpp"
 #include "core/experiment.hpp"
-#include "util/timer.hpp"
+#include "util/trace.hpp"
 
 using namespace misuse;
 
@@ -43,15 +43,15 @@ int main(int argc, char** argv) {
 
   for (const auto& [i, true_cluster] : united) {
     const auto view = store.at(i).view();
-    Timer t0;
+    Span t0("assign.ocsvm");
     if (detector.route(view) == true_cluster) ++results[0].correct;
-    results[0].seconds += t0.seconds();
-    Timer t1;
+    results[0].seconds += t0.stop();
+    Span t1("assign.centroid");
     if (centroid.assign(view) == true_cluster) ++results[1].correct;
-    results[1].seconds += t1.seconds();
-    Timer t2;
+    results[1].seconds += t1.stop();
+    Span t2("assign.knn");
     if (knn.assign(view) == true_cluster) ++results[2].correct;
-    results[2].seconds += t2.seconds();
+    results[2].seconds += t2.stop();
   }
 
   std::cout << "=== Ablation: cluster-assignment methods (" << united.size()

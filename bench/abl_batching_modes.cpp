@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "core/experiment.hpp"
-#include "util/timer.hpp"
+#include "util/trace.hpp"
 
 using namespace misuse;
 
@@ -61,9 +61,9 @@ int main(int argc, char** argv) {
     lm_config.seed = 7;
 
     lm::ActionLanguageModel model(lm_config);
-    Timer timer;
+    Span fit_span("abl.fit");
     model.fit(train, {});
-    const double seconds = timer.seconds();
+    const double seconds = fit_span.stop();
     const auto eval = model.evaluate(std::span<const std::span<const int>>(test));
     table.add_row({spec.name, std::to_string(epochs), std::to_string(spec.batch),
                    Table::num(spec.lr, 4), Table::num(eval.accuracy), Table::num(eval.loss),

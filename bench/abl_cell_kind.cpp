@@ -6,7 +6,7 @@
 #include <iostream>
 
 #include "core/experiment.hpp"
-#include "util/timer.hpp"
+#include "util/trace.hpp"
 
 using namespace misuse;
 
@@ -43,9 +43,9 @@ int main(int argc, char** argv) {
       lm_config.patience = 0;
       lm_config.seed = 7;
       lm::ActionLanguageModel model(lm_config);
-      Timer timer;
+      Span fit_span("abl.fit");
       model.fit(train, {});
-      const double seconds = timer.seconds();
+      const double seconds = fit_span.stop();
       const auto eval = model.evaluate(std::span<const std::span<const int>>(test));
       table.add_row({name, nn::cell_kind_name(cell),
                      std::to_string(model.parameter_count()), Table::num(eval.accuracy),

@@ -6,11 +6,17 @@
 // monitoring. Results are bit-identical across thread counts by the
 // determinism contract, so only time changes.
 //
+// Timings come from the trace layer (util/trace.hpp): every repetition
+// runs under a Span named after the stage, and the reported number is
+// that node's min_seconds — the same instrument the pipeline itself
+// exports via --metrics-out. The monitor stage also runs once with
+// metric recording disabled to bound the instrumentation overhead of the
+// per-step telemetry (the <5% budget documented in DESIGN.md).
+//
 //   ./bench/bench_parallel [--threads=1,2,4,8] [--out=BENCH_parallel.json]
 #include <algorithm>
 #include <fstream>
 #include <iostream>
-#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -23,9 +29,10 @@
 #include "topics/ensemble.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
-#include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace misuse {
 namespace {
@@ -39,15 +46,18 @@ struct StageResult {
   double seconds = 0.0;
 };
 
+// Runs `fn` kRepetitions times, each under a Span named `stage`, and
+// reads the fastest repetition back from the aggregated trace tree.
+// Assumes the caller trace_reset()s between rounds so the min is fresh.
 template <typename Fn>
-double best_of(const Fn& fn) {
-  double best = std::numeric_limits<double>::infinity();
+double best_of(std::string_view stage, const Fn& fn) {
   for (int r = 0; r < kRepetitions; ++r) {
-    Timer timer;
+    Span span(stage);
     fn();
-    best = std::min(best, timer.seconds());
   }
-  return best;
+  const TraceStats tree = trace_snapshot();
+  const TraceStats* stats = find_span(tree, stage);
+  return stats != nullptr && stats->count > 0 ? stats->min_seconds : 0.0;
 }
 
 std::vector<std::vector<std::vector<int>>> make_cluster_corpus(std::size_t sessions_per_cluster,
@@ -65,7 +75,7 @@ std::vector<std::vector<std::vector<int>>> make_cluster_corpus(std::size_t sessi
 }
 
 double time_per_cluster_training(const std::vector<std::vector<std::vector<int>>>& corpus) {
-  return best_of([&] {
+  return best_of("per_cluster_lstm_train_k13", [&] {
     global_pool().parallel_for(0, kClusters, [&](std::size_t c) {
       lm::LmConfig config;
       config.vocab = 60;
@@ -81,7 +91,7 @@ double time_per_cluster_training(const std::vector<std::vector<std::vector<int>>
 }
 
 double time_lda_ensemble(const std::vector<std::vector<int>>& docs) {
-  return best_of([&] {
+  return best_of("lda_ensemble_4runs", [&] {
     topics::EnsembleConfig config;
     config.topic_counts = {10, 13, 16, 20};
     config.iterations = 20;
@@ -95,14 +105,14 @@ double time_gemm() {
   Matrix a(n, n), b(n, n), c(n, n);
   a.init_gaussian(rng, 1.0f);
   b.init_gaussian(rng, 1.0f);
-  return best_of([&] {
+  return best_of("gemm_256x256x256_x20", [&] {
     for (int i = 0; i < 20; ++i) gemm(1.0f, a, b, 0.0f, c, GemmPolicy::kParallel);
   });
 }
 
-double time_monitor_batch(const core::MisuseDetector& detector,
+double time_monitor_batch(std::string_view stage, const core::MisuseDetector& detector,
                           std::span<const std::span<const int>> sessions) {
-  return best_of([&] {
+  return best_of(stage, [&] {
     (void)core::monitor_sessions(detector, core::MonitorConfig{}, sessions);
   });
 }
@@ -150,14 +160,33 @@ int main(int argc, char** argv) {
   }
 
   std::vector<StageResult> results;
+  struct OverheadResult {
+    std::size_t threads = 0;
+    double instrumented_seconds = 0.0;
+    double bare_seconds = 0.0;
+  };
+  std::vector<OverheadResult> overheads;
   for (const std::size_t threads : thread_counts) {
     set_global_threads(threads);
+    trace_reset();  // fresh min/max for this round's stage spans
     results.push_back({"per_cluster_lstm_train_k13", threads, time_per_cluster_training(corpus)});
     results.push_back({"lda_ensemble_4runs", threads, time_lda_ensemble(docs)});
     results.push_back({"gemm_256x256x256_x20", threads, time_gemm()});
-    results.push_back(
-        {"monitor_batch_64_sessions", threads, time_monitor_batch(detector, monitor_sessions_views)});
-    std::cout << "threads=" << threads << " done\n";
+    const double monitor_on =
+        time_monitor_batch("monitor_batch_64_sessions", detector, monitor_sessions_views);
+    results.push_back({"monitor_batch_64_sessions", threads, monitor_on});
+    // Same workload with metric recording off (spans stay live on both
+    // sides, so the comparison isolates the counter/histogram cost on
+    // the per-step hot path).
+    set_metrics_enabled(false);
+    const double monitor_off =
+        time_monitor_batch("monitor_batch_64_sessions_bare", detector, monitor_sessions_views);
+    set_metrics_enabled(true);
+    overheads.push_back({threads, monitor_on, monitor_off});
+    const double overhead_pct =
+        monitor_off > 0.0 ? (monitor_on / monitor_off - 1.0) * 100.0 : 0.0;
+    std::cout << "threads=" << threads << " done (monitor metrics overhead " << overhead_pct
+              << "%)\n";
   }
   set_global_threads(1);
 
@@ -175,10 +204,10 @@ int main(int argc, char** argv) {
               static_cast<std::size_t>(std::thread::hardware_concurrency()));
   json.member("repetitions_best_of", static_cast<std::size_t>(kRepetitions));
   json.member("note",
-              "Wall-clock seconds per stage; speedup is serial_time / time. Outputs are "
-              "bit-identical across thread counts (determinism contract, util/thread_pool.hpp). "
-              "Speedups above 1 require the host to expose that many cores; on a single-core "
-              "host every row degenerates to ~1x.");
+              "Wall-clock seconds per stage (trace-span min over repetitions); speedup is "
+              "serial_time / time. Outputs are bit-identical across thread counts (determinism "
+              "contract, util/thread_pool.hpp). Speedups above 1 require the host to expose that "
+              "many cores; on a single-core host every row degenerates to ~1x.");
   json.key("stages");
   json.begin_array();
   for (const auto& r : results) {
@@ -188,6 +217,20 @@ int main(int argc, char** argv) {
     json.member("seconds", r.seconds);
     const double serial = serial_seconds(r.stage);
     json.member("speedup_vs_serial", r.seconds > 0.0 ? serial / r.seconds : 0.0);
+    json.end_object();
+  }
+  json.end_array();
+  // Instrumentation cost of the per-step monitor telemetry: same batch
+  // replay with metric recording on vs off.
+  json.key("monitor_metrics_overhead");
+  json.begin_array();
+  for (const auto& o : overheads) {
+    json.begin_object();
+    json.member("threads", o.threads);
+    json.member("instrumented_seconds", o.instrumented_seconds);
+    json.member("bare_seconds", o.bare_seconds);
+    json.member("overhead_ratio",
+                o.bare_seconds > 0.0 ? o.instrumented_seconds / o.bare_seconds : 0.0);
     json.end_object();
   }
   json.end_array();

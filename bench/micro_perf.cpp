@@ -16,7 +16,9 @@
 #include "topics/ensemble.hpp"
 #include "topics/lda.hpp"
 #include "tsne/tsne.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace misuse {
 namespace {
@@ -222,6 +224,60 @@ void BM_WindowedBatching(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 89);
 }
 BENCHMARK(BM_WindowedBatching);
+
+// --- Observability layer: cost of recording one event ------------------
+// These bound the per-event overhead the instrumented hot paths pay
+// (see DESIGN.md "Observability"): a counter bump and a histogram record
+// are a few relaxed atomics; a span open/close additionally resolves its
+// tree node under the global mutex, which is why spans stay out of
+// per-action code.
+
+void BM_MetricsCounterInc(benchmark::State& state) {
+  Counter& counter = metrics().counter("bench.counter");
+  for (auto _ : state) {
+    counter.inc();
+  }
+  benchmark::DoNotOptimize(counter.value());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  HistogramMetric& histogram = metrics().histogram("bench.histogram");
+  double value = 1e-6;
+  for (auto _ : state) {
+    histogram.record(value);
+    value = value < 1.0 ? value * 1.5 : 1e-6;  // touch many buckets
+  }
+  benchmark::DoNotOptimize(histogram.count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsHistogramRecord);
+
+void BM_MetricsCounterIncDisabled(benchmark::State& state) {
+  // The cost left behind on instrumented paths when recording is off.
+  Counter& counter = metrics().counter("bench.counter_disabled");
+  set_metrics_enabled(false);
+  for (auto _ : state) {
+    counter.inc();
+  }
+  set_metrics_enabled(true);
+  benchmark::DoNotOptimize(counter.value());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsCounterIncDisabled);
+
+void BM_TraceSpan(benchmark::State& state) {
+  // Nested open/close so the child resolves against a non-root parent,
+  // as pipeline spans do.
+  Span outer("bench.span_outer");
+  for (auto _ : state) {
+    Span span("bench.span_inner");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceSpan);
 
 // --- Parallel execution layer: serial vs thread pool -------------------
 // The Arg is the worker count of the global pool; Arg(1) is the exact

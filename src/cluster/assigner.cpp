@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace misuse::cluster {
 
@@ -12,12 +13,14 @@ ClusterAssigner ClusterAssigner::train(
     const std::vector<std::vector<std::span<const int>>>& cluster_sessions,
     const AssignerConfig& config) {
   assert(!cluster_sessions.empty());
+  Span train_span("ocsvm.train");
   ClusterAssigner assigner(config);
   // Clusters are independent: each task featurizes and trains one OC-SVM
   // with a seed derived from the cluster index, then lands in its slot —
   // results match the serial loop bit for bit.
   std::vector<std::optional<ocsvm::OneClassSvm>> trained(cluster_sessions.size());
   global_pool().parallel_for(0, cluster_sessions.size(), [&](std::size_t c) {
+    Span cluster_span("ocsvm.cluster_fit");
     assert(!cluster_sessions[c].empty());
     std::vector<std::vector<float>> features;
     features.reserve(cluster_sessions[c].size());

@@ -7,7 +7,7 @@
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 #include "util/table.hpp"
-#include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace misuse::core {
 
@@ -41,7 +41,7 @@ std::string label_cluster(const SessionStore& store, const std::vector<std::size
 
 MisuseDetector MisuseDetector::train(const SessionStore& store, const DetectorConfig& config) {
   assert(!store.empty());
-  Timer timer;
+  Span train_span("detector.train");
   MisuseDetector detector;
   detector.config_ = config;
   detector.vocab_ = store.vocab();
@@ -62,11 +62,14 @@ MisuseDetector MisuseDetector::train(const SessionStore& store, const DetectorCo
   for (std::size_t i : eligible) documents.push_back(store.at(i).actions);
   const topics::LdaEnsemble ensemble = topics::LdaEnsemble::fit(documents, vocab, config.ensemble);
   log_info() << "LDA ensemble fitted: " << ensemble.topic_count() << " pooled topics in "
-             << Table::num(timer.seconds(), 1) << "s";
+             << Table::num(train_span.seconds(), 1) << "s";
 
   // Step 2: headless expert -> behavior clusters.
   const cluster::ExpertPolicy expert(config.expert);
-  const cluster::ClusteringResult clustering = expert.run(ensemble);
+  const cluster::ClusteringResult clustering = [&] {
+    Span span("expert.cluster");
+    return expert.run(ensemble);
+  }();
 
   // Step 3: per-cluster 70/15/15 splits (indices back into the store).
   for (std::size_t c = 0; c < clustering.cluster_count(); ++c) {
@@ -97,7 +100,7 @@ MisuseDetector MisuseDetector::train(const SessionStore& store, const DetectorCo
     detector.assigner_ = std::make_unique<cluster::ClusterAssigner>(
         cluster::ClusterAssigner::train(per_cluster, assigner_config));
   }
-  log_info() << "OC-SVMs trained (" << Table::num(timer.seconds(), 1) << "s elapsed)";
+  log_info() << "OC-SVMs trained (" << Table::num(train_span.seconds(), 1) << "s elapsed)";
 
   // Step 5: one LSTM language model per cluster. Each model's RNG stream
   // is derived from the task index (seed + 1000 + c) before the fan-out
@@ -105,21 +108,25 @@ MisuseDetector MisuseDetector::train(const SessionStore& store, const DetectorCo
   // mutable state and the weights are bit-identical to serial training.
   detector.models_.resize(detector.clusters_.size());
   detector.reports_.resize(detector.clusters_.size());
-  global_pool().parallel_for(0, detector.clusters_.size(), [&](std::size_t c) {
-    const auto& info = detector.clusters_[c];
-    lm::LmConfig lm_config = config.lm;
-    lm_config.vocab = vocab;
-    lm_config.seed = config.seed + 1000 + c;
-    auto model = std::make_unique<lm::ActionLanguageModel>(lm_config);
-    const auto train_sessions = gather_sessions(store, info.train);
-    const auto valid_sessions = gather_sessions(store, info.valid);
-    detector.reports_[c].epochs = model->fit(train_sessions, valid_sessions);
-    detector.models_[c] = std::move(model);
-  });
+  {
+    Span lm_span("lm.train");
+    global_pool().parallel_for(0, detector.clusters_.size(), [&](std::size_t c) {
+      Span cluster_span("lm.cluster_fit");
+      const auto& info = detector.clusters_[c];
+      lm::LmConfig lm_config = config.lm;
+      lm_config.vocab = vocab;
+      lm_config.seed = config.seed + 1000 + c;
+      auto model = std::make_unique<lm::ActionLanguageModel>(lm_config);
+      const auto train_sessions = gather_sessions(store, info.train);
+      const auto valid_sessions = gather_sessions(store, info.valid);
+      detector.reports_[c].epochs = model->fit(train_sessions, valid_sessions);
+      detector.models_[c] = std::move(model);
+    });
+  }
   for (std::size_t c = 0; c < detector.clusters_.size(); ++c) {
     log_info() << "cluster " << c << " '" << detector.clusters_[c].label << "' model trained on "
                << detector.clusters_[c].train.size() << " sessions ("
-               << Table::num(timer.seconds(), 1) << "s elapsed)";
+               << Table::num(train_span.seconds(), 1) << "s elapsed)";
   }
   return detector;
 }

@@ -1,14 +1,16 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
-#include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace misuse::core {
 
@@ -21,7 +23,12 @@ void mix(std::uint64_t& h, std::uint64_t v) {
 
 ExperimentConfig ExperimentConfig::from_cli(const CliArgs& args) {
   ExperimentConfig config;
-  set_log_level(parse_log_level(args.str("log-level", "info")));
+  // MISUSEDET_LOG_LEVEL already set the startup default; the flag wins
+  // when present.
+  if (args.has("log-level")) set_log_level(parse_log_level(args.str("log-level", "info")));
+  // Metrics snapshot destination. Like --threads, never fingerprinted.
+  const char* metrics_env = std::getenv("MISUSEDET_METRICS");
+  config.metrics_out = args.str("metrics-out", metrics_env != nullptr ? metrics_env : "");
   // Execution width. Never part of the fingerprint: the determinism
   // contract (see util/thread_pool.hpp) makes results identical at any
   // thread count, so cached detectors stay valid across --threads.
@@ -128,9 +135,13 @@ std::uint64_t ExperimentConfig::fingerprint() const {
 }
 
 Experiment Experiment::prepare(const ExperimentConfig& config) {
-  Timer timer;
+  register_core_metrics();
+  Span prepare_span("experiment.prepare");
   synth::Portal portal(config.portal);
-  SessionStore store = portal.generate();
+  SessionStore store = [&portal] {
+    Span span("corpus.generate");
+    return portal.generate();
+  }();
   log_info() << "corpus generated: " << store.size() << " sessions, " << store.vocab().size()
              << " actions, " << store.distinct_users() << " users";
 
@@ -143,17 +154,23 @@ Experiment Experiment::prepare(const ExperimentConfig& config) {
   if (config.use_cache && std::filesystem::exists(cache_file)) {
     std::ifstream in(cache_file, std::ios::binary);
     try {
+      Span span("detector.load");
       BinaryReader reader(in);
       MisuseDetector detector = MisuseDetector::load(reader);
+      metrics().counter("experiment.cache.hits").inc();
       log_info() << "detector loaded from cache " << cache_file.string();
-      return Experiment{config, std::move(portal), std::move(store), std::move(detector)};
+      Experiment experiment{config, std::move(portal), std::move(store), std::move(detector), {}};
+      experiment.metrics_export = MetricsExport(config.metrics_out);
+      return experiment;
     } catch (const SerializeError& e) {
+      metrics().counter("experiment.cache.stale").inc();
       log_warn() << "stale cache " << cache_file.string() << " (" << e.what() << "); retraining";
     }
   }
 
+  metrics().counter("experiment.cache.misses").inc();
   MisuseDetector detector = MisuseDetector::train(store, config.detector);
-  log_info() << "pipeline trained in " << Table::num(timer.seconds(), 1) << "s";
+  log_info() << "pipeline trained in " << Table::num(prepare_span.seconds(), 1) << "s";
 
   if (config.use_cache) {
     std::error_code ec;
@@ -165,7 +182,9 @@ Experiment Experiment::prepare(const ExperimentConfig& config) {
       log_info() << "detector cached to " << cache_file.string();
     }
   }
-  return Experiment{config, std::move(portal), std::move(store), std::move(detector)};
+  Experiment experiment{config, std::move(portal), std::move(store), std::move(detector), {}};
+  experiment.metrics_export = MetricsExport(config.metrics_out);
+  return experiment;
 }
 
 std::vector<std::pair<std::size_t, std::size_t>> Experiment::united_test_set() const {

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/detector.hpp"
+#include "core/observability.hpp"
 #include "synth/portal.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -25,12 +26,19 @@ struct ExperimentConfig {
   std::size_t random_test_sessions = 400;  // size of the §IV-D artificial set
   bool use_cache = true;
   std::string results_dir = "results";
+  /// Where the end-of-run JSON metrics snapshot goes; empty = no file.
+  /// Never part of the fingerprint — observability does not change what
+  /// is computed, only what is recorded about it (same rule as
+  /// --threads).
+  std::string metrics_out;
 
   /// Reads flags: --sessions --users --actions --hidden --epochs --window
   /// --batch --clusters --lda-iters --seed --mode --misuse-fraction
   /// --paper-scale --no-cache --results-dir --log-level --threads
-  /// (--threads resizes the global pool; 1 = exact serial path; the
-  /// MISUSEDET_THREADS environment variable sets the default).
+  /// --metrics-out (--threads resizes the global pool; 1 = exact serial
+  /// path; the MISUSEDET_THREADS environment variable sets the default;
+  /// --metrics-out defaults to MISUSEDET_METRICS, and --log-level to
+  /// MISUSEDET_LOG_LEVEL).
   static ExperimentConfig from_cli(const CliArgs& args);
 
   /// Stable hash of every field that influences training; names the cache
@@ -45,6 +53,9 @@ struct Experiment {
   synth::Portal portal;
   SessionStore store;
   MisuseDetector detector;
+  /// Fires at end of run (when the Experiment leaves scope in main):
+  /// logs the stage tree and writes config.metrics_out if set.
+  MetricsExport metrics_export;
 
   /// Generates the corpus and trains or loads the detector.
   static Experiment prepare(const ExperimentConfig& config);

@@ -4,7 +4,10 @@
 #include <cassert>
 #include <numeric>
 
+#include "core/observability.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace misuse::core {
 
@@ -31,6 +34,7 @@ OnlineMonitor::OnlineMonitor(const MisuseDetector& detector, const MonitorConfig
   for (std::size_t c = 0; c < detector.cluster_count(); ++c) {
     states_.push_back(detector.model(c).make_state());
   }
+  monitor_metrics().sessions.inc();
 }
 
 void OnlineMonitor::reset() {
@@ -41,10 +45,16 @@ void OnlineMonitor::reset() {
   }
   trend_.reset();
   step_ = 0;
+  monitor_metrics().sessions.inc();
 }
 
 OnlineMonitor::StepResult OnlineMonitor::observe(int action) {
   assert(action >= 0 && static_cast<std::size_t>(action) < detector_.vocab().size());
+  // Per-step telemetry is counters + one histogram record — tens of ns,
+  // well inside the monitor's <5% overhead budget (see DESIGN.md). The
+  // Timer only runs when recording is on.
+  const bool record = metrics_enabled();
+  Timer step_timer;
   StepResult result;
   result.step = ++step_;
 
@@ -93,6 +103,15 @@ OnlineMonitor::StepResult OnlineMonitor::observe(int action) {
   for (std::size_t c = 0; c < states_.size(); ++c) {
     next_distributions_[c] = detector_.model(c).step(states_[c], action);
   }
+
+  if (record) {
+    MonitorMetrics& mm = monitor_metrics();
+    mm.steps.inc();
+    if (result.alarm) mm.alarms.inc();
+    if (result.trend_alarm) mm.trend_alarms.inc();
+    if (result.cluster_argmax != result.cluster_voted) mm.disagree_steps.inc();
+    mm.observe_seconds.record(step_timer.seconds());
+  }
   return result;
 }
 
@@ -100,10 +119,12 @@ std::vector<SessionMonitorReport> monitor_sessions(
     const MisuseDetector& detector, const MonitorConfig& config,
     std::span<const std::span<const int>> sessions) {
   std::vector<SessionMonitorReport> reports(sessions.size());
+  Span batch_span("monitor.batch");
   // Sessions are independent streams: each task replays one session
   // through a private monitor (the shared detector is only read) and
   // fills its own report slot.
   global_pool().parallel_for(0, sessions.size(), [&](std::size_t s) {
+    Span session_span("monitor.session");
     OnlineMonitor monitor(detector, config);
     SessionMonitorReport& report = reports[s];
     double likelihood_sum = 0.0;
@@ -116,6 +137,7 @@ std::vector<SessionMonitorReport> monitor_sessions(
         if (!report.first_alarm_step) report.first_alarm_step = step.step;
       }
       if (step.trend_alarm) ++report.trend_alarms;
+      if (step.cluster_argmax != step.cluster_voted) ++report.disagree_steps;
       if (step.likelihood_voted) {
         likelihood_sum += *step.likelihood_voted;
         ++scored_steps;

@@ -107,6 +107,10 @@ struct SessionMonitorReport {
   std::size_t steps = 0;
   std::size_t alarms = 0;        // steps whose StepResult alarmed
   std::size_t trend_alarms = 0;  // steps where the trend detector fired
+  /// Steps where the argmax and voted strategies chose different clusters
+  /// (the disagreement Fig. 7 contrasts; also tracked globally as the
+  /// monitor.disagree_steps counter).
+  std::size_t disagree_steps = 0;
   /// 1-based step of the first alarm, if any.
   std::optional<std::size_t> first_alarm_step;
   /// Voted cluster at the end of the session.

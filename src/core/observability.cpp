@@ -1,0 +1,94 @@
+#include "core/observability.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/json.hpp"
+#include "util/logging.hpp"
+#include "util/trace.hpp"
+
+namespace misuse::core {
+
+MonitorMetrics& monitor_metrics() {
+  static MonitorMetrics instruments{
+      metrics().counter("monitor.steps"),
+      metrics().counter("monitor.alarms"),
+      metrics().counter("monitor.trend_alarms"),
+      metrics().counter("monitor.disagree_steps"),
+      metrics().counter("monitor.sessions"),
+      metrics().histogram("monitor.observe_seconds"),
+  };
+  return instruments;
+}
+
+double monitor_disagreement_rate() {
+  const MonitorMetrics& m = monitor_metrics();
+  const std::uint64_t steps = m.steps.value();
+  return steps == 0 ? 0.0
+                    : static_cast<double>(m.disagree_steps.value()) / static_cast<double>(steps);
+}
+
+void register_core_metrics() {
+  (void)monitor_metrics();
+  metrics().counter("experiment.cache.hits");
+  metrics().counter("experiment.cache.misses");
+  metrics().counter("experiment.cache.stale");
+  metrics().counter("gemm.calls");
+  metrics().counter("gemm.flops");
+  metrics().counter("gemm.nanos");
+  metrics().counter("lm.epochs_trained");
+  metrics().gauge("pool.queue_depth");
+  metrics().counter("pool.tasks_executed");
+  // The canonical stage skeleton: exports show these spans even for runs
+  // that skipped a stage (count 0), e.g. a cache-hit run never trains.
+  trace_ensure_path({"experiment.prepare", "corpus.generate"});
+  trace_ensure_path({"experiment.prepare", "detector.load"});
+  trace_ensure_path({"experiment.prepare", "detector.train", "lda.ensemble", "lda.run"});
+  trace_ensure_path({"experiment.prepare", "detector.train", "expert.cluster"});
+  trace_ensure_path({"experiment.prepare", "detector.train", "ocsvm.train", "ocsvm.cluster_fit"});
+  trace_ensure_path({"experiment.prepare", "detector.train", "lm.train", "lm.cluster_fit",
+                     "lm.epoch"});
+  trace_ensure_path({"monitor.batch", "monitor.session"});
+}
+
+void write_metrics_snapshot(std::ostream& out) {
+  register_core_metrics();
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("metrics");
+  metrics().write_json(json);
+  json.key("trace");
+  write_trace_json(json);
+  json.end_object();
+  out << "\n";
+}
+
+bool write_metrics_snapshot_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    log_warn() << "cannot open metrics output file " << path;
+    return false;
+  }
+  write_metrics_snapshot(out);
+  return static_cast<bool>(out);
+}
+
+void MetricsExport::finish() {
+  if (!armed_) return;
+  armed_ = false;
+  const TraceStats tree = trace_snapshot();
+  if (!tree.children.empty()) {
+    log_info() << "run stage tree (wall seconds):\n" << format_trace_tree(tree);
+  }
+  const MonitorMetrics& m = monitor_metrics();
+  if (m.steps.value() > 0) {
+    log_info() << "monitor telemetry: " << m.steps.value() << " steps, " << m.alarms.value()
+               << " alarms (" << m.trend_alarms.value() << " trend), disagreement rate "
+               << monitor_disagreement_rate();
+  }
+  if (!path_.empty() && write_metrics_snapshot_file(path_)) {
+    log_info() << "metrics snapshot written to " << path_;
+  }
+}
+
+}  // namespace misuse::core

@@ -1,0 +1,83 @@
+// Pipeline-wide instrument panel: the canonical metric/span names of the
+// detection pipeline, the monitor's telemetry bundle, and the JSON
+// snapshot exporter behind --metrics-out / MISUSEDET_METRICS.
+//
+// Every instrument is registered eagerly by register_core_metrics(), so
+// an exported snapshot always carries the full panel — a counter at 0 or
+// a stage span with count 0 says "instrumented but did not fire", which
+// is operationally different from "not instrumented".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "util/metrics.hpp"
+
+namespace misuse::core {
+
+/// Telemetry of the online monitor (§IV-C), shared by every
+/// OnlineMonitor instance in the process:
+///   * steps / alarms / trend_alarms: volume and alarm pressure,
+///   * disagree_steps: steps where the argmax strategy and the frozen
+///     vote disagreed on the cluster (the Fig. 7 gap, now queryable),
+///   * sessions: monitors reset or constructed (session starts),
+///   * observe_seconds: per-step scoring latency histogram.
+struct MonitorMetrics {
+  Counter& steps;
+  Counter& alarms;
+  Counter& trend_alarms;
+  Counter& disagree_steps;
+  Counter& sessions;
+  HistogramMetric& observe_seconds;
+};
+
+MonitorMetrics& monitor_metrics();
+
+/// Fraction of observed steps where argmax routing and the frozen vote
+/// named different clusters (0 when nothing was monitored yet).
+double monitor_disagreement_rate();
+
+/// Registers every pipeline instrument and the canonical stage-span
+/// skeleton (experiment.prepare -> detector.train -> lda.ensemble /
+/// ocsvm.train / lm.train, monitor.batch). Idempotent.
+void register_core_metrics();
+
+/// One JSON document: {"metrics": <registry>, "trace": <stage tree>}.
+void write_metrics_snapshot(std::ostream& out);
+
+/// write_metrics_snapshot to a file; logs and returns false on failure.
+bool write_metrics_snapshot_file(const std::string& path);
+
+/// End-of-run hook. Owned by Experiment so every bench binary inherits
+/// it: when the run ends (destructor), logs the aggregated stage tree at
+/// info level and, if a path was configured, writes the JSON snapshot.
+class MetricsExport {
+ public:
+  MetricsExport() = default;
+  explicit MetricsExport(std::string path) : path_(std::move(path)), armed_(true) {}
+  MetricsExport(MetricsExport&& other) noexcept
+      : path_(std::move(other.path_)), armed_(other.armed_) {
+    other.armed_ = false;
+  }
+  MetricsExport& operator=(MetricsExport&& other) noexcept {
+    if (this != &other) {
+      finish();
+      path_ = std::move(other.path_);
+      armed_ = other.armed_;
+      other.armed_ = false;
+    }
+    return *this;
+  }
+  MetricsExport(const MetricsExport&) = delete;
+  MetricsExport& operator=(const MetricsExport&) = delete;
+  ~MetricsExport() { finish(); }
+
+  /// Runs the end-of-run export now (idempotent).
+  void finish();
+
+ private:
+  std::string path_;
+  bool armed_ = false;
+};
+
+}  // namespace misuse::core

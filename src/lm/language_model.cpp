@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace misuse::lm {
 
@@ -42,7 +44,10 @@ std::vector<EpochStats> ActionLanguageModel::fit(std::span<const std::span<const
   std::size_t epochs_since_best = 0;
   std::vector<Matrix> best_weights;  // snapshot of the best validation epoch
 
+  static Counter& epochs_trained = metrics().counter("lm.epochs_trained");
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    Span epoch_span("lm.epoch");
+    epochs_trained.inc();
     const auto batches = make_epoch_batches(train, config_.batching, rng_);
     double loss_sum = 0.0;
     double acc_sum = 0.0;

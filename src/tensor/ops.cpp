@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <optional>
 
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace misuse {
 
@@ -14,6 +18,34 @@ namespace {
 // dispatch overhead beats the win; the LSTM training matmuls at paper
 // scale (batch x vocab x 4*hidden) sit comfortably above it.
 constexpr std::size_t kGemmParallelFlops = std::size_t{1} << 20;
+
+// Flop count below which GEMMs go unrecorded: the per-step monitor
+// matmuls are tiny and hot, and even a clock read per call would eat the
+// <5% overhead budget. Training-sized GEMMs all clear this bar.
+constexpr std::size_t kGemmMetricsFlops = std::size_t{1} << 16;
+
+// Accumulates gemm.calls / gemm.flops / gemm.nanos for large GEMMs.
+class GemmMetricsScope {
+ public:
+  explicit GemmMetricsScope(std::size_t flops) : flops_(flops) {
+    if (flops_ >= kGemmMetricsFlops && metrics_enabled()) timer_.emplace();
+  }
+  ~GemmMetricsScope() {
+    if (!timer_) return;
+    static Counter& calls = metrics().counter("gemm.calls");
+    static Counter& flops = metrics().counter("gemm.flops");
+    static Counter& nanos = metrics().counter("gemm.nanos");
+    calls.inc();
+    flops.inc(flops_);
+    nanos.inc(static_cast<std::uint64_t>(timer_->seconds() * 1e9));
+  }
+  GemmMetricsScope(const GemmMetricsScope&) = delete;
+  GemmMetricsScope& operator=(const GemmMetricsScope&) = delete;
+
+ private:
+  std::size_t flops_;
+  std::optional<Timer> timer_;
+};
 
 bool use_parallel(GemmPolicy policy, std::size_t m, std::size_t n, std::size_t k) {
   switch (policy) {
@@ -126,6 +158,7 @@ void gemm(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix& c,
   const std::size_t n = b.cols();
   assert(b.rows() == k);
   assert(c.rows() == m && c.cols() == n);
+  GemmMetricsScope gemm_metrics(2 * m * n * k);
   if (use_parallel(policy, m, n, k)) {
     for_row_blocks(m, [&](std::size_t lo, std::size_t hi) {
       gemm_rows(alpha, a, b, beta, c, lo, hi);
@@ -143,6 +176,7 @@ void gemm_at_b(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix
   const std::size_t n = b.cols();
   assert(b.rows() == k);
   assert(c.rows() == m && c.cols() == n);
+  GemmMetricsScope gemm_metrics(2 * m * n * k);
   if (use_parallel(policy, m, n, k)) {
     for_row_blocks(m, [&](std::size_t lo, std::size_t hi) {
       gemm_at_b_rows(alpha, a, b, beta, c, lo, hi);
@@ -160,6 +194,7 @@ void gemm_a_bt(float alpha, const Matrix& a, const Matrix& b, float beta, Matrix
   const std::size_t n = b.rows();
   assert(b.cols() == k);
   assert(c.rows() == m && c.cols() == n);
+  GemmMetricsScope gemm_metrics(2 * m * n * k);
   if (use_parallel(policy, m, n, k)) {
     for_row_blocks(m, [&](std::size_t lo, std::size_t hi) {
       gemm_a_bt_rows(alpha, a, b, beta, c, lo, hi);

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace misuse::topics {
 
@@ -10,6 +11,7 @@ LdaEnsemble LdaEnsemble::fit(const std::vector<std::vector<int>>& documents, std
                              const EnsembleConfig& config) {
   assert(!config.topic_counts.empty());
   assert(config.runs_per_count > 0);
+  Span ensemble_span("lda.ensemble");
   LdaEnsemble ensemble;
   ensemble.vocab_ = vocab;
   ensemble.documents_ = documents.size();
@@ -34,6 +36,7 @@ LdaEnsemble LdaEnsemble::fit(const std::vector<std::vector<int>>& documents, std
 
   ensemble.runs_.resize(run_configs.size());
   global_pool().parallel_for(0, run_configs.size(), [&](std::size_t run) {
+    Span run_span("lda.run");
     ensemble.runs_[run] = fit_lda(documents, vocab, run_configs[run]);
   });
   for (std::size_t run = 0; run < run_configs.size(); ++run) {

@@ -4,12 +4,16 @@
 #include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 
 namespace misuse {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+// Workers log concurrently (the thread pool fans every training stage
+// out), so the threshold is an atomic read on every call site and the
+// default honors MISUSEDET_LOG_LEVEL before main() runs.
+std::atomic<int> g_level{static_cast<int>(default_log_level())};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -37,7 +41,19 @@ LogLevel parse_log_level(const std::string& name) {
   return LogLevel::kInfo;
 }
 
+LogLevel default_log_level() {
+  if (const char* env = std::getenv("MISUSEDET_LOG_LEVEL")) return parse_log_level(env);
+  return LogLevel::kInfo;
+}
+
 namespace detail {
+
+int thread_log_id() {
+  static std::atomic<int> next_id{0};
+  thread_local const int id = next_id.fetch_add(1);
+  return id;
+}
+
 void emit(LogLevel level, const std::string& message) {
   const auto now = std::chrono::system_clock::now();
   const std::time_t t = std::chrono::system_clock::to_time_t(now);
@@ -45,8 +61,13 @@ void emit(LogLevel level, const std::string& message) {
   localtime_r(&t, &tm_buf);
   char stamp[32];
   std::strftime(stamp, sizeof(stamp), "%H:%M:%S", &tm_buf);
-  std::fprintf(stderr, "[%s %s] %s\n", stamp, level_tag(level), message.c_str());
+  // One fprintf per line so concurrent writers never interleave within a
+  // line (stderr is line-buffered at worst; the single call is atomic
+  // enough for POSIX streams).
+  std::fprintf(stderr, "[%s %s t%02d] %s\n", stamp, level_tag(level), thread_log_id(),
+               message.c_str());
 }
+
 }  // namespace detail
 
 }  // namespace misuse

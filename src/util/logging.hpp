@@ -11,7 +11,8 @@ namespace misuse {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global threshold; messages below it are discarded. Defaults to kInfo.
+/// Global threshold (an atomic — worker threads log concurrently);
+/// messages below it are discarded. Defaults to default_log_level().
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
@@ -19,8 +20,16 @@ LogLevel log_level();
 /// returns kInfo on unknown input.
 LogLevel parse_log_level(const std::string& name);
 
+/// The startup threshold: MISUSEDET_LOG_LEVEL when set, else kInfo.
+LogLevel default_log_level();
+
 namespace detail {
 void emit(LogLevel level, const std::string& message);
+
+/// Small sequential id of the calling thread (0 = first thread to log),
+/// stamped into every line so interleaved pool-worker output stays
+/// attributable.
+int thread_log_id();
 
 class LogLine {
  public:

@@ -6,6 +6,9 @@
 #include <limits>
 #include <string>
 
+#include "util/metrics.hpp"
+#include "util/timer.hpp"
+
 namespace misuse {
 
 namespace {
@@ -50,15 +53,22 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::on_worker_thread() const { return t_owning_pool == this; }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  // Registered once; the registry outlives every pool (it is never
+  // destroyed), so caching the references here is safe.
+  static Gauge& queue_depth = metrics().gauge("pool.queue_depth");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push_back(std::move(task));
+    queue_depth.set(static_cast<std::int64_t>(tasks_.size()));
   }
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop(std::size_t /*worker_id*/) {
+void ThreadPool::worker_loop(std::size_t worker_id) {
   t_owning_pool = this;
+  static Gauge& queue_depth = metrics().gauge("pool.queue_depth");
+  static Counter& executed = metrics().counter("pool.tasks_executed");
+  Counter& busy = metrics().counter("pool.worker" + std::to_string(worker_id) + ".busy_nanos");
   for (;;) {
     std::function<void()> task;
     {
@@ -67,8 +77,12 @@ void ThreadPool::worker_loop(std::size_t /*worker_id*/) {
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop_front();
+      queue_depth.set(static_cast<std::int64_t>(tasks_.size()));
     }
+    Timer task_timer;
     task();
+    busy.inc(static_cast<std::uint64_t>(task_timer.seconds() * 1e9));
+    executed.inc();
   }
 }
 
@@ -103,9 +117,12 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   // fn is captured by pointer: every chunk is claimed-then-run, and the
   // caller blocks below until all claimed chunks have completed, so the
   // referent outlives every use. Helpers that wake after the last chunk
-  // was claimed touch only `shared`.
+  // was claimed touch only `shared`. The caller's open trace span is
+  // adopted by every helper so spans opened inside fn attach under it.
   const auto* body = &fn;
-  auto run_chunks = [shared, body, begin, end, grain] {
+  auto run_chunks = [shared, body, begin, end, grain,
+                     span = trace_detail::current_node()] {
+    trace_detail::ContextGuard trace_context(span);
     for (;;) {
       const std::size_t c = shared->next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= shared->chunk_total) return;

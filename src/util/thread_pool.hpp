@@ -21,6 +21,11 @@
 //   3. std::thread::hardware_concurrency().
 // A count of 1 short-circuits every entry point to plain inline
 // execution — the exact serial code path, no threads created at all.
+//
+// Telemetry (util/metrics.hpp): the pool publishes "pool.queue_depth"
+// (gauge; its high-water mark is the backlog record), the
+// "pool.tasks_executed" counter, and one "pool.worker<N>.busy_nanos"
+// counter per worker. None of it affects scheduling or results.
 #pragma once
 
 #include <condition_variable>
@@ -33,6 +38,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/trace.hpp"
 
 namespace misuse {
 
@@ -55,7 +62,10 @@ class ThreadPool {
   /// Schedules a callable and returns its future. Exceptions thrown by
   /// the task surface from future::get(). Calls from inside a worker of
   /// this pool execute inline (already-parallel context), which makes
-  /// nested submission deadlock-free by construction.
+  /// nested submission deadlock-free by construction. The submitting
+  /// thread's open trace span (util/trace.hpp) is adopted by the worker
+  /// for the task's duration, so spans opened inside the task attach
+  /// under the span that scheduled it.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
@@ -65,7 +75,10 @@ class ThreadPool {
       (*task)();
       return result;
     }
-    enqueue([task] { (*task)(); });
+    enqueue([task, span = trace_detail::current_node()] {
+      trace_detail::ContextGuard trace_context(span);
+      (*task)();
+    });
     return result;
   }
 

@@ -1,4 +1,8 @@
-// Wall-clock timing for experiment progress reporting.
+// Monotonic stopwatch — the internal clock primitive of the
+// observability layer. Pipeline code should not time stages with a bare
+// Timer: open a Span (util/trace.hpp) for stage-grained work or record
+// into a Histogram (util/metrics.hpp) for per-event latencies, so every
+// measurement lands on the shared instrument panel.
 #pragma once
 
 #include <chrono>

@@ -1,0 +1,194 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "util/json.hpp"
+
+namespace misuse {
+
+namespace trace_detail {
+
+struct TraceNode {
+  std::string name;
+  TraceNode* parent = nullptr;
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> total_nanos{0};
+  std::atomic<std::uint64_t> min_nanos{UINT64_MAX};
+  std::atomic<std::uint64_t> max_nanos{0};
+  // Structure (children) is guarded by g_tree_mutex; nodes are never
+  // removed, so raw pointers into the tree stay valid for the process
+  // lifetime.
+  std::vector<std::unique_ptr<TraceNode>> children;
+};
+
+namespace {
+
+std::mutex g_tree_mutex;
+
+TraceNode* root() {
+  // Leaked on purpose (reachable): worker threads may close spans while
+  // static destructors run.
+  static TraceNode* node = [] {
+    auto* n = new TraceNode();
+    n->name = "run";
+    return n;
+  }();
+  return node;
+}
+
+thread_local TraceNode* t_current = nullptr;
+
+TraceNode* child_of(TraceNode* parent, std::string_view name) {
+  std::lock_guard<std::mutex> lock(g_tree_mutex);
+  for (const auto& child : parent->children) {
+    if (child->name == name) return child.get();
+  }
+  auto node = std::make_unique<TraceNode>();
+  node->name = std::string(name);
+  node->parent = parent;
+  parent->children.push_back(std::move(node));
+  return parent->children.back().get();
+}
+
+void record(TraceNode* node, double seconds) {
+  const auto nanos = static_cast<std::uint64_t>(seconds * 1e9);
+  node->count.fetch_add(1, std::memory_order_relaxed);
+  node->total_nanos.fetch_add(nanos, std::memory_order_relaxed);
+  std::uint64_t seen = node->min_nanos.load(std::memory_order_relaxed);
+  while (nanos < seen && !node->min_nanos.compare_exchange_weak(
+                             seen, nanos, std::memory_order_relaxed, std::memory_order_relaxed)) {
+  }
+  seen = node->max_nanos.load(std::memory_order_relaxed);
+  while (nanos > seen && !node->max_nanos.compare_exchange_weak(
+                             seen, nanos, std::memory_order_relaxed, std::memory_order_relaxed)) {
+  }
+}
+
+void reset_stats(TraceNode* node) {
+  node->count.store(0, std::memory_order_relaxed);
+  node->total_nanos.store(0, std::memory_order_relaxed);
+  node->min_nanos.store(UINT64_MAX, std::memory_order_relaxed);
+  node->max_nanos.store(0, std::memory_order_relaxed);
+  for (const auto& child : node->children) reset_stats(child.get());
+}
+
+TraceStats snapshot_node(const TraceNode* node) {
+  TraceStats out;
+  out.name = node->name;
+  out.count = node->count.load(std::memory_order_relaxed);
+  out.total_seconds = static_cast<double>(node->total_nanos.load(std::memory_order_relaxed)) / 1e9;
+  const std::uint64_t min_nanos = node->min_nanos.load(std::memory_order_relaxed);
+  out.min_seconds = min_nanos == UINT64_MAX ? 0.0 : static_cast<double>(min_nanos) / 1e9;
+  out.max_seconds = static_cast<double>(node->max_nanos.load(std::memory_order_relaxed)) / 1e9;
+  out.children.reserve(node->children.size());
+  for (const auto& child : node->children) out.children.push_back(snapshot_node(child.get()));
+  // Creation order can differ between thread counts when sibling stages
+  // first open inside pool workers; sort so exports are deterministic.
+  std::sort(out.children.begin(), out.children.end(),
+            [](const TraceStats& a, const TraceStats& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace
+
+TraceNode* current_node() { return t_current != nullptr ? t_current : root(); }
+
+ContextGuard::ContextGuard(TraceNode* node) : saved_(t_current) { t_current = node; }
+
+ContextGuard::~ContextGuard() { t_current = saved_; }
+
+}  // namespace trace_detail
+
+using trace_detail::TraceNode;
+
+Span::Span(std::string_view name)
+    : node_(trace_detail::child_of(trace_detail::current_node(), name)),
+      saved_(trace_detail::t_current) {
+  trace_detail::t_current = node_;
+}
+
+double Span::stop() {
+  if (!stopped_) {
+    elapsed_ = timer_.seconds();
+    stopped_ = true;
+    trace_detail::record(node_, elapsed_);
+    trace_detail::t_current = saved_;
+  }
+  return elapsed_;
+}
+
+Span::~Span() { stop(); }
+
+TraceStats trace_snapshot() {
+  std::lock_guard<std::mutex> lock(trace_detail::g_tree_mutex);
+  return trace_detail::snapshot_node(trace_detail::root());
+}
+
+const TraceStats* find_span(const TraceStats& root, std::string_view name) {
+  if (root.name == name) return &root;
+  for (const TraceStats& child : root.children) {
+    if (const TraceStats* found = find_span(child, name)) return found;
+  }
+  return nullptr;
+}
+
+void trace_ensure_path(const std::vector<std::string_view>& path) {
+  TraceNode* node = trace_detail::root();
+  for (const std::string_view name : path) node = trace_detail::child_of(node, name);
+}
+
+void trace_reset() {
+  std::lock_guard<std::mutex> lock(trace_detail::g_tree_mutex);
+  trace_detail::reset_stats(trace_detail::root());
+}
+
+namespace {
+
+void format_node(const TraceStats& node, std::size_t depth, std::string& out) {
+  if (depth > 0) {  // the synthetic root carries no timing of its own
+    char line[160];
+    const std::string indent(2 * (depth - 1), ' ');
+    if (node.count > 1) {
+      std::snprintf(line, sizeof(line), "%s%-32s %6llu x %9.3fs  (min %.3fs max %.3fs)\n",
+                    indent.c_str(), node.name.c_str(),
+                    static_cast<unsigned long long>(node.count), node.total_seconds,
+                    node.min_seconds, node.max_seconds);
+    } else {
+      std::snprintf(line, sizeof(line), "%s%-32s %6llu x %9.3fs\n", indent.c_str(),
+                    node.name.c_str(), static_cast<unsigned long long>(node.count),
+                    node.total_seconds);
+    }
+    out += line;
+  }
+  for (const TraceStats& child : node.children) format_node(child, depth + 1, out);
+}
+
+void write_node_json(JsonWriter& json, const TraceStats& node) {
+  json.begin_object();
+  json.member("name", node.name);
+  json.member("count", node.count);
+  json.member("total_seconds", node.total_seconds);
+  json.member("min_seconds", node.min_seconds);
+  json.member("max_seconds", node.max_seconds);
+  json.key("children");
+  json.begin_array();
+  for (const TraceStats& child : node.children) write_node_json(json, child);
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace
+
+std::string format_trace_tree(const TraceStats& root) {
+  std::string out;
+  format_node(root, 0, out);
+  return out;
+}
+
+void write_trace_json(JsonWriter& json) { write_node_json(json, trace_snapshot()); }
+
+}  // namespace misuse

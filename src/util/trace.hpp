@@ -1,0 +1,104 @@
+// RAII trace spans aggregated into a process-global stage tree. A Span
+// names the pipeline stage the current thread is executing; nested spans
+// become children, and spans with the same name under the same parent
+// aggregate (count, total/min/max wall seconds) instead of growing an
+// event log — the tree is an instrument panel, not a profiler dump.
+//
+// Cross-thread semantics: ThreadPool propagates the submitting thread's
+// open span to its workers (via TraceContextGuard), so a span opened
+// inside a parallel_for body attaches under the span that issued the
+// fan-out, and the per-thread trees merge into one stage hierarchy.
+//
+// Writing (span open/close) takes a global mutex only to resolve the
+// child node once per span; the duration bookkeeping is relaxed atomics.
+// Spans are therefore meant for stage-grained work (training phases,
+// session replays), not per-action events — use a metrics Histogram
+// (util/metrics.hpp) for those.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace misuse {
+
+class JsonWriter;
+
+namespace trace_detail {
+struct TraceNode;
+
+/// The calling thread's innermost open span node (the tree root when no
+/// span is open). Exposed for ThreadPool's context propagation.
+TraceNode* current_node();
+
+/// Scoped adoption of another thread's span as this thread's context.
+class ContextGuard {
+ public:
+  explicit ContextGuard(TraceNode* node);
+  ~ContextGuard();
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  TraceNode* saved_;
+};
+}  // namespace trace_detail
+
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Ends the span now and returns its wall seconds; the destructor
+  /// becomes a no-op. Repeated calls return the first result.
+  double stop();
+
+  /// Wall seconds since the span opened (without ending it) — the
+  /// progress-logging replacement for the old ad-hoc Timer reads.
+  double seconds() const { return stopped_ ? elapsed_ : timer_.seconds(); }
+
+ private:
+  trace_detail::TraceNode* node_;
+  trace_detail::TraceNode* saved_;
+  Timer timer_;
+  double elapsed_ = 0.0;
+  bool stopped_ = false;
+};
+
+/// Immutable copy of one aggregated tree node.
+struct TraceStats {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  std::vector<TraceStats> children;  // name-sorted
+};
+
+/// Copies the whole tree (root is the synthetic "run" node).
+TraceStats trace_snapshot();
+
+/// Depth-first search by node name; nullptr when absent.
+const TraceStats* find_span(const TraceStats& root, std::string_view name);
+
+/// Pre-registers a root-to-leaf chain of span nodes so exports always
+/// show the canonical stage skeleton (count 0 when a stage did not run).
+void trace_ensure_path(const std::vector<std::string_view>& path);
+
+/// Zeroes every node's statistics; the structure and any pointers held
+/// by open spans stay valid. Call between benchmark rounds, not while
+/// spans are concurrently closing.
+void trace_reset();
+
+/// Human-readable indented stage tree ("name  count x  total s ...").
+std::string format_trace_tree(const TraceStats& root);
+
+/// {"name": ..., "count": ..., "total_seconds": ..., "children": [...]}.
+void write_trace_json(JsonWriter& json);
+
+}  // namespace misuse

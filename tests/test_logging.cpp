@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+#include <thread>
+
 namespace misuse {
 namespace {
 
@@ -50,6 +54,36 @@ TEST(Logging, SuppressedMessagesDoNotEvaluateSideEffectsLazily) {
   set_log_level(LogLevel::kError);
   log_error() << "visible on stderr during tests is acceptable";
   SUCCEED();
+}
+
+TEST(Logging, ThreadLogIdIsStablePerThreadAndDistinctAcrossThreads) {
+  const int mine = detail::thread_log_id();
+  EXPECT_EQ(detail::thread_log_id(), mine);  // stable on re-read
+
+  int other_first = -1;
+  int other_second = -1;
+  std::thread t([&] {
+    other_first = detail::thread_log_id();
+    other_second = detail::thread_log_id();
+  });
+  t.join();
+  EXPECT_EQ(other_first, other_second);
+  EXPECT_NE(other_first, mine);
+}
+
+TEST(Logging, DefaultLevelReadsEnvironment) {
+  // Save/restore MISUSEDET_LOG_LEVEL around the probe.
+  const char* current = std::getenv("MISUSEDET_LOG_LEVEL");
+  const std::string saved = current != nullptr ? current : "";
+
+  setenv("MISUSEDET_LOG_LEVEL", "warn", 1);
+  EXPECT_EQ(default_log_level(), LogLevel::kWarn);
+  setenv("MISUSEDET_LOG_LEVEL", "debug", 1);
+  EXPECT_EQ(default_log_level(), LogLevel::kDebug);
+  unsetenv("MISUSEDET_LOG_LEVEL");
+  EXPECT_EQ(default_log_level(), LogLevel::kInfo);
+
+  if (!saved.empty()) setenv("MISUSEDET_LOG_LEVEL", saved.c_str(), 1);
 }
 
 }  // namespace

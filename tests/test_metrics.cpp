@@ -1,0 +1,229 @@
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace misuse {
+namespace {
+
+// Every instrument in these tests gets a unique name so the tests stay
+// independent of execution order (the registry is process-global).
+
+class MetricsEnabledGuard {
+ public:
+  MetricsEnabledGuard() : saved_(metrics_enabled()) {}
+  ~MetricsEnabledGuard() { set_metrics_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(Counter, IncrementAndReset) {
+  Counter& c = metrics().counter("test.counter.basic");
+  c.reset();
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, RegistryReturnsSameInstrumentForSameName) {
+  Counter& a = metrics().counter("test.counter.identity");
+  Counter& b = metrics().counter("test.counter.identity");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = metrics().gauge("test.gauge.identity");
+  Gauge& g2 = metrics().gauge("test.gauge.identity");
+  EXPECT_EQ(&g1, &g2);
+  HistogramMetric& h1 = metrics().histogram("test.histogram.identity");
+  HistogramMetric& h2 = metrics().histogram("test.histogram.identity");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(Counter, ConcurrentIncrementsFromThreadPoolAreExact) {
+  Counter& c = metrics().counter("test.counter.concurrent");
+  c.reset();
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 1000;
+  pool.parallel_for(0, kTasks, [&](std::size_t i) { c.inc(i % 3 + 1); });
+  // sum over i of (i % 3 + 1): 334 ones, 333 twos, 333 threes.
+  EXPECT_EQ(c.value(), 334u * 1 + 333u * 2 + 333u * 3);
+}
+
+TEST(Counter, DisabledRecordingIsDropped) {
+  MetricsEnabledGuard guard;
+  Counter& c = metrics().counter("test.counter.disabled");
+  c.reset();
+  set_metrics_enabled(false);
+  c.inc(5);
+  EXPECT_EQ(c.value(), 0u);
+  set_metrics_enabled(true);
+  c.inc(5);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(Gauge, SetTracksValueAndHighWater) {
+  Gauge& g = metrics().gauge("test.gauge.basic");
+  g.reset();
+  g.set(7);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.high_water(), 7);
+  g.add(10);
+  EXPECT_EQ(g.value(), 13);
+  EXPECT_EQ(g.high_water(), 13);
+  g.add(-5);
+  EXPECT_EQ(g.value(), 8);
+  EXPECT_EQ(g.high_water(), 13);
+}
+
+TEST(Gauge, ConcurrentAddsBalanceOut) {
+  Gauge& g = metrics().gauge("test.gauge.concurrent");
+  g.reset();
+  ThreadPool pool(4);
+  pool.parallel_for(0, 500, [&](std::size_t) {
+    g.add(1);
+    g.add(-1);
+  });
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_GE(g.high_water(), 1);
+}
+
+TEST(HistogramMetric, ExponentialBuckets) {
+  const auto bounds = exponential_buckets(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+TEST(HistogramMetric, RecordsIntoCorrectBuckets) {
+  HistogramMetric& h = metrics().histogram("test.histogram.buckets", {1.0, 2.0, 4.0});
+  h.reset();
+  h.record(0.5);   // <= 1.0
+  h.record(1.0);   // <= 1.0 (bound is inclusive)
+  h.record(3.0);   // <= 4.0
+  h.record(100.0); // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow bucket
+}
+
+TEST(HistogramMetric, EmptyQuantileIsZero) {
+  HistogramMetric& h = metrics().histogram("test.histogram.empty", {1.0, 2.0});
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(HistogramMetric, SingleBucketQuantileInterpolates) {
+  HistogramMetric& h = metrics().histogram("test.histogram.single", {10.0});
+  h.reset();
+  h.record(5.0);
+  h.record(5.0);
+  // Both samples are in [0, 10]; the median interpolates to the middle.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(HistogramMetric, OverflowQuantileReportsLastBound) {
+  HistogramMetric& h = metrics().histogram("test.histogram.overflow", {1.0, 2.0});
+  h.reset();
+  h.record(50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+}
+
+TEST(HistogramMetric, QuantileWalksCumulativeCounts) {
+  HistogramMetric& h = metrics().histogram("test.histogram.cumulative", {1.0, 2.0, 3.0, 4.0});
+  h.reset();
+  for (int i = 0; i < 10; ++i) h.record(0.5);  // bucket (0, 1]
+  for (int i = 0; i < 10; ++i) h.record(3.5);  // bucket (3, 4]
+  // p25 sits inside the first bucket, p75 inside the fourth.
+  EXPECT_GT(h.quantile(0.25), 0.0);
+  EXPECT_LE(h.quantile(0.25), 1.0);
+  EXPECT_GT(h.quantile(0.75), 3.0);
+  EXPECT_LE(h.quantile(0.75), 4.0);
+}
+
+TEST(HistogramMetric, ConcurrentRecordsCountExactly) {
+  HistogramMetric& h = metrics().histogram("test.histogram.concurrent", {0.25, 0.5, 1.0});
+  h.reset();
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 800;
+  // 0.125 has an exact double representation, so the sum is exact even
+  // under the CAS-add and the equality below is safe.
+  pool.parallel_for(0, kTasks, [&](std::size_t) { h.record(0.125); });
+  EXPECT_EQ(h.count(), kTasks);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.125 * static_cast<double>(kTasks));
+  EXPECT_EQ(h.bucket_count(0), kTasks);
+}
+
+TEST(HistogramMetric, DisabledRecordingIsDropped) {
+  MetricsEnabledGuard guard;
+  HistogramMetric& h = metrics().histogram("test.histogram.disabled", {1.0});
+  h.reset();
+  set_metrics_enabled(false);
+  h.record(0.5);
+  EXPECT_EQ(h.count(), 0u);
+  set_metrics_enabled(true);
+  h.record(0.5);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramMetric, LatencyBucketsAreAscending) {
+  const auto& bounds = latency_buckets();
+  ASSERT_FALSE(bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i) EXPECT_LT(bounds[i - 1], bounds[i]);
+}
+
+TEST(MetricsRegistry, WriteJsonProducesBalancedDocument) {
+  metrics().counter("test.json.counter").inc(3);
+  metrics().gauge("test.json.gauge").set(4);
+  metrics().histogram("test.json.histogram", {1.0}).record(0.5);
+  std::ostringstream out;
+  {
+    JsonWriter json(out);
+    metrics().write_json(json);
+  }
+  const std::string doc = out.str();
+  EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(doc.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(doc.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(doc.find("\"test.json.counter\""), std::string::npos);
+  // Structural sanity: braces and brackets balance (no string in the
+  // document contains them, so plain counting is enough here).
+  int braces = 0;
+  int brackets = 0;
+  for (const char ch : doc) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsReferencesValid) {
+  Counter& c = metrics().counter("test.registry.reset");
+  c.inc(9);
+  metrics().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(&c, &metrics().counter("test.registry.reset"));
+}
+
+}  // namespace
+}  // namespace misuse

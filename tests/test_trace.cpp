@@ -1,0 +1,154 @@
+#include "util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "util/thread_pool.hpp"
+
+namespace misuse {
+namespace {
+
+// The trace tree is process-global and aggregates by name, so every test
+// uses its own span names and locates them with find_span rather than
+// assuming a fresh tree.
+
+TEST(Trace, SpanRecordsIntoNamedNode) {
+  { Span span("trace_test.single"); }
+  const TraceStats tree = trace_snapshot();
+  const TraceStats* stats = find_span(tree, "trace_test.single");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GE(stats->count, 1u);
+  EXPECT_GE(stats->total_seconds, 0.0);
+  EXPECT_LE(stats->min_seconds, stats->max_seconds);
+}
+
+TEST(Trace, NestedSpansBecomeChildren) {
+  {
+    Span outer("trace_test.parent");
+    Span inner("trace_test.child");
+  }
+  const TraceStats tree = trace_snapshot();
+  const TraceStats* parent = find_span(tree, "trace_test.parent");
+  ASSERT_NE(parent, nullptr);
+  const TraceStats* child = find_span(*parent, "trace_test.child");
+  ASSERT_NE(child, nullptr);
+  EXPECT_GE(child->count, 1u);
+}
+
+TEST(Trace, SameNameAggregatesUnderSameParent) {
+  {
+    Span outer("trace_test.agg_parent");
+    for (int i = 0; i < 5; ++i) {
+      Span inner("trace_test.agg_child");
+    }
+  }
+  const TraceStats tree = trace_snapshot();
+  const TraceStats* parent = find_span(tree, "trace_test.agg_parent");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_EQ(parent->children.size(), 1u);  // one node, not five
+  EXPECT_EQ(parent->children[0].count, 5u);
+  EXPECT_GE(parent->children[0].total_seconds, parent->children[0].min_seconds);
+}
+
+TEST(Trace, StopIsIdempotentAndReturnsSeconds) {
+  Span span("trace_test.stop");
+  const double first = span.stop();
+  EXPECT_GE(first, 0.0);
+  const double second = span.stop();
+  EXPECT_DOUBLE_EQ(first, second);  // destructor will also be a no-op
+}
+
+TEST(Trace, SecondsReadsWithoutStopping) {
+  Span span("trace_test.seconds");
+  const double early = span.seconds();
+  EXPECT_GE(early, 0.0);
+  EXPECT_GE(span.seconds(), early);
+}
+
+TEST(Trace, SpansNestAcrossParallelFor) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  {
+    Span outer("trace_test.fanout");
+    pool.parallel_for(0, 64, [&](std::size_t) {
+      Span inner("trace_test.fanout_task");
+      ran.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(ran.load(), 64);
+  const TraceStats tree = trace_snapshot();
+  const TraceStats* outer = find_span(tree, "trace_test.fanout");
+  ASSERT_NE(outer, nullptr);
+  // Worker-side spans attached under the span that issued the fan-out,
+  // not at the root: 64 closes aggregated into one child node.
+  const TraceStats* inner = find_span(*outer, "trace_test.fanout_task");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 64u);
+}
+
+TEST(Trace, SpansNestAcrossSubmit) {
+  ThreadPool pool(2);
+  {
+    Span outer("trace_test.submit");
+    auto f = pool.submit([] { Span inner("trace_test.submit_task"); });
+    f.get();
+  }
+  const TraceStats tree = trace_snapshot();
+  const TraceStats* outer = find_span(tree, "trace_test.submit");
+  ASSERT_NE(outer, nullptr);
+  const TraceStats* inner = find_span(*outer, "trace_test.submit_task");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_GE(inner->count, 1u);
+}
+
+TEST(Trace, EnsurePathCreatesZeroCountNodes) {
+  trace_ensure_path({"trace_test.skeleton", "trace_test.skeleton_leaf"});
+  const TraceStats tree = trace_snapshot();
+  const TraceStats* node = find_span(tree, "trace_test.skeleton");
+  ASSERT_NE(node, nullptr);
+  const TraceStats* leaf = find_span(*node, "trace_test.skeleton_leaf");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->count, 0u);
+  EXPECT_DOUBLE_EQ(leaf->total_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(leaf->min_seconds, 0.0);  // unrecorded min reads as 0
+}
+
+TEST(Trace, FormatTreeListsSpanNames) {
+  { Span span("trace_test.format"); }
+  const std::string text = format_trace_tree(trace_snapshot());
+  EXPECT_NE(text.find("trace_test.format"), std::string::npos);
+}
+
+TEST(Trace, ResetZeroesStatsButKeepsStructure) {
+  { Span span("trace_test.reset"); }
+  trace_reset();
+  const TraceStats tree = trace_snapshot();
+  const TraceStats* stats = find_span(tree, "trace_test.reset");
+  ASSERT_NE(stats, nullptr);  // node survives
+  EXPECT_EQ(stats->count, 0u);
+  EXPECT_DOUBLE_EQ(stats->total_seconds, 0.0);
+  // Recording works again after the reset.
+  { Span span("trace_test.reset"); }
+  const TraceStats tree_after = trace_snapshot();
+  const TraceStats* after = find_span(tree_after, "trace_test.reset");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->count, 1u);
+}
+
+TEST(Trace, ChildrenAreNameSorted) {
+  {
+    Span outer("trace_test.sorted");
+    { Span b("trace_test.sorted_b"); }
+    { Span a("trace_test.sorted_a"); }
+  }
+  const TraceStats tree = trace_snapshot();
+  const TraceStats* parent = find_span(tree, "trace_test.sorted");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_EQ(parent->children.size(), 2u);
+  EXPECT_EQ(parent->children[0].name, "trace_test.sorted_a");
+  EXPECT_EQ(parent->children[1].name, "trace_test.sorted_b");
+}
+
+}  // namespace
+}  // namespace misuse
