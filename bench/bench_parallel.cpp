@@ -13,7 +13,11 @@
 // metric recording disabled to bound the instrumentation overhead of the
 // per-step telemetry (the <5% budget documented in DESIGN.md).
 //
-//   ./bench/bench_parallel [--threads=1,2,4,8] [--out=BENCH_parallel.json]
+//   ./bench/bench_parallel [--threads=1,2,4,8] [--out=BENCH_parallel.json] [--reduced]
+//
+// --reduced shrinks the workloads and the default thread sweep to 1,2 —
+// the CI smoke configuration, which cares about "runs and writes valid
+// JSON", not about the timings themselves.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -123,16 +127,17 @@ double time_monitor_batch(std::string_view stage, const core::MisuseDetector& de
 int main(int argc, char** argv) {
   using namespace misuse;
   const CliArgs args(argc, argv);
+  const bool reduced = args.flag("reduced");
   const std::string out_path = args.str("out", "BENCH_parallel.json");
   std::vector<std::size_t> thread_counts;
-  for (const auto& tok : split(args.str("threads", "1,2,4,8"), ',')) {
+  for (const auto& tok : split(args.str("threads", reduced ? "1,2" : "1,2,4,8"), ',')) {
     thread_counts.push_back(static_cast<std::size_t>(std::stoul(tok)));
   }
 
   // Shared workloads (built once; identical for every thread count).
-  const auto corpus = make_cluster_corpus(30, 60);
+  const auto corpus = make_cluster_corpus(reduced ? 8 : 30, 60);
   Rng doc_rng(23);
-  std::vector<std::vector<int>> docs(250);
+  std::vector<std::vector<int>> docs(reduced ? 60 : 250);
   for (auto& d : docs) {
     d.resize(15);
     for (auto& w : d) w = static_cast<int>(doc_rng.uniform_index(80));

@@ -163,7 +163,11 @@ void MisuseDetector::save(BinaryWriter& w) const {
 }
 
 MisuseDetector MisuseDetector::load(BinaryReader& r) {
-  r.read_magic(kDetectorMagic);
+  const std::uint32_t version = r.read_magic(kDetectorMagic);
+  if (version != kDetectorVersion) {
+    throw SerializeError("unsupported detector archive version " + std::to_string(version) +
+                         " (expected " + std::to_string(kDetectorVersion) + ")");
+  }
   MisuseDetector detector;
   detector.vocab_ = ActionVocab::load(r);
   const auto n = static_cast<std::size_t>(r.read<std::uint64_t>());

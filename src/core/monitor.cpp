@@ -115,6 +115,29 @@ OnlineMonitor::StepResult OnlineMonitor::observe(int action) {
   return result;
 }
 
+void SessionAccumulator::add(const OnlineMonitor::StepResult& step) {
+  report_.steps = step.step;
+  if (step.alarm) {
+    ++report_.alarms;
+    if (!report_.first_alarm_step) report_.first_alarm_step = step.step;
+  }
+  if (step.trend_alarm) ++report_.trend_alarms;
+  if (step.cluster_argmax != step.cluster_voted) ++report_.disagree_steps;
+  if (step.likelihood_voted) {
+    likelihood_sum_ += *step.likelihood_voted;
+    ++scored_steps_;
+  }
+  report_.voted_cluster = step.cluster_voted;
+}
+
+SessionMonitorReport SessionAccumulator::report() const {
+  SessionMonitorReport report = report_;
+  if (scored_steps_ > 0) {
+    report.avg_likelihood_voted = likelihood_sum_ / static_cast<double>(scored_steps_);
+  }
+  return report;
+}
+
 std::vector<SessionMonitorReport> monitor_sessions(
     const MisuseDetector& detector, const MonitorConfig& config,
     std::span<const std::span<const int>> sessions) {
@@ -126,27 +149,9 @@ std::vector<SessionMonitorReport> monitor_sessions(
   global_pool().parallel_for(0, sessions.size(), [&](std::size_t s) {
     Span session_span("monitor.session");
     OnlineMonitor monitor(detector, config);
-    SessionMonitorReport& report = reports[s];
-    double likelihood_sum = 0.0;
-    std::size_t scored_steps = 0;
-    for (const int action : sessions[s]) {
-      const auto step = monitor.observe(action);
-      report.steps = step.step;
-      if (step.alarm) {
-        ++report.alarms;
-        if (!report.first_alarm_step) report.first_alarm_step = step.step;
-      }
-      if (step.trend_alarm) ++report.trend_alarms;
-      if (step.cluster_argmax != step.cluster_voted) ++report.disagree_steps;
-      if (step.likelihood_voted) {
-        likelihood_sum += *step.likelihood_voted;
-        ++scored_steps;
-      }
-      report.voted_cluster = step.cluster_voted;
-    }
-    if (scored_steps > 0) {
-      report.avg_likelihood_voted = likelihood_sum / static_cast<double>(scored_steps);
-    }
+    SessionAccumulator acc;
+    for (const int action : sessions[s]) acc.add(monitor.observe(action));
+    reports[s] = acc.report();
   });
   return reports;
 }

@@ -120,6 +120,27 @@ struct SessionMonitorReport {
   double avg_likelihood_voted = 0.0;
 };
 
+/// Folds a stream of StepResults into a SessionMonitorReport. Extracted
+/// from monitor_sessions so every consumer of the online regime — the
+/// offline batch replay below and the streaming server's session shards
+/// (serve/session_table.hpp) — derives end-of-session reports from the
+/// exact same accumulation, keeping the two paths bit-identical.
+class SessionAccumulator {
+ public:
+  /// Folds one observed step (steps must arrive in order).
+  void add(const OnlineMonitor::StepResult& step);
+
+  /// Report over the steps added so far (callable repeatedly).
+  SessionMonitorReport report() const;
+
+  std::size_t steps() const { return report_.steps; }
+
+ private:
+  SessionMonitorReport report_;
+  double likelihood_sum_ = 0.0;
+  std::size_t scored_steps_ = 0;
+};
+
 /// Replays every session through its own OnlineMonitor, fanning the
 /// independent sessions out over the global thread pool (each task owns
 /// one monitor and one output slot, so reports are index-ordered and

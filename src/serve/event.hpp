@@ -1,0 +1,68 @@
+// Wire format of the streaming scoring server (misusedet_serve): one
+// flat JSON object per line in, one per line out.
+//
+// Input event:
+//   {"user_id": "u17", "session_id": "s3", "action": "ActionSearchUser",
+//    "timestamp": 1722945600.25}
+//   * user_id / session_id: opaque identifiers (string or number).
+//   * action: either the action *name* (resolved through the detector's
+//     vocabulary) or a non-negative integer action id.
+//   * timestamp: seconds as a JSON number; optional. Event time drives
+//     idle eviction so replayed traces evict deterministically.
+//
+// Output records (discriminated by "type"):
+//   * "step": the per-action verdict (OnlineMonitor::StepResult),
+//   * "session_report": end-of-session summary with an eviction reason,
+//   * "error": a rejected input line with the parse/validation message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/monitor.hpp"
+
+namespace misuse::serve {
+
+struct Event {
+  std::string user_id;
+  std::string session_id;
+  std::string action;      // name or decimal id, as received
+  double timestamp = 0.0;  // seconds; 0 when the producer sent none
+  bool has_timestamp = false;
+};
+
+/// Parses one NDJSON event line. Returns false and fills `error` on
+/// malformed JSON or missing user_id/session_id/action.
+bool parse_event(std::string_view line, Event& event, std::string& error);
+
+/// The session key used for sharding and the session table: user and
+/// session ids joined with an unambiguous separator, so ("a","b:c") and
+/// ("a:b","c") cannot collide.
+std::string session_key(const Event& event);
+
+/// Stable 64-bit FNV-1a over the session key — *not* std::hash, so shard
+/// assignment (and therefore per-shard processing order) is identical
+/// across platforms and standard libraries.
+std::uint64_t session_shard_hash(std::string_view key);
+
+/// Why a session report was emitted.
+enum class ReportReason {
+  kIdleEviction,     // TTL sweep found the session idle
+  kCapacityEviction, // session table was full, LRU entry evicted
+  kShutdown,         // graceful drain at end of stream / signal
+};
+std::string_view report_reason_name(ReportReason reason);
+
+/// Renders a "step" record (one line, no trailing newline).
+std::string render_step_record(const Event& event,
+                               const core::OnlineMonitor::StepResult& step);
+
+/// Renders a "session_report" record (one line, no trailing newline).
+std::string render_report_record(std::string_view user_id, std::string_view session_id,
+                                 ReportReason reason, const core::SessionMonitorReport& report);
+
+/// Renders an "error" record for a rejected input line.
+std::string render_error_record(std::string_view message, std::string_view line);
+
+}  // namespace misuse::serve

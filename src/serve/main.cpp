@@ -1,0 +1,268 @@
+// misusedet_serve: long-lived streaming session-scoring server — the
+// deployment half of the paper's Fig. 2 pipeline. Loads a trained
+// MisuseDetector archive and scores an interleaved NDJSON event stream
+// (one {"user_id", "session_id", "action", "timestamp"} object per
+// line) from many concurrent users, emitting per-step verdicts and
+// end-of-session reports as NDJSON.
+//
+// Modes:
+//   * default: events on stdin, verdicts on stdout (pipe-friendly);
+//   * --listen=PORT: accept TCP connections, one NDJSON stream each;
+//     verdicts return on the originating connection, while eviction /
+//     shutdown session reports go to stdout (sessions outlive
+//     connections).
+//
+// Graceful shutdown: EOF on stdin, or SIGINT/SIGTERM in either mode,
+// drains the queued backlog and emits a session_report for every open
+// session before exiting. --metrics-out writes the observability
+// snapshot (util/metrics + trace tree) on exit.
+//
+//   misusedet_serve --model=detector.bin [--listen=PORT]
+//       [--shards=N] [--queue-capacity=N] [--backpressure=block|drop_oldest]
+//       [--idle-ttl=SECONDS] [--max-sessions=N] [--batch=N] [--threads=N]
+//       [--alarm-likelihood=X] [--trend-window=N] [--trend-drop=X]
+//       [--no-steps] [--metrics-out=PATH]
+#include <atomic>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/observability.hpp"
+#include "serve/metrics.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/line_io.hpp"
+#include "util/logging.hpp"
+#include "util/socket.hpp"
+#include "util/thread_pool.hpp"
+
+namespace misuse::serve {
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void install_signal_handlers() {
+  struct sigaction action {};
+  action.sa_handler = handle_signal;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  // Dying TCP peers must not kill the server mid-write.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+void print_usage(const std::string& program) {
+  std::cout
+      << "usage: " << program << " --model=PATH [options]\n"
+      << "  --model=PATH            trained detector archive (required)\n"
+      << "  --listen=PORT           serve NDJSON over TCP instead of stdin/stdout\n"
+      << "  --shards=N              session-table shards (default 4)\n"
+      << "  --queue-capacity=N      per-shard event queue bound (default 1024)\n"
+      << "  --backpressure=POLICY   block | drop_oldest (default block)\n"
+      << "  --idle-ttl=SECONDS      evict sessions idle this long in event time (default 900)\n"
+      << "  --max-sessions=N        session-table capacity across shards (default 4096)\n"
+      << "  --batch=N               events per pump in stdin mode (default 256)\n"
+      << "  --threads=N             worker threads (default MISUSEDET_THREADS/hardware)\n"
+      << "  --alarm-likelihood=X    immediate alarm threshold (default 0.02)\n"
+      << "  --trend-window=N        trend detector window (default 8)\n"
+      << "  --trend-drop=X          trend alarm relative drop (default 0.5)\n"
+      << "  --no-steps              emit only session reports, not per-step verdicts\n"
+      << "  --metrics-out=PATH      write the metrics/trace snapshot on exit\n";
+}
+
+void flush_records(std::vector<OutputRecord>& records, std::ostream& out, std::mutex* mutex) {
+  if (records.empty()) return;
+  if (mutex != nullptr) {
+    std::lock_guard<std::mutex> lock(*mutex);
+    for (const auto& r : records) out << r.line << '\n';
+    out.flush();
+  } else {
+    for (const auto& r : records) out << r.line << '\n';
+    out.flush();
+  }
+  records.clear();
+}
+
+/// stdin/stdout pipe mode: read-batch -> pump -> sweep, repeat.
+int run_pipe(ScoringServer& server, std::size_t batch_max) {
+  LineReader reader(std::cin);
+  std::string line;
+  std::vector<OutputRecord> out;
+  std::string error;
+  std::size_t batched = 0;
+  while (!g_stop.load(std::memory_order_relaxed) && reader.next(line)) {
+    if (line.empty()) continue;
+    Event event;
+    if (!parse_event(line, event, error)) {
+      serve_metrics().parse_errors.inc();
+      out.push_back({0, render_error_record(error, line)});
+      continue;
+    }
+    while (server.enqueue(event, out) == ScoringServer::Enqueue::kQueueFull) {
+      server.pump(out);
+      flush_records(out, std::cout, nullptr);
+    }
+    if (++batched >= batch_max) {
+      server.pump(out);
+      server.sweep(out);
+      flush_records(out, std::cout, nullptr);
+      batched = 0;
+    }
+  }
+  if (reader.truncated()) {
+    log_warn() << "input line exceeded the size cap; draining and shutting down";
+  }
+  server.shutdown(out);
+  flush_records(out, std::cout, nullptr);
+  return 0;
+}
+
+/// TCP mode: one blocking reader thread per connection, verdicts written
+/// back on the same connection; session reports (evictions, shutdown
+/// drain) go to stdout under a shared mutex.
+int run_tcp(ScoringServer& server, std::uint16_t port) {
+  TcpListener listener = TcpListener::bind(port);
+  log_info() << "listening on port " << listener.port();
+  std::mutex stdout_mutex;
+
+  std::vector<std::thread> connections;
+  std::vector<std::weak_ptr<TcpStream>> open_streams;
+  std::mutex connections_mutex;
+
+  // Periodic TTL sweeps: event-time driven, checked on a coarse wall tick.
+  std::thread sweeper([&server, &stdout_mutex] {
+    std::vector<OutputRecord> out;
+    while (!g_stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      server.sweep(out);
+      flush_records(out, std::cout, &stdout_mutex);
+    }
+  });
+
+  // Watches for the signal flag, then closes the listener and half-closes
+  // every open connection so blocked accept()/read() calls return.
+  std::thread stopper([&listener, &open_streams, &connections_mutex] {
+    while (!g_stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    listener.close();
+    std::lock_guard<std::mutex> lock(connections_mutex);
+    for (const auto& weak : open_streams) {
+      if (const auto stream = weak.lock()) stream->shutdown_read();
+    }
+  });
+
+  while (auto conn = listener.accept()) {
+    auto stream = std::make_shared<TcpStream>(std::move(*conn));
+    std::lock_guard<std::mutex> lock(connections_mutex);
+    open_streams.push_back(stream);
+    connections.emplace_back([stream = std::move(stream), &server] {
+          LineReader reader(stream->io());
+          std::string line;
+          std::string error;
+          std::vector<OutputRecord> out;
+          while (!g_stop.load(std::memory_order_relaxed) && reader.next(line)) {
+            if (line.empty()) continue;
+            Event event;
+            if (!parse_event(line, event, error)) {
+              serve_metrics().parse_errors.inc();
+              stream->io() << render_error_record(error, line) << '\n';
+              stream->io().flush();
+              continue;
+            }
+            server.submit_sync(event, out);
+            for (const auto& r : out) stream->io() << r.line << '\n';
+            stream->io().flush();
+            out.clear();
+          }
+          stream->shutdown_write();
+        });
+  }
+
+  g_stop.store(true, std::memory_order_relaxed);
+  stopper.join();
+  sweeper.join();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex);
+    for (auto& t : connections) t.join();
+  }
+  std::vector<OutputRecord> out;
+  server.shutdown(out);
+  flush_records(out, std::cout, &stdout_mutex);
+  return 0;
+}
+
+int serve_main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.flag("help")) {
+    print_usage(args.program());
+    return 0;
+  }
+  const std::string model_path = args.str("model");
+  if (model_path.empty()) {
+    std::cerr << "--model=PATH is required (train and save a detector first; see README "
+                 "\"Serving\")\n";
+    print_usage(args.program());
+    return 2;
+  }
+
+  ServeConfig config;
+  config.shards = static_cast<std::size_t>(args.integer("shards", 4));
+  config.queue_capacity = static_cast<std::size_t>(args.integer("queue-capacity", 1024));
+  const std::string policy = args.str("backpressure", "block");
+  if (policy == "drop_oldest") {
+    config.backpressure = BackpressurePolicy::kDropOldest;
+  } else if (policy == "block") {
+    config.backpressure = BackpressurePolicy::kBlock;
+  } else {
+    std::cerr << "unknown --backpressure policy '" << policy << "' (block | drop_oldest)\n";
+    return 2;
+  }
+  config.idle_ttl_seconds = args.real("idle-ttl", 900.0);
+  config.max_sessions = static_cast<std::size_t>(args.integer("max-sessions", 4096));
+  config.emit_steps = !args.flag("no-steps");
+  config.monitor.alarm_likelihood = args.real("alarm-likelihood", 0.02);
+  config.monitor.trend_window = static_cast<std::size_t>(args.integer("trend-window", 8));
+  config.monitor.trend_drop = args.real("trend-drop", 0.5);
+  if (args.has("threads")) {
+    set_global_threads(static_cast<std::size_t>(args.integer("threads", 0)));
+  }
+
+  std::ifstream model_in(model_path, std::ios::binary);
+  if (!model_in) {
+    std::cerr << "cannot open model archive " << model_path << "\n";
+    return 2;
+  }
+  core::register_core_metrics();
+  core::MetricsExport metrics_export(args.str("metrics-out"));
+  BinaryReader reader(model_in);
+  std::optional<core::MisuseDetector> detector;
+  try {
+    detector.emplace(core::MisuseDetector::load(reader));
+  } catch (const SerializeError& e) {
+    std::cerr << "failed to load detector archive: " << e.what() << "\n";
+    return 2;
+  }
+  log_info() << "loaded detector: " << detector->cluster_count() << " clusters, vocabulary of "
+             << detector->vocab().size() << " actions";
+
+  install_signal_handlers();
+  ScoringServer server(*detector, config);
+  if (args.has("listen")) {
+    return run_tcp(server, static_cast<std::uint16_t>(args.integer("listen", 0)));
+  }
+  return run_pipe(server, static_cast<std::size_t>(args.integer("batch", 256)));
+}
+
+}  // namespace
+}  // namespace misuse::serve
+
+int main(int argc, char** argv) { return misuse::serve::serve_main(argc, argv); }

@@ -1,0 +1,22 @@
+#include "serve/metrics.hpp"
+
+namespace misuse::serve {
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics instruments{
+      metrics().counter("serve.events"),
+      metrics().counter("serve.steps"),
+      metrics().counter("serve.alarms"),
+      metrics().counter("serve.parse_errors"),
+      metrics().counter("serve.dropped_events"),
+      metrics().counter("serve.sessions_opened"),
+      metrics().counter("serve.sessions_evicted"),
+      metrics().counter("serve.sessions_finished"),
+      metrics().gauge("serve.sessions_active"),
+      metrics().gauge("serve.queue_depth"),
+      metrics().histogram("serve.step_seconds"),
+  };
+  return instruments;
+}
+
+}  // namespace misuse::serve

@@ -1,0 +1,28 @@
+// Instrument panel of the streaming scoring server. Same pattern as
+// core::MonitorMetrics: one process-wide bundle of registry-owned
+// instruments, resolved once and shared by every shard. All updates are
+// relaxed atomics, so shards record concurrently without coordination.
+#pragma once
+
+#include "util/metrics.hpp"
+
+namespace misuse::serve {
+
+struct ServeMetrics {
+  Counter& events;             // serve.events — accepted input events
+  Counter& steps;              // serve.steps — scored actions
+  Counter& alarms;             // serve.alarms — steps that alarmed
+  Counter& parse_errors;       // serve.parse_errors — rejected lines
+  Counter& dropped_events;     // serve.dropped_events — drop-oldest backpressure
+  Counter& sessions_opened;    // serve.sessions_opened
+  Counter& sessions_evicted;   // serve.sessions_evicted — TTL + capacity
+  Counter& sessions_finished;  // serve.sessions_finished — all report emissions
+  Gauge& sessions_active;      // serve.sessions_active (+ high-water mark)
+  Gauge& queue_depth;          // serve.queue_depth — events queued across shards
+  HistogramMetric& step_seconds;  // serve.step_seconds — per-event shard latency
+};
+
+/// The shared bundle; registers the instruments on first call.
+ServeMetrics& serve_metrics();
+
+}  // namespace misuse::serve

@@ -1,0 +1,202 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "serve/metrics.hpp"
+#include "util/thread_pool.hpp"
+#include "util/trace.hpp"
+
+namespace misuse::serve {
+
+ScoringServer::ScoringServer(const core::MisuseDetector& detector, const ServeConfig& config)
+    : detector_(detector), config_(config) {
+  const std::size_t n = std::max<std::size_t>(1, config_.shards);
+  config_.shards = n;
+  ShardConfig shard_config;
+  shard_config.monitor = config_.monitor;
+  shard_config.idle_ttl_seconds = config_.idle_ttl_seconds;
+  // Distribute the global session cap; every shard holds at least one.
+  shard_config.max_sessions = std::max<std::size_t>(1, (config_.max_sessions + n - 1) / n);
+  shard_config.emit_steps = config_.emit_steps;
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->table = std::make_unique<SessionShard>(detector_, shard_config);
+    shards_.push_back(std::move(shard));
+  }
+  (void)serve_metrics();  // register the panel eagerly
+}
+
+int ScoringServer::resolve_action(const Event& event) const {
+  const ActionVocab& vocab = detector_.vocab();
+  if (const auto id = vocab.find(event.action)) return *id;
+  // Fall back to a decimal action id for producers that pre-encode.
+  if (event.action.empty()) return -1;
+  int value = 0;
+  for (const char c : event.action) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return -1;
+    if (value > static_cast<int>(vocab.size())) return -1;  // overflow guard
+    value = value * 10 + (c - '0');
+  }
+  return value < static_cast<int>(vocab.size()) ? value : -1;
+}
+
+void ScoringServer::advance_clock(double t) {
+  double seen = clock_.load(std::memory_order_relaxed);
+  while (t > seen &&
+         !clock_.compare_exchange_weak(seen, t, std::memory_order_relaxed)) {
+  }
+}
+
+void ScoringServer::record_queue_depth() const {
+  serve_metrics().queue_depth.set(static_cast<std::int64_t>(queued_events()));
+}
+
+ScoringServer::Enqueue ScoringServer::enqueue(const Event& event,
+                                              std::vector<OutputRecord>& out) {
+  const int action = resolve_action(event);
+  if (action < 0) {
+    serve_metrics().parse_errors.inc();
+    out.push_back({seq_.fetch_add(1, std::memory_order_relaxed),
+                   render_error_record("unknown action", event.action)});
+    return Enqueue::kRejected;
+  }
+  Shard& shard = *shards_[shard_of(event)];
+  Enqueue result = Enqueue::kAccepted;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.queue.size() >= config_.queue_capacity) {
+      if (config_.backpressure == BackpressurePolicy::kBlock) return Enqueue::kQueueFull;
+      shard.queue.pop_front();
+      serve_metrics().dropped_events.inc();
+      result = Enqueue::kDroppedOldest;
+    }
+    Pending pending;
+    pending.event = event;
+    pending.action = action;
+    pending.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    shard.queue.push_back(std::move(pending));
+  }
+  if (event.has_timestamp) advance_clock(event.timestamp);
+  record_queue_depth();
+  return result;
+}
+
+void ScoringServer::pump(std::vector<OutputRecord>& out) {
+  Span pump_span("serve.pump");
+  std::vector<std::vector<OutputRecord>> shard_out(shards_.size());
+  global_pool().parallel_for(0, shards_.size(), [&](std::size_t s) {
+    Shard& shard = *shards_[s];
+    std::deque<Pending> backlog;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      backlog.swap(shard.queue);
+    }
+    if (backlog.empty()) return;
+    Span drain_span("serve.shard_drain");
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const Pending& p : backlog) {
+      shard.table->process(p.event, p.action, p.seq, shard_out[s]);
+    }
+  });
+  std::size_t total = 0;
+  for (const auto& records : shard_out) total += records.size();
+  const std::size_t base = out.size();
+  out.reserve(base + total);
+  for (auto& records : shard_out) {
+    for (auto& r : records) out.push_back(std::move(r));
+  }
+  // Unique seq tags restore the global arrival order across shards.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end(),
+            [](const OutputRecord& a, const OutputRecord& b) { return a.seq < b.seq; });
+  record_queue_depth();
+}
+
+void ScoringServer::append_reports(std::vector<OutputRecord>&& reports,
+                                   std::vector<OutputRecord>& out) {
+  // Shard partitioning must not leak into the output stream: the same
+  // sessions land on different shards at different --shards values, so
+  // reports collected across shards are re-sorted into a global record
+  // order (and re-tagged with emission-order seqs) before they are
+  // emitted. A replayed trace then produces byte-identical output at any
+  // shard count, matching the per-step determinism contract.
+  std::sort(reports.begin(), reports.end(),
+            [](const OutputRecord& a, const OutputRecord& b) { return a.line < b.line; });
+  out.reserve(out.size() + reports.size());
+  for (auto& r : reports) {
+    r.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    out.push_back(std::move(r));
+  }
+}
+
+void ScoringServer::sweep_at(double now, std::vector<OutputRecord>& out) {
+  // Serial in shard order: eviction reports are rare and cheap to render.
+  std::vector<OutputRecord> reports;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->table->sweep(now, seq_.fetch_add(1, std::memory_order_relaxed), reports);
+  }
+  append_reports(std::move(reports), out);
+}
+
+void ScoringServer::shutdown(std::vector<OutputRecord>& out) {
+  pump(out);
+  std::vector<OutputRecord> reports;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->table->finish_all(seq_.fetch_add(1, std::memory_order_relaxed), reports);
+  }
+  append_reports(std::move(reports), out);
+}
+
+bool ScoringServer::submit_sync(const Event& event, std::vector<OutputRecord>& out) {
+  const int action = resolve_action(event);
+  if (action < 0) {
+    serve_metrics().parse_errors.inc();
+    out.push_back({seq_.fetch_add(1, std::memory_order_relaxed),
+                   render_error_record("unknown action", event.action)});
+    return false;
+  }
+  if (event.has_timestamp) advance_clock(event.timestamp);
+  Shard& shard = *shards_[shard_of(event)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.table->process(event, action, seq_.fetch_add(1, std::memory_order_relaxed), out);
+  return true;
+}
+
+std::size_t ScoringServer::active_sessions() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->table->active_sessions();
+  }
+  return total;
+}
+
+std::size_t ScoringServer::queued_events() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->queue.size();
+  }
+  return total;
+}
+
+double ScoringServer::event_clock() const { return clock_.load(std::memory_order_relaxed); }
+
+void ScoringServer::set_step_observer(const StepObserver& observer) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->table->set_step_observer(observer);
+  }
+}
+
+void ScoringServer::set_report_observer(const ReportObserver& observer) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->table->set_report_observer(observer);
+  }
+}
+
+}  // namespace misuse::serve

@@ -1,0 +1,128 @@
+// ScoringServer: the streaming core of misusedet_serve. Consumes an
+// interleaved event stream from many users, shards sessions over a set
+// of SessionShards (stable FNV-1a of user_id+session_id), and scores
+// each shard's backlog on the global thread pool.
+//
+// Architecture (see DESIGN.md "Serving"):
+//   * enqueue(): parse-validated events land in a *bounded* per-shard
+//     FIFO. When a queue is full the configured backpressure policy
+//     applies — kBlock reports kQueueFull so the producer drains (pump)
+//     before retrying, kDropOldest discards the queue head and admits
+//     the new event (freshness over completeness).
+//   * pump(): drains every shard concurrently via global_pool(). Shards
+//     never share sessions, each session's events stay in one FIFO, and
+//     OnlineMonitor is deterministic, so every per-session score stream
+//     is bit-identical to the offline monitor regardless of shard count
+//     or thread count. Outputs are merged by input sequence number, so
+//     the emitted NDJSON order equals arrival order.
+//   * sweep(): retires idle sessions by *event time* TTL.
+//   * shutdown(): graceful drain — pumps the backlog, then emits an
+//     end-of-session report for every open session.
+//   * submit_sync(): latency-mode entry (TCP connections) that scores
+//     under the shard lock immediately, bypassing the batch queue.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "serve/session_table.hpp"
+
+namespace misuse::serve {
+
+enum class BackpressurePolicy {
+  kBlock,      // producer must pump before the event is admitted
+  kDropOldest, // discard the queue head to admit the new event
+};
+
+struct ServeConfig {
+  std::size_t shards = 4;
+  std::size_t queue_capacity = 1024;  // events per shard
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  double idle_ttl_seconds = 900.0;
+  std::size_t max_sessions = 4096;  // across all shards
+  bool emit_steps = true;
+  core::MonitorConfig monitor;
+};
+
+class ScoringServer {
+ public:
+  ScoringServer(const core::MisuseDetector& detector, const ServeConfig& config);
+
+  enum class Enqueue {
+    kAccepted,
+    kRejected,      // invalid action — an "error" record was appended
+    kQueueFull,     // kBlock policy: pump() and retry
+    kDroppedOldest, // admitted after discarding the queue head
+  };
+
+  /// Validates the action against the detector vocabulary and queues the
+  /// event on its shard. Error records for rejected events are appended
+  /// to `out` immediately.
+  Enqueue enqueue(const Event& event, std::vector<OutputRecord>& out);
+
+  /// Drains all shard queues (concurrently when the pool has workers)
+  /// and appends the resulting records to `out` in input order.
+  void pump(std::vector<OutputRecord>& out);
+
+  /// TTL sweep at the stream's current event time (or an explicit time).
+  void sweep(std::vector<OutputRecord>& out) { sweep_at(event_clock(), out); }
+  void sweep_at(double now, std::vector<OutputRecord>& out);
+
+  /// Graceful shutdown: pump the backlog, then emit a report for every
+  /// open session. The server stays usable afterwards (tables empty).
+  void shutdown(std::vector<OutputRecord>& out);
+
+  /// Scores one event immediately under its shard's lock (TCP path).
+  /// Returns false (with an error record) when the action is invalid.
+  bool submit_sync(const Event& event, std::vector<OutputRecord>& out);
+
+  std::size_t shard_of(const Event& event) const {
+    return session_shard_hash(session_key(event)) % shards_.size();
+  }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t active_sessions() const;
+  std::size_t queued_events() const;
+  /// Largest event timestamp admitted so far.
+  double event_clock() const;
+
+  /// Observation hooks, forwarded to every shard. Set before serving;
+  /// callbacks may fire concurrently from pool workers.
+  void set_step_observer(const StepObserver& observer);
+  void set_report_observer(const ReportObserver& observer);
+
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    Event event;
+    int action = 0;
+    std::uint64_t seq = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::deque<Pending> queue;
+    std::unique_ptr<SessionShard> table;
+  };
+
+  /// Resolves the event's action to a vocabulary id (name lookup first,
+  /// then decimal id); -1 when unknown.
+  int resolve_action(const Event& event) const;
+  /// Emits collected eviction/shutdown reports in a globally sorted
+  /// record order so output is independent of the shard count.
+  void append_reports(std::vector<OutputRecord>&& reports, std::vector<OutputRecord>& out);
+  void advance_clock(double t);
+  void record_queue_depth() const;
+
+  const core::MisuseDetector& detector_;
+  ServeConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<double> clock_{0.0};
+};
+
+}  // namespace misuse::serve

@@ -1,0 +1,96 @@
+#include "serve/session_table.hpp"
+
+#include <algorithm>
+
+#include "serve/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace misuse::serve {
+
+void SessionShard::process(const Event& event, int action, std::uint64_t seq,
+                           std::vector<OutputRecord>& out) {
+  const bool record = metrics_enabled();
+  Timer timer;
+  const std::string key = session_key(event);
+  auto it = sessions_.find(key);
+  if (it == sessions_.end()) {
+    if (sessions_.size() >= config_.max_sessions) evict_lru(seq, out);
+    Entry entry;
+    entry.user_id = event.user_id;
+    entry.session_id = event.session_id;
+    entry.monitor = std::make_unique<core::OnlineMonitor>(detector_, config_.monitor);
+    it = sessions_.emplace(key, std::move(entry)).first;
+    ServeMetrics& sm = serve_metrics();
+    sm.sessions_opened.inc();
+    sm.sessions_active.add(1);
+  }
+  Entry& entry = it->second;
+  if (event.has_timestamp) clock_ = std::max(clock_, event.timestamp);
+  entry.last_seen = event.has_timestamp ? event.timestamp : clock_;
+
+  const core::OnlineMonitor::StepResult step = entry.monitor->observe(action);
+  entry.acc.add(step);
+  if (config_.emit_steps) out.push_back({seq, render_step_record(event, step)});
+  if (step_observer_) step_observer_(event, step);
+
+  if (record) {
+    ServeMetrics& sm = serve_metrics();
+    sm.events.inc();
+    sm.steps.inc();
+    if (step.alarm) sm.alarms.inc();
+    sm.step_seconds.record(timer.seconds());
+  }
+}
+
+void SessionShard::finish_entry(const Entry& entry, ReportReason reason, std::uint64_t seq,
+                                std::vector<OutputRecord>& out) {
+  const core::SessionMonitorReport report = entry.acc.report();
+  out.push_back({seq, render_report_record(entry.user_id, entry.session_id, reason, report)});
+  if (report_observer_) report_observer_(entry.user_id, entry.session_id, reason, report);
+  ServeMetrics& sm = serve_metrics();
+  sm.sessions_finished.inc();
+  sm.sessions_active.add(-1);
+  if (reason != ReportReason::kShutdown) sm.sessions_evicted.inc();
+}
+
+void SessionShard::evict_lru(std::uint64_t seq, std::vector<OutputRecord>& out) {
+  if (sessions_.empty()) return;
+  // Oldest last_seen wins; ties break on the smaller key so the choice
+  // does not depend on hash-map iteration order.
+  auto victim = sessions_.begin();
+  for (auto it = std::next(sessions_.begin()); it != sessions_.end(); ++it) {
+    if (it->second.last_seen < victim->second.last_seen ||
+        (it->second.last_seen == victim->second.last_seen && it->first < victim->first)) {
+      victim = it;
+    }
+  }
+  finish_entry(victim->second, ReportReason::kCapacityEviction, seq, out);
+  sessions_.erase(victim);
+}
+
+void SessionShard::sweep(double now, std::uint64_t seq, std::vector<OutputRecord>& out) {
+  std::vector<std::string> expired;
+  for (const auto& [key, entry] : sessions_) {
+    if (now - entry.last_seen > config_.idle_ttl_seconds) expired.push_back(key);
+  }
+  std::sort(expired.begin(), expired.end());
+  for (const auto& key : expired) {
+    const auto it = sessions_.find(key);
+    finish_entry(it->second, ReportReason::kIdleEviction, seq, out);
+    sessions_.erase(it);
+  }
+}
+
+void SessionShard::finish_all(std::uint64_t seq, std::vector<OutputRecord>& out) {
+  std::vector<const std::string*> keys;
+  keys.reserve(sessions_.size());
+  for (const auto& [key, entry] : sessions_) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  for (const std::string* key : keys) {
+    finish_entry(sessions_.at(*key), ReportReason::kShutdown, seq, out);
+  }
+  sessions_.clear();
+}
+
+}  // namespace misuse::serve

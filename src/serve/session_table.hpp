@@ -1,0 +1,100 @@
+// One shard of the streaming server's session table. A shard owns the
+// OnlineMonitor state of every session hashed to it and is only ever
+// driven by one thread at a time (the server wraps each shard in a
+// mutex), so the shard itself is single-threaded and deterministic:
+// events are applied in arrival order, and the per-session score stream
+// is bit-identical to replaying the same actions through a standalone
+// OnlineMonitor (the offline path in core/monitor.hpp).
+//
+// Bounds: `max_sessions` caps the map — opening a session beyond the cap
+// evicts the least-recently-seen entry first (emitting its report), and
+// the TTL sweep retires sessions idle longer than `idle_ttl_seconds` of
+// *event time* (the timestamps in the stream), so replays evict exactly
+// like live traffic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "serve/event.hpp"
+
+namespace misuse::serve {
+
+/// One rendered NDJSON output line tagged with the global input sequence
+/// number of the event that produced it; the server merges shard outputs
+/// by `seq`, which restores the input order deterministically.
+struct OutputRecord {
+  std::uint64_t seq = 0;
+  std::string line;
+};
+
+struct ShardConfig {
+  core::MonitorConfig monitor;
+  double idle_ttl_seconds = 900.0;
+  std::size_t max_sessions = 4096;  // per shard
+  bool emit_steps = true;           // emit "step" records (reports always emit)
+};
+
+/// Structured observation hooks, for tests and in-process embedders that
+/// want StepResults without reparsing JSON. Called while the owning
+/// shard is being driven — possibly from a pool worker — so the callback
+/// must be thread-safe across shards.
+using StepObserver =
+    std::function<void(const Event&, const core::OnlineMonitor::StepResult&)>;
+using ReportObserver = std::function<void(std::string_view user_id, std::string_view session_id,
+                                          ReportReason, const core::SessionMonitorReport&)>;
+
+class SessionShard {
+ public:
+  SessionShard(const core::MisuseDetector& detector, const ShardConfig& config)
+      : detector_(detector), config_(config) {}
+
+  /// Scores one event (action already resolved to a vocabulary id) and
+  /// appends the step record. Opens the session on first sight, evicting
+  /// the least-recently-seen session first when the shard is full.
+  void process(const Event& event, int action, std::uint64_t seq,
+               std::vector<OutputRecord>& out);
+
+  /// Retires sessions idle past the TTL at event time `now`; reports are
+  /// emitted in key order (deterministic across runs and platforms).
+  void sweep(double now, std::uint64_t seq, std::vector<OutputRecord>& out);
+
+  /// Graceful-shutdown drain: emits a report for every open session (in
+  /// key order) and empties the shard.
+  void finish_all(std::uint64_t seq, std::vector<OutputRecord>& out);
+
+  std::size_t active_sessions() const { return sessions_.size(); }
+
+  void set_step_observer(StepObserver observer) { step_observer_ = std::move(observer); }
+  void set_report_observer(ReportObserver observer) { report_observer_ = std::move(observer); }
+
+ private:
+  struct Entry {
+    std::string user_id;
+    std::string session_id;
+    std::unique_ptr<core::OnlineMonitor> monitor;
+    core::SessionAccumulator acc;
+    double last_seen = 0.0;
+  };
+
+  void finish_entry(const Entry& entry, ReportReason reason, std::uint64_t seq,
+                    std::vector<OutputRecord>& out);
+  void evict_lru(std::uint64_t seq, std::vector<OutputRecord>& out);
+
+  const core::MisuseDetector& detector_;
+  ShardConfig config_;
+  std::unordered_map<std::string, Entry> sessions_;
+  /// Largest event timestamp seen; stamps events that carry none, so TTL
+  /// still advances on timestamp-less streams once any event has one.
+  double clock_ = 0.0;
+  StepObserver step_observer_;
+  ReportObserver report_observer_;
+};
+
+}  // namespace misuse::serve

@@ -1,0 +1,202 @@
+#include "util/line_io.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace misuse {
+
+bool LineReader::next(std::string& line) {
+  if (truncated_) return false;
+  line.clear();
+  char c;
+  while (in_.get(c)) {
+    if (c == '\n') {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      ++lines_read_;
+      return true;
+    }
+    if (line.size() >= max_line_bytes_) {
+      truncated_ = true;
+      return false;
+    }
+    line.push_back(c);
+  }
+  // EOF: surface a final unterminated line, if any.
+  if (!line.empty()) {
+    if (line.back() == '\r') line.pop_back();
+    ++lines_read_;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool done() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+  void skip_ws() {
+    while (!done() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  }
+};
+
+bool fail(std::string& error, const std::string& message) {
+  error = message;
+  return false;
+}
+
+/// Parses a JSON string literal starting at the opening quote; leaves the
+/// cursor after the closing quote. Handles the standard escapes plus
+/// \uXXXX (BMP code points, encoded to UTF-8; surrogate pairs are
+/// rejected as out of scope for action/user identifiers).
+bool parse_string(Cursor& c, std::string& out, std::string& error) {
+  ++c.pos;  // opening quote
+  out.clear();
+  while (!c.done()) {
+    const char ch = c.text[c.pos];
+    if (ch == '"') {
+      ++c.pos;
+      return true;
+    }
+    if (ch == '\\') {
+      if (c.pos + 1 >= c.text.size()) return fail(error, "dangling escape");
+      const char esc = c.text[c.pos + 1];
+      c.pos += 2;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (c.pos + 4 > c.text.size()) return fail(error, "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = c.text[c.pos + static_cast<std::size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail(error, "bad \\u escape");
+            }
+          }
+          c.pos += 4;
+          if (code >= 0xD800 && code <= 0xDFFF) return fail(error, "surrogate \\u escape");
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return fail(error, "unknown escape");
+      }
+      continue;
+    }
+    out.push_back(ch);
+    ++c.pos;
+  }
+  return fail(error, "unterminated string");
+}
+
+bool is_token_char(char ch) {
+  return std::isalnum(static_cast<unsigned char>(ch)) != 0 || ch == '+' || ch == '-' ||
+         ch == '.' || ch == 'e' || ch == 'E';
+}
+
+}  // namespace
+
+bool parse_flat_json(std::string_view line, std::vector<JsonField>& fields, std::string& error) {
+  fields.clear();
+  error.clear();
+  Cursor c{line};
+  c.skip_ws();
+  if (c.done() || c.peek() != '{') return fail(error, "expected '{'");
+  ++c.pos;
+  c.skip_ws();
+  if (!c.done() && c.peek() == '}') {
+    ++c.pos;
+    c.skip_ws();
+    return c.done() ? true : fail(error, "trailing characters after object");
+  }
+  while (true) {
+    c.skip_ws();
+    if (c.done() || c.peek() != '"') return fail(error, "expected key string");
+    JsonField field;
+    if (!parse_string(c, field.key, error)) return false;
+    c.skip_ws();
+    if (c.done() || c.peek() != ':') return fail(error, "expected ':'");
+    ++c.pos;
+    c.skip_ws();
+    if (c.done()) return fail(error, "missing value");
+    const char v = c.peek();
+    if (v == '"') {
+      field.is_string = true;
+      if (!parse_string(c, field.value, error)) return false;
+    } else if (v == '{' || v == '[') {
+      return fail(error, "nested values are not supported");
+    } else {
+      const std::size_t start = c.pos;
+      while (!c.done() && is_token_char(c.peek())) ++c.pos;
+      if (c.pos == start) return fail(error, "empty value");
+      field.value = std::string(line.substr(start, c.pos - start));
+    }
+    fields.push_back(std::move(field));
+    c.skip_ws();
+    if (c.done()) return fail(error, "unterminated object");
+    if (c.peek() == ',') {
+      ++c.pos;
+      continue;
+    }
+    if (c.peek() == '}') {
+      ++c.pos;
+      c.skip_ws();
+      return c.done() ? true : fail(error, "trailing characters after object");
+    }
+    return fail(error, "expected ',' or '}'");
+  }
+}
+
+const JsonField* find_field(const std::vector<JsonField>& fields, std::string_view key) {
+  for (const auto& f : fields) {
+    if (f.key == key) return &f;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> get_string(const std::vector<JsonField>& fields,
+                                      std::string_view key) {
+  const JsonField* f = find_field(fields, key);
+  if (f == nullptr) return std::nullopt;
+  // Tolerate numeric ids where a string is expected ("user_id": 17).
+  return f->value;
+}
+
+std::optional<double> get_number(const std::vector<JsonField>& fields, std::string_view key) {
+  const JsonField* f = find_field(fields, key);
+  if (f == nullptr) return std::nullopt;
+  const char* begin = f->value.data();
+  const char* end = begin + f->value.size();
+  double parsed = 0.0;
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return parsed;
+}
+
+}  // namespace misuse

@@ -1,0 +1,70 @@
+// Line-oriented IO helpers for the streaming serving path: a buffered
+// line reader over any std::istream (stdin or a socket stream) and a
+// parser for *flat* single-line JSON objects — the NDJSON event format
+// the scoring server consumes. We deliberately do not grow a general
+// JSON DOM: events are one-level objects of strings/numbers/bools, and
+// rejecting nesting keeps the parser small enough to audit and fast
+// enough for the per-event hot path.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace misuse {
+
+/// Reads '\n'-terminated lines, stripping the trailing '\n' and any '\r'
+/// before it (NDJSON producers on Windows emit CRLF). A final unterminated
+/// line is still returned. Lines longer than `max_line_bytes` abort the
+/// stream (next() returns false and truncated() reports why): an
+/// unbounded line is either a protocol violation or an attack on the
+/// server's memory, never a valid event.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in, std::size_t max_line_bytes = 1 << 20)
+      : in_(in), max_line_bytes_(max_line_bytes) {}
+
+  /// Fills `line` with the next line; returns false on EOF or overflow.
+  bool next(std::string& line);
+
+  /// True when the stream was abandoned because a line exceeded the cap.
+  bool truncated() const { return truncated_; }
+
+  /// Lines returned so far (1-based index of the last returned line).
+  std::uint64_t lines_read() const { return lines_read_; }
+
+ private:
+  std::istream& in_;
+  std::size_t max_line_bytes_;
+  std::uint64_t lines_read_ = 0;
+  bool truncated_ = false;
+};
+
+/// One member of a flat JSON object. For string values, `value` holds the
+/// unescaped text; for numbers/booleans/null it holds the raw token
+/// ("12.5", "true", "null").
+struct JsonField {
+  std::string key;
+  std::string value;
+  bool is_string = false;
+};
+
+/// Parses a single-line flat JSON object ({"k": "v", "n": 1, ...}) into
+/// fields. Returns false and sets `error` on malformed input or on nested
+/// arrays/objects. Duplicate keys are kept in order (lookup returns the
+/// first).
+bool parse_flat_json(std::string_view line, std::vector<JsonField>& fields, std::string& error);
+
+/// First field with the given key, or nullptr.
+const JsonField* find_field(const std::vector<JsonField>& fields, std::string_view key);
+
+/// Typed accessors over a parsed field list. A missing key yields
+/// nullopt; a present key with the wrong shape (e.g. get_number on a
+/// string that is not numeric) also yields nullopt.
+std::optional<std::string> get_string(const std::vector<JsonField>& fields, std::string_view key);
+std::optional<double> get_number(const std::vector<JsonField>& fields, std::string_view key);
+
+}  // namespace misuse

@@ -1,0 +1,189 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace misuse {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+FdStreamBuf::FdStreamBuf(int fd) : fd_(fd) {
+  setg(in_buf_, in_buf_, in_buf_);
+  setp(out_buf_, out_buf_ + kBufSize);
+}
+
+FdStreamBuf::int_type FdStreamBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  ssize_t n;
+  do {
+    n = ::read(fd_, in_buf_, kBufSize);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return traits_type::eof();
+  setg(in_buf_, in_buf_, in_buf_ + n);
+  return traits_type::to_int_type(*gptr());
+}
+
+bool FdStreamBuf::flush_out() {
+  const char* p = pbase();
+  while (p < pptr()) {
+    ssize_t n;
+    do {
+      n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return false;
+    p += n;
+  }
+  setp(out_buf_, out_buf_ + kBufSize);
+  return true;
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type ch) {
+  if (!flush_out()) return traits_type::eof();
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int FdStreamBuf::sync() { return flush_out() ? 0 : -1; }
+
+TcpStream::TcpStream(int fd)
+    : fd_(fd),
+      buf_(std::make_unique<FdStreamBuf>(fd)),
+      io_(std::make_unique<std::iostream>(buf_.get())) {}
+
+TcpStream::~TcpStream() { close(); }
+
+TcpStream::TcpStream(TcpStream&& other) noexcept
+    : fd_(other.fd_), buf_(std::move(other.buf_)), io_(std::move(other.io_)) {
+  other.fd_ = -1;
+}
+
+TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    buf_ = std::move(other.buf_);
+    io_ = std::move(other.io_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpStream::shutdown_write() {
+  if (fd_ >= 0) {
+    io_->flush();
+    ::shutdown(fd_, SHUT_WR);
+  }
+}
+
+void TcpStream::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void TcpStream::close() {
+  if (fd_ >= 0) {
+    if (io_) io_->flush();
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener TcpListener::bind(std::uint16_t port, const std::string& host) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host == "localhost") {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad listen address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw_errno("bind");
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw_errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    throw_errno("getsockname");
+  }
+  return TcpListener(fd, ntohs(addr.sin_port));
+}
+
+TcpListener::~TcpListener() {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_.exchange(-1, std::memory_order_acq_rel)), port_(other.port_) {}
+
+std::optional<TcpStream> TcpListener::accept() {
+  while (true) {
+    const int listen_fd = fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) return std::nullopt;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return TcpStream(fd);
+    }
+    if (errno == EINTR) continue;
+    return std::nullopt;  // listener shut down (EINVAL) or fatal error
+  }
+}
+
+void TcpListener::close() {
+  // shutdown() unblocks a concurrent accept() on Linux, after which every
+  // accept() fails with EINVAL. The fd is deliberately NOT ::close()d
+  // here: releasing it while another thread sits in accept() would let
+  // the kernel recycle the descriptor under that thread. The destructor
+  // (which must not run concurrently with accept()) releases it.
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+TcpStream tcp_connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad connect address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw_errno("connect " + resolved);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(fd);
+}
+
+}  // namespace misuse

@@ -1,0 +1,103 @@
+// Minimal POSIX TCP helpers for the serving layer: a listener bound to a
+// local port, an accepted/connected stream exposed as a std::iostream
+// (via a small fd-backed streambuf), and a loopback connect for tests
+// and the replay client. IPv4 only, blocking IO — the scoring server
+// multiplexes users per *line*, not per connection, so one thread per
+// connection with blocking reads is the simplest correct model.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <streambuf>
+#include <string>
+
+namespace misuse {
+
+/// std::streambuf over a file descriptor with fixed-size read/write
+/// buffers. Does not own the fd.
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd);
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type ch) override;
+  int sync() override;
+
+ private:
+  bool flush_out();
+
+  static constexpr std::size_t kBufSize = 1 << 14;
+  int fd_;
+  char in_buf_[kBufSize];
+  char out_buf_[kBufSize];
+};
+
+/// An open TCP stream (accepted or connected). Owns the fd.
+class TcpStream {
+ public:
+  explicit TcpStream(int fd);
+  ~TcpStream();
+
+  TcpStream(TcpStream&& other) noexcept;
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  std::iostream& io() { return *io_; }
+  int fd() const { return fd_; }
+
+  /// Half-closes the write side so the peer sees EOF after our last byte.
+  void shutdown_write();
+  /// Shuts down the read side; unblocks a concurrent blocking read on
+  /// this fd (used by cross-thread graceful shutdown).
+  void shutdown_read();
+  /// Closes the fd (subsequent io() use fails); idempotent.
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::unique_ptr<FdStreamBuf> buf_;
+  std::unique_ptr<std::iostream> io_;
+};
+
+/// Listening socket. `port` 0 binds an ephemeral port (read it back via
+/// port()). Throws std::runtime_error on failure.
+class TcpListener {
+ public:
+  static TcpListener bind(std::uint16_t port, const std::string& host = "0.0.0.0");
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&&) = delete;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection; nullopt once the listener is closed
+  /// (close() from another thread unblocks the accept).
+  std::optional<TcpStream> accept();
+
+  /// Shuts the listening socket down; a pending accept() unblocks and it
+  /// and all future accept() calls return nullopt. Safe to call from a
+  /// signal-driven shutdown path's thread while accept() is blocked —
+  /// the fd itself is released only by the destructor, so a concurrent
+  /// accept() can never observe a recycled descriptor.
+  void close();
+
+ private:
+  TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+
+  std::atomic<int> fd_{-1};
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to host:port (IPv4 dotted quad or "localhost"). Throws
+/// std::runtime_error on failure.
+TcpStream tcp_connect(const std::string& host, std::uint16_t port);
+
+}  // namespace misuse

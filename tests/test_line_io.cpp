@@ -1,0 +1,124 @@
+// Line reader, flat-JSON parsing, and the TCP helpers that carry the
+// serving wire format.
+#include "util/line_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "util/socket.hpp"
+
+namespace misuse {
+namespace {
+
+TEST(LineReader, SplitsLinesAndStripsCr) {
+  std::istringstream in("alpha\nbeta\r\n\ngamma");
+  LineReader reader(in);
+  std::string line;
+  ASSERT_TRUE(reader.next(line));
+  EXPECT_EQ(line, "alpha");
+  ASSERT_TRUE(reader.next(line));
+  EXPECT_EQ(line, "beta");
+  ASSERT_TRUE(reader.next(line));
+  EXPECT_EQ(line, "");
+  ASSERT_TRUE(reader.next(line));
+  EXPECT_EQ(line, "gamma");  // final unterminated line still surfaces
+  EXPECT_FALSE(reader.next(line));
+  EXPECT_EQ(reader.lines_read(), 4u);
+  EXPECT_FALSE(reader.truncated());
+}
+
+TEST(LineReader, OversizedLineAbortsStream) {
+  std::istringstream in(std::string(64, 'x') + "\nnext\n");
+  LineReader reader(in, 16);
+  std::string line;
+  EXPECT_FALSE(reader.next(line));
+  EXPECT_TRUE(reader.truncated());
+  EXPECT_FALSE(reader.next(line));  // stays aborted
+}
+
+TEST(FlatJson, ParsesStringsNumbersBools) {
+  std::vector<JsonField> fields;
+  std::string error;
+  ASSERT_TRUE(parse_flat_json(
+      R"({"user_id": "u1", "n": 42, "t": 1722945600.25, "ok": true, "none": null})", fields,
+      error))
+      << error;
+  EXPECT_EQ(get_string(fields, "user_id"), "u1");
+  EXPECT_EQ(get_number(fields, "n"), 42.0);
+  EXPECT_EQ(get_number(fields, "t"), 1722945600.25);
+  ASSERT_NE(find_field(fields, "ok"), nullptr);
+  EXPECT_EQ(find_field(fields, "ok")->value, "true");
+  EXPECT_FALSE(get_number(fields, "missing").has_value());
+  EXPECT_FALSE(get_number(fields, "user_id").has_value());  // not numeric
+}
+
+TEST(FlatJson, UnescapesStrings) {
+  std::vector<JsonField> fields;
+  std::string error;
+  ASSERT_TRUE(parse_flat_json(R"({"k": "a\"b\\c\ndA"})", fields, error)) << error;
+  EXPECT_EQ(get_string(fields, "k"), "a\"b\\c\ndA");
+}
+
+TEST(FlatJson, RejectsMalformedAndNested) {
+  std::vector<JsonField> fields;
+  std::string error;
+  EXPECT_FALSE(parse_flat_json("", fields, error));
+  EXPECT_FALSE(parse_flat_json("not json", fields, error));
+  EXPECT_FALSE(parse_flat_json(R"({"k": )", fields, error));
+  EXPECT_FALSE(parse_flat_json(R"({"k": "unterminated)", fields, error));
+  EXPECT_FALSE(parse_flat_json(R"({"k": {"nested": 1}})", fields, error));
+  EXPECT_FALSE(parse_flat_json(R"({"k": [1, 2]})", fields, error));
+  EXPECT_FALSE(parse_flat_json(R"({"k": 1} trailing)", fields, error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FlatJson, EmptyObjectIsValid) {
+  std::vector<JsonField> fields;
+  std::string error;
+  ASSERT_TRUE(parse_flat_json("{}", fields, error)) << error;
+  EXPECT_TRUE(fields.empty());
+}
+
+TEST(TcpSocket, LoopbackLineRoundTrip) {
+  TcpListener listener = TcpListener::bind(0, "localhost");
+  ASSERT_GT(listener.port(), 0);
+
+  std::thread echo([&listener] {
+    auto conn = listener.accept();
+    ASSERT_TRUE(conn.has_value());
+    LineReader reader(conn->io());
+    std::string line;
+    while (reader.next(line)) {
+      conn->io() << "echo:" << line << '\n';
+      conn->io().flush();
+    }
+  });
+
+  TcpStream client = tcp_connect("localhost", listener.port());
+  client.io() << "hello\nworld\n";
+  client.io().flush();
+  client.shutdown_write();
+  LineReader reader(client.io());
+  std::string line;
+  ASSERT_TRUE(reader.next(line));
+  EXPECT_EQ(line, "echo:hello");
+  ASSERT_TRUE(reader.next(line));
+  EXPECT_EQ(line, "echo:world");
+  EXPECT_FALSE(reader.next(line));
+  echo.join();
+}
+
+TEST(TcpSocket, CloseUnblocksAccept) {
+  TcpListener listener = TcpListener::bind(0, "localhost");
+  std::thread closer([&listener] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    listener.close();
+  });
+  EXPECT_FALSE(listener.accept().has_value());
+  closer.join();
+}
+
+}  // namespace
+}  // namespace misuse

@@ -1,0 +1,546 @@
+// Streaming scoring server: wire-format parsing, shard determinism
+// (bit-identical to the offline OnlineMonitor), eviction policies,
+// backpressure, graceful shutdown, and the serve metrics panel.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/event.hpp"
+#include "serve/metrics.hpp"
+#include "synth/portal.hpp"
+#include "util/line_io.hpp"
+#include "util/thread_pool.hpp"
+
+namespace misuse::serve {
+namespace {
+
+TEST(ServeEvent, ParsesValidEvent) {
+  Event event;
+  std::string error;
+  ASSERT_TRUE(parse_event(
+      R"({"user_id": "u7", "session_id": "s1", "action": "ActionLogin", "timestamp": 12.5})",
+      event, error))
+      << error;
+  EXPECT_EQ(event.user_id, "u7");
+  EXPECT_EQ(event.session_id, "s1");
+  EXPECT_EQ(event.action, "ActionLogin");
+  EXPECT_TRUE(event.has_timestamp);
+  EXPECT_EQ(event.timestamp, 12.5);
+}
+
+TEST(ServeEvent, NumericIdsAndMissingTimestamp) {
+  Event event;
+  std::string error;
+  ASSERT_TRUE(parse_event(R"({"user_id": 17, "session_id": 3, "action": "5"})", event, error))
+      << error;
+  EXPECT_EQ(event.user_id, "17");
+  EXPECT_EQ(event.session_id, "3");
+  EXPECT_EQ(event.action, "5");
+  EXPECT_FALSE(event.has_timestamp);
+}
+
+TEST(ServeEvent, RejectsMissingFields) {
+  Event event;
+  std::string error;
+  EXPECT_FALSE(parse_event(R"({"session_id": "s", "action": "a"})", event, error));
+  EXPECT_FALSE(parse_event(R"({"user_id": "u", "action": "a"})", event, error));
+  EXPECT_FALSE(parse_event(R"({"user_id": "u", "session_id": "s"})", event, error));
+  EXPECT_FALSE(parse_event("garbage", event, error));
+}
+
+TEST(ServeEvent, SessionKeySeparatesUserAndSession) {
+  Event a;
+  a.user_id = "a";
+  a.session_id = "b:c";
+  Event b;
+  b.user_id = "a:b";
+  b.session_id = "c";
+  EXPECT_NE(session_key(a), session_key(b));
+}
+
+TEST(ServeEvent, ShardHashIsStableFnv1a) {
+  // Pinned FNV-1a vectors: shard routing must not drift across platforms
+  // or standard libraries (std::hash would).
+  EXPECT_EQ(session_shard_hash(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(session_shard_hash("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(session_shard_hash("abc"), session_shard_hash("abc"));
+  EXPECT_NE(session_shard_hash("abc"), session_shard_hash("abd"));
+}
+
+// ---------------------------------------------------------------------------
+// Server tests against a small trained detector (trained once per suite).
+
+class ServeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::PortalConfig pc;
+    pc.sessions = 220;
+    pc.users = 40;
+    pc.action_count = 60;
+    pc.seed = 42;
+    portal_ = new synth::Portal(pc);
+    store_ = new SessionStore(portal_->generate());
+    core::DetectorConfig dc;
+    dc.ensemble.topic_counts = {10, 13};
+    dc.ensemble.iterations = 8;
+    dc.expert.target_clusters = 4;
+    dc.expert.min_cluster_sessions = 5;
+    dc.lm.hidden = 8;
+    dc.lm.epochs = 2;
+    dc.lm.patience = 0;
+    detector_ = new core::MisuseDetector(core::MisuseDetector::train(*store_, dc));
+  }
+  static void TearDownTestSuite() {
+    delete detector_;
+    delete store_;
+    delete portal_;
+    detector_ = nullptr;
+    store_ = nullptr;
+    portal_ = nullptr;
+  }
+
+  /// The first `count` stored sessions with >= 2 actions.
+  static std::vector<std::span<const int>> pick_sessions(std::size_t count) {
+    std::vector<std::span<const int>> picked;
+    for (std::size_t i = 0; i < store_->size() && picked.size() < count; ++i) {
+      if (store_->at(i).length() >= 2 && store_->at(i).length() <= 40) {
+        picked.push_back(store_->at(i).view());
+      }
+    }
+    return picked;
+  }
+
+  /// Interleaves the sessions round-robin into a timestamped event trace
+  /// (actions sent by name, one distinct session id per input session).
+  static std::vector<Event> interleave(const std::vector<std::span<const int>>& sessions) {
+    std::vector<Event> events;
+    std::vector<std::size_t> cursor(sessions.size(), 0);
+    double t = 0.0;
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (std::size_t s = 0; s < sessions.size(); ++s) {
+        if (cursor[s] >= sessions[s].size()) continue;
+        Event e;
+        e.user_id = "u" + std::to_string(s % 5);
+        e.session_id = "s" + std::to_string(s);
+        e.action = detector_->vocab().name(sessions[s][cursor[s]]);
+        e.timestamp = t;
+        e.has_timestamp = true;
+        t += 1.0;
+        ++cursor[s];
+        events.push_back(std::move(e));
+        progressed = true;
+      }
+    }
+    return events;
+  }
+
+  static synth::Portal* portal_;
+  static SessionStore* store_;
+  static core::MisuseDetector* detector_;
+};
+
+synth::Portal* ServeFixture::portal_ = nullptr;
+SessionStore* ServeFixture::store_ = nullptr;
+core::MisuseDetector* ServeFixture::detector_ = nullptr;
+
+/// Collects StepResults per session id, thread-safely.
+struct StepCollector {
+  std::mutex mutex;
+  std::map<std::string, std::vector<core::OnlineMonitor::StepResult>> by_session;
+
+  StepObserver observer() {
+    return [this](const Event& event, const core::OnlineMonitor::StepResult& step) {
+      std::lock_guard<std::mutex> lock(mutex);
+      by_session[event.session_id].push_back(step);
+    };
+  }
+};
+
+/// Collects session reports keyed by session id.
+struct ReportCollector {
+  std::mutex mutex;
+  std::map<std::string, std::pair<ReportReason, core::SessionMonitorReport>> by_session;
+
+  ReportObserver observer() {
+    return [this](std::string_view, std::string_view session_id, ReportReason reason,
+                  const core::SessionMonitorReport& report) {
+      std::lock_guard<std::mutex> lock(mutex);
+      by_session[std::string(session_id)] = {reason, report};
+    };
+  }
+};
+
+void expect_steps_bit_identical(const core::OnlineMonitor::StepResult& got,
+                                const core::OnlineMonitor::StepResult& want) {
+  EXPECT_EQ(got.step, want.step);
+  EXPECT_EQ(got.ocsvm_scores, want.ocsvm_scores);
+  EXPECT_EQ(got.cluster_argmax, want.cluster_argmax);
+  EXPECT_EQ(got.cluster_voted, want.cluster_voted);
+  EXPECT_EQ(got.likelihood_argmax, want.likelihood_argmax);  // bit-exact double compare
+  EXPECT_EQ(got.likelihood_voted, want.likelihood_voted);
+  EXPECT_EQ(got.alarm, want.alarm);
+  EXPECT_EQ(got.trend_alarm, want.trend_alarm);
+}
+
+// The acceptance gate: an interleaved multi-session trace pushed through
+// the sharded, queued, pool-driven server scores exactly like replaying
+// each session through a standalone OnlineMonitor.
+TEST_F(ServeFixture, ServerMatchesOfflineMonitorBitIdentically) {
+  const auto sessions = pick_sessions(12);
+  ASSERT_GE(sessions.size(), 8u);
+  const auto events = interleave(sessions);
+
+  const std::size_t previous_threads = global_thread_count();
+  set_global_threads(4);
+
+  ServeConfig config;
+  config.shards = 3;
+  config.queue_capacity = 16;  // small: forces mid-stream pumps
+  config.backpressure = BackpressurePolicy::kBlock;
+  config.idle_ttl_seconds = 1e9;
+  ScoringServer server(*detector_, config);
+  StepCollector steps;
+  ReportCollector reports;
+  server.set_step_observer(steps.observer());
+  server.set_report_observer(reports.observer());
+
+  std::vector<OutputRecord> out;
+  for (const Event& event : events) {
+    while (server.enqueue(event, out) == ScoringServer::Enqueue::kQueueFull) {
+      server.pump(out);
+    }
+  }
+  server.shutdown(out);
+  set_global_threads(previous_threads);
+
+  // Offline reference: sequential replay, one monitor per session.
+  for (std::size_t s = 0; s < sessions.size(); ++s) {
+    const std::string sid = "s" + std::to_string(s);
+    ASSERT_TRUE(steps.by_session.count(sid)) << sid;
+    const auto& got = steps.by_session[sid];
+    ASSERT_EQ(got.size(), sessions[s].size());
+    core::OnlineMonitor monitor(*detector_, config.monitor);
+    core::SessionAccumulator acc;
+    for (std::size_t i = 0; i < sessions[s].size(); ++i) {
+      const auto want = monitor.observe(sessions[s][i]);
+      acc.add(want);
+      expect_steps_bit_identical(got[i], want);
+    }
+    // End-of-session report matches the offline accumulator exactly.
+    ASSERT_TRUE(reports.by_session.count(sid)) << sid;
+    const auto& [reason, report] = reports.by_session[sid];
+    const auto want_report = acc.report();
+    EXPECT_EQ(reason, ReportReason::kShutdown);
+    EXPECT_EQ(report.steps, want_report.steps);
+    EXPECT_EQ(report.alarms, want_report.alarms);
+    EXPECT_EQ(report.trend_alarms, want_report.trend_alarms);
+    EXPECT_EQ(report.disagree_steps, want_report.disagree_steps);
+    EXPECT_EQ(report.first_alarm_step, want_report.first_alarm_step);
+    EXPECT_EQ(report.voted_cluster, want_report.voted_cluster);
+    EXPECT_EQ(report.avg_likelihood_voted, want_report.avg_likelihood_voted);
+  }
+  EXPECT_EQ(server.active_sessions(), 0u);
+}
+
+// submit_sync (the TCP path) goes through the same shard scoring.
+TEST_F(ServeFixture, SubmitSyncMatchesOfflineMonitor) {
+  const auto sessions = pick_sessions(1);
+  ASSERT_EQ(sessions.size(), 1u);
+  ServeConfig config;
+  config.shards = 2;
+  ScoringServer server(*detector_, config);
+  StepCollector steps;
+  server.set_step_observer(steps.observer());
+  std::vector<OutputRecord> out;
+  for (std::size_t i = 0; i < sessions[0].size(); ++i) {
+    Event e;
+    e.user_id = "u0";
+    e.session_id = "sync";
+    e.action = detector_->vocab().name(sessions[0][i]);
+    ASSERT_TRUE(server.submit_sync(e, out));
+  }
+  core::OnlineMonitor monitor(*detector_, config.monitor);
+  const auto& got = steps.by_session["sync"];
+  ASSERT_EQ(got.size(), sessions[0].size());
+  for (std::size_t i = 0; i < sessions[0].size(); ++i) {
+    expect_steps_bit_identical(got[i], monitor.observe(sessions[0][i]));
+  }
+}
+
+TEST_F(ServeFixture, OutputOrderFollowsArrivalOrder) {
+  const auto sessions = pick_sessions(6);
+  const auto events = interleave(sessions);
+  ServeConfig config;
+  config.shards = 4;
+  config.queue_capacity = 1 << 12;
+  ScoringServer server(*detector_, config);
+  std::vector<OutputRecord> out;
+  for (const Event& event : events) {
+    ASSERT_EQ(server.enqueue(event, out), ScoringServer::Enqueue::kAccepted);
+  }
+  server.pump(out);
+  ASSERT_EQ(out.size(), events.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    // Alarming steps carry a nested "expected" array, so check the
+    // discriminant fields as substrings rather than flat-parsing.
+    EXPECT_NE(out[i].line.find("\"type\":\"step\""), std::string::npos) << out[i].line;
+    EXPECT_NE(out[i].line.find("\"session_id\":\"" + events[i].session_id + "\""),
+              std::string::npos)
+        << "record " << i;
+    if (i > 0) EXPECT_GT(out[i].seq, out[i - 1].seq);
+  }
+}
+
+// The full NDJSON stream — steps AND end-of-session reports — must be
+// byte-identical at any shard/thread combination: shard partitioning is
+// an implementation detail that must not leak into the output.
+TEST_F(ServeFixture, RenderedOutputIdenticalAcrossShardCounts) {
+  const auto sessions = pick_sessions(10);
+  const auto events = interleave(sessions);
+  const auto replay = [&](std::size_t shards, std::size_t threads) {
+    set_global_threads(threads);
+    ServeConfig config;
+    config.shards = shards;
+    config.queue_capacity = 1 << 12;
+    ScoringServer server(*detector_, config);
+    std::vector<OutputRecord> out;
+    for (const Event& event : events) {
+      EXPECT_EQ(server.enqueue(event, out), ScoringServer::Enqueue::kAccepted);
+    }
+    server.shutdown(out);
+    std::vector<std::string> lines;
+    lines.reserve(out.size());
+    for (const auto& r : out) lines.push_back(r.line);
+    return lines;
+  };
+  const auto baseline = replay(1, 1);
+  ASSERT_EQ(baseline.size(), events.size() + sessions.size());  // steps + shutdown reports
+  EXPECT_EQ(replay(3, 2), baseline);
+  EXPECT_EQ(replay(8, 4), baseline);
+  set_global_threads(1);
+}
+
+TEST_F(ServeFixture, IdleTtlSweepEvictsOnEventTime) {
+  ServeConfig config;
+  config.shards = 2;
+  config.idle_ttl_seconds = 10.0;
+  ScoringServer server(*detector_, config);
+  ReportCollector reports;
+  server.set_report_observer(reports.observer());
+  std::vector<OutputRecord> out;
+
+  const std::string action = detector_->vocab().name(0);
+  auto event_at = [&](const std::string& sid, double t) {
+    Event e;
+    e.user_id = "u";
+    e.session_id = sid;
+    e.action = action;
+    e.timestamp = t;
+    e.has_timestamp = true;
+    return e;
+  };
+  ASSERT_EQ(server.enqueue(event_at("old", 0.0), out), ScoringServer::Enqueue::kAccepted);
+  ASSERT_EQ(server.enqueue(event_at("old", 1.0), out), ScoringServer::Enqueue::kAccepted);
+  ASSERT_EQ(server.enqueue(event_at("fresh", 100.0), out), ScoringServer::Enqueue::kAccepted);
+  server.pump(out);
+  EXPECT_EQ(server.active_sessions(), 2u);
+
+  server.sweep(out);  // event clock is 100; "old" idle for 99s > 10s TTL
+  EXPECT_EQ(server.active_sessions(), 1u);
+  ASSERT_TRUE(reports.by_session.count("old"));
+  EXPECT_EQ(reports.by_session["old"].first, ReportReason::kIdleEviction);
+  EXPECT_EQ(reports.by_session["old"].second.steps, 2u);
+  EXPECT_FALSE(reports.by_session.count("fresh"));
+}
+
+TEST_F(ServeFixture, CapacityEvictionBoundsSessionTable) {
+  ServeConfig config;
+  config.shards = 1;  // single shard makes the cap exact
+  config.max_sessions = 4;
+  config.idle_ttl_seconds = 1e9;
+  ScoringServer server(*detector_, config);
+  ReportCollector reports;
+  server.set_report_observer(reports.observer());
+  std::vector<OutputRecord> out;
+
+  const std::string action = detector_->vocab().name(0);
+  for (int s = 0; s < 7; ++s) {
+    Event e;
+    e.user_id = "u";
+    e.session_id = "cap" + std::to_string(s);
+    e.action = action;
+    e.timestamp = static_cast<double>(s);
+    e.has_timestamp = true;
+    ASSERT_EQ(server.enqueue(e, out), ScoringServer::Enqueue::kAccepted);
+    server.pump(out);
+    EXPECT_LE(server.active_sessions(), 4u);
+  }
+  EXPECT_EQ(server.active_sessions(), 4u);
+  // The three oldest sessions were evicted, LRU first.
+  for (const auto& sid : {"cap0", "cap1", "cap2"}) {
+    ASSERT_TRUE(reports.by_session.count(sid)) << sid;
+    EXPECT_EQ(reports.by_session[sid].first, ReportReason::kCapacityEviction);
+  }
+  EXPECT_FALSE(reports.by_session.count("cap6"));
+}
+
+TEST_F(ServeFixture, BackpressureBlockReportsQueueFull) {
+  ServeConfig config;
+  config.shards = 1;
+  config.queue_capacity = 4;
+  config.backpressure = BackpressurePolicy::kBlock;
+  ScoringServer server(*detector_, config);
+  std::vector<OutputRecord> out;
+  Event e;
+  e.user_id = "u";
+  e.session_id = "s";
+  e.action = detector_->vocab().name(0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(server.enqueue(e, out), ScoringServer::Enqueue::kAccepted);
+  }
+  EXPECT_EQ(server.enqueue(e, out), ScoringServer::Enqueue::kQueueFull);
+  EXPECT_EQ(server.queued_events(), 4u);
+  server.pump(out);
+  EXPECT_EQ(server.queued_events(), 0u);
+  EXPECT_EQ(server.enqueue(e, out), ScoringServer::Enqueue::kAccepted);
+}
+
+TEST_F(ServeFixture, BackpressureDropOldestKeepsFreshest) {
+  ServeConfig config;
+  config.shards = 1;
+  config.queue_capacity = 4;
+  config.backpressure = BackpressurePolicy::kDropOldest;
+  ScoringServer server(*detector_, config);
+  StepCollector steps;
+  server.set_step_observer(steps.observer());
+  const std::uint64_t dropped_before = serve_metrics().dropped_events.value();
+  std::vector<OutputRecord> out;
+  for (int i = 0; i < 6; ++i) {
+    Event e;
+    e.user_id = "u";
+    e.session_id = "drop" + std::to_string(i);
+    e.action = detector_->vocab().name(0);
+    const auto result = server.enqueue(e, out);
+    EXPECT_EQ(result, i < 4 ? ScoringServer::Enqueue::kAccepted
+                            : ScoringServer::Enqueue::kDroppedOldest);
+  }
+  EXPECT_EQ(server.queued_events(), 4u);
+  EXPECT_EQ(serve_metrics().dropped_events.value() - dropped_before, 2u);
+  server.pump(out);
+  // drop0/drop1 were discarded; the four freshest survive.
+  EXPECT_FALSE(steps.by_session.count("drop0"));
+  EXPECT_FALSE(steps.by_session.count("drop1"));
+  for (int i = 2; i < 6; ++i) {
+    EXPECT_TRUE(steps.by_session.count("drop" + std::to_string(i))) << i;
+  }
+}
+
+TEST_F(ServeFixture, UnknownActionYieldsErrorRecord) {
+  ServeConfig config;
+  ScoringServer server(*detector_, config);
+  const std::uint64_t errors_before = serve_metrics().parse_errors.value();
+  std::vector<OutputRecord> out;
+  Event e;
+  e.user_id = "u";
+  e.session_id = "s";
+  e.action = "NoSuchActionEver";
+  EXPECT_EQ(server.enqueue(e, out), ScoringServer::Enqueue::kRejected);
+  ASSERT_EQ(out.size(), 1u);
+  std::vector<JsonField> fields;
+  std::string error;
+  ASSERT_TRUE(parse_flat_json(out[0].line, fields, error));
+  EXPECT_EQ(get_string(fields, "type"), "error");
+  EXPECT_EQ(serve_metrics().parse_errors.value() - errors_before, 1u);
+  // Out-of-range numeric ids are rejected too.
+  e.action = std::to_string(detector_->vocab().size());
+  EXPECT_EQ(server.enqueue(e, out), ScoringServer::Enqueue::kRejected);
+}
+
+TEST_F(ServeFixture, NumericActionIdScoresLikeName) {
+  ServeConfig config;
+  ScoringServer server(*detector_, config);
+  StepCollector steps;
+  server.set_step_observer(steps.observer());
+  std::vector<OutputRecord> out;
+  Event by_name;
+  by_name.user_id = "u";
+  by_name.session_id = "name";
+  by_name.action = detector_->vocab().name(3);
+  Event by_id = by_name;
+  by_id.session_id = "id";
+  by_id.action = "3";
+  ASSERT_TRUE(server.submit_sync(by_name, out));
+  ASSERT_TRUE(server.submit_sync(by_id, out));
+  ASSERT_EQ(steps.by_session["name"].size(), 1u);
+  ASSERT_EQ(steps.by_session["id"].size(), 1u);
+  EXPECT_EQ(steps.by_session["name"][0].ocsvm_scores, steps.by_session["id"][0].ocsvm_scores);
+}
+
+TEST_F(ServeFixture, ShutdownDrainsQueuedBacklog) {
+  ServeConfig config;
+  config.shards = 2;
+  ScoringServer server(*detector_, config);
+  ReportCollector reports;
+  server.set_report_observer(reports.observer());
+  std::vector<OutputRecord> out;
+  const std::string action = detector_->vocab().name(1);
+  for (int s = 0; s < 5; ++s) {
+    for (int i = 0; i < 3; ++i) {
+      Event e;
+      e.user_id = "u" + std::to_string(s);
+      e.session_id = "open" + std::to_string(s);
+      e.action = action;
+      ASSERT_EQ(server.enqueue(e, out), ScoringServer::Enqueue::kAccepted);
+    }
+  }
+  // No pump: everything still queued. Shutdown must score the backlog
+  // and emit one report per open session.
+  server.shutdown(out);
+  EXPECT_EQ(server.active_sessions(), 0u);
+  EXPECT_EQ(server.queued_events(), 0u);
+  ASSERT_EQ(reports.by_session.size(), 5u);
+  for (const auto& [sid, entry] : reports.by_session) {
+    EXPECT_EQ(entry.first, ReportReason::kShutdown) << sid;
+    EXPECT_EQ(entry.second.steps, 3u) << sid;
+  }
+  // 15 step records + 5 reports, in seq order.
+  ASSERT_EQ(out.size(), 20u);
+  for (std::size_t i = 1; i < out.size(); ++i) EXPECT_GE(out[i].seq, out[i - 1].seq);
+}
+
+TEST_F(ServeFixture, ServeMetricsTrackSessions) {
+  ServeMetrics& sm = serve_metrics();
+  const std::uint64_t opened_before = sm.sessions_opened.value();
+  const std::uint64_t finished_before = sm.sessions_finished.value();
+  const std::uint64_t steps_before = sm.steps.value();
+  ServeConfig config;
+  config.shards = 2;
+  ScoringServer server(*detector_, config);
+  std::vector<OutputRecord> out;
+  const std::string action = detector_->vocab().name(2);
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 4; ++i) {
+      Event e;
+      e.user_id = "m";
+      e.session_id = "metrics" + std::to_string(s);
+      e.action = action;
+      ASSERT_EQ(server.enqueue(e, out), ScoringServer::Enqueue::kAccepted);
+    }
+  }
+  server.pump(out);
+  server.shutdown(out);
+  EXPECT_EQ(sm.sessions_opened.value() - opened_before, 3u);
+  EXPECT_EQ(sm.sessions_finished.value() - finished_before, 3u);
+  EXPECT_EQ(sm.steps.value() - steps_before, 12u);
+  EXPECT_GE(sm.step_seconds.count(), 12u);
+}
+
+}  // namespace
+}  // namespace misuse::serve
