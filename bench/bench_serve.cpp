@@ -10,9 +10,16 @@
 // Scores are bit-identical across all combinations (determinism
 // contract), so only events/second changes.
 //
+// A second record, BENCH_recovery.json, measures the crash-safety tax:
+// the same batch replay with the per-shard WAL enabled vs disabled, plus
+// the wall-clock cost of recover() over the log a crashed run left
+// behind.
+//
 //   ./bench/bench_serve [--reduced] [--out=BENCH_serve.json]
-//       [--sessions=N] [--metrics-out=PATH]
+//       [--recovery-out=BENCH_recovery.json] [--sessions=N]
+//       [--metrics-out=PATH]
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -98,6 +105,55 @@ double run_batch_path(const core::MisuseDetector& detector, const Workload& work
   return std::chrono::duration<double>(end - start).count();
 }
 
+/// Steady-state replay for the WAL-overhead comparison: times the feed
+/// only (batch mode: enqueue + pump; sync mode: submit_sync per event).
+/// Startup (log creation) and shutdown (final checkpoint) are fixed
+/// once-per-process costs and are kept outside the timer so the number
+/// reflects the per-event durability tax.
+double run_steady_state(const core::MisuseDetector& detector, const Workload& workload,
+                        std::size_t shards, bool sync_path, const std::string& wal_dir,
+                        std::size_t wal_sync_every) {
+  serve::ServeConfig config;
+  config.shards = shards;
+  config.queue_capacity = 512;
+  config.emit_steps = true;
+  if (!wal_dir.empty()) {
+    // Fresh log per repetition so every run pays the full append cost.
+    std::filesystem::remove_all(wal_dir);
+    std::filesystem::create_directories(wal_dir);
+    config.wal_dir = wal_dir;
+    if (wal_sync_every > 0) config.wal_sync_every = wal_sync_every;
+  }
+  serve::ScoringServer server(detector, config);
+  std::vector<serve::OutputRecord> out;
+  out.reserve(4096);
+  const auto start = std::chrono::steady_clock::now();
+  if (sync_path) {
+    for (const auto& event : workload.events) {
+      (void)server.submit_sync(event, out);
+      out.clear();
+    }
+  } else {
+    std::size_t since_pump = 0;
+    for (const auto& event : workload.events) {
+      while (server.enqueue(event, out) == serve::ScoringServer::Enqueue::kQueueFull) {
+        server.pump(out);
+        out.clear();
+      }
+      if (++since_pump >= 256) {
+        server.pump(out);
+        out.clear();
+        since_pump = 0;
+      }
+    }
+    server.pump(out);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  std::vector<serve::OutputRecord> drain;
+  server.shutdown(drain);
+  return std::chrono::duration<double>(end - start).count();
+}
+
 double run_sync_path(const core::MisuseDetector& detector, const Workload& workload,
                      std::size_t shards) {
   serve::ServeConfig config;
@@ -114,6 +170,52 @@ double run_sync_path(const core::MisuseDetector& detector, const Workload& workl
   server.shutdown(out);
   const auto end = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(end - start).count();
+}
+
+struct RecoveryResult {
+  double seconds = 0.0;
+  std::size_t replayed = 0;
+};
+
+/// Leaves behind the WAL of a crashed run (full feed, pump, no
+/// shutdown), then times a fresh server's recover() over it. This is the
+/// worst case: nothing was checkpointed, every applied event replays.
+RecoveryResult measure_recovery(const core::MisuseDetector& detector, const Workload& workload,
+                                std::size_t shards, const std::string& wal_dir) {
+  std::filesystem::remove_all(wal_dir);
+  std::filesystem::create_directories(wal_dir);
+  serve::ServeConfig config;
+  config.shards = shards;
+  config.queue_capacity = 512;
+  config.emit_steps = true;
+  config.wal_dir = wal_dir;
+  {
+    serve::ScoringServer server(detector, config);
+    std::vector<serve::OutputRecord> out;
+    std::size_t since_pump = 0;
+    for (const auto& event : workload.events) {
+      while (server.enqueue(event, out) == serve::ScoringServer::Enqueue::kQueueFull) {
+        server.pump(out);
+        out.clear();
+      }
+      if (++since_pump >= 256) {
+        server.pump(out);
+        out.clear();
+        since_pump = 0;
+      }
+    }
+    server.pump(out);
+    out.clear();
+    // No shutdown(): the server drops like a crash would, WAL intact.
+  }
+  serve::ScoringServer restarted(detector, config);
+  std::vector<serve::OutputRecord> out;
+  RecoveryResult result;
+  const auto start = std::chrono::steady_clock::now();
+  result.replayed = restarted.recover(out);
+  const auto end = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  return result;
 }
 
 template <typename Fn>
@@ -219,5 +321,75 @@ int main(int argc, char** argv) {
   json.end_object();
   out << "\n";
   std::cout << "wrote " << out_path << "\n";
+
+  // -- Crash-safety tax: WAL-on vs WAL-off, plus recovery time ------------
+  const std::string recovery_out = args.str("recovery-out", "BENCH_recovery.json");
+  const std::string wal_dir =
+      (std::filesystem::temp_directory_path() / "misusedet_bench_wal").string();
+  const std::size_t wal_shards = 4;
+  const std::size_t wal_threads = 2;
+  set_global_threads(wal_threads);
+  const std::size_t wal_sync_every = static_cast<std::size_t>(
+      args.integer("wal-sync", static_cast<long long>(serve::ServeConfig{}.wal_sync_every)));
+  struct WalRow {
+    const char* path;
+    bool sync_path;
+    double off = 0.0;
+    double on = 0.0;
+    double overhead() const { return off > 0.0 ? on / off - 1.0 : 0.0; }
+  };
+  WalRow wal_rows[] = {{"batch", false}, {"sync", true}};
+  for (WalRow& row : wal_rows) {
+    if (row.sync_path) set_global_threads(1);
+    row.off = best_of(
+        [&] { return run_steady_state(detector, workload, wal_shards, row.sync_path, {}, 0); });
+    row.on = best_of([&] {
+      return run_steady_state(detector, workload, wal_shards, row.sync_path, wal_dir,
+                              wal_sync_every);
+    });
+    std::cout << row.path << " wal off: "
+              << static_cast<std::size_t>(workload.events.size() / row.off) << " events/s, wal on: "
+              << static_cast<std::size_t>(workload.events.size() / row.on)
+              << " events/s (overhead " << row.overhead() * 100.0 << "%)\n";
+  }
+  const RecoveryResult recovery = measure_recovery(detector, workload, wal_shards, wal_dir);
+  std::filesystem::remove_all(wal_dir);
+  std::cout << "recovery: " << recovery.replayed << " events replayed in " << recovery.seconds
+            << "s\n";
+
+  std::ofstream rec_out(recovery_out);
+  JsonWriter rec_json(rec_out);
+  rec_json.begin_object();
+  rec_json.member("events", workload.events.size());
+  rec_json.member("sessions", workload.sessions);
+  rec_json.member("reduced", reduced);
+  rec_json.member("shards", wal_shards);
+  rec_json.member("threads", wal_threads);
+  rec_json.member("wal_sync_every", wal_sync_every);
+  rec_json.member("repetitions_best_of", static_cast<std::size_t>(kRepetitions));
+  rec_json.key("wal_rows");
+  rec_json.begin_array();
+  for (const WalRow& row : wal_rows) {
+    rec_json.begin_object();
+    rec_json.member("path", std::string(row.path));
+    rec_json.member("wal_off_seconds", row.off);
+    rec_json.member("wal_on_seconds", row.on);
+    rec_json.member("wal_overhead_frac", row.overhead());
+    rec_json.end_object();
+  }
+  rec_json.end_array();
+  rec_json.member("recovery_seconds", recovery.seconds);
+  rec_json.member("recovered_events", recovery.replayed);
+  rec_json.member("recovered_events_per_second",
+                  recovery.seconds > 0.0 ? recovery.replayed / recovery.seconds : 0.0);
+  rec_json.member("note",
+                  "Crash-safety tax: identical steady-state replay with the per-shard WAL "
+                  "enabled vs disabled (best-of wall clock; fresh log each repetition; 'sync' is "
+                  "the single-producer submit_sync path), plus worst-case recover() time over "
+                  "the WAL a crashed, never-checkpointed run left behind. Target: "
+                  "wal_overhead_frac < 0.15 on every row.");
+  rec_json.end_object();
+  rec_out << "\n";
+  std::cout << "wrote " << recovery_out << "\n";
   return 0;
 }

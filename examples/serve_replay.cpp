@@ -153,7 +153,14 @@ int connect_and_replay(const std::string& target, std::size_t session_count) {
   const synth::Portal portal = make_portal();
   const SessionStore history = portal.generate();
   const auto trace = build_trace(portal, history, session_count);
-  TcpStream stream = tcp_connect(parts[0], static_cast<std::uint16_t>(std::stoul(parts[1])));
+  // Retry with exponential backoff + deterministic jitter: the client is
+  // typically racing the server's startup (or its crash recovery), so a
+  // refused first connect is expected, not fatal.
+  RetryConfig retry;
+  retry.attempts = 5;
+  retry.seed = 11;
+  TcpStream stream =
+      tcp_connect_retry(parts[0], static_cast<std::uint16_t>(std::stoul(parts[1])), retry);
   std::cout << "streaming " << trace.size() << " events to " << target << "...\n";
   for (const auto& line : trace) {
     stream.io() << render_trace_line(line) << "\n";

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test for misusedet_serve: kill -9 a WAL-enabled
+# server mid-replay, restart it on the same --wal-dir with
+# --resume-replay, re-feed the trace from origin, and require the
+# end-of-session reports to be byte-identical to an uninterrupted run
+# (the recovery invariant, DESIGN.md "Fault tolerance").
+#
+# usage: scripts/crash_recovery_smoke.sh [BUILD_DIR]
+set -euo pipefail
+
+build_dir=${1:-build}
+serve=$build_dir/src/serve/misusedet_serve
+replay=$build_dir/examples/serve_replay
+for bin in "$serve" "$replay"; do
+  if [ ! -x "$bin" ]; then
+    echo "missing $bin — build the '$build_dir' tree first" >&2
+    exit 1
+  fi
+done
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "== training demo detector"
+"$replay" --train-model="$work/detector.bin" >/dev/null
+"$replay" --emit-trace --sessions=16 >"$work/trace.ndjson"
+total=$(wc -l <"$work/trace.ndjson")
+half=$((total / 2))
+echo "== trace: $total events, crashing after $half"
+
+echo "== baseline (uninterrupted run)"
+"$serve" --model="$work/detector.bin" <"$work/trace.ndjson" |
+  grep '"type":"session_report"' | sort >"$work/baseline.txt"
+
+echo "== crashed run (WAL on, kill -9 mid-replay)"
+mkdir -p "$work/wal"
+fifo=$work/in.fifo
+mkfifo "$fifo"
+"$serve" --model="$work/detector.bin" --wal-dir="$work/wal" \
+  --batch=1 --wal-sync=1 <"$fifo" >"$work/crashed.out" &
+pid=$!
+exec 3>"$fifo"
+head -n "$half" "$work/trace.ndjson" >&3
+# --batch=1 flushes per event: wait until every fed event has a verdict,
+# so the kill lands after the WAL covers all $half events.
+for _ in $(seq 1 200); do
+  scored=$(grep -c '"type":"step"' "$work/crashed.out" || true)
+  [ "$scored" -ge "$half" ] && break
+  sleep 0.05
+done
+scored=$(grep -c '"type":"step"' "$work/crashed.out" || true)
+if [ "$scored" -lt "$half" ]; then
+  echo "FAIL: only $scored of $half events scored before timeout" >&2
+  kill -9 "$pid" 2>/dev/null || true
+  exit 1
+fi
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+exec 3>&-
+
+echo "== restarted run (recover + resume-replay, re-feeding from origin)"
+"$serve" --model="$work/detector.bin" --wal-dir="$work/wal" \
+  --resume-replay <"$work/trace.ndjson" |
+  grep '"type":"session_report"' | sort >"$work/recovered.txt"
+
+if ! diff -u "$work/baseline.txt" "$work/recovered.txt"; then
+  echo "FAIL: post-crash session reports diverge from the uninterrupted run" >&2
+  exit 1
+fi
+reports=$(wc -l <"$work/baseline.txt")
+echo "OK: $reports session reports byte-identical across kill -9 + recovery"

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
+#include <sstream>
 
 #include "patterns/mining.hpp"
+#include "util/crc32.hpp"
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 #include "util/table.hpp"
@@ -13,7 +17,10 @@ namespace misuse::core {
 
 namespace {
 constexpr std::uint32_t kDetectorMagic = 0x54444d53u;  // "SMDT"
-constexpr std::uint32_t kDetectorVersion = 1;
+constexpr std::uint32_t kDetectorVersion = 2;
+constexpr std::uint32_t kDetectorVersionV1 = 1;  // pre-CRC, no fallbacks
+constexpr std::uint32_t kFooterMagic = 0x46435243u;  // "CRCF"
+constexpr std::uint64_t kMaxSectionBytes = 1ULL << 32;
 
 std::vector<std::span<const int>> gather_sessions(const SessionStore& store,
                                                   const std::vector<std::size_t>& indices) {
@@ -21,6 +28,44 @@ std::vector<std::span<const int>> gather_sessions(const SessionStore& store,
   out.reserve(indices.size());
   for (std::size_t i : indices) out.push_back(store.at(i).view());
   return out;
+}
+
+/// Serializes one model into a length-prefixed, independently CRC'd
+/// section, so bit-rot inside a single model is detected — and survivable
+/// — without poisoning the rest of the archive.
+template <typename Model>
+void write_section(BinaryWriter& w, const Model& model) {
+  std::ostringstream buffer(std::ios::binary);
+  BinaryWriter section(buffer);
+  model.save(section);
+  const std::string bytes = buffer.str();
+  w.write<std::uint64_t>(bytes.size());
+  w.write_raw(bytes);
+  w.write<std::uint32_t>(crc32(bytes));
+}
+
+/// Reads one section's raw payload; nullopt when the payload fails its
+/// CRC (bit-rot) — structural failures (truncation) still throw.
+std::optional<std::string> read_section(BinaryReader& r) {
+  const auto n = r.read<std::uint64_t>();
+  if (n > kMaxSectionBytes) throw SerializeError("implausible model-section length");
+  std::string bytes = r.read_raw(static_cast<std::size_t>(n));
+  const auto stored = r.read<std::uint32_t>();
+  if (crc32(bytes) != stored) return std::nullopt;
+  return bytes;
+}
+
+/// Parses a model out of a CRC-valid section payload; nullopt when the
+/// payload does not decode (defense in depth past the checksum).
+template <typename Model>
+std::unique_ptr<Model> parse_section(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  BinaryReader section(in);
+  try {
+    return std::make_unique<Model>(Model::load(section));
+  } catch (const SerializeError&) {
+    return nullptr;
+  }
 }
 }  // namespace
 
@@ -128,6 +173,21 @@ MisuseDetector MisuseDetector::train(const SessionStore& store, const DetectorCo
                << detector.clusters_[c].train.size() << " sessions ("
                << Table::num(train_span.seconds(), 1) << "s elapsed)";
   }
+
+  // Degraded-mode fallbacks: one Markov chain per cluster, fitted on the
+  // same training split. Counting transitions is orders of magnitude
+  // cheaper than the LSTM fit, and persisting the chain beside the LSTM
+  // lets a corrupt LSTM section downgrade to it at load.
+  detector.fallbacks_.resize(detector.clusters_.size());
+  for (std::size_t c = 0; c < detector.clusters_.size(); ++c) {
+    lm::MarkovConfig markov_config;
+    markov_config.vocab = vocab;
+    auto fallback = std::make_unique<lm::MarkovChainModel>(markov_config);
+    const auto train_sessions = gather_sessions(store, detector.clusters_[c].train);
+    fallback->fit(train_sessions);
+    detector.fallbacks_[c] = std::move(fallback);
+  }
+  detector.degraded_.assign(detector.clusters_.size(), false);
   return detector;
 }
 
@@ -138,16 +198,41 @@ std::size_t MisuseDetector::route(std::span<const int> actions) const {
 MisuseDetector::Prediction MisuseDetector::predict(std::span<const int> actions) const {
   Prediction p;
   p.cluster = route(actions);
-  p.score = models_[p.cluster]->score_session(actions);
+  p.score = score_with_cluster(p.cluster, actions);
   return p;
 }
 
 nn::NextActionModel::SessionScore MisuseDetector::score_with_cluster(
     std::size_t c, std::span<const int> actions) const {
+  if (cluster_degraded(c)) return fallbacks_.at(c)->score_session(actions);
   return models_.at(c)->score_session(actions);
 }
 
+std::size_t MisuseDetector::degraded_cluster_count() const {
+  return static_cast<std::size_t>(std::count(degraded_.begin(), degraded_.end(), true));
+}
+
+MisuseDetector::ClusterState MisuseDetector::make_cluster_state(std::size_t c) const {
+  ClusterState state;
+  if (!cluster_degraded(c)) state.nn = models_.at(c)->make_state();
+  return state;
+}
+
+std::vector<float> MisuseDetector::step_cluster(std::size_t c, ClusterState& state,
+                                                int action) const {
+  if (cluster_degraded(c)) {
+    state.last_action = action;
+    return fallbacks_.at(c)->next_distribution(action);
+  }
+  state.last_action = action;
+  return models_.at(c)->step(state.nn, action);
+}
+
 void MisuseDetector::save(BinaryWriter& w) const {
+  // A saved archive always carries healthy models (degraded detectors
+  // re-saving would silently drop the LSTMs they no longer have).
+  assert(degraded_cluster_count() == 0);
+  w.begin_crc();
   w.write_magic(kDetectorMagic, kDetectorVersion);
   vocab_.save(w);
   w.write<std::uint64_t>(clusters_.size());
@@ -159,12 +244,22 @@ void MisuseDetector::save(BinaryWriter& w) const {
     w.write_vector(std::span<const std::size_t>(info.test));
   }
   assigner_->save(w);
-  for (const auto& model : models_) model->save(w);
+  for (std::size_t c = 0; c < models_.size(); ++c) {
+    write_section(w, *models_[c]);
+    write_section(w, *fallbacks_.at(c));
+  }
+  // Whole-file footer: CRC over every byte written above, including the
+  // footer magic itself, so any corruption the per-section checks cannot
+  // localize (header, vocab, assigner) is still caught at load.
+  w.write<std::uint32_t>(kFooterMagic);
+  const std::uint32_t file_crc = w.crc();
+  w.write<std::uint32_t>(file_crc);
 }
 
 MisuseDetector MisuseDetector::load(BinaryReader& r) {
+  r.begin_crc();
   const std::uint32_t version = r.read_magic(kDetectorMagic);
-  if (version != kDetectorVersion) {
+  if (version != kDetectorVersion && version != kDetectorVersionV1) {
     throw SerializeError("unsupported detector archive version " + std::to_string(version) +
                          " (expected " + std::to_string(kDetectorVersion) + ")");
   }
@@ -182,9 +277,56 @@ MisuseDetector MisuseDetector::load(BinaryReader& r) {
   }
   detector.assigner_ =
       std::make_unique<cluster::ClusterAssigner>(cluster::ClusterAssigner::load(r));
+  detector.degraded_.assign(n, false);
+
+  if (version == kDetectorVersionV1) {
+    // Legacy archive: bare models, no fallbacks, no checksums. Corruption
+    // here still surfaces as a SerializeError from the model parser.
+    for (std::size_t c = 0; c < n; ++c) {
+      detector.models_.push_back(
+          std::make_unique<lm::ActionLanguageModel>(lm::ActionLanguageModel::load(r)));
+    }
+    detector.fallbacks_.resize(n);
+    detector.reports_.resize(n);
+    return detector;
+  }
+
+  std::size_t corrupt_sections = 0;
+  detector.models_.resize(n);
+  detector.fallbacks_.resize(n);
   for (std::size_t c = 0; c < n; ++c) {
-    detector.models_.push_back(
-        std::make_unique<lm::ActionLanguageModel>(lm::ActionLanguageModel::load(r)));
+    auto lstm_bytes = read_section(r);
+    if (lstm_bytes && MISUSEDET_FAILPOINT("detector.load.lstm")) lstm_bytes.reset();
+    if (lstm_bytes) detector.models_[c] = parse_section<lm::ActionLanguageModel>(*lstm_bytes);
+    const auto markov_bytes = read_section(r);
+    if (markov_bytes) detector.fallbacks_[c] = parse_section<lm::MarkovChainModel>(*markov_bytes);
+
+    if (detector.models_[c] == nullptr) {
+      ++corrupt_sections;
+      if (detector.fallbacks_[c] == nullptr) {
+        throw SerializeError("cluster " + std::to_string(c) +
+                             ": LSTM and Markov fallback sections both corrupt");
+      }
+      detector.degraded_[c] = true;
+      log_warn() << "detector archive: cluster " << c
+                 << " LSTM section corrupt; degrading to the Markov baseline";
+    } else if (detector.fallbacks_[c] == nullptr) {
+      // The LSTM survived; losing only the fallback costs redundancy, not
+      // accuracy, so keep serving and say so.
+      ++corrupt_sections;
+      log_warn() << "detector archive: cluster " << c
+                 << " Markov fallback section corrupt; no degraded cover for this cluster";
+    }
+  }
+
+  const std::uint32_t footer_magic = r.read<std::uint32_t>();
+  if (footer_magic != kFooterMagic) throw SerializeError("missing detector archive CRC footer");
+  const std::uint32_t computed_crc = r.crc();
+  const std::uint32_t stored_crc = r.read<std::uint32_t>();
+  if (computed_crc != stored_crc && corrupt_sections == 0) {
+    // Bit-rot outside the model sections (header/vocab/assigner) cannot
+    // be repaired — refuse rather than score with a silently wrong model.
+    throw SerializeError("detector archive CRC mismatch outside model sections");
   }
   detector.reports_.resize(n);  // training history is not persisted
   return detector;

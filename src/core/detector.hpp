@@ -25,6 +25,7 @@
 #include "cluster/assigner.hpp"
 #include "cluster/expert_policy.hpp"
 #include "lm/language_model.hpp"
+#include "lm/markov.hpp"
 #include "sessions/store.hpp"
 #include "topics/ensemble.hpp"
 
@@ -71,9 +72,40 @@ class MisuseDetector {
   const ClusterTrainReport& train_report(std::size_t c) const { return reports_.at(c); }
 
   /// Cluster language model (non-const: evaluation reuses internal
-  /// forward buffers).
+  /// forward buffers). Must not be called for a degraded cluster (the
+  /// LSTM did not survive the archive); use the ClusterState API below,
+  /// which routes degraded clusters to their Markov fallback.
   lm::ActionLanguageModel& model(std::size_t c) { return *models_.at(c); }
   const lm::ActionLanguageModel& model(std::size_t c) const { return *models_.at(c); }
+
+  // -- Degraded mode -------------------------------------------------------
+  // Archive v2 stores each cluster's LSTM and a Markov-chain fallback in
+  // independently CRC-checked sections. A corrupt LSTM section downgrades
+  // that cluster to the Markov baseline at load instead of aborting the
+  // process; verdicts from a degraded cluster are flagged (StepResult::
+  // degraded, serve.degraded_clusters). The robust-ensemble fallback
+  // follows Kim et al. (arXiv:1611.01726).
+
+  /// True when cluster `c` is served by its Markov fallback.
+  bool cluster_degraded(std::size_t c) const { return degraded_.at(c); }
+  /// Number of degraded clusters (0 on a freshly trained detector).
+  std::size_t degraded_cluster_count() const;
+
+  /// Streaming state of one cluster's behavior model — LSTM recurrent
+  /// state normally, last-action context in degraded mode.
+  struct ClusterState {
+    nn::ModelState nn;
+    int last_action = -1;
+    void reset() {
+      nn.reset();
+      last_action = -1;
+    }
+  };
+  ClusterState make_cluster_state(std::size_t c) const;
+  /// Advances cluster `c`'s model with the observed action and returns
+  /// the next-action distribution (the degraded-aware counterpart of
+  /// model(c).step).
+  std::vector<float> step_cluster(std::size_t c, ClusterState& state, int action) const;
 
   const cluster::ClusterAssigner& assigner() const { return *assigner_; }
   const ActionVocab& vocab() const { return vocab_; }
@@ -94,6 +126,10 @@ class MisuseDetector {
   nn::NextActionModel::SessionScore score_with_cluster(std::size_t c,
                                                        std::span<const int> actions) const;
 
+  /// Archive v2: header + vocab + clusters + assigner (covered by the
+  /// whole-file CRC footer), then per cluster a length-prefixed,
+  /// CRC-checked LSTM section and Markov-fallback section. v1 archives
+  /// (no sections, no footer, no fallbacks) still load.
   void save(BinaryWriter& w) const;
   static MisuseDetector load(BinaryReader& r);
 
@@ -105,6 +141,11 @@ class MisuseDetector {
   std::vector<ClusterInfo> clusters_;
   std::vector<ClusterTrainReport> reports_;
   std::vector<std::unique_ptr<lm::ActionLanguageModel>> models_;
+  /// Per-cluster Markov baselines, fitted at train time and persisted so
+  /// a corrupt LSTM section degrades to them at load. May hold nullptr
+  /// entries for v1 archives (no fallback: corruption is fatal there).
+  std::vector<std::unique_ptr<lm::MarkovChainModel>> fallbacks_;
+  std::vector<bool> degraded_;
   std::unique_ptr<cluster::ClusterAssigner> assigner_;
 };
 

@@ -32,7 +32,7 @@ OnlineMonitor::OnlineMonitor(const MisuseDetector& detector, const MonitorConfig
   states_.reserve(detector.cluster_count());
   next_distributions_.resize(detector.cluster_count());
   for (std::size_t c = 0; c < detector.cluster_count(); ++c) {
-    states_.push_back(detector.model(c).make_state());
+    states_.push_back(detector.make_cluster_state(c));
   }
   monitor_metrics().sessions.inc();
 }
@@ -62,6 +62,7 @@ OnlineMonitor::StepResult OnlineMonitor::observe(int action) {
   result.ocsvm_scores = assignment_.push(action);
   result.cluster_argmax = assignment_.current_argmax();
   result.cluster_voted = assignment_.voted_cluster();
+  result.degraded = detector_.cluster_degraded(result.cluster_voted);
 
   // Likelihood of this action under each strategy's model, using the
   // distributions predicted at the previous step.
@@ -101,7 +102,7 @@ OnlineMonitor::StepResult OnlineMonitor::observe(int action) {
   // Advance every cluster model with the observed action so next step's
   // predictions are available under either strategy.
   for (std::size_t c = 0; c < states_.size(); ++c) {
-    next_distributions_[c] = detector_.model(c).step(states_[c], action);
+    next_distributions_[c] = detector_.step_cluster(c, states_[c], action);
   }
 
   if (record) {
@@ -122,6 +123,7 @@ void SessionAccumulator::add(const OnlineMonitor::StepResult& step) {
     if (!report_.first_alarm_step) report_.first_alarm_step = step.step;
   }
   if (step.trend_alarm) ++report_.trend_alarms;
+  if (step.degraded) report_.degraded = true;
   if (step.cluster_argmax != step.cluster_voted) ++report_.disagree_steps;
   if (step.likelihood_voted) {
     likelihood_sum_ += *step.likelihood_voted;

@@ -76,6 +76,11 @@ class OnlineMonitor {
     std::optional<double> likelihood_voted;
     bool alarm = false;
     bool trend_alarm = false;
+    /// True when the voted cluster is served by its Markov fallback
+    /// because the LSTM section of the archive was corrupt (degraded
+    /// mode, core/detector.hpp). Surfaced so downstream consumers can
+    /// weigh these verdicts differently.
+    bool degraded = false;
     /// On alarm: the top expected actions under the voted model at this
     /// step (empty otherwise).
     std::vector<ExpectedAction> expected;
@@ -93,10 +98,11 @@ class OnlineMonitor {
   const MisuseDetector& detector_;
   MonitorConfig config_;
   cluster::ClusterAssigner::OnlineAssignment assignment_;
-  /// One recurrent state and one next-action distribution per cluster
+  /// One streaming state and one next-action distribution per cluster
   /// model, advanced in lockstep so either strategy can read its
-  /// prediction at any step.
-  std::vector<nn::ModelState> states_;
+  /// prediction at any step. ClusterState routes degraded clusters to
+  /// their Markov fallback transparently.
+  std::vector<MisuseDetector::ClusterState> states_;
   std::vector<std::vector<float>> next_distributions_;
   TrendDetector trend_;
   std::size_t step_ = 0;
@@ -115,6 +121,9 @@ struct SessionMonitorReport {
   std::optional<std::size_t> first_alarm_step;
   /// Voted cluster at the end of the session.
   std::size_t voted_cluster = 0;
+  /// True when any step of the session was scored by a degraded
+  /// (Markov-fallback) voted cluster.
+  bool degraded = false;
   /// Mean voted-model likelihood over the scored steps (steps >= 2); the
   /// session's normality estimate under the online regime.
   double avg_likelihood_voted = 0.0;

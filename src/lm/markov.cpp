@@ -47,6 +47,18 @@ double MarkovChainModel::transition_probability(int current, int next) const {
   return numer / denom;
 }
 
+std::vector<float> MarkovChainModel::next_distribution(int current) const {
+  const std::size_t d = config_.vocab;
+  const std::size_t row = current < 0 ? d : static_cast<std::size_t>(current);
+  assert(row <= d);
+  const double denom = row_totals_[row] + config_.smoothing * static_cast<double>(d);
+  std::vector<float> dist(d);
+  for (std::size_t next = 0; next < d; ++next) {
+    dist[next] = static_cast<float>((counts_[row * d + next] + config_.smoothing) / denom);
+  }
+  return dist;
+}
+
 int MarkovChainModel::most_likely_next(int current) const {
   const std::size_t d = config_.vocab;
   const std::size_t row = current < 0 ? d : static_cast<std::size_t>(current);

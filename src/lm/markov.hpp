@@ -33,6 +33,12 @@ class MarkovChainModel {
   /// P(next | current); current == -1 queries the initial distribution.
   double transition_probability(int current, int next) const;
 
+  /// The full next-action distribution given `current` (-1 = initial
+  /// distribution), as floats — the same shape ActionLanguageModel::step
+  /// returns, so a Markov chain can stand in for a cluster's LSTM in the
+  /// online monitor (degraded mode, core/detector.hpp).
+  std::vector<float> next_distribution(int current) const;
+
   /// argmax successor of `current`.
   int most_likely_next(int current) const;
 

@@ -35,11 +35,15 @@ bool parse_event(std::string_view line, Event& event, std::string& error) {
 }
 
 std::string session_key(const Event& event) {
+  return session_key(event.user_id, event.session_id);
+}
+
+std::string session_key(std::string_view user_id, std::string_view session_id) {
   std::string key;
-  key.reserve(event.user_id.size() + event.session_id.size() + 1);
-  key += event.user_id;
+  key.reserve(user_id.size() + session_id.size() + 1);
+  key += user_id;
   key += '\x1f';  // ASCII unit separator: cannot appear via JSON text unescaped ids in practice
-  key += event.session_id;
+  key += session_id;
   return key;
 }
 
@@ -89,6 +93,9 @@ std::string render_step_record(const Event& event,
     }
     json.member("alarm", step.alarm);
     json.member("trend_alarm", step.trend_alarm);
+    // Only rendered when true so healthy deployments keep byte-identical
+    // output with pre-degraded-mode builds.
+    if (step.degraded) json.member("degraded", true);
     if (!step.expected.empty()) {
       json.key("expected");
       json.begin_array();
@@ -126,6 +133,7 @@ std::string render_report_record(std::string_view user_id, std::string_view sess
     }
     json.member("voted_cluster", report.voted_cluster);
     json.member("avg_likelihood", report.avg_likelihood_voted);
+    if (report.degraded) json.member("degraded", true);
     json.end_object();
   }
   return out.str();

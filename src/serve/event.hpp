@@ -40,6 +40,7 @@ bool parse_event(std::string_view line, Event& event, std::string& error);
 /// session ids joined with an unambiguous separator, so ("a","b:c") and
 /// ("a:b","c") cannot collide.
 std::string session_key(const Event& event);
+std::string session_key(std::string_view user_id, std::string_view session_id);
 
 /// Stable 64-bit FNV-1a over the session key — *not* std::hash, so shard
 /// assignment (and therefore per-shard processing order) is identical

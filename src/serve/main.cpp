@@ -75,7 +75,11 @@ void print_usage(const std::string& program) {
       << "  --trend-window=N        trend detector window (default 8)\n"
       << "  --trend-drop=X          trend alarm relative drop (default 0.5)\n"
       << "  --no-steps              emit only session reports, not per-step verdicts\n"
-      << "  --metrics-out=PATH      write the metrics/trace snapshot on exit\n";
+      << "  --metrics-out=PATH      write the metrics/trace snapshot on exit\n"
+      << "  --wal-dir=DIR           crash safety: per-shard write-ahead log + snapshots\n"
+      << "  --wal-sync=N            fsync each shard WAL every N appends (default 1024)\n"
+      << "  --snapshot-every=N      checkpoint every N applied events (default 4096)\n"
+      << "  --resume-replay         after recovery, dedup producers that resend from origin\n";
 }
 
 void flush_records(std::vector<OutputRecord>& records, std::ostream& out, std::mutex* mutex) {
@@ -113,6 +117,7 @@ int run_pipe(ScoringServer& server, std::size_t batch_max) {
     if (++batched >= batch_max) {
       server.pump(out);
       server.sweep(out);
+      server.maybe_checkpoint(out);
       flush_records(out, std::cout, nullptr);
       batched = 0;
     }
@@ -143,6 +148,7 @@ int run_tcp(ScoringServer& server, std::uint16_t port) {
     while (!g_stop.load(std::memory_order_relaxed)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(500));
       server.sweep(out);
+      server.maybe_checkpoint(out);
       flush_records(out, std::cout, &stdout_mutex);
     }
   });
@@ -232,6 +238,10 @@ int serve_main(int argc, char** argv) {
   config.monitor.alarm_likelihood = args.real("alarm-likelihood", 0.02);
   config.monitor.trend_window = static_cast<std::size_t>(args.integer("trend-window", 8));
   config.monitor.trend_drop = args.real("trend-drop", 0.5);
+  config.wal_dir = args.str("wal-dir");
+  config.wal_sync_every = static_cast<std::size_t>(args.integer("wal-sync", 1024));
+  config.snapshot_every = static_cast<std::size_t>(args.integer("snapshot-every", 4096));
+  config.resume_replay = args.flag("resume-replay");
   if (args.has("threads")) {
     set_global_threads(static_cast<std::size_t>(args.integer("threads", 0)));
   }
@@ -254,8 +264,21 @@ int serve_main(int argc, char** argv) {
   log_info() << "loaded detector: " << detector->cluster_count() << " clusters, vocabulary of "
              << detector->vocab().size() << " actions";
 
+  if (detector->degraded_cluster_count() > 0) {
+    log_warn() << detector->degraded_cluster_count()
+               << " cluster(s) degraded to the Markov baseline; verdicts from them carry "
+                  "\"degraded\":true";
+  }
+
   install_signal_handlers();
   ScoringServer server(*detector, config);
+  if (server.wal_enabled()) {
+    // Surface what a crashed predecessor left behind before serving new
+    // traffic; replayed records carry their original sequence numbers.
+    std::vector<OutputRecord> recovered;
+    server.recover(recovered);
+    flush_records(recovered, std::cout, nullptr);
+  }
   if (args.has("listen")) {
     return run_tcp(server, static_cast<std::uint16_t>(args.integer("listen", 0)));
   }

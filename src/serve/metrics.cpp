@@ -15,6 +15,13 @@ ServeMetrics& serve_metrics() {
       metrics().gauge("serve.sessions_active"),
       metrics().gauge("serve.queue_depth"),
       metrics().histogram("serve.step_seconds"),
+      metrics().counter("serve.wal_appends"),
+      metrics().counter("serve.wal_torn_records"),
+      metrics().counter("serve.snapshot_failures"),
+      metrics().counter("serve.recovered_events"),
+      metrics().counter("serve.recovered_sessions"),
+      metrics().counter("serve.replay_skipped"),
+      metrics().gauge("serve.degraded_clusters"),
   };
   return instruments;
 }

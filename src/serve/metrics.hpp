@@ -20,6 +20,15 @@ struct ServeMetrics {
   Gauge& sessions_active;      // serve.sessions_active (+ high-water mark)
   Gauge& queue_depth;          // serve.queue_depth — events queued across shards
   HistogramMetric& step_seconds;  // serve.step_seconds — per-event shard latency
+
+  // Fault tolerance (see DESIGN.md "Fault tolerance").
+  Counter& wal_appends;         // serve.wal_appends — records written to shard WALs
+  Counter& wal_torn_records;    // serve.wal_torn_records — torn tails dropped at recovery
+  Counter& snapshot_failures;   // serve.snapshot_failures — checkpoint snapshots that failed
+  Counter& recovered_events;    // serve.recovered_events — WAL events replayed at startup
+  Counter& recovered_sessions;  // serve.recovered_sessions — sessions restored from snapshots
+  Counter& replay_skipped;      // serve.replay_skipped — resume-replay duplicates dropped
+  Gauge& degraded_clusters;     // serve.degraded_clusters — clusters on Markov fallback
 };
 
 /// The shared bundle; registers the instruments on first call.

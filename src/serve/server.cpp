@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <filesystem>
 
 #include "serve/metrics.hpp"
+#include "util/failpoint.hpp"
+#include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
@@ -19,6 +22,7 @@ ScoringServer::ScoringServer(const core::MisuseDetector& detector, const ServeCo
   // Distribute the global session cap; every shard holds at least one.
   shard_config.max_sessions = std::max<std::size_t>(1, (config_.max_sessions + n - 1) / n);
   shard_config.emit_steps = config_.emit_steps;
+  shard_config.track_history = !config_.wal_dir.empty();
   shards_.reserve(n);
   for (std::size_t s = 0; s < n; ++s) {
     auto shard = std::make_unique<Shard>();
@@ -26,6 +30,20 @@ ScoringServer::ScoringServer(const core::MisuseDetector& detector, const ServeCo
     shards_.push_back(std::move(shard));
   }
   (void)serve_metrics();  // register the panel eagerly
+  serve_metrics().degraded_clusters.set(
+      static_cast<std::int64_t>(detector_.degraded_cluster_count()));
+  if (wal_enabled()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.wal_dir, ec);
+    // Writers open O_APPEND — a predecessor's logs survive until
+    // recover()/checkpoint() decides they are covered by a snapshot.
+    for (std::size_t s = 0; s < n; ++s) {
+      wals_.push_back(std::make_unique<WalWriter>(wal_path(config_.wal_dir, s),
+                                                  config_.wal_sync_every));
+      shards_[s]->table->set_wal(wals_[s].get());
+    }
+    if (!read_manifest(config_.wal_dir)) write_manifest(config_.wal_dir, n);
+  }
 }
 
 int ScoringServer::resolve_action(const Event& event) const {
@@ -66,6 +84,8 @@ ScoringServer::Enqueue ScoringServer::enqueue(const Event& event,
   Enqueue result = Enqueue::kAccepted;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
+    // Injected backpressure: exercises the producer's pump-and-retry path.
+    if (MISUSEDET_FAILPOINT("serve.enqueue")) return Enqueue::kQueueFull;
     if (shard.queue.size() >= config_.queue_capacity) {
       if (config_.backpressure == BackpressurePolicy::kBlock) return Enqueue::kQueueFull;
       shard.queue.pop_front();
@@ -86,6 +106,7 @@ ScoringServer::Enqueue ScoringServer::enqueue(const Event& event,
 void ScoringServer::pump(std::vector<OutputRecord>& out) {
   Span pump_span("serve.pump");
   std::vector<std::vector<OutputRecord>> shard_out(shards_.size());
+  std::atomic<std::uint64_t> pumped{0};
   global_pool().parallel_for(0, shards_.size(), [&](std::size_t s) {
     Shard& shard = *shards_[s];
     std::deque<Pending> backlog;
@@ -94,12 +115,18 @@ void ScoringServer::pump(std::vector<OutputRecord>& out) {
       backlog.swap(shard.queue);
     }
     if (backlog.empty()) return;
+    pumped.fetch_add(backlog.size(), std::memory_order_relaxed);
     Span drain_span("serve.shard_drain");
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (const Pending& p : backlog) {
       shard.table->process(p.event, p.action, p.seq, shard_out[s]);
     }
+    // Group commit: one write hands the whole drain's WAL records to the
+    // OS before any of its verdicts become externally visible.
+    if (s < wals_.size() && wals_[s] != nullptr) wals_[s]->flush();
   });
+  events_since_checkpoint_.fetch_add(pumped.load(std::memory_order_relaxed),
+                                     std::memory_order_relaxed);
   std::size_t total = 0;
   for (const auto& records : shard_out) total += records.size();
   const std::size_t base = out.size();
@@ -133,9 +160,17 @@ void ScoringServer::append_reports(std::vector<OutputRecord>&& reports,
 void ScoringServer::sweep_at(double now, std::vector<OutputRecord>& out) {
   // Serial in shard order: eviction reports are rare and cheap to render.
   std::vector<OutputRecord> reports;
-  for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    shard->table->sweep(now, seq_.fetch_add(1, std::memory_order_relaxed), reports);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    // Sweeps mutate durable state (evictions), so they are WAL records
+    // too: replay re-runs them at the same global-seq position.
+    if (s < wals_.size() && wals_[s] != nullptr) {
+      wals_[s]->append(encode_sweep_record(now, seq));
+      wals_[s]->flush();
+    }
+    shard.table->sweep(now, seq, reports);
   }
   append_reports(std::move(reports), out);
 }
@@ -148,6 +183,141 @@ void ScoringServer::shutdown(std::vector<OutputRecord>& out) {
     shard->table->finish_all(seq_.fetch_add(1, std::memory_order_relaxed), reports);
   }
   append_reports(std::move(reports), out);
+  // Every session just reported: persist the (empty) tables so a restart
+  // after a *graceful* exit recovers nothing.
+  if (wal_enabled()) write_checkpoint();
+}
+
+std::size_t ScoringServer::recover(std::vector<OutputRecord>& out) {
+  if (!wal_enabled()) return 0;
+  const std::size_t old_shards = read_manifest(config_.wal_dir).value_or(shards_.size());
+
+  // Recovery replays through the normal scoring path; detach the WALs so
+  // the replay is not re-logged (the closing checkpoint re-covers
+  // everything and truncates the old logs).
+  for (auto& shard : shards_) shard->table->set_wal(nullptr);
+
+  // 1. Snapshots: rebuild each snapshotted session by silent re-feed,
+  //    routed through the *current* sharding.
+  std::vector<std::uint64_t> watermarks(old_shards, 0);
+  double clock = 0.0;
+  for (std::size_t k = 0; k < old_shards; ++k) {
+    const auto snapshot = read_snapshot(snapshot_path(config_.wal_dir, k));
+    if (!snapshot) continue;
+    watermarks[k] = snapshot->watermark;
+    clock = std::max(clock, snapshot->clock);
+    for (const auto& session : snapshot->sessions) {
+      Event probe;
+      probe.user_id = session.user_id;
+      probe.session_id = session.session_id;
+      Shard& shard = *shards_[shard_of(probe)];
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.table->restore_session(session);
+    }
+  }
+
+  // 2. WALs: merge every record past its file's watermark globally by
+  //    sequence number, then replay in input order.
+  std::vector<WalRecord> records;
+  for (std::size_t k = 0; k < old_shards; ++k) {
+    for (auto& record : read_wal(wal_path(config_.wal_dir, k))) {
+      if (record.seq > watermarks[k]) records.push_back(std::move(record));
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const WalRecord& a, const WalRecord& b) { return a.seq < b.seq; });
+
+  std::uint64_t max_seq = 0;
+  for (const auto& w : watermarks) max_seq = std::max(max_seq, w);
+  std::size_t replayed = 0;
+  std::vector<OutputRecord> replayed_out;
+  for (const WalRecord& record : records) {
+    max_seq = std::max(max_seq, record.seq);
+    if (record.type == WalRecord::kEvent) {
+      const int action = resolve_action(record.event);
+      if (action < 0) continue;  // vocabulary changed under the WAL
+      if (record.event.has_timestamp) clock = std::max(clock, record.event.timestamp);
+      Shard& shard = *shards_[shard_of(record.event)];
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.table->process(record.event, action, record.seq, replayed_out);
+      ++replayed;
+      serve_metrics().recovered_events.inc();
+    } else if (record.type == WalRecord::kSweep) {
+      // The old layout logged one sweep per shard; re-running each as a
+      // global sweep is idempotent (later passes find nothing expired).
+      for (auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->table->sweep(record.sweep_now, record.seq, replayed_out);
+      }
+    }
+  }
+  // Replayed records keep their original seqs: a consumer that saw the
+  // pre-crash stream dedups on seq and the tail continues seamlessly.
+  std::sort(replayed_out.begin(), replayed_out.end(),
+            [](const OutputRecord& a, const OutputRecord& b) { return a.seq < b.seq; });
+  out.reserve(out.size() + replayed_out.size());
+  for (auto& r : replayed_out) out.push_back(std::move(r));
+
+  std::uint64_t seq = seq_.load(std::memory_order_relaxed);
+  while (seq < max_seq + 1 &&
+         !seq_.compare_exchange_weak(seq, max_seq + 1, std::memory_order_relaxed)) {
+  }
+  advance_clock(clock);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->table->advance_clock_to(clock);
+  }
+
+  if (config_.resume_replay) {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->table->arm_replay_skip();
+    }
+  }
+
+  // 3. Re-base durability on the recovered state under the current
+  //    layout, then re-attach the logs.
+  write_checkpoint();
+  for (std::size_t s = 0; s < shards_.size(); ++s) shards_[s]->table->set_wal(wals_[s].get());
+  if (replayed > 0 || active_sessions() > 0) {
+    log_info() << "recovered " << active_sessions() << " sessions (" << replayed
+               << " WAL events replayed)";
+  }
+  return replayed;
+}
+
+void ScoringServer::write_checkpoint() {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ShardSnapshot snapshot;
+    snapshot.watermark = shard.table->last_applied_seq();
+    snapshot.clock = shard.table->clock();
+    snapshot.sessions = shard.table->snapshot_sessions();
+    if (write_snapshot(snapshot_path(config_.wal_dir, s), snapshot)) {
+      // Only a landed snapshot may retire its WAL; on failure the log
+      // keeps growing and recovery replays it instead.
+      if (s < wals_.size() && wals_[s] != nullptr) wals_[s]->reset();
+    }
+  }
+  write_manifest(config_.wal_dir, shards_.size());
+  remove_stale_shard_files(config_.wal_dir, shards_.size());
+  events_since_checkpoint_.store(0, std::memory_order_relaxed);
+}
+
+void ScoringServer::checkpoint(std::vector<OutputRecord>& out) {
+  if (!wal_enabled()) return;
+  pump(out);
+  write_checkpoint();
+}
+
+bool ScoringServer::maybe_checkpoint(std::vector<OutputRecord>& out) {
+  if (!wal_enabled() || config_.snapshot_every == 0) return false;
+  if (events_since_checkpoint_.load(std::memory_order_relaxed) < config_.snapshot_every) {
+    return false;
+  }
+  checkpoint(out);
+  return true;
 }
 
 bool ScoringServer::submit_sync(const Event& event, std::vector<OutputRecord>& out) {
@@ -160,8 +330,13 @@ bool ScoringServer::submit_sync(const Event& event, std::vector<OutputRecord>& o
   }
   if (event.has_timestamp) advance_clock(event.timestamp);
   Shard& shard = *shards_[shard_of(event)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.table->process(event, action, seq_.fetch_add(1, std::memory_order_relaxed), out);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.table->process(event, action, seq_.fetch_add(1, std::memory_order_relaxed), out);
+    const std::size_t s = shard_of(event);
+    if (s < wals_.size() && wals_[s] != nullptr) wals_[s]->flush();
+  }
+  events_since_checkpoint_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 

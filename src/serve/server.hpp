@@ -47,6 +47,21 @@ struct ServeConfig {
   std::size_t max_sessions = 4096;  // across all shards
   bool emit_steps = true;
   core::MonitorConfig monitor;
+
+  // -- Crash safety (serve/wal.hpp) ----------------------------------------
+  /// Directory for per-shard WALs + snapshots; empty disables durability.
+  std::string wal_dir;
+  /// fsync each shard WAL every N appends (1 = every append). Records
+  /// are handed to the OS per batch regardless (group commit), so a
+  /// process crash loses nothing; fsync only narrows the *machine*-crash
+  /// window, and is priced accordingly.
+  std::size_t wal_sync_every = 1024;
+  /// Checkpoint (snapshot + WAL truncate) every N applied events;
+  /// 0 = only at shutdown.
+  std::size_t snapshot_every = 4096;
+  /// Arm resume-replay dedup after recovery: producers that resend the
+  /// stream from origin have already-applied events silently skipped.
+  bool resume_replay = false;
 };
 
 class ScoringServer {
@@ -75,7 +90,31 @@ class ScoringServer {
 
   /// Graceful shutdown: pump the backlog, then emit a report for every
   /// open session. The server stays usable afterwards (tables empty).
+  /// With a WAL dir, ends with an empty checkpoint so a later restart
+  /// recovers nothing.
   void shutdown(std::vector<OutputRecord>& out);
+
+  // -- Crash recovery (serve/wal.hpp; DESIGN.md "Fault tolerance") ---------
+
+  /// Rebuilds state left by a crashed predecessor: loads every shard
+  /// snapshot the old layout wrote, replays WAL records past each
+  /// snapshot's watermark globally by sequence number (re-emitting their
+  /// records with the *original* seqs, so downstream consumers dedup by
+  /// seq), and checkpoints the recovered state under the current layout.
+  /// Works across different --shards values. Returns the number of WAL
+  /// events replayed. No-op without a WAL dir.
+  std::size_t recover(std::vector<OutputRecord>& out);
+
+  /// Pumps, snapshots every shard, and truncates the WALs the snapshots
+  /// now cover. A crash at any point is safe: snapshots replace
+  /// atomically, and the WAL is only truncated after its snapshot landed.
+  void checkpoint(std::vector<OutputRecord>& out);
+
+  /// checkpoint() once at least `snapshot_every` events were applied
+  /// since the last one. Returns true when a checkpoint ran.
+  bool maybe_checkpoint(std::vector<OutputRecord>& out);
+
+  bool wal_enabled() const { return !config_.wal_dir.empty(); }
 
   /// Scores one event immediately under its shard's lock (TCP path).
   /// Returns false (with an error record) when the action is invalid.
@@ -118,11 +157,19 @@ class ScoringServer {
   void advance_clock(double t);
   void record_queue_depth() const;
 
+  /// Snapshots every shard + truncates covered WALs (no pump; callers
+  /// hold no shard locks).
+  void write_checkpoint();
+
   const core::MisuseDetector& detector_;
   ServeConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<std::uint64_t> seq_{0};
+  std::vector<std::unique_ptr<WalWriter>> wals_;
+  /// Sequence numbers start at 1: snapshot watermarks mean "replay
+  /// strictly after", so 0 must stay the "nothing applied" sentinel.
+  std::atomic<std::uint64_t> seq_{1};
   std::atomic<double> clock_{0.0};
+  std::atomic<std::uint64_t> events_since_checkpoint_{0};
 };
 
 }  // namespace misuse::serve

@@ -13,6 +13,23 @@ void SessionShard::process(const Event& event, int action, std::uint64_t seq,
   Timer timer;
   const std::string key = session_key(event);
   auto it = sessions_.find(key);
+  if (it != sessions_.end() && it->second.replay_pos < it->second.replay_skip.size()) {
+    // Resume-replay dedup: the producer is resending the stream from
+    // origin after a restart; events matching the session's already-
+    // applied action prefix are consumed silently (no WAL append, no
+    // scoring, no output) so the rebuilt state is not double-fed.
+    Entry& entry = it->second;
+    if (action == entry.replay_skip[entry.replay_pos]) {
+      ++entry.replay_pos;
+      if (event.has_timestamp) clock_ = std::max(clock_, event.timestamp);
+      entry.last_seen = event.has_timestamp ? event.timestamp : clock_;
+      serve_metrics().replay_skipped.inc();
+      return;
+    }
+    // The stream diverged from history — stop skipping, score normally.
+    entry.replay_skip.clear();
+    entry.replay_pos = 0;
+  }
   if (it == sessions_.end()) {
     if (sessions_.size() >= config_.max_sessions) evict_lru(seq, out);
     Entry entry;
@@ -28,7 +45,14 @@ void SessionShard::process(const Event& event, int action, std::uint64_t seq,
   if (event.has_timestamp) clock_ = std::max(clock_, event.timestamp);
   entry.last_seen = event.has_timestamp ? event.timestamp : clock_;
 
+  // Log before apply (group commit: append() buffers the record; the
+  // server flushes the batch to the OS before any of its verdicts become
+  // externally visible, so every emitted verdict's event is recoverable).
+  if (wal_ != nullptr) wal_->append(encode_event_record(event, seq));
+
   const core::OnlineMonitor::StepResult step = entry.monitor->observe(action);
+  if (config_.track_history) entry.actions.push_back(action);
+  last_applied_seq_ = std::max(last_applied_seq_, seq);
   entry.acc.add(step);
   if (config_.emit_steps) out.push_back({seq, render_step_record(event, step)});
   if (step_observer_) step_observer_(event, step);
@@ -69,6 +93,7 @@ void SessionShard::evict_lru(std::uint64_t seq, std::vector<OutputRecord>& out) 
 }
 
 void SessionShard::sweep(double now, std::uint64_t seq, std::vector<OutputRecord>& out) {
+  last_applied_seq_ = std::max(last_applied_seq_, seq);
   std::vector<std::string> expired;
   for (const auto& [key, entry] : sessions_) {
     if (now - entry.last_seen > config_.idle_ttl_seconds) expired.push_back(key);
@@ -91,6 +116,47 @@ void SessionShard::finish_all(std::uint64_t seq, std::vector<OutputRecord>& out)
     finish_entry(sessions_.at(*key), ReportReason::kShutdown, seq, out);
   }
   sessions_.clear();
+}
+
+std::vector<SessionSnapshot> SessionShard::snapshot_sessions() const {
+  std::vector<const std::string*> keys;
+  keys.reserve(sessions_.size());
+  for (const auto& [key, entry] : sessions_) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  std::vector<SessionSnapshot> out;
+  out.reserve(keys.size());
+  for (const std::string* key : keys) {
+    const Entry& entry = sessions_.at(*key);
+    SessionSnapshot snap;
+    snap.user_id = entry.user_id;
+    snap.session_id = entry.session_id;
+    snap.actions = entry.actions;
+    snap.last_seen = entry.last_seen;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void SessionShard::restore_session(const SessionSnapshot& snapshot) {
+  Entry entry;
+  entry.user_id = snapshot.user_id;
+  entry.session_id = snapshot.session_id;
+  entry.monitor = std::make_unique<core::OnlineMonitor>(detector_, config_.monitor);
+  for (const int action : snapshot.actions) entry.acc.add(entry.monitor->observe(action));
+  if (config_.track_history) entry.actions = snapshot.actions;
+  entry.last_seen = snapshot.last_seen;
+  sessions_[session_key(snapshot.user_id, snapshot.session_id)] = std::move(entry);
+  ServeMetrics& sm = serve_metrics();
+  sm.recovered_sessions.inc();
+  sm.sessions_active.add(1);
+}
+
+void SessionShard::arm_replay_skip() {
+  for (auto& [key, entry] : sessions_) {
+    entry.replay_skip = entry.actions;
+    entry.replay_pos = 0;
+  }
 }
 
 }  // namespace misuse::serve

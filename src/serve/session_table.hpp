@@ -23,6 +23,7 @@
 
 #include "core/monitor.hpp"
 #include "serve/event.hpp"
+#include "serve/wal.hpp"
 
 namespace misuse::serve {
 
@@ -39,6 +40,9 @@ struct ShardConfig {
   double idle_ttl_seconds = 900.0;
   std::size_t max_sessions = 4096;  // per shard
   bool emit_steps = true;           // emit "step" records (reports always emit)
+  /// Record each session's raw applied action history (needed by WAL
+  /// snapshots and resume-replay dedup; on iff the server has a WAL dir).
+  bool track_history = false;
 };
 
 /// Structured observation hooks, for tests and in-process embedders that
@@ -74,6 +78,35 @@ class SessionShard {
   void set_step_observer(StepObserver observer) { step_observer_ = std::move(observer); }
   void set_report_observer(ReportObserver observer) { report_observer_ = std::move(observer); }
 
+  // -- Crash safety (serve/wal.hpp) ----------------------------------------
+
+  /// Attaches (or detaches, with nullptr) the shard's write-ahead log;
+  /// process() then logs every event before applying it (buffered — the
+  /// owning server flushes the log before emitting the batch's verdicts).
+  void set_wal(WalWriter* wal) { wal_ = wal; }
+
+  /// Largest input sequence number applied to this shard so far — the
+  /// watermark a snapshot taken now covers.
+  std::uint64_t last_applied_seq() const { return last_applied_seq_; }
+
+  double clock() const { return clock_; }
+  void advance_clock_to(double t) { clock_ = std::max(clock_, t); }
+
+  /// Key-ordered snapshot of every open session (requires track_history).
+  std::vector<SessionSnapshot> snapshot_sessions() const;
+
+  /// Reinstates a snapshotted session by silently re-feeding its action
+  /// history through a fresh monitor — no output records, no observers,
+  /// no WAL appends; OnlineMonitor determinism makes the rebuilt state
+  /// identical to the pre-crash one.
+  void restore_session(const SessionSnapshot& snapshot);
+
+  /// Arms resume-replay dedup: each open session will silently consume
+  /// incoming events that match its already-applied action prefix (for
+  /// producers that resend the stream from origin after a crash). A
+  /// mismatching action disarms the session and scoring resumes normally.
+  void arm_replay_skip();
+
  private:
   struct Entry {
     std::string user_id;
@@ -81,6 +114,11 @@ class SessionShard {
     std::unique_ptr<core::OnlineMonitor> monitor;
     core::SessionAccumulator acc;
     double last_seen = 0.0;
+    /// Applied actions, in order (only when config_.track_history).
+    std::vector<int> actions;
+    /// Resume-replay dedup: actions[0..replay_pos) already consumed.
+    std::vector<int> replay_skip;
+    std::size_t replay_pos = 0;
   };
 
   void finish_entry(const Entry& entry, ReportReason reason, std::uint64_t seq,
@@ -95,6 +133,8 @@ class SessionShard {
   double clock_ = 0.0;
   StepObserver step_observer_;
   ReportObserver report_observer_;
+  WalWriter* wal_ = nullptr;
+  std::uint64_t last_applied_seq_ = 0;
 };
 
 }  // namespace misuse::serve

@@ -1,0 +1,33 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) for integrity checking of
+// persisted state: the detector-archive footer and per-model sections
+// (core/detector.cpp), WAL record framing, and session-table snapshots
+// (serve/wal.cpp). Software table-driven implementation — these paths
+// checksum kilobytes on load/append, never per-event hot loops, so
+// portability beats hardware CRC instructions here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace misuse {
+
+/// Incremental CRC-32. Feed bytes in any chunking; value() is the
+/// standard (reflected, final-xor) checksum of everything fed so far.
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t size);
+  void update(std::string_view bytes) { update(bytes.data(), bytes.size()); }
+
+  std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+  void reset() { state_ = 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+/// One-shot convenience over a contiguous buffer.
+std::uint32_t crc32(const void* data, std::size_t size);
+inline std::uint32_t crc32(std::string_view bytes) { return crc32(bytes.data(), bytes.size()); }
+
+}  // namespace misuse

@@ -1,0 +1,171 @@
+#include "util/failpoint.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace misuse::failpoints {
+
+namespace {
+
+enum class PolicyKind { kOff, kAlways, kNth, kEvery, kProb };
+
+struct Site {
+  PolicyKind kind = PolicyKind::kOff;
+  std::uint64_t n = 0;          // nth / every parameter
+  double probability = 0.0;     // prob parameter
+  std::uint64_t seed = 0;       // prob rng stream seed
+  std::uint64_t hits = 0;
+  std::uint64_t triggered = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, Site> sites;
+  bool env_loaded = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: evaluated from destructors
+  return *r;
+}
+
+bool parse_policy(const std::string& policy, Site& site) {
+  const auto parts = split(policy, ':');
+  if (parts.empty()) return false;
+  const std::string& kind = parts[0];
+  try {
+    if (kind == "off" && parts.size() == 1) {
+      site.kind = PolicyKind::kOff;
+    } else if (kind == "always" && parts.size() == 1) {
+      site.kind = PolicyKind::kAlways;
+    } else if (kind == "nth" && parts.size() == 2) {
+      site.kind = PolicyKind::kNth;
+      site.n = std::stoull(parts[1]);
+      if (site.n == 0) return false;
+    } else if (kind == "every" && parts.size() == 2) {
+      site.kind = PolicyKind::kEvery;
+      site.n = std::stoull(parts[1]);
+      if (site.n == 0) return false;
+    } else if (kind == "prob" && (parts.size() == 2 || parts.size() == 3)) {
+      site.kind = PolicyKind::kProb;
+      site.probability = std::stod(parts[1]);
+      site.seed = parts.size() == 3 ? std::stoull(parts[2]) : 0;
+      if (site.probability < 0.0 || site.probability > 1.0) return false;
+    } else {
+      return false;
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+void configure_locked(Registry& r, const std::string& spec) {
+  r.sites.clear();
+  for (const std::string& entry : split(spec, ';')) {
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    const std::string site = entry.substr(0, eq);
+    const std::string policy = eq == std::string::npos ? "always" : entry.substr(eq + 1);
+    Site parsed;
+    if (site.empty() || !parse_policy(policy, parsed)) {
+      log_warn() << "ignoring malformed failpoint spec entry '" << entry << "'";
+      continue;
+    }
+    r.sites[site] = parsed;
+  }
+}
+
+void ensure_env_loaded(Registry& r) {
+  if (r.env_loaded) return;
+  r.env_loaded = true;
+  if (const char* env = std::getenv("MISUSEDET_FAILPOINTS"); env != nullptr && *env != '\0') {
+    configure_locked(r, env);
+    log_info() << "failpoints active: " << env;
+  }
+}
+
+}  // namespace
+
+bool compiled_in() {
+#if defined(MISUSEDET_FAILPOINTS_ENABLED) && MISUSEDET_FAILPOINTS_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool evaluate(const char* site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  ensure_env_loaded(r);
+  const auto it = r.sites.find(site);
+  if (it == r.sites.end()) return false;
+  Site& s = it->second;
+  const std::uint64_t hit = ++s.hits;
+  bool fire = false;
+  switch (s.kind) {
+    case PolicyKind::kOff: break;
+    case PolicyKind::kAlways: fire = true; break;
+    case PolicyKind::kNth: fire = hit == s.n; break;
+    case PolicyKind::kEvery: fire = hit % s.n == 0; break;
+    case PolicyKind::kProb: {
+      // One private stream per hit: the decision for hit i is a pure
+      // function of (seed, i), independent of thread interleaving.
+      Rng rng = Rng::stream(s.seed, hit);
+      fire = rng.bernoulli(s.probability);
+      break;
+    }
+  }
+  if (fire) {
+    ++s.triggered;
+    log_debug() << "failpoint '" << site << "' fired (hit " << hit << ")";
+  }
+  return fire;
+}
+
+void configure(const std::string& spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.env_loaded = true;  // explicit configuration overrides the environment
+  configure_locked(r, spec);
+}
+
+bool set(const std::string& site, const std::string& policy) {
+  Site parsed;
+  if (site.empty() || !parse_policy(policy, parsed)) return false;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.env_loaded = true;
+  r.sites[site] = parsed;
+  return true;
+}
+
+void clear() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.env_loaded = true;
+  r.sites.clear();
+}
+
+std::uint64_t hits(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t triggered(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.triggered;
+}
+
+}  // namespace misuse::failpoints

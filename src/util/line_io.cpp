@@ -4,10 +4,15 @@
 #include <charconv>
 #include <cstdlib>
 
+#include "util/failpoint.hpp"
+
 namespace misuse {
 
 bool LineReader::next(std::string& line) {
   if (truncated_) return false;
+  // Injected mid-stream EOF: producers vanishing between lines must look
+  // exactly like a normal end of stream (graceful drain, not an error).
+  if (MISUSEDET_FAILPOINT("line_io.eof")) return false;
   line.clear();
   char c;
   while (in_.get(c)) {

@@ -9,7 +9,7 @@ void BinaryWriter::write_magic(std::uint32_t magic, std::uint32_t version) {
 
 void BinaryWriter::write_string(const std::string& s) {
   write<std::uint64_t>(s.size());
-  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  if (!s.empty()) write_bytes(s.data(), s.size());
 }
 
 void BinaryWriter::write_string_vector(const std::vector<std::string>& v) {
@@ -27,10 +27,7 @@ std::string BinaryReader::read_string() {
   const auto n = read<std::uint64_t>();
   if (n > (1ULL << 30)) throw SerializeError("implausible string length");
   std::string s(static_cast<std::size_t>(n), '\0');
-  if (n > 0) {
-    in_.read(s.data(), static_cast<std::streamsize>(n));
-    if (!in_) throw SerializeError("truncated archive while reading string");
-  }
+  if (n > 0) read_bytes(s.data(), static_cast<std::size_t>(n), "string");
   return s;
 }
 

@@ -2,6 +2,13 @@
 // saved after the training phase and reloaded by the online monitor, as
 // the paper's deployment diagram in Fig. 2 implies). Little-endian,
 // length-prefixed, with a magic/version header per archive.
+//
+// Integrity: both endpoints can accumulate a running CRC-32 over the
+// bytes they move (begin_crc()/crc()), which the detector archive uses
+// for its whole-file footer and per-model section checksums — truncation
+// and bit-rot are then detected at load instead of surfacing as NaN
+// scores downstream (see core/detector.cpp and DESIGN.md "Fault
+// tolerance").
 #pragma once
 
 #include <cstdint>
@@ -12,6 +19,8 @@
 #include <string>
 #include <type_traits>
 #include <vector>
+
+#include "util/crc32.hpp"
 
 namespace misuse {
 
@@ -30,7 +39,7 @@ class BinaryWriter {
   template <typename T>
     requires std::is_arithmetic_v<T>
   void write(T value) {
-    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+    write_bytes(reinterpret_cast<const char*>(&value), sizeof(T));
   }
 
   void write_string(const std::string& s);
@@ -40,8 +49,7 @@ class BinaryWriter {
   void write_vector(std::span<const T> v) {
     write<std::uint64_t>(v.size());
     if (!v.empty()) {
-      out_.write(reinterpret_cast<const char*>(v.data()),
-                 static_cast<std::streamsize>(v.size() * sizeof(T)));
+      write_bytes(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
     }
   }
 
@@ -53,8 +61,27 @@ class BinaryWriter {
 
   void write_string_vector(const std::vector<std::string>& v);
 
+  /// Raw bytes with no length prefix (the caller frames them — used for
+  /// the CRC'd model sections of the detector archive).
+  void write_raw(const std::string& bytes) { write_bytes(bytes.data(), bytes.size()); }
+
+  /// Starts (or restarts) CRC accumulation over subsequently written
+  /// bytes. crc() reads the running value without disturbing it.
+  void begin_crc() {
+    crc_.reset();
+    crc_enabled_ = true;
+  }
+  std::uint32_t crc() const { return crc_.value(); }
+
  private:
+  void write_bytes(const char* data, std::size_t size) {
+    out_.write(data, static_cast<std::streamsize>(size));
+    if (crc_enabled_) crc_.update(data, size);
+  }
+
   std::ostream& out_;
+  Crc32 crc_;
+  bool crc_enabled_ = false;
 };
 
 class BinaryReader {
@@ -68,8 +95,7 @@ class BinaryReader {
     requires std::is_arithmetic_v<T>
   T read() {
     T value{};
-    in_.read(reinterpret_cast<char*>(&value), sizeof(T));
-    if (!in_) throw SerializeError("truncated archive while reading scalar");
+    read_bytes(reinterpret_cast<char*>(&value), sizeof(T), "scalar");
     return value;
   }
 
@@ -82,16 +108,38 @@ class BinaryReader {
     if (n > (1ULL << 34) / sizeof(T)) throw SerializeError("implausible vector length");
     std::vector<T> v(static_cast<std::size_t>(n));
     if (n > 0) {
-      in_.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(T)));
-      if (!in_) throw SerializeError("truncated archive while reading vector");
+      read_bytes(reinterpret_cast<char*>(v.data()), static_cast<std::size_t>(n) * sizeof(T),
+                 "vector");
     }
     return v;
   }
 
   std::vector<std::string> read_string_vector();
 
+  /// Exactly `n` raw bytes (no length prefix); throws on truncation.
+  std::string read_raw(std::size_t n) {
+    std::string s(n, '\0');
+    if (n > 0) read_bytes(s.data(), n, "raw bytes");
+    return s;
+  }
+
+  /// Starts (or restarts) CRC accumulation over subsequently read bytes.
+  void begin_crc() {
+    crc_.reset();
+    crc_enabled_ = true;
+  }
+  std::uint32_t crc() const { return crc_.value(); }
+
  private:
+  void read_bytes(char* data, std::size_t size, const char* what) {
+    in_.read(data, static_cast<std::streamsize>(size));
+    if (!in_) throw SerializeError(std::string("truncated archive while reading ") + what);
+    if (crc_enabled_) crc_.update(data, size);
+  }
+
   std::istream& in_;
+  Crc32 crc_;
+  bool crc_enabled_ = false;
 };
 
 }  // namespace misuse

@@ -7,8 +7,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
+
+#include "util/failpoint.hpp"
+#include "util/rng.hpp"
 
 namespace misuse {
 
@@ -29,6 +34,12 @@ FdStreamBuf::int_type FdStreamBuf::underflow() {
   if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
   ssize_t n;
   do {
+    // Injected EINTR: proves a signal landing mid-read only retries.
+    if (MISUSEDET_FAILPOINT("socket.read")) {
+      errno = EINTR;
+      n = -1;
+      continue;
+    }
     n = ::read(fd_, in_buf_, kBufSize);
   } while (n < 0 && errno == EINTR);
   if (n <= 0) return traits_type::eof();
@@ -39,9 +50,20 @@ FdStreamBuf::int_type FdStreamBuf::underflow() {
 bool FdStreamBuf::flush_out() {
   const char* p = pbase();
   while (p < pptr()) {
+    // Injected dead peer: with SIGPIPE ignored (serve/main.cpp) a write
+    // to a closed connection fails with EPIPE, which must surface as a
+    // stream error, never a crash.
+    if (MISUSEDET_FAILPOINT("socket.write.fail")) {
+      errno = EPIPE;
+      return false;
+    }
+    // Injected short write: cap the chunk at one byte so the partial-
+    // write loop below does the reassembly.
+    std::size_t chunk = static_cast<std::size_t>(pptr() - p);
+    if (MISUSEDET_FAILPOINT("socket.write.short")) chunk = 1;
     ssize_t n;
     do {
-      n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+      n = ::write(fd_, p, chunk);
     } while (n < 0 && errno == EINTR);
     if (n <= 0) return false;
     p += n;
@@ -145,6 +167,11 @@ std::optional<TcpStream> TcpListener::accept() {
   while (true) {
     const int listen_fd = fd_.load(std::memory_order_acquire);
     if (listen_fd < 0) return std::nullopt;
+    // Injected transient accept failure (EINTR path: loop and retry).
+    if (MISUSEDET_FAILPOINT("socket.accept")) {
+      errno = EINTR;
+      continue;
+    }
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd >= 0) {
       const int one = 1;
@@ -177,6 +204,12 @@ TcpStream tcp_connect(const std::string& host, std::uint16_t port) {
     ::close(fd);
     throw std::runtime_error("bad connect address: " + host);
   }
+  // Injected connect failure: exercises tcp_connect_retry's backoff.
+  if (MISUSEDET_FAILPOINT("socket.connect")) {
+    ::close(fd);
+    errno = ECONNREFUSED;
+    throw_errno("connect " + resolved + " (injected)");
+  }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
     throw_errno("connect " + resolved);
@@ -184,6 +217,25 @@ TcpStream tcp_connect(const std::string& host, std::uint16_t port) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return TcpStream(fd);
+}
+
+TcpStream tcp_connect_retry(const std::string& host, std::uint16_t port,
+                            const RetryConfig& retry) {
+  const std::size_t attempts = std::max<std::size_t>(1, retry.attempts);
+  double backoff = retry.base_delay_seconds;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      return tcp_connect(host, port);
+    } catch (const std::runtime_error&) {
+      if (attempt + 1 >= attempts) throw;
+    }
+    // Full jitter: uniform in (0, backoff]. Deterministic per (seed,
+    // attempt) so a replayed client waits the same schedule.
+    Rng rng = Rng::stream(retry.seed, attempt);
+    const double delay = rng.uniform() * std::min(backoff, retry.max_delay_seconds);
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    backoff *= 2.0;
+  }
 }
 
 }  // namespace misuse

@@ -100,4 +100,21 @@ class TcpListener {
 /// std::runtime_error on failure.
 TcpStream tcp_connect(const std::string& host, std::uint16_t port);
 
+/// Retry schedule for tcp_connect_retry: exponential backoff with
+/// full jitter, deterministic for a given seed (Rng::stream(seed,
+/// attempt) draws the jitter, so retries are reproducible and uncorrelated
+/// across clients started with different seeds).
+struct RetryConfig {
+  std::size_t attempts = 5;          // total tries, including the first
+  double base_delay_seconds = 0.05;  // delay before the second try
+  double max_delay_seconds = 2.0;    // backoff cap
+  std::uint64_t seed = 0;            // jitter stream
+};
+
+/// tcp_connect with retries: sleeps uniform(0, min(max, base * 2^k)]
+/// between attempts. Throws the final connect error once the budget is
+/// exhausted. Failpoint "socket.connect" fails an attempt for testing.
+TcpStream tcp_connect_retry(const std::string& host, std::uint16_t port,
+                            const RetryConfig& retry = {});
+
 }  // namespace misuse

@@ -5,12 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <span>
 #include <sstream>
 #include <vector>
 
 #include "core/detector.hpp"
 #include "core/monitor.hpp"
 #include "synth/portal.hpp"
+#include "util/failpoint.hpp"
 #include "util/serialize.hpp"
 
 namespace misuse::core {
@@ -128,6 +130,105 @@ TEST_F(PersistenceFixture, WrongVersionThrows) {
 
 TEST_F(PersistenceFixture, GarbageArchiveThrows) {
   EXPECT_THROW((void)load_from(std::string(256, '\x7f')), SerializeError);
+}
+
+TEST_F(PersistenceFixture, HeaderCorruptionFailsTheFileCrc) {
+  // A flip outside the per-cluster model sections (here: in the
+  // vocabulary block right after magic+version) must be caught — by the
+  // section parse if it lands on a length, else by the whole-file CRC
+  // footer — never silently accepted.
+  for (const std::size_t offset : {9u, 12u, 16u, 24u}) {
+    std::string corrupt = *archive_;
+    ASSERT_LT(offset, corrupt.size());
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x10);
+    EXPECT_THROW((void)load_from(corrupt), SerializeError) << "offset=" << offset;
+  }
+}
+
+TEST_F(PersistenceFixture, SingleByteCorruptionNeverCrashesAndNeverGoesUnnoticed) {
+  // Sweep single-byte flips across the archive. Every flip must either
+  // throw SerializeError or load a detector that still predicts; a flip
+  // inside an LSTM section specifically must surface as a degraded
+  // cluster, not silent model corruption.
+  std::span<const int> probe;
+  for (std::size_t i = 0; i < store_->size(); ++i) {
+    if (store_->at(i).length() >= 4) {
+      probe = store_->at(i).view();
+      break;
+    }
+  }
+  ASSERT_FALSE(probe.empty());
+  std::size_t loaded_degraded = 0;
+  std::size_t threw = 0;
+  for (std::size_t step = 0; step < 24; ++step) {
+    const std::size_t offset = archive_->size() / 24 * step + 7;
+    if (offset >= archive_->size()) break;
+    std::string corrupt = *archive_;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x01);
+    try {
+      const MisuseDetector loaded = load_from(corrupt);
+      // The flip landed inside a model section: the archive loads in
+      // degraded form (or with a dead fallback) and must still score.
+      if (loaded.degraded_cluster_count() > 0) ++loaded_degraded;
+      (void)loaded.predict(probe);
+    } catch (const SerializeError&) {
+      ++threw;
+    }
+  }
+  EXPECT_GT(threw, 0u) << "flips outside model sections must fail the file CRC";
+  // The archive is dominated by LSTM weights, so the sweep is expected to
+  // hit at least one LSTM section.
+  EXPECT_GT(loaded_degraded, 0u) << "no flip produced a degraded load";
+}
+
+TEST_F(PersistenceFixture, InjectedLstmCorruptionDegradesToMarkovFallback) {
+  if (!failpoints::compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+  // Force the first cluster's LSTM section to read as corrupt: the
+  // detector must come up degraded and route that cluster's scoring
+  // through the Markov fallback instead of aborting the load.
+  failpoints::configure("detector.load.lstm=nth:1");
+  const MisuseDetector degraded = load_from(*archive_);
+  failpoints::clear();
+  ASSERT_EQ(degraded.degraded_cluster_count(), 1u);
+  EXPECT_TRUE(degraded.cluster_degraded(0));
+  EXPECT_EQ(degraded.cluster_count(), detector_->cluster_count());
+
+  const MonitorConfig config;
+  for (std::size_t i = 0; i < store_->size(); ++i) {
+    if (store_->at(i).length() < 4) continue;
+    OnlineMonitor monitor(degraded, config);
+    SessionAccumulator acc;
+    bool saw_degraded_step = false;
+    for (const int action : store_->at(i).view()) {
+      const auto step = monitor.observe(action);
+      // The per-step flag is exactly "the voted cluster runs on the
+      // Markov fallback".
+      EXPECT_EQ(step.degraded, degraded.cluster_degraded(step.cluster_voted));
+      saw_degraded_step = saw_degraded_step || step.degraded;
+      acc.add(step);
+    }
+    EXPECT_EQ(acc.report().degraded, saw_degraded_step);
+    break;
+  }
+}
+
+TEST_F(PersistenceFixture, AllLstmSectionsCorruptStillServesFromMarkov) {
+  if (!failpoints::compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+  failpoints::configure("detector.load.lstm=always");
+  const MisuseDetector degraded = load_from(*archive_);
+  failpoints::clear();
+  EXPECT_EQ(degraded.degraded_cluster_count(), degraded.cluster_count());
+  std::span<const int> probe;
+  for (std::size_t i = 0; i < store_->size(); ++i) {
+    if (store_->at(i).length() >= 4) {
+      probe = store_->at(i).view();
+      break;
+    }
+  }
+  ASSERT_FALSE(probe.empty());
+  const auto verdict = degraded.predict(probe);
+  EXPECT_LT(verdict.cluster, degraded.cluster_count());
+  EXPECT_EQ(verdict.score.likelihoods.size(), probe.size() - 1);
 }
 
 }  // namespace

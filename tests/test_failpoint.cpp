@@ -1,0 +1,105 @@
+// The fault-injection framework (util/failpoint.hpp): policy semantics,
+// spec parsing, determinism of the probabilistic policy, and the
+// compile-out contract. Tests skip when failpoints are compiled out
+// (default Release build) — the CI fault-injection job builds with
+// -DMISUSEDET_FAILPOINTS=ON so they always run there.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/failpoint.hpp"
+
+namespace misuse::failpoints {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+    clear();
+  }
+  void TearDown() override {
+    if (compiled_in()) clear();
+  }
+};
+
+TEST_F(FailpointTest, UnconfiguredSiteNeverFires) {
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(MISUSEDET_FAILPOINT("test.unset"));
+  EXPECT_EQ(triggered("test.unset"), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysFires) {
+  ASSERT_TRUE(set("test.always", "always"));
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(MISUSEDET_FAILPOINT("test.always"));
+  EXPECT_EQ(hits("test.always"), 10u);
+  EXPECT_EQ(triggered("test.always"), 10u);
+}
+
+TEST_F(FailpointTest, OffNeverFires) {
+  ASSERT_TRUE(set("test.off", "off"));
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(MISUSEDET_FAILPOINT("test.off"));
+  EXPECT_EQ(hits("test.off"), 10u);
+  EXPECT_EQ(triggered("test.off"), 0u);
+}
+
+TEST_F(FailpointTest, NthFiresExactlyOnce) {
+  ASSERT_TRUE(set("test.nth", "nth:3"));
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(MISUSEDET_FAILPOINT("test.nth"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, false}));
+}
+
+TEST_F(FailpointTest, EveryFiresPeriodically) {
+  ASSERT_TRUE(set("test.every", "every:2"));
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(MISUSEDET_FAILPOINT("test.every"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true, false, true}));
+}
+
+TEST_F(FailpointTest, ProbIsDeterministicPerHitIndex) {
+  // prob decides per hit index through Rng::stream(seed, hit), so two
+  // passes over the same site produce the same firing pattern.
+  ASSERT_TRUE(set("test.prob", "prob:0.5:42"));
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) first.push_back(MISUSEDET_FAILPOINT("test.prob"));
+  clear();
+  ASSERT_TRUE(set("test.prob", "prob:0.5:42"));
+  std::vector<bool> second;
+  for (int i = 0; i < 64; ++i) second.push_back(MISUSEDET_FAILPOINT("test.prob"));
+  EXPECT_EQ(first, second);
+  // And p=0.5 over 64 draws should fire at least once and not always.
+  const auto count = static_cast<std::size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(count, 0u);
+  EXPECT_LT(count, 64u);
+}
+
+TEST_F(FailpointTest, ConfigureParsesMultiSiteSpec) {
+  configure("test.a=always;test.b=nth:2;test.c");
+  EXPECT_TRUE(MISUSEDET_FAILPOINT("test.a"));
+  EXPECT_FALSE(MISUSEDET_FAILPOINT("test.b"));
+  EXPECT_TRUE(MISUSEDET_FAILPOINT("test.b"));
+  EXPECT_TRUE(MISUSEDET_FAILPOINT("test.c"));  // bare site means "always"
+}
+
+TEST_F(FailpointTest, MalformedPolicyIsRejected) {
+  EXPECT_FALSE(set("test.bad", "sometimes"));
+  EXPECT_FALSE(set("test.bad", "nth:zero"));
+  EXPECT_FALSE(set("test.bad", "prob:notanumber"));
+  EXPECT_FALSE(MISUSEDET_FAILPOINT("test.bad"));
+}
+
+TEST_F(FailpointTest, ClearDisarmsEverything) {
+  ASSERT_TRUE(set("test.clear", "always"));
+  EXPECT_TRUE(MISUSEDET_FAILPOINT("test.clear"));
+  clear();
+  EXPECT_FALSE(MISUSEDET_FAILPOINT("test.clear"));
+}
+
+TEST(Failpoint, MacroIsConstantFalseWhenCompiledOut) {
+  if (compiled_in()) GTEST_SKIP() << "failpoints compiled in";
+  EXPECT_FALSE(MISUSEDET_FAILPOINT("test.any"));
+}
+
+}  // namespace
+}  // namespace misuse::failpoints

@@ -7,13 +7,16 @@
 
 #include <map>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "serve/event.hpp"
 #include "serve/metrics.hpp"
 #include "synth/portal.hpp"
+#include "util/failpoint.hpp"
 #include "util/line_io.hpp"
+#include "util/serialize.hpp"
 #include "util/thread_pool.hpp"
 
 namespace misuse::serve {
@@ -540,6 +543,75 @@ TEST_F(ServeFixture, ServeMetricsTrackSessions) {
   EXPECT_EQ(sm.sessions_finished.value() - finished_before, 3u);
   EXPECT_EQ(sm.steps.value() - steps_before, 12u);
   EXPECT_GE(sm.step_seconds.count(), 12u);
+}
+
+TEST_F(ServeFixture, HealthyVerdictsCarryNoDegradedFlag) {
+  // Byte-identity guarantee: output of a healthy detector must not grow a
+  // "degraded" field (it is emitted only when true).
+  ServeConfig config;
+  config.shards = 2;
+  ScoringServer server(*detector_, config);
+  EXPECT_EQ(serve_metrics().degraded_clusters.value(), 0);
+  std::vector<OutputRecord> out;
+  Event e;
+  e.user_id = "h";
+  e.session_id = "healthy";
+  e.action = detector_->vocab().name(1);
+  ASSERT_EQ(server.enqueue(e, out), ScoringServer::Enqueue::kAccepted);
+  server.pump(out);
+  server.shutdown(out);
+  ASSERT_FALSE(out.empty());
+  for (const auto& r : out) {
+    EXPECT_EQ(r.line.find("\"degraded\""), std::string::npos) << r.line;
+  }
+}
+
+TEST_F(ServeFixture, DegradedDetectorServesFlaggedVerdicts) {
+  if (!failpoints::compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+  // Round-trip the trained detector through its archive with every LSTM
+  // section forced corrupt: the server must come up on the Markov
+  // fallbacks, publish the degraded-cluster gauge, and stamp
+  // "degraded":true on the affected verdicts instead of refusing to
+  // serve.
+  std::stringstream archive(std::ios::in | std::ios::out | std::ios::binary);
+  BinaryWriter writer(archive);
+  detector_->save(writer);
+  BinaryReader reader(archive);
+  failpoints::configure("detector.load.lstm=always");
+  const core::MisuseDetector degraded = core::MisuseDetector::load(reader);
+  failpoints::clear();
+  ASSERT_EQ(degraded.degraded_cluster_count(), degraded.cluster_count());
+
+  ServeConfig config;
+  config.shards = 2;
+  ScoringServer server(degraded, config);
+  EXPECT_EQ(serve_metrics().degraded_clusters.value(),
+            static_cast<std::int64_t>(degraded.cluster_count()));
+
+  const auto sessions = pick_sessions(4);
+  ASSERT_GE(sessions.size(), 2u);
+  std::vector<OutputRecord> out;
+  for (const Event& event : interleave(sessions)) {
+    while (server.enqueue(event, out) == ScoringServer::Enqueue::kQueueFull) {
+      server.pump(out);
+    }
+  }
+  server.pump(out);
+  server.shutdown(out);
+
+  std::size_t degraded_steps = 0;
+  std::size_t degraded_reports = 0;
+  for (const auto& r : out) {
+    if (r.line.find("\"degraded\":true") == std::string::npos) continue;
+    if (r.line.find("\"type\":\"step\"") != std::string::npos) ++degraded_steps;
+    if (r.line.find("\"type\":\"session_report\"") != std::string::npos) ++degraded_reports;
+  }
+  EXPECT_GT(degraded_steps, 0u) << "all clusters are degraded; steps must say so";
+  EXPECT_GT(degraded_reports, 0u);
+
+  // Restore the healthy gauge for later tests in this process.
+  ScoringServer healthy(*detector_, config);
+  EXPECT_EQ(serve_metrics().degraded_clusters.value(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,371 @@
+// End-to-end process tests of the misusedet_serve binary (path baked in
+// as MISUSEDET_SERVE_BIN): SIGTERM graceful drain with live TCP
+// connections mid-session, and kill -9 crash recovery via --wal-dir —
+// the recovered run's session reports must match an uninterrupted run's.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "synth/portal.hpp"
+#include "util/line_io.hpp"
+#include "util/socket.hpp"
+
+namespace misuse::serve {
+namespace {
+
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "misusedet_proc_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// A spawned misusedet_serve with its three standard streams piped.
+class ServeProcess {
+ public:
+  explicit ServeProcess(const std::vector<std::string>& extra_args) {
+    int in_pipe[2];
+    int out_pipe[2];
+    int err_pipe[2];
+    if (::pipe(in_pipe) != 0 || ::pipe(out_pipe) != 0 || ::pipe(err_pipe) != 0) {
+      throw std::runtime_error("pipe failed");
+    }
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ::dup2(in_pipe[0], STDIN_FILENO);
+      ::dup2(out_pipe[1], STDOUT_FILENO);
+      ::dup2(err_pipe[1], STDERR_FILENO);
+      for (const int fd :
+           {in_pipe[0], in_pipe[1], out_pipe[0], out_pipe[1], err_pipe[0], err_pipe[1]}) {
+        ::close(fd);
+      }
+      std::vector<std::string> args = {MISUSEDET_SERVE_BIN};
+      args.insert(args.end(), extra_args.begin(), extra_args.end());
+      std::vector<char*> argv;
+      for (auto& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      ::_exit(127);
+    }
+    ::close(in_pipe[0]);
+    ::close(out_pipe[1]);
+    ::close(err_pipe[1]);
+    stdin_fd_ = in_pipe[1];
+    stdout_fd_ = out_pipe[0];
+    stderr_fd_ = err_pipe[0];
+    stdout_buf_ = std::make_unique<FdStreamBuf>(stdout_fd_);
+    stdout_stream_ = std::make_unique<std::istream>(stdout_buf_.get());
+    stderr_buf_ = std::make_unique<FdStreamBuf>(stderr_fd_);
+    stderr_stream_ = std::make_unique<std::istream>(stderr_buf_.get());
+  }
+
+  ~ServeProcess() {
+    close_stdin();
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+    if (stdout_fd_ >= 0) ::close(stdout_fd_);
+    if (stderr_fd_ >= 0) ::close(stderr_fd_);
+  }
+
+  /// Writes one NDJSON line to the child's stdin (EINTR-safe full write).
+  /// Returns false once the child stopped reading (EPIPE).
+  bool write_line(const std::string& line) {
+    const std::string framed = line + "\n";
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = ::write(stdin_fd_, framed.data() + off, framed.size() - off);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  void close_stdin() {
+    if (stdin_fd_ >= 0) {
+      ::close(stdin_fd_);
+      stdin_fd_ = -1;
+    }
+  }
+
+  std::istream& out() { return *stdout_stream_; }
+
+  /// Blocks until the child logs its listening port on stderr.
+  std::uint16_t wait_for_port() {
+    LineReader reader(*stderr_stream_);
+    std::string line;
+    while (reader.next(line)) {
+      const auto pos = line.find("listening on port ");
+      if (pos != std::string::npos) {
+        return static_cast<std::uint16_t>(
+            std::stoul(line.substr(pos + std::string("listening on port ").size())));
+      }
+    }
+    ADD_FAILURE() << "child exited before logging its port";
+    return 0;
+  }
+
+  void signal(int sig) { ::kill(pid_, sig); }
+
+  void kill_hard() {
+    ::kill(pid_, SIGKILL);
+    wait();
+  }
+
+  int wait() {
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return status;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  int stderr_fd_ = -1;
+  std::unique_ptr<FdStreamBuf> stdout_buf_;
+  std::unique_ptr<std::istream> stdout_stream_;
+  std::unique_ptr<FdStreamBuf> stderr_buf_;
+  std::unique_ptr<std::istream> stderr_stream_;
+};
+
+class ServeProcessFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // The child dying mid-write must surface as a failed write, not kill
+    // this test process.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    synth::PortalConfig pc;
+    pc.sessions = 200;
+    pc.users = 30;
+    pc.action_count = 50;
+    pc.seed = 9;
+    synth::Portal portal(pc);
+    const SessionStore store = portal.generate();
+    core::DetectorConfig dc;
+    dc.ensemble.topic_counts = {8, 10};
+    dc.ensemble.iterations = 8;
+    dc.expert.target_clusters = 3;
+    dc.expert.min_cluster_sessions = 5;
+    dc.lm.hidden = 8;
+    dc.lm.epochs = 2;
+    dc.lm.patience = 0;
+    const core::MisuseDetector detector = core::MisuseDetector::train(store, dc);
+
+    model_path_ = new std::string(scratch_dir("model") + "/detector.bin");
+    std::ofstream out(*model_path_, std::ios::binary);
+    BinaryWriter writer(out);
+    detector.save(writer);
+
+    // An interleaved six-session NDJSON trace over the trained vocabulary.
+    trace_ = new std::vector<std::string>();
+    actions_ = new std::vector<std::string>();
+    std::vector<std::vector<int>> sessions;
+    for (std::size_t i = 0; i < store.size() && sessions.size() < 6; ++i) {
+      if (store.at(i).length() >= 3 && store.at(i).length() <= 15) {
+        sessions.push_back(store.at(i).actions);
+      }
+    }
+    std::vector<std::size_t> cursor(sessions.size(), 0);
+    double t = 0.0;
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (std::size_t s = 0; s < sessions.size(); ++s) {
+        if (cursor[s] >= sessions[s].size()) continue;
+        const std::string action = detector.vocab().name(sessions[s][cursor[s]]);
+        actions_->push_back(action);
+        trace_->push_back(event_line("u" + std::to_string(s % 3), "s" + std::to_string(s),
+                                     action, t));
+        t += 1.0;
+        ++cursor[s];
+        progressed = true;
+      }
+    }
+  }
+  static void TearDownTestSuite() {
+    delete model_path_;
+    delete trace_;
+    delete actions_;
+    model_path_ = nullptr;
+    trace_ = nullptr;
+    actions_ = nullptr;
+  }
+
+  static std::string event_line(const std::string& user, const std::string& session,
+                                const std::string& action, double t) {
+    std::ostringstream line;
+    line << R"({"user_id":")" << user << R"(","session_id":")" << session
+         << R"(","action":")" << action << R"(","timestamp":)" << t << "}";
+    return line.str();
+  }
+
+  static std::vector<std::string> session_reports(const std::vector<std::string>& lines) {
+    std::vector<std::string> reports;
+    for (const auto& line : lines) {
+      if (line.find("\"type\":\"session_report\"") != std::string::npos) {
+        reports.push_back(line);
+      }
+    }
+    std::sort(reports.begin(), reports.end());
+    return reports;
+  }
+
+  static std::vector<std::string> drain(std::istream& in) {
+    std::vector<std::string> lines;
+    LineReader reader(in);
+    std::string line;
+    while (reader.next(line)) lines.push_back(line);
+    return lines;
+  }
+
+  /// Feeds lines on a helper thread (so the child's stdout never backs up
+  /// against our stdin writes), drains stdout to EOF, reaps the child.
+  static std::vector<std::string> feed_and_drain(ServeProcess& proc,
+                                                 const std::vector<std::string>& lines,
+                                                 int& exit_status) {
+    std::thread feeder([&proc, &lines] {
+      for (const auto& line : lines) {
+        if (!proc.write_line(line)) break;
+      }
+      proc.close_stdin();
+    });
+    const auto out = drain(proc.out());
+    feeder.join();
+    exit_status = proc.wait();
+    return out;
+  }
+
+  /// Reference run: the whole trace through one uninterrupted pipe-mode
+  /// process, no WAL.
+  static std::vector<std::string> baseline_reports() {
+    ServeProcess proc({"--model=" + *model_path_, "--batch=4"});
+    int status = 0;
+    const auto lines = feed_and_drain(proc, *trace_, status);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    return session_reports(lines);
+  }
+
+  static std::string* model_path_;
+  static std::vector<std::string>* trace_;
+  static std::vector<std::string>* actions_;
+};
+
+std::string* ServeProcessFixture::model_path_ = nullptr;
+std::vector<std::string>* ServeProcessFixture::trace_ = nullptr;
+std::vector<std::string>* ServeProcessFixture::actions_ = nullptr;
+
+// SIGTERM with multiple TCP connections mid-session: every open session
+// gets a session_report on stdout before the process exits cleanly.
+TEST_F(ServeProcessFixture, SigtermDrainsOpenTcpSessions) {
+  ServeProcess proc({"--model=" + *model_path_, "--listen=0"});
+  const std::uint16_t port = proc.wait_for_port();
+  ASSERT_GT(port, 0);
+
+  // Two concurrent connections, two in-flight sessions each; every
+  // submitted event's verdict is read back, so all events are applied
+  // before the signal lands.
+  std::vector<TcpStream> clients;
+  clients.push_back(tcp_connect("127.0.0.1", port));
+  clients.push_back(tcp_connect("127.0.0.1", port));
+  double t = 0.0;
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      for (int k = 0; k < 2; ++k) {
+        const std::string& action =
+            (*actions_)[(static_cast<std::size_t>(round) * 4 + c * 2 +
+                         static_cast<std::size_t>(k)) %
+                        actions_->size()];
+        clients[c].io() << event_line("tcp" + std::to_string(c),
+                                      "conn" + std::to_string(c) + "-" + std::to_string(k),
+                                      action, t)
+                        << "\n";
+        clients[c].io().flush();
+        t += 1.0;
+        std::string verdict;
+        LineReader reader(clients[c].io());
+        ASSERT_TRUE(reader.next(verdict)) << "no verdict for connection " << c;
+        EXPECT_NE(verdict.find("\"type\":\"step\""), std::string::npos) << verdict;
+      }
+    }
+  }
+
+  proc.signal(SIGTERM);
+  const auto lines = drain(proc.out());
+  const int status = proc.wait();
+  EXPECT_TRUE(WIFEXITED(status)) << "server must exit, not die on a signal";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  const auto reports = session_reports(lines);
+  ASSERT_EQ(reports.size(), 4u) << "one report per open session";
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (int k = 0; k < 2; ++k) {
+      const std::string id = "conn" + std::to_string(c) + "-" + std::to_string(k);
+      EXPECT_TRUE(std::any_of(reports.begin(), reports.end(),
+                              [&](const std::string& r) {
+                                return r.find(id) != std::string::npos;
+                              }))
+          << "missing report for session " << id;
+    }
+  }
+}
+
+// kill -9 mid-replay, restart on the same --wal-dir with --resume-replay,
+// resend the stream from origin: the surviving run's session reports
+// equal an uninterrupted run's.
+TEST_F(ServeProcessFixture, Kill9RecoveryMatchesBaseline) {
+  const auto baseline = baseline_reports();
+  ASSERT_GT(baseline.size(), 0u);
+  const std::string wal_dir = scratch_dir("kill9_wal");
+  const std::size_t cut = trace_->size() / 2;
+
+  {
+    ServeProcess crashed({"--model=" + *model_path_, "--batch=1", "--wal-dir=" + wal_dir,
+                          "--wal-sync=1"});
+    LineReader reader(crashed.out());
+    std::string line;
+    std::size_t steps_seen = 0;
+    for (std::size_t i = 0; i < cut; ++i) {
+      ASSERT_TRUE(crashed.write_line((*trace_)[i]));
+      // --batch=1 flushes after every event; wait for its verdict so the
+      // event is known applied (and, with --wal-sync=1, fsynced).
+      while (reader.next(line)) {
+        if (line.find("\"type\":\"step\"") != std::string::npos) {
+          ++steps_seen;
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(steps_seen, cut);
+    crashed.kill_hard();
+  }
+
+  ServeProcess restarted({"--model=" + *model_path_, "--batch=4", "--wal-dir=" + wal_dir,
+                          "--resume-replay"});
+  int status = 0;
+  const auto lines = feed_and_drain(restarted, *trace_, status);  // from origin
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  EXPECT_EQ(session_reports(lines), baseline);
+}
+
+}  // namespace
+}  // namespace misuse::serve
