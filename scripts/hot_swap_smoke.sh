@@ -1,0 +1,169 @@
+#!/usr/bin/env bash
+# Zero-downtime hot-swap smoke test for the model registry + misusedet_serve:
+# publish the same detector archive twice (v1, v2 — identical weights, so
+# the swap is vocab-compatible), serve --registry with shadow scoring on
+# the canary, flip CURRENT to v2 mid-stream (promote + SIGHUP), and require:
+#   * no session is dropped or perturbed: sessions opened before the swap
+#     report with "model_version":"v1", sessions opened after with "v2",
+#     and with the stamps stripped both halves are byte-identical to a
+#     plain --model run over the same trace;
+#   * the swap and shadow surface in the --metrics-out snapshot
+#     (serve.swaps, serve.model_version, serve.shadow.steps).
+#
+# usage: scripts/hot_swap_smoke.sh [BUILD_DIR]
+set -euo pipefail
+
+build_dir=${1:-build}
+serve=$build_dir/src/serve/misusedet_serve
+registry=$build_dir/src/registry/misusedet_registry
+replay=$build_dir/examples/serve_replay
+for bin in "$serve" "$registry" "$replay"; do
+  if [ ! -x "$bin" ]; then
+    echo "missing $bin — build the '$build_dir' tree first" >&2
+    exit 1
+  fi
+done
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "== training demo detector"
+"$replay" --train-model="$work/detector.bin" >/dev/null
+"$replay" --emit-trace --sessions=16 >"$work/trace.ndjson"
+total=$(wc -l <"$work/trace.ndjson")
+echo "== trace: $total events"
+
+echo "== baseline (plain --model run, no registry, no stamps)"
+"$serve" --model="$work/detector.bin" <"$work/trace.ndjson" |
+  grep '"type":"session_report"' | sort >"$work/baseline.txt"
+reports=$(wc -l <"$work/baseline.txt")
+
+echo "== registry: publish v1 + v2, activate v1, stage v2 as canary"
+root=$work/registry
+"$registry" publish --root="$root" "$work/detector.bin" --note="smoke v1" >/dev/null
+"$registry" publish --root="$root" "$work/detector.bin" --note="smoke v2" >/dev/null
+"$registry" promote --root="$root" v1 >/dev/null  # staging -> canary
+"$registry" promote --root="$root" v1 >/dev/null  # canary  -> active
+"$registry" promote --root="$root" v2 >/dev/null  # staging -> canary (shadow target)
+"$registry" list --root="$root"
+
+echo "== live run: serve --registry, swap to v2 mid-stream"
+fifo=$work/in.fifo
+mkfifo "$fifo"
+"$serve" --registry="$root" --shadow --batch=1 --registry-poll=0.2 \
+  --metrics-out="$work/metrics.json" <"$fifo" >"$work/live.out" 2>"$work/live.log" &
+pid=$!
+exec 3>"$fifo"
+
+# Phase A: the full trace opens every session under v1.
+cat "$work/trace.ndjson" >&3
+for _ in $(seq 1 200); do
+  scored=$(grep -c '"type":"step"' "$work/live.out" || true)
+  [ "$scored" -ge "$total" ] && break
+  sleep 0.05
+done
+scored=$(grep -c '"type":"step"' "$work/live.out" || true)
+if [ "$scored" -lt "$total" ]; then
+  echo "FAIL: only $scored of $total phase-A events scored before timeout" >&2
+  kill -9 "$pid" 2>/dev/null || true
+  exit 1
+fi
+
+# Flip CURRENT, then nudge: --batch=1 re-checks the registry after every
+# event, so one throwaway event ("swapnudge") deterministically lands the
+# swap before any phase-B session opens. SIGHUP + the elapsed poll
+# interval both force the re-check.
+"$registry" promote --root="$root" v2 >/dev/null  # canary -> active; CURRENT moves
+kill -HUP "$pid"
+sleep 0.3
+head -n 1 "$work/trace.ndjson" |
+  sed -e 's/"session_id":"[^"]*"/"session_id":"swapnudge"/' \
+      -e 's/"user_id":"[^"]*"/"user_id":"swapnudge"/' >&3
+for _ in $(seq 1 200); do
+  grep -q 'model swapped to v2' "$work/live.log" && break
+  sleep 0.05
+done
+if ! grep -q 'model swapped to v2' "$work/live.log"; then
+  echo "FAIL: server never swapped to v2 (see live.log)" >&2
+  cat "$work/live.log" >&2
+  kill -9 "$pid" 2>/dev/null || true
+  exit 1
+fi
+
+# Phase B: the same trace under fresh ids — every session opens under v2.
+sed -e 's/"session_id":"/"session_id":"b/' -e 's/"user_id":"/"user_id":"b/' \
+  <"$work/trace.ndjson" >&3
+exec 3>&-
+if ! wait "$pid"; then
+  echo "FAIL: server exited non-zero" >&2
+  cat "$work/live.log" >&2
+  exit 1
+fi
+
+echo "== checking the zero-downtime invariants"
+grep '"type":"session_report"' "$work/live.out" | grep -v swapnudge >"$work/live_reports.txt"
+live_count=$(wc -l <"$work/live_reports.txt")
+if [ "$live_count" -ne $((reports * 2)) ]; then
+  echo "FAIL: expected $((reports * 2)) session reports, got $live_count (dropped sessions?)" >&2
+  exit 1
+fi
+
+# Sessions open across the swap keep their pinned v1; post-swap sessions
+# stamp v2. No report may be missing its stamp.
+unstamped=$(grep -cv '"model_version":"v[0-9]*"' "$work/live_reports.txt" || true)
+if [ "$unstamped" -ne 0 ]; then
+  echo "FAIL: $unstamped registry-mode reports carry no model_version stamp" >&2
+  exit 1
+fi
+grep '"session_id":"session' "$work/live_reports.txt" >"$work/phase_a.txt"
+grep '"session_id":"bsession' "$work/live_reports.txt" >"$work/phase_b.txt"
+for phase in phase_a phase_b; do
+  count=$(wc -l <"$work/$phase.txt")
+  if [ "$count" -ne "$reports" ]; then
+    echo "FAIL: $phase has $count reports, expected $reports" >&2
+    exit 1
+  fi
+done
+if grep -qv '"model_version":"v1"' "$work/phase_a.txt"; then
+  echo "FAIL: a pre-swap session was not stamped v1" >&2
+  exit 1
+fi
+if grep -qv '"model_version":"v2"' "$work/phase_b.txt"; then
+  echo "FAIL: a post-swap session was not stamped v2" >&2
+  exit 1
+fi
+
+# Identical weights => stamp-stripped reports must match the --model
+# baseline byte-for-byte, for both halves.
+sed 's/,"model_version":"v[0-9]*"//' "$work/phase_a.txt" | sort >"$work/phase_a_clean.txt"
+sed -e 's/,"model_version":"v[0-9]*"//' -e 's/"session_id":"b/"session_id":"/' \
+    -e 's/"user_id":"b/"user_id":"/' "$work/phase_b.txt" | sort >"$work/phase_b_clean.txt"
+if ! diff -u "$work/baseline.txt" "$work/phase_a_clean.txt" >&2; then
+  echo "FAIL: pre-swap session reports diverged from the --model baseline" >&2
+  exit 1
+fi
+if ! diff -u "$work/baseline.txt" "$work/phase_b_clean.txt" >&2; then
+  echo "FAIL: post-swap session reports diverged from the --model baseline" >&2
+  exit 1
+fi
+
+echo "== checking the metrics snapshot"
+for needle in '"serve.swaps":1' '"serve.model_version":{"value":2'; do
+  if ! grep -q "$needle" "$work/metrics.json"; then
+    echo "FAIL: metrics snapshot missing $needle" >&2
+    exit 1
+  fi
+done
+shadow_steps=$(grep -o '"serve.shadow.steps":[0-9]*' "$work/metrics.json" | grep -o '[0-9]*$')
+if [ -z "$shadow_steps" ] || [ "$shadow_steps" -eq 0 ]; then
+  echo "FAIL: shadow scorer never ran (serve.shadow.steps=0)" >&2
+  exit 1
+fi
+flips=$(grep -o '"serve.shadow.verdict_flips":[0-9]*' "$work/metrics.json" | grep -o '[0-9]*$')
+if [ "${flips:-0}" -ne 0 ]; then
+  echo "FAIL: identical shadow model flipped $flips verdicts" >&2
+  exit 1
+fi
+
+echo "PASS: swap v1->v2 with zero dropped sessions, byte-identical reports,"
+echo "      per-session version stamps, and shadow metrics ($shadow_steps steps, 0 flips)"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <fstream>
 #include <optional>
 #include <sstream>
 
@@ -65,6 +66,19 @@ std::unique_ptr<Model> parse_section(const std::string& bytes) {
     return std::make_unique<Model>(Model::load(section));
   } catch (const SerializeError&) {
     return nullptr;
+  }
+}
+
+/// Runs one load phase; a SerializeError escaping it is re-thrown with
+/// the archive section named, so "unexpected end of stream" becomes
+/// "section vocab: unexpected end of stream" — enough to tell *where*
+/// the archive went bad, not just that it did.
+template <typename Fn>
+decltype(auto) load_phase(const std::string& section, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const SerializeError& e) {
+    throw SerializeError("section " + section + ": " + e.what());
   }
 }
 }  // namespace
@@ -258,33 +272,39 @@ void MisuseDetector::save(BinaryWriter& w) const {
 
 MisuseDetector MisuseDetector::load(BinaryReader& r) {
   r.begin_crc();
-  const std::uint32_t version = r.read_magic(kDetectorMagic);
+  const std::uint32_t version = load_phase("header", [&] { return r.read_magic(kDetectorMagic); });
   if (version != kDetectorVersion && version != kDetectorVersionV1) {
     throw SerializeError("unsupported detector archive version " + std::to_string(version) +
                          " (expected " + std::to_string(kDetectorVersion) + ")");
   }
   MisuseDetector detector;
-  detector.vocab_ = ActionVocab::load(r);
-  const auto n = static_cast<std::size_t>(r.read<std::uint64_t>());
-  for (std::size_t c = 0; c < n; ++c) {
-    ClusterInfo info;
-    info.label = r.read_string();
-    info.members = r.read_vector<std::size_t>();
-    info.train = r.read_vector<std::size_t>();
-    info.valid = r.read_vector<std::size_t>();
-    info.test = r.read_vector<std::size_t>();
-    detector.clusters_.push_back(std::move(info));
-  }
-  detector.assigner_ =
-      std::make_unique<cluster::ClusterAssigner>(cluster::ClusterAssigner::load(r));
+  detector.vocab_ = load_phase("vocab", [&] { return ActionVocab::load(r); });
+  const auto n = load_phase("cluster table", [&] {
+    const auto count = static_cast<std::size_t>(r.read<std::uint64_t>());
+    for (std::size_t c = 0; c < count; ++c) {
+      ClusterInfo info;
+      info.label = r.read_string();
+      info.members = r.read_vector<std::size_t>();
+      info.train = r.read_vector<std::size_t>();
+      info.valid = r.read_vector<std::size_t>();
+      info.test = r.read_vector<std::size_t>();
+      detector.clusters_.push_back(std::move(info));
+    }
+    return count;
+  });
+  detector.assigner_ = load_phase("assigner", [&] {
+    return std::make_unique<cluster::ClusterAssigner>(cluster::ClusterAssigner::load(r));
+  });
   detector.degraded_.assign(n, false);
 
   if (version == kDetectorVersionV1) {
     // Legacy archive: bare models, no fallbacks, no checksums. Corruption
     // here still surfaces as a SerializeError from the model parser.
     for (std::size_t c = 0; c < n; ++c) {
-      detector.models_.push_back(
-          std::make_unique<lm::ActionLanguageModel>(lm::ActionLanguageModel::load(r)));
+      load_phase("cluster " + std::to_string(c) + " LSTM", [&] {
+        detector.models_.push_back(
+            std::make_unique<lm::ActionLanguageModel>(lm::ActionLanguageModel::load(r)));
+      });
     }
     detector.fallbacks_.resize(n);
     detector.reports_.resize(n);
@@ -295,10 +315,12 @@ MisuseDetector MisuseDetector::load(BinaryReader& r) {
   detector.models_.resize(n);
   detector.fallbacks_.resize(n);
   for (std::size_t c = 0; c < n; ++c) {
-    auto lstm_bytes = read_section(r);
+    auto lstm_bytes = load_phase("cluster " + std::to_string(c) + " LSTM",
+                                 [&] { return read_section(r); });
     if (lstm_bytes && MISUSEDET_FAILPOINT("detector.load.lstm")) lstm_bytes.reset();
     if (lstm_bytes) detector.models_[c] = parse_section<lm::ActionLanguageModel>(*lstm_bytes);
-    const auto markov_bytes = read_section(r);
+    const auto markov_bytes = load_phase("cluster " + std::to_string(c) + " Markov fallback",
+                                         [&] { return read_section(r); });
     if (markov_bytes) detector.fallbacks_[c] = parse_section<lm::MarkovChainModel>(*markov_bytes);
 
     if (detector.models_[c] == nullptr) {
@@ -319,17 +341,42 @@ MisuseDetector MisuseDetector::load(BinaryReader& r) {
     }
   }
 
-  const std::uint32_t footer_magic = r.read<std::uint32_t>();
-  if (footer_magic != kFooterMagic) throw SerializeError("missing detector archive CRC footer");
-  const std::uint32_t computed_crc = r.crc();
-  const std::uint32_t stored_crc = r.read<std::uint32_t>();
-  if (computed_crc != stored_crc && corrupt_sections == 0) {
-    // Bit-rot outside the model sections (header/vocab/assigner) cannot
-    // be repaired — refuse rather than score with a silently wrong model.
-    throw SerializeError("detector archive CRC mismatch outside model sections");
-  }
+  load_phase("footer", [&] {
+    const std::uint32_t footer_magic = r.read<std::uint32_t>();
+    if (footer_magic != kFooterMagic) throw SerializeError("missing detector archive CRC footer");
+    const std::uint32_t computed_crc = r.crc();
+    const std::uint32_t stored_crc = r.read<std::uint32_t>();
+    if (computed_crc != stored_crc && corrupt_sections == 0) {
+      // Bit-rot outside the model sections (header/vocab/assigner) cannot
+      // be repaired — refuse rather than score with a silently wrong model.
+      throw SerializeError("detector archive CRC mismatch outside model sections");
+    }
+  });
   detector.reports_.resize(n);  // training history is not persisted
   return detector;
+}
+
+MisuseDetector MisuseDetector::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SerializeError("detector archive '" + path + "': cannot open file");
+  BinaryReader reader(in);
+  try {
+    return load(reader);
+  } catch (const SerializeError& e) {
+    throw SerializeError("detector archive '" + path + "': " + e.what());
+  }
+}
+
+std::vector<double> MisuseDetector::training_action_counts() const {
+  std::vector<double> counts;
+  for (const auto& fallback : fallbacks_) {
+    if (fallback == nullptr) return {};  // v1 archive: no reference available
+    const auto freq = fallback->action_frequencies();
+    if (counts.empty()) counts.assign(freq.size(), 0.0);
+    assert(freq.size() == counts.size());
+    for (std::size_t i = 0; i < freq.size(); ++i) counts[i] += freq[i];
+  }
+  return counts;
 }
 
 }  // namespace misuse::core

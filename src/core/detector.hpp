@@ -126,12 +126,26 @@ class MisuseDetector {
   nn::NextActionModel::SessionScore score_with_cluster(std::size_t c,
                                                        std::span<const int> actions) const;
 
+  /// Per-action occurrence counts of the corpus the detector was trained
+  /// on, summed over the per-cluster Markov fallbacks (whose transition
+  /// counts reproduce the training distribution exactly). Empty when no
+  /// fallbacks are available (v1 archives) — callers should treat that as
+  /// "drift reference unavailable" rather than an error.
+  std::vector<double> training_action_counts() const;
+
   /// Archive v2: header + vocab + clusters + assigner (covered by the
   /// whole-file CRC footer), then per cluster a length-prefixed,
   /// CRC-checked LSTM section and Markov-fallback section. v1 archives
-  /// (no sections, no footer, no fallbacks) still load.
+  /// (no sections, no footer, no fallbacks) still load. Load errors name
+  /// the failing archive section ("vocab", "cluster 3 LSTM", ...).
   void save(BinaryWriter& w) const;
   static MisuseDetector load(BinaryReader& r);
+
+  /// Opens and loads an archive from disk. Any failure — missing file,
+  /// truncation, corruption — surfaces as a SerializeError whose message
+  /// carries the file path and the failing section, so operators can tell
+  /// *which* artifact is bad straight from the log line.
+  static MisuseDetector load_file(const std::string& path);
 
  private:
   MisuseDetector() = default;

@@ -25,6 +25,13 @@ double jensen_shannon(std::span<const double> a, std::span<const double> b, doub
   return js;
 }
 
+DriftMonitor::DriftMonitor(std::vector<double> reference_counts, const DriftConfig& config)
+    : config_(config),
+      reference_counts_(std::move(reference_counts)),
+      window_counts_(reference_counts_.size(), 0.0) {
+  assert(!reference_counts_.empty());
+}
+
 DriftMonitor::DriftMonitor(const SessionStore& training_corpus, const DriftConfig& config)
     : config_(config),
       reference_counts_(training_corpus.vocab().size(), 0.0),

@@ -36,11 +36,21 @@ class DriftMonitor {
   /// Builds the reference distribution from the training sessions.
   DriftMonitor(const SessionStore& training_corpus, const DriftConfig& config);
 
+  /// Builds the monitor from explicit per-action reference counts (one
+  /// entry per vocabulary id). The serving layer uses this: the training
+  /// corpus is not shipped to production, but its action distribution is
+  /// recoverable from the detector archive's Markov fallbacks
+  /// (MisuseDetector::training_action_counts), so drift can be watched
+  /// next to live scoring.
+  DriftMonitor(std::vector<double> reference_counts, const DriftConfig& config);
+
   /// Feeds one production session. Returns the divergence after the
   /// update (0 until the window has at least window_sessions/4 sessions).
   double observe(std::span<const int> actions);
 
   double current_divergence() const { return divergence_; }
+  /// Size of the reference distribution (the vocabulary it was built on).
+  std::size_t dimensions() const { return reference_counts_.size(); }
   bool drift_detected() const { return divergence_ > config_.threshold; }
   std::size_t window_fill() const { return window_.size(); }
   const DriftConfig& config() const { return config_; }

@@ -37,6 +37,15 @@ void MarkovChainModel::fit(std::span<const std::span<const int>> sessions) {
   }
 }
 
+std::vector<double> MarkovChainModel::action_frequencies() const {
+  const std::size_t d = config_.vocab;
+  std::vector<double> freq(d, 0.0);
+  for (std::size_t row = 0; row <= d; ++row) {
+    for (std::size_t next = 0; next < d; ++next) freq[next] += counts_[row * d + next];
+  }
+  return freq;
+}
+
 double MarkovChainModel::transition_probability(int current, int next) const {
   const std::size_t d = config_.vocab;
   assert(next >= 0 && static_cast<std::size_t>(next) < d);

@@ -42,6 +42,14 @@ class MarkovChainModel {
   /// argmax successor of `current`.
   int most_likely_next(int current) const;
 
+  /// Unsmoothed occurrence count of every action in the corpus the chain
+  /// was fitted on. Every occurrence is either session-initial (initial
+  /// row) or some transition's successor, so the column sums reproduce
+  /// the training corpus's action distribution exactly — the reference
+  /// distribution a serving-side DriftMonitor needs, recovered from the
+  /// persisted model instead of shipping the corpus around.
+  std::vector<double> action_frequencies() const;
+
   /// Same per-action scoring as the LSTM model: element i is
   /// p(a_{i+1} | a_i) for i >= 1 (sessions shorter than 2 score empty).
   nn::NextActionModel::SessionScore score_session(std::span<const int> actions) const;

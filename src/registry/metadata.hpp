@@ -1,0 +1,63 @@
+// Per-version metadata of the model registry (src/registry/registry.hpp).
+// Each registry/<version>/ directory carries a meta.json beside the
+// detector archive: one flat JSON object describing where the version
+// came from (parent, note, creation time), what it contains (vocabulary
+// fingerprint, archive CRC/size, cluster count), and where it stands in
+// the lifecycle (staging -> canary -> active -> retired, plus a pin bit
+// that shields it from GC). The vocabulary fingerprint is the
+// compatibility key: serving compares it across versions to decide
+// whether open sessions can ride through a hot-swap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace misuse::registry {
+
+/// Lifecycle states. The CURRENT pointer file — not this field — is the
+/// authority on which version is active; the state string is the
+/// human/GC-facing record and is reconciled against CURRENT on promote.
+enum class VersionState {
+  kStaging,  // published, not yet serving anything
+  kCanary,   // candidate under shadow/canary evaluation (at most one)
+  kActive,   // the version CURRENT points at
+  kRetired,  // formerly active; GC may remove it unless pinned
+};
+
+std::string_view version_state_name(VersionState state);
+std::optional<VersionState> parse_version_state(std::string_view name);
+
+struct VersionMetadata {
+  std::uint64_t version = 0;  // numeric id; directory is "v<version>"
+  VersionState state = VersionState::kStaging;
+  /// The version that was active when this one was promoted over it
+  /// (rollback target); 0 = none.
+  std::uint64_t parent = 0;
+  /// ActionVocab::fingerprint() of the archived detector's vocabulary.
+  std::uint64_t vocab_hash = 0;
+  /// CRC32 of the archive file's bytes, and its size, as published.
+  std::uint32_t archive_crc = 0;
+  std::uint64_t archive_bytes = 0;
+  std::uint64_t clusters = 0;
+  std::uint64_t vocab_size = 0;
+  /// Pinned versions are never garbage-collected.
+  bool pinned = false;
+  /// Publish time, seconds since the epoch.
+  std::int64_t created_unix = 0;
+  /// Free-form operator note ("retrained on June data").
+  std::string note;
+};
+
+/// "v3" <-> 3. parse accepts exactly 'v' + decimal digits.
+std::string version_name(std::uint64_t version);
+std::optional<std::uint64_t> parse_version_name(std::string_view name);
+
+/// One-line flat JSON (newline-terminated). 64-bit hashes are encoded as
+/// hex *strings* — JSON numbers round-trip through double and would
+/// silently lose the low bits.
+std::string render_metadata(const VersionMetadata& meta);
+std::optional<VersionMetadata> parse_metadata(std::string_view json);
+
+}  // namespace misuse::registry

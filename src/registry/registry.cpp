@@ -1,0 +1,281 @@
+#include "registry/registry.hpp"
+
+#include <algorithm>
+#include <ctime>
+#include <filesystem>
+#include <sstream>
+
+#include "util/crc32.hpp"
+#include "util/failpoint.hpp"
+#include "util/fsio.hpp"
+#include "util/logging.hpp"
+
+namespace misuse::registry {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream out;
+  out << std::hex << v;
+  return out.str();
+}
+
+std::string trim(std::string s) {
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r' || s.back() == ' ')) s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(std::string root) : root_(std::move(root)) {
+  if (root_.empty()) throw RegistryError("registry root must not be empty");
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) throw RegistryError("cannot create registry root '" + root_ + "': " + ec.message());
+}
+
+std::string ModelRegistry::version_dir(std::uint64_t version) const {
+  return root_ + "/" + version_name(version);
+}
+
+std::string ModelRegistry::archive_path(std::uint64_t version) const {
+  return version_dir(version) + "/detector.bin";
+}
+
+std::optional<std::uint64_t> ModelRegistry::current() const {
+  const auto contents = read_file(root_ + "/CURRENT");
+  if (!contents) return std::nullopt;
+  return parse_version_name(trim(*contents));
+}
+
+std::optional<std::uint64_t> ModelRegistry::canary() const {
+  for (const auto& meta : list()) {
+    if (meta.state == VersionState::kCanary) return meta.version;
+  }
+  return std::nullopt;
+}
+
+std::vector<VersionMetadata> ModelRegistry::list() const {
+  std::vector<VersionMetadata> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (!entry.is_directory()) continue;
+    const auto version = parse_version_name(entry.path().filename().string());
+    if (!version) continue;
+    // A directory without a parseable meta.json is an unfinished publish
+    // (the metadata write is the last step) — invisible to readers.
+    if (auto meta = metadata(*version)) out.push_back(std::move(*meta));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const VersionMetadata& a, const VersionMetadata& b) { return a.version < b.version; });
+  return out;
+}
+
+std::optional<VersionMetadata> ModelRegistry::metadata(std::uint64_t version) const {
+  const auto contents = read_file(version_dir(version) + "/meta.json");
+  if (!contents) return std::nullopt;
+  auto meta = parse_metadata(*contents);
+  // The directory name is authoritative for the number; a mismatching
+  // body means the file was copied around by hand — reject it.
+  if (meta && meta->version != version) return std::nullopt;
+  return meta;
+}
+
+VersionMetadata ModelRegistry::require_metadata(std::uint64_t version) const {
+  auto meta = metadata(version);
+  if (!meta) {
+    throw RegistryError("registry '" + root_ + "': no such version " + version_name(version));
+  }
+  return std::move(*meta);
+}
+
+void ModelRegistry::write_metadata(const VersionMetadata& meta) const {
+  if (!write_file_atomic(version_dir(meta.version) + "/meta.json", render_metadata(meta))) {
+    throw RegistryError("registry '" + root_ + "': cannot write metadata for " +
+                        version_name(meta.version));
+  }
+}
+
+std::uint64_t ModelRegistry::publish(const std::string& archive_path_in,
+                                     const std::string& note) {
+  // Validate before admitting: a corrupt archive fails here, at publish,
+  // with the path+section context from load_file — not at 3am in prod.
+  core::MisuseDetector detector = [&] {
+    try {
+      return core::MisuseDetector::load_file(archive_path_in);
+    } catch (const SerializeError& e) {
+      throw RegistryError(std::string("publish rejected: ") + e.what());
+    }
+  }();
+  const auto bytes = read_file(archive_path_in);
+  if (!bytes) throw RegistryError("publish: cannot read archive '" + archive_path_in + "'");
+
+  std::uint64_t next = current().value_or(0);
+  for (const auto& meta : list()) next = std::max(next, meta.version);
+  ++next;
+
+  std::error_code ec;
+  fs::create_directories(version_dir(next), ec);
+  if (ec) {
+    throw RegistryError("publish: cannot create " + version_dir(next) + ": " + ec.message());
+  }
+  if (MISUSEDET_FAILPOINT("registry.publish.archive") ||
+      !write_file_atomic(archive_path(next), *bytes)) {
+    throw RegistryError("publish: cannot write archive for " + version_name(next));
+  }
+
+  VersionMetadata meta;
+  meta.version = next;
+  meta.state = VersionState::kStaging;
+  meta.vocab_hash = detector.vocab().fingerprint();
+  meta.archive_crc = crc32(*bytes);
+  meta.archive_bytes = bytes->size();
+  meta.clusters = detector.cluster_count();
+  meta.vocab_size = detector.vocab().size();
+  meta.created_unix = static_cast<std::int64_t>(std::time(nullptr));
+  meta.note = note;
+  // The metadata write makes the version visible; until it lands, scans
+  // skip the directory, so a crash anywhere above publishes nothing.
+  if (MISUSEDET_FAILPOINT("registry.publish.meta")) {
+    throw RegistryError("publish: cannot write metadata for " + version_name(next));
+  }
+  write_metadata(meta);
+  log_info() << "registry: published " << version_name(next) << " (" << meta.clusters
+             << " clusters, vocab " << meta.vocab_size << ", fingerprint 0x"
+             << hex64(meta.vocab_hash) << ")";
+  return next;
+}
+
+void ModelRegistry::reconcile_active(std::uint64_t now_active) {
+  for (const auto& meta : list()) {
+    if (meta.version == now_active || meta.state != VersionState::kActive) continue;
+    VersionMetadata demoted = meta;
+    demoted.state = VersionState::kRetired;
+    write_metadata(demoted);
+  }
+}
+
+void ModelRegistry::promote(std::uint64_t version) {
+  VersionMetadata meta = require_metadata(version);
+  switch (meta.state) {
+    case VersionState::kStaging: {
+      const auto existing = canary();
+      if (existing && *existing != version) {
+        throw RegistryError("promote: " + version_name(*existing) +
+                            " is already the canary; promote or retire it first");
+      }
+      meta.state = VersionState::kCanary;
+      write_metadata(meta);
+      log_info() << "registry: " << version_name(version) << " -> canary";
+      return;
+    }
+    case VersionState::kCanary: {
+      const auto previous = current();
+      if (previous && *previous != version) meta.parent = *previous;
+      meta.state = VersionState::kActive;
+      write_metadata(meta);
+      // The CURRENT flip is the commit point: a crash before it leaves
+      // the previous version serving (the active-claiming metadata above
+      // is reconciled away on the next successful promote).
+      if (MISUSEDET_FAILPOINT("registry.promote.current") ||
+          !write_file_atomic(root_ + "/CURRENT", version_name(version) + "\n")) {
+        throw RegistryError("promote: cannot update CURRENT pointer");
+      }
+      reconcile_active(version);
+      log_info() << "registry: " << version_name(version) << " -> active (was "
+                 << (previous ? version_name(*previous) : "none") << ")";
+      return;
+    }
+    case VersionState::kActive:
+      throw RegistryError("promote: " + version_name(version) + " is already active");
+    case VersionState::kRetired:
+      throw RegistryError("promote: " + version_name(version) +
+                          " is retired; use rollback to re-activate it");
+  }
+}
+
+void ModelRegistry::rollback() {
+  const auto cur = current();
+  if (!cur) throw RegistryError("rollback: no active version");
+  const VersionMetadata meta = require_metadata(*cur);
+  if (meta.parent == 0) {
+    throw RegistryError("rollback: " + version_name(*cur) + " records no parent version");
+  }
+  rollback_to(meta.parent);
+}
+
+void ModelRegistry::rollback_to(std::uint64_t version) {
+  VersionMetadata meta = require_metadata(version);
+  const auto previous = current();
+  if (previous && *previous == version) {
+    reconcile_active(version);
+    return;  // already active — idempotent
+  }
+  meta.state = VersionState::kActive;
+  write_metadata(meta);
+  if (MISUSEDET_FAILPOINT("registry.promote.current") ||
+      !write_file_atomic(root_ + "/CURRENT", version_name(version) + "\n")) {
+    throw RegistryError("rollback: cannot update CURRENT pointer");
+  }
+  reconcile_active(version);
+  log_info() << "registry: rolled back to " << version_name(version) << " (was "
+             << (previous ? version_name(*previous) : "none") << ")";
+}
+
+void ModelRegistry::pin(std::uint64_t version, bool pinned) {
+  VersionMetadata meta = require_metadata(version);
+  meta.pinned = pinned;
+  write_metadata(meta);
+}
+
+std::vector<std::uint64_t> ModelRegistry::gc(std::size_t keep_retired) {
+  const auto cur = current();
+  std::vector<VersionMetadata> retired;
+  for (auto& meta : list()) {
+    // The predicate consults CURRENT directly: even a metadata file that
+    // wrongly claims "retired" for the active version cannot make GC
+    // remove what serving points at. Canary/staging/pinned never qualify.
+    if (meta.state != VersionState::kRetired) continue;
+    if (meta.pinned) continue;
+    if (cur && *cur == meta.version) continue;
+    retired.push_back(std::move(meta));
+  }
+  // Newest retired versions are the rollback depth — keep them.
+  std::sort(retired.begin(), retired.end(),
+            [](const VersionMetadata& a, const VersionMetadata& b) { return a.version > b.version; });
+  std::vector<std::uint64_t> removed;
+  for (std::size_t i = keep_retired; i < retired.size(); ++i) {
+    std::error_code ec;
+    fs::remove_all(version_dir(retired[i].version), ec);
+    if (!ec) removed.push_back(retired[i].version);
+  }
+  std::sort(removed.begin(), removed.end());
+  if (!removed.empty()) log_info() << "registry: gc removed " << removed.size() << " versions";
+  return removed;
+}
+
+std::shared_ptr<const core::MisuseDetector> ModelRegistry::load(std::uint64_t version) const {
+  const VersionMetadata meta = require_metadata(version);
+  core::MisuseDetector detector = [&] {
+    try {
+      return core::MisuseDetector::load_file(archive_path(version));
+    } catch (const SerializeError& e) {
+      throw RegistryError(std::string("load: ") + e.what());
+    }
+  }();
+  const std::uint64_t fingerprint = detector.vocab().fingerprint();
+  if (fingerprint != meta.vocab_hash) {
+    // Hard error: a vocabulary that drifted from the published metadata
+    // means the archive was replaced or rotted after publish — scoring
+    // with it would silently misinterpret every action id.
+    throw RegistryError("registry " + version_name(version) +
+                        ": archive vocabulary fingerprint 0x" + hex64(fingerprint) +
+                        " does not match published metadata 0x" + hex64(meta.vocab_hash) +
+                        " (archive replaced or corrupted after publish)");
+  }
+  return std::make_shared<core::MisuseDetector>(std::move(detector));
+}
+
+}  // namespace misuse::registry

@@ -1,0 +1,121 @@
+// Filesystem-backed, versioned model registry — the training/serving
+// hand-off point of the misuse-detection pipeline. Retraining "can be
+// repeated at any moment" (the paper's drift note); this is where the
+// retrained archives go, and where serving picks them up without a
+// restart.
+//
+// Layout (everything under one root directory):
+//
+//   <root>/
+//     CURRENT          one line, "v<N>" — the active version. Replaced
+//                      atomically (tmp+fsync+rename); the rename IS the
+//                      promote commit point.
+//     v<N>/
+//       detector.bin   the MisuseDetector archive, bit-for-bit as
+//                      published
+//       meta.json      VersionMetadata (registry/metadata.hpp)
+//
+// Crash safety: publish() never touches CURRENT, so a crash mid-publish
+// leaves the previous active version serving; a version directory only
+// *exists* for readers once its meta.json landed (scans ignore dirs
+// without a parseable meta.json, and every file is written atomically).
+// promote() writes the candidate's metadata first and moves CURRENT
+// last — the pointer flip is the only step that changes what serving
+// sees.
+//
+// GC: gc() removes retired, unpinned versions beyond a keep budget. The
+// active version (CURRENT), the canary, staging versions, and pinned
+// versions are never candidates, regardless of what their state string
+// claims — the predicate consults CURRENT directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "registry/metadata.hpp"
+
+namespace misuse::registry {
+
+/// Lifecycle violations (promoting a retired version, rolling back with
+/// no parent, ...) and I/O failures surface as this.
+class RegistryError : public std::runtime_error {
+ public:
+  explicit RegistryError(const std::string& message) : std::runtime_error(message) {}
+};
+
+class ModelRegistry {
+ public:
+  /// Opens (creating if needed) the registry at `root`.
+  explicit ModelRegistry(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  // -- Publishing ----------------------------------------------------------
+
+  /// Copies the detector archive at `archive_path` into the registry as
+  /// a new staging version and returns its number. The archive is loaded
+  /// once to validate it and to record its vocabulary fingerprint and
+  /// shape in the metadata; corrupt archives are rejected here, not at
+  /// serving time. Never touches CURRENT.
+  std::uint64_t publish(const std::string& archive_path, const std::string& note = "");
+
+  // -- Introspection -------------------------------------------------------
+
+  /// Every version with a parseable meta.json, ascending by number.
+  std::vector<VersionMetadata> list() const;
+  std::optional<VersionMetadata> metadata(std::uint64_t version) const;
+  /// The version CURRENT points at (authoritative), if any.
+  std::optional<std::uint64_t> current() const;
+  /// The unique canary version, if one exists.
+  std::optional<std::uint64_t> canary() const;
+
+  std::string version_dir(std::uint64_t version) const;
+  std::string archive_path(std::uint64_t version) const;
+
+  // -- Lifecycle -----------------------------------------------------------
+
+  /// staging -> canary (at most one canary at a time), or
+  /// canary -> active (CURRENT flips; the previous active retires).
+  /// Promote twice to skip the canary soak; promoting an active or
+  /// retired version throws (use rollback for the latter).
+  void promote(std::uint64_t version);
+
+  /// Re-activates the active version's parent. Throws when there is no
+  /// active version or it records no parent.
+  void rollback();
+  /// Re-activates `version` explicitly (must exist; may be retired).
+  void rollback_to(std::uint64_t version);
+
+  /// Pinned versions survive gc() regardless of state.
+  void pin(std::uint64_t version, bool pinned);
+
+  /// Removes retired, unpinned, non-CURRENT versions, keeping the
+  /// `keep_retired` newest retired ones as rollback depth. Returns the
+  /// versions removed.
+  std::vector<std::uint64_t> gc(std::size_t keep_retired = 2);
+
+  // -- Loading -------------------------------------------------------------
+
+  /// Loads a version's archive, verifying the loaded vocabulary
+  /// fingerprint against the published metadata — a mismatch (archive
+  /// replaced or rotted underneath the registry) is a hard, descriptive
+  /// error, never a silently wrong model.
+  std::shared_ptr<const core::MisuseDetector> load(std::uint64_t version) const;
+
+ private:
+  void write_metadata(const VersionMetadata& meta) const;
+  VersionMetadata require_metadata(std::uint64_t version) const;
+  /// Any version whose state claims active but which CURRENT does not
+  /// point at (a crash between metadata write and pointer flip, or after
+  /// the flip and before the old active retired) is demoted to retired.
+  void reconcile_active(std::uint64_t now_active);
+
+  std::string root_;
+};
+
+}  // namespace misuse::registry

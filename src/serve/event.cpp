@@ -1,5 +1,6 @@
 #include "serve/event.hpp"
 
+#include <cctype>
 #include <sstream>
 
 #include "util/json.hpp"
@@ -61,8 +62,21 @@ std::string_view report_reason_name(ReportReason reason) {
     case ReportReason::kIdleEviction: return "idle_eviction";
     case ReportReason::kCapacityEviction: return "capacity_eviction";
     case ReportReason::kShutdown: return "shutdown";
+    case ReportReason::kModelSwap: return "model_swap";
   }
   return "unknown";
+}
+
+int resolve_action_id(const ActionVocab& vocab, std::string_view action) {
+  if (const auto id = vocab.find(action)) return *id;
+  if (action.empty()) return -1;
+  int value = 0;
+  for (const char c : action) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return -1;
+    if (value > static_cast<int>(vocab.size())) return -1;  // overflow guard
+    value = value * 10 + (c - '0');
+  }
+  return value < static_cast<int>(vocab.size()) ? value : -1;
 }
 
 namespace {
@@ -113,7 +127,8 @@ std::string render_step_record(const Event& event,
 }
 
 std::string render_report_record(std::string_view user_id, std::string_view session_id,
-                                 ReportReason reason, const core::SessionMonitorReport& report) {
+                                 ReportReason reason, const core::SessionMonitorReport& report,
+                                 std::string_view model_version) {
   std::ostringstream out;
   {
     JsonWriter json(out);
@@ -134,6 +149,8 @@ std::string render_report_record(std::string_view user_id, std::string_view sess
     json.member("voted_cluster", report.voted_cluster);
     json.member("avg_likelihood", report.avg_likelihood_voted);
     if (report.degraded) json.member("degraded", true);
+    // Omitted (not null) when unset — see the header note on byte-compat.
+    if (!model_version.empty()) json.member("model_version", model_version);
     json.end_object();
   }
   return out.str();

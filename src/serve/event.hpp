@@ -21,6 +21,7 @@
 #include <string_view>
 
 #include "core/monitor.hpp"
+#include "sessions/vocab.hpp"
 
 namespace misuse::serve {
 
@@ -52,16 +53,26 @@ enum class ReportReason {
   kIdleEviction,     // TTL sweep found the session idle
   kCapacityEviction, // session table was full, LRU entry evicted
   kShutdown,         // graceful drain at end of stream / signal
+  kModelSwap,        // finished at a vocab-changing hot-swap barrier
 };
 std::string_view report_reason_name(ReportReason reason);
+
+/// Resolves an action string to a vocabulary id: name lookup first, then
+/// a decimal-id fallback for producers that pre-encode; -1 when unknown.
+int resolve_action_id(const ActionVocab& vocab, std::string_view action);
 
 /// Renders a "step" record (one line, no trailing newline).
 std::string render_step_record(const Event& event,
                                const core::OnlineMonitor::StepResult& step);
 
 /// Renders a "session_report" record (one line, no trailing newline).
+/// `model_version` stamps the registry version the session was scored
+/// under ("v3"); the empty string omits the field entirely, keeping the
+/// record byte-identical with pre-registry builds (WAL replay and the
+/// offline/online equivalence tests depend on that).
 std::string render_report_record(std::string_view user_id, std::string_view session_id,
-                                 ReportReason reason, const core::SessionMonitorReport& report);
+                                 ReportReason reason, const core::SessionMonitorReport& report,
+                                 std::string_view model_version = {});
 
 /// Renders an "error" record for a rejected input line.
 std::string render_error_record(std::string_view message, std::string_view line);

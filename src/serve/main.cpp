@@ -23,6 +23,7 @@
 //       [--alarm-likelihood=X] [--trend-window=N] [--trend-drop=X]
 //       [--no-steps] [--metrics-out=PATH]
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <fstream>
 #include <iostream>
@@ -34,6 +35,7 @@
 
 #include "core/detector.hpp"
 #include "core/observability.hpp"
+#include "registry/registry.hpp"
 #include "serve/metrics.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
@@ -46,8 +48,10 @@ namespace misuse::serve {
 namespace {
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_reload{false};
 
 void handle_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+void handle_reload(int) { g_reload.store(true, std::memory_order_relaxed); }
 
 void install_signal_handlers() {
   struct sigaction action {};
@@ -55,14 +59,103 @@ void install_signal_handlers() {
   sigemptyset(&action.sa_mask);
   ::sigaction(SIGINT, &action, nullptr);
   ::sigaction(SIGTERM, &action, nullptr);
+  // SIGHUP = "re-check the registry now" (hot-swap fast path). SA_RESTART
+  // keeps the blocking stdin/socket read alive: without it the signal
+  // fails std::cin with EINTR and the server mistakes that for EOF.
+  struct sigaction reload {};
+  reload.sa_handler = handle_reload;
+  reload.sa_flags = SA_RESTART;
+  sigemptyset(&reload.sa_mask);
+  ::sigaction(SIGHUP, &reload, nullptr);
   // Dying TCP peers must not kill the server mid-write.
   ::signal(SIGPIPE, SIG_IGN);
 }
 
+/// Hot-swap driver for --registry mode: watches the CURRENT pointer
+/// (coarse poll, with SIGHUP as the skip-the-wait fast path) and swaps
+/// the serving model when it moves; with --shadow it also keeps the
+/// shadow plan pointed at the registry's canary version. A failed reload
+/// never takes the server down — it logs and keeps serving the model it
+/// has.
+class ModelReloader {
+ public:
+  ModelReloader(ScoringServer& server, registry::ModelRegistry registry, double poll_seconds,
+                bool shadow, double canary_fraction)
+      : server_(server),
+        registry_(std::move(registry)),
+        poll_(poll_seconds),
+        shadow_(shadow),
+        canary_fraction_(canary_fraction) {
+    active_ = registry_.current().value_or(0);
+    try {
+      refresh_shadow();
+    } catch (const std::exception& e) {
+      log_warn() << "shadow setup failed: " << e.what();
+    }
+  }
+
+  /// Called at batch boundaries (pipe mode) / sweeper ticks (TCP mode).
+  void maybe_reload(std::vector<OutputRecord>& out) {
+    const bool forced = g_reload.exchange(false, std::memory_order_relaxed);
+    const auto now = std::chrono::steady_clock::now();
+    if (!forced && std::chrono::duration<double>(now - last_check_).count() < poll_) return;
+    last_check_ = now;
+    try {
+      const auto current = registry_.current();
+      if (current && *current != active_) {
+        ModelHandle next{registry_.load(*current), registry::version_name(*current)};
+        server_.swap_model(std::move(next), out);
+        active_ = *current;
+      }
+      refresh_shadow();
+    } catch (const std::exception& e) {
+      log_warn() << "model reload failed (still serving "
+                 << registry::version_name(active_) << "): " << e.what();
+    }
+  }
+
+ private:
+  void refresh_shadow() {
+    if (!shadow_) return;
+    const auto canary = registry_.canary();
+    if (canary == shadow_version_) return;
+    if (!canary) {
+      server_.clear_shadow();
+      shadow_version_.reset();
+      log_info() << "shadow scoring off (no canary in the registry)";
+      return;
+    }
+    ShadowPlan plan;
+    plan.detector = registry_.load(*canary);
+    plan.version = registry::version_name(*canary);
+    plan.fraction = canary_fraction_;
+    plan.monitor = server_.config().monitor;
+    server_.set_shadow(plan);
+    shadow_version_ = canary;
+    log_info() << "shadow scoring " << plan.version << " on a " << plan.fraction
+               << " fraction of sessions";
+  }
+
+  ScoringServer& server_;
+  registry::ModelRegistry registry_;
+  double poll_;  // seconds between CURRENT checks
+  bool shadow_;
+  double canary_fraction_;
+  std::uint64_t active_ = 0;
+  std::optional<std::uint64_t> shadow_version_;
+  std::chrono::steady_clock::time_point last_check_{};
+};
+
 void print_usage(const std::string& program) {
   std::cout
-      << "usage: " << program << " --model=PATH [options]\n"
-      << "  --model=PATH            trained detector archive (required)\n"
+      << "usage: " << program << " (--model=PATH | --registry=DIR) [options]\n"
+      << "  --model=PATH            trained detector archive\n"
+      << "  --registry=DIR          serve the registry's CURRENT version and hot-swap when\n"
+      << "                          it moves (SIGHUP forces an immediate re-check)\n"
+      << "  --registry-poll=SECONDS CURRENT pointer poll interval (default 0.5)\n"
+      << "  --shadow                mirror traffic onto the registry canary (metrics only)\n"
+      << "  --canary-fraction=X     fraction of sessions the shadow scores (default 1.0)\n"
+      << "  --drift                 track served-action drift against the training mix\n"
       << "  --listen=PORT           serve NDJSON over TCP instead of stdin/stdout\n"
       << "  --shards=N              session-table shards (default 4)\n"
       << "  --queue-capacity=N      per-shard event queue bound (default 1024)\n"
@@ -95,8 +188,9 @@ void flush_records(std::vector<OutputRecord>& records, std::ostream& out, std::m
   records.clear();
 }
 
-/// stdin/stdout pipe mode: read-batch -> pump -> sweep, repeat.
-int run_pipe(ScoringServer& server, std::size_t batch_max) {
+/// stdin/stdout pipe mode: read-batch -> pump -> sweep, repeat. Model
+/// swaps land at batch boundaries (the stream is quiescent there).
+int run_pipe(ScoringServer& server, std::size_t batch_max, ModelReloader* reloader) {
   LineReader reader(std::cin);
   std::string line;
   std::vector<OutputRecord> out;
@@ -118,6 +212,7 @@ int run_pipe(ScoringServer& server, std::size_t batch_max) {
       server.pump(out);
       server.sweep(out);
       server.maybe_checkpoint(out);
+      if (reloader != nullptr) reloader->maybe_reload(out);
       flush_records(out, std::cout, nullptr);
       batched = 0;
     }
@@ -133,7 +228,7 @@ int run_pipe(ScoringServer& server, std::size_t batch_max) {
 /// TCP mode: one blocking reader thread per connection, verdicts written
 /// back on the same connection; session reports (evictions, shutdown
 /// drain) go to stdout under a shared mutex.
-int run_tcp(ScoringServer& server, std::uint16_t port) {
+int run_tcp(ScoringServer& server, std::uint16_t port, ModelReloader* reloader) {
   TcpListener listener = TcpListener::bind(port);
   log_info() << "listening on port " << listener.port();
   std::mutex stdout_mutex;
@@ -143,12 +238,15 @@ int run_tcp(ScoringServer& server, std::uint16_t port) {
   std::mutex connections_mutex;
 
   // Periodic TTL sweeps: event-time driven, checked on a coarse wall tick.
-  std::thread sweeper([&server, &stdout_mutex] {
+  // The same tick drives registry hot-swaps; connection threads blocked in
+  // submit_sync simply observe the new model once the barrier releases.
+  std::thread sweeper([&server, &stdout_mutex, reloader] {
     std::vector<OutputRecord> out;
     while (!g_stop.load(std::memory_order_relaxed)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(500));
       server.sweep(out);
       server.maybe_checkpoint(out);
+      if (reloader != nullptr) reloader->maybe_reload(out);
       flush_records(out, std::cout, &stdout_mutex);
     }
   });
@@ -213,10 +311,15 @@ int serve_main(int argc, char** argv) {
     return 0;
   }
   const std::string model_path = args.str("model");
-  if (model_path.empty()) {
-    std::cerr << "--model=PATH is required (train and save a detector first; see README "
-                 "\"Serving\")\n";
+  const std::string registry_root = args.str("registry");
+  if (model_path.empty() == registry_root.empty()) {
+    std::cerr << "exactly one of --model=PATH or --registry=DIR is required (train and save a "
+                 "detector first; see README \"Serving\" and \"Model lifecycle\")\n";
     print_usage(args.program());
+    return 2;
+  }
+  if ((args.flag("shadow") || args.has("canary-fraction")) && registry_root.empty()) {
+    std::cerr << "--shadow/--canary-fraction need --registry=DIR (the canary lives there)\n";
     return 2;
   }
 
@@ -242,36 +345,48 @@ int serve_main(int argc, char** argv) {
   config.wal_sync_every = static_cast<std::size_t>(args.integer("wal-sync", 1024));
   config.snapshot_every = static_cast<std::size_t>(args.integer("snapshot-every", 4096));
   config.resume_replay = args.flag("resume-replay");
+  config.drift = args.flag("drift");
   if (args.has("threads")) {
     set_global_threads(static_cast<std::size_t>(args.integer("threads", 0)));
   }
 
-  std::ifstream model_in(model_path, std::ios::binary);
-  if (!model_in) {
-    std::cerr << "cannot open model archive " << model_path << "\n";
-    return 2;
-  }
   core::register_core_metrics();
   core::MetricsExport metrics_export(args.str("metrics-out"));
-  BinaryReader reader(model_in);
-  std::optional<core::MisuseDetector> detector;
+
+  ModelHandle model;
+  std::optional<registry::ModelRegistry> registry;
   try {
-    detector.emplace(core::MisuseDetector::load(reader));
-  } catch (const SerializeError& e) {
-    std::cerr << "failed to load detector archive: " << e.what() << "\n";
+    if (!registry_root.empty()) {
+      registry.emplace(registry_root);
+      const auto current = registry->current();
+      if (!current) {
+        std::cerr << "registry '" << registry_root
+                  << "' has no active version (publish an archive, then promote it twice)\n";
+        return 2;
+      }
+      model.detector = registry->load(*current);
+      model.version = registry::version_name(*current);
+    } else {
+      // load_file carries the path and failing section in its message.
+      model.detector =
+          std::make_shared<const core::MisuseDetector>(core::MisuseDetector::load_file(model_path));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "failed to load detector: " << e.what() << "\n";
     return 2;
   }
-  log_info() << "loaded detector: " << detector->cluster_count() << " clusters, vocabulary of "
-             << detector->vocab().size() << " actions";
+  log_info() << "loaded detector" << (model.version.empty() ? "" : " " + model.version) << ": "
+             << model.detector->cluster_count() << " clusters, vocabulary of "
+             << model.detector->vocab().size() << " actions";
 
-  if (detector->degraded_cluster_count() > 0) {
-    log_warn() << detector->degraded_cluster_count()
+  if (model.detector->degraded_cluster_count() > 0) {
+    log_warn() << model.detector->degraded_cluster_count()
                << " cluster(s) degraded to the Markov baseline; verdicts from them carry "
                   "\"degraded\":true";
   }
 
   install_signal_handlers();
-  ScoringServer server(*detector, config);
+  ScoringServer server(model, config);
   if (server.wal_enabled()) {
     // Surface what a crashed predecessor left behind before serving new
     // traffic; replayed records carry their original sequence numbers.
@@ -279,10 +394,16 @@ int serve_main(int argc, char** argv) {
     server.recover(recovered);
     flush_records(recovered, std::cout, nullptr);
   }
-  if (args.has("listen")) {
-    return run_tcp(server, static_cast<std::uint16_t>(args.integer("listen", 0)));
+  std::optional<ModelReloader> reloader;
+  if (registry) {
+    reloader.emplace(server, std::move(*registry), args.real("registry-poll", 0.5),
+                     args.flag("shadow"), args.real("canary-fraction", 1.0));
   }
-  return run_pipe(server, static_cast<std::size_t>(args.integer("batch", 256)));
+  ModelReloader* reloader_ptr = reloader ? &*reloader : nullptr;
+  if (args.has("listen")) {
+    return run_tcp(server, static_cast<std::uint16_t>(args.integer("listen", 0)), reloader_ptr);
+  }
+  return run_pipe(server, static_cast<std::size_t>(args.integer("batch", 256)), reloader_ptr);
 }
 
 }  // namespace

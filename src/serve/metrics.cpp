@@ -22,6 +22,16 @@ ServeMetrics& serve_metrics() {
       metrics().counter("serve.recovered_sessions"),
       metrics().counter("serve.replay_skipped"),
       metrics().gauge("serve.degraded_clusters"),
+      metrics().counter("serve.swaps"),
+      metrics().counter("serve.swap_sessions_rolled"),
+      metrics().gauge("serve.model_version"),
+      metrics().histogram("serve.swap_pause_seconds"),
+      metrics().gauge("serve.drift_micronats"),
+      metrics().counter("serve.shadow.steps"),
+      metrics().counter("serve.shadow.sessions"),
+      metrics().counter("serve.shadow.verdict_flips"),
+      metrics().counter("serve.shadow.unknown_actions"),
+      metrics().histogram("serve.shadow.loss_delta"),
   };
   return instruments;
 }

@@ -29,6 +29,21 @@ struct ServeMetrics {
   Counter& recovered_sessions;  // serve.recovered_sessions — sessions restored from snapshots
   Counter& replay_skipped;      // serve.replay_skipped — resume-replay duplicates dropped
   Gauge& degraded_clusters;     // serve.degraded_clusters — clusters on Markov fallback
+
+  // Model lifecycle (see DESIGN.md "Model lifecycle").
+  Counter& swaps;                     // serve.swaps — completed hot-swaps
+  Counter& swap_sessions_rolled;      // serve.swap_sessions_rolled — sessions finished at a
+                                      // vocab-changing swap barrier
+  Gauge& model_version;               // serve.model_version — numeric active registry version
+  HistogramMetric& swap_pause_seconds;  // serve.swap_pause_seconds — barrier pause per swap
+  Gauge& drift_micronats;             // serve.drift_micronats — JS divergence vs training, 1e-6 nats
+
+  // Shadow / canary scoring (candidate model alongside the active one).
+  Counter& shadow_steps;            // serve.shadow.steps — actions scored by the candidate
+  Counter& shadow_sessions;         // serve.shadow.sessions — candidate sessions finished
+  Counter& shadow_verdict_flips;    // serve.shadow.verdict_flips — alarm disagreements
+  Counter& shadow_unknown_actions;  // serve.shadow.unknown_actions — unresolvable under candidate
+  HistogramMetric& shadow_loss_delta;  // serve.shadow.loss_delta — |candidate - active| step loss
 };
 
 /// The shared bundle; registers the instruments on first call.

@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cctype>
 #include <filesystem>
 
@@ -8,12 +9,32 @@
 #include "util/failpoint.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 #include "util/trace.hpp"
 
 namespace misuse::serve {
 
+namespace {
+/// Digits of a registry version string ("v12" -> 12) for the
+/// serve.model_version gauge; 0 when the version carries no number.
+std::int64_t numeric_version(const std::string& version) {
+  std::int64_t value = 0;
+  bool any = false;
+  for (const char c : version) {
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      value = value * 10 + (c - '0');
+      any = true;
+    }
+  }
+  return any ? value : 0;
+}
+}  // namespace
+
 ScoringServer::ScoringServer(const core::MisuseDetector& detector, const ServeConfig& config)
-    : detector_(detector), config_(config) {
+    : ScoringServer(ModelHandle::borrowed(detector), config) {}
+
+ScoringServer::ScoringServer(ModelHandle model, const ServeConfig& config)
+    : model_(std::move(model)), config_(config) {
   const std::size_t n = std::max<std::size_t>(1, config_.shards);
   config_.shards = n;
   ShardConfig shard_config;
@@ -22,16 +43,18 @@ ScoringServer::ScoringServer(const core::MisuseDetector& detector, const ServeCo
   // Distribute the global session cap; every shard holds at least one.
   shard_config.max_sessions = std::max<std::size_t>(1, (config_.max_sessions + n - 1) / n);
   shard_config.emit_steps = config_.emit_steps;
-  shard_config.track_history = !config_.wal_dir.empty();
+  shard_config.track_history = !config_.wal_dir.empty() || config_.drift;
   shards_.reserve(n);
   for (std::size_t s = 0; s < n; ++s) {
     auto shard = std::make_unique<Shard>();
-    shard->table = std::make_unique<SessionShard>(detector_, shard_config);
+    shard->table = std::make_unique<SessionShard>(model_, shard_config);
     shards_.push_back(std::move(shard));
   }
   (void)serve_metrics();  // register the panel eagerly
   serve_metrics().degraded_clusters.set(
-      static_cast<std::int64_t>(detector_.degraded_cluster_count()));
+      static_cast<std::int64_t>(model_.detector->degraded_cluster_count()));
+  serve_metrics().model_version.set(numeric_version(model_.version));
+  if (config_.drift) init_drift();
   if (wal_enabled()) {
     std::error_code ec;
     std::filesystem::create_directories(config_.wal_dir, ec);
@@ -46,18 +69,40 @@ ScoringServer::ScoringServer(const core::MisuseDetector& detector, const ServeCo
   }
 }
 
-int ScoringServer::resolve_action(const Event& event) const {
-  const ActionVocab& vocab = detector_.vocab();
-  if (const auto id = vocab.find(event.action)) return *id;
-  // Fall back to a decimal action id for producers that pre-encode.
-  if (event.action.empty()) return -1;
-  int value = 0;
-  for (const char c : event.action) {
-    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return -1;
-    if (value > static_cast<int>(vocab.size())) return -1;  // overflow guard
-    value = value * 10 + (c - '0');
+void ScoringServer::init_drift() {
+  // Ctor-only: shards are not yet shared with other threads. The
+  // observers stay installed for the server's life; swaps only replace
+  // the DriftMonitor behind drift_mutex_.
+  for (auto& shard : shards_) {
+    shard->table->set_history_observer(
+        [this](const std::vector<int>& actions) { observe_drift(actions); });
   }
-  return value < static_cast<int>(vocab.size()) ? value : -1;
+  // The drift reference is recovered from the model itself (Markov
+  // fallback column sums == training action distribution); v1 archives
+  // carry no fallbacks, so drift silently stays off for them.
+  std::vector<double> reference = model_.detector->training_action_counts();
+  std::lock_guard<std::mutex> lock(drift_mutex_);
+  if (reference.empty()) {
+    drift_ = nullptr;
+    log_warn() << "drift monitoring requested but the model archive has no "
+                  "Markov fallbacks (v1?); disabled";
+    return;
+  }
+  drift_ = std::make_unique<core::DriftMonitor>(std::move(reference), config_.drift_config);
+}
+
+void ScoringServer::observe_drift(const std::vector<int>& actions) {
+  if (actions.empty()) return;
+  std::lock_guard<std::mutex> lock(drift_mutex_);
+  if (drift_ == nullptr) return;
+  // Sessions finished under a pre-swap model may reference actions the
+  // current reference distribution does not have; drop those sessions
+  // rather than index out of the reference.
+  for (const int a : actions) {
+    if (a < 0 || static_cast<std::size_t>(a) >= drift_->dimensions()) return;
+  }
+  const double divergence = drift_->observe(actions);
+  serve_metrics().drift_micronats.set(static_cast<std::int64_t>(divergence * 1e6));
 }
 
 void ScoringServer::advance_clock(double t) {
@@ -71,9 +116,15 @@ void ScoringServer::record_queue_depth() const {
   serve_metrics().queue_depth.set(static_cast<std::int64_t>(queued_events()));
 }
 
+ModelHandle ScoringServer::current_model() const {
+  std::shared_lock<std::shared_mutex> lock(model_mutex_);
+  return model_;
+}
+
 ScoringServer::Enqueue ScoringServer::enqueue(const Event& event,
                                               std::vector<OutputRecord>& out) {
-  const int action = resolve_action(event);
+  ModelHandle resolver = current_model();
+  const int action = resolve_action_id(resolver.detector->vocab(), event.action);
   if (action < 0) {
     serve_metrics().parse_errors.inc();
     out.push_back({seq_.fetch_add(1, std::memory_order_relaxed),
@@ -95,6 +146,7 @@ ScoringServer::Enqueue ScoringServer::enqueue(const Event& event,
     Pending pending;
     pending.event = event;
     pending.action = action;
+    pending.resolved_under = std::move(resolver.detector);
     pending.seq = seq_.fetch_add(1, std::memory_order_relaxed);
     shard.queue.push_back(std::move(pending));
   }
@@ -119,7 +171,7 @@ void ScoringServer::pump(std::vector<OutputRecord>& out) {
     Span drain_span("serve.shard_drain");
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (const Pending& p : backlog) {
-      shard.table->process(p.event, p.action, p.seq, shard_out[s]);
+      shard.table->process(p.event, p.action, p.resolved_under.get(), p.seq, shard_out[s]);
     }
     // Group commit: one write hands the whole drain's WAL records to the
     // OS before any of its verdicts become externally visible.
@@ -231,15 +283,17 @@ std::size_t ScoringServer::recover(std::vector<OutputRecord>& out) {
   for (const auto& w : watermarks) max_seq = std::max(max_seq, w);
   std::size_t replayed = 0;
   std::vector<OutputRecord> replayed_out;
+  const ModelHandle replay_model = current_model();
   for (const WalRecord& record : records) {
     max_seq = std::max(max_seq, record.seq);
     if (record.type == WalRecord::kEvent) {
-      const int action = resolve_action(record.event);
+      const int action = resolve_action_id(replay_model.detector->vocab(), record.event.action);
       if (action < 0) continue;  // vocabulary changed under the WAL
       if (record.event.has_timestamp) clock = std::max(clock, record.event.timestamp);
       Shard& shard = *shards_[shard_of(record.event)];
       std::lock_guard<std::mutex> lock(shard.mutex);
-      shard.table->process(record.event, action, record.seq, replayed_out);
+      shard.table->process(record.event, action, replay_model.detector.get(), record.seq,
+                           replayed_out);
       ++replayed;
       serve_metrics().recovered_events.inc();
     } else if (record.type == WalRecord::kSweep) {
@@ -321,7 +375,8 @@ bool ScoringServer::maybe_checkpoint(std::vector<OutputRecord>& out) {
 }
 
 bool ScoringServer::submit_sync(const Event& event, std::vector<OutputRecord>& out) {
-  const int action = resolve_action(event);
+  const ModelHandle resolver = current_model();
+  const int action = resolve_action_id(resolver.detector->vocab(), event.action);
   if (action < 0) {
     serve_metrics().parse_errors.inc();
     out.push_back({seq_.fetch_add(1, std::memory_order_relaxed),
@@ -332,7 +387,8 @@ bool ScoringServer::submit_sync(const Event& event, std::vector<OutputRecord>& o
   Shard& shard = *shards_[shard_of(event)];
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.table->process(event, action, seq_.fetch_add(1, std::memory_order_relaxed), out);
+    shard.table->process(event, action, resolver.detector.get(),
+                         seq_.fetch_add(1, std::memory_order_relaxed), out);
     const std::size_t s = shard_of(event);
     if (s < wals_.size() && wals_[s] != nullptr) wals_[s]->flush();
   }
@@ -371,6 +427,90 @@ void ScoringServer::set_report_observer(const ReportObserver& observer) {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     shard->table->set_report_observer(observer);
+  }
+}
+
+ScoringServer::SwapStats ScoringServer::swap_model(ModelHandle next,
+                                                   std::vector<OutputRecord>& out) {
+  assert(next.detector != nullptr);
+  SwapStats stats;
+  Timer drain_timer;
+  // Drain to the barrier: queued events were resolved under the old
+  // model and score under whatever their session pinned; pumping first
+  // keeps the locked pause window free of backlog work.
+  pump(out);
+  stats.drain_seconds = drain_timer.seconds();
+
+  const bool compatible =
+      next.detector->vocab().fingerprint() == current_model().detector->vocab().fingerprint();
+  std::vector<OutputRecord> reports;
+  Timer pause_timer;
+  {
+    // The barrier: every shard locked (always in index order, so two
+    // concurrent swaps cannot deadlock) — no event is scored while the
+    // model pointer moves. An in-flight submit_sync lands either before
+    // the barrier (scored under the old model, which its session pins)
+    // or after (re-resolved / reopened under the new one).
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (auto& shard : shards_) locks.emplace_back(shard->mutex);
+    if (!compatible) {
+      // The vocabularies differ: open sessions cannot migrate to a model
+      // that interprets action ids differently, so each one reports at
+      // the barrier (emitted, never dropped) and traffic reopens fresh.
+      for (auto& shard : shards_) {
+        const std::size_t before = reports.size();
+        shard->table->finish_all(seq_.fetch_add(1, std::memory_order_relaxed), reports,
+                                 ReportReason::kModelSwap);
+        stats.rolled_sessions += reports.size() - before;
+      }
+    }
+    for (auto& shard : shards_) shard->table->set_model(next);
+    {
+      std::unique_lock<std::shared_mutex> model_lock(model_mutex_);
+      model_ = next;
+    }
+  }
+  stats.pause_seconds = pause_timer.seconds();
+  append_reports(std::move(reports), out);
+
+  ServeMetrics& sm = serve_metrics();
+  sm.swaps.inc();
+  sm.swap_pause_seconds.record(stats.pause_seconds);
+  sm.swap_sessions_rolled.inc(stats.rolled_sessions);
+  sm.model_version.set(numeric_version(next.version));
+  sm.degraded_clusters.set(static_cast<std::int64_t>(next.detector->degraded_cluster_count()));
+  if (config_.drift) {
+    // Re-base the drift reference on the new model; the comparison
+    // window restarts (old-window sessions were scored against the old
+    // reference, mixing them across references would be meaningless).
+    std::vector<double> reference = next.detector->training_action_counts();
+    std::lock_guard<std::mutex> lock(drift_mutex_);
+    drift_ = reference.empty() ? nullptr
+                               : std::make_unique<core::DriftMonitor>(std::move(reference),
+                                                                      config_.drift_config);
+  }
+  log_info() << "model swapped to " << (next.version.empty() ? "(unversioned)" : next.version)
+             << (compatible ? "" : " [vocabulary changed]") << ": pause "
+             << stats.pause_seconds * 1e3 << "ms, " << stats.rolled_sessions
+             << " sessions finished at the barrier";
+  return stats;
+}
+
+void ScoringServer::set_shadow(const ShadowPlan& plan) {
+  assert(plan.detector != nullptr);
+  // One scorer per shard (each driven under its shard's lock), so shadow
+  // scoring needs no cross-shard coordination of its own.
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->table->set_shadow(std::make_shared<ShadowScorer>(plan));
+  }
+}
+
+void ScoringServer::clear_shadow() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->table->set_shadow(nullptr);
   }
 }
 

@@ -27,10 +27,13 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "core/detector.hpp"
+#include "core/drift.hpp"
 #include "serve/session_table.hpp"
+#include "serve/shadow.hpp"
 
 namespace misuse::serve {
 
@@ -62,11 +65,25 @@ struct ServeConfig {
   /// Arm resume-replay dedup after recovery: producers that resend the
   /// stream from origin have already-applied events silently skipped.
   bool resume_replay = false;
+
+  // -- Drift monitoring (core/drift.hpp) -----------------------------------
+  /// Watch live behavior drift against the training distribution (the
+  /// reference is recovered from the model archive's Markov fallbacks).
+  /// Finished sessions feed a DriftMonitor and the current JS divergence
+  /// lands in the serve.drift_micronats gauge. Implies track_history.
+  bool drift = false;
+  core::DriftConfig drift_config;
 };
 
 class ScoringServer {
  public:
+  /// Serves a caller-owned detector (no registry, no version stamps) —
+  /// the embedding/test path. The detector must outlive the server.
   ScoringServer(const core::MisuseDetector& detector, const ServeConfig& config);
+
+  /// Serves a registry-managed model: reports are stamped with
+  /// `model.version` and the model can be hot-swapped.
+  ScoringServer(ModelHandle model, const ServeConfig& config);
 
   enum class Enqueue {
     kAccepted,
@@ -136,10 +153,40 @@ class ScoringServer {
 
   const ServeConfig& config() const { return config_; }
 
+  // -- Model lifecycle (DESIGN.md "Model lifecycle") -----------------------
+
+  /// Zero-downtime hot-swap: drains the queued backlog to a barrier
+  /// under the old model, then atomically repoints every shard (and the
+  /// enqueue path) at `next`. Open sessions pin the model they started
+  /// under, so when the vocabularies are compatible (equal fingerprints)
+  /// they simply continue — each session's whole score stream still
+  /// comes from exactly one version. When the vocabularies differ, every
+  /// open session is finished at the barrier with a "model_swap" report
+  /// (emitted, never dropped) and traffic reopens under `next`. No event
+  /// is lost either way.
+  struct SwapStats {
+    double drain_seconds = 0.0;   // backlog pump before the barrier
+    double pause_seconds = 0.0;   // all-shards-locked window
+    std::size_t rolled_sessions = 0;  // sessions finished at the barrier
+  };
+  SwapStats swap_model(ModelHandle next, std::vector<OutputRecord>& out);
+
+  /// The handle serving *new* sessions right now.
+  ModelHandle current_model() const;
+
+  /// Attaches a shadow/canary scorer mirroring `plan.fraction` of each
+  /// shard's sessions onto the candidate model (serve.shadow.* metrics).
+  /// Replaces any previous plan; clear_shadow() detaches.
+  void set_shadow(const ShadowPlan& plan);
+  void clear_shadow();
+
  private:
   struct Pending {
     Event event;
     int action = 0;
+    /// Keeps the model that resolved `action` alive (and identifiable)
+    /// until the event is processed, across any number of swaps.
+    std::shared_ptr<const core::MisuseDetector> resolved_under;
     std::uint64_t seq = 0;
   };
   struct Shard {
@@ -148,20 +195,23 @@ class ScoringServer {
     std::unique_ptr<SessionShard> table;
   };
 
-  /// Resolves the event's action to a vocabulary id (name lookup first,
-  /// then decimal id); -1 when unknown.
-  int resolve_action(const Event& event) const;
   /// Emits collected eviction/shutdown reports in a globally sorted
   /// record order so output is independent of the shard count.
   void append_reports(std::vector<OutputRecord>&& reports, std::vector<OutputRecord>& out);
   void advance_clock(double t);
   void record_queue_depth() const;
+  void init_drift();
+  void observe_drift(const std::vector<int>& actions);
 
   /// Snapshots every shard + truncates covered WALs (no pump; callers
   /// hold no shard locks).
   void write_checkpoint();
 
-  const core::MisuseDetector& detector_;
+  /// The model resolving actions for *new* traffic; swapped under
+  /// model_mutex_ (readers take it shared — enqueue/submit_sync resolve
+  /// against a stable handle without blocking each other).
+  ModelHandle model_;
+  mutable std::shared_mutex model_mutex_;
   ServeConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<WalWriter>> wals_;
@@ -170,6 +220,11 @@ class ScoringServer {
   std::atomic<std::uint64_t> seq_{1};
   std::atomic<double> clock_{0.0};
   std::atomic<std::uint64_t> events_since_checkpoint_{0};
+
+  /// Drift sink: shards report finished sessions' action histories here
+  /// (possibly from pool workers, hence the mutex).
+  std::mutex drift_mutex_;
+  std::unique_ptr<core::DriftMonitor> drift_;
 };
 
 }  // namespace misuse::serve

@@ -3,16 +3,33 @@
 #include <algorithm>
 
 #include "serve/metrics.hpp"
+#include "serve/shadow.hpp"
 #include "util/timer.hpp"
 
 namespace misuse::serve {
 
-void SessionShard::process(const Event& event, int action, std::uint64_t seq,
+void SessionShard::process(const Event& event, int action,
+                           const core::MisuseDetector* resolved_under, std::uint64_t seq,
                            std::vector<OutputRecord>& out) {
   const bool record = metrics_enabled();
   Timer timer;
   const std::string key = session_key(event);
   auto it = sessions_.find(key);
+  // A session's actions are always interpreted under the model it pinned
+  // at open. When the id was resolved under a different model (the event
+  // raced a hot-swap), re-resolve the raw action string here — for
+  // vocab-compatible swaps this yields the same id; for incompatible
+  // ones it prevents feeding a foreign id to the pinned model.
+  const core::MisuseDetector* pinned =
+      it != sessions_.end() ? it->second.model.detector.get() : model_.detector.get();
+  if (pinned != resolved_under) {
+    action = resolve_action_id(pinned->vocab(), event.action);
+    if (action < 0) {
+      serve_metrics().parse_errors.inc();
+      out.push_back({seq, render_error_record("unknown action", event.action)});
+      return;
+    }
+  }
   if (it != sessions_.end() && it->second.replay_pos < it->second.replay_skip.size()) {
     // Resume-replay dedup: the producer is resending the stream from
     // origin after a restart; events matching the session's already-
@@ -35,7 +52,8 @@ void SessionShard::process(const Event& event, int action, std::uint64_t seq,
     Entry entry;
     entry.user_id = event.user_id;
     entry.session_id = event.session_id;
-    entry.monitor = std::make_unique<core::OnlineMonitor>(detector_, config_.monitor);
+    entry.model = model_;
+    entry.monitor = std::make_unique<core::OnlineMonitor>(*entry.model.detector, config_.monitor);
     it = sessions_.emplace(key, std::move(entry)).first;
     ServeMetrics& sm = serve_metrics();
     sm.sessions_opened.inc();
@@ -56,6 +74,7 @@ void SessionShard::process(const Event& event, int action, std::uint64_t seq,
   entry.acc.add(step);
   if (config_.emit_steps) out.push_back({seq, render_step_record(event, step)});
   if (step_observer_) step_observer_(event, step);
+  if (shadow_) shadow_->observe(event, step);
 
   if (record) {
     ServeMetrics& sm = serve_metrics();
@@ -69,12 +88,17 @@ void SessionShard::process(const Event& event, int action, std::uint64_t seq,
 void SessionShard::finish_entry(const Entry& entry, ReportReason reason, std::uint64_t seq,
                                 std::vector<OutputRecord>& out) {
   const core::SessionMonitorReport report = entry.acc.report();
-  out.push_back({seq, render_report_record(entry.user_id, entry.session_id, reason, report)});
+  out.push_back({seq, render_report_record(entry.user_id, entry.session_id, reason, report,
+                                           entry.model.version)});
   if (report_observer_) report_observer_(entry.user_id, entry.session_id, reason, report);
+  if (history_observer_ && config_.track_history) history_observer_(entry.actions);
+  if (shadow_) shadow_->finish(entry.user_id, entry.session_id);
   ServeMetrics& sm = serve_metrics();
   sm.sessions_finished.inc();
   sm.sessions_active.add(-1);
-  if (reason != ReportReason::kShutdown) sm.sessions_evicted.inc();
+  if (reason == ReportReason::kIdleEviction || reason == ReportReason::kCapacityEviction) {
+    sm.sessions_evicted.inc();
+  }
 }
 
 void SessionShard::evict_lru(std::uint64_t seq, std::vector<OutputRecord>& out) {
@@ -106,14 +130,15 @@ void SessionShard::sweep(double now, std::uint64_t seq, std::vector<OutputRecord
   }
 }
 
-void SessionShard::finish_all(std::uint64_t seq, std::vector<OutputRecord>& out) {
+void SessionShard::finish_all(std::uint64_t seq, std::vector<OutputRecord>& out,
+                              ReportReason reason) {
   std::vector<const std::string*> keys;
   keys.reserve(sessions_.size());
   for (const auto& [key, entry] : sessions_) keys.push_back(&key);
   std::sort(keys.begin(), keys.end(),
             [](const std::string* a, const std::string* b) { return *a < *b; });
   for (const std::string* key : keys) {
-    finish_entry(sessions_.at(*key), ReportReason::kShutdown, seq, out);
+    finish_entry(sessions_.at(*key), reason, seq, out);
   }
   sessions_.clear();
 }
@@ -142,7 +167,11 @@ void SessionShard::restore_session(const SessionSnapshot& snapshot) {
   Entry entry;
   entry.user_id = snapshot.user_id;
   entry.session_id = snapshot.session_id;
-  entry.monitor = std::make_unique<core::OnlineMonitor>(detector_, config_.monitor);
+  // Restored sessions re-open under the *current* model: snapshots store
+  // action histories, not model pins, so after a crash the whole rebuilt
+  // state is scored by the version the server booted with.
+  entry.model = model_;
+  entry.monitor = std::make_unique<core::OnlineMonitor>(*entry.model.detector, config_.monitor);
   for (const int action : snapshot.actions) entry.acc.add(entry.monitor->observe(action));
   if (config_.track_history) entry.actions = snapshot.actions;
   entry.last_seen = snapshot.last_seen;

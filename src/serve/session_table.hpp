@@ -35,13 +35,29 @@ struct OutputRecord {
   std::string line;
 };
 
+/// A versioned, shared reference to a loaded detector. Every session
+/// opened under a handle pins it, so a hot-swap never frees a model that
+/// live sessions still score with — the old model is released when its
+/// last session finishes.
+struct ModelHandle {
+  std::shared_ptr<const core::MisuseDetector> detector;
+  std::string version;  // registry version ("v3"); empty = unversioned
+
+  /// Wraps a caller-owned detector without taking ownership — the
+  /// embedding/test path where no registry is involved. The detector
+  /// must outlive every session opened under the handle.
+  static ModelHandle borrowed(const core::MisuseDetector& detector) {
+    return {std::shared_ptr<const core::MisuseDetector>(std::shared_ptr<void>(), &detector), {}};
+  }
+};
+
 struct ShardConfig {
   core::MonitorConfig monitor;
   double idle_ttl_seconds = 900.0;
   std::size_t max_sessions = 4096;  // per shard
   bool emit_steps = true;           // emit "step" records (reports always emit)
   /// Record each session's raw applied action history (needed by WAL
-  /// snapshots and resume-replay dedup; on iff the server has a WAL dir).
+  /// snapshots, resume-replay dedup, and the drift monitor).
   bool track_history = false;
 };
 
@@ -53,30 +69,57 @@ using StepObserver =
     std::function<void(const Event&, const core::OnlineMonitor::StepResult&)>;
 using ReportObserver = std::function<void(std::string_view user_id, std::string_view session_id,
                                           ReportReason, const core::SessionMonitorReport&)>;
+/// Fed every finished session's applied action history (requires
+/// track_history); the server's drift monitor hangs off this.
+using HistoryObserver = std::function<void(const std::vector<int>& actions)>;
+
+class ShadowScorer;
 
 class SessionShard {
  public:
-  SessionShard(const core::MisuseDetector& detector, const ShardConfig& config)
-      : detector_(detector), config_(config) {}
+  SessionShard(ModelHandle model, const ShardConfig& config)
+      : model_(std::move(model)), config_(config) {}
 
-  /// Scores one event (action already resolved to a vocabulary id) and
-  /// appends the step record. Opens the session on first sight, evicting
+  /// Scores one event and appends the step record. Opens the session on
+  /// first sight (pinning the shard's current model into it), evicting
   /// the least-recently-seen session first when the shard is full.
-  void process(const Event& event, int action, std::uint64_t seq,
-               std::vector<OutputRecord>& out);
+  /// `action` was resolved under `resolved_under`'s vocabulary; when the
+  /// session is pinned to a *different* model (an event raced a
+  /// hot-swap), the raw action string is re-resolved under the session's
+  /// own vocabulary, so a stale id is never fed to the wrong model.
+  void process(const Event& event, int action, const core::MisuseDetector* resolved_under,
+               std::uint64_t seq, std::vector<OutputRecord>& out);
 
   /// Retires sessions idle past the TTL at event time `now`; reports are
   /// emitted in key order (deterministic across runs and platforms).
   void sweep(double now, std::uint64_t seq, std::vector<OutputRecord>& out);
 
-  /// Graceful-shutdown drain: emits a report for every open session (in
-  /// key order) and empties the shard.
-  void finish_all(std::uint64_t seq, std::vector<OutputRecord>& out);
+  /// Drain: emits a report for every open session (in key order) and
+  /// empties the shard. Graceful shutdown by default; a vocab-changing
+  /// hot-swap drains with ReportReason::kModelSwap.
+  void finish_all(std::uint64_t seq, std::vector<OutputRecord>& out,
+                  ReportReason reason = ReportReason::kShutdown);
 
   std::size_t active_sessions() const { return sessions_.size(); }
 
+  // -- Model lifecycle (DESIGN.md "Model lifecycle") -----------------------
+
+  /// Points *new* sessions at `model`. Open sessions keep the model they
+  /// pinned at open — a session's whole score stream comes from exactly
+  /// one model version (the stamping invariant).
+  void set_model(ModelHandle model) { model_ = std::move(model); }
+  const ModelHandle& model() const { return model_; }
+
+  /// Attaches (or detaches, with nullptr) the shard's shadow scorer; it
+  /// is driven after each active-model step and on session finish, and
+  /// only ever writes metrics — never output records.
+  void set_shadow(std::shared_ptr<ShadowScorer> shadow) { shadow_ = std::move(shadow); }
+
   void set_step_observer(StepObserver observer) { step_observer_ = std::move(observer); }
   void set_report_observer(ReportObserver observer) { report_observer_ = std::move(observer); }
+  void set_history_observer(HistoryObserver observer) {
+    history_observer_ = std::move(observer);
+  }
 
   // -- Crash safety (serve/wal.hpp) ----------------------------------------
 
@@ -111,6 +154,9 @@ class SessionShard {
   struct Entry {
     std::string user_id;
     std::string session_id;
+    /// The model this session opened under; pinned for its whole life so
+    /// every step (and the report stamp) comes from one version.
+    ModelHandle model;
     std::unique_ptr<core::OnlineMonitor> monitor;
     core::SessionAccumulator acc;
     double last_seen = 0.0;
@@ -125,7 +171,8 @@ class SessionShard {
                     std::vector<OutputRecord>& out);
   void evict_lru(std::uint64_t seq, std::vector<OutputRecord>& out);
 
-  const core::MisuseDetector& detector_;
+  /// Current model for *new* sessions (open ones keep their pin).
+  ModelHandle model_;
   ShardConfig config_;
   std::unordered_map<std::string, Entry> sessions_;
   /// Largest event timestamp seen; stamps events that carry none, so TTL
@@ -133,6 +180,8 @@ class SessionShard {
   double clock_ = 0.0;
   StepObserver step_observer_;
   ReportObserver report_observer_;
+  HistoryObserver history_observer_;
+  std::shared_ptr<ShadowScorer> shadow_;
   WalWriter* wal_ = nullptr;
   std::uint64_t last_applied_seq_ = 0;
 };

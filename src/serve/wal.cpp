@@ -12,6 +12,7 @@
 #include "serve/metrics.hpp"
 #include "util/crc32.hpp"
 #include "util/failpoint.hpp"
+#include "util/fsio.hpp"
 #include "util/logging.hpp"
 #include "util/serialize.hpp"
 
@@ -26,20 +27,6 @@ constexpr std::uint32_t kManifestVersion = 1;
 /// A WAL record is one event (a few short strings); anything past this
 /// length is framing corruption, not data.
 constexpr std::uint32_t kMaxRecordBytes = 1u << 20;
-
-/// write(2) until everything is out, retrying EINTR and partial writes.
-bool write_fully(int fd, const char* data, std::size_t size) {
-  while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += n;
-    size -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
 
 // Encoding appends straight into a std::string (same byte layout as
 // BinaryWriter: host little-endian scalars, u64-length-prefixed strings).
@@ -61,25 +48,6 @@ std::string frame(const std::string& payload) {
   framed.append(payload);
   put<std::uint32_t>(framed, crc32(payload));
   return framed;
-}
-
-/// Atomic small-file write: tmp + fsync + rename. The caller provides the
-/// fully serialized contents.
-bool write_file_atomic(const std::string& path, const std::string& contents) {
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
-  if (fd < 0) return false;
-  const bool written = write_fully(fd, contents.data(), contents.size()) && ::fsync(fd) == 0;
-  ::close(fd);
-  if (!written) {
-    ::unlink(tmp.c_str());
-    return false;
-  }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
-    return false;
-  }
-  return true;
 }
 
 }  // namespace

@@ -24,6 +24,21 @@ const std::string& ActionVocab::name(int id) const {
   return names_[static_cast<std::size_t>(id)];
 }
 
+std::uint64_t ActionVocab::fingerprint() const {
+  // FNV-1a over every name in id order, with a separator byte folded in
+  // after each name so {"ab","c"} and {"a","bc"} hash differently.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  };
+  for (const std::string& name : names_) {
+    for (const char c : name) mix(static_cast<unsigned char>(c));
+    mix(0x1f);  // unit separator, same framing idea as session_key
+  }
+  return h;
+}
+
 void ActionVocab::save(BinaryWriter& w) const { w.write_string_vector(names_); }
 
 ActionVocab ActionVocab::load(BinaryReader& r) {

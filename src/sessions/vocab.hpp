@@ -32,6 +32,13 @@ class ActionVocab {
 
   const std::vector<std::string>& names() const { return names_; }
 
+  /// Stable 64-bit FNV-1a fingerprint over the names *in id order* (names
+  /// are separated unambiguously, so the hash pins both the action set and
+  /// the id assignment). Two vocabularies with equal fingerprints encode
+  /// actions identically — the compatibility check the model registry and
+  /// the serving hot-swap rely on.
+  std::uint64_t fingerprint() const;
+
   void save(BinaryWriter& w) const;
   static ActionVocab load(BinaryReader& r);
 

@@ -1,0 +1,68 @@
+#include "util/fsio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/failpoint.hpp"
+
+namespace misuse {
+
+bool write_fully(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool write_file_atomic(const std::string& path, std::string_view contents) {
+  if (MISUSEDET_FAILPOINT("fsio.atomic_write")) return false;
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const bool written = write_fully(fd, contents.data(), contents.size()) && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!written) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Make the rename itself durable: without the directory sync a machine
+  // crash can forget the new directory entry even though the data blocks
+  // landed.
+  const std::string parent = std::filesystem::path(path).parent_path().string();
+  fsync_dir(parent.empty() ? "." : parent);
+  return true;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return buffer.str();
+}
+
+}  // namespace misuse

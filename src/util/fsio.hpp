@@ -1,0 +1,31 @@
+// Small filesystem helpers shared by every durability layer (the serving
+// WAL's snapshots/MANIFEST and the model registry's archives, metadata,
+// and CURRENT pointer). The core primitive is the atomic publish idiom:
+// write to `<path>.tmp`, fsync the bytes, rename over `path`, and fsync
+// the parent directory so the rename itself survives a machine crash.
+// Readers therefore observe either the old file or the complete new one,
+// never a torn intermediate.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace misuse {
+
+/// Atomically replaces `path` with `contents` (tmp + fsync + rename +
+/// parent-dir fsync). Returns false on any I/O failure, leaving the old
+/// file untouched. Failpoint "fsio.atomic_write" forces a failure.
+bool write_file_atomic(const std::string& path, std::string_view contents);
+
+/// Whole file as bytes; nullopt when the file is missing or unreadable.
+std::optional<std::string> read_file(const std::string& path);
+
+/// write(2) the full buffer with EINTR/partial-write retry.
+bool write_fully(int fd, const char* data, std::size_t size);
+
+/// fsync a directory so a rename inside it is durable. Best-effort:
+/// returns false when the directory cannot be opened or synced.
+bool fsync_dir(const std::string& dir);
+
+}  // namespace misuse

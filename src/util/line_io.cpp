@@ -17,7 +17,16 @@ bool LineReader::next(std::string& line) {
   char c;
   while (in_.get(c)) {
     if (c == '\n') {
-      if (!line.empty() && line.back() == '\r') line.pop_back();
+      ++lines_read_;
+      return true;
+    }
+    // CRLF terminators are consumed as a unit so the '\r' never counts
+    // toward the line-size cap: a line of exactly max_line_bytes parses
+    // identically whether the producer ends it with "\n" or "\r\n". A
+    // bare '\r' not followed by '\n' stays payload (stripped only at a
+    // final unterminated line, below).
+    if (c == '\r' && in_.peek() == '\n') {
+      in_.get(c);
       ++lines_read_;
       return true;
     }

@@ -17,11 +17,14 @@
 namespace misuse {
 
 /// Reads '\n'-terminated lines, stripping the trailing '\n' and any '\r'
-/// before it (NDJSON producers on Windows emit CRLF). A final unterminated
-/// line is still returned. Lines longer than `max_line_bytes` abort the
-/// stream (next() returns false and truncated() reports why): an
-/// unbounded line is either a protocol violation or an attack on the
-/// server's memory, never a valid event.
+/// before it (NDJSON producers on Windows emit CRLF). The terminator —
+/// "\n" or "\r\n" — never counts toward the size cap, so CRLF input
+/// parses identically to LF input at every line length. A final
+/// unterminated line is still returned (a trailing '\r' at EOF is
+/// stripped). Lines longer than `max_line_bytes` abort the stream
+/// (next() returns false and truncated() reports why): an unbounded line
+/// is either a protocol violation or an attack on the server's memory,
+/// never a valid event.
 class LineReader {
  public:
   explicit LineReader(std::istream& in, std::size_t max_line_bytes = 1 << 20)

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <fstream>
 #include <span>
 #include <sstream>
 #include <vector>
@@ -130,6 +131,47 @@ TEST_F(PersistenceFixture, WrongVersionThrows) {
 
 TEST_F(PersistenceFixture, GarbageArchiveThrows) {
   EXPECT_THROW((void)load_from(std::string(256, '\x7f')), SerializeError);
+}
+
+TEST_F(PersistenceFixture, LoadErrorsNameTheFailingSection) {
+  // "unexpected end of stream" alone is useless at 3am; the error must
+  // say *which* archive section broke.
+  for (const double fraction : {0.0, 0.1, 0.5, 0.9}) {
+    const auto cut = static_cast<std::size_t>(static_cast<double>(archive_->size()) * fraction);
+    try {
+      (void)load_from(archive_->substr(0, cut));
+      FAIL() << "truncated archive loaded at cut=" << cut;
+    } catch (const SerializeError& e) {
+      EXPECT_NE(std::string(e.what()).find("section "), std::string::npos)
+          << "cut=" << cut << ": " << e.what();
+    }
+  }
+}
+
+TEST_F(PersistenceFixture, LoadFileErrorsCarryThePath) {
+  const std::string path = ::testing::TempDir() + "misusedet_persistence_truncated.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << archive_->substr(0, archive_->size() / 2);
+  }
+  try {
+    (void)MisuseDetector::load_file(path);
+    FAIL() << "truncated archive file loaded";
+  } catch (const SerializeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("section "), std::string::npos) << what;
+  }
+
+  const std::string missing = ::testing::TempDir() + "misusedet_no_such_archive.bin";
+  try {
+    (void)MisuseDetector::load_file(missing);
+    FAIL() << "missing archive file loaded";
+  } catch (const SerializeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(missing), std::string::npos) << what;
+    EXPECT_NE(what.find("cannot open file"), std::string::npos) << what;
+  }
 }
 
 TEST_F(PersistenceFixture, HeaderCorruptionFailsTheFileCrc) {

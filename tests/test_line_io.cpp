@@ -29,6 +29,46 @@ TEST(LineReader, SplitsLinesAndStripsCr) {
   EXPECT_FALSE(reader.truncated());
 }
 
+// CRLF and LF streams must parse to the same lines — a Windows-produced
+// NDJSON feed is the same feed.
+TEST(LineReader, CrlfStreamMatchesLfStream) {
+  const auto read_all = [](const std::string& text) {
+    std::istringstream in(text);
+    LineReader reader(in);
+    std::vector<std::string> lines;
+    std::string line;
+    while (reader.next(line)) lines.push_back(line);
+    return lines;
+  };
+  EXPECT_EQ(read_all("{\"a\":1}\r\n{\"b\":2}\r\n\r\ntail"),
+            read_all("{\"a\":1}\n{\"b\":2}\n\ntail"));
+}
+
+TEST(LineReader, CrlfTerminatorDoesNotCountTowardSizeCap) {
+  // A line of exactly max_line_bytes must survive whether it ends in
+  // "\n" or "\r\n" — the '\r' is part of the terminator, not the line.
+  std::istringstream in("abcde\r\nxy\r\n");
+  LineReader reader(in, 5);
+  std::string line;
+  ASSERT_TRUE(reader.next(line));
+  EXPECT_EQ(line, "abcde");
+  ASSERT_TRUE(reader.next(line));
+  EXPECT_EQ(line, "xy");
+  EXPECT_FALSE(reader.next(line));
+  EXPECT_FALSE(reader.truncated());
+}
+
+TEST(LineReader, BareCrStaysPayload) {
+  std::istringstream in("a\rb\nfinal\r");
+  LineReader reader(in);
+  std::string line;
+  ASSERT_TRUE(reader.next(line));
+  EXPECT_EQ(line, "a\rb");  // '\r' not followed by '\n' is data
+  ASSERT_TRUE(reader.next(line));
+  EXPECT_EQ(line, "final");  // trailing '\r' at EOF is a terminator
+  EXPECT_FALSE(reader.next(line));
+}
+
 TEST(LineReader, OversizedLineAbortsStream) {
   std::istringstream in(std::string(64, 'x') + "\nnext\n");
   LineReader reader(in, 16);

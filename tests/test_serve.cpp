@@ -120,7 +120,10 @@ class ServeFixture : public ::testing::Test {
 
   /// Interleaves the sessions round-robin into a timestamped event trace
   /// (actions sent by name, one distinct session id per input session).
-  static std::vector<Event> interleave(const std::vector<std::span<const int>>& sessions) {
+  /// `id_offset` shifts the generated user/session ids so two traces can
+  /// coexist in one server without colliding.
+  static std::vector<Event> interleave(const std::vector<std::span<const int>>& sessions,
+                                       std::size_t id_offset = 0) {
     std::vector<Event> events;
     std::vector<std::size_t> cursor(sessions.size(), 0);
     double t = 0.0;
@@ -130,8 +133,8 @@ class ServeFixture : public ::testing::Test {
       for (std::size_t s = 0; s < sessions.size(); ++s) {
         if (cursor[s] >= sessions[s].size()) continue;
         Event e;
-        e.user_id = "u" + std::to_string(s % 5);
-        e.session_id = "s" + std::to_string(s);
+        e.user_id = "u" + std::to_string((id_offset + s) % 5);
+        e.session_id = "s" + std::to_string(id_offset + s);
         e.action = detector_->vocab().name(sessions[s][cursor[s]]);
         e.timestamp = t;
         e.has_timestamp = true;
@@ -142,6 +145,54 @@ class ServeFixture : public ::testing::Test {
       }
     }
     return events;
+  }
+
+  /// A retrained detector over the *same* store (same vocabulary, same
+  /// fingerprint, different weights): the compatible hot-swap candidate.
+  /// Trained lazily — only lifecycle tests pay for it.
+  static const core::MisuseDetector& detector_v2() {
+    static const core::MisuseDetector v2 = [] {
+      core::DetectorConfig dc;
+      dc.ensemble.topic_counts = {10, 13};
+      dc.ensemble.iterations = 8;
+      dc.expert.target_clusters = 4;
+      dc.expert.min_cluster_sessions = 5;
+      dc.lm.hidden = 10;  // different capacity => different weights
+      dc.lm.epochs = 1;
+      dc.lm.patience = 0;
+      return core::MisuseDetector::train(*store_, dc);
+    }();
+    return v2;
+  }
+
+  /// A detector over a different synthetic world (different action
+  /// vocabulary => different fingerprint): the incompatible candidate.
+  static const core::MisuseDetector& detector_alt() {
+    static const core::MisuseDetector alt = [] {
+      synth::PortalConfig pc;
+      pc.sessions = 120;
+      pc.users = 20;
+      pc.action_count = 35;
+      pc.seed = 9;
+      SessionStore store(synth::Portal(pc).generate());
+      core::DetectorConfig dc;
+      dc.ensemble.topic_counts = {6};
+      dc.ensemble.iterations = 6;
+      dc.expert.target_clusters = 2;
+      dc.expert.min_cluster_sessions = 5;
+      dc.lm.hidden = 8;
+      dc.lm.epochs = 1;
+      dc.lm.patience = 0;
+      return core::MisuseDetector::train(store, dc);
+    }();
+    return alt;
+  }
+
+  /// Non-owning versioned handle over a fixture-owned detector.
+  static ModelHandle versioned(const core::MisuseDetector& detector, std::string version) {
+    ModelHandle handle = ModelHandle::borrowed(detector);
+    handle.version = std::move(version);
+    return handle;
   }
 
   static synth::Portal* portal_;
@@ -612,6 +663,215 @@ TEST_F(ServeFixture, DegradedDetectorServesFlaggedVerdicts) {
   // Restore the healthy gauge for later tests in this process.
   ScoringServer healthy(*detector_, config);
   EXPECT_EQ(serve_metrics().degraded_clusters.value(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Model lifecycle: hot-swap, version stamping, shadow/canary scoring.
+
+// The swap acceptance gate: sessions scored before the swap match the
+// old model's offline monitor bit-for-bit, sessions opened after match
+// the new model's — and the whole rendered stream is identical at any
+// shard/thread count. Compatible vocabularies: zero sessions rolled.
+TEST_F(ServeFixture, HotSwapEquivalentToOfflinePerVersion) {
+  const auto sessions = pick_sessions(10);
+  ASSERT_GE(sessions.size(), 8u);
+  const std::size_t half = sessions.size() / 2;
+  const std::vector<std::span<const int>> first(sessions.begin(),
+                                                sessions.begin() + static_cast<long>(half));
+  const std::vector<std::span<const int>> second(sessions.begin() + static_cast<long>(half),
+                                                 sessions.end());
+  ASSERT_EQ(detector_->vocab().fingerprint(), detector_v2().vocab().fingerprint());
+
+  const auto replay = [&](std::size_t shards, std::size_t threads) {
+    set_global_threads(threads);
+    ServeConfig config;
+    config.shards = shards;
+    config.queue_capacity = 1 << 12;
+    config.idle_ttl_seconds = 1e9;
+    ScoringServer server(versioned(*detector_, "v1"), config);
+    StepCollector steps;
+    std::vector<OutputRecord> out;
+    server.set_step_observer(steps.observer());
+    for (const Event& event : interleave(first)) {
+      EXPECT_EQ(server.enqueue(event, out), ScoringServer::Enqueue::kAccepted);
+    }
+    // Swap with the first trace still queued: swap_model drains it to the
+    // barrier under v1 first — nothing is lost, nothing scores under v2.
+    const auto stats = server.swap_model(versioned(detector_v2(), "v2"), out);
+    EXPECT_EQ(stats.rolled_sessions, 0u) << "compatible vocabularies must pin-and-continue";
+    EXPECT_EQ(server.current_model().version, "v2");
+    for (const Event& event : interleave(second, half)) {
+      EXPECT_EQ(server.enqueue(event, out), ScoringServer::Enqueue::kAccepted);
+    }
+    server.shutdown(out);
+
+    // Per-version offline equivalence.
+    for (std::size_t s = 0; s < sessions.size(); ++s) {
+      const bool before_swap = s < half;
+      const std::string sid = "s" + std::to_string(s);
+      const auto& got = steps.by_session[sid];
+      EXPECT_EQ(got.size(), sessions[s].size()) << sid;
+      if (got.size() != sessions[s].size()) continue;
+      core::OnlineMonitor monitor(before_swap ? *detector_ : detector_v2(), config.monitor);
+      for (std::size_t i = 0; i < sessions[s].size(); ++i) {
+        expect_steps_bit_identical(got[i], monitor.observe(sessions[s][i]));
+      }
+    }
+    std::vector<std::string> lines;
+    lines.reserve(out.size());
+    for (const auto& r : out) lines.push_back(r.line);
+    return lines;
+  };
+
+  const auto baseline = replay(1, 1);
+  // Reports are stamped with the version the session was *opened* under —
+  // pre-swap sessions say v1 even though they report after the swap.
+  std::size_t v1_reports = 0;
+  std::size_t v2_reports = 0;
+  for (const auto& line : baseline) {
+    if (line.find("\"type\":\"session_report\"") == std::string::npos) continue;
+    if (line.find("\"model_version\":\"v1\"") != std::string::npos) ++v1_reports;
+    if (line.find("\"model_version\":\"v2\"") != std::string::npos) ++v2_reports;
+  }
+  EXPECT_EQ(v1_reports, half);
+  EXPECT_EQ(v2_reports, sessions.size() - half);
+
+  EXPECT_EQ(replay(3, 2), baseline);
+  EXPECT_EQ(replay(8, 4), baseline);
+  set_global_threads(1);
+}
+
+TEST_F(ServeFixture, IncompatibleSwapFinishesOpenSessionsWithModelSwapReports) {
+  ASSERT_NE(detector_->vocab().fingerprint(), detector_alt().vocab().fingerprint());
+  ServeConfig config;
+  config.shards = 3;
+  config.idle_ttl_seconds = 1e9;
+  ScoringServer server(versioned(*detector_, "v1"), config);
+  ReportCollector reports;
+  server.set_report_observer(reports.observer());
+  const std::uint64_t rolled_before = serve_metrics().swap_sessions_rolled.value();
+  const std::uint64_t evicted_before = serve_metrics().sessions_evicted.value();
+
+  std::vector<OutputRecord> out;
+  const std::string action = detector_->vocab().name(0);
+  for (int s = 0; s < 5; ++s) {
+    for (int i = 0; i < 3; ++i) {
+      Event e;
+      e.user_id = "u";
+      e.session_id = "roll" + std::to_string(s);
+      e.action = action;
+      ASSERT_EQ(server.enqueue(e, out), ScoringServer::Enqueue::kAccepted);
+    }
+  }
+  // Swap across a vocabulary change with the backlog still queued: every
+  // queued event is scored under v1, then every open session is finished
+  // at the barrier — reported, never dropped.
+  const auto stats = server.swap_model(versioned(detector_alt(), "v2"), out);
+  EXPECT_EQ(stats.rolled_sessions, 5u);
+  EXPECT_EQ(server.active_sessions(), 0u);
+  EXPECT_EQ(serve_metrics().swap_sessions_rolled.value() - rolled_before, 5u);
+  EXPECT_EQ(serve_metrics().sessions_evicted.value(), evicted_before)
+      << "a model swap is not an eviction";
+  ASSERT_EQ(reports.by_session.size(), 5u);
+  for (const auto& [sid, entry] : reports.by_session) {
+    EXPECT_EQ(entry.first, ReportReason::kModelSwap) << sid;
+    EXPECT_EQ(entry.second.steps, 3u) << sid << " lost events at the barrier";
+  }
+  std::size_t swap_report_lines = 0;
+  for (const auto& r : out) {
+    if (r.line.find("\"reason\":\"model_swap\"") != std::string::npos) ++swap_report_lines;
+  }
+  EXPECT_EQ(swap_report_lines, 5u);
+
+  // Traffic reopens under the new model and its vocabulary.
+  Event fresh;
+  fresh.user_id = "u";
+  fresh.session_id = "fresh";
+  fresh.action = detector_alt().vocab().name(0);
+  EXPECT_EQ(server.enqueue(fresh, out), ScoringServer::Enqueue::kAccepted);
+  server.pump(out);
+  EXPECT_EQ(server.active_sessions(), 1u);
+  server.shutdown(out);
+}
+
+// Shadow scoring is metrics-only: the active output stream must be
+// byte-identical with the shadow attached, detached, or absent.
+TEST_F(ServeFixture, ShadowScoringDoesNotPerturbActiveOutput) {
+  const auto sessions = pick_sessions(8);
+  const auto events = interleave(sessions);
+  const auto replay = [&](const ShadowPlan* plan) {
+    ServeConfig config;
+    config.shards = 3;
+    config.queue_capacity = 1 << 12;
+    config.idle_ttl_seconds = 1e9;
+    ScoringServer server(versioned(*detector_, "v1"), config);
+    if (plan != nullptr) server.set_shadow(*plan);
+    std::vector<OutputRecord> out;
+    for (const Event& event : events) {
+      EXPECT_EQ(server.enqueue(event, out), ScoringServer::Enqueue::kAccepted);
+    }
+    server.pump(out);
+    server.shutdown(out);
+    std::vector<std::string> lines;
+    lines.reserve(out.size());
+    for (const auto& r : out) lines.push_back(r.line);
+    return lines;
+  };
+
+  const auto baseline = replay(nullptr);
+
+  ShadowPlan plan;
+  plan.detector = std::shared_ptr<const core::MisuseDetector>(std::shared_ptr<void>(),
+                                                              &detector_v2());
+  plan.version = "v2";
+  plan.fraction = 1.0;
+  const std::uint64_t steps_before = serve_metrics().shadow_steps.value();
+  const std::uint64_t sessions_before = serve_metrics().shadow_sessions.value();
+  EXPECT_EQ(replay(&plan), baseline) << "full shadow mirror perturbed the active stream";
+  EXPECT_EQ(serve_metrics().shadow_steps.value() - steps_before, events.size());
+  EXPECT_EQ(serve_metrics().shadow_sessions.value() - sessions_before, sessions.size());
+
+  // Fraction 0: attached but sampling nothing — still byte-identical,
+  // and the mirror never fires.
+  plan.fraction = 0.0;
+  const std::uint64_t zero_before = serve_metrics().shadow_steps.value();
+  EXPECT_EQ(replay(&plan), baseline);
+  EXPECT_EQ(serve_metrics().shadow_steps.value() - zero_before, 0u);
+}
+
+TEST_F(ServeFixture, SwapMetricsAndVersionGauge) {
+  ServeConfig config;
+  config.shards = 2;
+  const std::uint64_t swaps_before = serve_metrics().swaps.value();
+  const std::uint64_t pauses_before = serve_metrics().swap_pause_seconds.count();
+  ScoringServer server(versioned(*detector_, "v1"), config);
+  EXPECT_EQ(serve_metrics().model_version.value(), 1);
+  std::vector<OutputRecord> out;
+  const auto stats = server.swap_model(versioned(detector_v2(), "v2"), out);
+  EXPECT_GE(stats.pause_seconds, 0.0);
+  EXPECT_EQ(serve_metrics().model_version.value(), 2);
+  EXPECT_EQ(serve_metrics().swaps.value() - swaps_before, 1u);
+  EXPECT_EQ(serve_metrics().swap_pause_seconds.count() - pauses_before, 1u);
+}
+
+// The legacy (unversioned) constructor must keep its wire format: no
+// model_version field anywhere, ever — WAL replay compatibility.
+TEST_F(ServeFixture, UnversionedServerEmitsNoVersionField) {
+  ServeConfig config;
+  config.shards = 2;
+  ScoringServer server(*detector_, config);
+  std::vector<OutputRecord> out;
+  Event e;
+  e.user_id = "u";
+  e.session_id = "plain";
+  e.action = detector_->vocab().name(0);
+  ASSERT_EQ(server.enqueue(e, out), ScoringServer::Enqueue::kAccepted);
+  server.pump(out);
+  server.shutdown(out);
+  ASSERT_FALSE(out.empty());
+  for (const auto& r : out) {
+    EXPECT_EQ(r.line.find("\"model_version\""), std::string::npos) << r.line;
+  }
 }
 
 }  // namespace
