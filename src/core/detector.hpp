@@ -18,7 +18,9 @@
 // the refreshed store.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,7 @@
 #include "cluster/expert_policy.hpp"
 #include "lm/language_model.hpp"
 #include "lm/markov.hpp"
+#include "nn/infer/engine.hpp"
 #include "sessions/store.hpp"
 #include "topics/ensemble.hpp"
 
@@ -60,6 +63,15 @@ struct ClusterTrainReport {
   std::vector<lm::EpochStats> epochs;
 };
 
+/// Options for MisuseDetector::save. `quant` != kNone additionally writes
+/// each cluster's packed weights quantized (int8 per-row scales or fp16)
+/// as an optional v3 archive section; loading such an archive scores with
+/// the quantized weights by default. Publish quantized archives only
+/// through the registry's accuracy gate (core/quant_gate.hpp).
+struct DetectorSaveOptions {
+  nn::infer::QuantKind quant = nn::infer::QuantKind::kNone;
+};
+
 class MisuseDetector {
  public:
   /// Trains the full pipeline on a session store. The store must outlive
@@ -88,24 +100,71 @@ class MisuseDetector {
 
   /// True when cluster `c` is served by its Markov fallback.
   bool cluster_degraded(std::size_t c) const { return degraded_.at(c); }
+  /// Cluster `c`'s persisted Markov fallback; nullptr on v1 archives.
+  const lm::MarkovChainModel* fallback(std::size_t c) const { return fallbacks_.at(c).get(); }
   /// Number of degraded clusters (0 on a freshly trained detector).
   std::size_t degraded_cluster_count() const;
 
-  /// Streaming state of one cluster's behavior model — LSTM recurrent
-  /// state normally, last-action context in degraded mode.
+  // -- Inference engine ----------------------------------------------------
+  // At train/load time each healthy cluster's LSTM is additionally packed
+  // into an inference engine (nn/infer/engine.hpp) when the model has the
+  // supported shape; streaming scoring then runs through it unless the
+  // infer mode is `reference`. A v3 archive may carry quantized weights
+  // per cluster; a corrupt quantized section falls back to float scoring
+  // (quant-degraded, not a load failure).
+
+  /// True when cluster `c` scores with quantized weights by default.
+  bool cluster_quantized(std::size_t c) const;
+  /// True when cluster `c`'s archived quantized section was corrupt (the
+  /// cluster serves float weights instead).
+  bool cluster_quant_degraded(std::size_t c) const { return quant_degraded_.at(c); }
+  std::size_t quant_degraded_count() const;
+
+  /// Numeric mode of a scoring stream: kDefault uses the cluster's
+  /// quantized weights when present; kFloat forces full-precision floats
+  /// (the baseline side of the quantization accuracy gate).
+  enum class ScoringPrecision { kDefault, kFloat };
+
+  /// Streaming state of one cluster's behavior model — engine state on
+  /// the packed fast path, LSTM recurrent state on the reference path,
+  /// last-action context in degraded mode.
   struct ClusterState {
     nn::ModelState nn;
+    nn::infer::EngineState eng;
+    bool use_engine = false;
+    bool use_quant = false;
     int last_action = -1;
     void reset() {
       nn.reset();
+      eng.reset();
       last_action = -1;
     }
   };
-  ClusterState make_cluster_state(std::size_t c) const;
+  ClusterState make_cluster_state(std::size_t c,
+                                  ScoringPrecision precision = ScoringPrecision::kDefault) const;
   /// Advances cluster `c`'s model with the observed action and returns
   /// the next-action distribution (the degraded-aware counterpart of
   /// model(c).step).
   std::vector<float> step_cluster(std::size_t c, ClusterState& state, int action) const;
+  /// Allocation-free variant: writes the distribution into `out`.
+  void step_cluster_into(std::size_t c, ClusterState& state, int action,
+                         std::vector<float>& out) const;
+  /// Batched steps for one cluster: states[i] advances on actions[i] into
+  /// *out[i]. Bit-identical to step_cluster_into row by row, in order.
+  ///
+  /// When dist_ready is non-empty (size == states.size()), the engine may
+  /// defer each row's head + softmax: dist_ready[i] records whether
+  /// *out[i] was filled (rows outside the fused engine path always are).
+  /// Recover a deferred row's distribution — unchanged, from the row's
+  /// advanced state — with materialize_cluster_dist.
+  void step_cluster_batch(std::size_t c, std::span<ClusterState* const> states,
+                          std::span<const int> actions, std::span<std::vector<float>* const> out,
+                          std::span<std::uint8_t> dist_ready = {}) const;
+  /// Fills `out` with the next-action distribution implied by the state's
+  /// last advance (the tail step_cluster_batch deferred). Only valid for
+  /// rows a batched step left with dist_ready[i] == 0.
+  void materialize_cluster_dist(std::size_t c, const ClusterState& state,
+                                std::vector<float>& out) const;
 
   const cluster::ClusterAssigner& assigner() const { return *assigner_; }
   const ActionVocab& vocab() const { return vocab_; }
@@ -133,12 +192,17 @@ class MisuseDetector {
   /// "drift reference unavailable" rather than an error.
   std::vector<double> training_action_counts() const;
 
-  /// Archive v2: header + vocab + clusters + assigner (covered by the
+  /// Archive v3: header + vocab + clusters + assigner (covered by the
   /// whole-file CRC footer), then per cluster a length-prefixed,
-  /// CRC-checked LSTM section and Markov-fallback section. v1 archives
-  /// (no sections, no footer, no fallbacks) still load. Load errors name
-  /// the failing archive section ("vocab", "cluster 3 LSTM", ...).
-  void save(BinaryWriter& w) const;
+  /// CRC-checked LSTM section, Markov-fallback section, and an optional
+  /// quantized-weights section (marker byte + section when present). v1
+  /// archives (no sections, no footer, no fallbacks) and v2 archives (no
+  /// quant markers) still load. Load errors name the failing archive
+  /// section ("vocab", "cluster 3 LSTM", ...). A corrupt quantized
+  /// section never fails the load: the cluster is flagged quant-degraded
+  /// and serves float weights.
+  void save(BinaryWriter& w, const DetectorSaveOptions& options) const;
+  void save(BinaryWriter& w) const { save(w, DetectorSaveOptions{}); }
   static MisuseDetector load(BinaryReader& r);
 
   /// Opens and loads an archive from disk. Any failure — missing file,
@@ -160,7 +224,16 @@ class MisuseDetector {
   /// entries for v1 archives (no fallback: corruption is fatal there).
   std::vector<std::unique_ptr<lm::MarkovChainModel>> fallbacks_;
   std::vector<bool> degraded_;
+  /// Per-cluster packed inference engines; nullptr when the cluster is
+  /// degraded or its model shape is unsupported (scoring then runs the
+  /// reference path). Rebuilt from the models at train/load time, never
+  /// persisted.
+  std::vector<std::unique_ptr<nn::infer::LstmInferEngine>> engines_;
+  std::vector<bool> quant_degraded_;
   std::unique_ptr<cluster::ClusterAssigner> assigner_;
+
+  /// (Re)builds engines_ from models_; call whenever models_ changes.
+  void build_engines();
 };
 
 /// Builds the label of a cluster from its most characteristic actions.

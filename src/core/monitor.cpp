@@ -24,15 +24,17 @@ bool TrendDetector::push(double value) {
   return previous > 0.0 && recent < previous * (1.0 - drop_);
 }
 
-OnlineMonitor::OnlineMonitor(const MisuseDetector& detector, const MonitorConfig& config)
+OnlineMonitor::OnlineMonitor(const MisuseDetector& detector, const MonitorConfig& config,
+                             MisuseDetector::ScoringPrecision precision)
     : detector_(detector),
       config_(config),
       assignment_(detector.assigner().start_online()),
       trend_(config.trend_window, config.trend_drop) {
   states_.reserve(detector.cluster_count());
   next_distributions_.resize(detector.cluster_count());
+  dist_ready_.assign(detector.cluster_count(), 1);
   for (std::size_t c = 0; c < detector.cluster_count(); ++c) {
-    states_.push_back(detector.make_cluster_state(c));
+    states_.push_back(detector.make_cluster_state(c, precision));
   }
   monitor_metrics().sessions.inc();
 }
@@ -42,6 +44,7 @@ void OnlineMonitor::reset() {
   for (std::size_t c = 0; c < states_.size(); ++c) {
     states_[c].reset();
     next_distributions_[c].clear();
+    dist_ready_[c] = 1;
   }
   trend_.reset();
   step_ = 0;
@@ -49,12 +52,19 @@ void OnlineMonitor::reset() {
 }
 
 OnlineMonitor::StepResult OnlineMonitor::observe(int action) {
-  assert(action >= 0 && static_cast<std::size_t>(action) < detector_.vocab().size());
   // Per-step telemetry is counters + one histogram record — tens of ns,
   // well inside the monitor's <5% overhead budget (see DESIGN.md). The
   // Timer only runs when recording is on.
   const bool record = metrics_enabled();
   Timer step_timer;
+  StepResult result = begin_step(action);
+  advance(action);
+  if (record) record_step(result, step_timer.seconds());
+  return result;
+}
+
+OnlineMonitor::StepResult OnlineMonitor::begin_step(int action) {
+  assert(action >= 0 && static_cast<std::size_t>(action) < detector_.vocab().size());
   StepResult result;
   result.step = ++step_;
 
@@ -68,7 +78,7 @@ OnlineMonitor::StepResult OnlineMonitor::observe(int action) {
   // distributions predicted at the previous step.
   if (step_ > 1) {
     const auto likelihood_of = [&](std::size_t c) {
-      const auto& dist = next_distributions_[c];
+      const auto& dist = current_dist(c);
       assert(!dist.empty());
       return static_cast<double>(dist[static_cast<std::size_t>(action)]);
     };
@@ -85,7 +95,7 @@ OnlineMonitor::StepResult OnlineMonitor::observe(int action) {
 
     // Explain alarms: what the voted model expected instead.
     if (result.alarm && config_.explain_top_k > 0) {
-      const auto& dist = next_distributions_[result.cluster_voted];
+      const auto& dist = current_dist(result.cluster_voted);
       std::vector<std::size_t> order(dist.size());
       std::iota(order.begin(), order.end(), std::size_t{0});
       const std::size_t k = std::min(config_.explain_top_k, order.size());
@@ -99,21 +109,72 @@ OnlineMonitor::StepResult OnlineMonitor::observe(int action) {
     }
   }
 
-  // Advance every cluster model with the observed action so next step's
-  // predictions are available under either strategy.
-  for (std::size_t c = 0; c < states_.size(); ++c) {
-    next_distributions_[c] = detector_.step_cluster(c, states_[c], action);
-  }
-
-  if (record) {
-    MonitorMetrics& mm = monitor_metrics();
-    mm.steps.inc();
-    if (result.alarm) mm.alarms.inc();
-    if (result.trend_alarm) mm.trend_alarms.inc();
-    if (result.cluster_argmax != result.cluster_voted) mm.disagree_steps.inc();
-    mm.observe_seconds.record(step_timer.seconds());
-  }
   return result;
+}
+
+void OnlineMonitor::advance(int action) {
+  // Advance every cluster model with the observed action so next step's
+  // predictions are available under either strategy. step_cluster_into
+  // reuses each distribution's buffer — no per-step allocation.
+  for (std::size_t c = 0; c < states_.size(); ++c) {
+    detector_.step_cluster_into(c, states_[c], action, next_distributions_[c]);
+    dist_ready_[c] = 1;
+  }
+}
+
+const std::vector<float>& OnlineMonitor::current_dist(std::size_t c) {
+  if (dist_ready_[c] == 0) {
+    detector_.materialize_cluster_dist(c, states_[c], next_distributions_[c]);
+    dist_ready_[c] = 1;
+  }
+  return next_distributions_[c];
+}
+
+void OnlineMonitor::record_step(const StepResult& result, double seconds) {
+  MonitorMetrics& mm = monitor_metrics();
+  mm.steps.inc();
+  if (result.alarm) mm.alarms.inc();
+  if (result.trend_alarm) mm.trend_alarms.inc();
+  if (result.cluster_argmax != result.cluster_voted) mm.disagree_steps.inc();
+  mm.observe_seconds.record(seconds);
+}
+
+void OnlineMonitor::observe_batch(const MisuseDetector& detector,
+                                  std::span<OnlineMonitor* const> monitors,
+                                  std::span<const int> actions,
+                                  std::span<StepResult> results) {
+  assert(monitors.size() == actions.size() && monitors.size() == results.size());
+  if (monitors.empty()) return;
+  const bool record = metrics_enabled();
+  Timer batch_timer;
+  // Routing/alarm halves first (independent per monitor), then one fused
+  // model advance per cluster across the whole batch.
+  for (std::size_t i = 0; i < monitors.size(); ++i) {
+    assert(&monitors[i]->detector_ == &detector);
+    results[i] = monitors[i]->begin_step(actions[i]);
+  }
+  std::vector<MisuseDetector::ClusterState*> states(monitors.size());
+  std::vector<std::vector<float>*> outs(monitors.size());
+  // Let the engine defer head + softmax per row: next step's begin_step
+  // only reads the argmax and voted clusters' distributions (usually one
+  // cluster), and current_dist materializes those on demand.
+  std::vector<std::uint8_t> ready(monitors.size());
+  for (std::size_t c = 0; c < detector.cluster_count(); ++c) {
+    for (std::size_t i = 0; i < monitors.size(); ++i) {
+      states[i] = &monitors[i]->states_[c];
+      outs[i] = &monitors[i]->next_distributions_[c];
+    }
+    detector.step_cluster_batch(c, states, actions, outs, ready);
+    for (std::size_t i = 0; i < monitors.size(); ++i) {
+      monitors[i]->dist_ready_[c] = ready[i];
+    }
+  }
+  if (record) {
+    const double per_step = batch_timer.seconds() / static_cast<double>(monitors.size());
+    for (std::size_t i = 0; i < monitors.size(); ++i) {
+      monitors[i]->record_step(results[i], per_step);
+    }
+  }
 }
 
 void SessionAccumulator::add(const OnlineMonitor::StepResult& step) {

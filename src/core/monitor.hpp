@@ -17,6 +17,7 @@
 // in §V as an improvement over reacting to every low score).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -53,7 +54,13 @@ class TrendDetector {
 
 class OnlineMonitor {
  public:
-  OnlineMonitor(const MisuseDetector& detector, const MonitorConfig& config);
+  /// `precision` selects the numeric mode of this stream's cluster
+  /// states: kDefault scores quantized clusters with their quantized
+  /// weights; kFloat forces full precision (the baseline side of the
+  /// quantization gate, core/quant_gate.hpp).
+  OnlineMonitor(const MisuseDetector& detector, const MonitorConfig& config,
+                MisuseDetector::ScoringPrecision precision =
+                    MisuseDetector::ScoringPrecision::kDefault);
 
   /// One of the actions the voted model expected at this step — surfaced
   /// on alarms so the operator sees *what normal would have looked like*
@@ -89,12 +96,36 @@ class OnlineMonitor {
   /// Feeds one observed action.
   StepResult observe(int action);
 
+  /// Feeds one action into each of `monitors` (all built over `detector`),
+  /// writing monitors[i]'s step result for actions[i] into results[i].
+  /// The cluster-model advance runs as one batched forward per cluster
+  /// across all monitors (the inference engine's step_batch). With the
+  /// scalar kernels this is bit-identical to calling
+  /// monitors[i]->observe(actions[i]) in order — sessions only share
+  /// read-only weights. Under the opt-in AVX2 mode results stay
+  /// ULP-close but can depend on batch composition (the tile and
+  /// single-row kernels reduce in different orders).
+  static void observe_batch(const MisuseDetector& detector,
+                            std::span<OnlineMonitor* const> monitors,
+                            std::span<const int> actions, std::span<StepResult> results);
+
   /// Starts a new session.
   void reset();
 
   std::size_t steps() const { return step_; }
 
  private:
+  /// The routing/alarm half of observe(): consumes the *previous* step's
+  /// distributions, bumps step_. Must be followed by advance(action).
+  StepResult begin_step(int action);
+  /// The model half: advances every cluster state on the action and
+  /// refreshes next_distributions_.
+  void advance(int action);
+  /// next_distributions_[c], materializing it first if the last batched
+  /// advance deferred this cluster's head + softmax (dist_ready_[c] == 0).
+  const std::vector<float>& current_dist(std::size_t c);
+  void record_step(const StepResult& result, double seconds);
+
   const MisuseDetector& detector_;
   MonitorConfig config_;
   cluster::ClusterAssigner::OnlineAssignment assignment_;
@@ -104,6 +135,12 @@ class OnlineMonitor {
   /// their Markov fallback transparently.
   std::vector<MisuseDetector::ClusterState> states_;
   std::vector<std::vector<float>> next_distributions_;
+  /// Per cluster: whether next_distributions_[c] reflects the state's
+  /// last advance. observe() computes eagerly (always 1); observe_batch
+  /// defers heads the routing half never reads — begin_step only ever
+  /// consumes the argmax and voted clusters' distributions, so the other
+  /// clusters' head + softmax work is skipped entirely.
+  std::vector<std::uint8_t> dist_ready_;
   TrendDetector trend_;
   std::size_t step_ = 0;
 };

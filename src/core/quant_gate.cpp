@@ -1,0 +1,94 @@
+#include "core/quant_gate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace misuse::core {
+
+namespace {
+
+constexpr double kLossFloor = 1e-12;  // matches serve/shadow.cpp's clamp
+
+double step_loss(const OnlineMonitor::StepResult& step) {
+  const double likelihood = step.likelihood_voted.value_or(0.0);
+  return -std::log(std::max(likelihood, kLossFloor));
+}
+
+int sample_index(const std::vector<float>& dist, double u) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    acc += static_cast<double>(dist[i]);
+    if (u < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(dist.size()) - 1;  // numerical slack at u ~ 1
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> sample_gate_sessions(const MisuseDetector& detector,
+                                                   const QuantGateConfig& config) {
+  std::vector<std::vector<int>> sessions;
+  for (std::size_t c = 0; c < detector.cluster_count(); ++c) {
+    const lm::MarkovChainModel* chain = detector.fallback(c);
+    if (chain == nullptr) continue;  // v1 archive: no sampling reference
+    // One independent stream per cluster, derived before any draws, so a
+    // cluster's corpus does not depend on how many clusters precede it.
+    Rng rng = Rng::stream(config.seed, c);
+    for (std::size_t s = 0; s < config.sessions_per_cluster; ++s) {
+      std::vector<int> session;
+      session.reserve(config.session_length);
+      int current = -1;  // start from the chain's initial distribution
+      for (std::size_t t = 0; t < config.session_length; ++t) {
+        const std::vector<float> dist = chain->next_distribution(current);
+        current = sample_index(dist, rng.uniform());
+        session.push_back(current);
+      }
+      sessions.push_back(std::move(session));
+    }
+  }
+  return sessions;
+}
+
+QuantGateResult measure_quant_gate(const MisuseDetector& detector, const QuantGateConfig& config,
+                                   std::span<const std::span<const int>> sessions) {
+  std::vector<std::vector<int>> synthetic;
+  std::vector<std::span<const int>> views;
+  if (sessions.empty()) {
+    synthetic = sample_gate_sessions(detector, config);
+    views.reserve(synthetic.size());
+    for (const auto& s : synthetic) views.emplace_back(s);
+    sessions = views;
+  }
+
+  QuantGateResult result;
+  double loss_delta_sum = 0.0;
+  for (const auto session : sessions) {
+    // Paired replay: same actions, same routing, one monitor on the
+    // quantized weights and one forced to floats.
+    OnlineMonitor quant(detector, config.monitor, MisuseDetector::ScoringPrecision::kDefault);
+    OnlineMonitor full(detector, config.monitor, MisuseDetector::ScoringPrecision::kFloat);
+    ++result.sessions;
+    for (const int action : session) {
+      const auto q = quant.observe(action);
+      const auto f = full.observe(action);
+      if (!q.likelihood_voted && !f.likelihood_voted) continue;  // first action
+      ++result.steps;
+      if (q.alarm != f.alarm) ++result.verdict_flips;
+      const double delta = std::abs(step_loss(q) - step_loss(f));
+      loss_delta_sum += delta;
+      result.max_loss_delta = std::max(result.max_loss_delta, delta);
+    }
+  }
+  if (result.steps > 0) {
+    result.flip_rate =
+        static_cast<double>(result.verdict_flips) / static_cast<double>(result.steps);
+    result.mean_loss_delta = loss_delta_sum / static_cast<double>(result.steps);
+  }
+  result.pass = result.steps > 0 && result.flip_rate <= config.max_flip_rate &&
+                result.max_loss_delta <= config.max_loss_delta;
+  return result;
+}
+
+}  // namespace misuse::core

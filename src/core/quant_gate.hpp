@@ -1,0 +1,59 @@
+// Accuracy gate for quantized detector archives (nn/infer/quant.hpp).
+//
+// Quantization changes the weights, so unlike the scalar/AVX2 kernel
+// split it is NOT covered by the bit-identity contract — it must earn its
+// way into production with a measured check instead. The gate replays a
+// corpus through two monitors per session — one scoring with the
+// quantized weights, one forced to full-precision floats — and compares
+// them with the same semantics the serving-side shadow scorer uses
+// (serve/shadow.hpp): verdict flips are steps whose alarm decision
+// disagrees, and loss deltas compare the per-step voted-model losses
+// -log(max(likelihood, 1e-12)).
+//
+// The registry refuses to publish a quantized archive that fails the
+// gate (`misusedet_registry publish --quantize=...`).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/monitor.hpp"
+
+namespace misuse::core {
+
+struct QuantGateConfig {
+  MonitorConfig monitor;
+  /// Acceptance thresholds.
+  double max_flip_rate = 0.01;   // flipped verdicts / scored steps
+  double max_loss_delta = 0.5;   // largest per-step loss disagreement
+  /// Self-calibration corpus (used when no sessions are supplied):
+  /// sessions sampled from each cluster's persisted Markov fallback, so
+  /// the gate needs no access to the training store.
+  std::size_t sessions_per_cluster = 24;
+  std::size_t session_length = 40;
+  std::uint64_t seed = 42;
+};
+
+struct QuantGateResult {
+  std::size_t sessions = 0;
+  std::size_t steps = 0;          // scored steps (>= 2nd action of a session)
+  std::size_t verdict_flips = 0;  // steps where the alarm decision differs
+  double flip_rate = 0.0;
+  double max_loss_delta = 0.0;
+  double mean_loss_delta = 0.0;
+  bool pass = false;
+};
+
+/// Replays `sessions` through paired quantized/float monitors and scores
+/// the disagreement. With an empty span, a deterministic synthetic corpus
+/// is drawn from the detector's Markov fallbacks (config.seed). The
+/// detector should carry quantized weights; without any, the gate passes
+/// trivially (nothing to compare).
+QuantGateResult measure_quant_gate(const MisuseDetector& detector, const QuantGateConfig& config,
+                                   std::span<const std::span<const int>> sessions = {});
+
+/// The self-calibration corpus by itself (exposed for tests/benches).
+std::vector<std::vector<int>> sample_gate_sessions(const MisuseDetector& detector,
+                                                   const QuantGateConfig& config);
+
+}  // namespace misuse::core

@@ -77,6 +77,13 @@ class ActionLanguageModel {
   std::vector<float> step(nn::ModelState& state, int action) const {
     return model_->step(state, action);
   }
+  /// Allocation-free variant of step() (reuses the state's scratch).
+  void step_into(nn::ModelState& state, int action, std::vector<float>& probs) const {
+    model_->step_into(state, action, probs);
+  }
+
+  /// The underlying network, for the inference engine's weight packer.
+  const nn::NextActionModel& network() const { return *model_; }
 
   std::size_t parameter_count() { return model_->parameter_count(); }
 

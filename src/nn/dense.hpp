@@ -31,6 +31,11 @@ class Dense {
   void save(BinaryWriter& w) const;
   static Dense load(BinaryReader& r);
 
+  /// Read-only weight views for the inference engine's packer: W is
+  /// (in x out), bias (1 x out).
+  const Matrix& weights() const { return w_.value; }
+  const Matrix& bias() const { return b_.value; }
+
  private:
   Parameter w_;
   Parameter b_;

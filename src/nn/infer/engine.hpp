@@ -1,0 +1,104 @@
+// Inference-only LSTM forward for the paper architecture (one token-input
+// LSTM layer + dense softmax head — the shape every trained detector
+// cluster uses). Weights are packed once at detector-load time
+// (nn/infer/packed.hpp); per-step scoring then runs allocation-free
+// through the kernel table selected by nn/infer/dispatch.hpp.
+//
+// Contract: with the scalar kernels, step()/step_batch() are bit-identical
+// to NextActionModel::step_into on the same weights and state — proven by
+// tests/test_infer.cpp — so every determinism guarantee (WAL replay, hot
+// swap, server-vs-offline) survives the fast path. The avx2 kernels are
+// ULP-bounded instead; quantized scoring additionally changes the weights
+// and is gated by core/quant_gate.hpp.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/infer/dispatch.hpp"
+#include "nn/infer/packed.hpp"
+#include "nn/infer/quant.hpp"
+
+namespace misuse::nn {
+class NextActionModel;
+}
+
+namespace misuse::nn::infer {
+
+/// Streaming state of one session on the engine (h and c, length H).
+struct EngineState {
+  std::vector<float> h;
+  std::vector<float> c;
+  void reset() {
+    std::fill(h.begin(), h.end(), 0.0f);
+    std::fill(c.begin(), c.end(), 0.0f);
+  }
+};
+
+/// Reusable per-caller scratch (one fused gate row).
+struct EngineScratch {
+  std::vector<float> gates;
+  // Batch staging (step_batch's fused path): row pointers into states,
+  // the shared gates buffer, and the callers' probability vectors.
+  std::vector<float*> h_rows;
+  std::vector<float*> gate_rows;
+  std::vector<float*> logit_rows;
+};
+
+class LstmInferEngine {
+ public:
+  /// Packs the model's weights; returns null when the model is outside
+  /// the supported shape (stacked layers, embeddings, or a non-LSTM
+  /// cell fall back to the reference path).
+  static std::unique_ptr<LstmInferEngine> build(const NextActionModel& model);
+
+  std::size_t vocab() const { return packed_.vocab; }
+  std::size_t hidden() const { return packed_.hidden; }
+  const PackedLstm& packed() const { return packed_; }
+
+  /// Attaches quantized weights loaded from a v3 archive (or freshly
+  /// quantized). Shapes must match the packed float weights.
+  void attach_quantized(QuantizedLstm quant);
+  bool has_quantized() const { return quant_.kind != QuantKind::kNone; }
+  const QuantizedLstm& quantized() const { return quant_; }
+
+  EngineState make_state() const;
+
+  /// Advances one session by one action; writes the softmax'd
+  /// next-action distribution into probs (resized to vocab).
+  /// use_quant requires has_quantized().
+  void step(EngineState& state, int action, std::vector<float>& probs, EngineScratch& scratch,
+            bool use_quant = false) const;
+
+  /// Batched variant: states[i] advances on actions[i] into *probs[i].
+  /// Rows are processed independently, so the result is bit-identical to
+  /// n calls of step() in order, on every kernel.
+  ///
+  /// With defer_heads, the fused path advances every state but skips the
+  /// head + softmax (most batch consumers only ever read one or two
+  /// clusters' distributions; see OnlineMonitor); the probs vectors are
+  /// then left untouched and the call returns true — recover any row
+  /// later with finish_probs. Paths that cannot defer (sequential
+  /// fallback, quantized) ignore the flag, fill probs, and return false.
+  bool step_batch(std::span<EngineState* const> states, std::span<const int> actions,
+                  std::span<std::vector<float>* const> probs, EngineScratch& scratch,
+                  bool use_quant = false, bool defer_heads = false) const;
+
+  /// Head + softmax only, from the state's current h (i.e. the
+  /// distribution the last step() / step_batch() advance implies). With
+  /// the scalar kernels this is the exact tail of step(), so a deferred
+  /// batch step + finish_probs stays bit-identical to the eager step.
+  void finish_probs(const EngineState& state, std::vector<float>& probs,
+                    bool use_quant = false) const;
+
+ private:
+  explicit LstmInferEngine(PackedLstm packed) : packed_(std::move(packed)) {}
+
+  PackedLstm packed_;
+  QuantizedLstm quant_;
+};
+
+}  // namespace misuse::nn::infer

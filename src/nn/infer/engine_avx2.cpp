@@ -1,0 +1,403 @@
+// AVX2/FMA/F16C kernel table for the inference engine. This TU is the
+// only one compiled with -mavx2 -mfma -mf16c (see src/nn/CMakeLists.txt,
+// MISUSE_SIMD); everything it exports is reached through the runtime
+// dispatch in nn/infer/dispatch.cpp, which checks CPU support first.
+//
+// These kernels are ULP-close to the scalar table, not bit-identical:
+// the dot products use 8-lane FMA accumulators (different association
+// order) and the gate nonlinearities run on a vectorized exp polynomial
+// (Cephes-style, as in avx_mathfun) instead of libm. tests/test_infer.cpp
+// pins the divergence with a per-step ULP/absolute bound.
+#include "nn/infer/kernels.hpp"
+
+#if defined(MISUSEDET_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <span>
+
+#include "nn/gate_math.hpp"
+#include "nn/infer/packed.hpp"
+#include "nn/infer/quant.hpp"
+#include "nn/lstm.hpp"
+#include "tensor/ops.hpp"
+
+namespace misuse::nn::infer {
+
+namespace {
+
+inline float hsum256(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_hadd_ps(lo, lo);
+  lo = _mm_hadd_ps(lo, lo);
+  return _mm_cvtss_f32(lo);
+}
+
+// Dense float dot with 4 independent accumulators to hide FMA latency.
+inline float dot_f32(const float* a, const float* b, std::size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  std::size_t p = 0;
+  for (; p + 32 <= n; p += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + p), _mm256_loadu_ps(b + p), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + p + 8), _mm256_loadu_ps(b + p + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + p + 16), _mm256_loadu_ps(b + p + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + p + 24), _mm256_loadu_ps(b + p + 24), acc3);
+  }
+  for (; p + 8 <= n; p += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + p), _mm256_loadu_ps(b + p), acc0);
+  }
+  float total = hsum256(_mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)));
+  for (; p < n; ++p) total += a[p] * b[p];
+  return total;
+}
+
+// int8 dot: sign-extend 8 bytes -> i32 -> f32, FMA against b.
+inline float dot_q8(const std::int8_t* a, const float* b, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t p = 0;
+  for (; p + 8 <= n; p += 8) {
+    const __m128i bytes = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a + p));
+    const __m256 f = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bytes));
+    acc = _mm256_fmadd_ps(f, _mm256_loadu_ps(b + p), acc);
+  }
+  float total = hsum256(acc);
+  for (; p < n; ++p) total += static_cast<float>(a[p]) * b[p];
+  return total;
+}
+
+// fp16 dot: decode 8 halves per cycle through F16C.
+inline float dot_f16(const std::uint16_t* a, const float* b, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t p = 0;
+  for (; p + 8 <= n; p += 8) {
+    const __m128i halves = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + p));
+    acc = _mm256_fmadd_ps(_mm256_cvtph_ps(halves), _mm256_loadu_ps(b + p), acc);
+  }
+  float total = hsum256(acc);
+  for (; p < n; ++p) total += half_to_float(a[p]) * b[p];
+  return total;
+}
+
+// Vectorized exp (Cephes expf port, as in avx_mathfun): range-reduced
+// polynomial, ~1 ulp relative error inside the clamp range.
+inline __m256 exp256(__m256 x) {
+  const __m256 hi = _mm256_set1_ps(88.3762626647949f);
+  const __m256 lo = _mm256_set1_ps(-88.3762626647949f);
+  const __m256 log2e = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 c1 = _mm256_set1_ps(0.693359375f);
+  const __m256 c2 = _mm256_set1_ps(-2.12194440e-4f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  x = _mm256_max_ps(_mm256_min_ps(x, hi), lo);
+  __m256 fx = _mm256_fmadd_ps(x, log2e, _mm256_set1_ps(0.5f));
+  fx = _mm256_floor_ps(fx);
+  x = _mm256_fnmadd_ps(fx, c1, x);
+  x = _mm256_fnmadd_ps(fx, c2, x);
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.3981999507e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.3334519073e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.1665795894e-2f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.6666665459e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(5.0000001201e-1f));
+  y = _mm256_fmadd_ps(y, z, _mm256_add_ps(x, one));
+  __m256i pow2 = _mm256_cvttps_epi32(fx);
+  pow2 = _mm256_add_epi32(pow2, _mm256_set1_epi32(0x7f));
+  pow2 = _mm256_slli_epi32(pow2, 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(pow2));
+}
+
+inline __m256 sigmoid256(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 e = exp256(_mm256_sub_ps(_mm256_setzero_ps(), x));
+  return _mm256_div_ps(one, _mm256_add_ps(one, e));
+}
+
+inline __m256 tanh256(__m256 x) {
+  // tanh(x) = (e^{2x} - 1) / (e^{2x} + 1); exp's clamp keeps the ratio
+  // finite and saturating at +/-1.
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 e2x = exp256(_mm256_add_ps(x, x));
+  return _mm256_div_ps(_mm256_sub_ps(e2x, one), _mm256_add_ps(e2x, one));
+}
+
+inline const float* wx_row(const PackedLstm& w, int token) {
+  return token == kPadToken ? nullptr
+                            : w.wx.data() + static_cast<std::size_t>(token) * 4 * w.hidden;
+}
+
+void avx2_gates(const PackedLstm& w, const float* h, int token, float* gates) {
+  const std::size_t hidden = w.hidden;
+  const std::size_t g4 = 4 * hidden;
+  const float* wxrow = wx_row(w, token);
+  for (std::size_t j = 0; j < g4; ++j) {
+    float acc = w.bias[j];
+    if (wxrow != nullptr) acc += wxrow[j];
+    gates[j] = acc + dot_f32(w.wh_t.data() + j * hidden, h, hidden);
+  }
+}
+
+// Fused batch GEMV: accumulate `row[j0..] += x[p] * m(p, j0..)` for one
+// session with the output block pinned in 8 ymm registers — pure
+// broadcast-FMA streams, no horizontal reductions. `m` is in reference
+// (p-major) layout. This associates the sum differently from dot_f32
+// (p-ascending instead of 4-lane chunks), which is fine: the whole avx2
+// table is ULP-close to scalar, not bit-identical, and the batch kernels
+// are pinned against the one-row kernels by the same ULP bound in
+// tests/test_infer.cpp.
+inline void accum_rows(const float* m, std::size_t cols, const float* x, std::size_t len,
+                       float* row) {
+  constexpr std::size_t kBlock = 8;  // 8 ymm = 64 output columns per pass
+  std::size_t j0 = 0;
+  for (; j0 + kBlock * 8 <= cols; j0 += kBlock * 8) {
+    __m256 acc[kBlock];
+    for (std::size_t b = 0; b < kBlock; ++b) acc[b] = _mm256_loadu_ps(row + j0 + 8 * b);
+    for (std::size_t p = 0; p < len; ++p) {
+      const __m256 xp = _mm256_set1_ps(x[p]);
+      const float* wrow = m + p * cols + j0;
+      for (std::size_t b = 0; b < kBlock; ++b) {
+        acc[b] = _mm256_fmadd_ps(xp, _mm256_loadu_ps(wrow + 8 * b), acc[b]);
+      }
+    }
+    for (std::size_t b = 0; b < kBlock; ++b) _mm256_storeu_ps(row + j0 + 8 * b, acc[b]);
+  }
+  for (; j0 + 8 <= cols; j0 += 8) {
+    __m256 acc = _mm256_loadu_ps(row + j0);
+    for (std::size_t p = 0; p < len; ++p) {
+      acc = _mm256_fmadd_ps(_mm256_set1_ps(x[p]), _mm256_loadu_ps(m + p * cols + j0), acc);
+    }
+    _mm256_storeu_ps(row + j0, acc);
+  }
+  for (; j0 < cols; ++j0) {
+    float acc = row[j0];
+    for (std::size_t p = 0; p < len; ++p) acc += x[p] * m[p * cols + j0];
+    row[j0] = acc;
+  }
+}
+
+// Multi-session tile: N sessions x 16 columns of output pinned in
+// registers (2N accumulators — at the N=6 sweet spot, 12 independent FMA
+// chains, enough to cover the FMA latency), each weight vector
+// broadcast-shared across the tile so the weight stream (the batch
+// GEMV's bandwidth bottleneck; weights exceed L1) is read once per N
+// sessions instead of once per session. Smaller instantiations (4, 2)
+// mop up the batch remainder so a 64-session batch never falls back to
+// re-streaming the whole weight matrix per leftover session.
+constexpr int kSessTile = 6;
+
+template <int N>
+void accum_rows_tile(const float* m, std::size_t cols, const float* const* x, std::size_t len,
+                     float* const* rows) {
+  std::size_t j0 = 0;
+  for (; j0 + 16 <= cols; j0 += 16) {
+    __m256 acc[N][2];
+    for (int s = 0; s < N; ++s) {
+      acc[s][0] = _mm256_loadu_ps(rows[s] + j0);
+      acc[s][1] = _mm256_loadu_ps(rows[s] + j0 + 8);
+    }
+    for (std::size_t p = 0; p < len; ++p) {
+      const float* wrow = m + p * cols + j0;
+      const __m256 w0 = _mm256_loadu_ps(wrow);
+      const __m256 w1 = _mm256_loadu_ps(wrow + 8);
+      for (int s = 0; s < N; ++s) {
+        const __m256 xp = _mm256_set1_ps(x[s][p]);
+        acc[s][0] = _mm256_fmadd_ps(xp, w0, acc[s][0]);
+        acc[s][1] = _mm256_fmadd_ps(xp, w1, acc[s][1]);
+      }
+    }
+    for (int s = 0; s < N; ++s) {
+      _mm256_storeu_ps(rows[s] + j0, acc[s][0]);
+      _mm256_storeu_ps(rows[s] + j0 + 8, acc[s][1]);
+    }
+  }
+  for (; j0 + 8 <= cols; j0 += 8) {
+    __m256 acc[N];
+    for (int s = 0; s < N; ++s) acc[s] = _mm256_loadu_ps(rows[s] + j0);
+    for (std::size_t p = 0; p < len; ++p) {
+      const __m256 w0 = _mm256_loadu_ps(m + p * cols + j0);
+      for (int s = 0; s < N; ++s) {
+        acc[s] = _mm256_fmadd_ps(_mm256_set1_ps(x[s][p]), w0, acc[s]);
+      }
+    }
+    for (int s = 0; s < N; ++s) _mm256_storeu_ps(rows[s] + j0, acc[s]);
+  }
+  for (; j0 < cols; ++j0) {
+    for (int s = 0; s < N; ++s) {
+      float acc = rows[s][j0];
+      for (std::size_t p = 0; p < len; ++p) acc += x[s][p] * m[p * cols + j0];
+      rows[s][j0] = acc;
+    }
+  }
+}
+
+// Full-batch GEMV accumulate: 6-session tiles, then 4/2-session tiles on
+// the remainder, then a single-session pass for the last odd row.
+void accum_rows_batch(const float* m, std::size_t cols, const float* const* x, std::size_t len,
+                      float* const* rows, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kSessTile <= n; i += kSessTile) {
+    accum_rows_tile<kSessTile>(m, cols, x + i, len, rows + i);
+  }
+  if (n - i >= 4) {
+    accum_rows_tile<4>(m, cols, x + i, len, rows + i);
+    i += 4;
+  }
+  if (n - i >= 2) {
+    accum_rows_tile<2>(m, cols, x + i, len, rows + i);
+    i += 2;
+  }
+  if (i < n) accum_rows(m, cols, x[i], len, rows[i]);
+}
+
+void seed_gate_rows(const PackedLstm& w, float* const* gates, const int* tokens, std::size_t n) {
+  const std::size_t g4 = 4 * w.hidden;
+  const float* bias = w.bias.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    float* g = gates[i];
+    const float* wxrow = wx_row(w, tokens[i]);
+    if (wxrow != nullptr) {
+      std::size_t j = 0;
+      for (; j + 8 <= g4; j += 8) {
+        _mm256_storeu_ps(g + j,
+                         _mm256_add_ps(_mm256_loadu_ps(bias + j), _mm256_loadu_ps(wxrow + j)));
+      }
+      for (; j < g4; ++j) g[j] = bias[j] + wxrow[j];
+    } else {
+      for (std::size_t j = 0; j < g4; ++j) g[j] = bias[j];
+    }
+  }
+}
+
+void avx2_gates_batch(const PackedLstm& w, float* const* h, const int* tokens,
+                      float* const* gates, std::size_t n) {
+  const std::size_t g4 = 4 * w.hidden;
+  seed_gate_rows(w, gates, tokens, n);
+  accum_rows_batch(w.wh.data(), g4, h, w.hidden, gates, n);
+}
+
+void avx2_gates_quant(const QuantizedLstm& w, const float* h, int token, float* gates) {
+  const std::size_t hidden = w.hidden;
+  const std::size_t g4 = 4 * hidden;
+  for (std::size_t j = 0; j < g4; ++j) {
+    float acc = w.bias[j];
+    if (token != kPadToken) {
+      const std::size_t wx_at = static_cast<std::size_t>(token) * g4 + j;
+      if (w.kind == QuantKind::kInt8) {
+        acc += w.wx_scale[static_cast<std::size_t>(token)] * static_cast<float>(w.wx_q[wx_at]);
+      } else {
+        acc += half_to_float(w.wx_h[wx_at]);
+      }
+    }
+    if (w.kind == QuantKind::kInt8) {
+      acc += w.wh_t_scale[j] * dot_q8(w.wh_t_q.data() + j * hidden, h, hidden);
+    } else {
+      acc += dot_f16(w.wh_t_h.data() + j * hidden, h, hidden);
+    }
+    gates[j] = acc;
+  }
+}
+
+void avx2_activate_update(float* gates, std::size_t hidden, float* c, float* h) {
+  // Gate layout [i | f | g | o]: sigmoid on [0, 2H) and [3H, 4H), tanh on
+  // [2H, 3H). Scalar (libm) tails keep non-multiple-of-8 widths exact.
+  const auto sigmoid_span = [](float* x, std::size_t n) {
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) _mm256_storeu_ps(x + j, sigmoid256(_mm256_loadu_ps(x + j)));
+    for (; j < n; ++j) x[j] = gate_sigmoid(x[j]);
+  };
+  sigmoid_span(gates, 2 * hidden);
+  std::size_t j = 0;
+  float* gblock = gates + 2 * hidden;
+  for (; j + 8 <= hidden; j += 8) {
+    _mm256_storeu_ps(gblock + j, tanh256(_mm256_loadu_ps(gblock + j)));
+  }
+  for (; j < hidden; ++j) gblock[j] = std::tanh(gblock[j]);
+  sigmoid_span(gates + 3 * hidden, hidden);
+
+  // c = f*c + i*g; h = o * tanh(c).
+  const float* ig = gates;
+  const float* fg = gates + hidden;
+  const float* gg = gates + 2 * hidden;
+  const float* og = gates + 3 * hidden;
+  j = 0;
+  for (; j + 8 <= hidden; j += 8) {
+    const __m256 cv = _mm256_fmadd_ps(_mm256_loadu_ps(fg + j), _mm256_loadu_ps(c + j),
+                                      _mm256_mul_ps(_mm256_loadu_ps(ig + j),
+                                                    _mm256_loadu_ps(gg + j)));
+    _mm256_storeu_ps(c + j, cv);
+    _mm256_storeu_ps(h + j, _mm256_mul_ps(_mm256_loadu_ps(og + j), tanh256(cv)));
+  }
+  for (; j < hidden; ++j) {
+    c[j] = fg[j] * c[j] + ig[j] * gg[j];
+    h[j] = og[j] * std::tanh(c[j]);
+  }
+}
+
+void avx2_head(const PackedLstm& w, const float* h, float* logits) {
+  for (std::size_t j = 0; j < w.head_out; ++j) {
+    logits[j] = dot_f32(w.head_w_t.data() + j * w.hidden, h, w.hidden) + w.head_b[j];
+  }
+}
+
+void avx2_head_batch(const PackedLstm& w, float* const* h, float* const* logits, std::size_t n) {
+  const std::size_t out = w.head_out;
+  for (std::size_t i = 0; i < n; ++i) {
+    float* row = logits[i];
+    for (std::size_t j = 0; j < out; ++j) row[j] = w.head_b[j];
+  }
+  accum_rows_batch(w.head_w.data(), out, h, w.hidden, logits, n);
+}
+
+void avx2_head_quant(const QuantizedLstm& w, const float* h, float* logits) {
+  for (std::size_t j = 0; j < w.head_out; ++j) {
+    float acc;
+    if (w.kind == QuantKind::kInt8) {
+      acc = w.head_w_scale[j] * dot_q8(w.head_w_q.data() + j * w.hidden, h, w.hidden);
+    } else {
+      acc = dot_f16(w.head_w_h.data() + j * w.hidden, h, w.hidden);
+    }
+    logits[j] = acc + w.head_b[j];
+  }
+}
+
+void avx2_softmax(const float* logits, std::size_t n, float* probs) {
+  float mx = logits[0];
+  for (std::size_t i = 1; i < n; ++i) mx = std::max(mx, logits[i]);
+  const __m256 mxv = _mm256_set1_ps(mx);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(probs + i, exp256(_mm256_sub_ps(_mm256_loadu_ps(logits + i), mxv)));
+  }
+  for (; i < n; ++i) probs[i] = std::exp(logits[i] - mx);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) sum += probs[k];
+  const float inv = static_cast<float>(1.0 / sum);
+  for (std::size_t k = 0; k < n; ++k) probs[k] *= inv;
+}
+
+}  // namespace
+
+const Kernels* avx2_kernels() {
+  static const Kernels kernels = {
+      &avx2_gates, &avx2_gates_quant, &avx2_activate_update, &avx2_head,
+      &avx2_head_quant, &avx2_softmax, &avx2_gates_batch, &avx2_head_batch,
+  };
+  return &kernels;
+}
+
+}  // namespace misuse::nn::infer
+
+#else  // !MISUSEDET_HAVE_AVX2
+
+namespace misuse::nn::infer {
+
+const Kernels* avx2_kernels() { return nullptr; }
+
+}  // namespace misuse::nn::infer
+
+#endif

@@ -1,0 +1,210 @@
+#include "nn/infer/quant.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace misuse::nn::infer {
+
+namespace {
+
+constexpr std::uint32_t kQuantMagic = 0x54514d49u;  // "IMQT"
+constexpr std::uint32_t kQuantVersion = 1;
+
+// Quantizes `rows` rows of `cols` floats to int8 with one symmetric
+// per-row scale (maxabs/127; all-zero rows get scale 0 and zeros).
+void quantize_rows_int8(const std::vector<float>& w, std::size_t rows, std::size_t cols,
+                        std::vector<std::int8_t>& q, std::vector<float>& scales) {
+  assert(w.size() == rows * cols);
+  q.resize(w.size());
+  scales.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = w.data() + r * cols;
+    float maxabs = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) maxabs = std::max(maxabs, std::fabs(row[c]));
+    const float scale = maxabs / 127.0f;
+    scales[r] = scale;
+    std::int8_t* qrow = q.data() + r * cols;
+    if (scale == 0.0f) {
+      std::memset(qrow, 0, cols);
+      continue;
+    }
+    const float inv = 1.0f / scale;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float v = std::nearbyint(row[c] * inv);
+      qrow[c] = static_cast<std::int8_t>(std::max(-127.0f, std::min(127.0f, v)));
+    }
+  }
+}
+
+void encode_half(const std::vector<float>& w, std::vector<std::uint16_t>& h) {
+  h.resize(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) h[i] = float_to_half(w[i]);
+}
+
+}  // namespace
+
+std::optional<QuantKind> parse_quant_kind(std::string_view name) {
+  if (name == "none") return QuantKind::kNone;
+  if (name == "int8") return QuantKind::kInt8;
+  if (name == "fp16") return QuantKind::kFp16;
+  return std::nullopt;
+}
+
+const char* quant_kind_name(QuantKind kind) {
+  switch (kind) {
+    case QuantKind::kNone: return "none";
+    case QuantKind::kInt8: return "int8";
+    case QuantKind::kFp16: return "fp16";
+  }
+  return "?";
+}
+
+std::uint16_t float_to_half(float x) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::uint32_t abs = bits & 0x7fffffffu;
+  if (abs >= 0x7f800000u) {  // inf / NaN
+    const std::uint32_t mantissa = abs > 0x7f800000u ? 0x0200u : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7c00u | mantissa);
+  }
+  if (abs >= 0x47800000u) {  // overflows half range -> +/-inf
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (abs < 0x38800000u) {  // subnormal half (or zero)
+    if (abs < 0x33000000u) return static_cast<std::uint16_t>(sign);  // underflow to 0
+    // The result is mantissa (with implicit bit) in units of 2^-24, i.e.
+    // mantissa >> (126 - e); round to nearest even on the dropped bits.
+    const std::uint64_t dropped = 126u - (abs >> 23);
+    const std::uint64_t mantissa = (abs & 0x007fffffu) | 0x00800000u;
+    const std::uint64_t half = mantissa >> dropped;
+    const std::uint64_t rem = mantissa & ((std::uint64_t{1} << dropped) - 1u);
+    const std::uint64_t midpoint = std::uint64_t{1} << (dropped - 1u);
+    std::uint64_t rounded = half;
+    if (rem > midpoint || (rem == midpoint && (half & 1u) != 0u)) ++rounded;
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+  // Normal half: rebias exponent, round mantissa to 10 bits (RNE).
+  std::uint32_t half = ((abs >> 23) - 112u) << 10 | ((abs >> 13) & 0x03ffu);
+  const std::uint32_t rem = abs & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u) != 0u)) ++half;  // may carry into exp
+  return static_cast<std::uint16_t>(sign | half);
+}
+
+float half_to_float(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1fu;
+  const std::uint32_t mantissa = bits & 0x03ffu;
+  std::uint32_t out;
+  if (exp == 0u) {
+    if (mantissa == 0u) {
+      out = sign;  // +/-0
+    } else {
+      // Subnormal half: renormalize into a float exponent.
+      std::uint32_t m = mantissa;
+      std::uint32_t e = 113u;
+      while ((m & 0x0400u) == 0u) {
+        m <<= 1;
+        --e;
+      }
+      out = sign | (e << 23) | ((m & 0x03ffu) << 13);
+    }
+  } else if (exp == 0x1fu) {
+    out = sign | 0x7f800000u | (mantissa << 13);  // inf / NaN
+  } else {
+    out = sign | ((exp + 112u) << 23) | (mantissa << 13);
+  }
+  float f;
+  std::memcpy(&f, &out, sizeof(f));
+  return f;
+}
+
+QuantizedLstm quantize(const PackedLstm& packed, QuantKind kind) {
+  assert(kind != QuantKind::kNone);
+  QuantizedLstm q;
+  q.kind = kind;
+  q.vocab = packed.vocab;
+  q.hidden = packed.hidden;
+  q.head_out = packed.head_out;
+  q.bias = packed.bias;
+  q.head_b = packed.head_b;
+  const std::size_t g4 = 4 * packed.hidden;
+  if (kind == QuantKind::kInt8) {
+    quantize_rows_int8(packed.wx, packed.vocab, g4, q.wx_q, q.wx_scale);
+    quantize_rows_int8(packed.wh_t, g4, packed.hidden, q.wh_t_q, q.wh_t_scale);
+    quantize_rows_int8(packed.head_w_t, packed.head_out, packed.hidden, q.head_w_q,
+                       q.head_w_scale);
+  } else {
+    encode_half(packed.wx, q.wx_h);
+    encode_half(packed.wh_t, q.wh_t_h);
+    encode_half(packed.head_w_t, q.head_w_h);
+  }
+  return q;
+}
+
+void QuantizedLstm::save(BinaryWriter& w) const {
+  w.write_magic(kQuantMagic, kQuantVersion);
+  w.write<std::uint8_t>(static_cast<std::uint8_t>(kind));
+  w.write<std::uint64_t>(vocab);
+  w.write<std::uint64_t>(hidden);
+  w.write<std::uint64_t>(head_out);
+  if (kind == QuantKind::kInt8) {
+    w.write_vector(wx_q);
+    w.write_vector(wh_t_q);
+    w.write_vector(head_w_q);
+    w.write_vector(wx_scale);
+    w.write_vector(wh_t_scale);
+    w.write_vector(head_w_scale);
+  } else {
+    w.write_vector(wx_h);
+    w.write_vector(wh_t_h);
+    w.write_vector(head_w_h);
+  }
+  w.write_vector(bias);
+  w.write_vector(head_b);
+}
+
+QuantizedLstm QuantizedLstm::load(BinaryReader& r) {
+  (void)r.read_magic(kQuantMagic);
+  QuantizedLstm q;
+  const auto kind = r.read<std::uint8_t>();
+  if (kind != static_cast<std::uint8_t>(QuantKind::kInt8) &&
+      kind != static_cast<std::uint8_t>(QuantKind::kFp16)) {
+    throw SerializeError("unknown quantization kind");
+  }
+  q.kind = static_cast<QuantKind>(kind);
+  q.vocab = static_cast<std::size_t>(r.read<std::uint64_t>());
+  q.hidden = static_cast<std::size_t>(r.read<std::uint64_t>());
+  q.head_out = static_cast<std::size_t>(r.read<std::uint64_t>());
+  const std::size_t g4 = 4 * q.hidden;
+  if (q.kind == QuantKind::kInt8) {
+    q.wx_q = r.read_vector<std::int8_t>();
+    q.wh_t_q = r.read_vector<std::int8_t>();
+    q.head_w_q = r.read_vector<std::int8_t>();
+    q.wx_scale = r.read_vector<float>();
+    q.wh_t_scale = r.read_vector<float>();
+    q.head_w_scale = r.read_vector<float>();
+    if (q.wx_q.size() != q.vocab * g4 || q.wh_t_q.size() != g4 * q.hidden ||
+        q.head_w_q.size() != q.head_out * q.hidden || q.wx_scale.size() != q.vocab ||
+        q.wh_t_scale.size() != g4 || q.head_w_scale.size() != q.head_out) {
+      throw SerializeError("quantized section shape mismatch");
+    }
+  } else {
+    q.wx_h = r.read_vector<std::uint16_t>();
+    q.wh_t_h = r.read_vector<std::uint16_t>();
+    q.head_w_h = r.read_vector<std::uint16_t>();
+    if (q.wx_h.size() != q.vocab * g4 || q.wh_t_h.size() != g4 * q.hidden ||
+        q.head_w_h.size() != q.head_out * q.hidden) {
+      throw SerializeError("quantized section shape mismatch");
+    }
+  }
+  q.bias = r.read_vector<float>();
+  q.head_b = r.read_vector<float>();
+  if (q.bias.size() != g4 || q.head_b.size() != q.head_out) {
+    throw SerializeError("quantized section shape mismatch");
+  }
+  return q;
+}
+
+}  // namespace misuse::nn::infer

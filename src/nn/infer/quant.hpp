@@ -1,0 +1,68 @@
+// Opt-in quantized weight formats for the inference engine, stored as the
+// v3 detector-archive quant section (core/detector.cpp):
+//
+//   int8 — symmetric per-row quantization: each row of the packed weight
+//          matrices (a token's wx row, a gate unit's wh_t row, a logit's
+//          head_w row) carries one fp32 scale = maxabs/127 and int8
+//          values round(w/scale). ~4x smaller, dequantized on the fly in
+//          the kernels' dot products.
+//   fp16 — IEEE binary16 bit patterns (round-to-nearest-even), decoded
+//          scalar or via F16C. ~2x smaller, near-float accuracy.
+//
+// Biases stay fp32 in both formats (they are O(H + V) — not worth the
+// accuracy risk). Quantized scoring is opt-in at publish time and gated
+// by a measured verdict-flip check (core/quant_gate.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "nn/infer/packed.hpp"
+#include "util/serialize.hpp"
+
+namespace misuse::nn::infer {
+
+enum class QuantKind : std::uint8_t { kNone = 0, kInt8 = 1, kFp16 = 2 };
+
+/// "int8" | "fp16" | "none" -> kind; nullopt otherwise.
+std::optional<QuantKind> parse_quant_kind(std::string_view name);
+const char* quant_kind_name(QuantKind kind);
+
+/// Bit-exact scalar IEEE binary16 converters (round-to-nearest-even on
+/// encode; decode is exact — every half value is representable in float).
+std::uint16_t float_to_half(float x);
+float half_to_float(std::uint16_t bits);
+
+struct QuantizedLstm {
+  QuantKind kind = QuantKind::kNone;
+  std::size_t vocab = 0;
+  std::size_t hidden = 0;
+  std::size_t head_out = 0;
+
+  // int8 payload: values + one fp32 scale per row.
+  std::vector<std::int8_t> wx_q;      // vocab x 4H
+  std::vector<std::int8_t> wh_t_q;    // 4H x H
+  std::vector<std::int8_t> head_w_q;  // head_out x H
+  std::vector<float> wx_scale;        // vocab
+  std::vector<float> wh_t_scale;      // 4H
+  std::vector<float> head_w_scale;    // head_out
+
+  // fp16 payload: raw binary16 bit patterns, same shapes as the floats.
+  std::vector<std::uint16_t> wx_h;
+  std::vector<std::uint16_t> wh_t_h;
+  std::vector<std::uint16_t> head_w_h;
+
+  // Biases stay fp32.
+  std::vector<float> bias;    // 4H
+  std::vector<float> head_b;  // head_out
+
+  void save(BinaryWriter& w) const;
+  static QuantizedLstm load(BinaryReader& r);
+};
+
+/// Quantizes packed float weights. kind must not be kNone.
+QuantizedLstm quantize(const PackedLstm& packed, QuantKind kind);
+
+}  // namespace misuse::nn::infer

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "nn/gate_math.hpp"
 #include "tensor/ops.hpp"
 
 namespace misuse::nn {
@@ -47,15 +48,11 @@ void Lstm::compute_gates(const std::vector<int>& tokens_b, const Matrix& h_prev,
 }
 
 void Lstm::apply_gate_nonlinearities(Matrix& gates, std::size_t hidden) {
+  // Shared with the inference engine's scalar kernel (nn/gate_math.hpp)
+  // so both paths compile the identical expression tree.
   const std::size_t g4 = 4 * hidden;
   for (std::size_t r = 0; r < gates.rows(); ++r) {
-    float* row = gates.data() + r * g4;
-    // i, f: sigmoid
-    for (std::size_t j = 0; j < 2 * hidden; ++j) row[j] = 1.0f / (1.0f + std::exp(-row[j]));
-    // g: tanh
-    for (std::size_t j = 2 * hidden; j < 3 * hidden; ++j) row[j] = std::tanh(row[j]);
-    // o: sigmoid
-    for (std::size_t j = 3 * hidden; j < g4; ++j) row[j] = 1.0f / (1.0f + std::exp(-row[j]));
+    lstm_activate_gates(gates.data() + r * g4, hidden);
   }
 }
 
@@ -228,36 +225,39 @@ void Lstm::backward(const std::vector<Matrix>& d_hidden, std::vector<Matrix>* d_
 }
 
 void Lstm::finish_state_update(const Matrix& gates, LstmState& state) const {
+  // Shared with the inference engine's scalar kernel (nn/gate_math.hpp).
   for (std::size_t r = 0; r < gates.rows(); ++r) {
-    const float* g = gates.data() + r * 4 * hidden_;
-    float* c = state.c.data() + r * hidden_;
-    float* h = state.h.data() + r * hidden_;
-    for (std::size_t j = 0; j < hidden_; ++j) {
-      const float i_g = g[j];
-      const float f_g = g[hidden_ + j];
-      const float g_g = g[2 * hidden_ + j];
-      const float o_g = g[3 * hidden_ + j];
-      c[j] = f_g * c[j] + i_g * g_g;
-      h[j] = o_g * std::tanh(c[j]);
-    }
+    lstm_cell_update(gates.data() + r * 4 * hidden_, hidden_, state.c.data() + r * hidden_,
+                     state.h.data() + r * hidden_);
   }
 }
 
 void Lstm::step(const std::vector<int>& tokens_b, LstmState& state) const {
+  Matrix gates;
+  step_scratch(tokens_b, state, gates);
+}
+
+void Lstm::step_scratch(const std::vector<int>& tokens_b, LstmState& state,
+                        Matrix& gate_scratch) const {
   const std::size_t b = tokens_b.size();
   assert(state.h.rows() == b && state.h.cols() == hidden_);
-  Matrix gates(b, 4 * hidden_);
-  compute_gates(tokens_b, state.h, gates);
-  apply_gate_nonlinearities(gates, hidden_);
-  finish_state_update(gates, state);
+  gate_scratch.resize(b, 4 * hidden_);
+  compute_gates(tokens_b, state.h, gate_scratch);
+  apply_gate_nonlinearities(gate_scratch, hidden_);
+  finish_state_update(gate_scratch, state);
 }
 
 void Lstm::step_dense(const Matrix& input, LstmState& state) const {
+  Matrix gates;
+  step_dense_scratch(input, state, gates);
+}
+
+void Lstm::step_dense_scratch(const Matrix& input, LstmState& state, Matrix& gate_scratch) const {
   assert(state.h.rows() == input.rows() && state.h.cols() == hidden_);
-  Matrix gates(input.rows(), 4 * hidden_);
-  compute_gates_dense(input, state.h, gates);
-  apply_gate_nonlinearities(gates, hidden_);
-  finish_state_update(gates, state);
+  gate_scratch.resize(input.rows(), 4 * hidden_);
+  compute_gates_dense(input, state.h, gate_scratch);
+  apply_gate_nonlinearities(gate_scratch, hidden_);
+  finish_state_update(gate_scratch, state);
 }
 
 void Lstm::save(BinaryWriter& w) const {

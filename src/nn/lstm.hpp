@@ -82,8 +82,21 @@ class Lstm final : public RecurrentLayer {
   /// Streaming dense-input step (stacked-layer path).
   void step_dense(const Matrix& input, LstmState& state) const override;
 
+  /// Allocation-free step variants: the caller owns the gate scratch
+  /// buffer and reuses it across steps (the monitor hot path).
+  void step_scratch(const std::vector<int>& tokens_b, LstmState& state,
+                    Matrix& gate_scratch) const override;
+  void step_dense_scratch(const Matrix& input, LstmState& state,
+                          Matrix& gate_scratch) const override;
+
   void save(BinaryWriter& w) const override;
   static Lstm load(BinaryReader& r);
+
+  /// Read-only weight views for the inference engine's packer
+  /// (nn/infer/packed.cpp): wx is vocab x 4H, wh is H x 4H, bias 1 x 4H.
+  const Matrix& wx() const { return wx_.value; }
+  const Matrix& wh() const { return wh_.value; }
+  const Matrix& bias() const { return b_.value; }
 
  private:
   struct StepRecord {

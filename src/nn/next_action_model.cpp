@@ -242,23 +242,28 @@ ModelState NextActionModel::make_state() const {
 }
 
 std::vector<float> NextActionModel::step(ModelState& state, int action) const {
+  std::vector<float> probs;
+  step_into(state, action, probs);
+  return probs;
+}
+
+void NextActionModel::step_into(ModelState& state, int action, std::vector<float>& probs) const {
   assert(action == kPadToken ||
          (action >= 0 && static_cast<std::size_t>(action) < config_.vocab));
   assert(state.layers.size() == lstms_.size());
   if (embedding_) {
-    Matrix embedded;
-    embedding_->lookup_row(action, embedded);
-    lstms_[0]->step_dense(embedded, state.layers[0]);
+    embedding_->lookup_row(action, state.scratch_embed);
+    lstms_[0]->step_dense_scratch(state.scratch_embed, state.layers[0], state.scratch_gates);
   } else {
-    lstms_[0]->step({action}, state.layers[0]);
+    state.scratch_tokens.assign(1, action);
+    lstms_[0]->step_scratch(state.scratch_tokens, state.layers[0], state.scratch_gates);
   }
   for (std::size_t l = 1; l < lstms_.size(); ++l) {
-    lstms_[l]->step_dense(state.layers[l - 1].h, state.layers[l]);
+    lstms_[l]->step_dense_scratch(state.layers[l - 1].h, state.layers[l], state.scratch_gates);
   }
-  Matrix logits;
-  head_.infer(state.layers.back().h, logits);
-  softmax_rows(logits);
-  return {logits.row(0).begin(), logits.row(0).end()};
+  head_.infer(state.layers.back().h, state.scratch_logits);
+  probs.resize(config_.vocab);
+  (void)softmax_row(state.scratch_logits.row(0), probs);
 }
 
 double NextActionModel::SessionScore::avg_likelihood() const {

@@ -60,9 +60,16 @@ struct ModelConfig {
   float dropout = 0.4f;      // paper value; also applied between layers
 };
 
-/// Streaming state of the whole stack (one LstmState per layer).
+/// Streaming state of the whole stack (one LstmState per layer), plus the
+/// forward-pass scratch buffers for that stream. Scratch lives here — not
+/// in the (shared, const) model — so concurrent streams never contend,
+/// and step() allocates nothing once the buffers reach steady state.
 struct ModelState {
   std::vector<LstmState> layers;
+  Matrix scratch_gates;   // 1 x 4H fused gate pre-activations
+  Matrix scratch_logits;  // 1 x vocab head output
+  Matrix scratch_embed;   // 1 x embedding_dim (embedding models only)
+  std::vector<int> scratch_tokens;  // single-token input buffer
   void reset() {
     for (auto& l : layers) l.reset();
   }
@@ -103,6 +110,11 @@ class NextActionModel {
   /// over the next action (length vocab).
   std::vector<float> step(ModelState& state, int action) const;
 
+  /// Allocation-free step: writes the distribution into `probs` (resized
+  /// to vocab), reusing the state's scratch buffers. Bit-identical to
+  /// step().
+  void step_into(ModelState& state, int action, std::vector<float>& probs) const;
+
   /// Scores a whole session: element i is the model probability assigned
   /// to actions[i] given actions[0..i-1]; the first action gets the
   /// model's unconditional first-step distribution. Sessions shorter than
@@ -122,6 +134,12 @@ class NextActionModel {
 
   void save(BinaryWriter& w) const;
   static NextActionModel load(BinaryReader& r);
+
+  // --- Read-only structure views for the inference engine ---------------
+  std::size_t layer_count() const { return lstms_.size(); }
+  const RecurrentLayer& layer(std::size_t i) const { return *lstms_.at(i); }
+  const Dense& head() const { return head_; }
+  bool has_embedding() const { return embedding_ != nullptr; }
 
  private:
   NextActionModel(const ModelConfig& config, std::unique_ptr<Embedding> embedding,

@@ -41,6 +41,20 @@ class RecurrentLayer {
   virtual void step(const std::vector<int>& tokens, LstmState& state) const = 0;
   virtual void step_dense(const Matrix& input, LstmState& state) const = 0;
 
+  /// Allocation-free step variants: the caller supplies a reusable gate
+  /// scratch matrix. Cells that don't override these fall back to the
+  /// allocating step (identical results, just slower).
+  virtual void step_scratch(const std::vector<int>& tokens, LstmState& state,
+                            Matrix& gate_scratch) const {
+    (void)gate_scratch;
+    step(tokens, state);
+  }
+  virtual void step_dense_scratch(const Matrix& input, LstmState& state,
+                                  Matrix& gate_scratch) const {
+    (void)gate_scratch;
+    step_dense(input, state);
+  }
+
   virtual void save(BinaryWriter& w) const = 0;
 };
 

@@ -8,28 +8,6 @@
 
 namespace misuse::nn {
 
-namespace {
-// Writes softmax of `logits_row` into `probs_row`, returns log-partition
-// pieces needed for the loss: (max, log(sum exp(shifted))).
-struct RowSoftmax {
-  float max;
-  float log_sum;
-};
-
-RowSoftmax row_softmax(std::span<const float> logits_row, std::span<float> probs_row) {
-  const float mx = *std::max_element(logits_row.begin(), logits_row.end());
-  double sum = 0.0;
-  for (std::size_t j = 0; j < logits_row.size(); ++j) {
-    const float e = std::exp(logits_row[j] - mx);
-    probs_row[j] = e;
-    sum += e;
-  }
-  const float inv = static_cast<float>(1.0 / sum);
-  for (auto& p : probs_row) p *= inv;
-  return {mx, static_cast<float>(std::log(sum))};
-}
-}  // namespace
-
 XentResult softmax_xent_backward(const Matrix& logits, std::span<const int> targets,
                                  Matrix& d_logits) {
   assert(targets.size() == logits.rows());
@@ -43,7 +21,7 @@ XentResult softmax_xent_backward(const Matrix& logits, std::span<const int> targ
     const int target = targets[r];
     assert(target >= 0 && static_cast<std::size_t>(target) < d);
     auto probs = d_logits.row(r);
-    const RowSoftmax rs = row_softmax(logits.row(r), probs);
+    const RowSoftmax rs = softmax_row(logits.row(r), probs);
     const float target_logit = logits(r, static_cast<std::size_t>(target));
     result.total_loss += -(static_cast<double>(target_logit) - rs.max - rs.log_sum);
     if (argmax(logits.row(r)) == static_cast<std::size_t>(target)) ++result.correct;
@@ -62,7 +40,7 @@ XentResult softmax_xent_eval(const Matrix& logits, std::span<const int> targets)
   for (std::size_t r = 0; r < logits.rows(); ++r) {
     const int target = targets[r];
     assert(target >= 0 && static_cast<std::size_t>(target) < logits.cols());
-    const RowSoftmax rs = row_softmax(logits.row(r), probs);
+    const RowSoftmax rs = softmax_row(logits.row(r), probs);
     const float target_logit = logits(r, static_cast<std::size_t>(target));
     result.total_loss += -(static_cast<double>(target_logit) - rs.max - rs.log_sum);
     if (argmax(logits.row(r)) == static_cast<std::size_t>(target)) ++result.correct;
@@ -77,7 +55,7 @@ std::vector<double> target_probabilities(const Matrix& logits, std::span<const i
   for (std::size_t r = 0; r < logits.rows(); ++r) {
     const int target = targets[r];
     assert(target >= 0 && static_cast<std::size_t>(target) < logits.cols());
-    row_softmax(logits.row(r), probs);
+    softmax_row(logits.row(r), probs);
     out[r] = probs[static_cast<std::size_t>(target)];
   }
   return out;

@@ -167,9 +167,45 @@ OneClassSvm OneClassSvm::train(const std::vector<std::vector<float>>& points,
 
 double OneClassSvm::score(std::span<const float> x) const {
   assert(x.size() == dim_);
+  // Hot path of online routing: every monitor step scores every cluster's
+  // OC-SVM on the prefix. Four-lane unrolled reductions break the serial
+  // double-add dependency chain of the naive kernel loop (~3x on typical
+  // dims). Both the offline and the online assigner route through here,
+  // so their scores stay mutually bit-identical — the only summation
+  // order the pipeline's determinism contracts depend on.
+  const std::size_t dim = dim_;
   double acc = 0.0;
   for (std::size_t i = 0; i < support_vectors_.size(); ++i) {
-    acc += alphas_[i] * kernel_value(config_.kernel, gamma_, support_vectors_[i], x);
+    const float* s = support_vectors_[i].data();
+    const float* p = x.data();
+    double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+    std::size_t j = 0;
+    if (config_.kernel == KernelKind::kRbf) {
+      for (; j + 4 <= dim; j += 4) {
+        const double d0 = static_cast<double>(s[j]) - p[j];
+        const double d1 = static_cast<double>(s[j + 1]) - p[j + 1];
+        const double d2 = static_cast<double>(s[j + 2]) - p[j + 2];
+        const double d3 = static_cast<double>(s[j + 3]) - p[j + 3];
+        l0 += d0 * d0;
+        l1 += d1 * d1;
+        l2 += d2 * d2;
+        l3 += d3 * d3;
+      }
+      for (; j < dim; ++j) {
+        const double d = static_cast<double>(s[j]) - p[j];
+        l0 += d * d;
+      }
+      acc += alphas_[i] * std::exp(-gamma_ * ((l0 + l1) + (l2 + l3)));
+    } else {
+      for (; j + 4 <= dim; j += 4) {
+        l0 += static_cast<double>(s[j]) * p[j];
+        l1 += static_cast<double>(s[j + 1]) * p[j + 1];
+        l2 += static_cast<double>(s[j + 2]) * p[j + 2];
+        l3 += static_cast<double>(s[j + 3]) * p[j + 3];
+      }
+      for (; j < dim; ++j) l0 += static_cast<double>(s[j]) * p[j];
+      acc += alphas_[i] * ((l0 + l1) + (l2 + l3));
+    }
   }
   return acc - rho_;
 }

@@ -21,6 +21,7 @@
 //       [--shards=N] [--queue-capacity=N] [--backpressure=block|drop_oldest]
 //       [--idle-ttl=SECONDS] [--max-sessions=N] [--batch=N] [--threads=N]
 //       [--alarm-likelihood=X] [--trend-window=N] [--trend-drop=X]
+//       [--infer=auto|scalar|avx2|reference] [--no-quant]
 //       [--no-steps] [--metrics-out=PATH]
 #include <atomic>
 #include <chrono>
@@ -35,6 +36,7 @@
 
 #include "core/detector.hpp"
 #include "core/observability.hpp"
+#include "nn/infer/dispatch.hpp"
 #include "registry/registry.hpp"
 #include "serve/metrics.hpp"
 #include "serve/server.hpp"
@@ -167,6 +169,10 @@ void print_usage(const std::string& program) {
       << "  --alarm-likelihood=X    immediate alarm threshold (default 0.02)\n"
       << "  --trend-window=N        trend detector window (default 8)\n"
       << "  --trend-drop=X          trend alarm relative drop (default 0.5)\n"
+      << "  --infer=MODE            inference kernels: auto | scalar | avx2 | reference\n"
+      << "                          (default auto = fastest bit-identical mode; avx2 is\n"
+      << "                          opt-in and ULP-close, not bit-identical)\n"
+      << "  --no-quant              ignore quantized weight sections in the archive\n"
       << "  --no-steps              emit only session reports, not per-step verdicts\n"
       << "  --metrics-out=PATH      write the metrics/trace snapshot on exit\n"
       << "  --wal-dir=DIR           crash safety: per-shard write-ahead log + snapshots\n"
@@ -337,7 +343,9 @@ int serve_main(int argc, char** argv) {
   }
   config.idle_ttl_seconds = args.real("idle-ttl", 900.0);
   config.max_sessions = static_cast<std::size_t>(args.integer("max-sessions", 4096));
-  config.emit_steps = !args.flag("no-steps");
+  // CliArgs folds "--no-X" into key "X" with value "false", so negative
+  // flags are read through their positive name with a true default.
+  config.emit_steps = args.flag("steps", true);
   config.monitor.alarm_likelihood = args.real("alarm-likelihood", 0.02);
   config.monitor.trend_window = static_cast<std::size_t>(args.integer("trend-window", 8));
   config.monitor.trend_drop = args.real("trend-drop", 0.5);
@@ -349,6 +357,23 @@ int serve_main(int argc, char** argv) {
   if (args.has("threads")) {
     set_global_threads(static_cast<std::size_t>(args.integer("threads", 0)));
   }
+  // Kernel selection must be settled before the detector loads: quant
+  // gating happens at load time, and the mode is process-global.
+  if (args.has("infer")) {
+    const auto mode = nn::infer::parse_infer_mode(args.str("infer"));
+    if (!mode) {
+      std::cerr << "unknown --infer mode '" << args.str("infer")
+                << "' (auto | scalar | avx2 | reference)\n";
+      return 2;
+    }
+    nn::infer::set_infer_mode(*mode);
+  }
+  if (!args.flag("quant", true)) nn::infer::set_quant_enabled(false);
+  log_info() << "inference kernels: " << nn::infer::infer_mode_name(nn::infer::infer_mode())
+             << " (effective "
+             << nn::infer::infer_mode_name(nn::infer::effective_infer_mode())
+             << ", avx2 " << (nn::infer::avx2_supported() ? "available" : "unavailable")
+             << ", quantized sections " << (nn::infer::quant_enabled() ? "on" : "off") << ")";
 
   core::register_core_metrics();
   core::MetricsExport metrics_export(args.str("metrics-out"));

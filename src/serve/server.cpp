@@ -170,9 +170,16 @@ void ScoringServer::pump(std::vector<OutputRecord>& out) {
     pumped.fetch_add(backlog.size(), std::memory_order_relaxed);
     Span drain_span("serve.shard_drain");
     std::lock_guard<std::mutex> lock(shard.mutex);
+    // Hand the whole drain to the shard as one batch: distinct sessions'
+    // model forwards fuse into batched inference-engine steps, while
+    // arrival order (and the output stream) stays bit-identical to the
+    // per-event path.
+    std::vector<SessionShard::PendingEvent> batch;
+    batch.reserve(backlog.size());
     for (const Pending& p : backlog) {
-      shard.table->process(p.event, p.action, p.resolved_under.get(), p.seq, shard_out[s]);
+      batch.push_back({&p.event, p.action, p.resolved_under.get(), p.seq});
     }
+    shard.table->process_batch(batch, shard_out[s]);
     // Group commit: one write hands the whole drain's WAL records to the
     // OS before any of its verdicts become externally visible.
     if (s < wals_.size() && wals_[s] != nullptr) wals_[s]->flush();

@@ -11,77 +11,173 @@ namespace misuse::serve {
 void SessionShard::process(const Event& event, int action,
                            const core::MisuseDetector* resolved_under, std::uint64_t seq,
                            std::vector<OutputRecord>& out) {
+  const PendingEvent pending{&event, action, resolved_under, seq};
+  process_batch(std::span<const PendingEvent>(&pending, 1), out);
+}
+
+void SessionShard::process_batch(std::span<const PendingEvent> events,
+                                 std::vector<OutputRecord>& out) {
   const bool record = metrics_enabled();
   Timer timer;
-  const std::string key = session_key(event);
-  auto it = sessions_.find(key);
-  // A session's actions are always interpreted under the model it pinned
-  // at open. When the id was resolved under a different model (the event
-  // raced a hot-swap), re-resolve the raw action string here — for
-  // vocab-compatible swaps this yields the same id; for incompatible
-  // ones it prevents feeding a foreign id to the pinned model.
-  const core::MisuseDetector* pinned =
-      it != sessions_.end() ? it->second.model.detector.get() : model_.detector.get();
-  if (pinned != resolved_under) {
-    action = resolve_action_id(pinned->vocab(), event.action);
-    if (action < 0) {
-      serve_metrics().parse_errors.inc();
-      out.push_back({seq, render_error_record("unknown action", event.action)});
-      return;
+  std::size_t scored = 0;
+
+  // Staged steps: bookkeeping (clock, last_seen, WAL, watermark) already
+  // applied in arrival order; the monitor advance is deferred so distinct
+  // sessions' forwards fuse into one batched step per pinned detector.
+  // Entry pointers are stable (node-based map) and no staged entry is
+  // ever evicted (flush runs before evict_lru).
+  struct Staged {
+    const Event* event;
+    Entry* entry;
+    int action;
+    std::uint64_t seq;
+  };
+  std::vector<Staged> staged;
+  staged.reserve(events.size());
+
+  std::vector<const core::MisuseDetector*> batch_models;
+  std::vector<core::OnlineMonitor*> batch_monitors;
+  std::vector<int> batch_actions;
+  std::vector<std::size_t> batch_index;
+  std::vector<core::OnlineMonitor::StepResult> results;
+
+  const auto flush = [&] {
+    if (staged.empty()) return;
+    results.clear();
+    results.resize(staged.size());
+    // One fused observe_batch per distinct pinned detector (almost always
+    // exactly one; more only mid-hot-swap), in first-appearance order.
+    batch_models.clear();
+    for (const Staged& s : staged) {
+      const auto* detector = s.entry->model.detector.get();
+      if (std::find(batch_models.begin(), batch_models.end(), detector) == batch_models.end()) {
+        batch_models.push_back(detector);
+      }
     }
-  }
-  if (it != sessions_.end() && it->second.replay_pos < it->second.replay_skip.size()) {
-    // Resume-replay dedup: the producer is resending the stream from
-    // origin after a restart; events matching the session's already-
-    // applied action prefix are consumed silently (no WAL append, no
-    // scoring, no output) so the rebuilt state is not double-fed.
+    std::vector<core::OnlineMonitor::StepResult> group_results;
+    for (const auto* detector : batch_models) {
+      batch_monitors.clear();
+      batch_actions.clear();
+      batch_index.clear();
+      for (std::size_t i = 0; i < staged.size(); ++i) {
+        if (staged[i].entry->model.detector.get() != detector) continue;
+        batch_monitors.push_back(staged[i].entry->monitor.get());
+        batch_actions.push_back(staged[i].action);
+        batch_index.push_back(i);
+      }
+      group_results.assign(batch_index.size(), {});
+      core::OnlineMonitor::observe_batch(*detector, batch_monitors, batch_actions, group_results);
+      for (std::size_t j = 0; j < batch_index.size(); ++j) {
+        results[batch_index[j]] = std::move(group_results[j]);
+      }
+    }
+    // Post-processing replays arrival order, so records, observers, and
+    // the shadow scorer see exactly the per-event sequence.
+    for (std::size_t i = 0; i < staged.size(); ++i) {
+      Entry& entry = *staged[i].entry;
+      const Event& event = *staged[i].event;
+      const core::OnlineMonitor::StepResult& step = results[i];
+      if (config_.track_history) entry.actions.push_back(staged[i].action);
+      entry.acc.add(step);
+      if (config_.emit_steps) out.push_back({staged[i].seq, render_step_record(event, step)});
+      if (step_observer_) step_observer_(event, step);
+      if (shadow_) shadow_->observe(event, step);
+      entry.staged = false;
+      if (record) {
+        ServeMetrics& sm = serve_metrics();
+        sm.events.inc();
+        sm.steps.inc();
+        if (step.alarm) sm.alarms.inc();
+      }
+    }
+    scored += staged.size();
+    staged.clear();
+  };
+
+  for (const PendingEvent& pending : events) {
+    const Event& event = *pending.event;
+    int action = pending.action;
+    const std::string key = session_key(event);
+    auto it = sessions_.find(key);
+    // A session's actions are always interpreted under the model it
+    // pinned at open. When the id was resolved under a different model
+    // (the event raced a hot-swap), re-resolve the raw action string —
+    // for vocab-compatible swaps this yields the same id; for
+    // incompatible ones it prevents feeding a foreign id to the pinned
+    // model.
+    const core::MisuseDetector* pinned =
+        it != sessions_.end() ? it->second.model.detector.get() : model_.detector.get();
+    if (pinned != pending.resolved_under) {
+      action = resolve_action_id(pinned->vocab(), event.action);
+      if (action < 0) {
+        serve_metrics().parse_errors.inc();
+        out.push_back({pending.seq, render_error_record("unknown action", event.action)});
+        continue;
+      }
+    }
+    if (it != sessions_.end() && it->second.replay_pos < it->second.replay_skip.size()) {
+      // Resume-replay dedup: the producer is resending the stream from
+      // origin after a restart; events matching the session's already-
+      // applied action prefix are consumed silently (no WAL append, no
+      // scoring, no output) so the rebuilt state is not double-fed.
+      // (A session with an armed skip list has no staged step: scoring
+      // any event first clears the list.)
+      Entry& entry = it->second;
+      if (action == entry.replay_skip[entry.replay_pos]) {
+        ++entry.replay_pos;
+        if (event.has_timestamp) clock_ = std::max(clock_, event.timestamp);
+        entry.last_seen = event.has_timestamp ? event.timestamp : clock_;
+        serve_metrics().replay_skipped.inc();
+        continue;
+      }
+      // The stream diverged from history — stop skipping, score normally.
+      entry.replay_skip.clear();
+      entry.replay_pos = 0;
+    }
+    if (it == sessions_.end()) {
+      if (sessions_.size() >= config_.max_sessions) {
+        // The LRU victim may have a staged step — settle it before the
+        // eviction report, exactly as the one-by-one path would.
+        flush();
+        evict_lru(pending.seq, out);
+      }
+      Entry entry;
+      entry.user_id = event.user_id;
+      entry.session_id = event.session_id;
+      entry.model = model_;
+      entry.monitor =
+          std::make_unique<core::OnlineMonitor>(*entry.model.detector, config_.monitor);
+      it = sessions_.emplace(key, std::move(entry)).first;
+      ServeMetrics& sm = serve_metrics();
+      sm.sessions_opened.inc();
+      sm.sessions_active.add(1);
+    } else if (it->second.staged) {
+      // Second action of one session inside the batch: its first step
+      // must advance the monitor before this one stages.
+      flush();
+    }
     Entry& entry = it->second;
-    if (action == entry.replay_skip[entry.replay_pos]) {
-      ++entry.replay_pos;
-      if (event.has_timestamp) clock_ = std::max(clock_, event.timestamp);
-      entry.last_seen = event.has_timestamp ? event.timestamp : clock_;
-      serve_metrics().replay_skipped.inc();
-      return;
-    }
-    // The stream diverged from history — stop skipping, score normally.
-    entry.replay_skip.clear();
-    entry.replay_pos = 0;
+    if (event.has_timestamp) clock_ = std::max(clock_, event.timestamp);
+    entry.last_seen = event.has_timestamp ? event.timestamp : clock_;
+
+    // Log before apply (group commit: append() buffers the record; the
+    // server flushes the batch to the OS before any of its verdicts
+    // become externally visible, so every emitted verdict's event is
+    // recoverable).
+    if (wal_ != nullptr) wal_->append(encode_event_record(event, pending.seq));
+    last_applied_seq_ = std::max(last_applied_seq_, pending.seq);
+
+    entry.staged = true;
+    staged.push_back({&event, &entry, action, pending.seq});
   }
-  if (it == sessions_.end()) {
-    if (sessions_.size() >= config_.max_sessions) evict_lru(seq, out);
-    Entry entry;
-    entry.user_id = event.user_id;
-    entry.session_id = event.session_id;
-    entry.model = model_;
-    entry.monitor = std::make_unique<core::OnlineMonitor>(*entry.model.detector, config_.monitor);
-    it = sessions_.emplace(key, std::move(entry)).first;
+  flush();
+
+  if (record && scored > 0) {
+    // The timer spans the whole batch; attribute an equal share to each
+    // scored step so the histogram's count still equals the step count.
     ServeMetrics& sm = serve_metrics();
-    sm.sessions_opened.inc();
-    sm.sessions_active.add(1);
-  }
-  Entry& entry = it->second;
-  if (event.has_timestamp) clock_ = std::max(clock_, event.timestamp);
-  entry.last_seen = event.has_timestamp ? event.timestamp : clock_;
-
-  // Log before apply (group commit: append() buffers the record; the
-  // server flushes the batch to the OS before any of its verdicts become
-  // externally visible, so every emitted verdict's event is recoverable).
-  if (wal_ != nullptr) wal_->append(encode_event_record(event, seq));
-
-  const core::OnlineMonitor::StepResult step = entry.monitor->observe(action);
-  if (config_.track_history) entry.actions.push_back(action);
-  last_applied_seq_ = std::max(last_applied_seq_, seq);
-  entry.acc.add(step);
-  if (config_.emit_steps) out.push_back({seq, render_step_record(event, step)});
-  if (step_observer_) step_observer_(event, step);
-  if (shadow_) shadow_->observe(event, step);
-
-  if (record) {
-    ServeMetrics& sm = serve_metrics();
-    sm.events.inc();
-    sm.steps.inc();
-    if (step.alarm) sm.alarms.inc();
-    sm.step_seconds.record(timer.seconds());
+    const double share = timer.seconds() / static_cast<double>(scored);
+    for (std::size_t i = 0; i < scored; ++i) sm.step_seconds.record(share);
   }
 }
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -89,6 +90,22 @@ class SessionShard {
   /// own vocabulary, so a stale id is never fed to the wrong model.
   void process(const Event& event, int action, const core::MisuseDetector* resolved_under,
                std::uint64_t seq, std::vector<OutputRecord>& out);
+
+  /// One queued event, pre-resolved by the server's parse stage. The
+  /// pointed-to Event must stay alive for the process_batch call.
+  struct PendingEvent {
+    const Event* event = nullptr;
+    int action = -1;
+    const core::MisuseDetector* resolved_under = nullptr;
+    std::uint64_t seq = 0;
+  };
+
+  /// Applies a batch of events in arrival order, bit-identical to calling
+  /// process() per event — but the model forwards of distinct sessions
+  /// are fused into per-detector batched steps (the inference engine's
+  /// hot path). Consecutive events of the *same* session still advance
+  /// strictly in sequence: a session hit flushes the pending batch first.
+  void process_batch(std::span<const PendingEvent> events, std::vector<OutputRecord>& out);
 
   /// Retires sessions idle past the TTL at event time `now`; reports are
   /// emitted in key order (deterministic across runs and platforms).
@@ -165,6 +182,9 @@ class SessionShard {
     /// Resume-replay dedup: actions[0..replay_pos) already consumed.
     std::vector<int> replay_skip;
     std::size_t replay_pos = 0;
+    /// True while a step for this session sits in process_batch's staging
+    /// area (its monitor state is about to advance).
+    bool staged = false;
   };
 
   void finish_entry(const Entry& entry, ReportReason reason, std::uint64_t seq,

@@ -233,14 +233,7 @@ void sum_rows(const Matrix& m, std::span<float> out) {
 void softmax_rows(Matrix& m) {
   for (std::size_t r = 0; r < m.rows(); ++r) {
     auto row = m.row(r);
-    const float mx = *std::max_element(row.begin(), row.end());
-    float sum = 0.0f;
-    for (auto& v : row) {
-      v = std::exp(v - mx);
-      sum += v;
-    }
-    const float inv = 1.0f / sum;
-    for (auto& v : row) v *= inv;
+    (void)softmax_row(row, row);
   }
 }
 

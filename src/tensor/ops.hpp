@@ -9,11 +9,39 @@
 // count.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <span>
 
 #include "tensor/matrix.hpp"
 
 namespace misuse {
+
+/// Log-partition pieces of one softmax row: (max, log(sum exp(shifted))).
+/// The cross-entropy loss is -(logit[target] - max - log_sum).
+struct RowSoftmax {
+  float max;
+  float log_sum;
+};
+
+/// Numerically stable softmax of `logits_row` into `probs_row` (aliasing
+/// the two spans is fine — each element is read before it is written).
+/// The sum is accumulated in double so the normalizer doesn't lose bits
+/// on wide rows; every consumer of a softmax'd distribution (training
+/// loss, NextActionModel::step, the fused inference kernels) shares this
+/// one definition so their outputs stay bit-identical to each other.
+inline RowSoftmax softmax_row(std::span<const float> logits_row, std::span<float> probs_row) {
+  const float mx = *std::max_element(logits_row.begin(), logits_row.end());
+  double sum = 0.0;
+  for (std::size_t j = 0; j < logits_row.size(); ++j) {
+    const float e = std::exp(logits_row[j] - mx);
+    probs_row[j] = e;
+    sum += e;
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (auto& p : probs_row) p *= inv;
+  return {mx, static_cast<float>(std::log(sum))};
+}
 
 /// Execution policy of the GEMM kernels. kAuto parallelizes across the
 /// global pool when the flop count clears gemm_parallel_threshold() and

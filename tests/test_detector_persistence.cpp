@@ -12,6 +12,8 @@
 
 #include "core/detector.hpp"
 #include "core/monitor.hpp"
+#include "nn/infer/dispatch.hpp"
+#include "nn/infer/quant.hpp"
 #include "synth/portal.hpp"
 #include "util/failpoint.hpp"
 #include "util/serialize.hpp"
@@ -252,6 +254,148 @@ TEST_F(PersistenceFixture, InjectedLstmCorruptionDegradesToMarkovFallback) {
     EXPECT_EQ(acc.report().degraded, saw_degraded_step);
     break;
   }
+}
+
+// --- archive v3: quantized weight sections -----------------------------
+
+// The quantized payload begins with its "IMQT" magic; locating it in the
+// raw archive gives a byte offset inside the (CRC-protected) quant
+// section without hard-coding the layout of everything before it.
+std::size_t first_quant_payload(const std::string& archive) {
+  const std::size_t at = archive.find("IMQT");
+  EXPECT_NE(at, std::string::npos) << "no quantized section in archive";
+  return at;
+}
+
+std::string save_quantized(const MisuseDetector& detector, nn::infer::QuantKind kind) {
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(out);
+  DetectorSaveOptions options;
+  options.quant = kind;
+  detector.save(writer, options);
+  return out.str();
+}
+
+struct QuantEnabledGuard {
+  bool saved = nn::infer::quant_enabled();
+  ~QuantEnabledGuard() { nn::infer::set_quant_enabled(saved); }
+};
+
+TEST_F(PersistenceFixture, QuantizedArchiveRoundTripAttachesAllClusters) {
+  QuantEnabledGuard guard;
+  nn::infer::set_quant_enabled(true);
+  const MisuseDetector loaded = load_from(save_quantized(*detector_, nn::infer::QuantKind::kInt8));
+  EXPECT_EQ(loaded.quant_degraded_count(), 0u);
+  for (std::size_t c = 0; c < loaded.cluster_count(); ++c) {
+    EXPECT_TRUE(loaded.cluster_quantized(c)) << "cluster " << c;
+  }
+  // kFloat precision ignores the quantized weights entirely, so a monitor
+  // over the quantized archive must match the float archive bit for bit.
+  const MisuseDetector float_loaded = load_from(*archive_);
+  const MonitorConfig config;
+  OnlineMonitor quant_monitor(loaded, config, MisuseDetector::ScoringPrecision::kFloat);
+  OnlineMonitor float_monitor(float_loaded, config);
+  for (std::size_t i = 0; i < store_->size(); ++i) {
+    if (store_->at(i).length() < 4) continue;
+    for (const int action : store_->at(i).view()) {
+      const auto a = quant_monitor.observe(action);
+      const auto b = float_monitor.observe(action);
+      EXPECT_EQ(a.likelihood_voted, b.likelihood_voted);
+      EXPECT_EQ(a.alarm, b.alarm);
+    }
+    break;
+  }
+}
+
+TEST_F(PersistenceFixture, CorruptQuantSectionFallsBackToFloatWithoutCrashing) {
+  QuantEnabledGuard guard;
+  nn::infer::set_quant_enabled(true);
+  std::string archive = save_quantized(*detector_, nn::infer::QuantKind::kInt8);
+  const std::size_t payload = first_quant_payload(archive);
+  ASSERT_LT(payload + 20, archive.size());
+  archive[payload + 20] ^= 0x40;  // bit-rot inside the quant payload
+
+  const MisuseDetector loaded = load_from(archive);  // must not throw
+  EXPECT_EQ(loaded.quant_degraded_count(), 1u);
+  // Exactly one cluster lost its quantized weights; it must flag degraded
+  // quant, serve floats, and score bit-identically to the float archive.
+  const MisuseDetector float_loaded = load_from(*archive_);
+  std::size_t degraded_cluster = loaded.cluster_count();
+  for (std::size_t c = 0; c < loaded.cluster_count(); ++c) {
+    if (loaded.cluster_quant_degraded(c)) {
+      degraded_cluster = c;
+      EXPECT_FALSE(loaded.cluster_quantized(c));
+    }
+  }
+  ASSERT_LT(degraded_cluster, loaded.cluster_count());
+  std::span<const int> probe;
+  for (std::size_t i = 0; i < store_->size(); ++i) {
+    if (store_->at(i).length() >= 4) {
+      probe = store_->at(i).view();
+      break;
+    }
+  }
+  ASSERT_FALSE(probe.empty());
+  auto corrupt_state = loaded.make_cluster_state(degraded_cluster);
+  auto float_state = float_loaded.make_cluster_state(degraded_cluster);
+  std::vector<float> corrupt_probs, float_probs;
+  for (const int action : probe) {
+    loaded.step_cluster_into(degraded_cluster, corrupt_state, action, corrupt_probs);
+    float_loaded.step_cluster_into(degraded_cluster, float_state, action, float_probs);
+    EXPECT_EQ(corrupt_probs, float_probs);  // bit-exact float fallback
+  }
+}
+
+TEST_F(PersistenceFixture, TruncationInsideQuantSectionThrows) {
+  QuantEnabledGuard guard;
+  nn::infer::set_quant_enabled(true);
+  std::string archive = save_quantized(*detector_, nn::infer::QuantKind::kFp16);
+  const std::size_t payload = first_quant_payload(archive);
+  archive.resize(payload + 8);  // structural damage, not bit-rot
+  EXPECT_THROW((void)load_from(archive), SerializeError);
+}
+
+TEST_F(PersistenceFixture, V3ArchiveLoadsWithQuantizationDisabled) {
+  QuantEnabledGuard guard;
+  nn::infer::set_quant_enabled(false);
+  const MisuseDetector loaded = load_from(save_quantized(*detector_, nn::infer::QuantKind::kInt8));
+  // Disabled != degraded: the section is intact, just unused.
+  EXPECT_EQ(loaded.quant_degraded_count(), 0u);
+  for (std::size_t c = 0; c < loaded.cluster_count(); ++c) {
+    EXPECT_FALSE(loaded.cluster_quantized(c));
+  }
+  // With the quantized weights ignored, scoring is the float path — bit-
+  // identical to the unquantized archive.
+  const MisuseDetector float_loaded = load_from(*archive_);
+  const MonitorConfig config;
+  OnlineMonitor a(loaded, config);
+  OnlineMonitor b(float_loaded, config);
+  for (std::size_t i = 0; i < store_->size(); ++i) {
+    if (store_->at(i).length() < 4) continue;
+    for (const int action : store_->at(i).view()) {
+      const auto ra = a.observe(action);
+      const auto rb = b.observe(action);
+      EXPECT_EQ(ra.likelihood_voted, rb.likelihood_voted);
+      EXPECT_EQ(ra.alarm, rb.alarm);
+    }
+    break;
+  }
+}
+
+TEST_F(PersistenceFixture, QuantLoadFailpointDegradesEveryCluster) {
+  if (!failpoints::compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+  QuantEnabledGuard guard;
+  nn::infer::set_quant_enabled(true);
+  const std::string archive = save_quantized(*detector_, nn::infer::QuantKind::kInt8);
+  failpoints::configure("detector.load.quant=always");
+  const MisuseDetector loaded = load_from(archive);
+  failpoints::clear();
+  EXPECT_EQ(loaded.quant_degraded_count(), loaded.cluster_count());
+  for (std::size_t c = 0; c < loaded.cluster_count(); ++c) {
+    EXPECT_FALSE(loaded.cluster_quantized(c));
+  }
+  // Still serves — from the float weights, not the fallback chain.
+  EXPECT_EQ(loaded.degraded_cluster_count(), 0u);
 }
 
 TEST_F(PersistenceFixture, AllLstmSectionsCorruptStillServesFromMarkov) {

@@ -107,6 +107,7 @@ class ServeProcess {
   }
 
   std::istream& out() { return *stdout_stream_; }
+  std::istream& err() { return *stderr_stream_; }
 
   /// Blocks until the child logs its listening port on stderr.
   std::uint16_t wait_for_port() {
@@ -365,6 +366,29 @@ TEST_F(ServeProcessFixture, Kill9RecoveryMatchesBaseline) {
   const auto lines = feed_and_drain(restarted, *trace_, status);  // from origin
   EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
   EXPECT_EQ(session_reports(lines), baseline);
+}
+
+// CliArgs folds "--no-X" into key "X" with value "false", so main must
+// read negative flags through their positive name; a consumption bug
+// once left --no-steps and --no-quant silently inert. Pin both through
+// the real binary: --no-steps suppresses per-step verdicts (reports
+// still drain), and --no-quant flips the quant gate before model load
+// (visible in the kernel-selection log line).
+TEST_F(ServeProcessFixture, NegativeFlagsReachTheServer) {
+  ServeProcess proc({"--model=" + *model_path_, "--batch=4", "--no-steps", "--no-quant"});
+  int status = 0;
+  const auto lines = feed_and_drain(proc, *trace_, status);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.find("\"type\":\"step\""), std::string::npos) << line;
+  }
+  EXPECT_EQ(session_reports(lines).size(), 6u) << "one report per drained session";
+  const auto logs = drain(proc.err());
+  EXPECT_TRUE(std::any_of(logs.begin(), logs.end(),
+                          [](const std::string& l) {
+                            return l.find("quantized sections off") != std::string::npos;
+                          }))
+      << "--no-quant did not reach the quant gate";
 }
 
 }  // namespace
