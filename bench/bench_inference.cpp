@@ -38,6 +38,7 @@
 #include "nn/next_action_model.hpp"
 #include "synth/portal.hpp"
 #include "util/cli.hpp"
+#include "util/hostinfo.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -255,6 +256,7 @@ int main(int argc, char** argv) {
   json.begin_object();
   json.member("hardware_concurrency",
               static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  write_host_info(json);
   json.member("reduced", reduced);
   json.member("avx2_supported", nn::infer::avx2_supported());
   json.member("note",

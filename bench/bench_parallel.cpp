@@ -32,6 +32,7 @@
 #include "tensor/ops.hpp"
 #include "topics/ensemble.hpp"
 #include "util/cli.hpp"
+#include "util/hostinfo.hpp"
 #include "util/json.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
@@ -207,6 +208,7 @@ int main(int argc, char** argv) {
   json.begin_object();
   json.member("hardware_concurrency",
               static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  write_host_info(json);
   json.member("repetitions_best_of", static_cast<std::size_t>(kRepetitions));
   json.member("note",
               "Wall-clock seconds per stage (trace-span min over repetitions); speedup is "

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Minimal Prometheus text-exposition (0.0.4) linter for the /metrics
+# endpoint: every sample line must parse, every sample's family must be
+# declared by a preceding `# TYPE` line, histogram bucket counts must be
+# cumulative-monotone and end in a `+Inf` bucket equal to `_count`, and
+# counter sample names must end in `_total`. Reads one exposition from
+# stdin (or a file argument); exits nonzero with a diagnostic per
+# violation.
+#
+# usage: scripts/promlint.sh [FILE]
+set -euo pipefail
+
+exec awk '
+function fail(msg) { printf "promlint: line %d: %s\n", NR, msg > "/dev/stderr"; bad = 1 }
+function base_of(name) {
+  if (name ~ /_bucket$/) return substr(name, 1, length(name) - 7)
+  if (name ~ /_sum$/)    return substr(name, 1, length(name) - 4)
+  if (name ~ /_count$/)  return substr(name, 1, length(name) - 6)
+  return name
+}
+BEGIN { samples = 0 }
+/^$/ { next }
+/^# TYPE / {
+  if (split($0, t, " ") != 4) { fail("malformed TYPE line: " $0); next }
+  if (t[4] !~ /^(counter|gauge|histogram|summary)$/) fail("unknown type " t[4])
+  if (t[3] in type) fail("duplicate TYPE for " t[3])
+  type[t[3]] = t[4]
+  next
+}
+/^#/ { next }  # HELP and other comments
+{
+  # Sample: name[{labels}] value
+  if (match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*/) == 0) { fail("bad metric name: " $0); next }
+  name = substr($0, 1, RLENGTH)
+  rest = substr($0, RLENGTH + 1)
+  labels = ""
+  if (rest ~ /^\{/) {
+    close_idx = index(rest, "}")
+    if (close_idx == 0) { fail("unterminated label set: " $0); next }
+    labels = substr(rest, 2, close_idx - 2)
+    rest = substr(rest, close_idx + 1)
+  }
+  if (rest !~ /^ (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)$/) {
+    fail("bad sample value: " $0); next
+  }
+  value = substr(rest, 2)
+  ++samples
+
+  # Family resolution: exact declaration, or a histogram/summary series.
+  family = ""
+  if (name in type) family = name
+  else {
+    b = base_of(name)
+    if (b in type && (type[b] == "histogram" || type[b] == "summary")) family = b
+  }
+  if (family == "") { fail("sample without a # TYPE declaration: " name); next }
+  seen[family] = 1
+
+  if (type[family] == "counter" && name !~ /_total$/) {
+    fail("counter sample not suffixed _total: " name)
+  }
+  if (type[family] == "histogram") {
+    if (name ~ /_bucket$/) {
+      if (labels !~ /(^|,)le="/) { fail("histogram bucket without le label: " $0); next }
+      if (value + 0 < last_bucket[family] + 0) {
+        fail("bucket counts not monotone for " family)
+      }
+      last_bucket[family] = value
+      le = labels; sub(/.*le="/, "", le); sub(/".*/, "", le)
+      last_le[family] = le
+    }
+    if (name ~ /_count$/) hist_count[family] = value
+  }
+}
+END {
+  for (f in type) {
+    if (!(f in seen)) fail("TYPE declared but no samples: " f)
+    if (type[f] == "histogram") {
+      if (last_le[f] != "+Inf") fail("histogram " f " does not end in a +Inf bucket")
+      if (!(f in hist_count)) fail("histogram " f " has no _count sample")
+      else if (last_bucket[f] + 0 != hist_count[f] + 0) {
+        fail("histogram " f ": +Inf bucket " last_bucket[f] " != _count " hist_count[f])
+      }
+    }
+  }
+  if (samples == 0) fail("no samples in exposition")
+  if (bad) exit 1
+  printf "promlint: ok (%d samples, %d families)\n", samples, length(type)
+}
+' "${1:-/dev/stdin}"

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "util/json.hpp"
 #include "util/logging.hpp"
@@ -86,7 +87,15 @@ void MetricsExport::finish() {
                << " alarms (" << m.trend_alarms.value() << " trend), disagreement rate "
                << monitor_disagreement_rate();
   }
-  if (!path_.empty() && write_metrics_snapshot_file(path_)) {
+  if (path_.empty()) {
+    // No destination file: still flush a final registry snapshot to the
+    // log so a drained process leaves its counters on record. One line,
+    // registry only (the stage tree was just logged above).
+    std::ostringstream out;
+    JsonWriter json(out);
+    metrics().write_json(json);
+    log_info() << "final metrics snapshot: " << out.str();
+  } else if (write_metrics_snapshot_file(path_)) {
     log_info() << "metrics snapshot written to " << path_;
   }
 }

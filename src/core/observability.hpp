@@ -51,6 +51,9 @@ bool write_metrics_snapshot_file(const std::string& path);
 /// End-of-run hook. Owned by Experiment so every bench binary inherits
 /// it: when the run ends (destructor), logs the aggregated stage tree at
 /// info level and, if a path was configured, writes the JSON snapshot.
+/// With an empty path the registry snapshot is still logged (one INFO
+/// line), so a drained server leaves its final counters on record even
+/// when --metrics-out was never set.
 class MetricsExport {
  public:
   MetricsExport() = default;

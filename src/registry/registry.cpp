@@ -57,6 +57,17 @@ std::optional<std::uint64_t> ModelRegistry::canary() const {
   return std::nullopt;
 }
 
+ModelRegistry::Status ModelRegistry::status() const {
+  Status out;
+  out.current = current();
+  for (const auto& meta : list()) {
+    ++out.versions;
+    out.latest = std::max(out.latest, meta.version);
+    if (meta.state == VersionState::kCanary) out.canary = meta.version;
+  }
+  return out;
+}
+
 std::vector<VersionMetadata> ModelRegistry::list() const {
   std::vector<VersionMetadata> out;
   std::error_code ec;

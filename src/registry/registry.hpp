@@ -74,6 +74,17 @@ class ModelRegistry {
   /// The unique canary version, if one exists.
   std::optional<std::uint64_t> canary() const;
 
+  /// One consistent look at what the registry is serving, from a single
+  /// directory scan — what a poller (hot-swap reloader, /statusz) wants,
+  /// instead of three scans that can interleave with a promote.
+  struct Status {
+    std::optional<std::uint64_t> current;  // what CURRENT points at
+    std::optional<std::uint64_t> canary;   // the soaking candidate, if any
+    std::size_t versions = 0;              // published versions on disk
+    std::uint64_t latest = 0;              // highest published number (0 = none)
+  };
+  Status status() const;
+
   std::string version_dir(std::uint64_t version) const;
   std::string archive_path(std::uint64_t version) const;
 

@@ -23,6 +23,7 @@
 //       [--alarm-likelihood=X] [--trend-window=N] [--trend-drop=X]
 //       [--infer=auto|scalar|avx2|reference] [--no-quant]
 //       [--no-steps] [--metrics-out=PATH]
+//       [--admin-port=PORT] [--trace-sample=N]
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -38,13 +39,16 @@
 #include "core/observability.hpp"
 #include "nn/infer/dispatch.hpp"
 #include "registry/registry.hpp"
+#include "serve/admin.hpp"
 #include "serve/metrics.hpp"
 #include "serve/server.hpp"
+#include "serve/trace_sampler.hpp"
 #include "util/cli.hpp"
 #include "util/line_io.hpp"
 #include "util/logging.hpp"
 #include "util/socket.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace misuse::serve {
 namespace {
@@ -88,12 +92,23 @@ class ModelReloader {
         poll_(poll_seconds),
         shadow_(shadow),
         canary_fraction_(canary_fraction) {
-    active_ = registry_.current().value_or(0);
+    active_.store(registry_.current().value_or(0), std::memory_order_relaxed);
     try {
-      refresh_shadow();
+      refresh_shadow(registry_.canary());
     } catch (const std::exception& e) {
       log_warn() << "shadow setup failed: " << e.what();
     }
+  }
+
+  /// Version names for /statusz; readable from the admin thread while
+  /// the reloader runs on the sweeper/pipe thread.
+  std::string active_version() const {
+    const std::uint64_t v = active_.load(std::memory_order_relaxed);
+    return v == 0 ? std::string{} : registry::version_name(v);
+  }
+  std::string canary_version() const {
+    const std::uint64_t v = canary_.load(std::memory_order_relaxed);
+    return v == 0 ? std::string{} : registry::version_name(v);
   }
 
   /// Called at batch boundaries (pipe mode) / sweeper ticks (TCP mode).
@@ -103,27 +118,36 @@ class ModelReloader {
     if (!forced && std::chrono::duration<double>(now - last_check_).count() < poll_) return;
     last_check_ = now;
     try {
-      const auto current = registry_.current();
-      if (current && *current != active_) {
-        ModelHandle next{registry_.load(*current), registry::version_name(*current)};
+      // One directory scan answers both "did CURRENT move" and "did the
+      // canary change" — the two can't interleave with a promote.
+      const registry::ModelRegistry::Status status = registry_.status();
+      if (status.current && *status.current != active_.load(std::memory_order_relaxed)) {
+        ModelHandle next{registry_.load(*status.current), registry::version_name(*status.current)};
         server_.swap_model(std::move(next), out);
-        active_ = *current;
+        active_.store(*status.current, std::memory_order_relaxed);
       }
-      refresh_shadow();
+      refresh_shadow(status.canary);
+      if (failure_streak_ != 0) {
+        failure_streak_ = 0;
+        serve_metrics().reload_failure_streak.set(0);
+      }
     } catch (const std::exception& e) {
+      serve_metrics().reload_failures.inc();
+      serve_metrics().reload_failure_streak.set(static_cast<std::int64_t>(++failure_streak_));
       log_warn() << "model reload failed (still serving "
-                 << registry::version_name(active_) << "): " << e.what();
+                 << registry::version_name(active_.load(std::memory_order_relaxed))
+                 << "): " << e.what();
     }
   }
 
  private:
-  void refresh_shadow() {
+  void refresh_shadow(std::optional<std::uint64_t> canary) {
     if (!shadow_) return;
-    const auto canary = registry_.canary();
     if (canary == shadow_version_) return;
     if (!canary) {
       server_.clear_shadow();
       shadow_version_.reset();
+      canary_.store(0, std::memory_order_relaxed);
       log_info() << "shadow scoring off (no canary in the registry)";
       return;
     }
@@ -134,6 +158,7 @@ class ModelReloader {
     plan.monitor = server_.config().monitor;
     server_.set_shadow(plan);
     shadow_version_ = canary;
+    canary_.store(*canary, std::memory_order_relaxed);
     log_info() << "shadow scoring " << plan.version << " on a " << plan.fraction
                << " fraction of sessions";
   }
@@ -143,8 +168,10 @@ class ModelReloader {
   double poll_;  // seconds between CURRENT checks
   bool shadow_;
   double canary_fraction_;
-  std::uint64_t active_ = 0;
+  std::atomic<std::uint64_t> active_{0};
+  std::atomic<std::uint64_t> canary_{0};
   std::optional<std::uint64_t> shadow_version_;
+  std::uint64_t failure_streak_ = 0;
   std::chrono::steady_clock::time_point last_check_{};
 };
 
@@ -175,6 +202,10 @@ void print_usage(const std::string& program) {
       << "  --no-quant              ignore quantized weight sections in the archive\n"
       << "  --no-steps              emit only session reports, not per-step verdicts\n"
       << "  --metrics-out=PATH      write the metrics/trace snapshot on exit\n"
+      << "  --admin-port=PORT       operations plane: /metrics (Prometheus) /healthz /statusz\n"
+      << "                          /tracez on a dedicated listener (0 = ephemeral port)\n"
+      << "  --trace-sample=N        head-sample the first N sessions into the live trace ring\n"
+      << "                          (exported via /tracez; off by default)\n"
       << "  --wal-dir=DIR           crash safety: per-shard write-ahead log + snapshots\n"
       << "  --wal-sync=N            fsync each shard WAL every N appends (default 1024)\n"
       << "  --snapshot-every=N      checkpoint every N applied events (default 4096)\n"
@@ -425,6 +456,36 @@ int serve_main(int argc, char** argv) {
                      args.flag("shadow"), args.real("canary-fraction", 1.0));
   }
   ModelReloader* reloader_ptr = reloader ? &*reloader : nullptr;
+
+  // Sampled tracing: the first N distinct sessions get their full span
+  // tree (enqueue -> monitor step -> report) recorded into a bounded
+  // in-memory ring, exported live via /tracez. Off by default: the data
+  // path then pays one relaxed atomic load per event.
+  const auto trace_sample = static_cast<std::size_t>(args.integer("trace-sample", 0));
+  if (trace_sample > 0) {
+    trace_events().enable(65536);
+    server.set_trace_sampler(std::make_shared<SessionTraceSampler>(trace_sample));
+  }
+
+  std::optional<AdminServer> admin;
+  if (args.has("admin-port")) {
+    AdminConfig admin_config;
+    admin_config.port = static_cast<std::uint16_t>(args.integer("admin-port", 0));
+    admin_config.infer_kernel =
+        nn::infer::infer_mode_name(nn::infer::effective_infer_mode());
+    AdminHooks hooks;
+    if (reloader_ptr != nullptr) {
+      hooks.model_version = [reloader_ptr] { return reloader_ptr->active_version(); };
+      hooks.canary_version = [reloader_ptr] { return reloader_ptr->canary_version(); };
+    }
+    try {
+      admin.emplace(server, admin_config, hooks);
+    } catch (const std::exception& e) {
+      std::cerr << "failed to start the admin endpoint: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
   if (args.has("listen")) {
     return run_tcp(server, static_cast<std::uint16_t>(args.integer("listen", 0)), reloader_ptr);
   }

@@ -27,6 +27,10 @@ ServeMetrics& serve_metrics() {
       metrics().gauge("serve.model_version"),
       metrics().histogram("serve.swap_pause_seconds"),
       metrics().gauge("serve.drift_micronats"),
+      metrics().counter("serve.reload_failures"),
+      metrics().gauge("serve.reload_failure_streak"),
+      metrics().counter("serve.admin.scrapes"),
+      metrics().counter("serve.admin.errors"),
       metrics().counter("serve.shadow.steps"),
       metrics().counter("serve.shadow.sessions"),
       metrics().counter("serve.shadow.verdict_flips"),

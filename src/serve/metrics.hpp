@@ -38,6 +38,12 @@ struct ServeMetrics {
   HistogramMetric& swap_pause_seconds;  // serve.swap_pause_seconds — barrier pause per swap
   Gauge& drift_micronats;             // serve.drift_micronats — JS divergence vs training, 1e-6 nats
 
+  // Operations plane (see DESIGN.md "Operations plane").
+  Counter& reload_failures;       // serve.reload_failures — registry reloads that threw
+  Gauge& reload_failure_streak;   // serve.reload_failure_streak — consecutive failures (0 = ok)
+  Counter& admin_scrapes;         // serve.admin.scrapes — admin requests answered
+  Counter& admin_errors;          // serve.admin.errors — admin connections that failed mid-reply
+
   // Shadow / canary scoring (candidate model alongside the active one).
   Counter& shadow_steps;            // serve.shadow.steps — actions scored by the candidate
   Counter& shadow_sessions;         // serve.shadow.sessions — candidate sessions finished

@@ -4,8 +4,10 @@
 #include <cassert>
 #include <cctype>
 #include <filesystem>
+#include <sstream>
 
 #include "serve/metrics.hpp"
+#include "util/json.hpp"
 #include "util/failpoint.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
@@ -28,6 +30,18 @@ std::int64_t numeric_version(const std::string& version) {
   }
   return any ? value : 0;
 }
+
+std::string enqueue_trace_args(const Event& event, std::size_t shard, std::uint64_t seq) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  json.member("action", event.action);
+  json.member("shard", shard);
+  json.member("seq", seq);
+  json.end_object();
+  const std::string s = os.str();
+  return s.substr(1, s.size() - 2);  // TraceEvent::args is the braceless body
+}
 }  // namespace
 
 ScoringServer::ScoringServer(const core::MisuseDetector& detector, const ServeConfig& config)
@@ -44,11 +58,14 @@ ScoringServer::ScoringServer(ModelHandle model, const ServeConfig& config)
   shard_config.max_sessions = std::max<std::size_t>(1, (config_.max_sessions + n - 1) / n);
   shard_config.emit_steps = config_.emit_steps;
   shard_config.track_history = !config_.wal_dir.empty() || config_.drift;
+  shard_max_sessions_ = shard_config.max_sessions;
   shards_.reserve(n);
+  shard_queue_gauges_.reserve(n);
   for (std::size_t s = 0; s < n; ++s) {
     auto shard = std::make_unique<Shard>();
     shard->table = std::make_unique<SessionShard>(model_, shard_config);
     shards_.push_back(std::move(shard));
+    shard_queue_gauges_.push_back(&metrics().gauge("serve.shard.queue_depth." + std::to_string(s)));
   }
   (void)serve_metrics();  // register the panel eagerly
   serve_metrics().degraded_clusters.set(
@@ -113,7 +130,9 @@ void ScoringServer::advance_clock(double t) {
 }
 
 void ScoringServer::record_queue_depth() const {
-  serve_metrics().queue_depth.set(static_cast<std::int64_t>(queued_events()));
+  // The gauge tracks the incrementally maintained total: exact counting
+  // via queued_events() would take every shard lock per enqueue.
+  serve_metrics().queue_depth.set(queued_total_.load(std::memory_order_relaxed));
 }
 
 ModelHandle ScoringServer::current_model() const {
@@ -123,6 +142,8 @@ ModelHandle ScoringServer::current_model() const {
 
 ScoringServer::Enqueue ScoringServer::enqueue(const Event& event,
                                               std::vector<OutputRecord>& out) {
+  const bool tracing = tracer_ != nullptr && trace_events().enabled();
+  const std::uint64_t trace_start = tracing ? trace_now_nanos() : 0;
   ModelHandle resolver = current_model();
   const int action = resolve_action_id(resolver.detector->vocab(), event.action);
   if (action < 0) {
@@ -131,8 +152,10 @@ ScoringServer::Enqueue ScoringServer::enqueue(const Event& event,
                    render_error_record("unknown action", event.action)});
     return Enqueue::kRejected;
   }
-  Shard& shard = *shards_[shard_of(event)];
+  const std::size_t s = shard_of(event);
+  Shard& shard = *shards_[s];
   Enqueue result = Enqueue::kAccepted;
+  std::uint64_t seq = 0;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     // Injected backpressure: exercises the producer's pump-and-retry path.
@@ -147,11 +170,22 @@ ScoringServer::Enqueue ScoringServer::enqueue(const Event& event,
     pending.event = event;
     pending.action = action;
     pending.resolved_under = std::move(resolver.detector);
-    pending.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    seq = pending.seq = seq_.fetch_add(1, std::memory_order_relaxed);
     shard.queue.push_back(std::move(pending));
+    // Gauge updates stay inside the lock so per-shard depth transitions
+    // are serialized with the queue they describe.
+    if (result == Enqueue::kAccepted) queued_total_.fetch_add(1, std::memory_order_relaxed);
+    shard_queue_gauges_[s]->set(static_cast<std::int64_t>(shard.queue.size()));
   }
   if (event.has_timestamp) advance_clock(event.timestamp);
   record_queue_depth();
+  if (tracing) {
+    const std::string key = session_key(event);
+    if (tracer_->sampled(key)) {
+      trace_events().record({"serve.enqueue", key, trace_start, trace_now_nanos() - trace_start,
+                             enqueue_trace_args(event, s, seq)});
+    }
+  }
   return result;
 }
 
@@ -165,6 +199,9 @@ void ScoringServer::pump(std::vector<OutputRecord>& out) {
     {
       std::lock_guard<std::mutex> lock(shard.mutex);
       backlog.swap(shard.queue);
+      queued_total_.fetch_sub(static_cast<std::int64_t>(backlog.size()),
+                              std::memory_order_relaxed);
+      shard_queue_gauges_[s]->set(0);
     }
     if (backlog.empty()) return;
     pumped.fetch_add(backlog.size(), std::memory_order_relaxed);
@@ -422,6 +459,41 @@ std::size_t ScoringServer::queued_events() const {
 }
 
 double ScoringServer::event_clock() const { return clock_.load(std::memory_order_relaxed); }
+
+std::vector<ScoringServer::ShardStatus> ScoringServer::shard_status() const {
+  std::vector<ShardStatus> out;
+  out.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    ShardStatus status;
+    status.queue_capacity = config_.queue_capacity;
+    status.max_sessions = shard_max_sessions_;
+    status.queue_high_water = shard_queue_gauges_[s]->high_water();
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      status.queue_depth = shard.queue.size();
+      status.sessions = shard.table->active_sessions();
+      status.last_applied_seq = shard.table->last_applied_seq();
+    }
+    out.push_back(status);
+  }
+  return out;
+}
+
+bool ScoringServer::wal_ok() const {
+  for (const auto& wal : wals_) {
+    if (wal != nullptr && !wal->ok()) return false;
+  }
+  return true;
+}
+
+void ScoringServer::set_trace_sampler(std::shared_ptr<SessionTraceSampler> sampler) {
+  tracer_ = sampler;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->table->set_trace_sampler(sampler);
+  }
+}
 
 void ScoringServer::set_step_observer(const StepObserver& observer) {
   for (auto& shard : shards_) {

@@ -34,6 +34,7 @@
 #include "core/drift.hpp"
 #include "serve/session_table.hpp"
 #include "serve/shadow.hpp"
+#include "util/metrics.hpp"
 
 namespace misuse::serve {
 
@@ -146,6 +147,34 @@ class ScoringServer {
   /// Largest event timestamp admitted so far.
   double event_clock() const;
 
+  // -- Runtime introspection (serve/admin.hpp; DESIGN.md "Operations plane")
+
+  /// Point-in-time view of one shard, taken under its lock.
+  struct ShardStatus {
+    std::size_t queue_depth = 0;
+    std::size_t queue_capacity = 0;
+    std::int64_t queue_high_water = 0;  // since process start
+    std::size_t sessions = 0;
+    std::size_t max_sessions = 0;  // per-shard share of the global cap
+    std::uint64_t last_applied_seq = 0;
+  };
+  std::vector<ShardStatus> shard_status() const;
+
+  /// Next sequence number to be assigned (1 when nothing was admitted).
+  std::uint64_t next_seq() const { return seq_.load(std::memory_order_relaxed); }
+  /// Events applied since the last checkpoint (WAL replay lag bound).
+  std::uint64_t events_since_checkpoint() const {
+    return events_since_checkpoint_.load(std::memory_order_relaxed);
+  }
+  /// False when any shard WAL writer has failed (durability is degraded);
+  /// true when the WAL is disabled or healthy.
+  bool wal_ok() const;
+
+  /// Attaches the head sampler for live trace export (--trace-sample):
+  /// enqueue/step/report events of sampled sessions land in the global
+  /// trace-event ring. nullptr detaches. Set before serving.
+  void set_trace_sampler(std::shared_ptr<SessionTraceSampler> sampler);
+
   /// Observation hooks, forwarded to every shard. Set before serving;
   /// callbacks may fire concurrently from pool workers.
   void set_step_observer(const StepObserver& observer);
@@ -213,7 +242,17 @@ class ScoringServer {
   ModelHandle model_;
   mutable std::shared_mutex model_mutex_;
   ServeConfig config_;
+  std::size_t shard_max_sessions_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// serve.shard.queue_depth.<k> gauges, updated under shard k's lock on
+  /// every enqueue/drain so saturation is visible *before* the
+  /// backpressure policy starts dropping or blocking.
+  std::vector<Gauge*> shard_queue_gauges_;
+  /// Events queued across all shards, maintained incrementally so the
+  /// serve.queue_depth gauge costs one atomic instead of an all-shard
+  /// lock sweep per enqueue.
+  std::atomic<std::int64_t> queued_total_{0};
+  std::shared_ptr<SessionTraceSampler> tracer_;
   std::vector<std::unique_ptr<WalWriter>> wals_;
   /// Sequence numbers start at 1: snapshot watermarks mean "replay
   /// strictly after", so 0 must stay the "nothing applied" sentinel.

@@ -1,12 +1,47 @@
 #include "serve/session_table.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "serve/metrics.hpp"
 #include "serve/shadow.hpp"
+#include "util/json.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace misuse::serve {
+
+namespace {
+
+// Pre-rendered flat-JSON args for sampled trace events (util/trace.hpp
+// TraceEvent::args — the inner object body, without braces).
+std::string strip_braces(std::string s) { return s.substr(1, s.size() - 2); }
+
+std::string step_trace_args(const Event& event, const core::OnlineMonitor::StepResult& step) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  json.member("action", event.action);
+  json.member("step", step.step);
+  json.member("cluster", step.cluster_voted);
+  json.member("alarm", step.alarm);
+  if (step.likelihood_voted) json.member("likelihood", *step.likelihood_voted);
+  json.end_object();
+  return strip_braces(os.str());
+}
+
+std::string report_trace_args(ReportReason reason, const core::SessionMonitorReport& report) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  json.member("reason", report_reason_name(reason));
+  json.member("steps", report.steps);
+  json.member("alarms", report.alarms);
+  json.end_object();
+  return strip_braces(os.str());
+}
+
+}  // namespace
 
 void SessionShard::process(const Event& event, int action,
                            const core::MisuseDetector* resolved_under, std::uint64_t seq,
@@ -43,6 +78,8 @@ void SessionShard::process_batch(std::span<const PendingEvent> events,
 
   const auto flush = [&] {
     if (staged.empty()) return;
+    const bool tracing = tracer_ != nullptr && trace_events().enabled();
+    const std::uint64_t flush_start = tracing ? trace_now_nanos() : 0;
     results.clear();
     results.resize(staged.size());
     // One fused observe_batch per distinct pinned detector (almost always
@@ -71,12 +108,24 @@ void SessionShard::process_batch(std::span<const PendingEvent> events,
         results[batch_index[j]] = std::move(group_results[j]);
       }
     }
+    // Sampled tracing: the fused batch is one timed unit, so each traced
+    // step gets an equal slice of the flush window — good enough to see
+    // the lifecycle and ordering, which is what the export is for.
+    const std::uint64_t flush_share =
+        tracing ? (trace_now_nanos() - flush_start) / staged.size() : 0;
     // Post-processing replays arrival order, so records, observers, and
     // the shadow scorer see exactly the per-event sequence.
     for (std::size_t i = 0; i < staged.size(); ++i) {
       Entry& entry = *staged[i].entry;
       const Event& event = *staged[i].event;
       const core::OnlineMonitor::StepResult& step = results[i];
+      if (tracing) {
+        const std::string key = session_key(event);
+        if (tracer_->sampled(key)) {
+          trace_events().record({"monitor.step", key, flush_start + i * flush_share, flush_share,
+                                 step_trace_args(event, step)});
+        }
+      }
       if (config_.track_history) entry.actions.push_back(staged[i].action);
       entry.acc.add(step);
       if (config_.emit_steps) out.push_back({staged[i].seq, render_step_record(event, step)});
@@ -187,6 +236,13 @@ void SessionShard::finish_entry(const Entry& entry, ReportReason reason, std::ui
   out.push_back({seq, render_report_record(entry.user_id, entry.session_id, reason, report,
                                            entry.model.version)});
   if (report_observer_) report_observer_(entry.user_id, entry.session_id, reason, report);
+  if (tracer_ != nullptr && trace_events().enabled()) {
+    const std::string key = session_key(entry.user_id, entry.session_id);
+    if (tracer_->sampled(key)) {
+      trace_events().record(
+          {"session.report", key, trace_now_nanos(), 0, report_trace_args(reason, report)});
+    }
+  }
   if (history_observer_ && config_.track_history) history_observer_(entry.actions);
   if (shadow_) shadow_->finish(entry.user_id, entry.session_id);
   ServeMetrics& sm = serve_metrics();

@@ -24,6 +24,7 @@
 
 #include "core/monitor.hpp"
 #include "serve/event.hpp"
+#include "serve/trace_sampler.hpp"
 #include "serve/wal.hpp"
 
 namespace misuse::serve {
@@ -138,6 +139,14 @@ class SessionShard {
     history_observer_ = std::move(observer);
   }
 
+  /// Attaches (or detaches, with nullptr) the head sampler for live
+  /// trace export: steps and reports of sampled sessions are recorded
+  /// into the global trace-event ring (util/trace.hpp). Tracing never
+  /// touches output records, so scored output stays byte-identical.
+  void set_trace_sampler(std::shared_ptr<SessionTraceSampler> sampler) {
+    tracer_ = std::move(sampler);
+  }
+
   // -- Crash safety (serve/wal.hpp) ----------------------------------------
 
   /// Attaches (or detaches, with nullptr) the shard's write-ahead log;
@@ -202,6 +211,7 @@ class SessionShard {
   ReportObserver report_observer_;
   HistoryObserver history_observer_;
   std::shared_ptr<ShadowScorer> shadow_;
+  std::shared_ptr<SessionTraceSampler> tracer_;
   WalWriter* wal_ = nullptr;
   std::uint64_t last_applied_seq_ = 0;
 };

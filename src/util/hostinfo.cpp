@@ -1,0 +1,55 @@
+#include "util/hostinfo.hpp"
+
+#include <fstream>
+#include <thread>
+
+#include "util/json.hpp"
+
+namespace misuse {
+
+namespace {
+
+std::string trimmed(const std::string& s) {
+  const std::size_t begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  const std::size_t end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
+HostInfo probe() {
+  HostInfo info;
+  info.cores = static_cast<std::size_t>(std::thread::hardware_concurrency());
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while ((info.cpu_model.empty() || info.cpu_flags.empty()) && std::getline(cpuinfo, line)) {
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string key = trimmed(line.substr(0, colon));
+    if (info.cpu_model.empty() && key == "model name") {
+      info.cpu_model = trimmed(line.substr(colon + 1));
+    } else if (info.cpu_flags.empty() && (key == "flags" || key == "Features")) {
+      // "Features" is the aarch64 spelling of the ISA-extension line.
+      info.cpu_flags = trimmed(line.substr(colon + 1));
+    }
+  }
+  return info;
+}
+
+}  // namespace
+
+const HostInfo& host_info() {
+  static const HostInfo info = probe();
+  return info;
+}
+
+void write_host_info(JsonWriter& json) {
+  const HostInfo& info = host_info();
+  json.key("host");
+  json.begin_object();
+  json.member("cores", info.cores);
+  json.member("cpu_model", info.cpu_model);
+  json.member("cpu_flags", info.cpu_flags);
+  json.end_object();
+}
+
+}  // namespace misuse

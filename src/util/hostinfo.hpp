@@ -1,0 +1,29 @@
+// Best-effort host description for stamping benchmark artifacts and
+// /statusz. Performance numbers are meaningless without knowing the
+// host that produced them (ROADMAP: BENCH_parallel was once recorded on
+// a single-core runner and read as a regression), so every BENCH_*.json
+// carries a "host" member written through this helper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace misuse {
+
+class JsonWriter;
+
+struct HostInfo {
+  std::size_t cores = 0;  ///< std::thread::hardware_concurrency()
+  std::string cpu_model;  ///< /proc/cpuinfo "model name" (empty off Linux)
+  std::string cpu_flags;  ///< /proc/cpuinfo "flags", space-separated ISA flags
+};
+
+/// Probes once per process and caches; never fails (unknown fields stay
+/// empty / zero).
+const HostInfo& host_info();
+
+/// Emits `"host":{"cores":N,"cpu_model":...,"cpu_flags":...}` as a
+/// member of the object currently open on `json`.
+void write_host_info(JsonWriter& json);
+
+}  // namespace misuse

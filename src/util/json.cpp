@@ -87,6 +87,11 @@ void JsonWriter::null() {
   out_ << "null";
 }
 
+void JsonWriter::raw_value(std::string_view json) {
+  before_value();
+  out_ << json;
+}
+
 void JsonWriter::number_array(std::string_view name, const std::vector<double>& xs) {
   key(name);
   begin_array();

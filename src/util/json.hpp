@@ -48,6 +48,11 @@ class JsonWriter {
   /// Emits a numeric array in one call.
   void number_array(std::string_view name, const std::vector<double>& xs);
 
+  /// Emits pre-rendered JSON verbatim as the next value. The caller
+  /// guarantees `json` is one well-formed JSON value (used to splice
+  /// producer-rendered trace-event args without re-parsing them).
+  void raw_value(std::string_view json);
+
  private:
   enum class Frame { kObjectAwaitKey, kObjectAwaitValue, kArray };
 

@@ -1,7 +1,11 @@
 #include "util/metrics.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
 
 #include "util/json.hpp"
 
@@ -219,6 +223,211 @@ void MetricsRegistry::write_json(JsonWriter& json) const {
   json.end_object();
 
   json.end_object();
+}
+
+// --- Prometheus exposition ---------------------------------------------
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "misusedet_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(legal ? c : '_');
+  }
+  return out;
+}
+
+namespace {
+// Prometheus floats: shortest round-trippable-ish decimal, with the
+// spec's spellings for the non-finite values ("+Inf" bucket bounds).
+void write_prom_value(std::ostream& out, double v) {
+  if (std::isnan(v)) {
+    out << "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    out << (v > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out << buf;
+}
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  for (const auto& [name, c] : counters_) {
+    const std::string prom = prometheus_name(name) + "_total";
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << ' ' << c->value() << '\n';
+  }
+
+  for (const auto& [name, g] : gauges_) {
+    const std::string prom = prometheus_name(name);
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << ' ' << g->value() << '\n';
+    out << "# TYPE " << prom << "_high_water gauge\n";
+    out << prom << "_high_water " << g->high_water() << '\n';
+  }
+
+  for (const auto& [name, h] : histograms_) {
+    const std::string prom = prometheus_name(name);
+    // One consistent copy of the bucket counts: writers may race the
+    // scrape, but rendering from the copy keeps the cumulative counts
+    // monotone and makes the +Inf bucket equal _count by construction.
+    const std::vector<double>& bounds = h->bounds();
+    std::vector<std::uint64_t> counts(h->buckets());
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      counts[i] = h->bucket_count(i);
+      total += counts[i];
+    }
+
+    out << "# TYPE " << prom << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      out << prom << "_bucket{le=\"";
+      write_prom_value(out, i < bounds.size() ? bounds[i]
+                                              : std::numeric_limits<double>::infinity());
+      out << "\"} " << cumulative << '\n';
+    }
+    out << prom << "_sum ";
+    write_prom_value(out, h->sum());
+    out << '\n';
+    out << prom << "_count " << total << '\n';
+
+    // Companion summary family so scrapers that don't do bucket math
+    // still get the headline quantiles.
+    out << "# TYPE " << prom << "_summary summary\n";
+    for (const double q : {0.5, 0.9, 0.99}) {
+      out << prom << "_summary{quantile=\"";
+      write_prom_value(out, q);
+      out << "\"} ";
+      write_prom_value(out, h->quantile(q));
+      out << '\n';
+    }
+    out << prom << "_summary_sum ";
+    write_prom_value(out, h->sum());
+    out << '\n';
+    out << prom << "_summary_count " << total << '\n';
+  }
+}
+
+// --- Snapshot / delta ---------------------------------------------------
+
+namespace {
+double steady_now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.at_seconds = steady_now_seconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) {
+    snap.counters[name] = static_cast<double>(c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = static_cast<double>(g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::Histogram& hist = snap.histograms[name];
+    const std::vector<double>& bounds = h->bounds();
+    hist.cumulative.reserve(h->buckets());
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < h->buckets(); ++i) {
+      cumulative += static_cast<double>(h->bucket_count(i));
+      hist.cumulative.emplace_back(
+          i < bounds.size() ? bounds[i] : std::numeric_limits<double>::infinity(), cumulative);
+    }
+    hist.count = cumulative;
+    hist.sum = h->sum();
+  }
+  return snap;
+}
+
+MetricsDelta::MetricsDelta(MetricsSnapshot earlier, MetricsSnapshot later)
+    : earlier_(std::move(earlier)), later_(std::move(later)) {
+  seconds_ = std::max(0.0, later_.at_seconds - earlier_.at_seconds);
+}
+
+double MetricsDelta::counter_delta(const std::string& name) const {
+  const auto it = later_.counters.find(name);
+  if (it == later_.counters.end()) return 0.0;
+  const auto prev = earlier_.counters.find(name);
+  const double before = prev == earlier_.counters.end() ? 0.0 : prev->second;
+  return std::max(0.0, it->second - before);
+}
+
+double MetricsDelta::rate(const std::string& name) const {
+  if (seconds_ <= 0.0) return 0.0;
+  return counter_delta(name) / seconds_;
+}
+
+double MetricsDelta::gauge(const std::string& name) const {
+  const auto it = later_.gauges.find(name);
+  return it == later_.gauges.end() ? 0.0 : it->second;
+}
+
+double MetricsDelta::histogram_count_delta(const std::string& name) const {
+  const auto it = later_.histograms.find(name);
+  if (it == later_.histograms.end()) return 0.0;
+  const auto prev = earlier_.histograms.find(name);
+  const double before = prev == earlier_.histograms.end() ? 0.0 : prev->second.count;
+  return std::max(0.0, it->second.count - before);
+}
+
+double MetricsDelta::histogram_quantile(const std::string& name, double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const auto it = later_.histograms.find(name);
+  if (it == later_.histograms.end()) return 0.0;
+  const MetricsSnapshot::Histogram& now = it->second;
+  const auto prev_it = earlier_.histograms.find(name);
+  const MetricsSnapshot::Histogram* before =
+      prev_it == earlier_.histograms.end() ? nullptr : &prev_it->second;
+
+  // Per-bucket counts recorded during the interval: difference of the
+  // two cumulative curves, matched by bucket index when the layouts
+  // agree (same registry / same scrape target) and treated as growth
+  // from zero otherwise.
+  std::vector<double> in_bucket(now.cumulative.size(), 0.0);
+  double total = 0.0;
+  double prev_cum_now = 0.0;
+  double prev_cum_before = 0.0;
+  const bool aligned = before != nullptr && before->cumulative.size() == now.cumulative.size();
+  for (std::size_t i = 0; i < now.cumulative.size(); ++i) {
+    const double cum_now = now.cumulative[i].second;
+    const double cum_before = aligned ? before->cumulative[i].second : 0.0;
+    in_bucket[i] = std::max(0.0, (cum_now - prev_cum_now) - (cum_before - prev_cum_before));
+    total += in_bucket[i];
+    prev_cum_now = cum_now;
+    prev_cum_before = cum_before;
+  }
+  if (total <= 0.0) return 0.0;
+
+  const double rank = q * total;
+  double cumulative = 0.0;
+  double last_finite = 0.0;
+  for (std::size_t i = 0; i < in_bucket.size(); ++i) {
+    const double hi = now.cumulative[i].first;
+    if (std::isfinite(hi)) last_finite = hi;
+    if (in_bucket[i] <= 0.0) continue;
+    const double next = cumulative + in_bucket[i];
+    if (rank <= next) {
+      if (!std::isfinite(hi)) return last_finite;  // overflow bucket: report the last bound
+      const double lo = i == 0 ? 0.0 : now.cumulative[i - 1].first;
+      const double within = (rank - cumulative) / in_bucket[i];
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return last_finite;
 }
 
 MetricsRegistry& metrics() {

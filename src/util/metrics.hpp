@@ -18,6 +18,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -115,6 +117,59 @@ class HistogramMetric {
   std::atomic<double> sum_{0.0};
 };
 
+/// Prometheus exposition name for a dotted instrument path: characters
+/// outside [a-zA-Z0-9_:] become underscores and every family gets a
+/// "misusedet_" prefix ("serve.step_seconds" -> "misusedet_serve_step_seconds").
+std::string prometheus_name(std::string_view name);
+
+/// Point-in-time copy of every instrument, stamped with a monotonic
+/// clock so two snapshots taken seconds apart can be turned into
+/// interval rates and quantiles (MetricsDelta). Snapshots are built
+/// either from the local registry (MetricsRegistry::snapshot) or from
+/// scraped Prometheus text (misusedet_top), so values are doubles and
+/// names follow whichever naming scheme the source used.
+struct MetricsSnapshot {
+  struct Histogram {
+    double count = 0.0;
+    double sum = 0.0;
+    /// (upper bound, cumulative count of values <= bound), ascending,
+    /// with the +Inf bucket (bound == infinity) last.
+    std::vector<std::pair<double, double>> cumulative;
+  };
+
+  double at_seconds = 0.0;  ///< steady-clock stamp, seconds
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+};
+
+/// Difference between two snapshots of the same source. Counter deltas
+/// are clamped at zero (a restarted scrape target resets to zero), and
+/// histogram quantiles are interpolated from the bucket-count deltas,
+/// so a 1 Hz poller reads "p99 over the last interval" rather than a
+/// lifetime quantile that stops moving once the process has history.
+class MetricsDelta {
+ public:
+  MetricsDelta(MetricsSnapshot earlier, MetricsSnapshot later);
+
+  double seconds() const { return seconds_; }
+  /// later - earlier, clamped at 0; 0 for names absent from `later`.
+  double counter_delta(const std::string& name) const;
+  /// counter_delta / seconds; 0 when the interval is empty.
+  double rate(const std::string& name) const;
+  /// Latest gauge value; 0 for unknown names.
+  double gauge(const std::string& name) const;
+  double histogram_count_delta(const std::string& name) const;
+  /// Interval quantile (q in [0, 1]) interpolated from bucket deltas;
+  /// 0 when nothing was recorded in the interval.
+  double histogram_quantile(const std::string& name, double q) const;
+
+ private:
+  double seconds_ = 0.0;
+  MetricsSnapshot earlier_;
+  MetricsSnapshot later_;
+};
+
 /// Name -> instrument map. Lookups are mutex-guarded; hold the returned
 /// reference at the call site (instruments live for the whole process,
 /// reset() zeroes values but never invalidates references).
@@ -133,6 +188,19 @@ class MetricsRegistry {
   /// name-sorted members; histogram entries carry count/sum/mean,
   /// p50/p90/p99 estimates, and the non-empty buckets.
   void write_json(JsonWriter& json) const;
+
+  /// Prometheus text exposition format (0.0.4): counters as
+  /// `<name>_total`, gauges as the value plus a `_high_water` companion,
+  /// histograms as cumulative `_bucket{le="..."}` / `_sum` / `_count`
+  /// families plus a `<name>_summary` quantile family (p50/p90/p99).
+  /// Each histogram renders from one consistent copy of its bucket
+  /// counts, so cumulative counts are monotone and the `+Inf` bucket
+  /// equals `_count` even while writers are recording.
+  void write_prometheus(std::ostream& out) const;
+
+  /// Consistent point-in-time copy of every instrument under the
+  /// registry mutex, stamped with a steady-clock timestamp.
+  MetricsSnapshot snapshot() const;
 
  private:
   template <typename T>

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -104,6 +105,14 @@ TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
     other.fd_ = -1;
   }
   return *this;
+}
+
+void TcpStream::set_read_timeout(double seconds) {
+  if (fd_ < 0 || seconds <= 0.0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 void TcpStream::shutdown_write() {

@@ -50,6 +50,11 @@ class TcpStream {
   std::iostream& io() { return *io_; }
   int fd() const { return fd_; }
 
+  /// Arms SO_RCVTIMEO so blocking reads fail (stream goes bad) after
+  /// `seconds` without data instead of hanging forever. Used by the
+  /// admin plane so a stalled scraper cannot wedge its handler thread.
+  void set_read_timeout(double seconds);
+
   /// Half-closes the write side so the peer sees EOF after our last byte.
   void shutdown_write();
   /// Shuts down the read side; unblocks a concurrent blocking read on

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <ostream>
+#include <sstream>
 
 #include "util/json.hpp"
 
@@ -190,5 +193,149 @@ std::string format_trace_tree(const TraceStats& root) {
 }
 
 void write_trace_json(JsonWriter& json) { write_node_json(json, trace_snapshot()); }
+
+// --- Sampled trace events ----------------------------------------------
+
+std::uint64_t trace_now_nanos() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+void TraceEventLog::enable(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = std::max<std::size_t>(1, capacity);
+  ring_.clear();
+  ring_.resize(capacity_);
+  head_ = 0;
+  size_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceEventLog::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void TraceEventLog::record(TraceEvent event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ == 0) return;  // enable() never ran
+  if (size_ == capacity_) {
+    ring_[head_] = std::move(event);  // overwrite the oldest slot
+    head_ = (head_ + 1) % capacity_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ring_[(head_ + size_) % capacity_] = std::move(event);
+  ++size_;
+}
+
+std::vector<TraceEvent> TraceEventLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(ring_[(head_ + i) % capacity_]);
+  return out;
+}
+
+std::size_t TraceEventLog::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void TraceEventLog::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  head_ = 0;
+  size_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+TraceEventLog& trace_events() {
+  // Leaked like metrics(): producers may record during static teardown.
+  static TraceEventLog* log = new TraceEventLog();
+  return *log;
+}
+
+namespace {
+// Stable small tid per distinct track name, in order of first appearance.
+std::vector<std::pair<std::string, int>> assign_track_ids(const std::vector<TraceEvent>& events) {
+  std::vector<std::pair<std::string, int>> tracks;
+  for (const TraceEvent& e : events) {
+    bool seen = false;
+    for (const auto& [name, id] : tracks) {
+      if (name == e.track) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) tracks.emplace_back(e.track, static_cast<int>(tracks.size()) + 1);
+  }
+  return tracks;
+}
+
+int track_id(const std::vector<std::pair<std::string, int>>& tracks, const std::string& name) {
+  for (const auto& [track, id] : tracks) {
+    if (track == name) return id;
+  }
+  return 0;
+}
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events) {
+  JsonWriter json(out);
+  const auto tracks = assign_track_ids(events);
+  json.begin_object();
+  json.key("traceEvents");
+  json.begin_array();
+  for (const auto& [name, id] : tracks) {
+    json.begin_object();
+    json.member("name", "thread_name");
+    json.member("ph", "M");
+    json.member("pid", 1);
+    json.member("tid", id);
+    json.key("args");
+    json.begin_object();
+    json.member("name", name);
+    json.end_object();
+    json.end_object();
+  }
+  for (const TraceEvent& e : events) {
+    json.begin_object();
+    json.member("name", e.name);
+    json.member("ph", "X");
+    json.member("pid", 1);
+    json.member("tid", track_id(tracks, e.track));
+    // Chrome traces use microsecond doubles; keep sub-us resolution.
+    json.member("ts", static_cast<double>(e.start_nanos) / 1e3);
+    json.member("dur", static_cast<double>(e.duration_nanos) / 1e3);
+    if (!e.args.empty()) {
+      json.key("args");
+      json.raw_value("{" + e.args + "}");
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+void write_trace_events_ndjson(std::ostream& out, const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& e : events) {
+    std::ostringstream line;
+    JsonWriter json(line);
+    json.begin_object();
+    json.member("name", e.name);
+    json.member("track", e.track);
+    json.member("start_nanos", e.start_nanos);
+    json.member("duration_nanos", e.duration_nanos);
+    json.end_object();
+    std::string text = line.str();
+    if (!e.args.empty()) {
+      text.pop_back();  // strip the closing '}' to splice in the args
+      text += ",";
+      text += e.args;
+      text += "}";
+    }
+    out << text << '\n';
+  }
+}
 
 }  // namespace misuse

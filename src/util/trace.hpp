@@ -16,7 +16,10 @@
 // (util/metrics.hpp) for those.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <iosfwd>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -100,5 +103,68 @@ std::string format_trace_tree(const TraceStats& root);
 
 /// {"name": ..., "count": ..., "total_seconds": ..., "children": [...]}.
 void write_trace_json(JsonWriter& json);
+
+// --- Sampled trace events ----------------------------------------------
+//
+// The aggregated tree above deliberately has no per-event memory. For
+// live debugging a serve node additionally records *sampled* discrete
+// events (one per monitor step of a head-sampled session) into a
+// bounded ring, exportable as Chrome trace-event JSON (chrome://tracing
+// / Perfetto) or NDJSON while the process runs. Disabled by default:
+// record() is one relaxed load when off.
+
+/// Monotonic nanosecond clock shared by all trace events.
+std::uint64_t trace_now_nanos();
+
+/// One sampled event. `track` groups events into a display lane (the
+/// session key on the serve path); `args` is either empty or the inner
+/// body of a flat JSON object (`"k":1,"s":"v"`), pre-rendered by the
+/// producer so recording never walks a structure.
+struct TraceEvent {
+  std::string name;
+  std::string track;
+  std::uint64_t start_nanos = 0;
+  std::uint64_t duration_nanos = 0;
+  std::string args;
+};
+
+/// Bounded mutex-guarded ring of sampled events. Overflow drops the
+/// oldest event and counts it; snapshot() copies oldest-first.
+class TraceEventLog {
+ public:
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// Turns recording on with the given ring capacity (>= 1), clearing
+  /// any previous contents.
+  void enable(std::size_t capacity);
+  void disable();
+
+  void record(TraceEvent event);
+
+  std::vector<TraceEvent> snapshot() const;
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  std::size_t capacity() const;
+  void clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mutex_;
+  std::size_t capacity_ = 0;
+  std::vector<TraceEvent> ring_;  // oldest at `head_`
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// The process-global sampled-event ring (leaked like metrics()).
+TraceEventLog& trace_events();
+
+/// Chrome trace-event JSON: one complete ("ph":"X") event per entry,
+/// microsecond timestamps, one numeric tid per distinct track with an
+/// "M"/"thread_name" metadata record naming it.
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events);
+
+/// One flat JSON object per line: {"name":...,"track":...,
+/// "start_nanos":...,"duration_nanos":...,<args...>}.
+void write_trace_events_ndjson(std::ostream& out, const std::vector<TraceEvent>& events);
 
 }  // namespace misuse

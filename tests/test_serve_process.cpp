@@ -391,5 +391,22 @@ TEST_F(ServeProcessFixture, NegativeFlagsReachTheServer) {
       << "--no-quant did not reach the quant gate";
 }
 
+// EOF drain without --metrics-out: the final metrics snapshot must still
+// surface, logged at INFO on stderr, so operators of bare deployments
+// (no scrape file, no admin port) get the run's counters post-mortem.
+TEST_F(ServeProcessFixture, DrainLogsFinalMetricsSnapshotWithoutMetricsOut) {
+  ServeProcess proc({"--model=" + *model_path_, "--batch=4"});
+  int status = 0;
+  (void)feed_and_drain(proc, *trace_, status);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  const auto logs = drain(proc.err());
+  const auto snapshot = std::find_if(logs.begin(), logs.end(), [](const std::string& l) {
+    return l.find("final metrics snapshot: ") != std::string::npos;
+  });
+  ASSERT_NE(snapshot, logs.end()) << "no final snapshot logged on EOF drain";
+  EXPECT_NE(snapshot->find("\"serve.steps\""), std::string::npos) << *snapshot;
+  EXPECT_NE(snapshot->find("\"serve.sessions_finished\""), std::string::npos) << *snapshot;
+}
+
 }  // namespace
 }  // namespace misuse::serve

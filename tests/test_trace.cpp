@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/thread_pool.hpp"
 
@@ -148,6 +151,127 @@ TEST(Trace, ChildrenAreNameSorted) {
   ASSERT_EQ(parent->children.size(), 2u);
   EXPECT_EQ(parent->children[0].name, "trace_test.sorted_a");
   EXPECT_EQ(parent->children[1].name, "trace_test.sorted_b");
+}
+
+// --- Sampled trace events ------------------------------------------------
+
+/// The event ring is process-global; every test enables it fresh (enable
+/// clears) and disables on the way out so other tests see it off.
+class EventLogGuard {
+ public:
+  explicit EventLogGuard(std::size_t capacity) { trace_events().enable(capacity); }
+  ~EventLogGuard() { trace_events().disable(); }
+};
+
+TraceEvent make_event(const std::string& name, const std::string& track, std::uint64_t start,
+                      std::uint64_t duration = 10, const std::string& args = "") {
+  TraceEvent e;
+  e.name = name;
+  e.track = track;
+  e.start_nanos = start;
+  e.duration_nanos = duration;
+  e.args = args;
+  return e;
+}
+
+TEST(TraceEvents, DisabledRecordIsDropped) {
+  trace_events().disable();
+  EXPECT_FALSE(trace_events().enabled());
+  trace_events().record(make_event("e", "t", 1));
+  EXPECT_TRUE(trace_events().snapshot().empty());
+}
+
+TEST(TraceEvents, RingKeepsNewestAndCountsDropped) {
+  EventLogGuard guard(3);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    trace_events().record(make_event("e" + std::to_string(i), "t", i));
+  }
+  const auto events = trace_events().snapshot();
+  ASSERT_EQ(events.size(), 3u);  // bounded by capacity
+  EXPECT_EQ(trace_events().dropped(), 2u);
+  // Oldest-first order, holding the newest three.
+  EXPECT_EQ(events[0].name, "e2");
+  EXPECT_EQ(events[1].name, "e3");
+  EXPECT_EQ(events[2].name, "e4");
+}
+
+TEST(TraceEvents, EnableClearsAndClearKeepsEnabled) {
+  EventLogGuard guard(4);
+  trace_events().record(make_event("stale", "t", 1));
+  trace_events().enable(4);  // re-enable = fresh ring
+  EXPECT_TRUE(trace_events().snapshot().empty());
+  trace_events().record(make_event("fresh", "t", 2));
+  trace_events().clear();
+  EXPECT_TRUE(trace_events().snapshot().empty());
+  EXPECT_TRUE(trace_events().enabled());
+}
+
+TEST(TraceEvents, ChromeTraceExportShape) {
+  const std::vector<TraceEvent> events = {
+      make_event("step", "user1|s1", 2000, 500, "\"step\":1,\"alarm\":false"),
+      make_event("step", "user2|s2", 3000, 250),
+  };
+  std::ostringstream out;
+  write_chrome_trace(out, events);
+  const std::string doc = out.str();
+  // Complete events with microsecond units, plus thread_name metadata
+  // naming each track lane.
+  EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(doc.find("\"user1|s1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ts\":2"), std::string::npos);   // 2000 ns -> 2 us
+  EXPECT_NE(doc.find("\"dur\":0.5"), std::string::npos);  // 500 ns -> 0.5 us
+  EXPECT_NE(doc.find("\"args\":{\"step\":1,\"alarm\":false}"), std::string::npos);
+  // Balanced braces: args splicing must not break the document.
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    const char ch = doc[i];
+    if (in_string) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceEvents, NdjsonExportOneFlatObjectPerLine) {
+  const std::vector<TraceEvent> events = {
+      make_event("enqueue", "k", 100, 7, "\"shard\":2"),
+      make_event("report", "k", 200, 0),
+  };
+  std::ostringstream out;
+  write_trace_events_ndjson(out, events);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"name\":"), std::string::npos);
+    EXPECT_NE(line.find("\"start_nanos\":"), std::string::npos);
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+  EXPECT_NE(out.str().find("\"duration_nanos\":7,\"shard\":2}"), std::string::npos);
+}
+
+TEST(TraceEvents, ConcurrentRecordsAllLandWithinCapacity) {
+  EventLogGuard guard(256);
+  ThreadPool pool(4);
+  pool.parallel_for(0, 200, [&](std::size_t i) {
+    trace_events().record(make_event("c", "t" + std::to_string(i % 8), i));
+  });
+  EXPECT_EQ(trace_events().snapshot().size(), 200u);
+  EXPECT_EQ(trace_events().dropped(), 0u);
 }
 
 }  // namespace
