@@ -25,10 +25,23 @@
 // tracing on, and a 1 Hz scraper hitting /metrics + /statusz over real
 // HTTP. Acceptance: overhead < 2% actions/sec and byte-identical output.
 //
+// A fifth record, BENCH_cluster.json (--cluster, which runs *only* this
+// leg), measures horizontal scaling: N misusedet_serve nodes plus a
+// misusedet_router are spawned as real processes, the interleaved trace
+// is streamed through the router over TCP from several concurrent
+// client connections, and sessions/second is recorded per cluster size.
+// Acceptance (multi-core hosts): >= 2.5x sessions/sec at 3 nodes vs 1.
+//
 //   ./bench/bench_serve [--reduced] [--out=BENCH_serve.json]
 //       [--recovery-out=BENCH_recovery.json] [--swap-out=BENCH_swap.json]
 //       [--observe-out=BENCH_observe.json]
+//       [--cluster] [--cluster-out=BENCH_cluster.json]
 //       [--sessions=N] [--metrics-out=PATH]
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -41,6 +54,9 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/line_io.hpp"
+#include "util/serialize.hpp"
 
 #include "core/detector.hpp"
 #include "core/observability.hpp"
@@ -378,6 +394,270 @@ ObserveRun run_observed_path(const core::MisuseDetector& detector, const Workloa
   return result;
 }
 
+// -- Cluster scaling (--cluster): real processes, real sockets ------------
+
+/// A spawned misusedet_serve / misusedet_router child with stdin and
+/// stdout on /dev/null and stderr captured to a file (the port
+/// handshake is scraped from it, smoke-script style).
+struct ClusterChild {
+  pid_t pid = -1;
+  std::string err_path;
+
+  void kill_wait() {
+    if (pid <= 0) return;
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    pid = -1;
+  }
+};
+
+ClusterChild spawn_child(const std::vector<std::string>& args, const std::string& err_path) {
+  ClusterChild child;
+  child.err_path = err_path;
+  // A leftover log from a previous repetition still holds its port
+  // handshake; scrape_port must never read stale state.
+  std::filesystem::remove(err_path);
+  child.pid = ::fork();
+  if (child.pid == 0) {
+    const int devnull = ::open("/dev/null", O_RDWR);
+    const int err = ::open(err_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDIN_FILENO);
+      ::dup2(devnull, STDOUT_FILENO);
+    }
+    if (err >= 0) ::dup2(err, STDERR_FILENO);
+    std::vector<std::string> copy = args;
+    std::vector<char*> argv;
+    argv.reserve(copy.size() + 1);
+    for (auto& a : copy) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+  return child;
+}
+
+/// Polls the child's stderr log for the "listening on port N" handshake.
+std::uint16_t scrape_port(const std::string& err_path, double timeout_seconds = 30.0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout_seconds);
+  const std::string needle = "listening on port ";
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream log(err_path);
+    std::string line;
+    while (std::getline(log, line)) {
+      const auto pos = line.find(needle);
+      if (pos != std::string::npos) {
+        return static_cast<std::uint16_t>(std::stoul(line.substr(pos + needle.size())));
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return 0;
+}
+
+std::string render_event_line(const serve::Event& event) {
+  std::ostringstream line;
+  line << "{\"user_id\":\"" << event.user_id << "\",\"session_id\":\"" << event.session_id
+       << "\",\"action\":\"" << event.action << "\",\"timestamp\":" << event.timestamp << "}";
+  return line.str();
+}
+
+/// Streams per-connection event lines through the router and waits for
+/// one verdict line per event on each connection. Returns wall seconds
+/// for the full round trip, or a negative value when a connection
+/// failed or came up short.
+double drive_cluster(std::uint16_t router_port,
+                     const std::vector<std::vector<std::string>>& conn_lines) {
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> clients;
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& lines : conn_lines) {
+    clients.emplace_back([router_port, &lines, &failed] {
+      try {
+        TcpStream stream = tcp_connect("127.0.0.1", router_port);
+        std::string blob;
+        for (const auto& line : lines) {
+          blob += line;
+          blob += '\n';
+        }
+        // Writer on a side thread; this thread drains replies so the
+        // router's per-connection output backlog never hits its cap. The
+        // writer goes through the raw fd, not the shared iostream — a
+        // streambuf is not safe for concurrent read + write.
+        const int fd = stream.fd();
+        std::thread writer([fd, &blob, &failed] {
+          std::size_t off = 0;
+          while (off < blob.size()) {
+            const ssize_t n = ::write(fd, blob.data() + off, blob.size() - off);
+            if (n < 0 && errno == EINTR) continue;
+            if (n <= 0) {
+              failed.store(true, std::memory_order_relaxed);
+              return;
+            }
+            off += static_cast<std::size_t>(n);
+          }
+        });
+        LineReader reader(stream.io());
+        std::string reply;
+        std::size_t got = 0;
+        while (got < lines.size() && reader.next(reply)) ++got;
+        if (got != lines.size()) failed.store(true, std::memory_order_relaxed);
+        writer.join();
+      } catch (const std::exception&) {
+        failed.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const auto end = std::chrono::steady_clock::now();
+  if (failed.load(std::memory_order_relaxed)) return -1.0;
+  return std::chrono::duration<double>(end - start).count();
+}
+
+int run_cluster_bench(const CliArgs& args, const core::MisuseDetector& detector,
+                      const Workload& workload, bool reduced) {
+#if !defined(MISUSEDET_SERVE_BIN) || !defined(MISUSEDET_ROUTER_BIN)
+  (void)args;
+  (void)detector;
+  (void)workload;
+  (void)reduced;
+  std::cerr << "--cluster needs MISUSEDET_SERVE_BIN / MISUSEDET_ROUTER_BIN baked in\n";
+  return 1;
+#else
+  ::signal(SIGPIPE, SIG_IGN);  // a dying node must not kill the bench
+  const std::string out_path = args.str("cluster-out", "BENCH_cluster.json");
+  const auto work_dir = std::filesystem::temp_directory_path() / "misusedet_bench_cluster";
+  std::filesystem::remove_all(work_dir);
+  std::filesystem::create_directories(work_dir);
+  const std::string model_path = (work_dir / "detector.bin").string();
+  {
+    std::ofstream model(model_path, std::ios::binary);
+    BinaryWriter writer(model);
+    detector.save(writer);
+  }
+
+  // Whole sessions per connection (round-robin): replies are attributed
+  // per connection, and several concurrent producers are what lets a
+  // multi-node cluster actually run its nodes in parallel.
+  const std::size_t connections = 4;
+  std::vector<std::vector<std::string>> conn_lines(connections);
+  for (const auto& event : workload.events) {
+    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over the session id
+    for (const char c : event.session_id) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    conn_lines[h % connections].push_back(render_event_line(event));
+  }
+
+  struct ClusterRow {
+    std::size_t nodes = 0;
+    double seconds = 0.0;
+  };
+  std::vector<ClusterRow> rows;
+  const int reps = reduced ? 2 : kRepetitions;
+  for (const std::size_t node_count : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    double best = -1.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      std::vector<ClusterChild> children;
+      const auto stop_children = [&children] {
+        for (auto& child : children) child.kill_wait();
+      };
+      std::string nodes_arg;
+      bool up = true;
+      for (std::size_t n = 0; n < node_count; ++n) {
+        const std::string err =
+            (work_dir / ("node" + std::to_string(n) + ".err")).string();
+        children.push_back(spawn_child({MISUSEDET_SERVE_BIN, "--model=" + model_path,
+                                        "--listen=0", "--io=epoll", "--idle-ttl=3600"},
+                                       err));
+        const std::uint16_t port = scrape_port(err);
+        if (port == 0) {
+          up = false;
+          break;
+        }
+        if (!nodes_arg.empty()) nodes_arg += ',';
+        nodes_arg += "127.0.0.1:" + std::to_string(port);
+      }
+      std::uint16_t router_port = 0;
+      if (up) {
+        const std::string err = (work_dir / "router.err").string();
+        children.push_back(spawn_child(
+            {MISUSEDET_ROUTER_BIN, "--nodes=" + nodes_arg, "--listen=0", "--host=127.0.0.1"},
+            err));
+        router_port = scrape_port(err);
+      }
+      if (router_port == 0) {
+        stop_children();
+        std::cerr << "cluster bench: failed to bring up " << node_count << " node(s)\n";
+        return 1;
+      }
+      const double seconds = drive_cluster(router_port, conn_lines);
+      stop_children();
+      if (seconds < 0.0) {
+        std::cerr << "cluster bench: replay through the router came up short\n";
+        return 1;
+      }
+      if (best < 0.0 || seconds < best) best = seconds;
+    }
+    rows.push_back({node_count, best});
+    std::cout << "cluster nodes=" << node_count << ": "
+              << static_cast<std::size_t>(workload.sessions / best) << " sessions/s ("
+              << static_cast<std::size_t>(workload.events.size() / best) << " events/s)\n";
+  }
+  std::filesystem::remove_all(work_dir);
+
+  const double rate_1 = rows.front().seconds > 0.0 ? 1.0 / rows.front().seconds : 0.0;
+  const double rate_3 = rows.back().seconds > 0.0 ? 1.0 / rows.back().seconds : 0.0;
+  const double speedup = rate_1 > 0.0 ? rate_3 / rate_1 : 0.0;
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::cout << "cluster speedup at 3 nodes: " << speedup << "x (" << cores << " cores)\n";
+  if (cores >= 4 && speedup < 2.5) {
+    std::cout << "WARNING: 3-node speedup below the 2.5x near-linear-scaling target\n";
+  }
+
+  std::ofstream out(out_path);
+  JsonWriter json(out);
+  json.begin_object();
+  write_host_info(json);
+  json.member("events", workload.events.size());
+  json.member("sessions", workload.sessions);
+  json.member("reduced", reduced);
+  json.member("client_connections", connections);
+  json.member("repetitions_best_of", static_cast<std::size_t>(reps));
+  json.key("rows");
+  json.begin_array();
+  for (const auto& row : rows) {
+    json.begin_object();
+    json.member("nodes", row.nodes);
+    json.member("seconds", row.seconds);
+    json.member("sessions_per_second",
+                row.seconds > 0.0 ? workload.sessions / row.seconds : 0.0);
+    json.member("events_per_second",
+                row.seconds > 0.0 ? workload.events.size() / row.seconds : 0.0);
+    json.end_object();
+  }
+  json.end_array();
+  json.member("speedup_3_nodes", speedup);
+  json.member("speedup_target", 2.5);
+  json.member("note",
+              "Horizontal scaling through misusedet_router: N misusedet_serve processes "
+              "(--io=epoll) plus the router, spawned for real; the interleaved trace streams "
+              "through the router over TCP from client_connections concurrent connections "
+              "(whole sessions per connection) and every per-event verdict is awaited "
+              "(best-of wall clock). Acceptance: speedup_3_nodes >= speedup_target on hosts "
+              "with >= 4 cores — node processes can only run in parallel when the host has "
+              "cores for them, so single-core hosts record ~1x and the target does not "
+              "apply (same caveat as BENCH_parallel).");
+  json.end_object();
+  out << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+#endif
+}
+
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());
@@ -431,6 +711,8 @@ int main(int argc, char** argv) {
   const Workload workload = make_workload(portal, store, session_count);
   std::cout << "replaying " << workload.events.size() << " events from " << workload.sessions
             << " interleaved sessions\n";
+
+  if (args.flag("cluster")) return run_cluster_bench(args, detector, workload, reduced);
 
   struct Row {
     std::string path;

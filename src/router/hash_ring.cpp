@@ -1,0 +1,52 @@
+#include "router/hash_ring.hpp"
+
+namespace misuse::router {
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+HashRing::HashRing(std::size_t vnodes) : vnodes_(vnodes == 0 ? 1 : vnodes) {}
+
+namespace {
+
+/// Rebuilds the position map from the node set. Iterating names in
+/// sorted order and keeping the first inserter on a position collision
+/// makes ownership a pure function of the node *set* — the order
+/// add_node/remove_node were called in can never matter.
+std::map<std::uint64_t, std::string> build(const std::set<std::string>& names,
+                                           std::size_t vnodes) {
+  std::map<std::uint64_t, std::string> ring;
+  for (const std::string& name : names) {
+    for (std::size_t i = 0; i < vnodes; ++i) {
+      ring.emplace(fnv1a64(name + "#" + std::to_string(i)), name);
+    }
+  }
+  return ring;
+}
+
+}  // namespace
+
+void HashRing::add_node(const std::string& name) {
+  if (!names_.insert(name).second) return;
+  ring_ = build(names_, vnodes_);
+}
+
+void HashRing::remove_node(const std::string& name) {
+  if (names_.erase(name) == 0) return;
+  ring_ = build(names_, vnodes_);
+}
+
+const std::string* HashRing::owner(std::uint64_t key_hash) const {
+  if (ring_.empty()) return nullptr;
+  auto it = ring_.lower_bound(key_hash);
+  if (it == ring_.end()) it = ring_.begin();  // wrap past the top
+  return &it->second;
+}
+
+}  // namespace misuse::router

@@ -1,0 +1,115 @@
+// misusedet_router: consistent-hash front door for a misusedet_serve
+// cluster. Clients connect to the router and speak the same NDJSON
+// event protocol as a single serve node; the router hashes each session
+// onto one of the nodes (sticky, deterministic), forwards events,
+// routes verdicts back, health-checks the nodes, and replays a dead
+// node's sessions to the survivors from its per-session journal so the
+// cluster's scored output stays byte-identical to a single node's.
+// See DESIGN.md "Cluster serving".
+//
+//   misusedet_router --nodes=host:port[:admin_port],... [--listen=PORT]
+//       [--vnodes=N] [--quota-rate=X] [--quota-burst=X]
+//       [--health-interval=SECONDS] [--health-failures=N]
+//       [--session-ttl=SECONDS] [--metrics-out=PATH]
+#include <csignal>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "core/observability.hpp"
+#include "router/router.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+
+namespace misuse::router {
+namespace {
+
+std::atomic<bool> g_stop{false};
+void handle_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void usage(std::ostream& out) {
+  out << "usage: misusedet_router --nodes=HOST:PORT[:ADMIN],... [options]\n"
+      << "  --nodes=LIST            comma-separated serve nodes; the optional third\n"
+      << "                          field is the node's admin port for /healthz probing\n"
+      << "  --listen=PORT           client listen port (default 0 = ephemeral)\n"
+      << "  --host=ADDR             client listen address (default 0.0.0.0)\n"
+      << "  --vnodes=N              virtual points per node on the hash ring (default 64)\n"
+      << "  --quota-rate=X          per-tenant events/second admitted (default 0 = off)\n"
+      << "  --quota-burst=X         per-tenant token-bucket capacity (default max(rate,1))\n"
+      << "  --health-interval=SEC   /healthz probe cadence (default 1.0)\n"
+      << "  --health-failures=N     consecutive probe failures before a node is declared\n"
+      << "                          down and its sessions handed off (default 3)\n"
+      << "  --session-ttl=SEC       drop a session's replay journal after this much idle\n"
+      << "                          time; keep it longer than the nodes' --idle-ttl\n"
+      << "                          (default 900)\n"
+      << "  --metrics-out=PATH      write the metrics/trace snapshot on exit\n";
+}
+
+int router_main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  if (args.flag("help")) {
+    usage(std::cout);
+    return 0;
+  }
+
+  RouterConfig config;
+  const std::string nodes = args.str("nodes");
+  if (nodes.empty()) {
+    usage(std::cerr);
+    return 2;
+  }
+  std::stringstream list(nodes);
+  std::string spec;
+  while (std::getline(list, spec, ',')) {
+    if (spec.empty()) continue;
+    const auto endpoint = parse_node_endpoint(spec);
+    if (!endpoint) {
+      std::cerr << "bad node spec '" << spec << "' (want host:port[:admin_port])\n";
+      return 2;
+    }
+    config.nodes.push_back(*endpoint);
+  }
+  config.listen_port = static_cast<std::uint16_t>(args.integer("listen", 0));
+  config.listen_host = args.str("host", "0.0.0.0");
+  config.vnodes = static_cast<std::size_t>(args.integer("vnodes", 64));
+  config.quota.rate = args.real("quota-rate", 0.0);
+  config.quota.burst = args.real("quota-burst", 0.0);
+  config.health_interval_seconds = args.real("health-interval", 1.0);
+  config.health_failures_down = static_cast<std::size_t>(args.integer("health-failures", 3));
+  config.session_ttl_seconds = args.real("session-ttl", 900.0);
+
+  struct sigaction action {};
+  action.sa_handler = handle_signal;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  // A dying client or node must not kill the router mid-write.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  core::MetricsExport metrics_export(args.str("metrics-out"));
+
+  try {
+    Router router(std::move(config));
+    // Same stderr handshake as misusedet_serve: drivers scrape the port.
+    log_info() << "listening on port " << router.port() << " (router, "
+               << router.live_nodes() << " nodes)";
+    std::thread stopper([&router] {
+      while (!g_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      router.request_stop();
+    });
+    router.run();
+    g_stop.store(true, std::memory_order_relaxed);
+    stopper.join();
+  } catch (const std::exception& e) {
+    std::cerr << "misusedet_router: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace misuse::router
+
+int main(int argc, char** argv) { return misuse::router::router_main(argc, argv); }

@@ -1,0 +1,64 @@
+// Per-tenant token-bucket admission for the router: each tenant
+// (user_id) owns a bucket of `burst` tokens refilled at `rate`
+// tokens/second; an event spends one token, and an empty bucket rejects
+// the event at the router — a misbehaving tenant is throttled *before*
+// its traffic can saturate a node's shard queues, layering on top of
+// the per-node backpressure modes (block / drop_oldest) rather than
+// replacing them.
+//
+// Refill runs on the caller's clock. The router feeds event time when
+// the producer stamps timestamps (so replayed traces throttle
+// deterministically — the contract the quota tests pin) and falls back
+// to wall clock for unstamped traffic. Time moving backwards refills
+// nothing; it never drains a bucket.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+namespace misuse::router {
+
+struct QuotaConfig {
+  double rate = 0.0;   // tokens (events) per second; <= 0 disables quotas
+  double burst = 0.0;  // bucket capacity; <= 0 defaults to max(rate, 1)
+};
+
+class TenantQuotas {
+ public:
+  explicit TenantQuotas(const QuotaConfig& config) : config_(config) {
+    if (config_.burst <= 0.0) config_.burst = std::max(config_.rate, 1.0);
+  }
+
+  bool enabled() const { return config_.rate > 0.0; }
+
+  /// True when `tenant` may send an event at `now_seconds` (and spends
+  /// the token); false when the bucket is empty. Unlimited when quotas
+  /// are disabled. New tenants start with a full bucket.
+  bool admit(const std::string& tenant, double now_seconds) {
+    if (!enabled()) return true;
+    auto [it, inserted] = buckets_.try_emplace(tenant, Bucket{config_.burst, now_seconds});
+    Bucket& bucket = it->second;
+    if (!inserted) {
+      const double elapsed = std::max(0.0, now_seconds - bucket.last_seconds);
+      bucket.tokens = std::min(config_.burst, bucket.tokens + elapsed * config_.rate);
+      bucket.last_seconds = std::max(bucket.last_seconds, now_seconds);
+    }
+    if (bucket.tokens < 1.0) return false;
+    bucket.tokens -= 1.0;
+    return true;
+  }
+
+  std::size_t tenants() const { return buckets_.size(); }
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    double last_seconds = 0.0;
+  };
+  QuotaConfig config_;
+  std::unordered_map<std::string, Bucket> buckets_;
+};
+
+}  // namespace misuse::router

@@ -1,0 +1,296 @@
+#include "serve/epoll_loop.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace misuse::serve {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 1 << 14;
+
+}  // namespace
+
+EpollLoop::EpollLoop(EpollConfig config, EpollHandlers handlers)
+    : config_(std::move(config)),
+      handlers_(std::move(handlers)),
+      listener_(TcpListener::bind(config_.port, config_.host)) {
+  if (!handlers_.on_line) throw std::runtime_error("EpollLoop needs an on_line handler");
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    throw std::runtime_error(std::string("epoll_create1: ") + std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    throw std::runtime_error(std::string("eventfd: ") + std::strerror(errno));
+  }
+  set_nonblocking(listener_.fd());
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // id 0 = the listener
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_.fd(), &ev);
+  epoll_event wake{};
+  wake.events = EPOLLIN;
+  wake.data.u64 = UINT64_MAX;  // id MAX = the wake eventfd
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wake);
+}
+
+EpollLoop::~EpollLoop() {
+  for (auto& [id, conn] : conns_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  conns_.clear();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EpollLoop::request_stop() {
+  stop_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+bool EpollLoop::post(std::uint64_t conn, std::string data) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    if (live_ids_.count(conn) == 0) return false;  // unknown or retired
+    posted_.emplace_back(conn, std::move(data));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  return true;
+}
+
+void EpollLoop::update_interest(std::uint64_t id, Conn& conn, bool want_write) {
+  if (conn.want_write == want_write) return;
+  conn.want_write = want_write;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void EpollLoop::retire(std::uint64_t id, Conn& conn) {
+  if (conn.fd >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+  if (handlers_.on_close) handlers_.on_close(id);
+  conns_.erase(id);
+  std::lock_guard<std::mutex> lock(posted_mutex_);
+  live_ids_.erase(id);
+}
+
+void EpollLoop::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listener_.fd(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Descriptor exhaustion: log once per burst and let level-
+        // triggered epoll re-report the pending accept next iteration
+        // (after some connection retires and frees an fd).
+        log_warn() << "accept: out of file descriptors; deferring new connections";
+        return;
+      }
+      return;  // listener shut down or fatal — run() notices via stop_
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const std::uint64_t id = next_id_++;
+    Conn& conn = conns_[id];
+    conn.fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(posted_mutex_);
+      live_ids_.insert(id);
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool EpollLoop::consume_lines(std::uint64_t id, Conn& conn) {
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t nl = conn.in.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::size_t end = nl;
+    if (end > start && conn.in[end - 1] == '\r') --end;  // CRLF == LF
+    handlers_.on_line(id, std::string_view(conn.in).substr(start, end - start), conn.out);
+    start = nl + 1;
+  }
+  if (start > 0) conn.in.erase(0, start);
+  if (conn.in.size() > config_.max_line_bytes) {
+    // Same contract as LineReader::truncated(): an unbounded line is a
+    // protocol violation, and the stream it arrived on is abandoned.
+    overflowed_.fetch_add(1, std::memory_order_relaxed);
+    log_warn() << "connection " << id << " exceeded the " << config_.max_line_bytes
+               << "-byte line cap; closing";
+    return false;
+  }
+  return true;
+}
+
+void EpollLoop::conn_readable(std::uint64_t id, Conn& conn) {
+  char buf[kReadChunk];
+  while (true) {
+    std::size_t n = 0;
+    const IoStatus status = read_some(conn.fd, buf, sizeof(buf), n);
+    if (status == IoStatus::kOk) {
+      conn.in.append(buf, n);
+      if (!consume_lines(id, conn)) {
+        retire(id, conn);
+        return;
+      }
+      // A producer whose replies we cannot drain must not grow the
+      // output buffer without bound: cut the slow consumer loose.
+      if (conn.out.size() - conn.out_off > config_.max_output_bytes) {
+        overflowed_.fetch_add(1, std::memory_order_relaxed);
+        log_warn() << "connection " << id << " exceeded the output backlog cap; closing";
+        retire(id, conn);
+        return;
+      }
+      continue;  // level-triggered, but draining now saves a wakeup
+    }
+    if (status == IoStatus::kWouldBlock) break;
+    if (status == IoStatus::kEof) {
+      // Half-close: deliver a final unterminated line (LineReader
+      // parity), flush what we owe, then retire.
+      conn.peer_eof = true;
+      if (!conn.in.empty()) {
+        std::string line = std::move(conn.in);
+        conn.in.clear();
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        handlers_.on_line(id, line, conn.out);
+      }
+      break;
+    }
+    retire(id, conn);  // kError: peer reset
+    return;
+  }
+  if (!flush_conn(id, conn)) return;
+  if (conn.peer_eof && conn.out_off == conn.out.size()) retire(id, conn);
+}
+
+bool EpollLoop::flush_conn(std::uint64_t id, Conn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    std::size_t n = 0;
+    const IoStatus status =
+        write_some(conn.fd, conn.out.data() + conn.out_off, conn.out.size() - conn.out_off, n);
+    if (status == IoStatus::kOk) {
+      conn.out_off += n;
+      continue;
+    }
+    if (status == IoStatus::kWouldBlock) {
+      // The retry is epoll's job: arm EPOLLOUT and hand control back.
+      update_interest(id, conn, true);
+      return true;
+    }
+    retire(id, conn);  // kError: EPIPE/ECONNRESET under SIGPIPE-ignored
+    return false;
+  }
+  conn.out.clear();
+  conn.out_off = 0;
+  update_interest(id, conn, false);
+  return true;
+}
+
+void EpollLoop::drain_posted() {
+  std::vector<std::pair<std::uint64_t, std::string>> batch;
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& [id, data] : batch) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    it->second.out += data;
+    if (!flush_conn(id, it->second)) continue;
+    if (it->second.peer_eof && it->second.out_off == it->second.out.size()) {
+      retire(id, it->second);
+    }
+  }
+}
+
+void EpollLoop::run() {
+  const int tick_ms =
+      config_.tick_seconds > 0.0 ? static_cast<int>(config_.tick_seconds * 1000.0) : 500;
+  std::vector<epoll_event> events(256);
+  auto last_tick = std::chrono::steady_clock::now();
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()), tick_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      log_error() << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t id = events[i].data.u64;
+      if (id == 0) {
+        accept_ready();
+        continue;
+      }
+      if (id == UINT64_MAX) {
+        std::uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        drain_posted();
+        continue;
+      }
+      const auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // retired earlier this batch
+      Conn& conn = it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 && (events[i].events & EPOLLIN) == 0) {
+        retire(id, conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        if (!flush_conn(id, conn)) continue;
+        if (conn.peer_eof && conn.out_off == conn.out.size()) {
+          retire(id, conn);
+          continue;
+        }
+      }
+      if ((events[i].events & EPOLLIN) != 0) conn_readable(id, conn);
+    }
+    drain_posted();
+    const auto now = std::chrono::steady_clock::now();
+    if (handlers_.on_tick &&
+        std::chrono::duration<double>(now - last_tick).count() >= config_.tick_seconds) {
+      last_tick = now;
+      handlers_.on_tick();
+    }
+  }
+  // Shutdown: one best-effort flush per connection, then close them all.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    if (!flush_conn(id, it->second)) continue;
+    const auto again = conns_.find(id);
+    if (again != conns_.end()) retire(id, again->second);
+  }
+  listener_.close();
+}
+
+}  // namespace misuse::serve

@@ -40,6 +40,7 @@
 #include "nn/infer/dispatch.hpp"
 #include "registry/registry.hpp"
 #include "serve/admin.hpp"
+#include "serve/epoll_loop.hpp"
 #include "serve/metrics.hpp"
 #include "serve/server.hpp"
 #include "serve/trace_sampler.hpp"
@@ -186,6 +187,10 @@ void print_usage(const std::string& program) {
       << "  --canary-fraction=X     fraction of sessions the shadow scores (default 1.0)\n"
       << "  --drift                 track served-action drift against the training mix\n"
       << "  --listen=PORT           serve NDJSON over TCP instead of stdin/stdout\n"
+      << "  --io=MODE               TCP front end: threads (one blocking reader per\n"
+      << "                          connection, default) | epoll (one nonblocking event\n"
+      << "                          loop for all connections — the cluster-node mode;\n"
+      << "                          scored output is byte-identical either way)\n"
       << "  --shards=N              session-table shards (default 4)\n"
       << "  --queue-capacity=N      per-shard event queue bound (default 1024)\n"
       << "  --backpressure=POLICY   block | drop_oldest (default block)\n"
@@ -341,6 +346,64 @@ int run_tcp(ScoringServer& server, std::uint16_t port, ModelReloader* reloader) 
   return 0;
 }
 
+/// Epoll TCP mode: every connection multiplexed onto one nonblocking
+/// event loop. Each complete line goes through the same submit_sync call
+/// the thread-per-connection path makes, so per-connection scored output
+/// is byte-identical to --io=threads; TTL sweeps, checkpoints, and
+/// registry reloads ride the loop's tick (no sweeper thread), with
+/// session reports on stdout as before.
+int run_epoll(ScoringServer& server, std::uint16_t port, ModelReloader* reloader) {
+  EpollConfig config;
+  config.port = port;
+  EpollHandlers handlers;
+  std::vector<OutputRecord> records;  // reused across lines (loop thread only)
+  std::string error;
+  handlers.on_line = [&server, &records, &error](std::uint64_t, std::string_view line,
+                                                 std::string& replies) {
+    if (line.empty()) return;
+    Event event;
+    if (!parse_event(line, event, error)) {
+      serve_metrics().parse_errors.inc();
+      replies += render_error_record(error, line);
+      replies += '\n';
+      return;
+    }
+    server.submit_sync(event, records);
+    for (const auto& r : records) {
+      replies += r.line;
+      replies += '\n';
+    }
+    records.clear();
+  };
+  handlers.on_tick = [&server, reloader] {
+    std::vector<OutputRecord> out;
+    server.sweep(out);
+    server.maybe_checkpoint(out);
+    if (reloader != nullptr) reloader->maybe_reload(out);
+    flush_records(out, std::cout, nullptr);
+  };
+  EpollLoop loop(config, handlers);
+  log_info() << "listening on port " << loop.port() << " (epoll)";
+
+  // The loop wakes at least every tick, so a signal turns into
+  // request_stop within one tick; the watcher thread just narrows that
+  // window the same way the threads-mode stopper does.
+  std::thread stopper([&loop] {
+    while (!g_stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    loop.request_stop();
+  });
+  loop.run();
+  g_stop.store(true, std::memory_order_relaxed);
+  stopper.join();
+
+  std::vector<OutputRecord> out;
+  server.shutdown(out);
+  flush_records(out, std::cout, nullptr);
+  return 0;
+}
+
 int serve_main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (args.flag("help")) {
@@ -487,7 +550,14 @@ int serve_main(int argc, char** argv) {
   }
 
   if (args.has("listen")) {
-    return run_tcp(server, static_cast<std::uint16_t>(args.integer("listen", 0)), reloader_ptr);
+    const std::uint16_t listen_port = static_cast<std::uint16_t>(args.integer("listen", 0));
+    const std::string io = args.str("io", "threads");
+    if (io == "epoll") return run_epoll(server, listen_port, reloader_ptr);
+    if (io != "threads") {
+      std::cerr << "unknown --io mode '" << io << "' (threads | epoll)\n";
+      return 2;
+    }
+    return run_tcp(server, listen_port, reloader_ptr);
   }
   return run_pipe(server, static_cast<std::size_t>(args.integer("batch", 256)), reloader_ptr);
 }

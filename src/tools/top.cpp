@@ -11,6 +11,15 @@
 // --dump fetches one endpoint once and prints the raw body (exit status
 // reflects the HTTP status), which makes scripts independent of curl:
 //   misusedet_top --port=9100 --dump=healthz
+//
+// Cluster mode (--ports=A,B,C — each entry PORT or HOST:PORT) scrapes
+// every node's admin plane per frame and renders a per-node table plus
+// cluster totals: counters and gauges sum across nodes, and the
+// cluster-wide p50/p99 come from summing the histogram *bucket deltas*
+// before interpolating (quantiles over the merged distribution — never
+// an average of per-node quantiles, which is meaningless):
+//   misusedet_top --ports=9101,9102,9103 --interval=2
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -91,7 +100,8 @@ bool parse_number(const std::string& text, double& out) {
 }
 
 bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 /// Parses Prometheus text exposition into a MetricsSnapshot keyed by the
@@ -240,8 +250,187 @@ void render(const std::string& host, std::uint16_t port, const std::vector<JsonF
   out.flush();
 }
 
+/// Element-wise sum of node snapshots: counters and gauges add, and
+/// histograms merge by summing cumulative counts at matching bounds (all
+/// nodes export the same registry layout, so bounds line up; a node with
+/// a different layout contributes only the bounds it has).
+MetricsSnapshot aggregate_snapshots(const std::vector<MetricsSnapshot>& nodes) {
+  MetricsSnapshot total;
+  total.at_seconds = nodes.empty() ? steady_seconds() : nodes.front().at_seconds;
+  for (const MetricsSnapshot& node : nodes) {
+    for (const auto& [name, value] : node.counters) total.counters[name] += value;
+    for (const auto& [name, value] : node.gauges) total.gauges[name] += value;
+    for (const auto& [name, hist] : node.histograms) {
+      MetricsSnapshot::Histogram& merged = total.histograms[name];
+      merged.count += hist.count;
+      merged.sum += hist.sum;
+      if (merged.cumulative.empty()) {
+        merged.cumulative = hist.cumulative;
+      } else {
+        for (const auto& [bound, count] : hist.cumulative) {
+          bool found = false;
+          for (auto& [mbound, mcount] : merged.cumulative) {
+            if (mbound == bound) {
+              mcount += count;
+              found = true;
+              break;
+            }
+          }
+          if (!found) merged.cumulative.emplace_back(bound, count);
+        }
+      }
+    }
+  }
+  for (auto& [name, hist] : total.histograms) {
+    std::sort(hist.cumulative.begin(), hist.cumulative.end());
+  }
+  return total;
+}
+
+struct ClusterTarget {
+  std::string host;
+  std::uint16_t port = 0;
+  std::string label() const { return host + ":" + std::to_string(port); }
+};
+
+/// One node's scrape for a cluster frame.
+struct NodeSample {
+  bool reachable = false;
+  std::string health = "down";
+  double sessions = 0.0;
+  MetricsSnapshot snapshot;
+};
+
+NodeSample scrape_node(const ClusterTarget& target) {
+  NodeSample sample;
+  try {
+    const HttpResponse metrics_response = http_get_retry(target.host, target.port, "/metrics");
+    if (metrics_response.code == 0) return sample;
+    sample.snapshot = parse_prometheus(metrics_response.body);
+    sample.reachable = true;
+    const HttpResponse health_response = http_get_retry(target.host, target.port, "/healthz");
+    std::string health_line = health_response.body;
+    while (!health_line.empty() && (health_line.back() == '\n' || health_line.back() == '\r')) {
+      health_line.pop_back();
+    }
+    std::vector<JsonField> fields;
+    std::string error;
+    sample.health = "?";
+    if (parse_flat_json(health_line, fields, error)) {
+      sample.health = get_string(fields, "status").value_or("?");
+    }
+    sample.sessions =
+        sample.snapshot.gauges.count("misusedet_serve_sessions_active") > 0
+            ? sample.snapshot.gauges.at("misusedet_serve_sessions_active")
+            : 0.0;
+  } catch (const std::exception&) {
+    // unreachable node: rendered as down, aggregation skips it
+  }
+  return sample;
+}
+
+void render_cluster(const std::vector<ClusterTarget>& targets,
+                    const std::vector<NodeSample>& samples,
+                    const std::vector<std::optional<MetricsSnapshot>>& node_before,
+                    const MetricsSnapshot& total,
+                    const std::optional<MetricsSnapshot>& total_before, bool plain,
+                    std::ostream& out) {
+  if (!plain) out << "\x1b[H\x1b[2J";
+  std::size_t up = 0;
+  for (const NodeSample& s : samples) up += s.reachable ? 1 : 0;
+  out << "misusedet_top — cluster of " << targets.size() << " node(s), " << up << " up\n";
+
+  Table table({"node", "health", "sessions", "actions/sec", "alarms/sec", "p50", "p99"});
+  for (std::size_t n = 0; n < targets.size(); ++n) {
+    const NodeSample& sample = samples[n];
+    std::string rate = "-";
+    std::string alarms = "-";
+    std::string p50 = "-";
+    std::string p99 = "-";
+    if (sample.reachable && node_before[n]) {
+      MetricsDelta delta(*node_before[n], sample.snapshot);
+      rate = fmt(delta.rate("misusedet_serve_steps_total"));
+      alarms = fmt(delta.rate("misusedet_serve_alarms_total"));
+      p50 = fmt_latency(delta.histogram_quantile("misusedet_serve_step_seconds", 0.5));
+      p99 = fmt_latency(delta.histogram_quantile("misusedet_serve_step_seconds", 0.99));
+    }
+    table.add_row({targets[n].label(), sample.health, fmt(sample.sessions, 0), rate, alarms,
+                   p50, p99});
+  }
+  double total_sessions = 0.0;
+  for (const NodeSample& s : samples) total_sessions += s.sessions;
+  if (total_before) {
+    MetricsDelta delta(*total_before, total);
+    table.add_row({"TOTAL", up == targets.size() ? "ok" : "degraded", fmt(total_sessions, 0),
+                   fmt(delta.rate("misusedet_serve_steps_total")),
+                   fmt(delta.rate("misusedet_serve_alarms_total")),
+                   fmt_latency(delta.histogram_quantile("misusedet_serve_step_seconds", 0.5)),
+                   fmt_latency(delta.histogram_quantile("misusedet_serve_step_seconds", 0.99))});
+  } else {
+    table.add_row({"TOTAL", up == targets.size() ? "ok" : "degraded", fmt(total_sessions, 0),
+                   "-", "-", "-", "-"});
+  }
+  table.print(out);
+  if (!total_before) out << "collecting a second sample for rates...\n";
+  out.flush();
+}
+
+int cluster_main(const CliArgs& args) {
+  const std::string default_host = args.str("host", "127.0.0.1");
+  std::vector<ClusterTarget> targets;
+  std::stringstream list(args.str("ports"));
+  std::string entry;
+  while (std::getline(list, entry, ',')) {
+    if (entry.empty()) continue;
+    ClusterTarget target;
+    const std::size_t colon = entry.rfind(':');
+    try {
+      if (colon == std::string::npos) {
+        target.host = default_host;
+        target.port = static_cast<std::uint16_t>(std::stoul(entry));
+      } else {
+        target.host = entry.substr(0, colon);
+        target.port = static_cast<std::uint16_t>(std::stoul(entry.substr(colon + 1)));
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad --ports entry '" << entry << "' (want PORT or HOST:PORT)\n";
+      return 2;
+    }
+    targets.push_back(std::move(target));
+  }
+  if (targets.empty()) {
+    std::cerr << "--ports needs at least one PORT or HOST:PORT entry\n";
+    return 2;
+  }
+
+  const double interval = args.real("interval", 2.0);
+  const std::int64_t iterations = args.integer("iterations", 0);
+  const bool plain = args.flag("plain");
+
+  std::vector<std::optional<MetricsSnapshot>> node_before(targets.size());
+  std::optional<MetricsSnapshot> total_before;
+  for (std::int64_t frame = 0; iterations == 0 || frame < iterations; ++frame) {
+    if (frame > 0) std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    std::vector<NodeSample> samples;
+    samples.reserve(targets.size());
+    std::vector<MetricsSnapshot> reachable;
+    for (const ClusterTarget& target : targets) {
+      samples.push_back(scrape_node(target));
+      if (samples.back().reachable) reachable.push_back(samples.back().snapshot);
+    }
+    const MetricsSnapshot total = aggregate_snapshots(reachable);
+    render_cluster(targets, samples, node_before, total, total_before, plain, std::cout);
+    for (std::size_t n = 0; n < targets.size(); ++n) {
+      if (samples[n].reachable) node_before[n] = samples[n].snapshot;
+    }
+    total_before = total;
+  }
+  return 0;
+}
+
 int top_main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  if (args.has("ports")) return cluster_main(args);
   if (args.flag("help") || !args.has("port")) {
     std::cout << "usage: " << args.program() << " --port=PORT [options]\n"
               << "  --port=PORT         serve node's --admin-port\n"
@@ -250,7 +439,9 @@ int top_main(int argc, char** argv) {
               << "  --iterations=N      stop after N frames (default 0 = run until ^C)\n"
               << "  --plain             no ANSI clear; append frames (logs, CI)\n"
               << "  --dump=ENDPOINT     print one raw endpoint body and exit:\n"
-              << "                      metrics | healthz | statusz | tracez | tracez.ndjson\n";
+              << "                      metrics | healthz | statusz | tracez | tracez.ndjson\n"
+              << "  --ports=A,B,C       cluster mode: scrape several nodes (PORT or HOST:PORT\n"
+              << "                      entries) and render per-node rows plus summed totals\n";
     return args.flag("help") ? 0 : 2;
   }
   const std::string host = args.str("host", "127.0.0.1");

@@ -1,6 +1,7 @@
 #include "util/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -115,6 +116,14 @@ void TcpStream::set_read_timeout(double seconds) {
   ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
+void TcpStream::set_write_timeout(double seconds) {
+  if (fd_ < 0 || seconds <= 0.0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
 void TcpStream::shutdown_write() {
   if (fd_ >= 0) {
     io_->flush();
@@ -200,6 +209,52 @@ void TcpListener::close() {
   // (which must not run concurrently with accept()) releases it.
   const int fd = fd_.load(std::memory_order_acquire);
   if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+bool set_nonblocking(int fd, bool enabled) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, next) == 0;
+}
+
+IoStatus read_some(int fd, char* buf, std::size_t cap, std::size_t& n) {
+  n = 0;
+  while (true) {
+    // Injected EAGAIN: proves the loop parks the connection instead of
+    // spinning on a socket with nothing to read.
+    if (MISUSEDET_FAILPOINT("socket.nb.read")) return IoStatus::kWouldBlock;
+    const ssize_t got = ::read(fd, buf, cap);
+    if (got > 0) {
+      n = static_cast<std::size_t>(got);
+      return IoStatus::kOk;
+    }
+    if (got == 0) return IoStatus::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+  }
+}
+
+IoStatus write_some(int fd, const char* buf, std::size_t len, std::size_t& n) {
+  n = 0;
+  if (len == 0) return IoStatus::kOk;
+  // Injected full socket buffer: the caller must arm EPOLLOUT and hand
+  // the cursor back to the event loop, never retry inline.
+  if (MISUSEDET_FAILPOINT("socket.nb.write.block")) return IoStatus::kWouldBlock;
+  // Injected short write: 1-byte chunks force the caller's cursor
+  // arithmetic through every offset.
+  if (MISUSEDET_FAILPOINT("socket.nb.write.short")) len = 1;
+  while (true) {
+    const ssize_t put = ::write(fd, buf, len);
+    if (put > 0) {
+      n = static_cast<std::size_t>(put);
+      return IoStatus::kOk;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    if (put < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+  }
 }
 
 TcpStream tcp_connect(const std::string& host, std::uint16_t port) {

@@ -55,6 +55,12 @@ class TcpStream {
   /// admin plane so a stalled scraper cannot wedge its handler thread.
   void set_read_timeout(double seconds);
 
+  /// Arms SO_SNDTIMEO: a blocking write into a full socket buffer fails
+  /// after `seconds` instead of wedging the writer. The router arms this
+  /// on upstream node connections so a stuck node surfaces as a failed
+  /// forward (-> node down + handoff), never a hung router.
+  void set_write_timeout(double seconds);
+
   /// Half-closes the write side so the peer sees EOF after our last byte.
   void shutdown_write();
   /// Shuts down the read side; unblocks a concurrent blocking read on
@@ -83,6 +89,11 @@ class TcpListener {
 
   std::uint16_t port() const { return port_; }
 
+  /// The listening descriptor, for callers that multiplex the accept
+  /// themselves (serve/epoll_loop registers it with epoll after
+  /// set_nonblocking). -1 once closed. The listener keeps ownership.
+  int fd() const { return fd_.load(std::memory_order_acquire); }
+
   /// Blocks for the next connection; nullopt once the listener is closed
   /// (close() from another thread unblocks the accept).
   std::optional<TcpStream> accept();
@@ -104,6 +115,39 @@ class TcpListener {
 /// Connects to host:port (IPv4 dotted quad or "localhost"). Throws
 /// std::runtime_error on failure.
 TcpStream tcp_connect(const std::string& host, std::uint16_t port);
+
+// -- Nonblocking primitives (serve/epoll_loop.hpp) --------------------------
+//
+// The epoll front end multiplexes thousands of connections on one
+// thread, so its reads and writes must never block *and* never spin: a
+// full socket buffer surfaces as kWouldBlock and the caller re-arms
+// EPOLLOUT (or waits for EPOLLIN) instead of retrying in a loop. EINTR
+// is the one transient retried here — a signal landing mid-syscall is
+// not an IO event and epoll would not report one.
+
+/// Result of one nonblocking read/write attempt.
+enum class IoStatus {
+  kOk,          // >= 1 byte transferred
+  kWouldBlock,  // EAGAIN/EWOULDBLOCK — wait for epoll readiness, do not retry
+  kEof,         // read: orderly peer shutdown (half-close)
+  kError,       // fatal errno (EPIPE, ECONNRESET, ...) — close the fd
+};
+
+/// Sets/clears O_NONBLOCK. Returns false when fcntl fails.
+bool set_nonblocking(int fd, bool enabled = true);
+
+/// One read(2) attempt into buf[0..cap). EINTR retries internally;
+/// EAGAIN maps to kWouldBlock (failpoint "socket.nb.read" injects it).
+/// On kOk, `n` holds the byte count.
+IoStatus read_some(int fd, char* buf, std::size_t cap, std::size_t& n);
+
+/// One write(2) attempt of buf[0..len). EINTR retries internally; a
+/// partial write returns kOk with `n` < len (the caller keeps its cursor
+/// and waits for the next EPOLLOUT); EAGAIN maps to kWouldBlock with
+/// `n` == 0. Never loops on EAGAIN — that retry belongs to epoll
+/// writability, not a busy-spin (failpoints "socket.nb.write.block" and
+/// "socket.nb.write.short" inject EAGAIN and 1-byte writes).
+IoStatus write_some(int fd, const char* buf, std::size_t len, std::size_t& n);
 
 /// Retry schedule for tcp_connect_retry: exponential backoff with
 /// full jitter, deterministic for a given seed (Rng::stream(seed,

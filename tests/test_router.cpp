@@ -1,0 +1,512 @@
+// Router-tier tests. The pure pieces (consistent-hash ring, token-bucket
+// quotas, endpoint parsing) are pinned exactly; the Router itself is
+// driven end-to-end against in-process fake nodes that answer each
+// forwarded event with a step record naming the node — enough to prove
+// session affinity, quota rejection at the front door, and failure
+// handoff (replay to the survivor, no verdict lost or duplicated).
+// Byte-exactness of a real cluster against a single node is covered by
+// scripts/cluster_smoke.sh and the bench --cluster leg.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "router/hash_ring.hpp"
+#include "router/quota.hpp"
+#include "router/router.hpp"
+#include "util/line_io.hpp"
+#include "util/socket.hpp"
+
+namespace misuse::router {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// fnv1a64: pin the standard FNV-1a 64-bit test vectors so the ring (and
+// the shard layer it mirrors) can never silently change hash functions.
+
+TEST(Fnv1a64, MatchesReferenceVectors) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);   // offset basis
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+// ---------------------------------------------------------------------------
+// HashRing
+
+std::vector<std::string> sample_keys(std::size_t count) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  // std::string left operand: the const char* + string&& overload trips a
+  // GCC 12 -Wrestrict false positive through basic_string::insert.
+  for (std::size_t i = 0; i < count; ++i) {
+    keys.push_back(std::string("u") + std::to_string(i) + "\x1fs0");
+  }
+  return keys;
+}
+
+TEST(HashRing, OwnershipIsPureFunctionOfNodeSet) {
+  // Same final node set reached through different operation orders must
+  // give identical ownership for every key.
+  HashRing first(64);
+  first.add_node("node-a");
+  first.add_node("node-b");
+  first.add_node("node-c");
+
+  HashRing second(64);
+  second.add_node("node-c");
+  second.add_node("node-d");
+  second.add_node("node-a");
+  second.add_node("node-b");
+  second.remove_node("node-d");
+
+  for (const std::string& key : sample_keys(500)) {
+    const std::string* lhs = first.owner_of(key);
+    const std::string* rhs = second.owner_of(key);
+    ASSERT_NE(lhs, nullptr);
+    ASSERT_NE(rhs, nullptr);
+    EXPECT_EQ(*lhs, *rhs) << "key " << key;
+  }
+}
+
+TEST(HashRing, RemovalRemapsOnlyTheRemovedNodesKeys) {
+  HashRing ring(64);
+  ring.add_node("node-a");
+  ring.add_node("node-b");
+  ring.add_node("node-c");
+  const std::vector<std::string> keys = sample_keys(600);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = *ring.owner_of(key);
+
+  ring.remove_node("node-b");
+  for (const std::string& key : keys) {
+    const std::string& now = *ring.owner_of(key);
+    if (before[key] == "node-b") {
+      EXPECT_NE(now, "node-b");  // fell to a clockwise survivor
+    } else {
+      EXPECT_EQ(now, before[key]) << "survivor's key moved: " << key;
+    }
+  }
+}
+
+TEST(HashRing, AdditionStealsKeysOnlyForTheNewNode) {
+  HashRing ring(64);
+  ring.add_node("node-a");
+  ring.add_node("node-b");
+  const std::vector<std::string> keys = sample_keys(600);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = *ring.owner_of(key);
+
+  ring.add_node("node-c");
+  std::size_t moved = 0;
+  for (const std::string& key : keys) {
+    const std::string& now = *ring.owner_of(key);
+    if (now != before[key]) {
+      EXPECT_EQ(now, "node-c") << "key moved between old nodes: " << key;
+      ++moved;
+    }
+  }
+  // The newcomer takes roughly 1/3 of the keyspace; anything from a few
+  // percent up is proof it joined, anything near 100% would mean the
+  // ring reshuffled wholesale.
+  EXPECT_GT(moved, keys.size() / 10);
+  EXPECT_LT(moved, keys.size() / 2);
+}
+
+TEST(HashRing, VirtualNodesBalanceLoad) {
+  HashRing ring(64);
+  ring.add_node("node-a");
+  ring.add_node("node-b");
+  ring.add_node("node-c");
+  std::map<std::string, std::size_t> share;
+  const std::vector<std::string> keys = sample_keys(3000);
+  for (const std::string& key : keys) share[*ring.owner_of(key)] += 1;
+  ASSERT_EQ(share.size(), 3u);  // every node owns something
+  for (const auto& [node, count] : share) {
+    // Expected 1000 +- O(1/sqrt(64)); allow a wide deterministic band.
+    EXPECT_GT(count, 500u) << node;
+    EXPECT_LT(count, 1700u) << node;
+  }
+}
+
+TEST(HashRing, EmptyRingAndNoOpMutations) {
+  HashRing ring(8);
+  EXPECT_EQ(ring.owner_of("anything"), nullptr);
+  ring.remove_node("ghost");  // absent: no-op
+  EXPECT_EQ(ring.node_count(), 0u);
+  ring.add_node("only");
+  ring.add_node("only");  // duplicate: no-op
+  EXPECT_EQ(ring.node_count(), 1u);
+  EXPECT_EQ(*ring.owner_of("anything"), "only");
+  ring.remove_node("only");
+  EXPECT_EQ(ring.owner_of("anything"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// parse_node_endpoint
+
+TEST(ParseNodeEndpoint, AcceptsScoringAndAdminForms) {
+  const auto plain = parse_node_endpoint("10.0.0.5:9000");
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->host, "10.0.0.5");
+  EXPECT_EQ(plain->port, 9000);
+  EXPECT_EQ(plain->admin_port, 0);
+  EXPECT_EQ(plain->name(), "10.0.0.5:9000");
+
+  const auto with_admin = parse_node_endpoint("localhost:7000:7100");
+  ASSERT_TRUE(with_admin.has_value());
+  EXPECT_EQ(with_admin->host, "localhost");
+  EXPECT_EQ(with_admin->port, 7000);
+  EXPECT_EQ(with_admin->admin_port, 7100);
+}
+
+TEST(ParseNodeEndpoint, RejectsMalformedSpecs) {
+  for (const char* bad : {"", "hostonly", ":9000", "h:", "h:0", "h:70000", "h:nope", "h:9000:0",
+                          "h:9000:70000", "h:9000:nan"}) {
+    EXPECT_FALSE(parse_node_endpoint(bad).has_value()) << bad;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TenantQuotas
+
+TEST(TenantQuotas, DisabledQuotasAdmitEverything) {
+  TenantQuotas quotas(QuotaConfig{0.0, 0.0});
+  EXPECT_FALSE(quotas.enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(quotas.admit("u0", 0.0));
+  EXPECT_EQ(quotas.tenants(), 0u);  // no bucket state kept
+}
+
+TEST(TenantQuotas, BurstBoundsTheInitialBucket) {
+  TenantQuotas quotas(QuotaConfig{1.0, 2.0});
+  EXPECT_TRUE(quotas.admit("u0", 0.0));
+  EXPECT_TRUE(quotas.admit("u0", 0.0));
+  EXPECT_FALSE(quotas.admit("u0", 0.0));  // bucket empty
+}
+
+TEST(TenantQuotas, RefillsAtRateAndCapsAtBurst) {
+  TenantQuotas quotas(QuotaConfig{1.0, 2.0});
+  EXPECT_TRUE(quotas.admit("u0", 0.0));
+  EXPECT_TRUE(quotas.admit("u0", 0.0));
+  EXPECT_FALSE(quotas.admit("u0", 0.5));   // 0.5 tokens back: still short
+  EXPECT_TRUE(quotas.admit("u0", 1.6));    // 1.1 more: one full token
+  EXPECT_FALSE(quotas.admit("u0", 1.6));
+  // Long idle refills to burst, never beyond it.
+  EXPECT_TRUE(quotas.admit("u0", 1000.0));
+  EXPECT_TRUE(quotas.admit("u0", 1000.0));
+  EXPECT_FALSE(quotas.admit("u0", 1000.0));
+}
+
+TEST(TenantQuotas, BackwardsTimeNeverRefills) {
+  TenantQuotas quotas(QuotaConfig{1.0, 2.0});
+  EXPECT_TRUE(quotas.admit("u0", 10.0));
+  EXPECT_TRUE(quotas.admit("u0", 10.0));
+  EXPECT_FALSE(quotas.admit("u0", 5.0));   // clock went backwards: no refill
+  EXPECT_FALSE(quotas.admit("u0", 10.5));  // refill measured from t=10, not t=5
+  EXPECT_TRUE(quotas.admit("u0", 11.5));
+}
+
+TEST(TenantQuotas, TenantsAreIndependent) {
+  TenantQuotas quotas(QuotaConfig{1.0, 1.0});
+  EXPECT_TRUE(quotas.admit("u0", 0.0));
+  EXPECT_FALSE(quotas.admit("u0", 0.0));
+  EXPECT_TRUE(quotas.admit("u1", 0.0));  // fresh tenant, fresh bucket
+  EXPECT_EQ(quotas.tenants(), 2u);
+}
+
+TEST(TenantQuotas, DefaultBurstIsRateWithFloorOne) {
+  TenantQuotas three(QuotaConfig{3.0, 0.0});
+  EXPECT_TRUE(three.admit("u0", 0.0));
+  EXPECT_TRUE(three.admit("u0", 0.0));
+  EXPECT_TRUE(three.admit("u0", 0.0));
+  EXPECT_FALSE(three.admit("u0", 0.0));  // burst defaulted to rate = 3
+
+  TenantQuotas slow(QuotaConfig{0.1, 0.0});
+  EXPECT_TRUE(slow.admit("u0", 0.0));    // burst floors at 1 token
+  EXPECT_FALSE(slow.admit("u0", 0.0));
+}
+
+// ---------------------------------------------------------------------------
+// Router end-to-end against fake nodes.
+
+/// A stand-in serve node: accepts connections and answers every NDJSON
+/// line with a step record that names the node, so tests can observe
+/// which node served each event. stop() simulates a node crash.
+class FakeNode {
+ public:
+  explicit FakeNode(std::string id)
+      : id_(std::move(id)), listener_(TcpListener::bind(0, "127.0.0.1")) {
+    accept_thread_ = std::thread([this] {
+      while (auto stream = listener_.accept()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        conns_.push_back(std::make_unique<TcpStream>(std::move(*stream)));
+        TcpStream* conn = conns_.back().get();
+        workers_.emplace_back([this, conn] { serve(*conn); });
+      }
+    });
+  }
+  ~FakeNode() { stop(); }
+
+  std::uint16_t port() const { return listener_.port(); }
+  const std::string& id() const { return id_; }
+  std::uint64_t lines_seen() const { return lines_seen_.load(std::memory_order_relaxed); }
+
+  /// Crash: refuse new connections, sever live ones mid-stream.
+  void stop() {
+    if (stopped_.exchange(true)) return;
+    listener_.close();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (auto& conn : conns_) {
+      conn->shutdown_read();
+      conn->shutdown_write();
+    }
+    for (auto& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+  }
+
+ private:
+  void serve(TcpStream& conn) {
+    LineReader reader(conn.io());
+    std::string line;
+    while (reader.next(line)) {
+      lines_seen_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<JsonField> fields;
+      std::string error;
+      std::string user, session;
+      if (parse_flat_json(line, fields, error)) {
+        user = get_string(fields, "user_id").value_or("");
+        session = get_string(fields, "session_id").value_or("");
+      }
+      conn.io() << "{\"type\":\"step\",\"node\":\"" << id_ << "\",\"user_id\":\"" << user
+                << "\",\"session_id\":\"" << session << "\"}\n";
+      conn.io().flush();
+    }
+  }
+
+  std::string id_;
+  TcpListener listener_;
+  std::thread accept_thread_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<TcpStream>> conns_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> lines_seen_{0};
+};
+
+bool eventually(const std::function<bool()>& pred, std::chrono::milliseconds limit = 5s) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+class RouterClient {
+ public:
+  explicit RouterClient(std::uint16_t port)
+      : stream_(tcp_connect("127.0.0.1", port)), reader_(stream_.io()) {}
+
+  void send_event(const std::string& user, const std::string& session, double timestamp) {
+    stream_.io() << "{\"user_id\":\"" << user << "\",\"session_id\":\"" << session
+                 << "\",\"action\":\"login\",\"timestamp\":" << timestamp << "}\n";
+    stream_.io().flush();
+  }
+
+  void send_raw(const std::string& line) {
+    stream_.io() << line << "\n";
+    stream_.io().flush();
+  }
+
+  /// Next reply, parsed. Returns false on EOF.
+  bool next_reply(std::string& type, std::string& node) {
+    std::string line;
+    if (!reader_.next(line)) return false;
+    std::vector<JsonField> fields;
+    std::string error;
+    if (!parse_flat_json(line, fields, error)) return false;
+    type = get_string(fields, "type").value_or("");
+    node = get_string(fields, "node").value_or("");
+    return true;
+  }
+
+ private:
+  TcpStream stream_;
+  LineReader reader_;
+};
+
+struct RouterRunner {
+  explicit RouterRunner(RouterConfig config) : router(std::move(config)) {
+    thread = std::thread([this] { router.run(); });
+  }
+  ~RouterRunner() {
+    router.request_stop();
+    thread.join();
+  }
+  Router router;
+  std::thread thread;
+};
+
+TEST(RouterCluster, SessionAffinityAndFailureHandoff) {
+  std::signal(SIGPIPE, SIG_IGN);
+  FakeNode node_a("A");
+  FakeNode node_b("B");
+  RouterConfig config;
+  config.listen_host = "127.0.0.1";
+  config.nodes = {NodeEndpoint{"127.0.0.1", node_a.port(), 0},
+                  NodeEndpoint{"127.0.0.1", node_b.port(), 0}};
+  config.tick_seconds = 0.05;
+  RouterRunner runner(std::move(config));
+  EXPECT_EQ(runner.router.live_nodes(), 2u);
+
+  RouterClient client(runner.router.port());
+  constexpr int kSessions = 16;
+  constexpr int kStepsBefore = 3;
+  std::map<std::string, std::string> owner;  // session -> fake node id
+  for (int step = 0; step < kStepsBefore; ++step) {
+    for (int s = 0; s < kSessions; ++s) {
+      const std::string session = "s" + std::to_string(s);
+      client.send_event("u" + std::to_string(s % 3), session, step);
+      std::string type, node;
+      ASSERT_TRUE(client.next_reply(type, node));
+      ASSERT_EQ(type, "step");
+      ASSERT_FALSE(node.empty());
+      const auto [it, inserted] = owner.emplace(session, node);
+      // Session affinity: every event of a session answers from one node.
+      if (!inserted) {
+        ASSERT_EQ(it->second, node) << "session " << session << " moved nodes";
+      }
+    }
+  }
+  EXPECT_EQ(runner.router.active_sessions(), static_cast<std::size_t>(kSessions));
+
+  // Crash the node that owns session s0 (guarantees the dead node holds
+  // at least one session) and count what the survivor must inherit.
+  FakeNode& dead = owner.at("s0") == "A" ? node_a : node_b;
+  FakeNode& survivor = owner.at("s0") == "A" ? node_b : node_a;
+  std::size_t dead_sessions = 0;
+  for (const auto& [session, node] : owner) dead_sessions += (node == dead.id()) ? 1 : 0;
+  const std::uint64_t survivor_before = survivor.lines_seen();
+
+  dead.stop();
+  ASSERT_TRUE(eventually([&] { return runner.router.live_nodes() == 1; }));
+  // Handoff replays every journaled event of the dead node's sessions to
+  // the survivor; the client saw those verdicts already, so nothing new
+  // arrives on the client socket (checked below by lockstep reads).
+  ASSERT_TRUE(eventually([&] {
+    return survivor.lines_seen() >= survivor_before + dead_sessions * kStepsBefore;
+  }));
+
+  // Every session keeps flowing, now answered by the survivor — exactly
+  // one verdict per event, so no replayed verdict was duplicated to the
+  // client and none of the new ones was lost.
+  for (int s = 0; s < kSessions; ++s) {
+    client.send_event("u" + std::to_string(s % 3), "s" + std::to_string(s), kStepsBefore);
+    std::string type, node;
+    ASSERT_TRUE(client.next_reply(type, node));
+    EXPECT_EQ(type, "step");
+    EXPECT_EQ(node, survivor.id()) << "session s" << s;
+  }
+  // The survivor processed its own pre-crash events, the replayed
+  // journal, and every post-crash event.
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kSessions - dead_sessions) * kStepsBefore +
+      static_cast<std::uint64_t>(dead_sessions) * kStepsBefore + kSessions;
+  ASSERT_TRUE(eventually([&] { return survivor.lines_seen() == expected; }));
+}
+
+TEST(RouterCluster, QuotaRejectsAtTheFrontDoor) {
+  std::signal(SIGPIPE, SIG_IGN);
+  FakeNode node("N");
+  RouterConfig config;
+  config.listen_host = "127.0.0.1";
+  config.nodes = {NodeEndpoint{"127.0.0.1", node.port(), 0}};
+  config.quota.rate = 1.0;
+  config.quota.burst = 2.0;
+  RouterRunner runner(std::move(config));
+  RouterClient client(runner.router.port());
+
+  std::string type, dummy;
+  // Burst of two admitted, third rejected with an error record the node
+  // never sees (event time drives the bucket: all three stamp t=0).
+  for (int i = 0; i < 2; ++i) {
+    client.send_event("tenant-a", "s0", 0.0);
+    ASSERT_TRUE(client.next_reply(type, dummy));
+    EXPECT_EQ(type, "step");
+  }
+  client.send_event("tenant-a", "s0", 0.0);
+  ASSERT_TRUE(client.next_reply(type, dummy));
+  EXPECT_EQ(type, "error");
+
+  // Two event-time seconds later one token is back...
+  client.send_event("tenant-a", "s0", 2.0);
+  ASSERT_TRUE(client.next_reply(type, dummy));
+  EXPECT_EQ(type, "step");
+  // ...and other tenants were never throttled.
+  client.send_event("tenant-b", "s0", 0.0);
+  ASSERT_TRUE(client.next_reply(type, dummy));
+  EXPECT_EQ(type, "step");
+
+  EXPECT_EQ(node.lines_seen(), 4u);  // the rejected event was never forwarded
+}
+
+TEST(RouterCluster, MalformedLinesAnswerWithErrorRecords) {
+  std::signal(SIGPIPE, SIG_IGN);
+  FakeNode node("N");
+  RouterConfig config;
+  config.listen_host = "127.0.0.1";
+  config.nodes = {NodeEndpoint{"127.0.0.1", node.port(), 0}};
+  RouterRunner runner(std::move(config));
+  RouterClient client(runner.router.port());
+
+  std::string type, dummy;
+  client.send_raw("this is not json");
+  ASSERT_TRUE(client.next_reply(type, dummy));
+  EXPECT_EQ(type, "error");
+  client.send_raw("{\"user_id\":\"u0\"}");  // missing session_id/action
+  ASSERT_TRUE(client.next_reply(type, dummy));
+  EXPECT_EQ(type, "error");
+  // The connection survives rejected lines.
+  client.send_event("u0", "s0", 0.0);
+  ASSERT_TRUE(client.next_reply(type, dummy));
+  EXPECT_EQ(type, "step");
+  EXPECT_EQ(node.lines_seen(), 1u);
+}
+
+TEST(RouterCluster, ConstructorRequiresAReachableNode) {
+  std::uint16_t dead_port;
+  {
+    TcpListener probe = TcpListener::bind(0, "127.0.0.1");
+    dead_port = probe.port();
+  }  // released: connections to dead_port now refuse
+
+  RouterConfig config;
+  config.listen_host = "127.0.0.1";
+  config.nodes = {NodeEndpoint{"127.0.0.1", dead_port, 0}};
+  EXPECT_THROW(Router{std::move(config)}, std::runtime_error);
+
+  // One dead + one live node: starts with the survivor only.
+  FakeNode node("N");
+  RouterConfig partial;
+  partial.listen_host = "127.0.0.1";
+  partial.nodes = {NodeEndpoint{"127.0.0.1", dead_port, 0},
+                   NodeEndpoint{"127.0.0.1", node.port(), 0}};
+  Router router(std::move(partial));
+  EXPECT_EQ(router.live_nodes(), 1u);
+  router.request_stop();
+}
+
+}  // namespace
+}  // namespace misuse::router

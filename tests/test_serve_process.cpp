@@ -330,6 +330,60 @@ TEST_F(ServeProcessFixture, SigtermDrainsOpenTcpSessions) {
   }
 }
 
+// Differential lockdown of the epoll front end: the identical trace,
+// split across two TCP connections in lockstep, must produce byte-equal
+// per-connection verdict streams and byte-equal shutdown session
+// reports under --io=threads and --io=epoll. The epoll loop feeds the
+// same ScoringServer::submit_sync the blocking path does, so any
+// divergence is a framing or routing bug in the front end.
+TEST_F(ServeProcessFixture, EpollFrontEndMatchesThreadsByteForByte) {
+  struct TcpRun {
+    std::vector<std::vector<std::string>> per_connection;
+    std::vector<std::string> reports;
+  };
+  const auto run_mode = [&](const std::string& io_mode) {
+    TcpRun result;
+    ServeProcess proc({"--model=" + *model_path_, "--listen=0", "--io=" + io_mode});
+    const std::uint16_t port = proc.wait_for_port();
+    EXPECT_GT(port, 0);
+    std::vector<TcpStream> clients;
+    clients.push_back(tcp_connect("127.0.0.1", port));
+    clients.push_back(tcp_connect("127.0.0.1", port));
+    std::vector<std::unique_ptr<LineReader>> readers;
+    for (auto& client : clients) readers.push_back(std::make_unique<LineReader>(client.io()));
+    result.per_connection.resize(clients.size());
+    // Lockstep (send one event, read its verdict) pins the server-side
+    // arrival order, so both io modes score the exact same sequence.
+    for (std::size_t i = 0; i < trace_->size(); ++i) {
+      const std::size_t c = i % clients.size();
+      clients[c].io() << (*trace_)[i] << "\n";
+      clients[c].io().flush();
+      std::string verdict;
+      if (!readers[c]->next(verdict)) {
+        ADD_FAILURE() << io_mode << ": no verdict for event " << i;
+        break;
+      }
+      result.per_connection[c].push_back(verdict);
+    }
+    for (auto& client : clients) client.shutdown_write();
+    proc.signal(SIGTERM);
+    const auto lines = drain(proc.out());
+    const int status = proc.wait();
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0) << io_mode;
+    result.reports = session_reports(lines);
+    return result;
+  };
+
+  const TcpRun threads = run_mode("threads");
+  const TcpRun epoll = run_mode("epoll");
+  ASSERT_EQ(threads.per_connection.size(), epoll.per_connection.size());
+  for (std::size_t c = 0; c < threads.per_connection.size(); ++c) {
+    EXPECT_EQ(threads.per_connection[c], epoll.per_connection[c]) << "connection " << c;
+  }
+  ASSERT_EQ(epoll.reports.size(), 6u) << "one shutdown report per session";
+  EXPECT_EQ(threads.reports, epoll.reports);
+}
+
 // kill -9 mid-replay, restart on the same --wal-dir with --resume-replay,
 // resend the stream from origin: the surviving run's session reports
 // equal an uninterrupted run's.
