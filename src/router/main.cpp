@@ -10,7 +10,7 @@
 //   misusedet_router --nodes=host:port[:admin_port],... [--listen=PORT]
 //       [--vnodes=N] [--quota-rate=X] [--quota-burst=X]
 //       [--health-interval=SECONDS] [--health-failures=N]
-//       [--session-ttl=SECONDS] [--metrics-out=PATH]
+//       [--session-ttl=SECONDS] [--node-ttl=SECONDS] [--metrics-out=PATH]
 #include <csignal>
 #include <iostream>
 #include <sstream>
@@ -42,6 +42,9 @@ void usage(std::ostream& out) {
       << "  --session-ttl=SEC       drop a session's replay journal after this much idle\n"
       << "                          time; keep it longer than the nodes' --idle-ttl\n"
       << "                          (default 900)\n"
+      << "  --node-ttl=SEC          the nodes' --idle-ttl, for startup validation: the\n"
+      << "                          router refuses --session-ttl <= --node-ttl and warns\n"
+      << "                          under a 2x margin (default 0 = skip the check)\n"
       << "  --metrics-out=PATH      write the metrics/trace snapshot on exit\n";
 }
 
@@ -77,6 +80,7 @@ int router_main(int argc, char** argv) {
   config.health_interval_seconds = args.real("health-interval", 1.0);
   config.health_failures_down = static_cast<std::size_t>(args.integer("health-failures", 3));
   config.session_ttl_seconds = args.real("session-ttl", 900.0);
+  config.node_ttl_seconds = args.real("node-ttl", 0.0);
 
   struct sigaction action {};
   action.sa_handler = handle_signal;

@@ -64,6 +64,24 @@ std::optional<NodeEndpoint> parse_node_endpoint(const std::string& spec) {
 Router::Router(RouterConfig config)
     : config_(std::move(config)), ring_(config_.vnodes), quotas_(config_.quota) {
   if (config_.nodes.empty()) throw std::runtime_error("router: no upstream nodes given");
+  if (config_.node_ttl_seconds > 0.0) {
+    // The handoff guarantee needs the router's journal to outlive the
+    // node-side session: a journal pruned while the node still holds
+    // the session cannot be replayed, and the session's next event
+    // re-enters as a fresh session (possibly on another node).
+    if (config_.session_ttl_seconds <= config_.node_ttl_seconds) {
+      throw std::runtime_error(
+          "router: --session-ttl (" + std::to_string(config_.session_ttl_seconds) +
+          "s) must exceed the nodes' --idle-ttl (" + std::to_string(config_.node_ttl_seconds) +
+          "s); the replay journal would be pruned while nodes still hold the session");
+    }
+    if (config_.session_ttl_seconds < 2.0 * config_.node_ttl_seconds) {
+      log_warn() << "router: --session-ttl (" << config_.session_ttl_seconds
+                 << "s) is under twice the nodes' --idle-ttl (" << config_.node_ttl_seconds
+                 << "s); keep a comfortable margin or a handoff near the TTL boundary "
+                    "may find its journal already pruned";
+    }
+  }
 
   for (const NodeEndpoint& endpoint : config_.nodes) {
     auto up = std::make_unique<Upstream>();
@@ -73,6 +91,8 @@ Router::Router(RouterConfig config)
     try {
       up->stream.emplace(tcp_connect(endpoint.host, endpoint.port));
       up->stream->set_write_timeout(config_.upstream_write_timeout_seconds);
+      up->read_buf = std::make_unique<FdStreamBuf>(up->stream->fd());
+      up->read_stream = std::make_unique<std::istream>(up->read_buf.get());
       up->up = true;
       ring_.add_node(name);
     } catch (const std::runtime_error& e) {
@@ -183,13 +203,13 @@ void Router::on_client_line(std::uint64_t conn, std::string_view line, std::stri
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     // Quota refill clock: producer event time when stamped (so replayed
-    // traces throttle deterministically), wall clock otherwise.
-    double now = wall_seconds();
-    if (event.has_timestamp) {
-      event_clock_ = std::max(event_clock_, event.timestamp);
-      now = event_clock_;
-    }
-    if (!quotas_.admit(event.user_id, now)) {
+    // traces throttle deterministically), wall clock otherwise. The
+    // bucket keeps a per-tenant baseline per domain — epoch timestamps
+    // and seconds-since-boot are never compared to each other.
+    const bool stamped = event.has_timestamp;
+    const double now = stamped ? event.timestamp : wall_seconds();
+    const QuotaClock clock = stamped ? QuotaClock::kEvent : QuotaClock::kWall;
+    if (!quotas_.admit(event.user_id, now, clock)) {
       rm.quota_rejected.inc();
       replies += serve::render_error_record("tenant quota exceeded: " + event.user_id, line);
       replies += '\n';
@@ -234,12 +254,16 @@ void Router::reader_loop(const std::string& node_name) {
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     Upstream& node = *upstreams_.at(node_name);
-    if (!node.stream) return;
-    in = &node.stream->io();
+    if (!node.read_stream) return;
+    in = node.read_stream.get();
   }
   // The blocking read below runs without the lock; node_down() wakes it
   // with shutdown_read() rather than destroying the stream (the Upstream
-  // object and its TcpStream live until ~Router).
+  // object and its TcpStream live until ~Router). It reads through the
+  // node's dedicated read_stream, never stream->io(): send_upstream
+  // writes that iostream under state_mutex_, and two threads sharing
+  // one stream's state flags would be a data race even though the
+  // streambuf get/put areas are distinct.
   LineReader reader(*in);
   std::string line;
   while (reader.next(line)) {
@@ -271,9 +295,14 @@ void Router::reader_loop(const std::string& node_name) {
         const Inflight entry = node.inflight.front();
         node.inflight.pop_front();
         const auto it = sessions_.find(entry.session_key);
-        if (it != sessions_.end()) {
+        if (it != sessions_.end() && !entry.replayed) {
+          // `confirmed` is the client-visible verdict prefix. A replayed
+          // (suppressed) reply answers a verdict already inside that
+          // prefix — counting it again would inflate `confirmed` past
+          // what the client has seen, and a second failure mid-replay
+          // would then suppress verdicts that were never delivered.
           it->second.confirmed += 1;
-          if (!entry.replayed) deliver_to = it->second.client;
+          deliver_to = it->second.client;
         }
         if (entry.replayed) rm.replay_suppressed.inc();
       } else {

@@ -73,9 +73,15 @@ struct RouterConfig {
   /// owning node's *stdout* (the operator plane), not the upstream
   /// connection, so the router cannot see them finish — it prunes its
   /// own journal map after this much idle wall time instead. Must be
-  /// comfortably longer than the nodes' --ttl so a handoff never loses
-  /// a session the node still holds.
+  /// comfortably longer than the nodes' --idle-ttl so a handoff never
+  /// loses a session the node still holds.
   double session_ttl_seconds = 900.0;
+  /// The nodes' --idle-ttl, when the operator knows it (0 = unknown).
+  /// The constructor rejects session_ttl_seconds <= node_ttl_seconds
+  /// (the router would prune journals for sessions the node still
+  /// holds, making handoff replay impossible) and warns when the margin
+  /// is under 2x.
+  double node_ttl_seconds = 0.0;
   double tick_seconds = 0.2;
 };
 
@@ -128,7 +134,14 @@ class Router {
 
   struct Upstream {
     NodeEndpoint endpoint;
-    std::optional<TcpStream> stream;
+    std::optional<TcpStream> stream;  // write side; send_upstream only
+    /// Read-side view of the same fd. The reader thread's blocking
+    /// reads run without state_mutex_ while send_upstream writes under
+    /// it; sharing one std::iostream would race on the stream-state
+    /// flags (sentry/good() vs. flush), so each direction gets its own
+    /// stream object over the shared descriptor.
+    std::unique_ptr<FdStreamBuf> read_buf;
+    std::unique_ptr<std::istream> read_stream;
     std::thread reader;
     bool up = false;
     std::size_t health_fails = 0;
@@ -169,7 +182,6 @@ class Router {
   std::unordered_map<std::string, std::unique_ptr<Upstream>> upstreams_;
   std::unordered_map<std::string, SessionState> sessions_;
   TenantQuotas quotas_;
-  double event_clock_ = 0.0;  // max producer timestamp seen (quota refill)
 
   std::thread health_thread_;
 };

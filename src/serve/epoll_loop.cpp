@@ -222,10 +222,20 @@ void EpollLoop::drain_posted() {
   for (auto& [id, data] : batch) {
     const auto it = conns_.find(id);
     if (it == conns_.end()) continue;
-    it->second.out += data;
-    if (!flush_conn(id, it->second)) continue;
-    if (it->second.peer_eof && it->second.out_off == it->second.out.size()) {
-      retire(id, it->second);
+    Conn& conn = it->second;
+    conn.out += data;
+    // Posted output obeys the same slow-consumer cap as on_line replies:
+    // in the router every verdict arrives via post(), so this is the
+    // path a client that stops reading would otherwise grow unbounded.
+    if (conn.out.size() - conn.out_off > config_.max_output_bytes) {
+      overflowed_.fetch_add(1, std::memory_order_relaxed);
+      log_warn() << "connection " << id << " exceeded the output backlog cap; closing";
+      retire(id, conn);
+      continue;
+    }
+    if (!flush_conn(id, conn)) continue;
+    if (conn.peer_eof && conn.out_off == conn.out.size()) {
+      retire(id, conn);
     }
   }
 }

@@ -143,7 +143,9 @@ TEST_F(EpollFixture, SlowConsumerPastOutputCapIsDisconnected) {
   config.max_output_bytes = 32 << 10;
   EpollHandlers handlers;
   const std::string big_reply(64 << 10, 'y');
-  handlers.on_line = [&](std::uint64_t, std::string_view, std::string& replies) {
+  // By value: the loop thread outlives this scope (TearDown joins it),
+  // so a by-reference capture would race the local's destruction.
+  handlers.on_line = [big_reply](std::uint64_t, std::string_view, std::string& replies) {
     replies.append(big_reply);
     replies.push_back('\n');
   };
@@ -159,6 +161,34 @@ TEST_F(EpollFixture, SlowConsumerPastOutputCapIsDisconnected) {
   }
   EXPECT_TRUE(eventually([this] { return loop_->overflowed_total() >= 1; }));
   EXPECT_TRUE(eventually([this] { return closes_seen_.load() >= 1; }));
+}
+
+TEST_F(EpollFixture, PostedBacklogPastOutputCapIsDisconnected) {
+  // Same slow-consumer contract as on_line replies, but through post():
+  // in the router every verdict reaches the client via post, so a
+  // client that stops reading must still hit the cap.
+  EpollConfig config;
+  config.max_output_bytes = 32 << 10;
+  start(config);
+  TcpStream client = connect();
+  client.io() << "hello\n";
+  client.io().flush();
+  LineReader reader(client.io());
+  std::string line;
+  ASSERT_TRUE(reader.next(line));  // learns the connection id
+  const std::uint64_t conn = last_conn_.load();
+  ASSERT_NE(conn, 0u);
+  // Stop reading and inject 64KB chunks from off-loop; once the kernel
+  // socket buffer is full the backlog crosses the 32KB cap.
+  const std::string chunk(64 << 10, 'z');
+  for (int i = 0; i < 256; ++i) {
+    if (!loop_->post(conn, chunk + "\n")) break;  // already retired
+    std::this_thread::sleep_for(1ms);
+    if (loop_->overflowed_total() > 0) break;
+  }
+  EXPECT_TRUE(eventually([this] { return loop_->overflowed_total() >= 1; }));
+  EXPECT_TRUE(eventually([this] { return closes_seen_.load() >= 1; }));
+  EXPECT_FALSE(loop_->post(conn, "after-retire\n"));
 }
 
 TEST_F(EpollFixture, PostInjectsOutputFromAnotherThread) {

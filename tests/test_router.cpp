@@ -8,6 +8,8 @@
 // scripts/cluster_smoke.sh and the bench --cluster leg.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -237,6 +239,27 @@ TEST(TenantQuotas, DefaultBurstIsRateWithFloorOne) {
   EXPECT_FALSE(slow.admit("u0", 0.0));
 }
 
+TEST(TenantQuotas, ClockDomainsKeepIndependentBaselines) {
+  // Producer event time (epoch-scale) and wall clock (seconds since
+  // boot) are incomparable; a bucket whose baseline was set from a
+  // large event stamp must still refill on later wall-clock traffic —
+  // the failure mode is elapsed == 0 forever and a permanently
+  // throttled tenant.
+  TenantQuotas quotas(QuotaConfig{1.0, 2.0});
+  EXPECT_TRUE(quotas.admit("u0", 1.7e9, QuotaClock::kEvent));
+  EXPECT_TRUE(quotas.admit("u0", 1.7e9, QuotaClock::kEvent));
+  EXPECT_FALSE(quotas.admit("u0", 1.7e9, QuotaClock::kEvent));
+  // First wall reading only sets the wall baseline: no refill (the
+  // event baseline says nothing about wall-elapsed time)...
+  EXPECT_FALSE(quotas.admit("u0", 100.0, QuotaClock::kWall));
+  // ...but one wall second later a token is back, even though wall time
+  // is numerically eons behind the event stamps.
+  EXPECT_TRUE(quotas.admit("u0", 101.0, QuotaClock::kWall));
+  // The event-domain baseline was untouched by the wall traffic.
+  EXPECT_FALSE(quotas.admit("u0", 1.7e9, QuotaClock::kEvent));
+  EXPECT_TRUE(quotas.admit("u0", 1.7e9 + 1.0, QuotaClock::kEvent));
+}
+
 // ---------------------------------------------------------------------------
 // Router end-to-end against fake nodes.
 
@@ -261,6 +284,12 @@ class FakeNode {
   std::uint16_t port() const { return listener_.port(); }
   const std::string& id() const { return id_; }
   std::uint64_t lines_seen() const { return lines_seen_.load(std::memory_order_relaxed); }
+  std::uint64_t replies_sent() const { return replies_sent_.load(std::memory_order_relaxed); }
+
+  /// Wedge: stop answering after `n` total replies. Lines are still
+  /// *read* (the node looks alive, it just owes verdicts), which is how
+  /// a test parks replayed journal entries in flight with no reply.
+  void set_reply_limit(std::uint64_t n) { reply_limit_.store(n, std::memory_order_relaxed); }
 
   /// Crash: refuse new connections, sever live ones mid-stream.
   void stop() {
@@ -268,8 +297,10 @@ class FakeNode {
     listener_.close();
     if (accept_thread_.joinable()) accept_thread_.join();
     for (auto& conn : conns_) {
-      conn->shutdown_read();
-      conn->shutdown_write();
+      // Raw fd-level sever: TcpStream::shutdown_write() flushes the
+      // iostream, and the serve() worker owns that stream object — a
+      // cross-thread flush would race its concurrent replies.
+      ::shutdown(conn->fd(), SHUT_RDWR);
     }
     for (auto& worker : workers_) {
       if (worker.joinable()) worker.join();
@@ -289,6 +320,11 @@ class FakeNode {
         user = get_string(fields, "user_id").value_or("");
         session = get_string(fields, "session_id").value_or("");
       }
+      if (replies_sent_.load(std::memory_order_relaxed) >=
+          reply_limit_.load(std::memory_order_relaxed)) {
+        continue;  // wedged: consume the line, owe the verdict
+      }
+      replies_sent_.fetch_add(1, std::memory_order_relaxed);
       conn.io() << "{\"type\":\"step\",\"node\":\"" << id_ << "\",\"user_id\":\"" << user
                 << "\",\"session_id\":\"" << session << "\"}\n";
       conn.io().flush();
@@ -303,6 +339,8 @@ class FakeNode {
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};
   std::atomic<std::uint64_t> lines_seen_{0};
+  std::atomic<std::uint64_t> replies_sent_{0};
+  std::atomic<std::uint64_t> reply_limit_{UINT64_MAX};
 };
 
 bool eventually(const std::function<bool()>& pred, std::chrono::milliseconds limit = 5s) {
@@ -318,6 +356,10 @@ class RouterClient {
  public:
   explicit RouterClient(std::uint16_t port)
       : stream_(tcp_connect("127.0.0.1", port)), reader_(stream_.io()) {}
+
+  /// Bounds next_reply(): a verdict the router never delivers surfaces
+  /// as a failed read instead of hanging the test.
+  void set_read_timeout(double seconds) { stream_.set_read_timeout(seconds); }
 
   void send_event(const std::string& user, const std::string& session, double timestamp) {
     stream_.io() << "{\"user_id\":\"" << user << "\",\"session_id\":\"" << session
@@ -427,6 +469,111 @@ TEST(RouterCluster, SessionAffinityAndFailureHandoff) {
   ASSERT_TRUE(eventually([&] { return survivor.lines_seen() == expected; }));
 }
 
+TEST(RouterCluster, CascadingFailureMidReplayLosesNoVerdict) {
+  std::signal(SIGPIPE, SIG_IGN);
+  // The cascade the single-failure test cannot see: a session with an
+  // undelivered verdict is handed off, the successor answers only the
+  // *suppressed* prefix of the replay, then dies mid-replay. `confirmed`
+  // must still equal the client-visible prefix at the second handoff —
+  // counting suppressed replies as deliveries would inflate it and the
+  // third node's replay would suppress a verdict the client never saw.
+  FakeNode node_a("A");
+  FakeNode node_b("B");
+  FakeNode node_c("C");
+  std::map<std::string, FakeNode*> nodes = {
+      {"A", &node_a}, {"B", &node_b}, {"C", &node_c}};
+  RouterConfig config;
+  config.listen_host = "127.0.0.1";
+  config.nodes = {NodeEndpoint{"127.0.0.1", node_a.port(), 0},
+                  NodeEndpoint{"127.0.0.1", node_b.port(), 0},
+                  NodeEndpoint{"127.0.0.1", node_c.port(), 0}};
+  config.tick_seconds = 0.05;
+  RouterRunner runner(std::move(config));
+  ASSERT_EQ(runner.router.live_nodes(), 3u);
+
+  RouterClient client(runner.router.port());
+  client.set_read_timeout(5.0);
+  const std::uint64_t suppressed_before = router_metrics().replay_suppressed.value();
+
+  // Two delivered verdicts: the client-visible prefix is 2.
+  std::string type, node_id;
+  client.send_event("u0", "s0", 0.0);
+  ASSERT_TRUE(client.next_reply(type, node_id));
+  ASSERT_EQ(type, "step");
+  client.send_event("u0", "s0", 1.0);
+  ASSERT_TRUE(client.next_reply(type, node_id));
+  ASSERT_EQ(type, "step");
+  FakeNode& owner = *nodes.at(node_id);
+
+  // Wedge the owner (keeps reading, stops answering) and send a third
+  // event: the journal holds 3 entries, the client has seen 2 verdicts.
+  owner.set_reply_limit(owner.replies_sent());
+  client.send_event("u0", "s0", 2.0);
+  ASSERT_TRUE(eventually([&] { return owner.lines_seen() == 3; }));
+
+  // Every potential successor will answer exactly the 2-entry
+  // suppressed prefix of the replay, then wedge with the fresh verdict
+  // for event 3 still owed.
+  for (auto& [id, fake] : nodes) {
+    if (fake != &owner) fake->set_reply_limit(2);
+  }
+  owner.stop();  // first failure: the 3-entry journal replays
+  ASSERT_TRUE(eventually([&] { return runner.router.live_nodes() == 2; }));
+  FakeNode* successor = nullptr;
+  ASSERT_TRUE(eventually([&] {
+    for (auto& [id, fake] : nodes) {
+      if (fake != &owner && fake->lines_seen() == 3) successor = fake;
+    }
+    return successor != nullptr;
+  }));
+  // Wait for the router to consume both suppressed replies — the state
+  // the bug corrupts — before triggering the cascade.
+  ASSERT_TRUE(eventually(
+      [&] { return router_metrics().replay_suppressed.value() >= suppressed_before + 2; }));
+
+  FakeNode* last = nullptr;
+  for (auto& [id, fake] : nodes) {
+    if (fake != &owner && fake != successor) last = fake;
+  }
+  ASSERT_NE(last, nullptr);
+  last->set_reply_limit(UINT64_MAX);
+  successor->stop();  // second failure, mid-replay
+  ASSERT_TRUE(eventually([&] { return runner.router.live_nodes() == 1; }));
+
+  // The surviving node's replay must deliver exactly the verdict the
+  // client never saw (event 3), then the fourth event's verdict —
+  // nothing lost, nothing duplicated.
+  client.send_event("u0", "s0", 3.0);
+  ASSERT_TRUE(client.next_reply(type, node_id)) << "verdict for event 3 was lost in the cascade";
+  EXPECT_EQ(type, "step");
+  EXPECT_EQ(node_id, last->id());
+  ASSERT_TRUE(client.next_reply(type, node_id)) << "verdict for event 4 never arrived";
+  EXPECT_EQ(type, "step");
+  EXPECT_EQ(node_id, last->id());
+  // Exactly 4 verdicts total reached the wire from the survivor: 2
+  // suppressed replays + the fresh event-3 verdict + event 4.
+  EXPECT_EQ(last->lines_seen(), 4u);
+}
+
+TEST(RouterCluster, SessionTtlMustOutliveNodeTtl) {
+  FakeNode node("N");
+  RouterConfig bad;
+  bad.listen_host = "127.0.0.1";
+  bad.nodes = {NodeEndpoint{"127.0.0.1", node.port(), 0}};
+  bad.session_ttl_seconds = 300.0;
+  bad.node_ttl_seconds = 900.0;  // journal would be pruned first: refuse
+  EXPECT_THROW(Router{std::move(bad)}, std::runtime_error);
+
+  RouterConfig ok;
+  ok.listen_host = "127.0.0.1";
+  ok.nodes = {NodeEndpoint{"127.0.0.1", node.port(), 0}};
+  ok.session_ttl_seconds = 900.0;
+  ok.node_ttl_seconds = 300.0;  // comfortable 3x margin
+  Router router(std::move(ok));
+  EXPECT_EQ(router.live_nodes(), 1u);
+  router.request_stop();
+}
+
 TEST(RouterCluster, QuotaRejectsAtTheFrontDoor) {
   std::signal(SIGPIPE, SIG_IGN);
   FakeNode node("N");
@@ -459,7 +606,20 @@ TEST(RouterCluster, QuotaRejectsAtTheFrontDoor) {
   ASSERT_TRUE(client.next_reply(type, dummy));
   EXPECT_EQ(type, "step");
 
-  EXPECT_EQ(node.lines_seen(), 4u);  // the rejected event was never forwarded
+  // Per-tenant event clocks: tenant-b jumping to a far-future stamp
+  // must not advance tenant-a's refill clock (a global event clock
+  // would refill every bucket here).
+  client.send_event("tenant-b", "s0", 5e8);
+  ASSERT_TRUE(client.next_reply(type, dummy));
+  EXPECT_EQ(type, "step");
+  client.send_event("tenant-a", "s0", 2.0);  // drains tenant-a's last token
+  ASSERT_TRUE(client.next_reply(type, dummy));
+  EXPECT_EQ(type, "step");
+  client.send_event("tenant-a", "s0", 2.5);  // 0.5 event-seconds: no token yet
+  ASSERT_TRUE(client.next_reply(type, dummy));
+  EXPECT_EQ(type, "error");
+
+  EXPECT_EQ(node.lines_seen(), 6u);  // the rejected events were never forwarded
 }
 
 TEST(RouterCluster, MalformedLinesAnswerWithErrorRecords) {
