@@ -1,0 +1,193 @@
+#!/usr/bin/env bash
+# Continuous-learning loop smoke test: drive misusedet_learnd through a
+# full collect -> fine-tune -> publish -> shadow-evaluate -> decide cycle
+# and check every decision leaves a flat-JSON audit record and the
+# registry in the advertised state.
+#
+#   leg A  replay mode: a recorded trace produces a promotion — the
+#          candidate carries a parent lineage stamp (registry show / list
+#          --json agree), the audit log records "promote", and a second
+#          identical run reproduces the audit log and the candidate
+#          archive byte-for-byte (determinism contract);
+#   leg B  live tail: learnd tails a serving node's WAL, promotes
+#          mid-stream, SIGHUPs the node (zero sessions rolled), and the
+#          learn state surfaces in /statusz (learn_* fields) and the
+#          misusedet_top dashboard;
+#   leg C  failpoint learn.train.corrupt: the corrupted candidate is
+#          rejected at publish with reason "candidate_invalid" and the
+#          registry keeps serving v1;
+#   leg D  failpoint detector.load.lstm: a degraded active model blocks
+#          the cycle outright with reason "degraded_clusters" — nothing
+#          is trained or published.
+#
+# Legs C and D require a build configured with -DMISUSEDET_FAILPOINTS=ON
+# (the CI fault-injection tree); they fail loudly on a tree without it.
+#
+# usage: scripts/learn_loop_smoke.sh [BUILD_DIR]
+set -euo pipefail
+
+build_dir=${1:-build}
+serve=$build_dir/src/serve/misusedet_serve
+registry=$build_dir/src/registry/misusedet_registry
+learnd=$build_dir/src/learn/misusedet_learnd
+replay=$build_dir/examples/serve_replay
+top=$build_dir/src/tools/misusedet_top
+for bin in "$serve" "$registry" "$learnd" "$replay" "$top"; do
+  if [ ! -x "$bin" ]; then
+    echo "missing $bin — build the '$build_dir' tree first" >&2
+    exit 1
+  fi
+done
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "== training demo detector"
+"$replay" --train-model="$work/detector.bin" >/dev/null
+"$replay" --emit-trace --sessions=48 >"$work/trace.ndjson"
+echo "== trace: $(wc -l <"$work/trace.ndjson") events"
+
+seed_registry() {
+  rm -rf "$1"
+  "$registry" publish --root="$1" "$work/detector.bin" --note="smoke seed" >/dev/null
+  "$registry" promote --root="$1" v1 >/dev/null
+  "$registry" promote --root="$1" v1 >/dev/null
+}
+
+# Lenient guardrails: legs A/B exercise the pipeline (legs C/D and the
+# unit tests pin the guards); the trace includes two attacker sessions,
+# which the alarm filter must keep out of the buffer regardless.
+learnd_flags=(--min-train-windows=8 --max-alarm-steps=50 --eval-every=4
+  --eval-budget=20 --max-flip-rate=0.9 --max-loss-delta=100 --drift-margin=100
+  --epochs=1 --max-cycles=1)
+
+echo
+echo "== leg A: replay cycle promotes, with lineage and determinism"
+rootA=$work/regA
+seed_registry "$rootA"
+"$learnd" --registry="$rootA" "${learnd_flags[@]}" "$work/trace.ndjson" \
+  >"$work/legA.out" 2>"$work/legA.log"
+grep -q '"decision":"promote"' "$work/legA.out" ||
+  { echo "FAIL: leg A did not promote"; cat "$work/legA.out" "$work/legA.log" >&2; exit 1; }
+grep -q '"decision":"promote"' "$rootA/learn_audit.ndjson" ||
+  { echo "FAIL: audit log missing the promote record" >&2; exit 1; }
+[ "$(wc -l <"$rootA/learn_audit.ndjson")" -eq 1 ] ||
+  { echo "FAIL: expected exactly one audit record" >&2; exit 1; }
+grep -q '"phase"' "$rootA/LEARN_STATUS" ||
+  { echo "FAIL: LEARN_STATUS not published" >&2; exit 1; }
+
+"$registry" show --root="$rootA" v2 >"$work/show.out"
+grep -q 'lineage: v2 -> v1' "$work/show.out" ||
+  { echo "FAIL: registry show v2 lost the lineage stamp"; cat "$work/show.out" >&2; exit 1; }
+"$registry" list --root="$rootA" --json >"$work/list.json"
+grep -q '"version":2' "$work/list.json" && grep -q '"parent":1' "$work/list.json" ||
+  { echo "FAIL: list --json missing v2 or its parent"; cat "$work/list.json" >&2; exit 1; }
+[ "$(cat "$rootA/CURRENT")" = "v2" ] ||
+  { echo "FAIL: CURRENT did not move to the promoted candidate" >&2; exit 1; }
+
+rootA2=$work/regA2
+seed_registry "$rootA2"
+"$learnd" --registry="$rootA2" "${learnd_flags[@]}" "$work/trace.ndjson" \
+  >/dev/null 2>"$work/legA2.log"
+cmp -s "$rootA/learn_audit.ndjson" "$rootA2/learn_audit.ndjson" ||
+  { echo "FAIL: audit logs differ across identical runs" >&2
+    diff "$rootA/learn_audit.ndjson" "$rootA2/learn_audit.ndjson" >&2 || true; exit 1; }
+cmp -s "$rootA/v2/detector.bin" "$rootA2/v2/detector.bin" ||
+  { echo "FAIL: candidate archives differ across identical runs" >&2; exit 1; }
+echo "leg A OK: promoted v2 (parent v1), byte-identical across reruns"
+
+echo
+echo "== leg B: live tail — learnd promotes under a serving node"
+rootB=$work/regB
+seed_registry "$rootB"
+fifo=$work/in.fifo
+mkfifo "$fifo"
+"$serve" --registry="$rootB" --admin-port=0 --batch=1 --registry-poll=0.2 \
+  --wal-dir="$work/walB" --wal-sync=1 --idle-ttl=5 \
+  --metrics-out="$work/serveB_metrics.json" \
+  <"$fifo" >"$work/legB.out" 2>"$work/legB.log" &
+serve_pid=$!
+exec 3>"$fifo"
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/.*admin endpoint on port \([0-9]*\).*/\1/p' "$work/legB.log" | head -1)
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+[ -n "$port" ] || { echo "FAIL: server never logged its admin port" >&2
+  cat "$work/legB.log" >&2; exit 1; }
+
+cat "$work/trace.ndjson" >&3
+# --idle-ttl=5 makes the server sweep finished sessions as event time
+# advances, logging sweep records the tailer turns into closed windows.
+"$learnd" --registry="$rootB" --wal-dir="$work/walB" --serve-pid="$serve_pid" \
+  "${learnd_flags[@]}" --once --poll-ms=50 --idle-exit-ms=15000 \
+  >"$work/legB_learnd.out" 2>"$work/legB_learnd.log"
+grep -q '"decision":"promote"' "$work/legB_learnd.out" ||
+  { echo "FAIL: leg B tail-mode cycle did not promote" >&2
+    cat "$work/legB_learnd.out" "$work/legB_learnd.log" >&2; exit 1; }
+# --batch=1 re-checks the registry after every event; one throwaway event
+# (plus the SIGHUP learnd already sent) lands the swap deterministically.
+head -n 1 "$work/trace.ndjson" |
+  sed -e 's/"session_id":"[^"]*"/"session_id":"swapnudge"/' \
+      -e 's/"user_id":"[^"]*"/"user_id":"swapnudge"/' >&3
+for _ in $(seq 1 100); do
+  grep -q 'model swapped to v2' "$work/legB.log" && break
+  sleep 0.1
+done
+grep -q 'model swapped to v2' "$work/legB.log" ||
+  { echo "FAIL: serve node never swapped to the promoted candidate" >&2
+    cat "$work/legB.log" >&2; exit 1; }
+
+"$top" --port="$port" --dump=statusz >"$work/statusz.json"
+for key in learn_phase learn_decision learn_cycle; do
+  grep -q "\"$key\":" "$work/statusz.json" ||
+    { echo "FAIL: /statusz missing $key"; cat "$work/statusz.json" >&2; exit 1; }
+done
+"$top" --port="$port" --iterations=1 --plain >"$work/top.txt"
+grep -q 'LEARN phase' "$work/top.txt" ||
+  { echo "FAIL: misusedet_top shows no LEARN line"; cat "$work/top.txt" >&2; exit 1; }
+
+exec 3>&-
+wait "$serve_pid" || { echo "FAIL: serve exited non-zero" >&2; cat "$work/legB.log" >&2; exit 1; }
+grep -q '"serve.swap_sessions_rolled":0' "$work/serveB_metrics.json" ||
+  { echo "FAIL: the promotion rolled live sessions" >&2; exit 1; }
+echo "leg B OK: live promotion, SIGHUP swap, learn state on /statusz and the dashboard"
+
+echo
+echo "== leg C: corrupted candidate is rejected at publish"
+rootC=$work/regC
+seed_registry "$rootC"
+MISUSEDET_FAILPOINTS="learn.train.corrupt=always" \
+  "$learnd" --registry="$rootC" "${learnd_flags[@]}" "$work/trace.ndjson" \
+  >"$work/legC.out" 2>"$work/legC.log"
+grep -q '"decision":"reject"' "$work/legC.out" &&
+  grep -q '"reason":"candidate_invalid"' "$work/legC.out" ||
+  { echo "FAIL: corrupt candidate was not rejected (failpoints compiled in?)" >&2
+    cat "$work/legC.out" "$work/legC.log" >&2; exit 1; }
+grep -q '"reason":"candidate_invalid"' "$rootC/learn_audit.ndjson" ||
+  { echo "FAIL: rejection missing from the audit log" >&2; exit 1; }
+[ "$(cat "$rootC/CURRENT")" = "v1" ] ||
+  { echo "FAIL: registry moved off v1 after a rejected candidate" >&2; exit 1; }
+[ ! -e "$rootC/v2" ] ||
+  { echo "FAIL: corrupt candidate landed in the registry" >&2; exit 1; }
+echo "leg C OK: candidate_invalid rejection, v1 still serving"
+
+echo
+echo "== leg D: degraded active model blocks the cycle"
+rootD=$work/regD
+seed_registry "$rootD"
+MISUSEDET_FAILPOINTS="detector.load.lstm=always" \
+  "$learnd" --registry="$rootD" "${learnd_flags[@]}" "$work/trace.ndjson" \
+  >"$work/legD.out" 2>"$work/legD.log"
+grep -q '"decision":"reject"' "$work/legD.out" &&
+  grep -q '"reason":"degraded_clusters"' "$work/legD.out" ||
+  { echo "FAIL: degraded active model did not block the cycle" >&2
+    cat "$work/legD.out" "$work/legD.log" >&2; exit 1; }
+[ ! -e "$rootD/v2" ] ||
+  { echo "FAIL: a candidate was trained from a degraded model" >&2; exit 1; }
+echo "leg D OK: degraded_clusters rejection, nothing published"
+
+echo
+echo "PASS: learn loop promoted (replay + live tail), rejected corruption and"
+echo "      degraded models with audit records, and reruns were byte-identical"

@@ -36,6 +36,32 @@ ClusterAssigner ClusterAssigner::train(
   return assigner;
 }
 
+ClusterAssigner ClusterAssigner::refit(
+    const ClusterAssigner& parent,
+    const std::vector<std::vector<std::span<const int>>>& cluster_sessions,
+    std::size_t min_sessions) {
+  assert(cluster_sessions.size() == parent.cluster_count());
+  Span refit_span("ocsvm.refit");
+  ClusterAssigner assigner(parent.config_);
+  std::vector<std::optional<ocsvm::OneClassSvm>> refitted(cluster_sessions.size());
+  global_pool().parallel_for(0, cluster_sessions.size(), [&](std::size_t c) {
+    if (cluster_sessions[c].size() < std::max<std::size_t>(1, min_sessions)) return;
+    std::vector<std::vector<float>> features;
+    features.reserve(cluster_sessions[c].size());
+    for (const auto& actions : cluster_sessions[c]) {
+      features.push_back(assigner.featurizer_.featurize(actions));
+    }
+    ocsvm::OcSvmConfig svm_config = parent.config_.svm;
+    svm_config.seed = parent.config_.svm.seed + c;
+    refitted[c] = ocsvm::OneClassSvm::train(features, svm_config);
+  });
+  assigner.svms_.reserve(refitted.size());
+  for (std::size_t c = 0; c < refitted.size(); ++c) {
+    assigner.svms_.push_back(refitted[c] ? std::move(*refitted[c]) : parent.svms_[c]);
+  }
+  return assigner;
+}
+
 std::vector<double> ClusterAssigner::scores(std::span<const int> actions) const {
   const std::vector<float> f = featurizer_.featurize(actions);
   std::vector<double> out(svms_.size());

@@ -32,6 +32,17 @@ class ClusterAssigner {
       const std::vector<std::vector<std::span<const int>>>& cluster_sessions,
       const AssignerConfig& config);
 
+  /// Warm refit for continuous learning: clusters with at least
+  /// `min_sessions` fresh sessions get a freshly trained OC-SVM (same
+  /// per-cluster seed derivation as train(), so a refit is as
+  /// deterministic as the original fit); clusters with too little recent
+  /// data keep `parent`'s boundary verbatim. `cluster_sessions` must have
+  /// one entry per parent cluster.
+  static ClusterAssigner refit(
+      const ClusterAssigner& parent,
+      const std::vector<std::vector<std::span<const int>>>& cluster_sessions,
+      std::size_t min_sessions);
+
   std::size_t cluster_count() const { return svms_.size(); }
 
   /// Scores of every cluster's OC-SVM on a full session.

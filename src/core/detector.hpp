@@ -63,6 +63,50 @@ struct ClusterTrainReport {
   std::vector<lm::EpochStats> epochs;
 };
 
+/// Knobs of an incremental retraining pass (continuous learning,
+/// src/learn): a short warm-start update of an existing detector on
+/// recently collected per-cluster session windows. The cluster structure
+/// and vocabulary are inherited from the parent — the pass refreshes
+/// weights, never topology — so the candidate stays vocab-compatible with
+/// the parent and can be shadow-scored and hot-swapped against it.
+struct FineTuneConfig {
+  std::size_t epochs = 2;
+  float learning_rate = 2e-4f;
+  /// Fraction of each cluster's windows held out for validation during
+  /// the fine-tuning pass (deterministic interleaved split).
+  double valid_frac = 0.15;
+  /// Clusters with fewer collected windows keep the parent's LSTM and
+  /// OC-SVM verbatim (no update on starved clusters).
+  std::size_t min_cluster_sessions = 8;
+  /// Topics of the incremental LDA refresh over the collected windows
+  /// (0 = reuse the parent's cluster count). The refreshed topics are
+  /// compared against each cluster's training distribution to measure how
+  /// far the evolving topic structure has moved from the cluster
+  /// structure the detector was built on.
+  std::size_t lda_topics = 0;
+  std::size_t lda_iterations = 60;
+  std::uint64_t seed = 97;
+};
+
+/// What one fine-tuning pass did to one cluster.
+struct FineTuneClusterStats {
+  std::size_t sessions = 0;  // collected windows routed to this cluster
+  bool tuned = false;        // false: kept the parent model verbatim
+  std::vector<lm::EpochStats> epochs;
+  /// Max cosine similarity between the cluster's training action
+  /// distribution and any topic of the refreshed LDA fit (1 when the LDA
+  /// refresh was skipped for lack of data). Low alignment means the
+  /// evolving topic structure no longer matches this cluster — the signal
+  /// that weight-only fine-tuning is reaching its limits and a full
+  /// retrain (new clustering) is due.
+  double topic_alignment = 1.0;
+};
+
+struct FineTuneReport {
+  std::vector<FineTuneClusterStats> clusters;
+  std::size_t windows = 0;  // total windows consumed by the pass
+};
+
 /// Options for MisuseDetector::save. `quant` != kNone additionally writes
 /// each cluster's packed weights quantized (int8 per-row scales or fp16)
 /// as an optional v3 archive section; loading such an archive scores with
@@ -77,6 +121,21 @@ class MisuseDetector {
   /// Trains the full pipeline on a session store. The store must outlive
   /// nothing — all needed data is copied in.
   static MisuseDetector train(const SessionStore& store, const DetectorConfig& config);
+
+  /// Incremental retraining (core/finetune.cpp): returns a candidate
+  /// detector derived from `parent` by warm-start fine-tuning each
+  /// cluster's LSTM on `cluster_windows[c]` (recently collected sessions
+  /// routed to cluster c), refitting the per-cluster OC-SVMs where data
+  /// suffices, and folding the windows into the Markov fallbacks (whose
+  /// counts accumulate, so the candidate's drift reference tracks recent
+  /// behavior). Vocabulary, cluster structure, and config are inherited
+  /// unchanged. Deterministic: same parent + windows + config ⇒
+  /// bit-identical candidate. Throws SerializeError when the parent has
+  /// degraded clusters (fine-tuning a fallback would launder a corrupt
+  /// archive into a "healthy" candidate) or no fallbacks (v1 archives).
+  static MisuseDetector fine_tune(const MisuseDetector& parent,
+                                  const std::vector<std::vector<std::vector<int>>>& cluster_windows,
+                                  const FineTuneConfig& config, FineTuneReport* report = nullptr);
 
   std::size_t cluster_count() const { return clusters_.size(); }
   const ClusterInfo& cluster(std::size_t c) const { return clusters_.at(c); }

@@ -1,0 +1,81 @@
+#include "learn/audit.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/fsio.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
+
+namespace misuse::learn {
+
+std::string render_audit_record(const AuditRecord& record) {
+  std::ostringstream out;
+  {
+    JsonWriter json(out);
+    json.begin_object();
+    json.member("type", "learn_decision");
+    json.member("cycle", static_cast<long long>(record.cycle));
+    json.member("phase", learn_phase_name(record.phase));
+    json.member("decision", decision_name(record.decision));
+    json.member("reason", record.reason);
+    json.member("candidate", static_cast<long long>(record.candidate));
+    json.member("parent", static_cast<long long>(record.parent));
+    json.member("shadow_steps", record.eval.steps);
+    json.member("shadow_sessions", record.eval.sessions);
+    json.member("verdict_flips", record.eval.verdict_flips);
+    json.member("flip_rate", record.eval.flip_rate());
+    json.member("loss_delta", record.eval.mean_loss_delta);
+    json.member("drift_active", record.eval.drift_active);
+    json.member("drift_candidate", record.eval.drift_candidate);
+    json.member("event_clock", record.event_clock);
+    json.member("topic_alignment_min", record.topic_alignment_min);
+    json.member("windows", record.windows);
+    json.end_object();
+  }
+  out << '\n';
+  return out.str();
+}
+
+bool AuditLog::append(const AuditRecord& record) {
+  const std::string line = render_audit_record(record);
+  std::FILE* file = std::fopen(path_.c_str(), "ab");
+  if (file == nullptr) {
+    log_warn() << "audit log unwritable: " << path_;
+    return false;
+  }
+  const bool ok = std::fwrite(line.data(), 1, line.size(), file) == line.size();
+  std::fclose(file);
+  if (!ok) log_warn() << "audit append failed on " << path_;
+  return ok;
+}
+
+std::string render_learn_status(const LearnStatus& status) {
+  std::ostringstream out;
+  {
+    JsonWriter json(out);
+    json.begin_object();
+    json.member("phase", learn_phase_name(status.phase));
+    json.member("cycle", static_cast<long long>(status.cycle));
+    json.member("candidate", static_cast<long long>(status.candidate));
+    json.member("decision", status.decision);
+    json.member("reason", status.reason);
+    json.member("flip_rate", status.flip_rate);
+    json.member("loss_delta", status.loss_delta);
+    json.member("drift_active", status.drift_active);
+    json.member("drift_candidate", status.drift_candidate);
+    json.member("buffer_windows", status.buffer_windows);
+    json.end_object();
+  }
+  return out.str();
+}
+
+bool write_learn_status(const std::string& path, const LearnStatus& status) {
+  if (!write_file_atomic(path, render_learn_status(status))) {
+    log_warn() << "learn status unwritable: " << path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace misuse::learn

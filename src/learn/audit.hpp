@@ -1,0 +1,72 @@
+// Audit trail of the continuous-learning loop. Every policy decision —
+// promote, reject, rollback, skip — becomes one flat-JSON record in an
+// append-only NDJSON log, and the latest state is mirrored to a
+// LEARN_STATUS file next to the registry so the serve node's /statusz
+// (and misusedet_top) can surface it without talking to learnd.
+//
+// Records carry *event-stream* time only (the collector clock), never
+// wall-clock time: the audit log of a replayed stream is byte-identical
+// across runs, which is what the end-to-end determinism test pins.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "learn/policy.hpp"
+
+namespace misuse::learn {
+
+/// One policy decision with the evidence it was made on.
+struct AuditRecord {
+  std::uint64_t cycle = 0;            // loop cycle counter
+  LearnPhase phase = LearnPhase::kDeciding;
+  Decision decision = Decision::kSkip;
+  std::string reason;                 // PolicyDecision::reason verbatim
+  std::uint64_t candidate = 0;        // registry version judged (0 = none)
+  std::uint64_t parent = 0;           // its rollback target (0 = none)
+  ShadowEvaluation eval;              // the evidence
+  double event_clock = 0.0;           // collector event time at decision
+  double topic_alignment_min = 1.0;   // weakest cluster/topic cosine (trainer report)
+  std::size_t windows = 0;            // training windows consumed this cycle
+};
+
+/// Renders one record as a single flat-JSON line (newline-terminated).
+std::string render_audit_record(const AuditRecord& record);
+
+/// Append-only NDJSON decision log.
+class AuditLog {
+ public:
+  explicit AuditLog(std::string path) : path_(std::move(path)) {}
+
+  /// Appends one record; returns false (and logs) on I/O failure — the
+  /// loop keeps running, auditability degrades, not availability.
+  bool append(const AuditRecord& record);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Live state mirrored for the serving plane (admin /statusz, top).
+struct LearnStatus {
+  LearnPhase phase = LearnPhase::kIdle;
+  std::uint64_t cycle = 0;
+  std::uint64_t candidate = 0;       // version under evaluation / last judged
+  std::string decision = "none";     // last policy decision
+  std::string reason = "startup";
+  double flip_rate = 0.0;
+  double loss_delta = 0.0;
+  double drift_active = 0.0;
+  double drift_candidate = 0.0;
+  std::size_t buffer_windows = 0;
+};
+
+/// Renders LearnStatus as one flat-JSON line (no trailing newline) — the
+/// shape /statusz re-emits with a learn_ prefix.
+std::string render_learn_status(const LearnStatus& status);
+
+/// Atomically writes the status file (tmp + rename); false on failure.
+bool write_learn_status(const std::string& path, const LearnStatus& status);
+
+}  // namespace misuse::learn

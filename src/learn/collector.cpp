@@ -1,0 +1,181 @@
+#include "learn/collector.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "learn/metrics.hpp"
+
+namespace misuse::learn {
+
+SessionWindowCollector::SessionWindowCollector(
+    std::shared_ptr<const core::MisuseDetector> model, const core::MonitorConfig& monitor,
+    const CollectorConfig& config)
+    : model_(std::move(model)), monitor_(monitor), config_(config) {
+  buffers_.resize(model_->clusters().size());
+}
+
+void SessionWindowCollector::set_model(std::shared_ptr<const core::MisuseDetector> model) {
+  model_ = std::move(model);
+  // Cluster count is inherited across fine-tune generations, but guard
+  // against an operator pointing the loop at an unrelated registry.
+  if (buffers_.size() != model_->clusters().size()) {
+    buffers_.assign(model_->clusters().size(), {});
+    update_buffer_gauge();
+  }
+}
+
+void SessionWindowCollector::observe(const serve::Event& event) {
+  const double ts = event.has_timestamp ? event.timestamp : clock_;
+  clock_ = std::max(clock_, ts);
+
+  std::string key = serve::session_key(event);
+  auto it = open_.find(key);
+  if (it != open_.end() && ts - it->second.last_seen > config_.gap_seconds) {
+    close_window(key);
+    it = open_.end();
+  }
+
+  const int action = serve::resolve_action_id(model_->vocab(), event.action);
+  if (action < 0) {
+    // Unknown under the *active* vocabulary — fine-tuning never grows the
+    // vocab, so the window cannot represent the action either. Count it
+    // and keep the window's known-action subsequence.
+    ++unknown_actions_;
+    return;
+  }
+
+  if (it == open_.end()) {
+    if (open_.size() >= config_.max_open_windows) evict_stalest();
+    it = open_.emplace(std::move(key), OpenWindow{}).first;
+  }
+  it->second.actions.push_back(action);
+  it->second.last_seen = std::max(it->second.last_seen, ts);
+  if (it->second.actions.size() >= config_.max_actions) close_window(it->first);
+}
+
+void SessionWindowCollector::observe(const serve::WalRecord& record) {
+  switch (record.type) {
+    case serve::WalRecord::kEvent:
+      observe(record.event);
+      break;
+    case serve::WalRecord::kSweep:
+      advance(record.sweep_now);
+      break;
+    default:
+      break;
+  }
+}
+
+void SessionWindowCollector::advance(double now) {
+  clock_ = std::max(clock_, now);
+  std::vector<std::string> idle;
+  for (const auto& [key, window] : open_) {
+    if (clock_ - window.last_seen > config_.gap_seconds) idle.push_back(key);
+  }
+  close_keys_in_order(std::move(idle));
+}
+
+void SessionWindowCollector::flush() {
+  std::vector<std::string> keys;
+  keys.reserve(open_.size());
+  for (const auto& [key, window] : open_) keys.push_back(key);
+  close_keys_in_order(std::move(keys));
+}
+
+void SessionWindowCollector::close_keys_in_order(std::vector<std::string> keys) {
+  std::sort(keys.begin(), keys.end());
+  for (const auto& key : keys) close_window(key);
+}
+
+void SessionWindowCollector::evict_stalest() {
+  // Deterministic LRU: oldest event time, ties broken by smallest key.
+  const std::string* victim = nullptr;
+  for (const auto& [key, window] : open_) {
+    if (victim == nullptr || window.last_seen < open_.at(*victim).last_seen ||
+        (window.last_seen == open_.at(*victim).last_seen && key < *victim)) {
+      victim = &key;
+    }
+  }
+  if (victim != nullptr) close_window(*victim);
+}
+
+void SessionWindowCollector::close_window(const std::string& key) {
+  auto it = open_.find(key);
+  if (it == open_.end()) return;
+  std::vector<int> actions = std::move(it->second.actions);
+  open_.erase(it);
+
+  auto& instruments = learn_metrics();
+  if (actions.size() < config_.min_actions) {
+    ++discarded_;
+    instruments.windows_discarded.inc();
+    return;
+  }
+
+  // Label the window under the current active model: same monitor + same
+  // accumulation as every other consumer of the online regime.
+  core::OnlineMonitor monitor(*model_, monitor_);
+  core::SessionAccumulator accumulator;
+  for (int action : actions) accumulator.add(monitor.observe(action));
+  const core::SessionMonitorReport report = accumulator.report();
+
+  if (report.alarms > config_.max_alarm_steps) {
+    // Suspected misuse never enters the training corpus.
+    ++discarded_;
+    instruments.windows_discarded.inc();
+    return;
+  }
+
+  ++admitted_;
+  instruments.windows_collected.inc();
+  if (config_.eval_every != 0 && admitted_ % config_.eval_every == 0) {
+    eval_.emplace_back(eval_seen_++, std::move(actions));
+    while (eval_.size() > config_.eval_buffer_windows) eval_.pop_front();
+    return;
+  }
+
+  auto& buffer = buffers_[report.voted_cluster];
+  buffer.push_back(std::move(actions));
+  while (buffer.size() > config_.buffer_windows) buffer.pop_front();
+  update_buffer_gauge();
+}
+
+std::vector<std::vector<std::vector<int>>> SessionWindowCollector::training_windows() const {
+  std::vector<std::vector<std::vector<int>>> out(buffers_.size());
+  for (std::size_t c = 0; c < buffers_.size(); ++c) {
+    out[c].assign(buffers_[c].begin(), buffers_[c].end());
+  }
+  return out;
+}
+
+void SessionWindowCollector::clear_training() {
+  for (auto& buffer : buffers_) buffer.clear();
+  update_buffer_gauge();
+}
+
+std::size_t SessionWindowCollector::buffered_windows() const {
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer.size();
+  return total;
+}
+
+std::vector<std::vector<int>> SessionWindowCollector::eval_windows() const {
+  std::vector<std::vector<int>> out;
+  out.reserve(eval_.size());
+  for (const auto& [index, window] : eval_) out.push_back(window);
+  return out;
+}
+
+std::vector<std::vector<int>> SessionWindowCollector::eval_windows_since(std::size_t mark) const {
+  std::vector<std::vector<int>> out;
+  for (const auto& [index, window] : eval_) {
+    if (index >= mark) out.push_back(window);
+  }
+  return out;
+}
+
+void SessionWindowCollector::update_buffer_gauge() const {
+  learn_metrics().buffer_windows.set(static_cast<std::int64_t>(buffered_windows()));
+}
+
+}  // namespace misuse::learn

@@ -1,0 +1,132 @@
+// Session-window collector: the front half of the continuous-learning
+// loop. Tails the serve node's event stream (live WAL via
+// serve::WalTailer, or replayed NDJSON) and assembles it into
+// *labeled-by-cluster* session windows:
+//
+//   * events accumulate per session key; a window closes on an event-time
+//     gap, on a length cap, or at flush() — event time only, so a replay
+//     collects exactly like the live stream;
+//   * each closed window is replayed through an OnlineMonitor and folded
+//     by core::SessionAccumulator — the same accumulation every other
+//     consumer of the online regime uses — and the report's voted cluster
+//     labels the window;
+//   * windows that alarmed are *excluded* from the training buffer: the
+//     loop must not learn suspected misuse into "normal" (they still
+//     count, in learn.windows_discarded);
+//   * every eval_every-th admitted window is diverted to a held-out
+//     evaluation set the trainer never sees — the offline shadow
+//     comparison and the drift guardrails are measured on it;
+//   * buffers are bounded FIFOs per cluster, so the collector holds a
+//     sliding recent-behavior corpus, not unbounded history.
+//
+// Determinism: windows close either on their own session's next event or
+// in sorted-key order (advance()/flush()/capacity eviction), never in
+// hash-map iteration order, so two replays of the same stream produce
+// identical buffers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/monitor.hpp"
+#include "serve/event.hpp"
+#include "serve/wal.hpp"
+
+namespace misuse::learn {
+
+struct CollectorConfig {
+  /// Windows shorter than this are discarded (the paper's §IV-A filter).
+  std::size_t min_actions = 2;
+  /// A window reaching this length closes (and the session starts a new
+  /// one) — bounds memory under never-idle sessions.
+  std::size_t max_actions = 256;
+  /// Event-time idle gap that closes a session's window.
+  double gap_seconds = 900.0;
+  /// Cap on concurrently open windows; the stalest (then smallest-key)
+  /// closes first beyond it.
+  std::size_t max_open_windows = 4096;
+  /// Per-cluster training-buffer bound (FIFO of most recent windows).
+  std::size_t buffer_windows = 512;
+  /// Every Nth admitted window is held out for evaluation instead of
+  /// training (0 disables the holdout).
+  std::size_t eval_every = 5;
+  /// Bound of the held-out evaluation FIFO.
+  std::size_t eval_buffer_windows = 256;
+  /// Windows with more alarmed steps than this never enter the training
+  /// buffer.
+  std::size_t max_alarm_steps = 0;
+};
+
+class SessionWindowCollector {
+ public:
+  SessionWindowCollector(std::shared_ptr<const core::MisuseDetector> model,
+                         const core::MonitorConfig& monitor, const CollectorConfig& config);
+
+  /// Swaps the labeling model (the loop follows the active version across
+  /// promotions). Open windows are unaffected — labeling happens at
+  /// close, under the model current then.
+  void set_model(std::shared_ptr<const core::MisuseDetector> model);
+  const core::MisuseDetector& model() const { return *model_; }
+
+  /// Feeds one event (replayed NDJSON or a live WAL record).
+  void observe(const serve::Event& event);
+  /// Feeds one tailed WAL record: events collect, sweeps advance the
+  /// clock (closing idle windows just like the server's TTL sweep).
+  void observe(const serve::WalRecord& record);
+
+  /// Advances event time, closing windows idle past the gap.
+  void advance(double now);
+
+  /// Closes every open window (end of a replay / cycle boundary).
+  void flush();
+
+  /// The per-cluster training buffers (index = cluster id).
+  const std::vector<std::deque<std::vector<int>>>& training_buffers() const { return buffers_; }
+  /// Copies the training buffers into the shape fine_tune consumes.
+  std::vector<std::vector<std::vector<int>>> training_windows() const;
+  /// Empties the training buffers (the cycle consumed them).
+  void clear_training();
+  std::size_t buffered_windows() const;
+
+  /// Held-out evaluation windows (never trained on).
+  std::vector<std::vector<int>> eval_windows() const;
+  /// Monotone count of eval windows ever admitted — take a mark before an
+  /// event segment, then read only the windows that closed after it.
+  std::size_t eval_windows_seen() const { return eval_seen_; }
+  std::vector<std::vector<int>> eval_windows_since(std::size_t mark) const;
+
+  double clock() const { return clock_; }
+  std::size_t open_windows() const { return open_.size(); }
+  std::size_t discarded_windows() const { return discarded_; }
+  std::size_t unknown_actions() const { return unknown_actions_; }
+
+ private:
+  struct OpenWindow {
+    std::vector<int> actions;
+    double last_seen = 0.0;
+  };
+
+  void close_window(const std::string& key);
+  void close_keys_in_order(std::vector<std::string> keys);
+  void evict_stalest();
+  void update_buffer_gauge() const;
+
+  std::shared_ptr<const core::MisuseDetector> model_;
+  core::MonitorConfig monitor_;
+  CollectorConfig config_;
+  std::unordered_map<std::string, OpenWindow> open_;
+  std::vector<std::deque<std::vector<int>>> buffers_;  // per cluster
+  std::deque<std::pair<std::size_t, std::vector<int>>> eval_;  // (global index, window)
+  std::size_t admitted_ = 0;
+  std::size_t eval_seen_ = 0;
+  std::size_t discarded_ = 0;
+  std::size_t unknown_actions_ = 0;
+  double clock_ = 0.0;
+};
+
+}  // namespace misuse::learn

@@ -1,0 +1,303 @@
+#include "learn/loop.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "core/monitor.hpp"
+#include "learn/metrics.hpp"
+#include "util/failpoint.hpp"
+#include "util/fsio.hpp"
+#include "util/logging.hpp"
+#include "util/serialize.hpp"
+
+namespace misuse::learn {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+double drift_over_windows(const core::MisuseDetector& model, const core::DriftConfig& config,
+                          std::span<const std::vector<int>> windows) {
+  std::vector<double> reference = model.training_action_counts();
+  if (reference.empty()) return 0.0;  // v1 archive: no drift reference
+  core::DriftConfig sized = config;
+  // The guardrail reads the divergence over exactly the held-out windows;
+  // size the monitor's sliding window to cover them all so none age out.
+  sized.window_sessions = std::max<std::size_t>(windows.size(), 1);
+  core::DriftMonitor drift(std::move(reference), sized);
+  for (const auto& window : windows) drift.observe(window);
+  return drift.current_divergence();
+}
+
+}  // namespace
+
+ShadowEvaluation shadow_evaluate(const core::MisuseDetector& active,
+                                 const core::MisuseDetector& candidate,
+                                 const core::MonitorConfig& monitor,
+                                 const core::DriftConfig& drift,
+                                 std::span<const std::vector<int>> windows) {
+  ShadowEvaluation eval;
+  double loss_delta_sum = 0.0;
+  std::size_t loss_delta_steps = 0;
+  for (const auto& window : windows) {
+    core::OnlineMonitor active_monitor(active, monitor);
+    core::OnlineMonitor candidate_monitor(candidate, monitor);
+    ++eval.sessions;
+    for (int action : window) {
+      const auto active_step = active_monitor.observe(action);
+      const auto candidate_step = candidate_monitor.observe(action);
+      ++eval.steps;
+      if (candidate_step.alarm != active_step.alarm) ++eval.verdict_flips;
+      if (active_step.likelihood_voted && candidate_step.likelihood_voted) {
+        const double active_loss = -std::log(std::max(*active_step.likelihood_voted, 1e-12));
+        const double candidate_loss =
+            -std::log(std::max(*candidate_step.likelihood_voted, 1e-12));
+        loss_delta_sum += std::abs(candidate_loss - active_loss);
+        ++loss_delta_steps;
+      }
+    }
+  }
+  if (loss_delta_steps > 0) eval.mean_loss_delta = loss_delta_sum / loss_delta_steps;
+  eval.drift_active = drift_over_windows(active, drift, windows);
+  eval.drift_candidate = drift_over_windows(candidate, drift, windows);
+  return eval;
+}
+
+LearnLoop::LearnLoop(std::string registry_root, const LearnLoopConfig& config,
+                     std::string audit_path, std::string status_path)
+    : registry_(std::move(registry_root)),
+      config_(config),
+      audit_(audit_path.empty() ? registry_.root() + "/learn_audit.ndjson"
+                                : std::move(audit_path)),
+      status_path_(status_path.empty() ? registry_.root() + "/LEARN_STATUS"
+                                       : std::move(status_path)) {
+  const auto current = registry_.current();
+  if (!current) {
+    throw registry::RegistryError("learn loop needs an active registry version (promote one)");
+  }
+  active_ = registry_.load(*current);
+  active_version_ = *current;
+  collector_.emplace(active_, config_.monitor, config_.collector);
+  set_phase(LearnPhase::kCollecting);
+  publish_status();
+}
+
+void LearnLoop::observe(const serve::Event& event) { collector_->observe(event); }
+
+void LearnLoop::observe(const serve::WalRecord& record) { collector_->observe(record); }
+
+void LearnLoop::refresh_active() {
+  const auto current = registry_.current();
+  if (current && *current != active_version_) {
+    // Someone promoted/rolled back behind our back; follow the registry.
+    active_ = registry_.load(*current);
+    active_version_ = *current;
+    collector_->set_model(active_);
+    watch_armed_ = false;  // the watched version is no longer active
+  }
+}
+
+void LearnLoop::set_phase(LearnPhase phase) {
+  status_.phase = phase;
+  learn_metrics().phase.set(static_cast<std::int64_t>(phase));
+}
+
+void LearnLoop::publish_status() {
+  status_.cycle = cycle_;
+  status_.buffer_windows = collector_->buffered_windows();
+  write_learn_status(status_path_, status_);
+}
+
+void LearnLoop::notify_registry_change(std::string_view what) {
+  if (on_registry_change_) on_registry_change_(what);
+}
+
+AuditRecord LearnLoop::finish_decision(AuditRecord record) {
+  record.cycle = cycle_;
+  record.event_clock = collector_->clock();
+  audit_.append(record);
+
+  auto& instruments = learn_metrics();
+  switch (record.decision) {
+    case Decision::kPromote: instruments.promotions.inc(); break;
+    case Decision::kReject: instruments.rejections.inc(); break;
+    case Decision::kRollback: instruments.rollbacks.inc(); break;
+    case Decision::kSkip: break;
+  }
+  instruments.flip_rate_micro.set(static_cast<std::int64_t>(record.eval.flip_rate() * 1e6));
+  instruments.candidate_version.set(static_cast<std::int64_t>(record.candidate));
+
+  status_.candidate = record.candidate;
+  status_.decision = std::string(decision_name(record.decision));
+  status_.reason = record.reason;
+  status_.flip_rate = record.eval.flip_rate();
+  status_.loss_delta = record.eval.mean_loss_delta;
+  status_.drift_active = record.eval.drift_active;
+  status_.drift_candidate = record.eval.drift_candidate;
+  set_phase(watch_armed_ ? LearnPhase::kWatching : LearnPhase::kCollecting);
+  publish_status();
+  return record;
+}
+
+AuditRecord LearnLoop::run_cycle() {
+  const auto cycle_start = std::chrono::steady_clock::now();
+  auto& instruments = learn_metrics();
+  ++cycle_;
+  instruments.cycles.inc();
+  refresh_active();
+
+  AuditRecord record;
+  record.phase = LearnPhase::kDeciding;
+  record.parent = active_version_;
+
+  // Guardrail 1 runs before any training: a degraded active model must
+  // never seed a candidate (fine_tune would refuse anyway; rejecting here
+  // makes the decision auditable instead of an exception).
+  if (active_->degraded_cluster_count() > 0) {
+    record.decision = Decision::kReject;
+    record.reason = "degraded_clusters";
+    instruments.cycle_seconds.record(seconds_since(cycle_start));
+    return finish_decision(std::move(record));
+  }
+
+  record.windows = collector_->buffered_windows();
+  if (record.windows < config_.min_train_windows) {
+    record.decision = Decision::kSkip;
+    record.reason = "insufficient_windows";
+    instruments.cycle_seconds.record(seconds_since(cycle_start));
+    return finish_decision(std::move(record));
+  }
+
+  // -- Train ---------------------------------------------------------------
+  set_phase(LearnPhase::kTraining);
+  publish_status();
+  const auto train_start = std::chrono::steady_clock::now();
+  core::FineTuneReport report;
+  core::MisuseDetector candidate = core::MisuseDetector::fine_tune(
+      *active_, collector_->training_windows(), config_.trainer, &report);
+  instruments.train_seconds.record(seconds_since(train_start));
+  if (config_.clear_buffer_after_train) collector_->clear_training();
+  record.windows = report.windows;
+  for (const auto& stats : report.clusters) {
+    record.topic_alignment_min = std::min(record.topic_alignment_min, stats.topic_alignment);
+  }
+
+  // -- Stage ---------------------------------------------------------------
+  set_phase(LearnPhase::kStaging);
+  std::ostringstream archive(std::ios::binary);
+  {
+    BinaryWriter writer(archive);
+    candidate.save(writer);
+  }
+  std::string bytes = archive.str();
+  if (MISUSEDET_FAILPOINT("learn.train.corrupt")) {
+    // Injected training corruption: the registry's publish-time archive
+    // validation is the guard under test. Flip the trailing file-CRC
+    // byte — a mid-file flip can land inside a model section, which the
+    // loader absorbs as a *degraded* cluster instead of a parse error.
+    bytes[bytes.size() - 1] ^= 0x40;
+  }
+  const std::string staging_path = registry_.root() + "/candidate.inflight.bin";
+  std::uint64_t version = 0;
+  try {
+    if (!write_file_atomic(staging_path, bytes)) {
+      throw registry::RegistryError("cannot write " + staging_path);
+    }
+    version = registry_.publish(staging_path, config_.note, active_version_);
+  } catch (const std::exception& e) {
+    std::remove(staging_path.c_str());
+    log_warn() << "candidate rejected at publish: " << e.what();
+    record.decision = Decision::kReject;
+    record.reason = "candidate_invalid";
+    instruments.cycle_seconds.record(seconds_since(cycle_start));
+    return finish_decision(std::move(record));
+  }
+  std::remove(staging_path.c_str());
+  record.candidate = version;
+  instruments.candidates_published.inc();
+  instruments.candidate_version.set(static_cast<std::int64_t>(version));
+  registry_.promote(version);  // staging -> canary: serve shadow-scores it
+  notify_registry_change("canary");
+
+  // -- Shadow-evaluate -----------------------------------------------------
+  set_phase(LearnPhase::kShadow);
+  publish_status();
+  // Judge the bytes the registry would serve, not the in-memory object.
+  std::shared_ptr<const core::MisuseDetector> published = registry_.load(version);
+  record.eval = shadow_evaluate(*active_, *published, config_.monitor, config_.drift,
+                                collector_->eval_windows());
+
+  // -- Decide --------------------------------------------------------------
+  set_phase(LearnPhase::kDeciding);
+  const PolicyDecision decision =
+      evaluate_candidate(config_.policy, active_->degraded_cluster_count() > 0,
+                         published->degraded_cluster_count() > 0, record.eval);
+  record.decision = decision.decision;
+  record.reason = decision.reason;
+
+  if (decision.decision == Decision::kPromote) {
+    registry_.promote(version);  // canary -> active
+    active_ = std::move(published);
+    watch_parent_ = active_version_;
+    active_version_ = version;
+    collector_->set_model(active_);
+    watch_armed_ = true;
+    watch_baseline_ = record.eval.drift_candidate;
+    watch_mark_ = collector_->eval_windows_seen();
+    watch_version_ = version;
+    notify_registry_change("promote");
+  } else {
+    registry_.retire(version);
+    notify_registry_change("retire");
+  }
+
+  instruments.cycle_seconds.record(seconds_since(cycle_start));
+  return finish_decision(std::move(record));
+}
+
+std::optional<AuditRecord> LearnLoop::watch() {
+  if (!watch_armed_) return std::nullopt;
+  refresh_active();
+  if (!watch_armed_) return std::nullopt;  // external registry change disarmed it
+
+  const std::vector<std::vector<int>> windows =
+      collector_->eval_windows_since(watch_mark_);
+  if (windows.size() < config_.watch_min_windows) {
+    publish_status();
+    return std::nullopt;
+  }
+
+  const double post_drift = drift_over_windows(*active_, config_.drift, windows);
+  const PolicyDecision decision =
+      evaluate_watch(config_.policy, watch_baseline_, post_drift);
+  if (decision.decision != Decision::kRollback) {
+    status_.drift_active = post_drift;
+    publish_status();
+    return std::nullopt;
+  }
+
+  registry_.rollback_to(watch_parent_);
+  watch_armed_ = false;
+  active_ = registry_.load(watch_parent_);
+  const std::uint64_t rolled_back = watch_version_;
+  active_version_ = watch_parent_;
+  collector_->set_model(active_);
+  notify_registry_change("rollback");
+
+  AuditRecord record;
+  record.phase = LearnPhase::kWatching;
+  record.decision = Decision::kRollback;
+  record.reason = decision.reason;
+  record.candidate = rolled_back;
+  record.parent = watch_parent_;
+  record.eval.sessions = windows.size();
+  record.eval.drift_active = watch_baseline_;
+  record.eval.drift_candidate = post_drift;
+  return finish_decision(std::move(record));
+}
+
+}  // namespace misuse::learn

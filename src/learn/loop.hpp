@@ -1,0 +1,131 @@
+// The continuous-learning loop (misusedet_learnd's engine): wires the
+// collector, the incremental trainer (core::MisuseDetector::fine_tune),
+// the registry candidate pipeline, the offline shadow evaluation, and the
+// promotion policy into one deterministic cycle:
+//
+//   collect → fine-tune → publish (staging, parent-stamped) → promote to
+//   canary → shadow-evaluate on the held-out windows → guardrail decision
+//   → promote to active / retire — then a post-promotion drift watch that
+//   rolls back to the parent if the stream regresses.
+//
+// Determinism contract (pinned by test_learn.cpp): the loop consumes only
+// the event stream and the registry; no wall-clock value reaches the
+// candidate archive, the decisions, or the audit records, so a fixed seed
+// and a fixed input stream reproduce byte-identical candidates and logs.
+// Wall time only feeds metrics (learn.train_seconds / cycle_seconds).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/drift.hpp"
+#include "learn/audit.hpp"
+#include "learn/collector.hpp"
+#include "learn/policy.hpp"
+#include "registry/registry.hpp"
+
+namespace misuse::learn {
+
+/// Replays each held-out window through an OnlineMonitor pair (active,
+/// candidate) and fills the policy's evidence. Same semantics as the
+/// serving shadow scorer (serve/shadow.cpp): a flip is a step whose alarm
+/// verdicts differ; the loss delta is |candidate NLL − active NLL| of the
+/// voted likelihoods (1e-12 floor), averaged over the steps where both
+/// sides scored. Drift gauges come from one DriftMonitor per side built
+/// from each model's own training_action_counts over the same windows.
+ShadowEvaluation shadow_evaluate(const core::MisuseDetector& active,
+                                 const core::MisuseDetector& candidate,
+                                 const core::MonitorConfig& monitor,
+                                 const core::DriftConfig& drift,
+                                 std::span<const std::vector<int>> windows);
+
+struct LearnLoopConfig {
+  core::MonitorConfig monitor;
+  CollectorConfig collector;
+  core::FineTuneConfig trainer;
+  PolicyConfig policy;
+  core::DriftConfig drift;
+  /// A cycle below this many buffered windows is skipped (audited as
+  /// "insufficient_windows").
+  std::size_t min_train_windows = 32;
+  /// The drift watch stays silent until this many held-out windows closed
+  /// after the promotion.
+  std::size_t watch_min_windows = 8;
+  /// Consume (clear) the training buffer after a fine-tune pass.
+  bool clear_buffer_after_train = true;
+  /// Stamped into the published candidate's registry note.
+  std::string note = "learnd fine-tune";
+};
+
+class LearnLoop {
+ public:
+  /// Opens the registry at `registry_root`; an active version must exist.
+  /// `audit_path` / `status_path` default (when empty) to
+  /// <registry_root>/learn_audit.ndjson and <registry_root>/LEARN_STATUS.
+  LearnLoop(std::string registry_root, const LearnLoopConfig& config,
+            std::string audit_path = "", std::string status_path = "");
+
+  /// Invoked after every registry mutation the loop performs (canary
+  /// publish, promote, retire, rollback) — misusedet_learnd uses it to
+  /// SIGHUP the serve node so its reloader picks the change up at once.
+  void set_registry_change_hook(std::function<void(std::string_view what)> hook) {
+    on_registry_change_ = std::move(hook);
+  }
+
+  // -- Event intake (delegates to the collector) ---------------------------
+  void observe(const serve::Event& event);
+  void observe(const serve::WalRecord& record);
+  void advance(double now) { collector_->advance(now); }
+  void flush() { collector_->flush(); }
+  SessionWindowCollector& collector() { return *collector_; }
+
+  /// One collect→train→stage→shadow→decide pass. Returns the audit record
+  /// of the decision (also appended to the audit log), or nullopt when
+  /// nothing happened (no active version change and not enough windows —
+  /// even that skip is audited, so nullopt only means "no record written"
+  /// ... it never is: every call writes exactly one record).
+  AuditRecord run_cycle();
+
+  /// The post-promotion drift watch; returns the rollback audit record
+  /// when it fired, nullopt while the watch is silent or disarmed.
+  std::optional<AuditRecord> watch();
+
+  const LearnStatus& status() const { return status_; }
+  std::uint64_t active_version() const { return active_version_; }
+  const core::MisuseDetector& active() const { return *active_; }
+  bool watch_armed() const { return watch_armed_; }
+  std::uint64_t cycles() const { return cycle_; }
+
+ private:
+  void refresh_active();
+  void set_phase(LearnPhase phase);
+  void publish_status();
+  AuditRecord finish_decision(AuditRecord record);
+  void notify_registry_change(std::string_view what);
+
+  registry::ModelRegistry registry_;
+  LearnLoopConfig config_;
+  AuditLog audit_;
+  std::string status_path_;
+  std::shared_ptr<const core::MisuseDetector> active_;
+  std::uint64_t active_version_ = 0;
+  std::optional<SessionWindowCollector> collector_;
+  std::function<void(std::string_view)> on_registry_change_;
+  LearnStatus status_;
+  std::uint64_t cycle_ = 0;
+
+  // Post-promotion watch state.
+  bool watch_armed_ = false;
+  double watch_baseline_ = 0.0;
+  std::size_t watch_mark_ = 0;
+  std::uint64_t watch_version_ = 0;
+  std::uint64_t watch_parent_ = 0;
+};
+
+}  // namespace misuse::learn

@@ -1,0 +1,24 @@
+#include "learn/metrics.hpp"
+
+namespace misuse::learn {
+
+LearnMetrics& learn_metrics() {
+  static LearnMetrics instruments{
+      metrics().counter("learn.windows_collected"),
+      metrics().counter("learn.windows_discarded"),
+      metrics().gauge("learn.buffer_windows"),
+      metrics().counter("learn.cycles"),
+      metrics().counter("learn.candidates_published"),
+      metrics().histogram("learn.train_seconds"),
+      metrics().histogram("learn.cycle_seconds"),
+      metrics().counter("learn.promotions"),
+      metrics().counter("learn.rejections"),
+      metrics().counter("learn.rollbacks"),
+      metrics().gauge("learn.phase"),
+      metrics().gauge("learn.candidate_version"),
+      metrics().gauge("learn.flip_rate_micro"),
+  };
+  return instruments;
+}
+
+}  // namespace misuse::learn

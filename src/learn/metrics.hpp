@@ -1,0 +1,37 @@
+// Instrument panel of the continuous-learning loop (misusedet_learnd).
+// Same pattern as serve::ServeMetrics: one process-wide bundle of
+// registry-owned instruments, resolved once. Exported over the admin
+// plane (--metrics-out / Prometheus) as misusedet_learn_*.
+#pragma once
+
+#include "util/metrics.hpp"
+
+namespace misuse::learn {
+
+struct LearnMetrics {
+  // Collector.
+  Counter& windows_collected;  // learn.windows_collected — labeled windows buffered
+  Counter& windows_discarded;  // learn.windows_discarded — short / alarmed / unknown-action
+  Gauge& buffer_windows;       // learn.buffer_windows — windows currently buffered
+
+  // Trainer + candidate pipeline.
+  Counter& cycles;                 // learn.cycles — collect→train→decide passes completed
+  Counter& candidates_published;   // learn.candidates_published — staging versions created
+  HistogramMetric& train_seconds;  // learn.train_seconds — fine-tune wall clock per cycle
+  HistogramMetric& cycle_seconds;  // learn.cycle_seconds — whole cycle wall clock
+
+  // Policy decisions.
+  Counter& promotions;  // learn.promotions — candidates promoted to active
+  Counter& rejections;  // learn.rejections — candidates retired by a guardrail
+  Counter& rollbacks;   // learn.rollbacks — post-promotion drift rollbacks
+
+  // Live state (what /statusz and misusedet_top surface).
+  Gauge& phase;              // learn.phase — LearnPhase ordinal
+  Gauge& candidate_version;  // learn.candidate_version — version under evaluation (0 = none)
+  Gauge& flip_rate_micro;    // learn.flip_rate_micro — last shadow flip rate, 1e-6 units
+};
+
+/// The shared bundle; registers the instruments on first call.
+LearnMetrics& learn_metrics();
+
+}  // namespace misuse::learn

@@ -1,0 +1,56 @@
+#include "learn/policy.hpp"
+
+namespace misuse::learn {
+
+std::string_view learn_phase_name(LearnPhase phase) {
+  switch (phase) {
+    case LearnPhase::kIdle: return "idle";
+    case LearnPhase::kCollecting: return "collecting";
+    case LearnPhase::kTraining: return "training";
+    case LearnPhase::kStaging: return "staging";
+    case LearnPhase::kShadow: return "shadow";
+    case LearnPhase::kDeciding: return "deciding";
+    case LearnPhase::kWatching: return "watching";
+  }
+  return "unknown";
+}
+
+std::string_view decision_name(Decision decision) {
+  switch (decision) {
+    case Decision::kPromote: return "promote";
+    case Decision::kReject: return "reject";
+    case Decision::kRollback: return "rollback";
+    case Decision::kSkip: return "skip";
+  }
+  return "unknown";
+}
+
+PolicyDecision evaluate_candidate(const PolicyConfig& config, bool active_degraded,
+                                  bool candidate_degraded, const ShadowEvaluation& eval) {
+  if (active_degraded || candidate_degraded) {
+    return {Decision::kReject, "degraded_clusters"};
+  }
+  if (eval.steps < config.eval_budget_steps) {
+    return {Decision::kReject, "insufficient_evidence"};
+  }
+  if (eval.flip_rate() > config.max_flip_rate) {
+    return {Decision::kReject, "verdict_flip_rate"};
+  }
+  if (eval.mean_loss_delta > config.max_loss_delta) {
+    return {Decision::kReject, "loss_delta"};
+  }
+  if (eval.drift_candidate > eval.drift_active + config.drift_margin) {
+    return {Decision::kReject, "drift_regression"};
+  }
+  return {Decision::kPromote, "guardrails_passed"};
+}
+
+PolicyDecision evaluate_watch(const PolicyConfig& config, double baseline_drift,
+                              double post_drift) {
+  if (post_drift > baseline_drift + config.rollback_drift_margin) {
+    return {Decision::kRollback, "post_promotion_drift"};
+  }
+  return {Decision::kSkip, "drift_stable"};
+}
+
+}  // namespace misuse::learn

@@ -1,0 +1,92 @@
+// Promotion policy of the continuous-learning loop: the pure decision
+// function between "a candidate exists" and "the registry changed". All
+// inputs are explicit (no clocks, no globals), so every guardrail is unit
+// testable and two runs over the same evidence decide identically.
+//
+// Guardrails, in evaluation order (first failure wins — see DESIGN.md
+// "Continuous learning" for the table):
+//   1. degraded clusters       — never promote from or to a degraded model;
+//   2. insufficient evidence   — the shadow run must cover the eval budget;
+//   3. verdict-flip rate       — the candidate may not change more than
+//                                max_flip_rate of the active verdicts;
+//   4. loss delta              — mean |candidate loss − active loss| capped;
+//   5. drift regression        — the candidate must not read *more* drifted
+//                                on the held-out windows than the active.
+// After a promotion, evaluate_watch() guards the other direction: if the
+// post-promotion stream drifts past the pre-promotion baseline by
+// rollback_drift_margin, the loop rolls back to the parent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace misuse::learn {
+
+/// Where the loop currently is; exported as the learn.phase gauge and the
+/// LEARN_STATUS "phase" field (ordinals are part of the metric contract).
+enum class LearnPhase : int {
+  kIdle = 0,       // waiting for enough windows
+  kCollecting = 1, // tailing the stream into the buffer
+  kTraining = 2,   // fine-tuning a candidate
+  kStaging = 3,    // publishing the candidate to the registry
+  kShadow = 4,     // shadow-evaluating candidate vs active
+  kDeciding = 5,   // applying the guardrails
+  kWatching = 6,   // post-promotion drift watch (rollback armed)
+};
+std::string_view learn_phase_name(LearnPhase phase);
+
+struct PolicyConfig {
+  /// Minimum shadow-scored steps before a decision is allowed.
+  std::size_t eval_budget_steps = 500;
+  /// Max fraction of shadow steps whose alarm verdict may differ.
+  double max_flip_rate = 0.02;
+  /// Max mean |candidate NLL − active NLL| over shadow-scored steps.
+  double max_loss_delta = 0.05;
+  /// The candidate's drift gauge may exceed the active's by at most this.
+  double drift_margin = 0.005;
+  /// Post-promotion: roll back when drift exceeds the pre-promotion
+  /// baseline by more than this.
+  double rollback_drift_margin = 0.01;
+};
+
+/// Evidence gathered by the shadow evaluation of one candidate.
+struct ShadowEvaluation {
+  std::size_t steps = 0;          // shadow-scored steps
+  std::size_t sessions = 0;       // held-out windows replayed
+  std::size_t verdict_flips = 0;  // steps where the alarm verdicts differ
+  double mean_loss_delta = 0.0;   // mean |candidate NLL − active NLL|
+  double drift_active = 0.0;      // active model's drift on the eval windows
+  double drift_candidate = 0.0;   // candidate's drift on the same windows
+
+  double flip_rate() const {
+    return steps == 0 ? 0.0 : static_cast<double>(verdict_flips) / static_cast<double>(steps);
+  }
+};
+
+enum class Decision {
+  kPromote,   // candidate becomes active
+  kReject,    // candidate retired, active unchanged
+  kRollback,  // active rolled back to its parent
+  kSkip,      // no action this cycle
+};
+std::string_view decision_name(Decision decision);
+
+struct PolicyDecision {
+  Decision decision = Decision::kSkip;
+  /// Machine-readable reason ("guardrails_passed", "verdict_flip_rate",
+  /// ...); lands verbatim in the audit record.
+  std::string reason;
+};
+
+/// Applies the promotion guardrails to one candidate's evidence.
+PolicyDecision evaluate_candidate(const PolicyConfig& config, bool active_degraded,
+                                  bool candidate_degraded, const ShadowEvaluation& eval);
+
+/// Applies the post-promotion drift watch. `baseline_drift` is the
+/// candidate's drift gauge at promotion time; `post_drift` is the current
+/// reading over the windows that closed since.
+PolicyDecision evaluate_watch(const PolicyConfig& config, double baseline_drift,
+                              double post_drift);
+
+}  // namespace misuse::learn

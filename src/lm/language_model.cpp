@@ -93,6 +93,21 @@ std::vector<EpochStats> ActionLanguageModel::fit(std::span<const std::span<const
   return history;
 }
 
+std::vector<EpochStats> ActionLanguageModel::fine_tune(
+    std::span<const std::span<const int>> train, std::span<const std::span<const int>> valid,
+    const FineTuneOptions& options) {
+  config_.epochs = options.epochs;
+  config_.learning_rate = options.learning_rate;
+  config_.patience = options.patience;
+  config_.seed = options.seed;
+  rng_ = Rng(options.seed);
+  return fit(train, valid);
+}
+
+ActionLanguageModel ActionLanguageModel::clone() const {
+  return ActionLanguageModel(config_, model_->clone());
+}
+
 EvalStats ActionLanguageModel::evaluate(std::span<const std::span<const int>> sessions) {
   const auto batches =
       pack_full_sequence_batches(sessions, config_.batching.window, config_.batching.batch_size);

@@ -52,6 +52,20 @@ struct EvalStats {
   std::size_t predictions = 0;
 };
 
+/// Knobs of a warm-start fine-tuning pass (continuous learning): a short
+/// training run that continues from the model's current weights instead
+/// of a fresh initialization. The learning rate defaults well below the
+/// from-scratch rate so a small recent-behavior corpus nudges the model
+/// rather than overwriting what the full training corpus taught it.
+struct FineTuneOptions {
+  std::size_t epochs = 2;
+  float learning_rate = 2e-4f;
+  /// Early-stopping patience (0 disables; restore_best still applies).
+  std::size_t patience = 0;
+  /// Seed for batch shuffling and dropout during the pass.
+  std::uint64_t seed = 17;
+};
+
 class ActionLanguageModel {
  public:
   explicit ActionLanguageModel(const LmConfig& config);
@@ -62,6 +76,21 @@ class ActionLanguageModel {
   /// empty: then no early stopping occurs). Returns per-epoch stats.
   std::vector<EpochStats> fit(std::span<const std::span<const int>> train,
                               std::span<const std::span<const int>> valid);
+
+  /// Warm-start fine-tuning: continues training from the current weights
+  /// under the options' epochs/learning-rate/seed (fit() already trains
+  /// in place; this entry point additionally pins the pass's
+  /// hyperparameters and reseeds the shuffle/dropout stream so two
+  /// fine-tunes of identical clones are bit-identical). The fresh
+  /// optimizer state per pass is deliberate: Adam moments from the
+  /// original training run are not part of the archive.
+  std::vector<EpochStats> fine_tune(std::span<const std::span<const int>> train,
+                                    std::span<const std::span<const int>> valid,
+                                    const FineTuneOptions& options);
+
+  /// Deep copy (weights and config; fresh RNG seeded from the config) —
+  /// the candidate model a fine-tuning pass starts from.
+  ActionLanguageModel clone() const;
 
   /// Next-action loss/accuracy over every predictable position of the
   /// given sessions (computed in full-sequence batches; mathematically

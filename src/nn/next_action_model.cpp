@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "tensor/ops.hpp"
 
@@ -313,6 +314,14 @@ void NextActionModel::save(BinaryWriter& w) const {
   if (embedding_) embedding_->save(w);
   for (const auto& lstm : lstms_) lstm->save(w);
   head_.save(w);
+}
+
+NextActionModel NextActionModel::clone() const {
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  BinaryWriter w(buffer);
+  save(w);
+  BinaryReader r(buffer);
+  return load(r);
 }
 
 NextActionModel NextActionModel::load(BinaryReader& r) {

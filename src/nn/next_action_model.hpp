@@ -135,6 +135,13 @@ class NextActionModel {
   void save(BinaryWriter& w) const;
   static NextActionModel load(BinaryReader& r);
 
+  /// Deep copy via a save/load round-trip. The layer objects own scratch
+  /// and gather bookkeeping that must not be shared between copies, so the
+  /// persisted form — weights only — is the one representation that
+  /// duplicates the network exactly. This is the warm-start entry point:
+  /// continuous learning clones the active model and fine-tunes the clone.
+  NextActionModel clone() const;
+
   // --- Read-only structure views for the inference engine ---------------
   std::size_t layer_count() const { return lstms_.size(); }
   const RecurrentLayer& layer(std::size_t i) const { return *lstms_.at(i); }

@@ -42,8 +42,10 @@ using misuse::registry::version_state_name;
                "          [--quantize=int8|fp16]   rewrite with quantized inference weights;\n"
                "          [--max-flip-rate=X]      refused unless the accuracy gate passes\n"
                "                                   (verdict flips <= X, default 0.01)\n"
-               "  list                            all versions with state and provenance\n"
-               "  show VERSION                    one version's metadata\n"
+               "  list [--json]                   all versions with state and provenance\n"
+               "                                  (--json: one meta.json line per version)\n"
+               "  show VERSION [--json]           one version's metadata + its parent\n"
+               "                                  lineage chain\n"
                "  promote VERSION                 staging->canary / canary->active\n"
                "  rollback [VERSION]              re-activate the parent (or VERSION)\n"
                "  pin VERSION / unpin VERSION     shield from / expose to gc\n"
@@ -136,6 +138,15 @@ int run(int argc, char** argv) {
     return 0;
   }
   if (command == "list") {
+    if (args.flag("json")) {
+      // NDJSON: the exact meta.json bodies (render_metadata is already
+      // one flat JSON line per version) — what learnd and scripts parse
+      // instead of scraping the human table.
+      for (const auto& meta : registry.list()) {
+        std::fputs(misuse::registry::render_metadata(meta).c_str(), stdout);
+      }
+      return 0;
+    }
     const auto current = registry.current().value_or(0);
     const auto canary = registry.canary().value_or(0);
     for (const auto& meta : registry.list()) print_version(meta, current, canary);
@@ -144,9 +155,25 @@ int run(int argc, char** argv) {
   if (command == "show") {
     if (positional.size() != 2) usage(argv[0]);
     const auto version = parse_version_arg(positional[1]);
-    const auto meta = registry.metadata(version);
-    if (!meta) throw RegistryError("no such version " + version_name(version));
-    print_version(*meta, registry.current().value_or(0), registry.canary().value_or(0));
+    const auto chain = registry.lineage(version);  // throws when version is missing
+    if (args.flag("json")) {
+      for (const auto& meta : chain) {
+        std::fputs(misuse::registry::render_metadata(meta).c_str(), stdout);
+      }
+      return 0;
+    }
+    const auto current = registry.current().value_or(0);
+    const auto canary = registry.canary().value_or(0);
+    for (const auto& meta : chain) print_version(meta, current, canary);
+    std::string lineage;
+    for (const auto& meta : chain) {
+      if (!lineage.empty()) lineage += " -> ";
+      lineage += version_name(meta.version);
+    }
+    // A recorded parent past the end of the chain was gc'd (possible for
+    // retired-only ancestry) — say so instead of silently truncating.
+    if (chain.back().parent != 0) lineage += " -> " + version_name(chain.back().parent) + " (gone)";
+    std::printf("lineage: %s\n", lineage.c_str());
     return 0;
   }
   if (command == "promote") {

@@ -111,6 +111,14 @@ void ModelRegistry::write_metadata(const VersionMetadata& meta) const {
 
 std::uint64_t ModelRegistry::publish(const std::string& archive_path_in,
                                      const std::string& note) {
+  return publish(archive_path_in, note, 0);
+}
+
+std::uint64_t ModelRegistry::publish(const std::string& archive_path_in, const std::string& note,
+                                     std::uint64_t parent) {
+  if (parent != 0 && !metadata(parent)) {
+    throw RegistryError("publish: lineage parent " + version_name(parent) + " does not exist");
+  }
   // Validate before admitting: a corrupt archive fails here, at publish,
   // with the path+section context from load_file — not at 3am in prod.
   core::MisuseDetector detector = [&] {
@@ -140,6 +148,7 @@ std::uint64_t ModelRegistry::publish(const std::string& archive_path_in,
   VersionMetadata meta;
   meta.version = next;
   meta.state = VersionState::kStaging;
+  meta.parent = parent;
   meta.vocab_hash = detector.vocab().fingerprint();
   meta.archive_crc = crc32(*bytes);
   meta.archive_bytes = bytes->size();
@@ -184,7 +193,10 @@ void ModelRegistry::promote(std::uint64_t version) {
     }
     case VersionState::kCanary: {
       const auto previous = current();
-      if (previous && *previous != version) meta.parent = *previous;
+      // A publish-time lineage stamp (fine-tuned candidates) is
+      // authoritative; only infer the parent from the outgoing active
+      // version when the publisher recorded none.
+      if (meta.parent == 0 && previous && *previous != version) meta.parent = *previous;
       meta.state = VersionState::kActive;
       write_metadata(meta);
       // The CURRENT flip is the commit point: a crash before it leaves
@@ -235,6 +247,34 @@ void ModelRegistry::rollback_to(std::uint64_t version) {
              << (previous ? version_name(*previous) : "none") << ")";
 }
 
+void ModelRegistry::retire(std::uint64_t version) {
+  VersionMetadata meta = require_metadata(version);
+  const auto cur = current();
+  if ((cur && *cur == version) || meta.state == VersionState::kActive) {
+    throw RegistryError("retire: " + version_name(version) +
+                        " is active; rollback to another version first");
+  }
+  if (meta.state == VersionState::kRetired) return;  // idempotent
+  meta.state = VersionState::kRetired;
+  write_metadata(meta);
+  log_info() << "registry: retired " << version_name(version);
+}
+
+std::vector<VersionMetadata> ModelRegistry::lineage(std::uint64_t version) const {
+  std::vector<VersionMetadata> chain;
+  chain.push_back(require_metadata(version));
+  std::vector<std::uint64_t> visited{version};
+  while (chain.back().parent != 0) {
+    const std::uint64_t parent = chain.back().parent;
+    if (std::find(visited.begin(), visited.end(), parent) != visited.end()) break;  // cycle
+    auto meta = metadata(parent);
+    if (!meta) break;  // gc'd ancestor — the chain ends where history does
+    visited.push_back(parent);
+    chain.push_back(std::move(*meta));
+  }
+  return chain;
+}
+
 void ModelRegistry::pin(std::uint64_t version, bool pinned) {
   VersionMetadata meta = require_metadata(version);
   meta.pinned = pinned;
@@ -243,14 +283,29 @@ void ModelRegistry::pin(std::uint64_t version, bool pinned) {
 
 std::vector<std::uint64_t> ModelRegistry::gc(std::size_t keep_retired) {
   const auto cur = current();
+  const auto all = list();
+  // The recorded parent of any live version is a rollback target:
+  // rollback() re-activates the active version's parent, and a canary
+  // that fails its soak falls back to its own. Removing one would leave a
+  // dangling lineage pointer exactly when it is needed most.
+  std::vector<std::uint64_t> rollback_targets;
+  for (const auto& meta : all) {
+    const bool live = meta.state != VersionState::kRetired || (cur && *cur == meta.version);
+    if (live && meta.parent != 0) rollback_targets.push_back(meta.parent);
+  }
   std::vector<VersionMetadata> retired;
-  for (auto& meta : list()) {
+  for (auto meta : all) {
     // The predicate consults CURRENT directly: even a metadata file that
     // wrongly claims "retired" for the active version cannot make GC
-    // remove what serving points at. Canary/staging/pinned never qualify.
+    // remove what serving points at. Canary/staging/pinned never qualify,
+    // and neither does a live version's rollback target.
     if (meta.state != VersionState::kRetired) continue;
     if (meta.pinned) continue;
     if (cur && *cur == meta.version) continue;
+    if (std::find(rollback_targets.begin(), rollback_targets.end(), meta.version) !=
+        rollback_targets.end()) {
+      continue;
+    }
     retired.push_back(std::move(meta));
   }
   // Newest retired versions are the rollback depth — keep them.

@@ -64,11 +64,27 @@ class ModelRegistry {
   /// serving time. Never touches CURRENT.
   std::uint64_t publish(const std::string& archive_path, const std::string& note = "");
 
+  /// publish() with an explicit parent lineage stamp: `parent` records
+  /// which version the archive was derived from (the continuous-learning
+  /// trainer stamps the active version it fine-tuned). The parent must
+  /// exist; it becomes the candidate's rollback target the moment the
+  /// candidate reaches active, without waiting for the promote-time
+  /// inference (which only knows "whatever was active just before").
+  std::uint64_t publish(const std::string& archive_path, const std::string& note,
+                        std::uint64_t parent);
+
   // -- Introspection -------------------------------------------------------
 
   /// Every version with a parseable meta.json, ascending by number.
   std::vector<VersionMetadata> list() const;
   std::optional<VersionMetadata> metadata(std::uint64_t version) const;
+
+  /// The parent lineage chain starting at `version` (inclusive), oldest
+  /// ancestor last: v7 -> v5 -> v2. Stops at a version with no parent, at
+  /// a gc'd (missing) parent, or on a cycle (hand-edited metadata); the
+  /// chain never throws for a missing *ancestor*, only for a missing
+  /// `version` itself.
+  std::vector<VersionMetadata> lineage(std::uint64_t version) const;
   /// The version CURRENT points at (authoritative), if any.
   std::optional<std::uint64_t> current() const;
   /// The unique canary version, if one exists.
@@ -102,12 +118,22 @@ class ModelRegistry {
   /// Re-activates `version` explicitly (must exist; may be retired).
   void rollback_to(std::uint64_t version);
 
+  /// Retires a staging or canary version — the demote path the promotion
+  /// policy takes when a candidate fails its guardrails. Retiring an
+  /// already-retired version is a no-op; retiring the active version
+  /// throws (use rollback to move off it first).
+  void retire(std::uint64_t version);
+
   /// Pinned versions survive gc() regardless of state.
   void pin(std::uint64_t version, bool pinned);
 
   /// Removes retired, unpinned, non-CURRENT versions, keeping the
-  /// `keep_retired` newest retired ones as rollback depth. Returns the
-  /// versions removed.
+  /// `keep_retired` newest retired ones as rollback depth. A version that
+  /// is the recorded `parent` of any live (staging/canary/active) version
+  /// is also kept regardless of the budget: it is a rollback target —
+  /// rollback() re-activates the active version's parent, and a failed
+  /// canary falls back to its own — and collecting it would turn a bad
+  /// promote into an unrecoverable one. Returns the versions removed.
   std::vector<std::uint64_t> gc(std::size_t keep_retired = 2);
 
   // -- Loading -------------------------------------------------------------

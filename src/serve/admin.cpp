@@ -6,6 +6,7 @@
 
 #include "serve/metrics.hpp"
 #include "util/failpoint.hpp"
+#include "util/line_io.hpp"
 #include "util/hostinfo.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
@@ -248,6 +249,38 @@ std::string AdminServer::render_statusz() const {
     json.member("wal_watermark_lag", assigned > min_watermark ? assigned - min_watermark : 0);
     json.member("trace_enabled", trace_events().enabled());
     json.member("trace_events_dropped", trace_events().dropped());
+    // Shadow scorer evidence (serve/shadow.cpp) — what the learn loop's
+    // promotion guardrails read live off this node.
+    const ServeMetrics& sm = serve_metrics();
+    const std::uint64_t shadow_steps = sm.shadow_steps.value();
+    json.member("shadow_steps", shadow_steps);
+    json.member("shadow_verdict_flips", sm.shadow_verdict_flips.value());
+    json.member("shadow_flip_rate",
+                shadow_steps > 0 ? static_cast<double>(sm.shadow_verdict_flips.value()) /
+                                       static_cast<double>(shadow_steps)
+                                 : 0.0);
+    json.member("shadow_loss_delta_mean",
+                sm.shadow_loss_delta.count() > 0
+                    ? sm.shadow_loss_delta.sum() / static_cast<double>(sm.shadow_loss_delta.count())
+                    : 0.0);
+    // Continuous-learning state, re-emitted flat with a learn_ prefix
+    // (strings stay strings, numbers stay raw) so the object stays
+    // parse_flat_json-clean.
+    if (hooks_.learn_status) {
+      const std::string learn = hooks_.learn_status();
+      std::vector<JsonField> fields;
+      std::string error;
+      if (!learn.empty() && parse_flat_json(learn, fields, error)) {
+        for (const auto& field : fields) {
+          json.key("learn_" + field.key);
+          if (field.is_string) {
+            json.value(field.value);
+          } else {
+            json.raw_value(field.value);
+          }
+        }
+      }
+    }
     for (std::size_t s = 0; s < shards.size(); ++s) {
       const std::string prefix = "shard." + std::to_string(s) + ".";
       json.member(prefix + "queue_depth", shards[s].queue_depth);

@@ -33,6 +33,11 @@ namespace misuse::serve {
 struct AdminHooks {
   std::function<std::string()> model_version;   // active registry version ("" = unversioned)
   std::function<std::string()> canary_version;  // shadow/canary version ("" = none)
+  /// Latest continuous-learning state as one flat JSON object (the
+  /// LEARN_STATUS file misusedet_learnd maintains next to the registry);
+  /// "" = no learn loop. /statusz re-emits its fields with a learn_
+  /// prefix so one scrape shows the serving and learning planes together.
+  std::function<std::string()> learn_status;
 };
 
 struct AdminConfig {

@@ -45,6 +45,7 @@
 #include "serve/server.hpp"
 #include "serve/trace_sampler.hpp"
 #include "util/cli.hpp"
+#include "util/fsio.hpp"
 #include "util/line_io.hpp"
 #include "util/logging.hpp"
 #include "util/socket.hpp"
@@ -540,6 +541,15 @@ int serve_main(int argc, char** argv) {
     if (reloader_ptr != nullptr) {
       hooks.model_version = [reloader_ptr] { return reloader_ptr->active_version(); };
       hooks.canary_version = [reloader_ptr] { return reloader_ptr->canary_version(); };
+    }
+    if (!registry_root.empty()) {
+      // Surface the learn loop's LEARN_STATUS (written atomically by
+      // misusedet_learnd next to the registry) without coupling the two
+      // processes: a missing file just reads as "no learn loop".
+      const std::string learn_status_path = registry_root + "/LEARN_STATUS";
+      hooks.learn_status = [learn_status_path]() -> std::string {
+        return read_file(learn_status_path).value_or(std::string{});
+      };
     }
     try {
       admin.emplace(server, admin_config, hooks);

@@ -50,6 +50,53 @@ std::string frame(const std::string& payload) {
   return framed;
 }
 
+/// Decodes one CRC-verified frame payload. False on a malformed payload
+/// (unknown type or truncated fields) — framing corruption, not data.
+bool decode_payload(std::string_view payload, WalRecord& record) {
+  std::istringstream payload_in{std::string(payload), std::ios::binary};
+  BinaryReader r(payload_in);
+  try {
+    record.type = r.read<std::uint8_t>();
+    record.seq = r.read<std::uint64_t>();
+    if (record.type == WalRecord::kEvent) {
+      record.event.user_id = r.read_string();
+      record.event.session_id = r.read_string();
+      record.event.action = r.read_string();
+      record.event.has_timestamp = r.read<std::uint8_t>() != 0;
+      record.event.timestamp = r.read<double>();
+    } else if (record.type == WalRecord::kSweep) {
+      record.sweep_now = r.read<double>();
+    } else {
+      return false;
+    }
+  } catch (const SerializeError&) {
+    return false;
+  }
+  return true;
+}
+
+/// Scans `bytes` from offset 0 for complete, CRC-intact frames, appending
+/// the decoded records. Returns the number of bytes covered by complete
+/// frames — the only bytes a cursor may advance past; anything after is a
+/// (possibly still-being-written) tail.
+std::size_t scan_frames(std::string_view bytes, std::vector<WalRecord>& records) {
+  std::size_t pos = 0;
+  while (pos + 8 <= bytes.size()) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, bytes.data() + pos, sizeof(len));
+    if (len > kMaxRecordBytes || pos + 8 + len > bytes.size()) break;
+    const std::string_view payload(bytes.data() + pos + 4, len);
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, bytes.data() + pos + 4 + len, sizeof(stored));
+    if (crc32(payload) != stored) break;
+    WalRecord record;
+    if (!decode_payload(payload, record)) break;
+    records.push_back(std::move(record));
+    pos += 8 + len;
+  }
+  return pos;
+}
+
 }  // namespace
 
 std::string encode_event_record(const Event& event, std::uint64_t seq) {
@@ -147,53 +194,71 @@ std::vector<WalRecord> read_wal(const std::string& path) {
   raw << in.rdbuf();
   const std::string bytes = raw.str();
 
-  std::size_t pos = 0;
-  bool torn = false;
-  while (pos + 8 <= bytes.size()) {
-    std::uint32_t len = 0;
-    std::memcpy(&len, bytes.data() + pos, sizeof(len));
-    if (len > kMaxRecordBytes || pos + 8 + len > bytes.size()) {
-      torn = true;
-      break;
-    }
-    const std::string_view payload(bytes.data() + pos + 4, len);
-    std::uint32_t stored = 0;
-    std::memcpy(&stored, bytes.data() + pos + 4 + len, sizeof(stored));
-    if (crc32(payload) != stored) {
-      torn = true;
-      break;
-    }
-    std::istringstream payload_in{std::string(payload), std::ios::binary};
-    BinaryReader r(payload_in);
-    try {
-      WalRecord record;
-      record.type = r.read<std::uint8_t>();
-      record.seq = r.read<std::uint64_t>();
-      if (record.type == WalRecord::kEvent) {
-        record.event.user_id = r.read_string();
-        record.event.session_id = r.read_string();
-        record.event.action = r.read_string();
-        record.event.has_timestamp = r.read<std::uint8_t>() != 0;
-        record.event.timestamp = r.read<double>();
-      } else if (record.type == WalRecord::kSweep) {
-        record.sweep_now = r.read<double>();
-      } else {
-        torn = true;
-        break;
-      }
-      records.push_back(std::move(record));
-    } catch (const SerializeError&) {
-      torn = true;
-      break;
-    }
-    pos += 8 + len;
-  }
-  if (torn || pos < bytes.size()) {
+  const std::size_t pos = scan_frames(bytes, records);
+  if (pos < bytes.size()) {
     serve_metrics().wal_torn_records.inc();
     log_warn() << "WAL " << path << ": torn tail after " << records.size()
                << " intact records (" << (bytes.size() - pos) << " trailing bytes dropped)";
   }
   return records;
+}
+
+WalTailer::WalTailer(std::string dir) : dir_(std::move(dir)) {}
+
+std::size_t WalTailer::poll(std::vector<WalRecord>& out) {
+  const auto shards = read_manifest(dir_);
+  if (!shards || *shards == 0) return 0;  // server not started yet — retry later
+  if (offsets_.size() != *shards) {
+    // First poll, or the server restarted with a different shard layout.
+    // Cursors restart at 0; the new shards' watermarks seed from the
+    // global high-water mark so a recovery replay (which re-logs records
+    // under their original seqs) is not re-delivered.
+    offsets_.assign(*shards, 0);
+    watermarks_.assign(*shards, last_seq_);
+  }
+
+  std::vector<WalRecord> fresh;
+  for (std::size_t k = 0; k < *shards; ++k) {
+    std::ifstream in(wal_path(dir_, k), std::ios::binary);
+    if (!in) continue;
+    in.seekg(0, std::ios::end);
+    const auto end = in.tellg();
+    if (end < 0) continue;
+    const auto size = static_cast<std::uint64_t>(end);
+    // Shrunk file = a checkpoint truncated the log. Everything it covered
+    // was polled before the truncation; restart from the top and let the
+    // shard's seq watermark drop any overlap.
+    if (size < offsets_[k]) offsets_[k] = 0;
+    if (size == offsets_[k]) continue;
+    in.seekg(static_cast<std::streamoff>(offsets_[k]));
+    std::string bytes(static_cast<std::size_t>(size - offsets_[k]), '\0');
+    in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    bytes.resize(static_cast<std::size_t>(in.gcount()));
+
+    std::vector<WalRecord> shard_records;
+    // Only complete, intact frames advance the cursor: a torn tail (the
+    // writer mid-append) stays in place and is retried whole next poll.
+    offsets_[k] += scan_frames(bytes, shard_records);
+    // Dedup is per shard — each shard's log is seq-ascending, but the
+    // shards flush independently, so a *global* watermark could drop a
+    // lagging shard's records that are merely younger on disk.
+    for (auto& record : shard_records) {
+      if (record.seq > watermarks_[k]) {
+        watermarks_[k] = record.seq;
+        fresh.push_back(std::move(record));
+      }
+    }
+  }
+  if (fresh.empty()) return 0;
+  // Each shard's log is seq-ascending (events apply in arrival order), so
+  // a stable sort merges the shard streams into global input order.
+  std::stable_sort(fresh.begin(), fresh.end(),
+                   [](const WalRecord& a, const WalRecord& b) { return a.seq < b.seq; });
+  for (const auto& record : fresh) last_seq_ = std::max(last_seq_, record.seq);
+  const std::size_t added = fresh.size();
+  out.insert(out.end(), std::make_move_iterator(fresh.begin()),
+             std::make_move_iterator(fresh.end()));
+  return added;
 }
 
 bool write_snapshot(const std::string& path, const ShardSnapshot& snapshot) {

@@ -90,6 +90,39 @@ class WalWriter {
 /// file reads as empty.
 std::vector<WalRecord> read_wal(const std::string& path);
 
+/// Incremental reader over a live serve node's WAL directory — the
+/// continuous-learning collector's event source. Each poll() decodes the
+/// records appended to every shard log since the previous poll and
+/// returns them merged ascending by sequence number. Designed to run
+/// beside a writing server:
+///   * per-shard byte cursors only ever advance past *complete, CRC-intact*
+///     frames — a torn tail (the writer mid-append) is left in place and
+///     retried whole on the next poll, never skipped;
+///   * a shard file that shrank (checkpoint truncation) resets its cursor
+///     to the start; records covered by the checkpoint were already
+///     polled, and re-reads are dropped by the shard's seq watermark;
+///   * the MANIFEST is re-read until it appears, so the tailer may start
+///     before the server writes its first record.
+/// Duplicate suppression is by seq watermark, so feed one tailer one
+/// directory for its whole life.
+class WalTailer {
+ public:
+  explicit WalTailer(std::string dir);
+
+  /// Appends records not yet observed (ascending seq) to `out`; returns
+  /// how many were appended.
+  std::size_t poll(std::vector<WalRecord>& out);
+
+  /// Highest sequence number observed so far.
+  std::uint64_t last_seq() const { return last_seq_; }
+
+ private:
+  std::string dir_;
+  std::vector<std::uint64_t> offsets_;     // per-shard byte cursor
+  std::vector<std::uint64_t> watermarks_;  // per-shard max seq delivered
+  std::uint64_t last_seq_ = 0;
+};
+
 /// Snapshot of one session: the raw applied action history (the
 /// deterministic monitor state is rebuilt by re-feeding it) plus the
 /// event-time the session was last seen.

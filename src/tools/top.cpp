@@ -236,6 +236,20 @@ void render(const std::string& host, std::uint16_t port, const std::vector<JsonF
     out << "collecting a second sample for rates...\n";
   }
 
+  // Continuous-learning plane, when a learn loop runs beside this node
+  // (/statusz re-emits its LEARN_STATUS with a learn_ prefix).
+  const std::string learn_phase = get_string(statusz, "learn_phase").value_or("");
+  if (!learn_phase.empty()) {
+    const double candidate = field_number(statusz, "learn_candidate").value_or(0);
+    const double flip_rate = field_number(statusz, "learn_flip_rate").value_or(0);
+    const std::string decision = get_string(statusz, "learn_decision").value_or("none");
+    const std::string reason = get_string(statusz, "learn_reason").value_or("");
+    out << "LEARN phase " << learn_phase << "   candidate "
+        << (candidate > 0 ? "v" + fmt(candidate, 0) : "-") << "   shadow flip rate "
+        << fmt(flip_rate, 4) << "   last decision " << decision
+        << (reason.empty() ? "" : " (" + reason + ")") << "\n";
+  }
+
   const double shards = field_number(statusz, "shards").value_or(0);
   Table table({"shard", "queue", "high_water", "sessions", "applied_seq"});
   for (std::size_t s = 0; s < static_cast<std::size_t>(shards); ++s) {

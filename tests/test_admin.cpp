@@ -225,6 +225,43 @@ TEST_F(AdminFixture, StatuszIsOneFlatJsonLine) {
   }
 }
 
+TEST_F(AdminFixture, StatuszSurfacesLearnStateWithPrefix) {
+  ServeConfig config;
+  config.shards = 1;
+  ScoringServer server(*detector_, config);
+  AdminHooks hooks;
+  // What misusedet_learnd publishes to <registry>/LEARN_STATUS.
+  hooks.learn_status = [] {
+    return std::string(
+        R"({"phase":"watching","cycle":3,"candidate":7,"decision":"promote",)"
+        R"("reason":"guardrails_passed","flip_rate":0.004,"buffer_windows":12})");
+  };
+  AdminConfig admin_config;
+  AdminServer admin(server, admin_config, hooks);
+
+  const HttpResponse response = http_get(admin.port(), "/statusz");
+  ASSERT_EQ(response.status, 200);
+  std::string body = response.body;
+  while (!body.empty() && body.back() == '\n') body.pop_back();
+  EXPECT_EQ(body.find('\n'), std::string::npos) << "learn fields broke the one-line contract";
+  std::vector<JsonField> fields;
+  std::string error;
+  ASSERT_TRUE(parse_flat_json(body, fields, error)) << error;
+  EXPECT_EQ(get_string(fields, "learn_phase"), "watching");
+  EXPECT_EQ(get_number(fields, "learn_cycle"), 3.0);
+  EXPECT_EQ(get_number(fields, "learn_candidate"), 7.0);
+  EXPECT_EQ(get_string(fields, "learn_decision"), "promote");
+  EXPECT_EQ(get_number(fields, "learn_flip_rate"), 0.004);
+
+  // No learnd running (hook returns empty): no learn_ fields at all.
+  AdminHooks idle_hooks;
+  idle_hooks.learn_status = [] { return std::string(); };
+  AdminServer idle_admin(server, admin_config, idle_hooks);
+  const HttpResponse idle = http_get(idle_admin.port(), "/statusz");
+  ASSERT_EQ(idle.status, 200);
+  EXPECT_EQ(idle.body.find("learn_"), std::string::npos);
+}
+
 TEST_F(AdminFixture, UnknownPathAndMethodAreRejected) {
   ServeConfig config;
   config.shards = 1;

@@ -269,6 +269,98 @@ TEST_F(RegistryFixture, LoadErrorCarriesPathOnMissingArchive) {
   }
 }
 
+TEST_F(RegistryFixture, PublishParentStampIsAuthoritative) {
+  ModelRegistry registry(fresh_root("parent_stamp"));
+  const std::uint64_t v1 = registry.publish(archive());
+  registry.promote(v1);
+  registry.promote(v1);  // v1 active
+
+  // The trainer stamps the version it fine-tuned from at publish time.
+  const std::uint64_t v2 = registry.publish(archive(), "fine-tuned", v1);
+  EXPECT_EQ(registry.metadata(v2)->parent, v1);
+  // A parent that does not exist is a hard error, not a dangling stamp.
+  EXPECT_THROW(registry.publish(archive(), "bad parent", 77), RegistryError);
+
+  // Promote must keep the explicit stamp even when something else was
+  // active in between (the stamp records derivation, not succession).
+  const std::uint64_t v3 = registry.publish(archive());
+  registry.promote(v3);
+  registry.promote(v3);  // v3 active now
+  registry.promote(v2);
+  registry.promote(v2);
+  EXPECT_EQ(registry.metadata(v2)->parent, v1) << "promote overwrote the publish-time parent";
+}
+
+TEST_F(RegistryFixture, LineageWalksTheParentChain) {
+  ModelRegistry registry(fresh_root("lineage"));
+  const std::uint64_t v1 = registry.publish(archive());
+  registry.promote(v1);
+  registry.promote(v1);
+  const std::uint64_t v2 = registry.publish(archive(), "gen 2", v1);
+  registry.promote(v2);
+  registry.promote(v2);
+  const std::uint64_t v3 = registry.publish(archive(), "gen 3", v2);
+
+  const auto chain = registry.lineage(v3);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0].version, v3);
+  EXPECT_EQ(chain[1].version, v2);
+  EXPECT_EQ(chain[2].version, v1);
+  EXPECT_EQ(registry.lineage(v1).size(), 1u);  // no parent: chain of one
+  EXPECT_THROW(registry.lineage(99), RegistryError);
+
+  // A gc'd ancestor truncates the chain instead of throwing: the
+  // remaining stamp still names the missing version.
+  fs::remove_all(registry.version_dir(v1));
+  const auto truncated = registry.lineage(v3);
+  ASSERT_EQ(truncated.size(), 2u);
+  EXPECT_EQ(truncated.back().parent, v1);
+}
+
+TEST_F(RegistryFixture, RetireDemotesStagingAndCanaryButNeverActive) {
+  ModelRegistry registry(fresh_root("retire"));
+  const std::uint64_t v1 = registry.publish(archive());
+  registry.promote(v1);
+  registry.promote(v1);  // active
+
+  const std::uint64_t v2 = registry.publish(archive());  // staging
+  registry.retire(v2);
+  EXPECT_EQ(registry.metadata(v2)->state, VersionState::kRetired);
+  registry.retire(v2);  // idempotent
+
+  const std::uint64_t v3 = registry.publish(archive());
+  registry.promote(v3);  // canary
+  EXPECT_EQ(registry.canary(), v3);
+  registry.retire(v3);
+  EXPECT_FALSE(registry.canary().has_value());
+  EXPECT_EQ(registry.metadata(v3)->state, VersionState::kRetired);
+
+  EXPECT_THROW(registry.retire(v1), RegistryError);  // active: rollback first
+  EXPECT_THROW(registry.retire(99), RegistryError);
+  EXPECT_EQ(registry.current(), v1);
+}
+
+TEST_F(RegistryFixture, GcKeepsParentsOfLiveVersions) {
+  ModelRegistry registry(fresh_root("gc_parent"));
+  std::vector<std::uint64_t> versions;
+  for (int i = 0; i < 5; ++i) {
+    const std::uint64_t v = versions.empty() ? registry.publish(archive())
+                                             : registry.publish(archive(), "", versions.back());
+    registry.promote(v);
+    registry.promote(v);
+    versions.push_back(v);
+  }
+  // v5 active with parent v4: even gc(0) must keep v4 — it is the active
+  // version's rollback target — while v1..v3 (parents of retired versions
+  // only) are collectable.
+  const auto removed = registry.gc(0);
+  EXPECT_EQ(removed, (std::vector<std::uint64_t>{versions[0], versions[1], versions[2]}));
+  ASSERT_TRUE(fs::exists(registry.archive_path(versions[3])));
+  registry.rollback();  // the protected parent must actually serve
+  EXPECT_EQ(registry.current(), versions[3]);
+  EXPECT_NE(registry.load(versions[3]), nullptr);
+}
+
 TEST_F(RegistryFixture, GcKeepsNewestRetired) {
   ModelRegistry registry(fresh_root("gc"));
   std::vector<std::uint64_t> versions;
@@ -278,10 +370,13 @@ TEST_F(RegistryFixture, GcKeepsNewestRetired) {
     registry.promote(v);
     versions.push_back(v);
   }
-  // v5 active; v1..v4 retired. Keep the 2 newest retired (v3, v4).
+  // v5 active; v1..v4 retired. v4 is the active version's inferred parent
+  // (rollback target), so it is protected outright and the keep-2 budget
+  // applies to the remaining pool {v3, v2} — only v1 is collectable.
   const auto removed = registry.gc(2);
-  EXPECT_EQ(removed, (std::vector<std::uint64_t>{versions[0], versions[1]}));
+  EXPECT_EQ(removed, (std::vector<std::uint64_t>{versions[0]}));
   EXPECT_FALSE(fs::exists(registry.version_dir(versions[0])));
+  EXPECT_TRUE(fs::exists(registry.version_dir(versions[1])));
   EXPECT_TRUE(fs::exists(registry.version_dir(versions[2])));
   EXPECT_TRUE(fs::exists(registry.version_dir(versions[3])));
   EXPECT_EQ(registry.current(), versions[4]);
@@ -308,15 +403,37 @@ TEST_F(RegistryFixture, GcNeverRemovesActivePinnedOrCanaryUnderRandomOps) {
     try {
       const auto versions = registry.list();
       if (roll < 0.25 || versions.empty()) {
-        registry.publish(archive());
-      } else if (roll < 0.55) {
+        // Half the publishes stamp a parent, like the learn loop does.
+        if (!versions.empty() && rng.uniform() < 0.5) {
+          registry.publish(archive(), "", pick_version(versions));
+        } else {
+          registry.publish(archive());
+        }
+      } else if (roll < 0.50) {
         registry.promote(pick_version(versions));
-      } else if (roll < 0.65) {
+      } else if (roll < 0.60) {
         registry.rollback_to(pick_version(versions));
+      } else if (roll < 0.70) {
+        registry.retire(pick_version(versions));
       } else if (roll < 0.80) {
         registry.pin(pick_version(versions), rng.uniform() < 0.5);
       } else {
+        // Parents of live (staging/canary/active) versions are rollback
+        // targets; record which exist going in, assert they survive.
+        const auto current_before = registry.current();
+        std::set<std::uint64_t> rollback_targets;
+        for (const auto& meta : registry.list()) {
+          const bool live = meta.state != VersionState::kRetired ||
+                            (current_before && *current_before == meta.version);
+          if (live && meta.parent != 0 && registry.metadata(meta.parent).has_value()) {
+            rollback_targets.insert(meta.parent);
+          }
+        }
         registry.gc(static_cast<std::size_t>(rng.uniform() * 3.0));
+        for (const std::uint64_t parent : rollback_targets) {
+          ASSERT_TRUE(fs::exists(registry.archive_path(parent)))
+              << "gc removed rollback target v" << parent << " at op " << op;
+        }
       }
     } catch (const RegistryError&) {
     }
@@ -341,7 +458,9 @@ TEST_F(RegistryFixture, GcNeverRemovesActivePinnedOrCanaryUnderRandomOps) {
     }
   }
   // Whatever survived must still serve.
-  if (const auto current = registry.current()) EXPECT_NE(registry.load(*current), nullptr);
+  if (const auto current = registry.current()) {
+    EXPECT_NE(registry.load(*current), nullptr);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -525,5 +525,101 @@ TEST_F(WalRecoveryFixture, SnapshotFailureKeepsWalForReplay) {
   EXPECT_EQ(report_lines(out), baseline);
 }
 
+// ---------------------------------------------------------------------------
+// WalTailer: the continuous-learning collector's incremental reader over a
+// live WAL directory.
+
+TEST(WalTailer, IncrementalPollsDeliverEachRecordExactlyOnce) {
+  const std::string dir = scratch_dir("tail_inc");
+  ASSERT_TRUE(write_manifest(dir, 2));
+  WalWriter w0(wal_path(dir, 0), 1);
+  WalWriter w1(wal_path(dir, 1), 1);
+  ASSERT_TRUE(w0.append(encode_event_record(make_event("u1", "s1", "a", 1.0), 1)));
+  ASSERT_TRUE(w1.append(encode_event_record(make_event("u2", "s2", "b", 2.0), 2)));
+  ASSERT_TRUE(w0.flush());
+  ASSERT_TRUE(w1.flush());
+
+  WalTailer tailer(dir);
+  std::vector<WalRecord> out;
+  EXPECT_EQ(tailer.poll(out), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].seq, 1u);  // merged ascending across shards
+  EXPECT_EQ(out[1].seq, 2u);
+  EXPECT_EQ(tailer.poll(out), 0u) << "already-delivered records re-polled";
+
+  ASSERT_TRUE(w0.append(encode_sweep_record(50.0, 3)));
+  ASSERT_TRUE(w0.flush());
+  EXPECT_EQ(tailer.poll(out), 1u);
+  EXPECT_EQ(out.back().seq, 3u);
+  EXPECT_EQ(out.back().type, WalRecord::kSweep);
+  EXPECT_EQ(tailer.last_seq(), 3u);
+}
+
+TEST(WalTailer, StartsBeforeTheServerWritesAnything) {
+  const std::string dir = scratch_dir("tail_early");
+  WalTailer tailer(dir);  // no MANIFEST yet
+  std::vector<WalRecord> out;
+  EXPECT_EQ(tailer.poll(out), 0u);
+
+  ASSERT_TRUE(write_manifest(dir, 1));
+  WalWriter writer(wal_path(dir, 0), 1);
+  ASSERT_TRUE(writer.append(encode_event_record(make_event("u", "s", "a", 1.0), 1)));
+  ASSERT_TRUE(writer.flush());
+  EXPECT_EQ(tailer.poll(out), 1u);
+}
+
+TEST(WalTailer, TornTailIsRetriedWholeNotSkipped) {
+  const std::string dir = scratch_dir("tail_torn");
+  ASSERT_TRUE(write_manifest(dir, 1));
+  const std::string path = wal_path(dir, 0);
+  WalWriter writer(path, 1);
+  ASSERT_TRUE(writer.append(encode_event_record(make_event("u", "s", "a", 1.0), 1)));
+  ASSERT_TRUE(writer.flush());
+
+  // The writer mid-append: only half of the next frame is on disk.
+  const std::string frame = encode_event_record(make_event("u", "s", "b", 2.0), 2);
+  {
+    std::ofstream tail(path, std::ios::binary | std::ios::app);
+    tail.write(frame.data(), static_cast<std::streamsize>(frame.size() / 2));
+  }
+  WalTailer tailer(dir);
+  std::vector<WalRecord> out;
+  EXPECT_EQ(tailer.poll(out), 1u);  // the complete frame only
+  EXPECT_EQ(out[0].seq, 1u);
+
+  // The append completes: the whole frame must arrive on the next poll.
+  {
+    std::ofstream tail(path, std::ios::binary | std::ios::app);
+    tail.write(frame.data() + frame.size() / 2,
+               static_cast<std::streamsize>(frame.size() - frame.size() / 2));
+  }
+  EXPECT_EQ(tailer.poll(out), 1u);
+  EXPECT_EQ(out.back().seq, 2u);
+}
+
+TEST(WalTailer, CheckpointTruncationDoesNotRedeliver) {
+  const std::string dir = scratch_dir("tail_trunc");
+  ASSERT_TRUE(write_manifest(dir, 1));
+  WalWriter writer(wal_path(dir, 0), 1);
+  for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+    ASSERT_TRUE(writer.append(encode_event_record(make_event("u", "s", "a", 1.0), seq)));
+  }
+  ASSERT_TRUE(writer.flush());
+  WalTailer tailer(dir);
+  std::vector<WalRecord> out;
+  EXPECT_EQ(tailer.poll(out), 5u);
+
+  // Checkpoint: the server truncates the log, then recovery-style
+  // re-logging repeats seq 5 before new records land. The shrunk file
+  // resets the byte cursor; the seq watermark drops the replay.
+  writer.reset();
+  ASSERT_TRUE(writer.append(encode_event_record(make_event("u", "s", "a", 1.0), 5)));
+  ASSERT_TRUE(writer.append(encode_event_record(make_event("u", "s", "b", 2.0), 6)));
+  ASSERT_TRUE(writer.flush());
+  EXPECT_EQ(tailer.poll(out), 1u) << "the replayed record leaked through";
+  EXPECT_EQ(out.back().seq, 6u);
+  EXPECT_EQ(tailer.last_seq(), 6u);
+}
+
 }  // namespace
 }  // namespace misuse::serve
